@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunWithThroughputs(t *testing.T) {
+	for _, scheme := range []string{"heter", "group", "cyclic", "naive"} {
+		args := []string{"-throughputs", "1,2,3,4,4", "-k", "7", "-s", "1", "-scheme", scheme}
+		if err := run(args); err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+	}
+}
+
+func TestRunFractionalRepetition(t *testing.T) {
+	if err := run([]string{"-throughputs", "1,1,1,1", "-s", "1", "-scheme", "fracrep"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithCluster(t *testing.T) {
+	if err := run([]string{"-cluster", "A", "-s", "1", "-scheme", "heter"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                      // neither cluster nor throughputs
+		{"-cluster", "Z"},                       // unknown cluster
+		{"-throughputs", "1,x"},                 // bad float
+		{"-throughputs", "1,1", "-scheme", "?"}, // unknown scheme
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("case %d (%v): expected error", i, args)
+		}
+	}
+}
+
+func TestResolveThroughputs(t *testing.T) {
+	ths, err := resolveThroughputs("", " 1, 2 ,3 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ths) != 3 || ths[1] != 2 {
+		t.Fatalf("ths = %v", ths)
+	}
+	for _, cl := range []string{"a", "B", "c", "D"} {
+		ths, err := resolveThroughputs(cl, "")
+		if err != nil || len(ths) == 0 {
+			t.Fatalf("cluster %s: %v", cl, err)
+		}
+	}
+}
+
+func TestAutoK(t *testing.T) {
+	// Integral throughputs summing to 14, s=1 → k = 7.
+	if k := autoK([]float64{1, 2, 3, 4, 4}, 1, 5); k != 7 {
+		t.Fatalf("autoK = %d, want 7", k)
+	}
+	// Non-integral: falls back to 2m.
+	if k := autoK([]float64{1.5, 2.5}, 1, 2); k != 4 {
+		t.Fatalf("autoK = %d, want 4", k)
+	}
+}
+
+func TestUnknownFlag(t *testing.T) {
+	err := run([]string{"-nope"})
+	if err == nil || !strings.Contains(err.Error(), "flag") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,201 @@
+// Command gcsim regenerates the paper's evaluation tables and figures on the
+// simulated clusters. Each -exp value corresponds to one table/figure (see
+// DESIGN.md's experiment index):
+//
+//	gcsim -exp table2                 # Table II cluster configurations
+//	gcsim -exp fig2a                  # Fig. 2a delay sweep, Cluster-A, s=1
+//	gcsim -exp fig2b                  # Fig. 2b delay sweep, Cluster-A, s=2
+//	gcsim -exp fig3                   # Fig. 3 clusters B/C/D iteration times
+//	gcsim -exp fig4                   # Fig. 4 loss-vs-time incl. SSP
+//	gcsim -exp fig5                   # Fig. 5 computing-resource usage
+//	gcsim -exp ablation-misest        # group-based vs heter under bad estimates
+//	gcsim -exp ablation-s             # replication-factor sweep
+//	gcsim -exp all                    # everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"github.com/hetgc/hetgc"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gcsim", flag.ContinueOnError)
+	var (
+		exp   = fs.String("exp", "all", "experiment: table2, fig2a, fig2b, fig3, fig4, fig5, ablation-misest, ablation-s, all")
+		iters = fs.Int("iters", 100, "iterations per simulation cell")
+		seed  = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	run := func(name string, f func() error) error {
+		fmt.Printf("=== %s ===\n", name)
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println()
+		return nil
+	}
+	all := *exp == "all"
+	type entry struct {
+		name string
+		f    func() error
+	}
+	entries := []entry{
+		{"table2", func() error { return table2() }},
+		{"fig2a", func() error { return fig2(1, *iters, *seed) }},
+		{"fig2b", func() error { return fig2(2, *iters, *seed) }},
+		{"fig3", func() error { return fig3(*iters, *seed) }},
+		{"fig4", func() error { return fig4(*iters, *seed) }},
+		{"fig5", func() error { return fig5(*iters, *seed) }},
+		{"ablation-misest", func() error { return misest(*iters, *seed) }},
+		{"ablation-s", func() error { return replication(*iters, *seed) }},
+	}
+	matched := false
+	for _, e := range entries {
+		if all || e.name == *exp {
+			matched = true
+			if err := run(e.name, e.f); err != nil {
+				return err
+			}
+		}
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}
+
+func table2() error {
+	fmt.Println("Table II: cluster configurations (machines per vCPU class)")
+	fmt.Print(hetgc.Table2().String())
+	return nil
+}
+
+func fig2(s, iters int, seed int64) error {
+	fmt.Printf("Fig. 2%c: avg time per iteration (s) on Cluster-A, s=%d, injected delay sweep\n",
+		'a'+rune(s-1), s)
+	rows, err := hetgc.RunFig2Sweep(hetgc.DelaySweepConfig{
+		Cluster:        hetgc.ClusterA(),
+		S:              s,
+		Delays:         []float64{0, 2, 4, 6, 8, math.Inf(1)},
+		Iterations:     iters,
+		FluctuationStd: 0.05,
+		Seed:           seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(hetgc.DelayTable(rows).String())
+	sp, err := hetgc.SpeedupVsCyclic(rows[len(rows)-1])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("headline: heter-aware speedup over cyclic at fault = %.2fx (paper: up to 3x)\n", sp)
+	return nil
+}
+
+func fig3(iters int, seed int64) error {
+	fmt.Println("Fig. 3: avg time per iteration (s) on Clusters B/C/D under transient interference")
+	rows, err := hetgc.RunFig3Clusters(hetgc.ClusterSweepConfig{
+		Clusters:       []*hetgc.Cluster{hetgc.ClusterB(), hetgc.ClusterC(), hetgc.ClusterD()},
+		S:              1,
+		Iterations:     iters,
+		TransientProb:  0.02,
+		TransientMean:  2,
+		FluctuationStd: 0.05,
+		Seed:           seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(hetgc.ClusterTable(rows).String())
+	return nil
+}
+
+func fig4(iters int, seed int64) error {
+	fmt.Println("Fig. 4: training loss vs simulated wall-clock on Cluster-C (softmax on synthetic mixture)")
+	lc, err := hetgc.RunFig4LossCurves(hetgc.LossCurveConfig{
+		Cluster:             hetgc.ClusterC(),
+		S:                   1,
+		Iterations:          iters,
+		SamplesPerPartition: 10,
+		TransientProb:       0.02,
+		TransientMean:       2,
+		Seed:                seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(lc.LossTable(8).String())
+	fmt.Println()
+	fmt.Print(hetgc.AsciiPlot(lc.Curves, 72, 16))
+	fmt.Println("final loss per scheme:")
+	for _, c := range lc.Curves {
+		fmt.Printf("  %-12s %.4f\n", c.Name, lc.FinalLoss[c.Name])
+	}
+	return nil
+}
+
+func fig5(iters int, seed int64) error {
+	fmt.Println("Fig. 5: computing-resource usage per scheme")
+	rows, err := hetgc.RunFig3Clusters(hetgc.ClusterSweepConfig{
+		Clusters:       []*hetgc.Cluster{hetgc.ClusterA(), hetgc.ClusterB(), hetgc.ClusterC()},
+		S:              1,
+		Iterations:     iters,
+		TransientProb:  0.02,
+		TransientMean:  2,
+		FluctuationStd: 0.05,
+		CommOverhead:   0.3,
+		Seed:           seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(hetgc.UsageTable(rows).String())
+	return nil
+}
+
+func misest(iters int, seed int64) error {
+	fmt.Println("Ablation: throughput mis-estimation (heter-aware vs group-based, Cluster-A, s=1)")
+	rows, err := hetgc.RunMisestimation(hetgc.MisestimationConfig{
+		Cluster:    hetgc.ClusterA(),
+		S:          1,
+		Epsilons:   []float64{0, 0.1, 0.2, 0.4, 0.6},
+		Iterations: iters,
+		Trials:     5,
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(hetgc.MisestimationTable(rows).String())
+	return nil
+}
+
+func replication(iters int, seed int64) error {
+	fmt.Println("Ablation: replication factor s sweep (avg iteration time, Cluster-A)")
+	rows, err := hetgc.RunReplicationSweep(hetgc.ReplicationSweepConfig{
+		Cluster:    hetgc.ClusterA(),
+		SValues:    []int{1, 2, 3},
+		Delay:      5,
+		Iterations: iters,
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(hetgc.ReplicationTable(rows).String())
+	return nil
+}

@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiments(t *testing.T) {
+	// Keep iteration counts tiny: this validates wiring, not statistics.
+	for _, exp := range []string{"table2", "fig2a", "ablation-s"} {
+		if err := run([]string{"-exp", exp, "-iters", "4", "-seed", "2"}); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunFig4Small(t *testing.T) {
+	if err := run([]string{"-exp", "fig4", "-iters", "8", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "nope"}); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("expected flag error")
+	}
+}
+
+func TestRunRemainingExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster sweep is slow")
+	}
+	for _, exp := range []string{"fig2b", "fig5", "ablation-misest"} {
+		if err := run([]string{"-exp", exp, "-iters", "3", "-seed", "5"}); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}

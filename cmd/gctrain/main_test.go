@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunSmallTraining(t *testing.T) {
+	if err := run([]string{"-scheme", "heter", "-iters", "5", "-straggler-ms", "0", "-seed", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGroupScheme(t *testing.T) {
+	if err := run([]string{"-scheme", "group", "-iters", "4", "-straggler-ms", "20"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownScheme(t *testing.T) {
+	if err := run([]string{"-scheme", "bogus"}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-wat"}); err == nil {
+		t.Fatal("expected flag error")
+	}
+}

@@ -1,0 +1,91 @@
+// Distributed: train a softmax classifier with real master/worker processes
+// talking gradient-coded BSP over TCP loopback. Worker 0 is artificially
+// slowed every iteration; the coded master decodes without waiting for it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"github.com/hetgc/hetgc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	throughputs := []float64{1, 2, 3, 4, 4}
+	const k, s, iters = 7, 1, 25
+	rng := hetgc.NewRand(3)
+
+	strategy, err := hetgc.NewGroupBased(throughputs, k, s, rng)
+	if err != nil {
+		return err
+	}
+	data, err := hetgc.GaussianMixture(k*30, 6, 3, 3, rng)
+	if err != nil {
+		return err
+	}
+	parts, err := data.Split(k)
+	if err != nil {
+		return err
+	}
+	model := &hetgc.Softmax{InputDim: 6, NumClasses: 3}
+
+	master, err := hetgc.NewMaster(hetgc.MasterConfig{
+		Strategy:      strategy,
+		Model:         model,
+		Optimizer:     &hetgc.SGD{LR: 0.5, Momentum: 0.5},
+		InitialParams: model.InitParams(nil),
+		Iterations:    iters,
+		SampleCount:   data.N(),
+		IterTimeout:   10 * time.Second,
+		LossEvery:     5,
+		LossFn:        func(p []float64) (float64, error) { return hetgc.MeanLoss(model, p, data) },
+	}, "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("master on %s, scheme %v with groups %v\n",
+		master.Addr(), strategy.Kind(), strategy.Groups())
+
+	var wg sync.WaitGroup
+	for i := 0; i < strategy.M(); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := hetgc.WorkerConfig{
+				Model:         model,
+				PartitionData: func(p int) (*hetgc.Dataset, error) { return parts[p], nil },
+			}
+			if i == 0 {
+				cfg.Delay = func(int) time.Duration { return 150 * time.Millisecond }
+			}
+			w, err := hetgc.DialWorker(master.Addr(), cfg)
+			if err != nil {
+				return
+			}
+			_ = w.Run() // exits on shutdown; races at teardown are benign
+		}(i)
+	}
+	if err := master.WaitForWorkers(10 * time.Second); err != nil {
+		return err
+	}
+	res, err := master.Run()
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ran %d iterations, mean %.1fms (worker 0 was 150ms late each time)\n",
+		res.Summary.Count, res.Summary.Mean*1e3)
+	fmt.Println("loss curve:")
+	for _, p := range res.Curve.Points {
+		fmt.Printf("  t=%6.3fs  loss=%.4f\n", p.X, p.Y)
+	}
+	return nil
+}

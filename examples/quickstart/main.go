@@ -1,0 +1,79 @@
+// Quickstart: build a heterogeneity-aware gradient code for five workers of
+// unequal speed, encode per-worker gradients, kill a straggler, and decode
+// the exact aggregated gradient from the survivors.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/hetgc/hetgc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Five workers with relative speeds 1,2,3,4,4 (Example 1 of the paper):
+	// 7 data partitions, each replicated twice, tolerating s=1 straggler.
+	throughputs := []float64{1, 2, 3, 4, 4}
+	const k, s = 7, 1
+	rng := hetgc.NewRand(42)
+
+	strategy, err := hetgc.NewHeterAware(throughputs, k, s, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built %v code: m=%d workers, k=%d partitions, s=%d straggler budget\n",
+		strategy.Kind(), strategy.M(), strategy.K(), strategy.S())
+	alloc := strategy.Allocation()
+	for w := 0; w < strategy.M(); w++ {
+		fmt.Printf("  worker %d computes partitions %v (load ∝ speed %.0f)\n",
+			w, alloc.Parts[w], throughputs[w])
+	}
+
+	// Pretend partial gradients: partition j's gradient is the 2-vector
+	// [j, 2j]. The true aggregate is the sum over all partitions.
+	partials := make([]hetgc.Gradient, k)
+	truth := hetgc.Gradient{0, 0}
+	for j := range partials {
+		partials[j] = hetgc.Gradient{float64(j), float64(2 * j)}
+		truth[0] += partials[j][0]
+		truth[1] += partials[j][1]
+	}
+
+	// Each worker encodes the partial gradients it holds with its row of B.
+	coded := make([]hetgc.Gradient, strategy.M())
+	for w := 0; w < strategy.M(); w++ {
+		row := strategy.Row(w)
+		var mine []hetgc.Gradient
+		var coeffs []float64
+		for _, p := range alloc.Parts[w] {
+			mine = append(mine, partials[p])
+			coeffs = append(coeffs, row[p])
+		}
+		coded[w], err = hetgc.EncodeGradient(coeffs, mine)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Worker 4 (one of the fastest!) crashes. Decode from the rest.
+	const straggler = 4
+	alive := hetgc.AliveFromStragglers(strategy.M(), []int{straggler})
+	decodeCoeffs, err := strategy.Decode(alive)
+	if err != nil {
+		return err
+	}
+	coded[straggler] = nil // its result never arrived
+	got, err := hetgc.CombineGradients(decodeCoeffs, coded, 2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nworker %d crashed; decoded aggregate = [%.4f %.4f], truth = [%.0f %.0f]\n",
+		straggler, got[0], got[1], truth[0], truth[1])
+	return nil
+}

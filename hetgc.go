@@ -1,0 +1,342 @@
+// Package hetgc is a Go implementation of heterogeneity-aware gradient
+// coding for straggler tolerance (Wang et al., ICDCS 2019). It provides:
+//
+//   - Coding strategies: the paper's heter-aware (Alg. 1) and group-based
+//     (Alg. 2/3) schemes, plus the naive, cyclic and fractional-repetition
+//     baselines of Tandon et al. — see NewHeterAware, NewGroupBased,
+//     NewCyclic, NewNaive, NewFractionalRepetition.
+//   - Encoding/decoding of gradient vectors (EncodeGradient,
+//     CombineGradients) and the data-partition allocation machinery.
+//   - A discrete-event cluster simulator (Simulate, TrainSimulated, RunSSP)
+//     reproducing the paper's evaluation, with the Table II clusters
+//     (ClusterA…ClusterD) and straggler injectors.
+//   - A real TCP master/worker runtime (NewMaster, DialWorker).
+//   - Experiment runners regenerating every figure and table of the paper
+//     (the Fig2/Fig3/Fig4/Fig5/Table2 family).
+//
+// The quickstart in examples/quickstart shows the core loop: build a
+// strategy from worker throughputs, have each worker send a coded gradient,
+// and decode the exact aggregated gradient from any m−s workers.
+package hetgc
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/cluster"
+	"github.com/hetgc/hetgc/internal/core"
+	"github.com/hetgc/hetgc/internal/estimate"
+	"github.com/hetgc/hetgc/internal/experiments"
+	"github.com/hetgc/hetgc/internal/grad"
+	"github.com/hetgc/hetgc/internal/metrics"
+	"github.com/hetgc/hetgc/internal/ml"
+	"github.com/hetgc/hetgc/internal/partition"
+	"github.com/hetgc/hetgc/internal/planner"
+	"github.com/hetgc/hetgc/internal/runtime"
+	"github.com/hetgc/hetgc/internal/sim"
+	"github.com/hetgc/hetgc/internal/straggler"
+)
+
+// Core coding types.
+type (
+	// Strategy is a gradient coding strategy: allocation + coding matrix +
+	// decoder. See the Kind constants for the five families.
+	Strategy = core.Strategy
+	// Kind identifies a strategy family.
+	Kind = core.Kind
+	// Allocation maps data partitions to workers.
+	Allocation = partition.Allocation
+	// Gradient is a flat gradient vector.
+	Gradient = grad.Gradient
+)
+
+// Strategy kinds.
+const (
+	Naive                = core.Naive
+	Cyclic               = core.Cyclic
+	FractionalRepetition = core.FractionalRepetition
+	HeterAware           = core.HeterAware
+	GroupBased           = core.GroupBased
+)
+
+// Strategy construction errors.
+var (
+	// ErrUndecodable is returned when an alive set cannot decode.
+	ErrUndecodable = core.ErrUndecodable
+	// ErrConstruction is returned when code construction fails.
+	ErrConstruction = core.ErrConstruction
+)
+
+// NewHeterAware builds the paper's heterogeneity-aware strategy (Alg. 1):
+// k data partitions replicated s+1 times, loads proportional to the worker
+// throughputs, robust to any s stragglers and makespan-optimal (Thm. 4/5).
+func NewHeterAware(throughputs []float64, k, s int, rng *rand.Rand) (*Strategy, error) {
+	return core.NewHeterAware(throughputs, k, s, rng)
+}
+
+// NewGroupBased builds the paper's group-based strategy (Alg. 2/3), which
+// additionally decodes by plain summation from any fully-finished worker
+// group — faster in practice when throughput estimates are imperfect.
+func NewGroupBased(throughputs []float64, k, s int, rng *rand.Rand) (*Strategy, error) {
+	return core.NewGroupBased(throughputs, k, s, rng)
+}
+
+// NewCyclic builds Tandon et al.'s homogeneous cyclic gradient code.
+func NewCyclic(m, s int, rng *rand.Rand) (*Strategy, error) {
+	return core.NewCyclic(m, s, rng)
+}
+
+// NewNaive builds the uncoded baseline requiring every worker.
+func NewNaive(m int) (*Strategy, error) { return core.NewNaive(m) }
+
+// NewFractionalRepetition builds Tandon et al.'s fractional repetition code
+// (requires (s+1) | m).
+func NewFractionalRepetition(m, s int) (*Strategy, error) {
+	return core.NewFractionalRepetition(m, s)
+}
+
+// VerifyRobustness checks that a strategy decodes under every straggler
+// pattern of size s (exhaustively for small clusters, sampled otherwise).
+func VerifyRobustness(st *Strategy, samples int, rng *rand.Rand) error {
+	return core.VerifyRobustness(st, samples, rng)
+}
+
+// AliveFromStragglers builds an alive mask with the given stragglers dead.
+func AliveFromStragglers(m int, stragglers []int) []bool {
+	return core.AliveFromStragglers(m, stragglers)
+}
+
+// EncodeGradient forms a worker's coded gradient Σ coeff_j·partial_j.
+func EncodeGradient(coeffs []float64, partials []Gradient) (Gradient, error) {
+	return grad.Encode(coeffs, partials)
+}
+
+// CombineGradients recombines coded gradients with decoding coefficients.
+func CombineGradients(coeffs []float64, coded []Gradient, dim int) (Gradient, error) {
+	return grad.Combine(coeffs, coded, dim)
+}
+
+// SumGradients returns the plain sum of gradients.
+func SumGradients(gs []Gradient) (Gradient, error) { return grad.Sum(gs) }
+
+// Cluster modelling.
+type (
+	// Cluster is a heterogeneous worker fleet.
+	Cluster = cluster.Cluster
+	// ClusterWorker describes one machine.
+	ClusterWorker = cluster.Worker
+)
+
+// Table II clusters of the paper.
+var (
+	ClusterA = cluster.ClusterA
+	ClusterB = cluster.ClusterB
+	ClusterC = cluster.ClusterC
+	ClusterD = cluster.ClusterD
+)
+
+// NewCluster builds a cluster from a vCPU histogram.
+func NewCluster(name string, vcpuCounts map[int]int, baseThroughput float64) (*Cluster, error) {
+	return cluster.FromHistogram(name, vcpuCounts, baseThroughput)
+}
+
+// Straggler injectors for simulations.
+type (
+	// StragglerInjector produces per-iteration extra delays.
+	StragglerInjector = straggler.Injector
+	// FixedStragglers delays a fixed number of random workers.
+	FixedStragglers = straggler.Fixed
+	// PinnedStragglers delays a fixed worker set.
+	PinnedStragglers = straggler.Pinned
+	// TransientStragglers models probabilistic interference.
+	TransientStragglers = straggler.Transient
+)
+
+// Simulation API.
+type (
+	// SimConfig parameterises a timing simulation.
+	SimConfig = sim.Config
+	// SimResult aggregates a simulation run.
+	SimResult = sim.Result
+	// TrainSimConfig couples timing simulation with real training.
+	TrainSimConfig = sim.TrainConfig
+	// TrainSimResult is a coded-training outcome.
+	TrainSimResult = sim.TrainResult
+	// SSPConfig parameterises the stale-synchronous baseline.
+	SSPConfig = sim.SSPConfig
+	// SSPResult is the SSP outcome.
+	SSPResult = sim.SSPResult
+)
+
+// Simulate runs a timing-only simulation (Figs. 2, 3, 5).
+func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// TrainSimulated runs the coded-training co-simulation (Fig. 4).
+func TrainSimulated(cfg TrainSimConfig) (*TrainSimResult, error) { return sim.Train(cfg) }
+
+// RunSSP runs the SSP baseline simulation (Fig. 4).
+func RunSSP(cfg SSPConfig) (*SSPResult, error) { return sim.RunSSP(cfg) }
+
+// ML substrate.
+type (
+	// Model is a differentiable model over flat parameters.
+	Model = ml.Model
+	// Dataset holds features and labels.
+	Dataset = ml.Dataset
+	// LinearRegression, LogisticRegression, Softmax and MLP are the built-in
+	// models.
+	LinearRegression   = ml.LinearRegression
+	LogisticRegression = ml.LogisticRegression
+	Softmax            = ml.Softmax
+	MLP                = ml.MLP
+	// SGD and Adam are the built-in optimizers.
+	SGD  = ml.SGD
+	Adam = ml.Adam
+	// Optimizer updates parameters from gradients.
+	Optimizer = ml.Optimizer
+)
+
+// GaussianMixture generates a synthetic classification dataset.
+func GaussianMixture(n, dim, classes int, sep float64, rng *rand.Rand) (*Dataset, error) {
+	return ml.GaussianMixture(n, dim, classes, sep, rng)
+}
+
+// LinearData generates a synthetic regression dataset.
+func LinearData(n, dim int, noise float64, rng *rand.Rand) (*Dataset, error) {
+	return ml.LinearData(n, dim, noise, rng)
+}
+
+// MeanLoss evaluates a model's mean loss on a dataset.
+func MeanLoss(m Model, params []float64, d *Dataset) (float64, error) {
+	return ml.MeanLoss(m, params, d)
+}
+
+// Distributed runtime.
+type (
+	// Master drives the BSP loop over TCP workers.
+	Master = runtime.Master
+	// MasterConfig configures a master.
+	MasterConfig = runtime.MasterConfig
+	// MasterResult summarises a run.
+	MasterResult = runtime.MasterResult
+	// WorkerConfig configures a worker process.
+	WorkerConfig = runtime.WorkerConfig
+	// RuntimeWorker is a connected worker.
+	RuntimeWorker = runtime.Worker
+)
+
+// NewMaster starts a master listening on addr.
+func NewMaster(cfg MasterConfig, addr string) (*Master, error) {
+	return runtime.NewMaster(cfg, addr)
+}
+
+// DialWorker connects a worker to a master and performs the assignment
+// handshake.
+func DialWorker(addr string, cfg WorkerConfig) (*RuntimeWorker, error) {
+	return runtime.DialWorker(addr, cfg)
+}
+
+// Throughput estimation.
+type (
+	// ThroughputSampler estimates worker speed by sampling.
+	ThroughputSampler = estimate.Sampler
+	// ThroughputEWMA estimates worker speed with exponential smoothing.
+	ThroughputEWMA = estimate.EWMA
+)
+
+// MisestimateThroughputs perturbs true speeds with relative noise eps.
+func MisestimateThroughputs(truth []float64, eps float64, rng *rand.Rand) []float64 {
+	return estimate.Misestimate(truth, eps, rng)
+}
+
+// Experiments (paper figures and tables).
+type (
+	// DelaySweepConfig parameterises Fig. 2.
+	DelaySweepConfig = experiments.DelaySweepConfig
+	// DelayRow is one Fig. 2 sweep row.
+	DelayRow = experiments.DelayRow
+	// ClusterSweepConfig parameterises Figs. 3 and 5.
+	ClusterSweepConfig = experiments.ClusterSweepConfig
+	// ClusterRow is one Fig. 3/5 row.
+	ClusterRow = experiments.ClusterRow
+	// LossCurveConfig parameterises Fig. 4.
+	LossCurveConfig = experiments.LossCurveConfig
+	// LossCurves is the Fig. 4 result.
+	LossCurves = experiments.LossCurves
+	// MisestimationConfig parameterises the estimation ablation.
+	MisestimationConfig = experiments.MisestimationConfig
+	// MisestimationRow is one estimation-ablation row.
+	MisestimationRow = experiments.MisestimationRow
+	// ReplicationSweepConfig parameterises the s ablation.
+	ReplicationSweepConfig = experiments.ReplicationSweepConfig
+	// ReplicationRow is one s-ablation row.
+	ReplicationRow = experiments.ReplicationRow
+	// MetricsTable is a renderable result table.
+	MetricsTable = metrics.Table
+	// LossSeries is a named (time, loss) curve.
+	LossSeries = metrics.Series
+)
+
+// Experiment runners (see DESIGN.md experiment index).
+var (
+	RunFig2Sweep        = experiments.RunDelaySweep
+	RunFig3Clusters     = experiments.RunClusterSweep
+	RunFig4LossCurves   = experiments.RunLossCurves
+	RunMisestimation    = experiments.RunMisestimation
+	RunReplicationSweep = experiments.RunReplicationSweep
+	Table2              = experiments.Table2
+	DelayTable          = experiments.DelayTable
+	ClusterTable        = experiments.ClusterTable
+	UsageTable          = experiments.UsageTable
+	MisestimationTable  = experiments.MisestimationTable
+	ReplicationTable    = experiments.ReplicationTable
+	SpeedupVsCyclic     = experiments.SpeedupVsCyclic
+	ChooseK             = experiments.ChooseK
+	BuildStrategy       = experiments.BuildStrategy
+	DefaultSchemes      = experiments.DefaultSchemes
+)
+
+// Decoding-matrix precomputation (paper §III.B: "A could be partially
+// stored specially for regular stragglers").
+type (
+	// DecodingMatrix stores precomputed decoding rows per straggler pattern.
+	DecodingMatrix = core.DecodingMatrix
+	// StragglerPattern is a sorted straggler worker set.
+	StragglerPattern = core.Pattern
+)
+
+// RegularPatterns enumerates straggler patterns of size ≤ s over a suspect
+// worker set, for pre-storing their decoding rows.
+func RegularPatterns(suspects []int, s int) []StragglerPattern {
+	return core.RegularPatterns(suspects, s)
+}
+
+// Adaptive planning (estimate → allocate → re-code loop).
+type (
+	// Planner tracks throughput estimates and rebuilds strategies on drift.
+	Planner = planner.Planner
+	// PlannerConfig configures a Planner.
+	PlannerConfig = planner.Config
+)
+
+// NewPlanner builds a planner with an initial strategy from throughput
+// guesses; feed it Observe() samples and call MaybeReplan between epochs.
+func NewPlanner(cfg PlannerConfig, initialThroughputs []float64, rng *rand.Rand) (*Planner, error) {
+	return planner.New(cfg, initialThroughputs, rng)
+}
+
+// WriteTimelineCSV exports a simulation's per-worker timeline as CSV.
+var WriteTimelineCSV = sim.WriteTimelineCSV
+
+// AsciiPlot renders loss/time series as a terminal chart (Fig. 4 style).
+var AsciiPlot = metrics.AsciiPlot
+
+// MergeSeriesCSV writes several series as one wide CSV aligned on x.
+var MergeSeriesCSV = metrics.MergeSeries
+
+// NewRand returns a deterministic rand.Rand for the given seed — the only
+// randomness source the library uses.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// SeedFromTime returns a time-based seed for interactive use.
+func SeedFromTime() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,297 @@
+package hetgc
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIQuickstart walks the documented core loop end to end through
+// the facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	rng := NewRand(1)
+	st, err := NewHeterAware([]float64{1, 2, 3, 4, 4}, 7, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyRobustness(st, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fake partial gradients: g_j = [j+1] so the exact sum is known.
+	dim := 1
+	partials := make([]Gradient, 7)
+	var wantSum float64
+	for j := range partials {
+		partials[j] = Gradient{float64(j + 1)}
+		wantSum += float64(j + 1)
+	}
+	// Each worker encodes with its coding row.
+	coded := make([]Gradient, st.M())
+	alloc := st.Allocation()
+	for w := 0; w < st.M(); w++ {
+		row := st.Row(w)
+		var mine []Gradient
+		var coeffs []float64
+		for _, p := range alloc.Parts[w] {
+			mine = append(mine, partials[p])
+			coeffs = append(coeffs, row[p])
+		}
+		enc, err := EncodeGradient(coeffs, mine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coded[w] = enc
+	}
+	// Worker 3 is a straggler: decode from the rest.
+	alive := AliveFromStragglers(st.M(), []int{3})
+	dcoeffs, err := st.Decode(alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coded[3] = nil
+	got, err := CombineGradients(dcoeffs, coded, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-wantSum) > 1e-8 {
+		t.Fatalf("decoded sum %v, want %v", got[0], wantSum)
+	}
+}
+
+func TestPublicAPISimulation(t *testing.T) {
+	cl := ClusterA()
+	rng := NewRand(2)
+	st, err := BuildStrategy(HeterAware, cl, cl.Throughputs(), ChooseK(cl, 1), 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(SimConfig{
+		Strategy:    st,
+		Throughputs: cl.Throughputs(),
+		Injector:    FixedStragglers{Count: 1, Delay: 5, Rng: rng},
+		Iterations:  10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("failures: %d", res.Failed)
+	}
+	if res.AvgIterTime() <= 0 {
+		t.Fatal("no time recorded")
+	}
+}
+
+func TestPublicAPITableRunners(t *testing.T) {
+	if out := Table2().String(); len(out) == 0 {
+		t.Fatal("empty Table II")
+	}
+	rows, err := RunFig2Sweep(DelaySweepConfig{
+		Cluster:    ClusterA(),
+		S:          1,
+		Delays:     []float64{0, math.Inf(1)},
+		Iterations: 5,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := SpeedupVsCyclic(rows[len(rows)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp <= 1 {
+		t.Fatalf("fault speedup = %v", sp)
+	}
+}
+
+func TestNewClusterFacade(t *testing.T) {
+	cl, err := NewCluster("tiny", map[int]int{4: 3}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.M() != 3 {
+		t.Fatalf("m = %d", cl.M())
+	}
+}
+
+func TestSeedFromTimeMoves(t *testing.T) {
+	if SeedFromTime() == 0 {
+		t.Fatal("zero seed")
+	}
+}
+
+func TestPublicAPIPlannerAndDecodingMatrix(t *testing.T) {
+	rng := NewRand(9)
+	pl, err := NewPlanner(PlannerConfig{K: 7, S: 1}, []float64{1, 2, 3, 4, 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pl.Strategy()
+	// Pre-store decoding rows for the chronically slow workers 0 and 1.
+	dm, err := st.PrecomputePatterns(RegularPatterns([]int{0, 1}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.Size() != 3 { // {}, {0}, {1}
+		t.Fatalf("size = %d", dm.Size())
+	}
+	row, ok := dm.Lookup([]int{0})
+	if !ok || row[0] != 0 {
+		t.Fatalf("lookup = %v %v", row, ok)
+	}
+	// The stored row must agree with a live decode.
+	live, err := st.Decode(AliveFromStragglers(st.M(), []int{0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range row {
+		if math.Abs(row[i]-live[i]) > 1e-12 {
+			t.Fatalf("stored row diverges from live decode at %d: %v vs %v", i, row[i], live[i])
+		}
+	}
+}
+
+func TestPublicAPICSVExports(t *testing.T) {
+	var sb strings.Builder
+	if err := Table2().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "vCPUs,Cluster-A") {
+		t.Fatalf("csv = %q", sb.String())
+	}
+	cl := ClusterA()
+	rng := NewRand(10)
+	st, err := BuildStrategy(HeterAware, cl, cl.Throughputs(), ChooseK(cl, 1), 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(SimConfig{Strategy: st, Throughputs: cl.Throughputs(), Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := WriteTimelineCSV(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "iteration,worker") {
+		t.Fatalf("timeline csv = %q", sb.String())
+	}
+}
+
+// Fractional repetition performs comparably to cyclic on a homogeneous
+// cluster (the paper's §VI justification for not evaluating it separately).
+func TestFractionalRepetitionComparableToCyclic(t *testing.T) {
+	m, s := 8, 1
+	ths := make([]float64, m)
+	for i := range ths {
+		ths[i] = 0.08 // homogeneous
+	}
+	rng := NewRand(11)
+	fr, err := NewFractionalRepetition(m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cy, err := NewCyclic(m, s, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(st *Strategy) float64 {
+		res, err := Simulate(SimConfig{
+			Strategy:    st,
+			Throughputs: ths,
+			Injector:    FixedStragglers{Count: 1, Delay: 10, Rng: NewRand(12)},
+			Iterations:  30,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed != 0 {
+			t.Fatalf("%v failed %d iterations", st.Kind(), res.Failed)
+		}
+		return res.AvgIterTime()
+	}
+	tFR, tCY := run(fr), run(cy)
+	if tFR > tCY*1.3 || tCY > tFR*1.3 {
+		t.Fatalf("frac-rep (%v) and cyclic (%v) should be comparable on homogeneous clusters", tFR, tCY)
+	}
+}
+
+func TestPublicAPITrainingSimulations(t *testing.T) {
+	rng := NewRand(20)
+	data, err := GaussianMixture(70, 4, 2, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewGroupBased([]float64{1, 2, 3, 4, 4}, 7, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TrainSimulated(TrainSimConfig{
+		Sim: SimConfig{
+			Strategy:    st,
+			Throughputs: []float64{1, 2, 3, 4, 4},
+			Iterations:  10,
+		},
+		Model:     &Softmax{InputDim: 4, NumClasses: 2},
+		Data:      data,
+		Optimizer: &SGD{LR: 0.5},
+		Name:      "demo",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalLoss >= res.Curve.Points[0].Y {
+		t.Fatalf("loss did not drop: %v -> %v", res.Curve.Points[0].Y, res.FinalLoss)
+	}
+	ssp, err := RunSSP(SSPConfig{
+		Throughputs:         []float64{0.1, 0.4},
+		Staleness:           1,
+		Model:               &Softmax{InputDim: 4, NumClasses: 2},
+		Data:                data,
+		Optimizer:           &SGD{LR: 0.2},
+		IterationsPerWorker: 10,
+		Name:                "ssp",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ssp.TotalTime <= 0 {
+		t.Fatal("ssp did not advance time")
+	}
+}
+
+func TestPublicAPIMiscWrappers(t *testing.T) {
+	rng := NewRand(21)
+	reg, err := LinearData(20, 3, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &LinearRegression{InputDim: 3}
+	if _, err := MeanLoss(m, m.InitParams(nil), reg); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := SumGradients([]Gradient{{1, 2}, {3, 4}})
+	if err != nil || sum[1] != 6 {
+		t.Fatalf("sum = %v err = %v", sum, err)
+	}
+	noisy := MisestimateThroughputs([]float64{1, 2}, 0.2, rng)
+	if len(noisy) != 2 {
+		t.Fatalf("noisy = %v", noisy)
+	}
+	var ewma ThroughputEWMA
+	ewma.Alpha = 0.5
+	if err := ewma.Observe(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := ewma.Estimate(); err != nil || v != 2 {
+		t.Fatalf("ewma = %v err = %v", v, err)
+	}
+	if _, err := NewFractionalRepetition(6, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := NewNaive(3); err != nil || st.Kind() != Naive {
+		t.Fatalf("naive: %v %v", st, err)
+	}
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestTable2ClusterSizes(t *testing.T) {
+	cases := []struct {
+		c    *Cluster
+		want int
+	}{
+		{ClusterA(), 8},
+		{ClusterB(), 16},
+		{ClusterC(), 32},
+		{ClusterD(), 58},
+	}
+	for _, tc := range cases {
+		if tc.c.M() != tc.want {
+			t.Fatalf("%s has %d workers, want %d", tc.c.Name, tc.c.M(), tc.want)
+		}
+		if err := tc.c.Validate(); err != nil {
+			t.Fatalf("%s: %v", tc.c.Name, err)
+		}
+	}
+}
+
+func TestClusterAComposition(t *testing.T) {
+	counts := map[int]int{}
+	for _, w := range ClusterA().Workers {
+		counts[w.VCPUs]++
+	}
+	want := map[int]int{2: 2, 4: 2, 8: 3, 12: 1}
+	for size, n := range want {
+		if counts[size] != n {
+			t.Fatalf("Cluster-A has %d machines of %d vCPUs, want %d", counts[size], size, n)
+		}
+	}
+}
+
+func TestThroughputProportionalToVCPUs(t *testing.T) {
+	c := ClusterA()
+	ths := c.Throughputs()
+	for i, w := range c.Workers {
+		if ths[i] != float64(w.VCPUs)*defaultBase {
+			t.Fatalf("throughput[%d] = %v", i, ths[i])
+		}
+	}
+	var sum float64
+	for _, v := range ths {
+		sum += v
+	}
+	if c.TotalThroughput() != sum {
+		t.Fatal("TotalThroughput mismatch")
+	}
+}
+
+func TestFromHistogramErrors(t *testing.T) {
+	if _, err := FromHistogram("x", map[int]int{4: 1}, 0); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := FromHistogram("x", map[int]int{0: 1}, 1); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := FromHistogram("x", nil, 1); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("empty cluster err = %v", err)
+	}
+}
+
+func TestFromHistogramDeterministicOrder(t *testing.T) {
+	a, err := FromHistogram("x", map[int]int{8: 1, 2: 1, 4: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 4, 8}
+	for i, w := range a.Workers {
+		if w.VCPUs != want[i] {
+			t.Fatalf("order = %v", a.Workers)
+		}
+	}
+}
+
+func TestHomogeneous(t *testing.T) {
+	c, err := Homogeneous("h", 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.M() != 5 {
+		t.Fatalf("m = %d", c.M())
+	}
+	for _, w := range c.Workers {
+		if w.VCPUs != 8 {
+			t.Fatalf("vcpus = %d", w.VCPUs)
+		}
+	}
+}
+
+func TestNoisyThroughputsBounds(t *testing.T) {
+	c := ClusterB()
+	rng := rand.New(rand.NewSource(1))
+	noisy := c.NoisyThroughputs(0.3, rng)
+	exact := c.Throughputs()
+	for i := range noisy {
+		lo, hi := exact[i]*0.7, exact[i]*1.3
+		if noisy[i] < lo-1e-9 || noisy[i] > hi+1e-9 {
+			t.Fatalf("noisy[%d] = %v outside [%v,%v]", i, noisy[i], lo, hi)
+		}
+	}
+	// eps=0 or nil rng: exact copy.
+	same := c.NoisyThroughputs(0, rng)
+	for i := range same {
+		if same[i] != exact[i] {
+			t.Fatal("eps=0 must be exact")
+		}
+	}
+}
+
+func TestValidateCatchesBadWorker(t *testing.T) {
+	c := &Cluster{Name: "bad", Workers: []Worker{{VCPUs: 0, BaseThroughput: 1}}}
+	if err := c.Validate(); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("err = %v", err)
+	}
+}

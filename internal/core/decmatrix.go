@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/hetgc/hetgc/internal/linalg"
+)
+
+// This file implements the paper's §III.B decoding-matrix machinery: the
+// full decoding matrix A ∈ R^{S×m} with one row per straggler pattern
+// (A·B = 1, Eq. 2), and the storage strategy the paper describes — "the
+// decoding matrix A could be partially stored specially for regular
+// stragglers", with irregular patterns solved online.
+
+// Pattern is a sorted straggler set (worker indices).
+type Pattern []int
+
+// key canonicalises a pattern for map storage.
+func (p Pattern) key() string {
+	buf := make([]byte, 0, len(p)*3)
+	for _, w := range p {
+		buf = append(buf, byte(w>>8), byte(w), ',')
+	}
+	return string(buf)
+}
+
+// normalize sorts and copies a pattern.
+func normalizePattern(stragglers []int) Pattern {
+	p := append(Pattern(nil), stragglers...)
+	sort.Ints(p)
+	return p
+}
+
+// DecodingMatrix stores precomputed decoding rows for a set of straggler
+// patterns. Rows satisfy aᵀB = 1ᵀ with a zero on every straggler.
+type DecodingMatrix struct {
+	// Patterns lists the straggler patterns, aligned with Rows.
+	Patterns []Pattern
+	// Rows holds the decoding coefficient vectors (length m each).
+	Rows [][]float64
+
+	index map[string]int
+}
+
+// Lookup returns the decoding row for a straggler pattern, if stored.
+func (dm *DecodingMatrix) Lookup(stragglers []int) ([]float64, bool) {
+	if dm == nil || dm.index == nil {
+		return nil, false
+	}
+	i, ok := dm.index[normalizePattern(stragglers).key()]
+	if !ok {
+		return nil, false
+	}
+	return append([]float64(nil), dm.Rows[i]...), true
+}
+
+// Size returns the number of stored patterns.
+func (dm *DecodingMatrix) Size() int {
+	if dm == nil {
+		return 0
+	}
+	return len(dm.Patterns)
+}
+
+// Matrix materialises A as a Size()×m matrix (Eq. 2: A·B = 1).
+func (dm *DecodingMatrix) Matrix(m int) *linalg.Matrix {
+	a := linalg.NewMatrix(dm.Size(), m)
+	for i, row := range dm.Rows {
+		a.SetRow(i, row)
+	}
+	return a
+}
+
+// PrecomputeAll builds the full decoding matrix over every straggler
+// pattern of size exactly S (the paper's A ∈ R^{S×m} with S = C(m,s)).
+// It refuses when C(m,s) exceeds maxPatterns (≤ 0 means 20000): for large
+// clusters store only the regular patterns (PrecomputePatterns) and solve
+// the rest online, exactly as §III.B prescribes.
+func (st *Strategy) PrecomputeAll(maxPatterns int) (*DecodingMatrix, error) {
+	if maxPatterns <= 0 {
+		maxPatterns = exhaustiveLimit
+	}
+	m, s := st.M(), st.S()
+	if !binomialAtMost(m, s, maxPatterns) {
+		return nil, fmt.Errorf("%w: C(%d,%d) exceeds pattern budget %d", ErrBadInput, m, s, maxPatterns)
+	}
+	var patterns []Pattern
+	cur := make([]int, s)
+	var walk func(start, depth int)
+	walk = func(start, depth int) {
+		if depth == s {
+			patterns = append(patterns, normalizePattern(cur))
+			return
+		}
+		for i := start; i < m; i++ {
+			cur[depth] = i
+			walk(i+1, depth+1)
+		}
+	}
+	walk(0, 0)
+	return st.PrecomputePatterns(patterns)
+}
+
+// PrecomputePatterns builds decoding rows for the given straggler patterns
+// (e.g. the "regular stragglers" the operator expects: the known-slow or
+// flaky machines).
+func (st *Strategy) PrecomputePatterns(patterns []Pattern) (*DecodingMatrix, error) {
+	dm := &DecodingMatrix{index: make(map[string]int, len(patterns))}
+	for _, p := range patterns {
+		norm := normalizePattern(p)
+		if len(norm) > st.S() {
+			return nil, fmt.Errorf("%w: pattern %v larger than budget s=%d", ErrBadInput, norm, st.S())
+		}
+		for _, w := range norm {
+			if w < 0 || w >= st.M() {
+				return nil, fmt.Errorf("%w: pattern %v has invalid worker %d", ErrBadInput, norm, w)
+			}
+		}
+		if _, dup := dm.index[norm.key()]; dup {
+			continue
+		}
+		row, err := st.Decode(AliveFromStragglers(st.M(), norm))
+		if err != nil {
+			return nil, fmt.Errorf("pattern %v: %w", norm, err)
+		}
+		dm.index[norm.key()] = len(dm.Rows)
+		dm.Patterns = append(dm.Patterns, norm)
+		dm.Rows = append(dm.Rows, row)
+	}
+	return dm, nil
+}
+
+// VerifyDecodingMatrix checks A·B = 1 row by row.
+func (st *Strategy) VerifyDecodingMatrix(dm *DecodingMatrix) error {
+	ones := linalg.OnesVec(st.K())
+	for i, row := range dm.Rows {
+		prod, err := st.b.VecMul(row)
+		if err != nil {
+			return err
+		}
+		if !linalg.VecEqual(prod, ones, decodeTol) {
+			return fmt.Errorf("%w: row %d (pattern %v) violates aᵀB = 1", ErrUndecodable, i, dm.Patterns[i])
+		}
+		for _, w := range dm.Patterns[i] {
+			if row[w] != 0 {
+				return fmt.Errorf("%w: row %d uses straggler %d", ErrUndecodable, i, w)
+			}
+		}
+	}
+	return nil
+}
+
+// RegularPatterns returns the straggler patterns of size ≤ s over the given
+// suspect workers — the paper's "regular stragglers" to pre-store (e.g. the
+// chronically slow machines). The empty pattern is included so the
+// no-straggler decode is also cached.
+func RegularPatterns(suspects []int, s int) []Pattern {
+	var out []Pattern
+	out = append(out, Pattern{})
+	n := len(suspects)
+	var walk func(start int, cur []int)
+	walk = func(start int, cur []int) {
+		if len(cur) > 0 {
+			out = append(out, normalizePattern(cur))
+		}
+		if len(cur) == s {
+			return
+		}
+		for i := start; i < n; i++ {
+			walk(i+1, append(cur, suspects[i]))
+		}
+	}
+	walk(0, nil)
+	return out
+}
+
+// SampleDecodes exercises random patterns end to end (used by gcplan's
+// verification and by fuzz-style tests).
+func (st *Strategy) SampleDecodes(trials int, rng *rand.Rand) error {
+	if rng == nil {
+		return fmt.Errorf("%w: nil rng", ErrBadInput)
+	}
+	for t := 0; t < trials; t++ {
+		n := rng.Intn(st.S() + 1)
+		stragglers := samplePattern(st.M(), n, rng)
+		if _, err := st.Decode(AliveFromStragglers(st.M(), stragglers)); err != nil {
+			return fmt.Errorf("trial %d pattern %v: %w", t, stragglers, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPrecomputeAllAndVerify(t *testing.T) {
+	st, err := NewHeterAware([]float64{1, 2, 3, 4, 4}, 7, 1, newRng(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := st.PrecomputeAll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C(5,1) = 5 patterns.
+	if dm.Size() != 5 {
+		t.Fatalf("size = %d, want 5", dm.Size())
+	}
+	if err := st.VerifyDecodingMatrix(dm); err != nil {
+		t.Fatal(err)
+	}
+	a := dm.Matrix(st.M())
+	if a.Rows() != 5 || a.Cols() != 5 {
+		t.Fatalf("A shape %dx%d", a.Rows(), a.Cols())
+	}
+}
+
+func TestPrecomputeAllS2(t *testing.T) {
+	st, err := NewHeterAware([]float64{1, 1, 2, 2, 3, 3}, 8, 2, newRng(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := st.PrecomputeAll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C(6,2) = 15 patterns.
+	if dm.Size() != 15 {
+		t.Fatalf("size = %d, want 15", dm.Size())
+	}
+	if err := st.VerifyDecodingMatrix(dm); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrecomputeAllBudget(t *testing.T) {
+	st, err := NewHeterAware([]float64{1, 2, 3, 4, 4}, 7, 1, newRng(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.PrecomputeAll(3); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("err = %v, want ErrBadInput (budget)", err)
+	}
+}
+
+func TestLookupHitAndMiss(t *testing.T) {
+	st, err := NewHeterAware([]float64{1, 2, 3, 4, 4}, 7, 1, newRng(44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := st.PrecomputePatterns([]Pattern{{2}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, ok := dm.Lookup([]int{2})
+	if !ok {
+		t.Fatal("expected hit")
+	}
+	if row[2] != 0 {
+		t.Fatalf("straggler coefficient %v", row[2])
+	}
+	// Mutating the returned row must not poison the store.
+	row[0] = 999
+	row2, _ := dm.Lookup([]int{2})
+	if row2[0] == 999 {
+		t.Fatal("Lookup aliases storage")
+	}
+	if _, ok := dm.Lookup([]int{4}); ok {
+		t.Fatal("expected miss")
+	}
+	// Lookup on nil matrix is a miss, not a panic.
+	var nilDM *DecodingMatrix
+	if _, ok := nilDM.Lookup([]int{0}); ok {
+		t.Fatal("nil lookup must miss")
+	}
+	if nilDM.Size() != 0 {
+		t.Fatal("nil size must be 0")
+	}
+}
+
+func TestPrecomputePatternsValidation(t *testing.T) {
+	st, err := NewHeterAware([]float64{1, 2, 3, 4, 4}, 7, 1, newRng(45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.PrecomputePatterns([]Pattern{{0, 1}}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("oversized pattern err = %v", err)
+	}
+	if _, err := st.PrecomputePatterns([]Pattern{{9}}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("invalid worker err = %v", err)
+	}
+	// Duplicates collapse.
+	dm, err := st.PrecomputePatterns([]Pattern{{1}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.Size() != 1 {
+		t.Fatalf("size = %d, want 1", dm.Size())
+	}
+}
+
+func TestRegularPatterns(t *testing.T) {
+	ps := RegularPatterns([]int{3, 5}, 2)
+	// {}, {3}, {5}, {3,5}
+	if len(ps) != 4 {
+		t.Fatalf("patterns = %v", ps)
+	}
+	ps1 := RegularPatterns([]int{3, 5, 7}, 1)
+	// {}, {3}, {5}, {7}
+	if len(ps1) != 4 {
+		t.Fatalf("patterns = %v", ps1)
+	}
+}
+
+func TestRegularPatternsDecodeOnGroupBased(t *testing.T) {
+	st, err := NewGroupBased([]float64{1, 2, 3, 4, 4}, 7, 1, newRng(46))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := st.PrecomputePatterns(RegularPatterns([]int{0, 1}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.VerifyDecodingMatrix(dm); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleDecodes(t *testing.T) {
+	st, err := NewGroupBased([]float64{1, 2, 3, 4, 4}, 7, 1, newRng(47))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SampleDecodes(50, newRng(48)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SampleDecodes(1, nil); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("nil rng err = %v", err)
+	}
+}

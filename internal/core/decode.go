@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hetgc/hetgc/internal/linalg"
+)
+
+// decodeNaive requires every worker; B = I so the coefficients are all ones.
+func (st *Strategy) decodeNaive(alive []bool) ([]float64, error) {
+	for i, a := range alive {
+		if !a {
+			return nil, fmt.Errorf("%w: naive scheme requires worker %d", ErrUndecodable, i)
+		}
+	}
+	return linalg.OnesVec(st.M()), nil
+}
+
+// decodeFractional picks, for every replication block, one alive replica.
+func (st *Strategy) decodeFractional(alive []bool) ([]float64, error) {
+	coeffs := make([]float64, st.M())
+	for j, replicas := range st.blocks {
+		chosen := -1
+		for _, w := range replicas {
+			if alive[w] {
+				chosen = w
+				break
+			}
+		}
+		if chosen < 0 {
+			return nil, fmt.Errorf("%w: all replicas of block %d are stragglers", ErrUndecodable, j)
+		}
+		coeffs[chosen] = 1
+	}
+	return coeffs, nil
+}
+
+// decodeNullSpace is the paper's O(s³) decoding path for Alg. 1 codes
+// (proof of Lemma 2): pick a straggler set S of size exactly s containing
+// every dead worker, find λ ≠ 0 with λ·C_S = 0, and return a = λC / Σλ
+// (zero on S by construction, and aᵀB = λ(CB)/Σλ = 1ᵀ).
+func (st *Strategy) decodeNullSpace(alive []bool) ([]float64, error) {
+	if st.c == nil {
+		return nil, fmt.Errorf("%w: no auxiliary matrix", ErrUndecodable)
+	}
+	s := st.S()
+	stragglers := make([]int, 0, s)
+	for i, a := range alive {
+		if !a {
+			stragglers = append(stragglers, i)
+		}
+	}
+	if len(stragglers) > s {
+		return nil, fmt.Errorf("%w: %d stragglers exceed budget s=%d", ErrUndecodable, len(stragglers), s)
+	}
+	// Pad S with alive workers (their coefficients become zero; discarding a
+	// surplus non-straggler is always safe).
+	for i := 0; len(stragglers) < s; i++ {
+		if alive[i] {
+			stragglers = append(stragglers, i)
+		}
+	}
+	return nullSpaceCoeffs(st.c, stragglers, st.M(), nil)
+}
+
+// nullSpaceCoeffs computes λC/Σλ for the straggler column set. When embed is
+// non-nil, position p of the local result is written to global index
+// embed[p] in a vector of length outLen; otherwise the result has length
+// outLen directly.
+func nullSpaceCoeffs(c *linalg.Matrix, stragglers []int, outLen int, embed []int) ([]float64, error) {
+	var lambda []float64
+	if len(stragglers) == 0 {
+		// s = 0: any non-zero λ works; take e_1.
+		lambda = make([]float64, c.Rows())
+		lambda[0] = 1
+	} else {
+		cs := c.SelectCols(stragglers)
+		var err error
+		lambda, err = linalg.NullSpaceVector(cs)
+		if err != nil {
+			return nil, fmt.Errorf("%w: null-space computation: %v", ErrUndecodable, err)
+		}
+	}
+	var sum float64
+	for _, v := range lambda {
+		sum += v
+	}
+	if math.Abs(sum) < 1e-12 {
+		// Property P2 fails numerically for this pattern.
+		return nil, fmt.Errorf("%w: Σλ ≈ 0 (property P2 violated numerically)", ErrUndecodable)
+	}
+	lc, err := c.VecMul(lambda)
+	if err != nil {
+		return nil, err
+	}
+	local := make([]float64, len(lc))
+	for j, v := range lc {
+		local[j] = v / sum
+	}
+	// Exact zeros on the straggler set (they are ~0 up to rounding already).
+	for _, sIdx := range stragglers {
+		local[sIdx] = 0
+	}
+	if embed == nil {
+		if len(local) != outLen {
+			return nil, fmt.Errorf("%w: coefficient length %d != %d", ErrBadInput, len(local), outLen)
+		}
+		return local, nil
+	}
+	out := make([]float64, outLen)
+	for p, v := range local {
+		out[embed[p]] = v
+	}
+	return out, nil
+}
+
+// decodeGroup is the group-based fast path: a fully-alive group decodes by
+// plain summation (indicator coefficients, Eq. 8); otherwise every group is
+// broken, which pins at least P stragglers inside group workers, so at most
+// s−P stragglers remain in Ē and the Alg. 1 sub-code on Ē decodes alone
+// (Theorem 6).
+func (st *Strategy) decodeGroup(alive []bool) ([]float64, error) {
+	for _, g := range st.groups {
+		all := true
+		for _, w := range g {
+			if !alive[w] {
+				all = false
+				break
+			}
+		}
+		if all {
+			coeffs := make([]float64, st.M())
+			for _, w := range g {
+				coeffs[w] = 1
+			}
+			return coeffs, nil
+		}
+	}
+	if st.subC == nil {
+		return nil, fmt.Errorf("%w: no alive group and no Ē sub-code", ErrUndecodable)
+	}
+	// Stragglers within Ē, padded to exactly subS with alive Ē workers.
+	stragglers := make([]int, 0, st.subS)
+	for pos, w := range st.ebar {
+		if !alive[w] {
+			stragglers = append(stragglers, pos)
+		}
+	}
+	if len(stragglers) > st.subS {
+		return nil, fmt.Errorf("%w: %d Ē stragglers exceed sub-budget %d", ErrUndecodable, len(stragglers), st.subS)
+	}
+	for pos := range st.ebar {
+		if len(stragglers) == st.subS {
+			break
+		}
+		if alive[st.ebar[pos]] && !containsInt(stragglers, pos) {
+			stragglers = append(stragglers, pos)
+		}
+	}
+	return nullSpaceCoeffs(st.subC, stragglers, st.M(), st.ebar)
+}
+
+// decodeGeneric solves B_Iᵀ·x = 1 directly over the alive rows — the
+// fallback for arbitrary alive sets (for example during simulation, when the
+// master probes decodability after every arrival).
+func (st *Strategy) decodeGeneric(alive []bool) ([]float64, error) {
+	idx := make([]int, 0, st.M())
+	for i, a := range alive {
+		if a {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return nil, fmt.Errorf("%w: no alive workers", ErrUndecodable)
+	}
+	bi := st.b.SelectRows(idx)
+	x, err := linalg.SolveConsistent(bi.T(), linalg.OnesVec(st.K()), 0)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUndecodable, err)
+	}
+	coeffs := make([]float64, st.M())
+	for p, w := range idx {
+		coeffs[w] = x[p]
+	}
+	return coeffs, nil
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/hetgc/hetgc/internal/partition"
+)
+
+// Property: every group returned by FindGroups is an exact cover (each
+// partition covered exactly once), for random heterogeneous allocations.
+func TestFindGroupsExactCoverProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 3 + r.Intn(8)
+		s := r.Intn(2)
+		if s+1 > m {
+			s = m - 1
+		}
+		k := m + r.Intn(2*m)
+		c := make([]float64, m)
+		for i := range c {
+			c[i] = 1 + float64(r.Intn(5))
+		}
+		alloc, err := partition.Proportional(c, k, s)
+		if err != nil {
+			return false
+		}
+		for _, g := range FindGroups(alloc, 0) {
+			counts := make([]int, alloc.K)
+			for _, w := range g {
+				for _, p := range alloc.Parts[w] {
+					counts[p]++
+				}
+			}
+			for _, n := range counts {
+				if n != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PruneGroups always yields pairwise-disjoint groups and never
+// invents workers.
+func TestPruneGroupsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		groups := make([][]int, n)
+		members := map[int]bool{}
+		for i := range groups {
+			size := 1 + r.Intn(4)
+			seen := map[int]bool{}
+			for len(seen) < size {
+				w := r.Intn(12)
+				seen[w] = true
+				members[w] = true
+			}
+			g := make([]int, 0, size)
+			for w := range seen {
+				g = append(g, w)
+			}
+			// PruneGroups expects sorted groups (FindGroups sorts).
+			for a := 1; a < len(g); a++ {
+				for b := a; b > 0 && g[b] < g[b-1]; b-- {
+					g[b], g[b-1] = g[b-1], g[b]
+				}
+			}
+			groups[i] = g
+		}
+		pruned := PruneGroups(groups)
+		for i := 0; i < len(pruned); i++ {
+			for j := i + 1; j < len(pruned); j++ {
+				if intersects(pruned[i], pruned[j]) {
+					return false
+				}
+			}
+			for _, w := range pruned[i] {
+				if !members[w] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: group-based construction on random shapes is robust to every
+// straggler pattern (exhaustive when feasible).
+func TestGroupBasedRandomShapesRobust(t *testing.T) {
+	shapes := 0
+	for seed := int64(0); shapes < 12 && seed < 60; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		m := 4 + r.Intn(6)
+		s := 1 + r.Intn(2)
+		if s+1 > m {
+			continue
+		}
+		k := m + r.Intn(m)
+		c := make([]float64, m)
+		for i := range c {
+			c[i] = 1 + float64(r.Intn(4))
+		}
+		st, err := NewGroupBased(c, k, s, r)
+		if err != nil {
+			continue
+		}
+		if err := VerifyRobustness(st, 0, nil); err != nil {
+			t.Fatalf("seed %d shape m=%d k=%d s=%d c=%v: %v", seed, m, k, s, c, err)
+		}
+		shapes++
+	}
+	if shapes < 8 {
+		t.Fatalf("only %d shapes exercised", shapes)
+	}
+}

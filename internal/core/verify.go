@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// exhaustiveLimit bounds the number of straggler patterns checked
+// exhaustively; beyond it VerifyRobustness samples patterns.
+const exhaustiveLimit = 20000
+
+// VerifyRobustness checks Condition 1 operationally: for straggler patterns
+// of size exactly s (the worst case — smaller patterns only add rows), the
+// strategy must produce valid decoding coefficients. All C(m,s) patterns are
+// checked when that count is at most exhaustiveLimit; otherwise `samples`
+// random patterns are drawn with rng (which must be non-nil in that case).
+// Returns nil when every checked pattern decodes.
+func VerifyRobustness(st *Strategy, samples int, rng *rand.Rand) error {
+	m, s := st.M(), st.S()
+	if s == 0 {
+		alive := AliveFromStragglers(m, nil)
+		if _, err := st.Decode(alive); err != nil {
+			return fmt.Errorf("verify s=0: %w", err)
+		}
+		return nil
+	}
+	if binomialAtMost(m, s, exhaustiveLimit) {
+		return verifyAllPatterns(st, m, s)
+	}
+	if rng == nil {
+		return fmt.Errorf("%w: sampling verification requires rng", ErrBadInput)
+	}
+	if samples <= 0 {
+		samples = 200
+	}
+	for trial := 0; trial < samples; trial++ {
+		stragglers := samplePattern(m, s, rng)
+		alive := AliveFromStragglers(m, stragglers)
+		if _, err := st.Decode(alive); err != nil {
+			return fmt.Errorf("pattern %v: %w", stragglers, err)
+		}
+	}
+	return nil
+}
+
+func verifyAllPatterns(st *Strategy, m, s int) error {
+	stragglers := make([]int, s)
+	var walk func(start, depth int) error
+	walk = func(start, depth int) error {
+		if depth == s {
+			alive := AliveFromStragglers(m, stragglers)
+			if _, err := st.Decode(alive); err != nil {
+				return fmt.Errorf("pattern %v: %w", append([]int(nil), stragglers...), err)
+			}
+			return nil
+		}
+		for i := start; i < m; i++ {
+			stragglers[depth] = i
+			if err := walk(i+1, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(0, 0)
+}
+
+func samplePattern(m, s int, rng *rand.Rand) []int {
+	perm := rng.Perm(m)
+	out := append([]int(nil), perm[:s]...)
+	return out
+}
+
+// binomialAtMost reports whether C(m,s) ≤ limit without overflow.
+func binomialAtMost(m, s int, limit int) bool {
+	if s < 0 || s > m {
+		return true
+	}
+	if s > m-s {
+		s = m - s
+	}
+	res := 1
+	for i := 1; i <= s; i++ {
+		res = res * (m - s + i) / i
+		if res > limit {
+			return false
+		}
+	}
+	return res <= limit
+}

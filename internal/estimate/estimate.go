@@ -1,0 +1,99 @@
+// Package estimate provides worker-throughput estimators. The paper's
+// heter-aware scheme assumes c_i "can be estimated by sampling" (§III.C);
+// this package implements that sampling estimator plus an EWMA variant, and
+// exposes controlled mis-estimation used by the ablation experiments that
+// motivate the group-based scheme (§V: "c_i in practical system is hard to
+// be measured exactly").
+package estimate
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrNoSamples is returned when an estimate is requested before any
+// observation.
+var ErrNoSamples = errors.New("estimate: no samples")
+
+// Sampler estimates throughput as the mean of observed rates
+// (partitions processed / elapsed seconds).
+type Sampler struct {
+	sum   float64
+	count int
+}
+
+// Observe records one measurement of work completed in elapsed seconds.
+func (s *Sampler) Observe(partitions int, elapsed float64) error {
+	if partitions <= 0 || elapsed <= 0 {
+		return fmt.Errorf("estimate: invalid observation partitions=%d elapsed=%v", partitions, elapsed)
+	}
+	s.sum += float64(partitions) / elapsed
+	s.count++
+	return nil
+}
+
+// Estimate returns the mean observed rate.
+func (s *Sampler) Estimate() (float64, error) {
+	if s.count == 0 {
+		return 0, ErrNoSamples
+	}
+	return s.sum / float64(s.count), nil
+}
+
+// Count returns the number of observations.
+func (s *Sampler) Count() int { return s.count }
+
+// EWMA estimates throughput with exponential smoothing, adapting to slow
+// drift in machine speed.
+type EWMA struct {
+	// Alpha is the smoothing factor in (0,1]; higher reacts faster.
+	Alpha float64
+
+	value float64
+	init  bool
+}
+
+// Observe records one rate measurement.
+func (e *EWMA) Observe(partitions int, elapsed float64) error {
+	if partitions <= 0 || elapsed <= 0 {
+		return fmt.Errorf("estimate: invalid observation partitions=%d elapsed=%v", partitions, elapsed)
+	}
+	if e.Alpha <= 0 || e.Alpha > 1 {
+		return fmt.Errorf("estimate: alpha %v outside (0,1]", e.Alpha)
+	}
+	rate := float64(partitions) / elapsed
+	if !e.init {
+		e.value = rate
+		e.init = true
+		return nil
+	}
+	e.value = e.Alpha*rate + (1-e.Alpha)*e.value
+	return nil
+}
+
+// Estimate returns the smoothed rate.
+func (e *EWMA) Estimate() (float64, error) {
+	if !e.init {
+		return 0, ErrNoSamples
+	}
+	return e.value, nil
+}
+
+// Misestimate perturbs true throughputs with multiplicative
+// Uniform(1−eps, 1+eps) noise — the controlled estimation error used by the
+// group-based ablation. eps=0 returns an exact copy.
+func Misestimate(truth []float64, eps float64, rng *rand.Rand) []float64 {
+	out := append([]float64(nil), truth...)
+	if eps <= 0 || rng == nil {
+		return out
+	}
+	for i := range out {
+		f := 1 + eps*(2*rng.Float64()-1)
+		if f < 0.05 {
+			f = 0.05
+		}
+		out[i] *= f
+	}
+	return out
+}

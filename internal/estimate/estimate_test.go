@@ -1,0 +1,109 @@
+package estimate
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSamplerMean(t *testing.T) {
+	var s Sampler
+	if err := s.Observe(4, 2); err != nil { // rate 2
+		t.Fatal(err)
+	}
+	if err := s.Observe(8, 2); err != nil { // rate 4
+		t.Fatal(err)
+	}
+	got, err := s.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("estimate = %v, want 3", got)
+	}
+	if s.Count() != 2 {
+		t.Fatalf("count = %d", s.Count())
+	}
+}
+
+func TestSamplerEmpty(t *testing.T) {
+	var s Sampler
+	if _, err := s.Estimate(); !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSamplerRejectsBadObservations(t *testing.T) {
+	var s Sampler
+	if err := s.Observe(0, 1); err == nil {
+		t.Fatal("want error for zero partitions")
+	}
+	if err := s.Observe(1, 0); err == nil {
+		t.Fatal("want error for zero elapsed")
+	}
+	if err := s.Observe(-1, -1); err == nil {
+		t.Fatal("want error for negatives")
+	}
+}
+
+func TestEWMAConverges(t *testing.T) {
+	e := EWMA{Alpha: 0.5}
+	for i := 0; i < 30; i++ {
+		if err := e.Observe(6, 2); err != nil { // steady rate 3
+			t.Fatal(err)
+		}
+	}
+	got, err := e.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-3) > 1e-9 {
+		t.Fatalf("estimate = %v, want 3", got)
+	}
+}
+
+func TestEWMATracksChange(t *testing.T) {
+	e := EWMA{Alpha: 0.9}
+	_ = e.Observe(2, 1) // rate 2
+	_ = e.Observe(10, 1)
+	got, _ := e.Estimate()
+	if got < 8 {
+		t.Fatalf("alpha=0.9 should track the new rate, got %v", got)
+	}
+}
+
+func TestEWMAErrors(t *testing.T) {
+	var e EWMA
+	if _, err := e.Estimate(); !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := e.Observe(1, 1); err == nil {
+		t.Fatal("alpha=0 should be rejected")
+	}
+	e2 := EWMA{Alpha: 2}
+	if err := e2.Observe(1, 1); err == nil {
+		t.Fatal("alpha>1 should be rejected")
+	}
+}
+
+func TestMisestimateBoundsAndExactCopy(t *testing.T) {
+	truth := []float64{1, 2, 4}
+	rng := rand.New(rand.NewSource(1))
+	noisy := Misestimate(truth, 0.25, rng)
+	for i := range noisy {
+		if noisy[i] < truth[i]*0.75-1e-9 || noisy[i] > truth[i]*1.25+1e-9 {
+			t.Fatalf("noisy[%d] = %v out of bounds", i, noisy[i])
+		}
+	}
+	exact := Misestimate(truth, 0, rng)
+	for i := range exact {
+		if exact[i] != truth[i] {
+			t.Fatal("eps=0 must copy exactly")
+		}
+	}
+	exact[0] = 99
+	if truth[0] == 99 {
+		t.Fatal("Misestimate must not alias input")
+	}
+}

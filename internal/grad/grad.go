@@ -1,0 +1,132 @@
+// Package grad provides the gradient-vector arithmetic used on both sides of
+// the coding pipeline: workers form linear combinations of partial gradients
+// (encoding, g̃_i = b_i·[g_1 … g_k]ᵀ) and the master recombines coded
+// gradients with decoding coefficients (g = Σ a_i·g̃_i).
+package grad
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimension is returned when gradient dimensions disagree.
+var ErrDimension = errors.New("grad: dimension mismatch")
+
+// Gradient is a flat gradient vector over model parameters.
+type Gradient []float64
+
+// Clone returns a deep copy.
+func (g Gradient) Clone() Gradient { return append(Gradient(nil), g...) }
+
+// AddScaled adds alpha·other into g in place.
+func (g Gradient) AddScaled(alpha float64, other Gradient) error {
+	if len(g) != len(other) {
+		return fmt.Errorf("%w: %d vs %d", ErrDimension, len(g), len(other))
+	}
+	for i, v := range other {
+		g[i] += alpha * v
+	}
+	return nil
+}
+
+// Scale multiplies g by alpha in place.
+func (g Gradient) Scale(alpha float64) {
+	for i := range g {
+		g[i] *= alpha
+	}
+}
+
+// Norm2 returns the Euclidean norm.
+func (g Gradient) Norm2() float64 {
+	var s float64
+	for _, v := range g {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference, or +Inf on
+// dimension mismatch.
+func (g Gradient) MaxAbsDiff(other Gradient) float64 {
+	if len(g) != len(other) {
+		return math.Inf(1)
+	}
+	var mx float64
+	for i := range g {
+		if d := math.Abs(g[i] - other[i]); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// Encode forms the coded gradient Σ_j coeff[j]·partials[j] for the partial
+// gradients a worker computed. coeff[j] pairs with partials[j]; callers pass
+// the non-zero entries of the worker's coding row in partition order.
+func Encode(coeff []float64, partials []Gradient) (Gradient, error) {
+	if len(coeff) != len(partials) {
+		return nil, fmt.Errorf("%w: %d coefficients for %d partials", ErrDimension, len(coeff), len(partials))
+	}
+	if len(partials) == 0 {
+		return nil, fmt.Errorf("%w: no partial gradients", ErrDimension)
+	}
+	dim := len(partials[0])
+	out := make(Gradient, dim)
+	for j, p := range partials {
+		if len(p) != dim {
+			return nil, fmt.Errorf("%w: partial %d has dim %d, want %d", ErrDimension, j, len(p), dim)
+		}
+		c := coeff[j]
+		if c == 0 {
+			continue
+		}
+		for i, v := range p {
+			out[i] += c * v
+		}
+	}
+	return out, nil
+}
+
+// Combine recombines coded gradients with decoding coefficients:
+// g = Σ_i coeffs[i]·coded[i], skipping nil entries whose coefficient is zero
+// (stragglers whose results never arrived).
+func Combine(coeffs []float64, coded []Gradient, dim int) (Gradient, error) {
+	if len(coeffs) != len(coded) {
+		return nil, fmt.Errorf("%w: %d coefficients for %d coded gradients", ErrDimension, len(coeffs), len(coded))
+	}
+	out := make(Gradient, dim)
+	for i, c := range coeffs {
+		if c == 0 {
+			continue
+		}
+		if coded[i] == nil {
+			return nil, fmt.Errorf("%w: non-zero coefficient %g for missing gradient %d", ErrDimension, c, i)
+		}
+		if len(coded[i]) != dim {
+			return nil, fmt.Errorf("%w: coded %d has dim %d, want %d", ErrDimension, i, len(coded[i]), dim)
+		}
+		for j, v := range coded[i] {
+			out[j] += c * v
+		}
+	}
+	return out, nil
+}
+
+// Sum returns the plain sum of gradients (the uncoded ground truth used in
+// tests and the naive scheme).
+func Sum(gs []Gradient) (Gradient, error) {
+	if len(gs) == 0 {
+		return nil, fmt.Errorf("%w: empty sum", ErrDimension)
+	}
+	out := make(Gradient, len(gs[0]))
+	for i, g := range gs {
+		if len(g) != len(out) {
+			return nil, fmt.Errorf("%w: gradient %d has dim %d, want %d", ErrDimension, i, len(g), len(out))
+		}
+		for j, v := range g {
+			out[j] += v
+		}
+	}
+	return out, nil
+}

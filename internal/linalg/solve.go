@@ -1,0 +1,351 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solve solves the square linear system A·x = b by Gaussian elimination with
+// partial pivoting. A and b are not modified. Returns ErrSingular when A is
+// numerically singular.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("%w: Solve needs square matrix, got %dx%d", ErrShape, a.rows, a.cols)
+	}
+	if a.rows != len(b) {
+		return nil, fmt.Errorf("%w: Solve rhs length %d != %d", ErrShape, len(b), a.rows)
+	}
+	n := a.rows
+	// Augmented working copy.
+	work := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+
+	tol := pivotTol(work)
+	for col := 0; col < n; col++ {
+		// Partial pivoting: pick the largest remaining entry in this column.
+		pivot := col
+		pmax := math.Abs(work.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if a := math.Abs(work.At(r, col)); a > pmax {
+				pmax, pivot = a, r
+			}
+		}
+		if pmax <= tol {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(work, pivot, col)
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		pv := work.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := work.At(r, col) / pv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				work.Set(r, c, work.At(r, c)-f*work.At(col, c))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		for j := i + 1; j < n; j++ {
+			sum -= work.At(i, j) * x[j]
+		}
+		x[i] = sum / work.At(i, i)
+	}
+	return x, nil
+}
+
+// Inverse returns the inverse of a square matrix, or ErrSingular.
+func Inverse(a *Matrix) (*Matrix, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("%w: Inverse needs square matrix, got %dx%d", ErrShape, a.rows, a.cols)
+	}
+	n := a.rows
+	inv := NewMatrix(n, n)
+	// Solve A·x = e_j for each basis vector. n is tiny in this codebase, so
+	// repeated elimination is acceptable and keeps the code simple.
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := Solve(a, e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}
+
+// Rank returns the numerical rank of a, using Gaussian elimination with full
+// column scanning and the given tolerance (DefaultTol scaled by magnitude
+// when tol <= 0).
+func Rank(a *Matrix, tol float64) int {
+	work := a.Clone()
+	if tol <= 0 {
+		tol = pivotTol(work)
+	}
+	rank := 0
+	row := 0
+	for col := 0; col < work.cols && row < work.rows; col++ {
+		pivot := -1
+		pmax := tol
+		for r := row; r < work.rows; r++ {
+			if v := math.Abs(work.At(r, col)); v > pmax {
+				pmax, pivot = v, r
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		swapRows(work, pivot, row)
+		pv := work.At(row, col)
+		for r := row + 1; r < work.rows; r++ {
+			f := work.At(r, col) / pv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < work.cols; c++ {
+				work.Set(r, c, work.At(r, c)-f*work.At(row, c))
+			}
+		}
+		row++
+		rank++
+	}
+	return rank
+}
+
+// SolveLeastSquaresMinNorm returns the minimum-norm x minimising ‖A·x − b‖₂.
+// For full-row-rank A (rows ≤ cols) this is the exact minimum-norm solution
+// x = Aᵀ(AAᵀ)⁻¹b. For overdetermined systems it returns the least-squares
+// solution via the normal equations. Returns ErrSingular when the relevant
+// Gram matrix is singular (rank-deficient A).
+func SolveLeastSquaresMinNorm(a *Matrix, b []float64) ([]float64, error) {
+	if a.rows != len(b) {
+		return nil, fmt.Errorf("%w: rhs length %d != rows %d", ErrShape, len(b), a.rows)
+	}
+	if a.rows <= a.cols {
+		// Underdetermined/square: x = Aᵀ·y with (A·Aᵀ)·y = b.
+		at := a.T()
+		gram, err := a.Mul(at)
+		if err != nil {
+			return nil, err
+		}
+		y, err := Solve(gram, b)
+		if err != nil {
+			return nil, err
+		}
+		return at.MulVec(y)
+	}
+	// Overdetermined: (AᵀA)·x = Aᵀ·b.
+	at := a.T()
+	gram, err := at.Mul(a)
+	if err != nil {
+		return nil, err
+	}
+	rhs, err := at.MulVec(b)
+	if err != nil {
+		return nil, err
+	}
+	return Solve(gram, rhs)
+}
+
+// SolveConsistent finds any x with A·x = b for a possibly non-square,
+// possibly rank-deficient A, by Gaussian elimination with partial pivoting
+// and free variables pinned to zero. Returns ErrInconsistent when no exact
+// solution exists (residual above tol).
+func SolveConsistent(a *Matrix, b []float64, tol float64) ([]float64, error) {
+	if a.rows != len(b) {
+		return nil, fmt.Errorf("%w: rhs length %d != rows %d", ErrShape, len(b), a.rows)
+	}
+	work := a.Clone()
+	rhs := make([]float64, len(b))
+	copy(rhs, b)
+	if tol <= 0 {
+		tol = pivotTol(work)
+		if bt := Norm2(b) * DefaultTol; bt > tol {
+			tol = bt
+		}
+	}
+	type pivotPos struct{ row, col int }
+	var pivots []pivotPos
+	row := 0
+	for col := 0; col < work.cols && row < work.rows; col++ {
+		pivot := -1
+		pmax := tol
+		for r := row; r < work.rows; r++ {
+			if v := math.Abs(work.At(r, col)); v > pmax {
+				pmax, pivot = v, r
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		swapRows(work, pivot, row)
+		rhs[pivot], rhs[row] = rhs[row], rhs[pivot]
+		pv := work.At(row, col)
+		for r := row + 1; r < work.rows; r++ {
+			f := work.At(r, col) / pv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < work.cols; c++ {
+				work.Set(r, c, work.At(r, c)-f*work.At(row, c))
+			}
+			rhs[r] -= f * rhs[row]
+		}
+		pivots = append(pivots, pivotPos{row, col})
+		row++
+	}
+	// Consistency: rows below the last pivot must have ~zero rhs.
+	resTol := residualTol(a, b, tol)
+	for r := row; r < work.rows; r++ {
+		if math.Abs(rhs[r]) > resTol {
+			return nil, ErrInconsistent
+		}
+	}
+	// Back substitution over pivot columns; free variables stay zero.
+	x := make([]float64, work.cols)
+	for i := len(pivots) - 1; i >= 0; i-- {
+		p := pivots[i]
+		sum := rhs[p.row]
+		for c := p.col + 1; c < work.cols; c++ {
+			sum -= work.At(p.row, c) * x[c]
+		}
+		x[p.col] = sum / work.At(p.row, p.col)
+	}
+	// Validate: elimination tolerances can mask inconsistency on badly
+	// conditioned systems, so check the actual residual.
+	ax, err := a.MulVec(x)
+	if err != nil {
+		return nil, err
+	}
+	for i := range ax {
+		if math.Abs(ax[i]-b[i]) > resTol {
+			return nil, ErrInconsistent
+		}
+	}
+	return x, nil
+}
+
+// NullSpaceVector returns a non-zero vector v with vᵀ·A = 0 for a matrix A
+// with more rows than columns (the typical decoding case: A is
+// (s+1)×s). Returns ErrSingular when the left null space is empty at the
+// working tolerance.
+func NullSpaceVector(a *Matrix) ([]float64, error) {
+	if a.rows <= a.cols {
+		return nil, fmt.Errorf("%w: NullSpaceVector needs rows > cols, got %dx%d", ErrShape, a.rows, a.cols)
+	}
+	// vᵀA = 0  ⇔  Aᵀv = 0. Row-reduce Aᵀ (cols×rows) and read a null basis
+	// vector from a free column.
+	at := a.T()
+	work := at.Clone()
+	tol := pivotTol(work)
+	n := work.cols // length of v
+	pivotColOfRow := make([]int, 0, work.rows)
+	isPivotCol := make([]bool, n)
+	row := 0
+	for col := 0; col < n && row < work.rows; col++ {
+		pivot := -1
+		pmax := tol
+		for r := row; r < work.rows; r++ {
+			if v := math.Abs(work.At(r, col)); v > pmax {
+				pmax, pivot = v, r
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		swapRows(work, pivot, row)
+		pv := work.At(row, col)
+		// Normalise pivot row and eliminate in both directions (Gauss-Jordan)
+		// so back substitution is trivial.
+		for c := col; c < n; c++ {
+			work.Set(row, c, work.At(row, c)/pv)
+		}
+		for r := 0; r < work.rows; r++ {
+			if r == row {
+				continue
+			}
+			f := work.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				work.Set(r, c, work.At(r, c)-f*work.At(row, c))
+			}
+		}
+		pivotColOfRow = append(pivotColOfRow, col)
+		isPivotCol[col] = true
+		row++
+	}
+	// Pick the first free column and build the corresponding null vector.
+	free := -1
+	for c := 0; c < n; c++ {
+		if !isPivotCol[c] {
+			free = c
+			break
+		}
+	}
+	if free < 0 {
+		return nil, ErrSingular
+	}
+	v := make([]float64, n)
+	v[free] = 1
+	for r, pc := range pivotColOfRow {
+		v[pc] = -work.At(r, free)
+	}
+	return v, nil
+}
+
+// InSpan reports whether target lies in the row span of basisRows, i.e.
+// whether some x satisfies xᵀ·basisRows = targetᵀ.
+func InSpan(basisRows *Matrix, target []float64, tol float64) bool {
+	_, err := SolveConsistent(basisRows.T(), target, tol)
+	return err == nil
+}
+
+func swapRows(m *Matrix, i, j int) {
+	if i == j {
+		return
+	}
+	ri := m.data[i*m.cols : (i+1)*m.cols]
+	rj := m.data[j*m.cols : (j+1)*m.cols]
+	for c := range ri {
+		ri[c], rj[c] = rj[c], ri[c]
+	}
+}
+
+func pivotTol(m *Matrix) float64 {
+	scale := m.MaxAbs()
+	if scale == 0 {
+		return DefaultTol
+	}
+	return DefaultTol * scale * float64(maxInt(m.rows, m.cols))
+}
+
+func residualTol(a *Matrix, b []float64, tol float64) float64 {
+	// Residual comparisons operate on combined magnitudes of A and b.
+	rt := tol * 1e3
+	if bt := (1 + Norm2(b)) * 1e-7; bt > rt {
+		rt = bt
+	}
+	return rt
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the table as RFC-4180 CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return fmt.Errorf("metrics: write csv header: %w", err)
+	}
+	for i, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("metrics: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes the series as two-column CSV with the series name in the
+// header, e.g. "time,heter-aware".
+func (s *Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	name := s.Name
+	if name == "" {
+		name = "y"
+	}
+	if err := cw.Write([]string{"x", name}); err != nil {
+		return fmt.Errorf("metrics: write csv header: %w", err)
+	}
+	for i, p := range s.Points {
+		rec := []string{
+			strconv.FormatFloat(p.X, 'g', -1, 64),
+			strconv.FormatFloat(p.Y, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("metrics: write csv point %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// MergeSeries aligns several series on their union of x values (step
+// interpolation) and writes a single wide CSV — the exact data behind a
+// multi-line figure such as Fig. 4.
+func MergeSeries(w io.Writer, series []Series) error {
+	cw := csv.NewWriter(w)
+	header := []string{"x"}
+	xsSet := map[float64]bool{}
+	for i := range series {
+		name := series[i].Name
+		if name == "" {
+			name = fmt.Sprintf("series%d", i)
+		}
+		header = append(header, name)
+		for _, p := range series[i].Points {
+			xsSet[p.X] = true
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("metrics: merge csv header: %w", err)
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sortFloats(xs)
+	for _, x := range xs {
+		rec := make([]string, 0, len(series)+1)
+		rec = append(rec, strconv.FormatFloat(x, 'g', -1, 64))
+		for i := range series {
+			rec = append(rec, strconv.FormatFloat(series[i].YAt(x), 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("metrics: merge csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func sortFloats(xs []float64) {
+	// Insertion sort: merged figures have at most a few hundred x values.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableWriteCSV(t *testing.T) {
+	tb := Table{Header: []string{"a", "b"}}
+	tb.AddRow("1", "two,with,commas")
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Fatalf("csv = %q", out)
+	}
+	if !strings.Contains(out, `"two,with,commas"`) {
+		t.Fatalf("commas not quoted: %q", out)
+	}
+}
+
+func TestSeriesWriteCSV(t *testing.T) {
+	s := Series{Name: "loss"}
+	s.Append(0, 1.5)
+	s.Append(2.5, 0.75)
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 || lines[0] != "x,loss" {
+		t.Fatalf("csv = %q", sb.String())
+	}
+	var unnamed Series
+	unnamed.Append(1, 2)
+	sb.Reset()
+	if err := unnamed.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "x,y\n") {
+		t.Fatalf("csv = %q", sb.String())
+	}
+}
+
+func TestMergeSeries(t *testing.T) {
+	a := Series{Name: "a"}
+	a.Append(0, 1)
+	a.Append(10, 0.5)
+	b := Series{Name: "b"}
+	b.Append(5, 2)
+	var sb strings.Builder
+	if err := MergeSeries(&sb, []Series{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "x,a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// Union of x values: 0, 5, 10 → 4 lines with header.
+	if len(lines) != 4 {
+		t.Fatalf("lines = %v", lines)
+	}
+	// At x=10, a stepped to 0.5 and b holds 2.
+	if lines[3] != "10,0.5,2" {
+		t.Fatalf("last line = %q", lines[3])
+	}
+}
+
+func TestAsciiPlot(t *testing.T) {
+	a := Series{Name: "heter"}
+	a.Append(0, 1.0)
+	a.Append(10, 0.2)
+	b := Series{Name: "naive"}
+	b.Append(0, 1.0)
+	b.Append(10, 0.6)
+	out := AsciiPlot([]Series{a, b}, 40, 8)
+	for _, want := range []string{"heter", "naive", "*", "+"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 8 {
+		t.Fatalf("plot too short:\n%s", out)
+	}
+}
+
+func TestAsciiPlotEmptyAndDegenerate(t *testing.T) {
+	if out := AsciiPlot(nil, 40, 8); !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot = %q", out)
+	}
+	flat := Series{Name: "flat"}
+	flat.Append(5, 3)
+	out := AsciiPlot([]Series{flat}, 2, 2) // clamped to minimums
+	if !strings.Contains(out, "flat") {
+		t.Fatalf("degenerate plot = %q", out)
+	}
+}

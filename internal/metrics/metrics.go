@@ -1,0 +1,190 @@
+// Package metrics collects and summarises the measurements reported in the
+// paper's evaluation: per-iteration times (Figs. 2–3), loss curves (Fig. 4)
+// and computing-resource usage (Fig. 5), plus fixed-width table rendering
+// for the benchmark harness output.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	Count              int
+	Mean, Std          float64
+	Min, Max           float64
+	P50, P90, P95, P99 float64
+	Total              float64
+}
+
+// Summarize computes summary statistics; an empty input yields a zero value.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	// Two-pass variance: numerically safer than E[x²]−E[x]² for large values.
+	var variance float64
+	for _, v := range sorted {
+		d := v - mean
+		variance += d * d
+	}
+	variance /= n
+	return Summary{
+		Count: len(sorted),
+		Mean:  mean,
+		Std:   math.Sqrt(variance),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		P50:   quantile(sorted, 0.50),
+		P90:   quantile(sorted, 0.90),
+		P95:   quantile(sorted, 0.95),
+		P99:   quantile(sorted, 0.99),
+		Total: sum,
+	}
+}
+
+// quantile returns the q-th quantile of a sorted sample by linear
+// interpolation.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// UsageTally accumulates the resource-usage metric of Fig. 5:
+// usage = Σ_i computing_time_i / Σ_i total_time_i.
+type UsageTally struct {
+	computing float64
+	total     float64
+}
+
+// Add records one worker-iteration: busy seconds out of wall seconds.
+func (u *UsageTally) Add(computing, total float64) {
+	if computing < 0 || total < 0 {
+		return
+	}
+	if computing > total {
+		computing = total
+	}
+	u.computing += computing
+	u.total += total
+}
+
+// Usage returns the aggregate utilisation in [0,1] (0 when nothing recorded).
+func (u *UsageTally) Usage() float64 {
+	if u.total == 0 {
+		return 0
+	}
+	return u.computing / u.total
+}
+
+// Point is one (x, y) sample of a series, e.g. (wall-clock seconds, loss).
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named curve, e.g. one scheme's loss trajectory in Fig. 4.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Append adds a point.
+func (s *Series) Append(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// YAt returns the y value of the last point with X ≤ x (step interpolation),
+// or the first point's Y when x precedes the series.
+func (s *Series) YAt(x float64) float64 {
+	if len(s.Points) == 0 {
+		return math.NaN()
+	}
+	y := s.Points[0].Y
+	for _, p := range s.Points {
+		if p.X > x {
+			break
+		}
+		y = p.Y
+	}
+	return y
+}
+
+// Table renders rows as a fixed-width text table, matching the harness's
+// "same rows the paper reports" requirement.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) {
+				for pad := len(c); pad < widths[i]; pad++ {
+					sb.WriteByte(' ')
+				}
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// F formats a float with 3 significant decimals for table cells; infinities
+// render as "fault".
+func F(v float64) string {
+	if math.IsInf(v, 1) {
+		return "fault"
+	}
+	return fmt.Sprintf("%.3f", v)
+}

@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Total != 15 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("P50 = %v", s.P50)
+	}
+	wantStd := math.Sqrt(2)
+	if math.Abs(s.Std-wantStd) > 1e-9 {
+		t.Fatalf("Std = %v, want %v", s.Std, wantStd)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.P50 != 7 || s.P99 != 7 || s.Std != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	s := Summarize([]float64{0, 10})
+	if s.P50 != 5 {
+		t.Fatalf("P50 = %v, want 5", s.P50)
+	}
+	if math.Abs(s.P90-9) > 1e-9 {
+		t.Fatalf("P90 = %v, want 9", s.P90)
+	}
+}
+
+func TestUsageTally(t *testing.T) {
+	var u UsageTally
+	u.Add(1, 2)
+	u.Add(3, 4)
+	if math.Abs(u.Usage()-4.0/6.0) > 1e-12 {
+		t.Fatalf("usage = %v", u.Usage())
+	}
+}
+
+func TestUsageTallyClampsAndIgnoresNegative(t *testing.T) {
+	var u UsageTally
+	u.Add(5, 2) // clamp computing to total
+	if u.Usage() != 1 {
+		t.Fatalf("usage = %v, want 1", u.Usage())
+	}
+	u.Add(-1, 3) // ignored
+	if u.Usage() != 1 {
+		t.Fatalf("usage after negative = %v", u.Usage())
+	}
+}
+
+func TestUsageTallyEmpty(t *testing.T) {
+	var u UsageTally
+	if u.Usage() != 0 {
+		t.Fatal("empty usage should be 0")
+	}
+}
+
+func TestSeriesYAt(t *testing.T) {
+	var s Series
+	s.Append(0, 10)
+	s.Append(5, 8)
+	s.Append(10, 4)
+	if s.YAt(-1) != 10 || s.YAt(0) != 10 || s.YAt(7) != 8 || s.YAt(100) != 4 {
+		t.Fatalf("YAt wrong: %v %v %v %v", s.YAt(-1), s.YAt(0), s.YAt(7), s.YAt(100))
+	}
+	var empty Series
+	if !math.IsNaN(empty.YAt(0)) {
+		t.Fatal("empty series should return NaN")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Header: []string{"scheme", "time"}}
+	tb.AddRow("naive", "12.5")
+	tb.AddRow("heter-aware", "3.1")
+	out := tb.String()
+	if !strings.Contains(out, "heter-aware") || !strings.Contains(out, "scheme") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(1.23456) != "1.235" {
+		t.Fatalf("F = %q", F(1.23456))
+	}
+	if F(math.Inf(1)) != "fault" {
+		t.Fatalf("F(inf) = %q", F(math.Inf(1)))
+	}
+}
+
+// Property: Min ≤ P50 ≤ P95 ≤ Max and Mean within [Min, Max].
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, v := range xs {
+			// Metric values are times/losses/usages: bound the magnitude so
+			// the property is not about float overflow.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.P50+1e-9 && s.P50 <= s.P95+1e-9 && s.P95 <= s.Max+1e-9 &&
+			s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// AsciiPlot renders one or more series as a fixed-size ASCII chart — the
+// terminal rendition of a paper figure (cmd/gcsim uses it for Fig. 4).
+// Each series is drawn with its own marker; x is sampled uniformly over the
+// shared horizon with step interpolation.
+func AsciiPlot(series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	var drawable []int
+	for i := range series {
+		if len(series[i].Points) > 0 {
+			drawable = append(drawable, i)
+		}
+	}
+	if len(drawable) == 0 {
+		return "(no data)\n"
+	}
+	// Shared ranges.
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, i := range drawable {
+		for _, p := range series[i].Points {
+			xMin, xMax = math.Min(xMin, p.X), math.Max(xMax, p.X)
+			yMin, yMax = math.Min(yMin, p.Y), math.Max(yMax, p.Y)
+		}
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	markers := []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for di, i := range drawable {
+		mark := markers[di%len(markers)]
+		for col := 0; col < width; col++ {
+			x := xMin + (xMax-xMin)*float64(col)/float64(width-1)
+			y := series[i].YAt(x)
+			if math.IsNaN(y) {
+				continue
+			}
+			row := int(math.Round((yMax - y) / (yMax - yMin) * float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = mark
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%10.4g ┤%s\n", yMax, string(grid[0]))
+	for r := 1; r < height-1; r++ {
+		fmt.Fprintf(&sb, "%10s ┤%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&sb, "%10.4g ┤%s\n", yMin, string(grid[height-1]))
+	fmt.Fprintf(&sb, "%10s  %s\n", "", strings.Repeat("─", width))
+	fmt.Fprintf(&sb, "%10s  %-10.4g%*s\n", "", xMin, width-10, fmt.Sprintf("%.4g", xMax))
+	for di, i := range drawable {
+		fmt.Fprintf(&sb, "  %c %s\n", markers[di%len(markers)], series[i].Name)
+	}
+	return sb.String()
+}

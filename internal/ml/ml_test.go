@@ -1,0 +1,408 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/hetgc/hetgc/internal/grad"
+)
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestGaussianMixtureShapeAndBalance(t *testing.T) {
+	d, err := GaussianMixture(300, 5, 3, 4, rng(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 300 || d.Dim() != 5 || d.Classes != 3 {
+		t.Fatalf("shape: n=%d dim=%d classes=%d", d.N(), d.Dim(), d.Classes)
+	}
+	counts := map[int]int{}
+	for _, y := range d.Labels {
+		counts[int(y)]++
+	}
+	for c := 0; c < 3; c++ {
+		if counts[c] != 100 {
+			t.Fatalf("class %d count = %d, want 100", c, counts[c])
+		}
+	}
+}
+
+func TestGaussianMixtureErrors(t *testing.T) {
+	if _, err := GaussianMixture(0, 5, 3, 1, rng(1)); !errors.Is(err, ErrBadData) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := GaussianMixture(10, 5, 1, 1, rng(1)); !errors.Is(err, ErrBadData) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := GaussianMixture(10, 5, 2, 1, nil); !errors.Is(err, ErrBadData) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLinearData(t *testing.T) {
+	d, err := LinearData(50, 4, 0.1, rng(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Classes != 0 {
+		t.Fatal("regression dataset must have Classes = 0")
+	}
+}
+
+func TestSplitSizesAndCoverage(t *testing.T) {
+	d, _ := GaussianMixture(103, 3, 2, 2, rng(3))
+	parts, err := d.Split(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, p := range parts {
+		want := 10
+		if i < 3 {
+			want = 11
+		}
+		if p.N() != want {
+			t.Fatalf("partition %d size %d, want %d", i, p.N(), want)
+		}
+		total += p.N()
+	}
+	if total != 103 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	d, _ := GaussianMixture(10, 3, 2, 2, rng(4))
+	if _, err := d.Split(0); !errors.Is(err, ErrBadData) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := d.Split(11); !errors.Is(err, ErrBadData) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateCatchesBadLabels(t *testing.T) {
+	d := &Dataset{Features: [][]float64{{1}}, Labels: []float64{5}, Classes: 3}
+	if err := d.Validate(); !errors.Is(err, ErrBadData) {
+		t.Fatalf("err = %v", err)
+	}
+	d2 := &Dataset{Features: [][]float64{{1}, {2, 3}}, Labels: []float64{0, 0}}
+	if err := d2.Validate(); !errors.Is(err, ErrBadData) {
+		t.Fatalf("ragged err = %v", err)
+	}
+}
+
+// numericGradient approximates the gradient by central differences.
+func numericGradient(t *testing.T, m Model, params []float64, d *Dataset) grad.Gradient {
+	t.Helper()
+	const h = 1e-5
+	g := make(grad.Gradient, len(params))
+	for i := range params {
+		orig := params[i]
+		params[i] = orig + h
+		lp, err := m.Loss(params, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params[i] = orig - h
+		lm, err := m.Loss(params, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params[i] = orig
+		g[i] = (lp - lm) / (2 * h)
+	}
+	return g
+}
+
+func checkGradient(t *testing.T, m Model, d *Dataset, seed int64) {
+	t.Helper()
+	r := rng(seed)
+	params := m.InitParams(r)
+	for i := range params {
+		params[i] += 0.3 * r.NormFloat64() // move off any special point
+	}
+	analytic, err := m.Gradient(params, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numeric := numericGradient(t, m, params, d)
+	scale := 1.0
+	for _, v := range numeric {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	if diff := analytic.MaxAbsDiff(numeric); diff > 1e-4*scale {
+		t.Fatalf("gradient check failed: max diff %v (scale %v)", diff, scale)
+	}
+}
+
+func TestLinearRegressionGradientCheck(t *testing.T) {
+	d, _ := LinearData(20, 4, 0.1, rng(5))
+	checkGradient(t, &LinearRegression{InputDim: 4}, d, 6)
+}
+
+func TestLogisticRegressionGradientCheck(t *testing.T) {
+	d, _ := GaussianMixture(20, 4, 2, 2, rng(7))
+	checkGradient(t, &LogisticRegression{InputDim: 4}, d, 8)
+}
+
+func TestSoftmaxGradientCheck(t *testing.T) {
+	d, _ := GaussianMixture(20, 4, 3, 2, rng(9))
+	checkGradient(t, &Softmax{InputDim: 4, NumClasses: 3}, d, 10)
+}
+
+func TestMLPGradientCheck(t *testing.T) {
+	d, _ := GaussianMixture(15, 4, 3, 2, rng(11))
+	checkGradient(t, &MLP{InputDim: 4, Hidden: 6, NumClasses: 3}, d, 12)
+}
+
+// The coding layer depends on exact gradient additivity across partitions.
+func TestGradientAdditivityAcrossPartitions(t *testing.T) {
+	models := []Model{
+		&LinearRegression{InputDim: 3},
+		&Softmax{InputDim: 3, NumClasses: 3},
+		&MLP{InputDim: 3, Hidden: 5, NumClasses: 3},
+	}
+	for _, m := range models {
+		var d *Dataset
+		if _, ok := m.(*LinearRegression); ok {
+			d, _ = LinearData(60, 3, 0.1, rng(13))
+		} else {
+			d, _ = GaussianMixture(60, 3, 3, 2, rng(13))
+		}
+		params := m.InitParams(rng(14))
+		full, err := m.Gradient(params, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts, _ := d.Split(7)
+		partials := make([]grad.Gradient, len(parts))
+		for i, p := range parts {
+			partials[i], err = m.Gradient(params, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		sum, err := grad.Sum(partials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := full.MaxAbsDiff(sum); diff > 1e-9 {
+			t.Fatalf("%T: partition gradients not additive, diff %v", m, diff)
+		}
+	}
+}
+
+func TestDimMismatchErrors(t *testing.T) {
+	d, _ := GaussianMixture(5, 3, 2, 2, rng(15))
+	lr := &LogisticRegression{InputDim: 3}
+	if _, err := lr.Loss([]float64{1}, d); !errors.Is(err, ErrBadData) {
+		t.Fatalf("err = %v", err)
+	}
+	sm := &Softmax{InputDim: 3, NumClasses: 5}
+	if _, err := sm.Gradient(sm.InitParams(nil), d); !errors.Is(err, ErrBadData) {
+		t.Fatalf("class mismatch err = %v", err)
+	}
+}
+
+func TestSGDReducesLossOnConvexProblem(t *testing.T) {
+	d, _ := LinearData(200, 5, 0.01, rng(16))
+	m := &LinearRegression{InputDim: 5}
+	params := m.InitParams(nil)
+	opt := &SGD{LR: 0.1}
+	start, _ := MeanLoss(m, params, d)
+	for it := 0; it < 200; it++ {
+		g, err := m.Gradient(params, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Scale(1 / float64(d.N()))
+		if err := opt.Step(params, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	end, _ := MeanLoss(m, params, d)
+	if end > start/10 {
+		t.Fatalf("SGD failed to converge: %v -> %v", start, end)
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	d, _ := LinearData(100, 3, 0.01, rng(17))
+	m := &LinearRegression{InputDim: 3}
+	params := m.InitParams(nil)
+	opt := &SGD{LR: 0.02, Momentum: 0.9}
+	for it := 0; it < 150; it++ {
+		g, _ := m.Gradient(params, d)
+		g.Scale(1 / float64(d.N()))
+		if err := opt.Step(params, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	end, _ := MeanLoss(m, params, d)
+	if end > 0.05 {
+		t.Fatalf("momentum SGD loss %v too high", end)
+	}
+}
+
+func TestAdamConvergesOnSoftmax(t *testing.T) {
+	d, _ := GaussianMixture(300, 4, 3, 3, rng(18))
+	m := &Softmax{InputDim: 4, NumClasses: 3}
+	params := m.InitParams(nil)
+	opt := &Adam{LR: 0.05}
+	for it := 0; it < 120; it++ {
+		g, _ := m.Gradient(params, d)
+		g.Scale(1 / float64(d.N()))
+		if err := opt.Step(params, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acc, err := m.Accuracy(params, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Fatalf("accuracy %v too low for separable mixture", acc)
+	}
+}
+
+func TestMLPTrainsOnMixture(t *testing.T) {
+	d, _ := GaussianMixture(200, 4, 3, 3, rng(19))
+	m := &MLP{InputDim: 4, Hidden: 12, NumClasses: 3}
+	params := m.InitParams(rng(20))
+	opt := &SGD{LR: 0.05, Momentum: 0.9}
+	start, _ := MeanLoss(m, params, d)
+	for it := 0; it < 150; it++ {
+		g, _ := m.Gradient(params, d)
+		g.Scale(1 / float64(d.N()))
+		if err := opt.Step(params, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	end, _ := MeanLoss(m, params, d)
+	if end > start*0.5 {
+		t.Fatalf("MLP did not train: %v -> %v", start, end)
+	}
+}
+
+func TestOptimizerValidation(t *testing.T) {
+	if err := (&SGD{LR: 0}).Step([]float64{1}, grad.Gradient{1}); err == nil {
+		t.Fatal("zero LR must error")
+	}
+	if err := (&SGD{LR: 1, Momentum: 1}).Step([]float64{1}, grad.Gradient{1}); err == nil {
+		t.Fatal("momentum 1 must error")
+	}
+	if err := (&SGD{LR: 1}).Step([]float64{1}, grad.Gradient{1, 2}); err == nil {
+		t.Fatal("dim mismatch must error")
+	}
+	if err := (&Adam{LR: 0}).Step([]float64{1}, grad.Gradient{1}); err == nil {
+		t.Fatal("Adam zero LR must error")
+	}
+	if err := (&Adam{LR: 1}).Step([]float64{1}, grad.Gradient{1, 2}); err == nil {
+		t.Fatal("Adam dim mismatch must error")
+	}
+}
+
+func TestMeanLossEmptyDataset(t *testing.T) {
+	m := &LinearRegression{InputDim: 1}
+	if _, err := MeanLoss(m, m.InitParams(nil), &Dataset{}); !errors.Is(err, ErrBadData) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSigmoidStable(t *testing.T) {
+	if s := sigmoid(1000); s != 1 {
+		t.Fatalf("sigmoid(1000) = %v", s)
+	}
+	if s := sigmoid(-1000); s != 0 {
+		t.Fatalf("sigmoid(-1000) = %v", s)
+	}
+	if math.Abs(sigmoid(0)-0.5) > 1e-12 {
+		t.Fatal("sigmoid(0) != 0.5")
+	}
+}
+
+func TestLogSumExpStable(t *testing.T) {
+	v := logSumExp([]float64{1000, 1000})
+	if math.IsInf(v, 0) || math.Abs(v-(1000+math.Log(2))) > 1e-9 {
+		t.Fatalf("logSumExp = %v", v)
+	}
+}
+
+// Property: softmax probabilities are a distribution.
+func TestSoftmaxDistributionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rng(seed)
+		n := 2 + r.Intn(6)
+		z := make([]float64, n)
+		for i := range z {
+			z[i] = r.NormFloat64() * 10
+		}
+		out := make([]float64, n)
+		softmaxInto(z, out)
+		var sum float64
+		for _, p := range out {
+			if p < 0 || p > 1 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: gradient additivity holds for random splits of random data.
+func TestAdditivityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rng(seed)
+		n := 20 + r.Intn(40)
+		d, err := GaussianMixture(n, 3, 2, 2, r)
+		if err != nil {
+			return false
+		}
+		m := &Softmax{InputDim: 3, NumClasses: 2}
+		params := m.InitParams(nil)
+		for i := range params {
+			params[i] = r.NormFloat64()
+		}
+		full, err := m.Gradient(params, d)
+		if err != nil {
+			return false
+		}
+		k := 2 + r.Intn(5)
+		parts, err := d.Split(k)
+		if err != nil {
+			return false
+		}
+		partials := make([]grad.Gradient, k)
+		for i, p := range parts {
+			partials[i], err = m.Gradient(params, p)
+			if err != nil {
+				return false
+			}
+		}
+		sum, err := grad.Sum(partials)
+		if err != nil {
+			return false
+		}
+		return full.MaxAbsDiff(sum) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/hetgc/hetgc/internal/grad"
+)
+
+// Model is a differentiable model over a flat parameter vector. Loss and
+// Gradient return *sums* over the dataset's samples, making partial results
+// over disjoint partitions exactly additive.
+type Model interface {
+	// Dim returns the number of parameters.
+	Dim() int
+	// InitParams returns a fresh parameter vector (small random values for
+	// networks, zeros for convex models).
+	InitParams(rng *rand.Rand) []float64
+	// Loss returns the summed loss over d at params.
+	Loss(params []float64, d *Dataset) (float64, error)
+	// Gradient returns the summed gradient over d at params.
+	Gradient(params []float64, d *Dataset) (grad.Gradient, error)
+}
+
+// MeanLoss evaluates Loss divided by the sample count — the value plotted in
+// learning curves.
+func MeanLoss(m Model, params []float64, d *Dataset) (float64, error) {
+	if d.N() == 0 {
+		return 0, fmt.Errorf("%w: empty dataset", ErrBadData)
+	}
+	l, err := m.Loss(params, d)
+	if err != nil {
+		return 0, err
+	}
+	return l / float64(d.N()), nil
+}
+
+// checkDims validates a (params, dataset) pair against a model.
+func checkDims(m Model, params []float64, d *Dataset, wantClasses int) error {
+	if len(params) != m.Dim() {
+		return fmt.Errorf("%w: %d params, model wants %d", ErrBadData, len(params), m.Dim())
+	}
+	if wantClasses > 0 && d.Classes != wantClasses {
+		return fmt.Errorf("%w: dataset has %d classes, model wants %d", ErrBadData, d.Classes, wantClasses)
+	}
+	return nil
+}
+
+// LinearRegression is least-squares regression: loss ½(w·x+b − y)² summed
+// over samples. Parameters: [w (dim), b].
+type LinearRegression struct {
+	// InputDim is the feature dimension.
+	InputDim int
+}
+
+// Dim implements Model.
+func (m *LinearRegression) Dim() int { return m.InputDim + 1 }
+
+// InitParams implements Model (zeros: the problem is convex).
+func (m *LinearRegression) InitParams(*rand.Rand) []float64 { return make([]float64, m.Dim()) }
+
+// Loss implements Model.
+func (m *LinearRegression) Loss(params []float64, d *Dataset) (float64, error) {
+	if err := checkDims(m, params, d, 0); err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i, x := range d.Features {
+		r := m.predict(params, x) - d.Labels[i]
+		sum += 0.5 * r * r
+	}
+	return sum, nil
+}
+
+// Gradient implements Model.
+func (m *LinearRegression) Gradient(params []float64, d *Dataset) (grad.Gradient, error) {
+	if err := checkDims(m, params, d, 0); err != nil {
+		return nil, err
+	}
+	g := make(grad.Gradient, m.Dim())
+	for i, x := range d.Features {
+		r := m.predict(params, x) - d.Labels[i]
+		for j, xj := range x {
+			g[j] += r * xj
+		}
+		g[m.InputDim] += r
+	}
+	return g, nil
+}
+
+func (m *LinearRegression) predict(params []float64, x []float64) float64 {
+	s := params[m.InputDim]
+	for j, xj := range x {
+		s += params[j] * xj
+	}
+	return s
+}
+
+// LogisticRegression is binary classification (labels 0/1 with Classes == 2)
+// with log loss. Parameters: [w (dim), b].
+type LogisticRegression struct {
+	// InputDim is the feature dimension.
+	InputDim int
+}
+
+// Dim implements Model.
+func (m *LogisticRegression) Dim() int { return m.InputDim + 1 }
+
+// InitParams implements Model.
+func (m *LogisticRegression) InitParams(*rand.Rand) []float64 { return make([]float64, m.Dim()) }
+
+// Loss implements Model.
+func (m *LogisticRegression) Loss(params []float64, d *Dataset) (float64, error) {
+	if err := checkDims(m, params, d, 2); err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i, x := range d.Features {
+		z := m.logit(params, x)
+		y := d.Labels[i]
+		// log(1+e^z) − y·z, computed stably.
+		sum += logSumExp0(z) - y*z
+	}
+	return sum, nil
+}
+
+// Gradient implements Model.
+func (m *LogisticRegression) Gradient(params []float64, d *Dataset) (grad.Gradient, error) {
+	if err := checkDims(m, params, d, 2); err != nil {
+		return nil, err
+	}
+	g := make(grad.Gradient, m.Dim())
+	for i, x := range d.Features {
+		p := sigmoid(m.logit(params, x))
+		r := p - d.Labels[i]
+		for j, xj := range x {
+			g[j] += r * xj
+		}
+		g[m.InputDim] += r
+	}
+	return g, nil
+}
+
+func (m *LogisticRegression) logit(params []float64, x []float64) float64 {
+	s := params[m.InputDim]
+	for j, xj := range x {
+		s += params[j] * xj
+	}
+	return s
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// logSumExp0 computes log(1 + e^z) stably.
+func logSumExp0(z float64) float64 {
+	if z > 0 {
+		return z + math.Log1p(math.Exp(-z))
+	}
+	return math.Log1p(math.Exp(z))
+}

@@ -1,0 +1,115 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hetgc/hetgc/internal/grad"
+)
+
+// Optimizer updates a parameter vector in place from a gradient.
+type Optimizer interface {
+	// Step applies one update. The gradient is not modified.
+	Step(params []float64, g grad.Gradient) error
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	// LR is the learning rate (> 0).
+	LR float64
+	// Momentum in [0,1); 0 disables it.
+	Momentum float64
+
+	velocity []float64
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// Step implements Optimizer.
+func (o *SGD) Step(params []float64, g grad.Gradient) error {
+	if err := o.validate(params, g); err != nil {
+		return err
+	}
+	if o.Momentum == 0 {
+		for i, gi := range g {
+			params[i] -= o.LR * gi
+		}
+		return nil
+	}
+	if o.velocity == nil {
+		o.velocity = make([]float64, len(params))
+	}
+	for i, gi := range g {
+		o.velocity[i] = o.Momentum*o.velocity[i] + gi
+		params[i] -= o.LR * o.velocity[i]
+	}
+	return nil
+}
+
+func (o *SGD) validate(params []float64, g grad.Gradient) error {
+	if o.LR <= 0 {
+		return fmt.Errorf("ml: SGD learning rate %v must be positive", o.LR)
+	}
+	if o.Momentum < 0 || o.Momentum >= 1 {
+		return fmt.Errorf("ml: SGD momentum %v outside [0,1)", o.Momentum)
+	}
+	if len(params) != len(g) {
+		return fmt.Errorf("%w: %d params vs %d gradient entries", ErrBadData, len(params), len(g))
+	}
+	if o.velocity != nil && len(o.velocity) != len(params) {
+		return fmt.Errorf("%w: optimizer state dim %d vs params %d", ErrBadData, len(o.velocity), len(params))
+	}
+	return nil
+}
+
+// Adam is the Adam optimizer (Kingma & Ba). Zero-value Beta/Eps fields take
+// the canonical defaults 0.9 / 0.999 / 1e-8.
+type Adam struct {
+	// LR is the learning rate (> 0).
+	LR float64
+	// Beta1, Beta2, Eps override the defaults when non-zero.
+	Beta1, Beta2, Eps float64
+
+	m, v []float64
+	t    int
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// Step implements Optimizer.
+func (o *Adam) Step(params []float64, g grad.Gradient) error {
+	if o.LR <= 0 {
+		return fmt.Errorf("ml: Adam learning rate %v must be positive", o.LR)
+	}
+	if len(params) != len(g) {
+		return fmt.Errorf("%w: %d params vs %d gradient entries", ErrBadData, len(params), len(g))
+	}
+	b1, b2, eps := o.Beta1, o.Beta2, o.Eps
+	if b1 == 0 {
+		b1 = 0.9
+	}
+	if b2 == 0 {
+		b2 = 0.999
+	}
+	if eps == 0 {
+		eps = 1e-8
+	}
+	if o.m == nil {
+		o.m = make([]float64, len(params))
+		o.v = make([]float64, len(params))
+	}
+	if len(o.m) != len(params) {
+		return fmt.Errorf("%w: optimizer state dim %d vs params %d", ErrBadData, len(o.m), len(params))
+	}
+	o.t++
+	c1 := 1 - math.Pow(b1, float64(o.t))
+	c2 := 1 - math.Pow(b2, float64(o.t))
+	for i, gi := range g {
+		o.m[i] = b1*o.m[i] + (1-b1)*gi
+		o.v[i] = b2*o.v[i] + (1-b2)*gi*gi
+		mHat := o.m[i] / c1
+		vHat := o.v[i] / c2
+		params[i] -= o.LR * mHat / (math.Sqrt(vHat) + eps)
+	}
+	return nil
+}

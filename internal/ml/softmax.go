@@ -1,0 +1,138 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/hetgc/hetgc/internal/grad"
+)
+
+// Softmax is multinomial logistic regression: C-way classification with
+// cross-entropy loss. Parameters are laid out as W (C×dim, row-major)
+// followed by biases b (C).
+type Softmax struct {
+	// InputDim is the feature dimension.
+	InputDim int
+	// NumClasses is C ≥ 2.
+	NumClasses int
+}
+
+// Dim implements Model.
+func (m *Softmax) Dim() int { return m.NumClasses * (m.InputDim + 1) }
+
+// InitParams implements Model (zeros: the problem is convex).
+func (m *Softmax) InitParams(*rand.Rand) []float64 { return make([]float64, m.Dim()) }
+
+// Loss implements Model.
+func (m *Softmax) Loss(params []float64, d *Dataset) (float64, error) {
+	if err := checkDims(m, params, d, m.NumClasses); err != nil {
+		return 0, err
+	}
+	var sum float64
+	logits := make([]float64, m.NumClasses)
+	for i, x := range d.Features {
+		m.logits(params, x, logits)
+		sum += logSumExp(logits) - logits[int(d.Labels[i])]
+	}
+	return sum, nil
+}
+
+// Gradient implements Model.
+func (m *Softmax) Gradient(params []float64, d *Dataset) (grad.Gradient, error) {
+	if err := checkDims(m, params, d, m.NumClasses); err != nil {
+		return nil, err
+	}
+	g := make(grad.Gradient, m.Dim())
+	logits := make([]float64, m.NumClasses)
+	probs := make([]float64, m.NumClasses)
+	biasOff := m.NumClasses * m.InputDim
+	for i, x := range d.Features {
+		m.logits(params, x, logits)
+		softmaxInto(logits, probs)
+		y := int(d.Labels[i])
+		for c := 0; c < m.NumClasses; c++ {
+			r := probs[c]
+			if c == y {
+				r -= 1
+			}
+			row := g[c*m.InputDim : (c+1)*m.InputDim]
+			for j, xj := range x {
+				row[j] += r * xj
+			}
+			g[biasOff+c] += r
+		}
+	}
+	return g, nil
+}
+
+func (m *Softmax) logits(params []float64, x []float64, out []float64) {
+	biasOff := m.NumClasses * m.InputDim
+	for c := 0; c < m.NumClasses; c++ {
+		s := params[biasOff+c]
+		row := params[c*m.InputDim : (c+1)*m.InputDim]
+		for j, xj := range x {
+			s += row[j] * xj
+		}
+		out[c] = s
+	}
+}
+
+// logSumExp computes log Σ e^{z_c} stably.
+func logSumExp(z []float64) float64 {
+	mx := z[0]
+	for _, v := range z[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	var sum float64
+	for _, v := range z {
+		sum += math.Exp(v - mx)
+	}
+	return mx + math.Log(sum)
+}
+
+// softmaxInto writes softmax(z) into out.
+func softmaxInto(z, out []float64) {
+	mx := z[0]
+	for _, v := range z[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	var sum float64
+	for i, v := range z {
+		e := math.Exp(v - mx)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+}
+
+// Accuracy returns the fraction of samples whose argmax prediction matches
+// the label.
+func (m *Softmax) Accuracy(params []float64, d *Dataset) (float64, error) {
+	if err := checkDims(m, params, d, m.NumClasses); err != nil {
+		return 0, err
+	}
+	if d.N() == 0 {
+		return 0, ErrBadData
+	}
+	logits := make([]float64, m.NumClasses)
+	correct := 0
+	for i, x := range d.Features {
+		m.logits(params, x, logits)
+		best := 0
+		for c, v := range logits {
+			if v > logits[best] {
+				best = c
+			}
+		}
+		if best == int(d.Labels[i]) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.N()), nil
+}

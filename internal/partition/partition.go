@@ -1,0 +1,288 @@
+// Package partition implements the heterogeneity-aware data-partition
+// allocation of the paper (§IV.A): given per-worker throughputs c_i and a
+// straggler budget s, each of the k partitions is replicated s+1 times and
+// the k(s+1) copies are distributed so that worker i receives
+// n_i ≈ k(s+1)·c_i/Σc_j copies, placed cyclically (Eq. 6) so that every
+// partition lands on exactly s+1 distinct workers.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+var (
+	// ErrBadInput is returned for non-positive k, negative s, or empty/invalid
+	// throughput vectors.
+	ErrBadInput = errors.New("partition: invalid input")
+	// ErrInfeasible is returned when no allocation with n_i ≤ k per worker and
+	// Σn_i = k(s+1) exists (i.e. s+1 > m).
+	ErrInfeasible = errors.New("partition: infeasible allocation")
+)
+
+// Allocation describes which data partitions each worker holds.
+type Allocation struct {
+	// K is the number of data partitions.
+	K int
+	// S is the straggler budget: each partition has S+1 copies.
+	S int
+	// Loads[i] is n_i, the number of partition copies at worker i.
+	Loads []int
+	// Parts[i] lists the partition indices held by worker i, in placement
+	// order.
+	Parts [][]int
+}
+
+// M returns the number of workers.
+func (a *Allocation) M() int { return len(a.Loads) }
+
+// Holders returns, for each partition, the sorted list of workers holding it.
+func (a *Allocation) Holders() [][]int {
+	holders := make([][]int, a.K)
+	for w, parts := range a.Parts {
+		for _, p := range parts {
+			holders[p] = append(holders[p], w)
+		}
+	}
+	for _, h := range holders {
+		sort.Ints(h)
+	}
+	return holders
+}
+
+// Validate checks the structural invariants: Σn_i = k(s+1), n_i ≤ k, every
+// partition on exactly s+1 distinct workers, no duplicate partition within a
+// worker.
+func (a *Allocation) Validate() error {
+	if a.K <= 0 {
+		return fmt.Errorf("%w: k=%d", ErrBadInput, a.K)
+	}
+	total := 0
+	for i, n := range a.Loads {
+		if n < 0 || n > a.K {
+			return fmt.Errorf("%w: worker %d load %d outside [0,%d]", ErrBadInput, i, n, a.K)
+		}
+		if n != len(a.Parts[i]) {
+			return fmt.Errorf("%w: worker %d load %d != |parts| %d", ErrBadInput, i, n, len(a.Parts[i]))
+		}
+		seen := make(map[int]bool, n)
+		for _, p := range a.Parts[i] {
+			if p < 0 || p >= a.K {
+				return fmt.Errorf("%w: worker %d holds invalid partition %d", ErrBadInput, i, p)
+			}
+			if seen[p] {
+				return fmt.Errorf("%w: worker %d holds partition %d twice", ErrBadInput, i, p)
+			}
+			seen[p] = true
+		}
+		total += n
+	}
+	if total != a.K*(a.S+1) {
+		return fmt.Errorf("%w: total copies %d != k(s+1)=%d", ErrBadInput, total, a.K*(a.S+1))
+	}
+	counts := make([]int, a.K)
+	for _, parts := range a.Parts {
+		for _, p := range parts {
+			counts[p]++
+		}
+	}
+	for p, c := range counts {
+		if c != a.S+1 {
+			return fmt.Errorf("%w: partition %d replicated %d times, want %d", ErrBadInput, p, c, a.S+1)
+		}
+	}
+	return nil
+}
+
+// ProportionalLoads computes the per-worker copy counts n_i from throughputs,
+// targeting n_i ∝ c_i with Σ n_i = k(s+1) and 0 ≤ n_i ≤ k (Eq. 5 with
+// largest-remainder rounding; the paper assumes the ideal values are
+// integral, we handle the general case). Workers with c_i = 0 receive no
+// load.
+func ProportionalLoads(throughputs []float64, k, s int) ([]int, error) {
+	m := len(throughputs)
+	if m == 0 || k <= 0 || s < 0 {
+		return nil, fmt.Errorf("%w: m=%d k=%d s=%d", ErrBadInput, m, k, s)
+	}
+	if s+1 > m {
+		return nil, fmt.Errorf("%w: need s+1=%d ≤ m=%d workers per partition", ErrInfeasible, s+1, m)
+	}
+	var sum float64
+	for i, c := range throughputs {
+		if c < 0 {
+			return nil, fmt.Errorf("%w: negative throughput c[%d]=%v", ErrBadInput, i, c)
+		}
+		sum += c
+	}
+	if sum == 0 {
+		return nil, fmt.Errorf("%w: all throughputs zero", ErrBadInput)
+	}
+	positive := 0
+	for _, c := range throughputs {
+		if c > 0 {
+			positive++
+		}
+	}
+	if s+1 > positive {
+		return nil, fmt.Errorf("%w: only %d workers with positive throughput, need ≥ s+1=%d", ErrInfeasible, positive, s+1)
+	}
+
+	total := k * (s + 1)
+	loads := make([]int, m)
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, 0, m)
+	assigned := 0
+	for i, c := range throughputs {
+		ideal := float64(total) * c / sum
+		fl := int(ideal)
+		if fl > k {
+			fl = k
+		}
+		loads[i] = fl
+		assigned += fl
+		frac := ideal - float64(fl)
+		if c > 0 {
+			rems = append(rems, rem{i, frac})
+		}
+	}
+	// Distribute the remaining copies by largest fractional part, respecting
+	// the n_i ≤ k cap. Ties break by index for determinism.
+	sort.SliceStable(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	deficit := total - assigned
+	for deficit > 0 {
+		progressed := false
+		for _, r := range rems {
+			if deficit == 0 {
+				break
+			}
+			if loads[r.idx] < k {
+				loads[r.idx]++
+				deficit--
+				progressed = true
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("%w: cannot place %d copies with n_i ≤ k", ErrInfeasible, deficit)
+		}
+	}
+	return loads, nil
+}
+
+// CyclicFromLoads places the copies cyclically (Eq. 6): worker i receives
+// partitions (n'_i+1 … n'_i+n_i) mod k where n'_i = Σ_{j<i} n_j. Because
+// Σn_i = k(s+1), each partition ends up on exactly s+1 workers provided
+// n_i ≤ k for all i.
+func CyclicFromLoads(loads []int, k, s int) (*Allocation, error) {
+	total := 0
+	for i, n := range loads {
+		if n < 0 || n > k {
+			return nil, fmt.Errorf("%w: load[%d]=%d outside [0,%d]", ErrBadInput, i, n, k)
+		}
+		total += n
+	}
+	if total != k*(s+1) {
+		return nil, fmt.Errorf("%w: Σloads=%d != k(s+1)=%d", ErrBadInput, total, k*(s+1))
+	}
+	alloc := &Allocation{
+		K:     k,
+		S:     s,
+		Loads: append([]int(nil), loads...),
+		Parts: make([][]int, len(loads)),
+	}
+	offset := 0
+	for i, n := range loads {
+		parts := make([]int, 0, n)
+		for j := 0; j < n; j++ {
+			parts = append(parts, (offset+j)%k)
+		}
+		alloc.Parts[i] = parts
+		offset += n
+	}
+	if err := alloc.Validate(); err != nil {
+		return nil, fmt.Errorf("cyclic placement produced invalid allocation: %w", err)
+	}
+	return alloc, nil
+}
+
+// Proportional builds the full heterogeneity-aware allocation: proportional
+// loads followed by cyclic placement.
+func Proportional(throughputs []float64, k, s int) (*Allocation, error) {
+	loads, err := ProportionalLoads(throughputs, k, s)
+	if err != nil {
+		return nil, err
+	}
+	return CyclicFromLoads(loads, k, s)
+}
+
+// Uniform builds the classic homogeneous cyclic-code allocation of Tandon et
+// al.: k = m partitions, worker i holds partitions {i, i+1, …, i+s} mod m.
+func Uniform(m, s int) (*Allocation, error) {
+	if m <= 0 || s < 0 || s >= m {
+		return nil, fmt.Errorf("%w: m=%d s=%d", ErrBadInput, m, s)
+	}
+	alloc := &Allocation{K: m, S: s, Loads: make([]int, m), Parts: make([][]int, m)}
+	for i := 0; i < m; i++ {
+		parts := make([]int, 0, s+1)
+		for j := 0; j <= s; j++ {
+			parts = append(parts, (i+j)%m)
+		}
+		alloc.Loads[i] = s + 1
+		alloc.Parts[i] = parts
+	}
+	if err := alloc.Validate(); err != nil {
+		return nil, err
+	}
+	return alloc, nil
+}
+
+// Naive builds the uncoded allocation: k = m partitions, one per worker,
+// tolerating zero stragglers.
+func Naive(m int) (*Allocation, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("%w: m=%d", ErrBadInput, m)
+	}
+	alloc := &Allocation{K: m, S: 0, Loads: make([]int, m), Parts: make([][]int, m)}
+	for i := 0; i < m; i++ {
+		alloc.Loads[i] = 1
+		alloc.Parts[i] = []int{i}
+	}
+	return alloc, nil
+}
+
+// FractionalRepetition builds Tandon et al.'s fractional-repetition
+// allocation: requires (s+1) | m; the workers are split into s+1 replication
+// groups, each group partitions the k=m data partitions disjointly,
+// m/(s+1) consecutive partitions per worker.
+func FractionalRepetition(m, s int) (*Allocation, error) {
+	if m <= 0 || s < 0 || s >= m {
+		return nil, fmt.Errorf("%w: m=%d s=%d", ErrBadInput, m, s)
+	}
+	if m%(s+1) != 0 {
+		return nil, fmt.Errorf("%w: fractional repetition needs (s+1)|m, got m=%d s=%d", ErrInfeasible, m, s)
+	}
+	alloc := &Allocation{K: m, S: s, Loads: make([]int, m), Parts: make([][]int, m)}
+	groups := s + 1
+	workersPerGroup := m / groups
+	partsPerWorker := m / workersPerGroup // = s+1 consecutive partitions each
+	w := 0
+	for g := 0; g < groups; g++ {
+		for j := 0; j < workersPerGroup; j++ {
+			parts := make([]int, 0, partsPerWorker)
+			start := j * partsPerWorker
+			for p := 0; p < partsPerWorker; p++ {
+				parts = append(parts, (start+p)%m)
+			}
+			alloc.Loads[w] = partsPerWorker
+			alloc.Parts[w] = parts
+			w++
+		}
+	}
+	if err := alloc.Validate(); err != nil {
+		return nil, err
+	}
+	return alloc, nil
+}

@@ -1,0 +1,180 @@
+package planner
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/hetgc/hetgc/internal/core"
+	"github.com/hetgc/hetgc/internal/sim"
+)
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{K: 7, S: 1}, nil, rng(1)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := New(Config{K: 0, S: 1}, []float64{1, 1}, rng(1)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := New(Config{K: 7, S: 1, Scheme: core.Cyclic}, []float64{1, 1, 1}, rng(1)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("cyclic scheme err = %v", err)
+	}
+}
+
+func TestInitialStrategyUsesGuesses(t *testing.T) {
+	p, err := New(Config{K: 7, S: 1}, []float64{1, 2, 3, 4, 4}, rng(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := p.Strategy().Allocation().Loads
+	want := []int{1, 2, 3, 4, 4}
+	for i := range want {
+		if loads[i] != want[i] {
+			t.Fatalf("loads = %v, want %v", loads, want)
+		}
+	}
+	if p.Rebuilds() != 0 {
+		t.Fatal("fresh planner must have zero rebuilds")
+	}
+}
+
+func TestEstimatesFallBackUntilMinObservations(t *testing.T) {
+	p, err := New(Config{K: 7, S: 1, MinObservations: 2}, []float64{1, 1, 1, 1, 10}, rng(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Observe(0, 4, 1); err != nil { // one observation: below min
+		t.Fatal(err)
+	}
+	if est := p.Estimates(); est[0] != 1 {
+		t.Fatalf("estimate should still be the guess, got %v", est[0])
+	}
+	if err := p.Observe(0, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if est := p.Estimates(); est[0] != 4 {
+		t.Fatalf("estimate should be 4 partitions/s, got %v", est[0])
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	p, err := New(Config{K: 7, S: 1}, []float64{1, 1, 1}, rng(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Observe(9, 1, 1); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := p.Observe(0, 0, 1); err == nil {
+		t.Fatal("zero partitions must error")
+	}
+}
+
+func TestImbalanceDetectsDrift(t *testing.T) {
+	// Built for uniform speeds, but worker 0 turns out 4x faster and worker
+	// 4 4x slower: imbalance must rise well above 1.
+	p, err := New(Config{K: 10, S: 1, MinObservations: 1}, []float64{1, 1, 1, 1, 1}, rng(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im := p.Imbalance(); im > 1.05 {
+		t.Fatalf("fresh plan should be balanced, imbalance = %v", im)
+	}
+	truth := []float64{4, 1, 1, 1, 0.25}
+	loads := p.Strategy().Allocation().Loads
+	for w, c := range truth {
+		if loads[w] == 0 {
+			continue
+		}
+		if err := p.Observe(w, loads[w], float64(loads[w])/c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if im := p.Imbalance(); im < 1.5 {
+		t.Fatalf("drifted plan should be imbalanced, got %v", im)
+	}
+}
+
+func TestMaybeReplanRebalances(t *testing.T) {
+	// Wrong initial guesses on a strongly heterogeneous truth.
+	truth := []float64{0.5, 1, 2, 4, 4.5}
+	p, err := New(Config{K: 12, S: 1, MinObservations: 1}, []float64{1, 1, 1, 1, 1}, rng(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	simulate := func() float64 {
+		res, err := sim.Run(sim.Config{
+			Strategy:    p.Strategy(),
+			Throughputs: scaleToDatasetRate(truth, p.Strategy().K()),
+			Iterations:  5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AvgIterTime()
+	}
+	before := simulate()
+
+	// Feed one epoch of observations at the true speeds.
+	loads := p.Strategy().Allocation().Loads
+	for w, c := range truth {
+		if loads[w] == 0 {
+			continue
+		}
+		if err := p.Observe(w, loads[w], float64(loads[w])/c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replanned, err := p.MaybeReplan(rng(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replanned {
+		t.Fatalf("expected replan (imbalance %v)", p.Imbalance())
+	}
+	after := simulate()
+	if after >= before {
+		t.Fatalf("replanning should speed iterations up: %v -> %v", before, after)
+	}
+	if p.Rebuilds() != 1 {
+		t.Fatalf("rebuilds = %d", p.Rebuilds())
+	}
+	// A second call without new drift must be a no-op.
+	replanned, err = p.MaybeReplan(rng(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replanned {
+		t.Fatal("no drift, no replan")
+	}
+}
+
+func TestReplanGroupBased(t *testing.T) {
+	p, err := New(Config{K: 7, S: 1, Scheme: core.GroupBased, MinObservations: 1},
+		[]float64{1, 2, 3, 4, 4}, rng(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Strategy().Kind() != core.GroupBased {
+		t.Fatalf("kind = %v", p.Strategy().Kind())
+	}
+	if err := p.Replan(rng(10)); err != nil {
+		t.Fatal(err)
+	}
+	if p.Rebuilds() != 1 {
+		t.Fatalf("rebuilds = %d", p.Rebuilds())
+	}
+}
+
+// scaleToDatasetRate converts partitions/second estimates into the
+// simulator's datasets/second unit for a given k.
+func scaleToDatasetRate(partitionRates []float64, k int) []float64 {
+	out := make([]float64, len(partitionRates))
+	for i, v := range partitionRates {
+		out[i] = v / float64(k)
+	}
+	return out
+}

@@ -1,0 +1,335 @@
+// Package runtime is the real distributed BSP training runtime: a Master
+// that assigns coded partitions, broadcasts parameters, collects coded
+// gradients and decodes the aggregated gradient at the earliest decodable
+// moment, and a Worker that computes, encodes and uploads partial gradients
+// — the production counterpart of the paper's PyTorch deployment, exercised
+// over TCP loopback in tests and examples.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/core"
+	"github.com/hetgc/hetgc/internal/grad"
+	"github.com/hetgc/hetgc/internal/metrics"
+	"github.com/hetgc/hetgc/internal/ml"
+	"github.com/hetgc/hetgc/internal/transport"
+)
+
+// Errors returned by the runtime.
+var (
+	// ErrBadConfig marks invalid runtime configurations.
+	ErrBadConfig = errors.New("runtime: invalid config")
+	// ErrIterationTimeout is returned when an iteration cannot be decoded
+	// before the deadline.
+	ErrIterationTimeout = errors.New("runtime: iteration deadline exceeded before decodable")
+)
+
+// MasterConfig configures a training master.
+type MasterConfig struct {
+	// Strategy is the gradient coding strategy (defines m, k, B).
+	Strategy *core.Strategy
+	// Model is the model being trained; only Dim() is used by the master for
+	// sanity checks, optimisation state lives in Optimizer.
+	Model ml.Model
+	// Optimizer applies decoded gradients to the parameter vector.
+	Optimizer ml.Optimizer
+	// InitialParams seeds the parameter vector (length Model.Dim()).
+	InitialParams []float64
+	// Iterations is the number of BSP iterations to run.
+	Iterations int
+	// SampleCount scales gradients to means (the total training-set size).
+	SampleCount int
+	// IterTimeout bounds each iteration's wait for a decodable set.
+	IterTimeout time.Duration
+	// LossEvery, when > 0 together with LossFn, records the loss every that
+	// many iterations.
+	LossEvery int
+	// LossFn evaluates the current parameters (e.g. mean training loss).
+	LossFn func(params []float64) (float64, error)
+}
+
+func (c *MasterConfig) validate() error {
+	if c.Strategy == nil || c.Model == nil || c.Optimizer == nil {
+		return fmt.Errorf("%w: strategy/model/optimizer required", ErrBadConfig)
+	}
+	if len(c.InitialParams) != c.Model.Dim() {
+		return fmt.Errorf("%w: %d initial params, model wants %d", ErrBadConfig, len(c.InitialParams), c.Model.Dim())
+	}
+	if c.Iterations <= 0 || c.SampleCount <= 0 {
+		return fmt.Errorf("%w: iterations=%d samples=%d", ErrBadConfig, c.Iterations, c.SampleCount)
+	}
+	if c.IterTimeout <= 0 {
+		return fmt.Errorf("%w: iteration timeout required", ErrBadConfig)
+	}
+	return nil
+}
+
+// MasterResult summarises a training run.
+type MasterResult struct {
+	// Params are the final parameters.
+	Params []float64
+	// IterTimes are the per-iteration wall times in seconds.
+	IterTimes []float64
+	// Summary summarises IterTimes.
+	Summary metrics.Summary
+	// Curve is (cumulative seconds, loss) when loss recording was enabled.
+	Curve metrics.Series
+	// StragglersSkipped counts worker results that arrived after decode and
+	// were discarded.
+	StragglersSkipped int
+	// PerWorker aggregates each worker's participation; feed the mean
+	// latencies and the strategy's loads to a planner.Planner to adapt the
+	// code to observed speeds.
+	PerWorker []WorkerStats
+}
+
+// WorkerStats summarises one worker's behaviour over a run.
+type WorkerStats struct {
+	// Uploads counts gradients accepted in time for their iteration.
+	Uploads int
+	// Used counts iterations where the worker's gradient carried a non-zero
+	// decoding coefficient.
+	Used int
+	// MeanLatency is the mean seconds from parameter broadcast to accepted
+	// upload (0 when the worker never arrived in time).
+	MeanLatency float64
+}
+
+type workerGradient struct {
+	workerID int
+	iter     int
+	vec      []float64
+	err      error
+}
+
+// Master runs the BSP loop over connected workers.
+type Master struct {
+	cfg      MasterConfig
+	listener *transport.Listener
+	conns    []*transport.Conn
+	inbox    chan workerGradient
+	readers  sync.WaitGroup
+}
+
+// NewMaster validates the config and prepares a master listening on addr
+// (use "127.0.0.1:0" for tests).
+func NewMaster(cfg MasterConfig, addr string) (*Master, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	l, err := transport.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Master{
+		cfg:      cfg,
+		listener: l,
+		inbox:    make(chan workerGradient, cfg.Strategy.M()),
+	}, nil
+}
+
+// Addr returns the address workers should dial.
+func (ma *Master) Addr() string { return ma.listener.Addr() }
+
+// WaitForWorkers accepts exactly m worker connections, assigns worker IDs in
+// connection order and sends each its partition assignment and coding row.
+func (ma *Master) WaitForWorkers(timeout time.Duration) error {
+	st := ma.cfg.Strategy
+	alloc := st.Allocation()
+	deadline := time.Now().Add(timeout)
+	for id := 0; id < st.M(); id++ {
+		conn, err := ma.listener.Accept()
+		if err != nil {
+			return err
+		}
+		if err := conn.SetDeadline(deadline); err != nil {
+			return err
+		}
+		hello, err := conn.Recv()
+		if err != nil {
+			return fmt.Errorf("worker %d hello: %w", id, err)
+		}
+		if hello.Type != transport.MsgHello {
+			return fmt.Errorf("%w: expected hello, got %v", ErrBadConfig, hello.Type)
+		}
+		row := st.Row(id)
+		parts := alloc.Parts[id]
+		coeffs := make([]float64, len(parts))
+		for i, p := range parts {
+			coeffs[i] = row[p]
+		}
+		assign := &transport.Assignment{
+			WorkerID:   id,
+			Partitions: append([]int(nil), parts...),
+			RowCoeffs:  coeffs,
+			K:          st.K(),
+			S:          st.S(),
+		}
+		if err := conn.Send(&transport.Envelope{Type: transport.MsgAssign, Assign: assign}); err != nil {
+			return err
+		}
+		if err := conn.SetDeadline(time.Time{}); err != nil {
+			return err
+		}
+		ma.conns = append(ma.conns, conn)
+	}
+	// One reader goroutine per worker feeds the shared inbox.
+	for id, conn := range ma.conns {
+		ma.readers.Add(1)
+		go func(id int, conn *transport.Conn) {
+			defer ma.readers.Done()
+			for {
+				env, err := conn.Recv()
+				if err != nil {
+					ma.inbox <- workerGradient{workerID: id, err: err}
+					return
+				}
+				if env.Type != transport.MsgGradient {
+					continue
+				}
+				ma.inbox <- workerGradient{workerID: id, iter: env.Iter, vec: env.Vector}
+			}
+		}(id, conn)
+	}
+	return nil
+}
+
+// Run executes the BSP training loop and shuts the workers down.
+func (ma *Master) Run() (*MasterResult, error) {
+	defer ma.Close()
+	st := ma.cfg.Strategy
+	m := st.M()
+	params := append([]float64(nil), ma.cfg.InitialParams...)
+	res := &MasterResult{Curve: metrics.Series{Name: st.Kind().String()}}
+	clock := 0.0
+	if ma.cfg.LossFn != nil {
+		if l, err := ma.cfg.LossFn(params); err == nil {
+			res.Curve.Append(0, l)
+		}
+	}
+	dead := make([]bool, m) // workers whose connection failed permanently
+	latSum := make([]float64, m)
+	uploads := make([]int, m)
+	used := make([]int, m)
+
+	for iter := 0; iter < ma.cfg.Iterations; iter++ {
+		start := time.Now()
+		for id, conn := range ma.conns {
+			if dead[id] {
+				continue
+			}
+			env := &transport.Envelope{Type: transport.MsgParams, Iter: iter, Vector: params}
+			if err := conn.Send(env); err != nil {
+				dead[id] = true
+			}
+		}
+		coded := make([]grad.Gradient, m)
+		alive := make([]bool, m)
+		var coeffs []float64
+		deadline := time.NewTimer(ma.cfg.IterTimeout)
+	collect:
+		for {
+			select {
+			case wg := <-ma.inbox:
+				if wg.err != nil {
+					dead[wg.workerID] = true
+					continue
+				}
+				if wg.iter != iter {
+					res.StragglersSkipped++
+					continue
+				}
+				if len(wg.vec) != ma.cfg.Model.Dim() || infOrNaN(wg.vec) {
+					// Malformed upload: treat the worker as a straggler for
+					// this iteration rather than poisoning the decode.
+					continue
+				}
+				coded[wg.workerID] = wg.vec
+				alive[wg.workerID] = true
+				latSum[wg.workerID] += time.Since(start).Seconds()
+				uploads[wg.workerID]++
+				cs, err := st.Decode(alive)
+				if err == nil {
+					coeffs = cs
+					break collect
+				}
+			case <-deadline.C:
+				deadline.Stop()
+				return nil, fmt.Errorf("%w: iteration %d", ErrIterationTimeout, iter)
+			}
+		}
+		deadline.Stop()
+
+		for w, c := range coeffs {
+			if c != 0 {
+				used[w]++
+			}
+		}
+		g, err := grad.Combine(coeffs, coded, ma.cfg.Model.Dim())
+		if err != nil {
+			return nil, fmt.Errorf("iteration %d combine: %w", iter, err)
+		}
+		g.Scale(1 / float64(ma.cfg.SampleCount))
+		if err := ma.cfg.Optimizer.Step(params, g); err != nil {
+			return nil, fmt.Errorf("iteration %d step: %w", iter, err)
+		}
+		elapsed := time.Since(start).Seconds()
+		clock += elapsed
+		res.IterTimes = append(res.IterTimes, elapsed)
+		if ma.cfg.LossFn != nil && ma.cfg.LossEvery > 0 && (iter+1)%ma.cfg.LossEvery == 0 {
+			if l, err := ma.cfg.LossFn(params); err == nil {
+				res.Curve.Append(clock, l)
+			}
+		}
+	}
+	res.Params = params
+	res.Summary = metrics.Summarize(res.IterTimes)
+	res.PerWorker = make([]WorkerStats, m)
+	for w := 0; w < m; w++ {
+		ws := WorkerStats{Uploads: uploads[w], Used: used[w]}
+		if uploads[w] > 0 {
+			ws.MeanLatency = latSum[w] / float64(uploads[w])
+		}
+		res.PerWorker[w] = ws
+	}
+	return res, nil
+}
+
+// Close shuts down workers and the listener. Safe to call multiple times.
+func (ma *Master) Close() {
+	for _, conn := range ma.conns {
+		_ = conn.Send(&transport.Envelope{Type: transport.MsgShutdown})
+	}
+	for _, conn := range ma.conns {
+		_ = conn.Close()
+	}
+	_ = ma.listener.Close()
+	// Readers exit on connection errors; drain so they can post.
+	done := make(chan struct{})
+	go func() {
+		ma.readers.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case <-ma.inbox:
+		case <-done:
+			return
+		}
+	}
+}
+
+// infOrNaN guards against poisoned vectors from the wire.
+func infOrNaN(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+	}
+	return false
+}

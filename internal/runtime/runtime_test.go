@@ -1,0 +1,242 @@
+package runtime
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/core"
+	"github.com/hetgc/hetgc/internal/ml"
+)
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// launch starts a master plus m loopback workers and returns the run result.
+func launch(t *testing.T, st *core.Strategy, delay func(worker, iter int) time.Duration, iters int) (*MasterResult, error) {
+	t.Helper()
+	data, err := ml.GaussianMixture(7*20, 4, 3, 3, rng(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := data.Split(st.K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := &ml.Softmax{InputDim: 4, NumClasses: 3}
+	cfg := MasterConfig{
+		Strategy:      st,
+		Model:         model,
+		Optimizer:     &ml.SGD{LR: 0.5},
+		InitialParams: model.InitParams(nil),
+		Iterations:    iters,
+		SampleCount:   data.N(),
+		IterTimeout:   5 * time.Second,
+		LossEvery:     1,
+		LossFn: func(p []float64) (float64, error) {
+			return ml.MeanLoss(model, p, data)
+		},
+	}
+	master, err := NewMaster(cfg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := master.Addr()
+
+	var wg sync.WaitGroup
+	for i := 0; i < st.M(); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wcfg := WorkerConfig{
+				Model: model,
+				PartitionData: func(p int) (*ml.Dataset, error) {
+					return parts[p], nil
+				},
+			}
+			if delay != nil {
+				wcfg.Delay = func(iter int) time.Duration { return delay(i, iter) }
+			}
+			w, err := DialWorker(addr, wcfg)
+			if err != nil {
+				return // master may have shut down after test failure
+			}
+			_ = w.Run()
+		}(i)
+	}
+	if err := master.WaitForWorkers(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, runErr := master.Run()
+	wg.Wait()
+	return res, runErr
+}
+
+func TestMasterConfigValidation(t *testing.T) {
+	st, _ := core.NewNaive(2)
+	model := &ml.Softmax{InputDim: 2, NumClasses: 2}
+	bad := []MasterConfig{
+		{},
+		{Strategy: st, Model: model, Optimizer: &ml.SGD{LR: 1}, InitialParams: []float64{1}, Iterations: 1, SampleCount: 1, IterTimeout: time.Second},
+		{Strategy: st, Model: model, Optimizer: &ml.SGD{LR: 1}, InitialParams: model.InitParams(nil), Iterations: 0, SampleCount: 1, IterTimeout: time.Second},
+		{Strategy: st, Model: model, Optimizer: &ml.SGD{LR: 1}, InitialParams: model.InitParams(nil), Iterations: 1, SampleCount: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewMaster(cfg, "127.0.0.1:0"); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("config %d: err = %v, want ErrBadConfig", i, err)
+		}
+	}
+}
+
+func TestDialWorkerValidation(t *testing.T) {
+	if _, err := DialWorker("127.0.0.1:1", WorkerConfig{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEndToEndHeterAwareTraining(t *testing.T) {
+	st, err := core.NewHeterAware([]float64{1, 2, 3, 4, 4}, 7, 1, rng(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := launch(t, st, nil, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IterTimes) != 15 {
+		t.Fatalf("got %d iterations", len(res.IterTimes))
+	}
+	first := res.Curve.Points[0].Y
+	last := res.Curve.Points[len(res.Curve.Points)-1].Y
+	if last >= first*0.8 {
+		t.Fatalf("loss did not drop: %v -> %v", first, last)
+	}
+}
+
+func TestEndToEndToleratesStraggler(t *testing.T) {
+	st, err := core.NewHeterAware([]float64{1, 2, 3, 4, 4}, 7, 1, rng(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worker 0 is 150ms late on iteration 0 while everyone runs ~30ms
+	// iterations: its stale upload lands mid-run and must be discarded, and
+	// the delay must not extend any iteration.
+	slow := func(worker, iter int) time.Duration {
+		if worker == 0 && iter == 0 {
+			return 150 * time.Millisecond
+		}
+		return 30 * time.Millisecond
+	}
+	start := time.Now()
+	res, err := launch(t, st, slow, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed > 2500*time.Millisecond {
+		t.Fatalf("straggler delay leaked into iteration times: total %v", elapsed)
+	}
+	if res.StragglersSkipped == 0 {
+		t.Fatal("late gradients should have been discarded at least once")
+	}
+}
+
+func TestEndToEndGroupBased(t *testing.T) {
+	st, err := core.NewGroupBased([]float64{1, 2, 3, 4, 4}, 7, 1, rng(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := launch(t, st, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Curve.Points[0].Y
+	last := res.Curve.Points[len(res.Curve.Points)-1].Y
+	if last >= first {
+		t.Fatalf("group-based loss did not drop: %v -> %v", first, last)
+	}
+}
+
+func TestEndToEndNaiveTimesOutOnDeadWorker(t *testing.T) {
+	st, err := core.NewNaive(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ml.GaussianMixture(30, 3, 2, 3, rng(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := data.Split(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := &ml.Softmax{InputDim: 3, NumClasses: 2}
+	cfg := MasterConfig{
+		Strategy:      st,
+		Model:         model,
+		Optimizer:     &ml.SGD{LR: 0.1},
+		InitialParams: model.InitParams(nil),
+		Iterations:    3,
+		SampleCount:   data.N(),
+		IterTimeout:   400 * time.Millisecond,
+	}
+	master, err := NewMaster(cfg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wcfg := WorkerConfig{
+				Model:         model,
+				PartitionData: func(p int) (*ml.Dataset, error) { return parts[p], nil },
+			}
+			if i == 2 {
+				// Effectively dead: delays far beyond the iteration timeout.
+				wcfg.Delay = func(int) time.Duration { return 2 * time.Second }
+			}
+			w, err := DialWorker(master.Addr(), wcfg)
+			if err != nil {
+				return
+			}
+			_ = w.Run()
+		}(i)
+	}
+	if err := master.WaitForWorkers(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	_, runErr := master.Run()
+	wg.Wait()
+	if !errors.Is(runErr, ErrIterationTimeout) {
+		t.Fatalf("err = %v, want ErrIterationTimeout", runErr)
+	}
+}
+
+func TestPerWorkerStats(t *testing.T) {
+	st, err := core.NewHeterAware([]float64{1, 2, 3, 4, 4}, 7, 1, rng(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := launch(t, st, nil, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerWorker) != 5 {
+		t.Fatalf("per-worker stats = %d entries", len(res.PerWorker))
+	}
+	totalUsed := 0
+	for w, ws := range res.PerWorker {
+		totalUsed += ws.Used
+		if ws.Uploads > 0 && ws.MeanLatency <= 0 {
+			t.Fatalf("worker %d uploaded %d times but latency %v", w, ws.Uploads, ws.MeanLatency)
+		}
+	}
+	// Every iteration uses at least m-s = 4 workers' coefficients... at
+	// minimum one worker per iteration.
+	if totalUsed < 6 {
+		t.Fatalf("used totals %d, want >= iterations", totalUsed)
+	}
+}

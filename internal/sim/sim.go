@@ -1,0 +1,241 @@
+// Package sim is the discrete-event cluster simulator standing in for the
+// paper's QingCloud testbed. It reproduces the quantities the evaluation
+// measures: per-iteration makespan under a coding strategy (Figs. 2–3),
+// computing-resource usage (Fig. 5), and — combined with real models from
+// internal/ml — training-loss-versus-wallclock curves (Fig. 4).
+//
+// Per iteration, worker i needs (n_i/k)/r_i seconds of compute (its share of
+// the dataset over its true processing rate), scaled by multiplicative
+// lognormal fluctuation, plus any injected straggler delay. The master observes
+// completions in time order and finishes the iteration at the first moment
+// the alive set can decode the aggregated gradient.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/hetgc/hetgc/internal/core"
+	"github.com/hetgc/hetgc/internal/metrics"
+	"github.com/hetgc/hetgc/internal/straggler"
+)
+
+// ErrBadConfig is returned for invalid simulation configurations.
+var ErrBadConfig = errors.New("sim: invalid config")
+
+// Config parameterises a timing simulation.
+type Config struct {
+	// Strategy is the coding strategy under test.
+	Strategy *core.Strategy
+	// Throughputs are the *true* per-worker speeds, expressed as full-dataset
+	// fractions per second (so that schemes with different partition counts k
+	// are directly comparable: one partition costs 1/k of a dataset). The
+	// paper's c_i (partitions/second) equals Throughputs[i]·k. These may
+	// differ from the estimates the strategy was built with — that gap is
+	// exactly the mis-estimation ablation.
+	Throughputs []float64
+	// Injector adds per-iteration straggler delays; nil means none.
+	Injector straggler.Injector
+	// Iterations is the number of training iterations to simulate.
+	Iterations int
+	// FluctuationStd is the sigma of mean-one lognormal noise multiplying
+	// compute time (runtime jitter); 0 disables it.
+	FluctuationStd float64
+	// CommOverhead is the fixed per-iteration communication time in seconds
+	// (broadcast + collection), added to every iteration.
+	CommOverhead float64
+	// Rng drives fluctuation noise. Required when FluctuationStd > 0.
+	Rng *rand.Rand
+}
+
+func (c *Config) validate() error {
+	if c.Strategy == nil {
+		return fmt.Errorf("%w: nil strategy", ErrBadConfig)
+	}
+	if len(c.Throughputs) != c.Strategy.M() {
+		return fmt.Errorf("%w: %d throughputs for %d workers", ErrBadConfig, len(c.Throughputs), c.Strategy.M())
+	}
+	for i, v := range c.Throughputs {
+		if v <= 0 {
+			return fmt.Errorf("%w: throughput[%d]=%v", ErrBadConfig, i, v)
+		}
+	}
+	if c.Iterations <= 0 {
+		return fmt.Errorf("%w: iterations=%d", ErrBadConfig, c.Iterations)
+	}
+	if c.FluctuationStd < 0 || c.CommOverhead < 0 {
+		return fmt.Errorf("%w: fluctuation=%v comm=%v", ErrBadConfig, c.FluctuationStd, c.CommOverhead)
+	}
+	if c.FluctuationStd > 0 && c.Rng == nil {
+		return fmt.Errorf("%w: fluctuation requires rng", ErrBadConfig)
+	}
+	return nil
+}
+
+// IterationOutcome describes one simulated iteration.
+type IterationOutcome struct {
+	// Time is the iteration wall time in seconds (decode point plus
+	// communication overhead); +Inf when the iteration cannot complete.
+	Time float64
+	// Alive is the worker set available at the decode point (nil on failure).
+	Alive []bool
+	// Coeffs are the decoding coefficients used (nil on failure).
+	Coeffs []float64
+	// ComputeTimes are each worker's pure compute durations (seconds).
+	ComputeTimes []float64
+	// Delays are the injected straggler delays.
+	Delays []float64
+}
+
+// Result aggregates a multi-iteration run.
+type Result struct {
+	// Iterations holds per-iteration outcomes.
+	Iterations []IterationOutcome
+	// Times lists per-iteration wall times (+Inf for failures).
+	Times []float64
+	// Failed counts undecodable iterations.
+	Failed int
+	// Usage is the Fig. 5 computing-resource usage over successful
+	// iterations: Σ busy time / Σ wall time across workers.
+	Usage float64
+	// Summary summarises the finite iteration times.
+	Summary metrics.Summary
+}
+
+// AvgIterTime returns the mean over finite iteration times, or +Inf when
+// every iteration failed.
+func (r *Result) AvgIterTime() float64 {
+	if r.Summary.Count == 0 {
+		return math.Inf(1)
+	}
+	return r.Summary.Mean
+}
+
+// Run simulates cfg.Iterations iterations and aggregates the outcomes.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	var usage metrics.UsageTally
+	var finite []float64
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		out := simulateIteration(&cfg, iter)
+		res.Iterations = append(res.Iterations, out)
+		res.Times = append(res.Times, out.Time)
+		if math.IsInf(out.Time, 1) {
+			res.Failed++
+			continue
+		}
+		finite = append(finite, out.Time)
+		accountUsage(&usage, &out, cfg.CommOverhead)
+	}
+	res.Usage = usage.Usage()
+	res.Summary = metrics.Summarize(finite)
+	return res, nil
+}
+
+// simulateIteration runs one BSP iteration: draw compute times and delays,
+// replay completions in time order, stop at the first decodable prefix.
+func simulateIteration(cfg *Config, iter int) IterationOutcome {
+	st := cfg.Strategy
+	m := st.M()
+	loads := st.Allocation().Loads
+
+	delays := make([]float64, m)
+	if cfg.Injector != nil {
+		delays = cfg.Injector.Delays(iter, m)
+	}
+	compute := make([]float64, m)
+	finish := make([]float64, m)
+	k := float64(st.K())
+	for i := 0; i < m; i++ {
+		// One partition is 1/k of the dataset; throughput is datasets/second.
+		t := (float64(loads[i]) / k) / cfg.Throughputs[i]
+		if cfg.FluctuationStd > 0 {
+			// Mean-one lognormal: exp(sigma·z − sigma²/2).
+			sigma := cfg.FluctuationStd
+			t *= math.Exp(sigma*cfg.Rng.NormFloat64() - sigma*sigma/2)
+		}
+		compute[i] = t
+		finish[i] = t + delays[i]
+	}
+
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return finish[order[a]] < finish[order[b]] })
+
+	out := IterationOutcome{
+		Time:         math.Inf(1),
+		ComputeTimes: compute,
+		Delays:       delays,
+	}
+	alive := make([]bool, m)
+	cover := newCoverage(st)
+	for _, w := range order {
+		if math.IsInf(finish[w], 1) {
+			break // crashed workers never arrive
+		}
+		alive[w] = true
+		cover.add(w)
+		if !cover.complete() {
+			continue
+		}
+		coeffs, err := st.Decode(alive)
+		if err != nil {
+			continue
+		}
+		out.Time = finish[w] + cfg.CommOverhead
+		out.Alive = append([]bool(nil), alive...)
+		out.Coeffs = coeffs
+		break
+	}
+	return out
+}
+
+// coverage tracks, incrementally, whether every partition has at least one
+// alive holder — a cheap necessary condition gating the decode attempts.
+type coverage struct {
+	parts     [][]int
+	count     []int
+	uncovered int
+}
+
+func newCoverage(st *core.Strategy) *coverage {
+	return &coverage{
+		parts:     st.Allocation().Parts,
+		count:     make([]int, st.K()),
+		uncovered: st.K(),
+	}
+}
+
+func (c *coverage) add(w int) {
+	for _, p := range c.parts[w] {
+		if c.count[p] == 0 {
+			c.uncovered--
+		}
+		c.count[p]++
+	}
+}
+
+func (c *coverage) complete() bool { return c.uncovered == 0 }
+
+// accountUsage implements Fig. 5 accounting: the iteration barrier is the
+// decode point T; a worker is busy for the part of its compute that fits in
+// [delay, T], and its wall time is T plus the communication overhead.
+func accountUsage(u *metrics.UsageTally, out *IterationOutcome, comm float64) {
+	barrier := out.Time - comm
+	for i, ct := range out.ComputeTimes {
+		window := barrier - out.Delays[i]
+		if window < 0 || math.IsInf(out.Delays[i], 1) {
+			window = 0
+		}
+		busy := math.Min(ct, window)
+		u.Add(busy, out.Time)
+	}
+}

@@ -1,0 +1,455 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/hetgc/hetgc/internal/core"
+	"github.com/hetgc/hetgc/internal/ml"
+	"github.com/hetgc/hetgc/internal/straggler"
+)
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// paperCluster is the Example 1 setup: c = [1 2 3 4 4], k = 7, s = 1.
+func paperStrategies(t *testing.T) (heter, group, cyclic, naive *core.Strategy, c []float64) {
+	t.Helper()
+	c = []float64{1, 2, 3, 4, 4}
+	var err error
+	heter, err = core.NewHeterAware(c, 7, 1, rng(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	group, err = core.NewGroupBased(c, 7, 1, rng(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyclic, err = core.NewCyclic(5, 1, rng(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err = core.NewNaive(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+func TestConfigValidation(t *testing.T) {
+	heter, _, _, _, c := paperStrategies(t)
+	bad := []Config{
+		{},
+		{Strategy: heter, Throughputs: []float64{1}, Iterations: 1},
+		{Strategy: heter, Throughputs: c, Iterations: 0},
+		{Strategy: heter, Throughputs: []float64{1, 2, 3, 4, -4}, Iterations: 1},
+		{Strategy: heter, Throughputs: c, Iterations: 1, FluctuationStd: 0.1}, // no rng
+		{Strategy: heter, Throughputs: c, Iterations: 1, CommOverhead: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("config %d: err = %v, want ErrBadConfig", i, err)
+		}
+	}
+}
+
+func TestDeterministicNoDelayTimes(t *testing.T) {
+	heter, _, _, naive, c := paperStrategies(t)
+	// Heter-aware, no noise, no delay: every worker finishes at
+	// (n_i/k)/r_i = (s+1)/Σr = 2/14 seconds exactly (Theorem 5 with
+	// rates r_i = c_i/k).
+	res, err := Run(Config{Strategy: heter, Throughputs: c, Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("failed = %d", res.Failed)
+	}
+	want := 2.0 / 14
+	for _, tm := range res.Times {
+		if math.Abs(tm-want) > 1e-9 {
+			t.Fatalf("iteration time %v, want %v (the optimal (s+1)/Σr)", tm, want)
+		}
+	}
+	// Naive: uniform k=m=5 split; slowest worker (r=1) needs (1/5)/1 = 0.2s.
+	resN, err := Run(Config{Strategy: naive, Throughputs: c, Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resN.AvgIterTime()-0.2) > 1e-9 {
+		t.Fatalf("naive time %v, want 0.2", resN.AvgIterTime())
+	}
+}
+
+func TestHeterAwareOptimalMakespan(t *testing.T) {
+	// Theorem 5: T(B) = (s+1)k/Σc_i, i.e. (s+1)/Σr in dataset-rate units.
+	c := []float64{2, 2, 4, 4, 8, 8}
+	st, err := core.NewHeterAware(c, 14, 1, rng(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Strategy: st, Throughputs: c, Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 / 28
+	if math.Abs(res.AvgIterTime()-want) > 1e-9 {
+		t.Fatalf("time %v, want %v", res.AvgIterTime(), want)
+	}
+}
+
+func TestStragglerToleranceUnderDelay(t *testing.T) {
+	heter, group, cyclic, _, c := paperStrategies(t)
+	for _, st := range []*core.Strategy{heter, group, cyclic} {
+		inj := straggler.Fixed{Count: 1, Delay: 100, Rng: rng(5)}
+		ths := c
+		if st.Kind() == core.Cyclic {
+			ths = c
+		}
+		res, err := Run(Config{Strategy: st, Throughputs: ths, Injector: inj, Iterations: 10})
+		if err != nil {
+			t.Fatalf("%v: %v", st.Kind(), err)
+		}
+		if res.Failed != 0 {
+			t.Fatalf("%v: %d failures", st.Kind(), res.Failed)
+		}
+		// Coded schemes must not absorb the 100s delay.
+		if res.Summary.Max > 50 {
+			t.Fatalf("%v: max iter time %v — delay not tolerated", st.Kind(), res.Summary.Max)
+		}
+	}
+}
+
+func TestNaiveAbsorbsDelayAndFailsOnCrash(t *testing.T) {
+	_, _, _, naive, c := paperStrategies(t)
+	inj := straggler.Fixed{Count: 1, Delay: 100, Rng: rng(6)}
+	res, err := Run(Config{Strategy: naive, Throughputs: c, Injector: inj, Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Min < 100 {
+		t.Fatalf("naive should absorb the full delay, min=%v", res.Summary.Min)
+	}
+	crash := straggler.Fixed{Count: 1, Delay: math.Inf(1), Rng: rng(7)}
+	res2, err := Run(Config{Strategy: naive, Throughputs: c, Injector: crash, Iterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Failed != 4 {
+		t.Fatalf("naive under crash: failed = %d, want 4", res2.Failed)
+	}
+}
+
+func TestCodedSurvivesCrash(t *testing.T) {
+	heter, group, _, _, c := paperStrategies(t)
+	for _, st := range []*core.Strategy{heter, group} {
+		crash := straggler.Fixed{Count: 1, Delay: math.Inf(1), Rng: rng(8)}
+		res, err := Run(Config{Strategy: st, Throughputs: c, Injector: crash, Iterations: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed != 0 {
+			t.Fatalf("%v: %d failures under crash", st.Kind(), res.Failed)
+		}
+	}
+}
+
+func TestCyclicSlowerThanHeterOnHeterogeneousCluster(t *testing.T) {
+	heter, _, cyclic, _, c := paperStrategies(t)
+	resH, err := Run(Config{Strategy: heter, Throughputs: c, Iterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resC, err := Run(Config{Strategy: cyclic, Throughputs: c, Iterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cyclic gives the slowest worker (c=1) a load of s+1=2 partitions of
+	// size k_c = m... its per-iteration time is 2/1 = 2s; decode waits for
+	// m−s = 4 workers, still bounded below by the 4th-slowest completion.
+	if resC.AvgIterTime() <= resH.AvgIterTime() {
+		t.Fatalf("cyclic (%v) should be slower than heter-aware (%v) on a heterogeneous cluster",
+			resC.AvgIterTime(), resH.AvgIterTime())
+	}
+}
+
+func TestUsageOrdering(t *testing.T) {
+	heter, _, cyclic, naive, c := paperStrategies(t)
+	run := func(st *core.Strategy) float64 {
+		res, err := Run(Config{
+			Strategy:       st,
+			Throughputs:    c,
+			Iterations:     30,
+			FluctuationStd: 0.05,
+			Rng:            rng(9),
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", st.Kind(), err)
+		}
+		return res.Usage
+	}
+	uh, uc, un := run(heter), run(cyclic), run(naive)
+	if !(uh > uc && uc > un) {
+		t.Fatalf("usage ordering heter(%v) > cyclic(%v) > naive(%v) violated", uh, uc, un)
+	}
+	if uh < 0.8 {
+		t.Fatalf("heter-aware usage %v unexpectedly low", uh)
+	}
+}
+
+func TestCommOverheadLowersUsage(t *testing.T) {
+	heter, _, _, _, c := paperStrategies(t)
+	noComm, err := Run(Config{Strategy: heter, Throughputs: c, Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withComm, err := Run(Config{Strategy: heter, Throughputs: c, Iterations: 5, CommOverhead: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withComm.Usage >= noComm.Usage {
+		t.Fatalf("comm overhead should reduce usage: %v vs %v", withComm.Usage, noComm.Usage)
+	}
+	if withComm.AvgIterTime() <= noComm.AvgIterTime() {
+		t.Fatal("comm overhead should lengthen iterations")
+	}
+}
+
+func TestGroupBasedDecodesFromSingleGroup(t *testing.T) {
+	_, group, _, _, c := paperStrategies(t)
+	// Delay everyone except group {W3,W4} (indices 2,3): the group alone
+	// recovers the gradient, so iteration time stays small.
+	inj := straggler.Pinned{Workers: []int{0, 1, 4}, Delay: 50}
+	res, err := Run(Config{Strategy: group, Throughputs: c, Injector: inj, Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 || res.Summary.Max > 10 {
+		t.Fatalf("group fast path failed: %+v", res.Summary)
+	}
+}
+
+func TestFluctuationChangesTimes(t *testing.T) {
+	heter, _, _, _, c := paperStrategies(t)
+	res, err := Run(Config{
+		Strategy: heter, Throughputs: c, Iterations: 50,
+		FluctuationStd: 0.2, Rng: rng(10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Std == 0 {
+		t.Fatal("fluctuation should produce varying iteration times")
+	}
+}
+
+func TestTrainConvergesAndMatchesUncodedGradient(t *testing.T) {
+	c := []float64{1, 2, 3, 4, 4}
+	st, err := core.NewHeterAware(c, 7, 1, rng(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ml.GaussianMixture(210, 4, 3, 3, rng(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := &ml.Softmax{InputDim: 4, NumClasses: 3}
+	res, err := Train(TrainConfig{
+		Sim: Config{
+			Strategy:    st,
+			Throughputs: c,
+			Injector:    straggler.Fixed{Count: 1, Delay: 10, Rng: rng(13)},
+			Iterations:  60,
+		},
+		Model:     model,
+		Data:      data,
+		Optimizer: &ml.SGD{LR: 0.5},
+		Name:      "heter-aware",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Curve.Points[0].Y
+	if res.FinalLoss >= first*0.7 {
+		t.Fatalf("training did not converge: %v -> %v", first, res.FinalLoss)
+	}
+	// Curve x-axis must be increasing.
+	for i := 1; i < len(res.Curve.Points); i++ {
+		if res.Curve.Points[i].X <= res.Curve.Points[i-1].X {
+			t.Fatal("curve times must increase")
+		}
+	}
+}
+
+func TestTrainDecodedGradientExactness(t *testing.T) {
+	// With one crashed worker, the decoded gradient must still equal the
+	// full-data gradient (the whole point of gradient coding).
+	c := []float64{1, 2, 3, 4, 4}
+	st, err := core.NewHeterAware(c, 7, 1, rng(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ml.GaussianMixture(140, 3, 2, 3, rng(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := &ml.Softmax{InputDim: 3, NumClasses: 2}
+	params := model.InitParams(nil)
+	parts, err := data.Split(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coeffs, err := st.Decode(core.AliveFromStragglers(5, []int{4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeGradient(st, coeffs, model, params, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := model.Gradient(params, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := got.MaxAbsDiff(want); diff > 1e-8 {
+		t.Fatalf("decoded gradient differs from truth by %v", diff)
+	}
+}
+
+func TestTrainFailsWhenUndecodable(t *testing.T) {
+	naive, err := core.NewNaive(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ml.GaussianMixture(40, 3, 2, 3, rng(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Train(TrainConfig{
+		Sim: Config{
+			Strategy:    naive,
+			Throughputs: []float64{1, 1, 1, 1},
+			Injector:    straggler.Fixed{Count: 1, Delay: math.Inf(1), Rng: rng(17)},
+			Iterations:  5,
+		},
+		Model:     &ml.Softmax{InputDim: 3, NumClasses: 2},
+		Data:      data,
+		Optimizer: &ml.SGD{LR: 0.1},
+	})
+	if err == nil {
+		t.Fatal("naive training under crash must fail")
+	}
+}
+
+func TestRunSSPConvergesAndBlocks(t *testing.T) {
+	ths := []float64{1, 1, 8, 8} // strong heterogeneity → staleness stalls
+	data, err := ml.GaussianMixture(160, 3, 2, 3, rng(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSSP(SSPConfig{
+		Throughputs:         ths,
+		Staleness:           2,
+		Model:               &ml.Softmax{InputDim: 3, NumClasses: 2},
+		Data:                data,
+		Optimizer:           &ml.SGD{LR: 0.3},
+		IterationsPerWorker: 30,
+		Name:                "ssp",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlockedEvents == 0 {
+		t.Fatal("heterogeneous SSP should hit the staleness gate")
+	}
+	first := res.Curve.Points[0].Y
+	if res.FinalLoss >= first {
+		t.Fatalf("SSP did not reduce loss: %v -> %v", first, res.FinalLoss)
+	}
+	if res.TotalTime <= 0 {
+		t.Fatal("total time must be positive")
+	}
+}
+
+func TestRunSSPValidation(t *testing.T) {
+	if _, err := RunSSP(SSPConfig{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v", err)
+	}
+	data, _ := ml.GaussianMixture(20, 2, 2, 2, rng(19))
+	cfg := SSPConfig{
+		Throughputs:         []float64{1, -1},
+		Model:               &ml.Softmax{InputDim: 2, NumClasses: 2},
+		Data:                data,
+		Optimizer:           &ml.SGD{LR: 0.1},
+		IterationsPerWorker: 1,
+	}
+	if _, err := RunSSP(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Theorem 5 worst case: over every straggler pattern of size s (simulated
+// as pinned crashes), heter-aware's iteration time never exceeds the
+// optimum (s+1)k/Σc — in dataset-rate units, (s+1)/Σr.
+func TestTheorem5WorstCase(t *testing.T) {
+	c := []float64{1, 2, 3, 4, 4}
+	st, err := core.NewHeterAware(c, 7, 1, rng(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range c {
+		sum += v
+	}
+	optimal := 2.0 / sum
+	for dead := 0; dead < len(c); dead++ {
+		res, err := Run(Config{
+			Strategy:    st,
+			Throughputs: c,
+			Injector:    straggler.Pinned{Workers: []int{dead}, Delay: math.Inf(1)},
+			Iterations:  2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed != 0 {
+			t.Fatalf("pattern {%d} failed", dead)
+		}
+		if res.AvgIterTime() > optimal+1e-9 {
+			t.Fatalf("pattern {%d}: time %v exceeds the Theorem 5 optimum %v",
+				dead, res.AvgIterTime(), optimal)
+		}
+	}
+}
+
+// A worker that disconnects entirely mid-run must not break a coded master:
+// the simulator models this as a permanent crash from some iteration on.
+func TestPermanentCrashMidRun(t *testing.T) {
+	c := []float64{1, 2, 3, 4, 4}
+	st, err := core.NewGroupBased(c, 7, 1, rng(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := crashAfter{worker: 3, fromIter: 5}
+	res, err := Run(Config{Strategy: st, Throughputs: c, Injector: inj, Iterations: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("%d failures after permanent crash", res.Failed)
+	}
+}
+
+// crashAfter permanently kills one worker from a given iteration onward.
+type crashAfter struct {
+	worker, fromIter int
+}
+
+func (c crashAfter) Delays(iter, m int) []float64 {
+	out := make([]float64, m)
+	if iter >= c.fromIter && c.worker < m {
+		out[c.worker] = math.Inf(1)
+	}
+	return out
+}

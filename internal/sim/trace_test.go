@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/hetgc/hetgc/internal/core"
+	"github.com/hetgc/hetgc/internal/straggler"
+)
+
+func TestWriteTimelineCSV(t *testing.T) {
+	c := []float64{1, 2, 3, 4, 4}
+	st, err := core.NewHeterAware(c, 7, 1, rng(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Strategy:    st,
+		Throughputs: c,
+		Injector:    straggler.Pinned{Workers: []int{1}, Delay: 3},
+		Iterations:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteTimelineCSV(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	// header + 2 iterations × 5 workers
+	if len(lines) != 1+2*5 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "iteration,worker,compute_s,delay_s,finish_s,used,iter_time_s") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// Worker 1 carries the 3s pinned delay.
+	if !strings.Contains(lines[2], ",3,") {
+		t.Fatalf("delay row = %q", lines[2])
+	}
+	// At least one worker per iteration must be marked used.
+	usedSeen := false
+	for _, l := range lines[1:] {
+		if strings.Split(l, ",")[5] == "1" {
+			usedSeen = true
+		}
+	}
+	if !usedSeen {
+		t.Fatal("no worker marked used")
+	}
+}
+
+func TestWriteTimelineCSVWithFailure(t *testing.T) {
+	naive, err := core.NewNaive(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Strategy:    naive,
+		Throughputs: []float64{1, 1, 1},
+		Injector:    straggler.Pinned{Workers: []int{0}, Delay: math.Inf(1)},
+		Iterations:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteTimelineCSV(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "inf") {
+		t.Fatalf("expected inf markers:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hetgc/hetgc/internal/core"
+	"github.com/hetgc/hetgc/internal/grad"
+	"github.com/hetgc/hetgc/internal/metrics"
+	"github.com/hetgc/hetgc/internal/ml"
+)
+
+// TrainConfig couples a timing simulation with a real optimisation run: the
+// simulator provides wall-clock per iteration, the model provides true
+// gradients, and the coding layer encodes/decodes them exactly as the real
+// runtime would. This regenerates Fig. 4's loss-versus-time curves.
+type TrainConfig struct {
+	// Sim is the timing side: strategy, true throughputs, stragglers, noise.
+	Sim Config
+	// Model is the model being trained.
+	Model ml.Model
+	// Data is the full training dataset; it is split into Strategy.K()
+	// partitions.
+	Data *ml.Dataset
+	// Optimizer applies decoded gradients.
+	Optimizer ml.Optimizer
+	// RecordEvery records the loss every that many iterations (default 1).
+	RecordEvery int
+	// Name labels the resulting curve.
+	Name string
+}
+
+// TrainResult is the outcome of a coded training simulation.
+type TrainResult struct {
+	// Curve is (simulated seconds, mean training loss).
+	Curve metrics.Series
+	// Params are the final parameters.
+	Params []float64
+	// FinalLoss is the final mean training loss.
+	FinalLoss float64
+	// Timing aggregates the underlying timing simulation.
+	Timing Result
+}
+
+// Train runs the coded BSP training co-simulation.
+func Train(cfg TrainConfig) (*TrainResult, error) {
+	if err := cfg.Sim.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Model == nil || cfg.Data == nil || cfg.Optimizer == nil {
+		return nil, fmt.Errorf("%w: model/data/optimizer required", ErrBadConfig)
+	}
+	if cfg.RecordEvery <= 0 {
+		cfg.RecordEvery = 1
+	}
+	st := cfg.Sim.Strategy
+	parts, err := cfg.Data.Split(st.K())
+	if err != nil {
+		return nil, err
+	}
+	params := cfg.Model.InitParams(cfg.Sim.Rng)
+	res := &TrainResult{Curve: metrics.Series{Name: cfg.Name}}
+	var usage metrics.UsageTally
+	var finite []float64
+	clock := 0.0
+	n := float64(cfg.Data.N())
+
+	if l, err := ml.MeanLoss(cfg.Model, params, cfg.Data); err == nil {
+		res.Curve.Append(0, l)
+	}
+
+	for iter := 0; iter < cfg.Sim.Iterations; iter++ {
+		out := simulateIteration(&cfg.Sim, iter)
+		res.Timing.Iterations = append(res.Timing.Iterations, out)
+		res.Timing.Times = append(res.Timing.Times, out.Time)
+		if math.IsInf(out.Time, 1) {
+			res.Timing.Failed++
+			return nil, fmt.Errorf("%w: iteration %d undecodable (scheme %v cannot proceed)", ErrBadConfig, iter, st.Kind())
+		}
+		finite = append(finite, out.Time)
+		accountUsage(&usage, &out, cfg.Sim.CommOverhead)
+		clock += out.Time
+
+		g, err := decodeGradient(st, out.Coeffs, cfg.Model, params, parts)
+		if err != nil {
+			return nil, err
+		}
+		g.Scale(1 / n)
+		if err := cfg.Optimizer.Step(params, g); err != nil {
+			return nil, err
+		}
+		if (iter+1)%cfg.RecordEvery == 0 {
+			l, err := ml.MeanLoss(cfg.Model, params, cfg.Data)
+			if err != nil {
+				return nil, err
+			}
+			res.Curve.Append(clock, l)
+		}
+	}
+	res.Params = params
+	res.Timing.Usage = usage.Usage()
+	res.Timing.Summary = metrics.Summarize(finite)
+	if l, err := ml.MeanLoss(cfg.Model, params, cfg.Data); err == nil {
+		res.FinalLoss = l
+	}
+	return res, nil
+}
+
+// decodeGradient reproduces the full coding path with real gradients: each
+// contributing worker computes its partition gradients, encodes them with
+// its row of B (g̃_w = Σ_j B[w][j]·g_j), and the master combines the coded
+// gradients with the decoding coefficients (g = Σ_w a_w·g̃_w). Partition
+// gradients are computed once and shared across workers.
+func decodeGradient(st *core.Strategy, coeffs []float64, model ml.Model, params []float64, parts []*ml.Dataset) (grad.Gradient, error) {
+	partGrad := make(map[int]grad.Gradient)
+	partial := func(p int) (grad.Gradient, error) {
+		if g, ok := partGrad[p]; ok {
+			return g, nil
+		}
+		g, err := model.Gradient(params, parts[p])
+		if err != nil {
+			return nil, err
+		}
+		partGrad[p] = g
+		return g, nil
+	}
+	coded := make([]grad.Gradient, st.M())
+	alloc := st.Allocation()
+	for w, a := range coeffs {
+		if a == 0 {
+			continue
+		}
+		row := st.Row(w)
+		partials := make([]grad.Gradient, 0, len(alloc.Parts[w]))
+		rowCoeffs := make([]float64, 0, len(alloc.Parts[w]))
+		for _, p := range alloc.Parts[w] {
+			g, err := partial(p)
+			if err != nil {
+				return nil, err
+			}
+			partials = append(partials, g)
+			rowCoeffs = append(rowCoeffs, row[p])
+		}
+		enc, err := grad.Encode(rowCoeffs, partials)
+		if err != nil {
+			return nil, err
+		}
+		coded[w] = enc
+	}
+	return grad.Combine(coeffs, coded, model.Dim())
+}

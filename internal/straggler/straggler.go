@@ -1,0 +1,123 @@
+// Package straggler provides the fault-injection models used in the paper's
+// evaluation: per-iteration extra delays added to s random workers (Fig. 2),
+// complete failures (infinite delay), and transient multiplicative
+// fluctuation of compute time. Injectors are deterministic given their rng.
+package straggler
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Injector produces, for every iteration, a per-worker extra delay in
+// seconds. math.Inf(1) marks a failed (fully crashed) worker.
+type Injector interface {
+	// Delays returns the extra delay of each of m workers for one iteration.
+	Delays(iter, m int) []float64
+}
+
+// None injects no delay.
+type None struct{}
+
+// Delays returns all-zero delays.
+func (None) Delays(_, m int) []float64 { return make([]float64, m) }
+
+// Fixed adds Delay seconds to Count random workers each iteration, the
+// fault-simulation protocol of Fig. 2 ("add extra delay to any s random
+// workers"). Use math.Inf(1) as Delay for fail-stop faults.
+type Fixed struct {
+	// Count is the number of stragglers per iteration.
+	Count int
+	// Delay is the extra delay in seconds (math.Inf(1) = crash).
+	Delay float64
+	// Rng drives the straggler choice. Must be non-nil when Count > 0.
+	Rng *rand.Rand
+}
+
+// Delays implements Injector.
+func (f Fixed) Delays(_, m int) []float64 {
+	out := make([]float64, m)
+	if f.Count <= 0 || f.Rng == nil {
+		return out
+	}
+	n := f.Count
+	if n > m {
+		n = m
+	}
+	for _, w := range f.Rng.Perm(m)[:n] {
+		out[w] = f.Delay
+	}
+	return out
+}
+
+// Pinned adds Delay seconds to a fixed set of workers every iteration —
+// deterministic consistent stragglers, useful in tests.
+type Pinned struct {
+	Workers []int
+	Delay   float64
+}
+
+// Delays implements Injector.
+func (p Pinned) Delays(_, m int) []float64 {
+	out := make([]float64, m)
+	for _, w := range p.Workers {
+		if w >= 0 && w < m {
+			out[w] = p.Delay
+		}
+	}
+	return out
+}
+
+// Transient models background interference: with probability Prob a worker's
+// iteration receives an extra delay drawn from an exponential distribution
+// with the given Mean, the transient-fluctuation straggler cause of §I.
+type Transient struct {
+	// Prob is the per-worker per-iteration probability of interference.
+	Prob float64
+	// Mean is the mean extra delay in seconds when interference occurs.
+	Mean float64
+	// Rng drives the draws. Must be non-nil for non-zero Prob.
+	Rng *rand.Rand
+}
+
+// Delays implements Injector.
+func (tr Transient) Delays(_, m int) []float64 {
+	out := make([]float64, m)
+	if tr.Prob <= 0 || tr.Rng == nil {
+		return out
+	}
+	for i := range out {
+		if tr.Rng.Float64() < tr.Prob {
+			out[i] = tr.Rng.ExpFloat64() * tr.Mean
+		}
+	}
+	return out
+}
+
+// Compose sums the delays of several injectors (Inf dominates).
+type Compose []Injector
+
+// Delays implements Injector.
+func (cs Compose) Delays(iter, m int) []float64 {
+	out := make([]float64, m)
+	for _, inj := range cs {
+		for i, d := range inj.Delays(iter, m) {
+			out[i] += d
+		}
+	}
+	for i, d := range out {
+		if math.IsInf(d, 1) {
+			out[i] = math.Inf(1)
+		}
+	}
+	return out
+}
+
+// Verify interface compliance.
+var (
+	_ Injector = None{}
+	_ Injector = Fixed{}
+	_ Injector = Pinned{}
+	_ Injector = Transient{}
+	_ Injector = Compose{}
+)

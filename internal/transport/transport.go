@@ -1,0 +1,152 @@
+// Package transport implements the wire protocol between the master and the
+// workers: gob-encoded envelopes over TCP (or any net.Conn). The protocol is
+// deliberately small — assignment, parameter broadcast, coded-gradient
+// upload, shutdown — mirroring the BSP gradient-coding loop of the paper.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// MsgType enumerates protocol messages.
+type MsgType int
+
+// Protocol message types.
+const (
+	// MsgHello is sent by a worker right after connecting.
+	MsgHello MsgType = iota + 1
+	// MsgAssign carries a worker's data-partition assignment and coding row.
+	MsgAssign
+	// MsgParams broadcasts model parameters for one iteration.
+	MsgParams
+	// MsgGradient uploads a worker's coded gradient for one iteration.
+	MsgGradient
+	// MsgShutdown tells a worker to exit cleanly.
+	MsgShutdown
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgAssign:
+		return "assign"
+	case MsgParams:
+		return "params"
+	case MsgGradient:
+		return "gradient"
+	case MsgShutdown:
+		return "shutdown"
+	default:
+		return fmt.Sprintf("MsgType(%d)", int(t))
+	}
+}
+
+// Assignment is the master → worker task description.
+type Assignment struct {
+	// WorkerID is the worker's index in the coding strategy.
+	WorkerID int
+	// Partitions are the data partitions this worker computes.
+	Partitions []int
+	// RowCoeffs are the coding coefficients b_i over those partitions,
+	// aligned with Partitions.
+	RowCoeffs []float64
+	// K is the global partition count.
+	K int
+	// S is the straggler budget (informational).
+	S int
+}
+
+// Envelope is the single message frame exchanged on the wire.
+type Envelope struct {
+	Type     MsgType
+	Iter     int
+	WorkerID int
+	Assign   *Assignment
+	Vector   []float64 // parameters (MsgParams) or coded gradient (MsgGradient)
+}
+
+// ErrClosed is returned on use of a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// Conn is a gob-framed bidirectional message stream. Send and Recv are each
+// safe for one concurrent user (one reader, one writer).
+type Conn struct {
+	raw net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// NewConn wraps a net.Conn.
+func NewConn(raw net.Conn) *Conn {
+	return &Conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
+}
+
+// Dial connects to a master at addr.
+func Dial(addr string, timeout time.Duration) (*Conn, error) {
+	raw, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport dial %s: %w", addr, err)
+	}
+	return NewConn(raw), nil
+}
+
+// Send writes one envelope.
+func (c *Conn) Send(e *Envelope) error {
+	if err := c.enc.Encode(e); err != nil {
+		return fmt.Errorf("transport send %v: %w", e.Type, err)
+	}
+	return nil
+}
+
+// Recv reads one envelope.
+func (c *Conn) Recv() (*Envelope, error) {
+	var e Envelope
+	if err := c.dec.Decode(&e); err != nil {
+		return nil, fmt.Errorf("transport recv: %w", err)
+	}
+	return &e, nil
+}
+
+// SetDeadline bounds both reads and writes.
+func (c *Conn) SetDeadline(t time.Time) error { return c.raw.SetDeadline(t) }
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// RemoteAddr exposes the peer address (for logs).
+func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
+
+// Listener accepts worker connections for a master.
+type Listener struct {
+	l net.Listener
+}
+
+// Listen starts listening on addr ("127.0.0.1:0" picks a free port).
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport listen %s: %w", addr, err)
+	}
+	return &Listener{l: l}, nil
+}
+
+// Addr returns the bound address, e.g. to hand to workers.
+func (l *Listener) Addr() string { return l.l.Addr().String() }
+
+// Accept waits for the next worker connection.
+func (l *Listener) Accept() (*Conn, error) {
+	raw, err := l.l.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("transport accept: %w", err)
+	}
+	return NewConn(raw), nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.l.Close() }

@@ -1,0 +1,159 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMsgTypeString(t *testing.T) {
+	cases := map[MsgType]string{
+		MsgHello:    "hello",
+		MsgAssign:   "assign",
+		MsgParams:   "params",
+		MsgGradient: "gradient",
+		MsgShutdown: "shutdown",
+		MsgType(42): "MsgType(42)",
+	}
+	for mt, want := range cases {
+		if mt.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(mt), mt.String(), want)
+		}
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var serverErr error
+	go func() {
+		defer wg.Done()
+		conn, err := l.Accept()
+		if err != nil {
+			serverErr = err
+			return
+		}
+		defer conn.Close()
+		env, err := conn.Recv()
+		if err != nil {
+			serverErr = err
+			return
+		}
+		// Echo back with a gradient payload.
+		serverErr = conn.Send(&Envelope{
+			Type:     MsgGradient,
+			Iter:     env.Iter,
+			WorkerID: 3,
+			Vector:   []float64{1.5, -2.5},
+		})
+	}()
+
+	client, err := Dial(l.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	assign := &Assignment{WorkerID: 3, Partitions: []int{1, 2}, RowCoeffs: []float64{0.5, -1}, K: 7, S: 1}
+	if err := client.Send(&Envelope{Type: MsgAssign, Iter: 9, Assign: assign}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if serverErr != nil {
+		t.Fatal(serverErr)
+	}
+	if got.Type != MsgGradient || got.Iter != 9 || got.WorkerID != 3 {
+		t.Fatalf("echo = %+v", got)
+	}
+	if len(got.Vector) != 2 || got.Vector[0] != 1.5 || got.Vector[1] != -2.5 {
+		t.Fatalf("vector = %v", got.Vector)
+	}
+}
+
+func TestAssignmentRoundTrip(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan *Envelope, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		defer conn.Close()
+		env, err := conn.Recv()
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- env
+	}()
+	client, err := Dial(l.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	in := &Assignment{WorkerID: 1, Partitions: []int{5, 6, 0}, RowCoeffs: []float64{1, 2, 3}, K: 7, S: 2}
+	if err := client.Send(&Envelope{Type: MsgAssign, Assign: in}); err != nil {
+		t.Fatal(err)
+	}
+	env := <-done
+	if env == nil || env.Assign == nil {
+		t.Fatal("assignment lost")
+	}
+	out := env.Assign
+	if out.WorkerID != 1 || out.K != 7 || out.S != 2 {
+		t.Fatalf("assign = %+v", out)
+	}
+	for i, p := range in.Partitions {
+		if out.Partitions[i] != p || out.RowCoeffs[i] != in.RowCoeffs[i] {
+			t.Fatalf("payload corrupted: %+v", out)
+		}
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 200*time.Millisecond); err == nil {
+		t.Fatal("expected dial failure")
+	}
+}
+
+func TestDeadlineExpires(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		// Hold the connection open without sending.
+		time.Sleep(500 * time.Millisecond)
+		conn.Close()
+	}()
+	client, err := Dial(l.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.SetDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Recv(); err == nil {
+		t.Fatal("expected deadline error")
+	}
+}
