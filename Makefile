@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test vet race bench bench-smoke bench-baseline
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark sweep with allocation reporting.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# One-iteration smoke pass (CI): checks every benchmark still runs.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Emit the machine-readable benchmark baseline tracked in BENCH_baseline.json.
+# Future perf PRs regenerate it and diff the trajectory.
+bench-baseline:
+	$(GO) test -run '^$$' -bench . -benchmem ./... | $(GO) run ./cmd/gcbench > BENCH_baseline.json
+	@echo wrote BENCH_baseline.json

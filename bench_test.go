@@ -215,19 +215,21 @@ func BenchmarkDecodeFastPath(b *testing.B) {
 // BenchmarkDecodeGenericPath).
 func BenchmarkDecodeGroupBroken(b *testing.B) {
 	var st *Strategy
-	for _, s := range []int{1, 2, 3} {
-		cl := ClusterA()
-		cand, err := BuildStrategy(GroupBased, cl, cl.Throughputs(), ChooseK(cl, s), s, NewRand(1))
-		if err != nil {
-			continue
-		}
-		if p := len(cand.Groups()); p > 0 && p <= s {
-			st = cand
-			break
+search:
+	for _, cl := range []*Cluster{ClusterA(), ClusterB(), ClusterC(), ClusterD()} {
+		for _, s := range []int{1, 2, 3} {
+			cand, err := BuildStrategy(GroupBased, cl, cl.Throughputs(), ChooseK(cl, s), s, NewRand(1))
+			if err != nil {
+				continue
+			}
+			if p := len(cand.Groups()); p > 0 && p <= s {
+				st = cand
+				break search
+			}
 		}
 	}
 	if st == nil {
-		b.Skip("no Cluster-A configuration with P ≤ s groups")
+		b.Skip("no Table II configuration with P ≤ s groups")
 	}
 	m := st.M()
 	groups := st.Groups()
@@ -243,11 +245,8 @@ func BenchmarkDecodeGroupBroken(b *testing.B) {
 	}
 }
 
-// BenchmarkEncodeGradient measures worker-side encoding of a 100k-parameter
-// gradient over 4 partitions.
-func BenchmarkEncodeGradient(b *testing.B) {
-	const dim = 100_000
-	partials := make([]Gradient, 4)
+func benchPartials(dim, n int) []Gradient {
+	partials := make([]Gradient, n)
 	rng := NewRand(1)
 	for i := range partials {
 		partials[i] = make(Gradient, dim)
@@ -255,6 +254,32 @@ func BenchmarkEncodeGradient(b *testing.B) {
 			partials[i][j] = rng.NormFloat64()
 		}
 	}
+	return partials
+}
+
+// BenchmarkEncodeGradient measures steady-state worker-side encoding of a
+// 100k-parameter gradient over 4 partitions — the per-iteration hot path,
+// using the pooled in-place kernel exactly as the runtime worker does.
+func BenchmarkEncodeGradient(b *testing.B) {
+	const dim = 100_000
+	partials := benchPartials(dim, 4)
+	coeffs := []float64{0.3, -1.2, 2.4, 0.9}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out := GetGradientBuffer(dim)
+		if err := EncodeGradientInto(out, coeffs, partials); err != nil {
+			b.Fatal(err)
+		}
+		PutGradientBuffer(out)
+	}
+}
+
+// BenchmarkEncodeGradientAlloc measures the allocating Encode wrapper (one
+// fresh gradient per call) for comparison with the pooled path above.
+func BenchmarkEncodeGradientAlloc(b *testing.B) {
+	const dim = 100_000
+	partials := benchPartials(dim, 4)
 	coeffs := []float64{0.3, -1.2, 2.4, 0.9}
 	b.ResetTimer()
 	b.ReportAllocs()
@@ -262,6 +287,27 @@ func BenchmarkEncodeGradient(b *testing.B) {
 		if _, err := EncodeGradient(coeffs, partials); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCombineGradients measures master-side recombination of 8 coded
+// 100k-parameter gradients through the pooled in-place kernel.
+func BenchmarkCombineGradients(b *testing.B) {
+	const dim = 100_000
+	coded := benchPartials(dim, 8)
+	coeffs := make([]float64, 8)
+	for i := range coeffs {
+		coeffs[i] = 0.25 * float64(i+1)
+	}
+	coeffs[3] = 0 // one straggler whose gradient is ignored
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out := GetGradientBuffer(dim)
+		if err := CombineGradientsInto(out, coeffs, coded); err != nil {
+			b.Fatal(err)
+		}
+		PutGradientBuffer(out)
 	}
 }
 

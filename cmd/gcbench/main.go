@@ -1,0 +1,134 @@
+// Command gcbench converts `go test -bench` text output into the JSON
+// benchmark-trajectory format tracked in BENCH_*.json, so perf PRs can diff
+// against the committed baseline:
+//
+//	go test -run '^$' -bench . -benchmem ./... | gcbench > BENCH_baseline.json
+//
+// (or `make bench-baseline`). Lines that are not benchmark results (pkg
+// headers, PASS/ok, skips) are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with any -N GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Package is the Go package the benchmark came from (the preceding
+	// "pkg:" header), when present.
+	Package string `json:"package,omitempty"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is bytes allocated per operation (-benchmem only).
+	BytesPerOp *float64 `json:"bytes_per_op,omitempty"`
+	// AllocsPerOp is allocations per operation (-benchmem only).
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	// GoOS/GoArch/CPU echo the bench header for context, when present.
+	GoOS   string `json:"goos,omitempty"`
+	GoArch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Results lists every parsed benchmark line in input order.
+	Results []Result `json:"results"`
+}
+
+func main() {
+	report, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// Parse reads `go test -bench` output and collects benchmark results.
+func Parse(r io.Reader) (*Report, error) {
+	report := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			report.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			report.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			report.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseBenchLine(line)
+			if ok {
+				res.Package = pkg
+				report.Results = append(report.Results, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkEncodeInto-8   7915   160755 ns/op   0 B/op   0 allocs/op
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: name, Iterations: iters}
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = val
+			seenNs = true
+		case "B/op":
+			v := val
+			res.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			res.AllocsPerOp = &v
+		}
+	}
+	if !seenNs {
+		return Result{}, false
+	}
+	return res, true
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/hetgc/hetgc/internal/grad
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEncodeInto-8   	    7915	    160755 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSumInto        	    5000	    250000 ns/op
+--- SKIP: BenchmarkDecodeGroupBroken
+PASS
+ok  	github.com/hetgc/hetgc/internal/grad	5.954s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" {
+		t.Fatalf("header: %+v", rep)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Name != "BenchmarkEncodeInto" {
+		t.Fatalf("name = %q (GOMAXPROCS suffix should be stripped)", r.Name)
+	}
+	if r.Package != "github.com/hetgc/hetgc/internal/grad" {
+		t.Fatalf("package = %q", r.Package)
+	}
+	if r.Iterations != 7915 || r.NsPerOp != 160755 {
+		t.Fatalf("result: %+v", r)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 0 || r.AllocsPerOp == nil || *r.AllocsPerOp != 0 {
+		t.Fatalf("benchmem fields: %+v", r)
+	}
+	r2 := rep.Results[1]
+	if r2.Name != "BenchmarkSumInto" || r2.BytesPerOp != nil {
+		t.Fatalf("plain result: %+v", r2)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	rep, err := Parse(strings.NewReader("BenchmarkBroken abc def\nnot a line\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Fatalf("results = %+v", rep.Results)
+	}
+}

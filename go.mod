@@ -1,0 +1,3 @@
+module github.com/hetgc/hetgc
+
+go 1.21

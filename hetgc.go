@@ -119,6 +119,31 @@ func CombineGradients(coeffs []float64, coded []Gradient, dim int) (Gradient, er
 // SumGradients returns the plain sum of gradients.
 func SumGradients(gs []Gradient) (Gradient, error) { return grad.Sum(gs) }
 
+// Allocation-free kernel variants: each overwrites dst (whose length fixes
+// the gradient dimension) instead of allocating. Pair them with
+// GetGradientBuffer/PutGradientBuffer for zero-alloc steady-state loops.
+
+// EncodeGradientInto forms a worker's coded gradient in place.
+func EncodeGradientInto(dst Gradient, coeffs []float64, partials []Gradient) error {
+	return grad.EncodeInto(dst, coeffs, partials)
+}
+
+// CombineGradientsInto recombines coded gradients in place.
+func CombineGradientsInto(dst Gradient, coeffs []float64, coded []Gradient) error {
+	return grad.CombineInto(dst, coeffs, coded)
+}
+
+// SumGradientsInto sums gradients in place.
+func SumGradientsInto(dst Gradient, gs []Gradient) error { return grad.SumInto(dst, gs) }
+
+// GetGradientBuffer returns a length-dim gradient from the shared buffer
+// pool; its contents are unspecified (the *Into kernels overwrite fully).
+func GetGradientBuffer(dim int) Gradient { return grad.GetBuffer(dim) }
+
+// PutGradientBuffer recycles a gradient obtained from GetGradientBuffer. The
+// caller must not use it afterwards.
+func PutGradientBuffer(g Gradient) { grad.PutBuffer(g) }
+
 // Cluster modelling.
 type (
 	// Cluster is a heterogeneous worker fleet.
@@ -303,6 +328,9 @@ type (
 	DecodingMatrix = core.DecodingMatrix
 	// StragglerPattern is a sorted straggler worker set.
 	StragglerPattern = core.Pattern
+	// DecodeCacheStats snapshots a strategy's decode-plan cache counters
+	// (see Strategy.DecodeCacheStats, Strategy.InstallDecodingMatrix).
+	DecodeCacheStats = metrics.CacheStats
 )
 
 // RegularPatterns enumerates straggler patterns of size ≤ s over a suspect

@@ -74,6 +74,60 @@ func BenchmarkDecodeCached(b *testing.B) {
 	}
 }
 
+// BenchmarkDecodeCacheHit measures the plan-cache hit path over a rotating
+// set of repeated patterns (the steady-state master with regular
+// stragglers): every lookup after warmup is a table hit.
+func BenchmarkDecodeCacheHit(b *testing.B) {
+	st := benchStrategy(b, 16, 2)
+	m := st.M()
+	// Warm every pattern the loop will visit.
+	for i := 0; i < m; i++ {
+		alive := AliveFromStragglers(m, []int{i % m, (i + 5) % m})
+		if _, err := st.Decode(alive); err != nil {
+			b.Fatal(err)
+		}
+	}
+	alive := make([]bool, m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range alive {
+			alive[j] = true
+		}
+		alive[i%m] = false
+		alive[(i+5)%m] = false
+		if _, err := st.Decode(alive); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if stats := st.DecodeCacheStats(); stats.Hits == 0 {
+		b.Fatalf("expected cache hits: %+v", stats)
+	}
+}
+
+// BenchmarkDecodeCacheMiss measures the miss path (online solve + insert) by
+// keeping the cache capacity below the pattern working set, so every decode
+// evicts and re-solves.
+func BenchmarkDecodeCacheMiss(b *testing.B) {
+	st := benchStrategy(b, 16, 2)
+	st.SetDecodeCacheCapacity(1)
+	m := st.M()
+	alive := make([]bool, m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range alive {
+			alive[j] = true
+		}
+		alive[i%m] = false
+		alive[(i+5)%m] = false
+		if _, err := st.Decode(alive); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFindGroups measures the Alg. 2 exact-cover search.
 func BenchmarkFindGroups(b *testing.B) {
 	st := benchStrategy(b, 16, 1)

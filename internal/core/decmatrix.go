@@ -44,16 +44,30 @@ type DecodingMatrix struct {
 	index map[string]int
 }
 
-// Lookup returns the decoding row for a straggler pattern, if stored.
+// Lookup returns the decoding row for a straggler pattern, if stored. The
+// row is copied, so callers own the result; the cache fast path uses the
+// zero-copy lookupRef instead.
 func (dm *DecodingMatrix) Lookup(stragglers []int) ([]float64, bool) {
-	if dm == nil || dm.index == nil {
-		return nil, false
-	}
-	i, ok := dm.index[normalizePattern(stragglers).key()]
+	row, ok := dm.lookupRef(normalizePattern(stragglers))
 	if !ok {
 		return nil, false
 	}
-	return append([]float64(nil), dm.Rows[i]...), true
+	return append([]float64(nil), row...), true
+}
+
+// lookupRef returns the stored decoding row without copying. Ownership
+// contract: the returned slice is owned by the DecodingMatrix and shared with
+// every other lookupRef caller — it must be treated as immutable. The input
+// pattern must already be normalised (sorted).
+func (dm *DecodingMatrix) lookupRef(p Pattern) ([]float64, bool) {
+	if dm == nil || dm.index == nil {
+		return nil, false
+	}
+	i, ok := dm.index[p.key()]
+	if !ok {
+		return nil, false
+	}
+	return dm.Rows[i], true
 }
 
 // Size returns the number of stored patterns.

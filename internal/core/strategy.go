@@ -29,8 +29,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"github.com/hetgc/hetgc/internal/linalg"
+	"github.com/hetgc/hetgc/internal/metrics"
 	"github.com/hetgc/hetgc/internal/partition"
 )
 
@@ -97,13 +99,17 @@ type Strategy struct {
 	// replica j's identical partition set.
 	blocks [][]int
 
-	mu    sync.Mutex
-	cache map[string]decodeResult
-}
-
-type decodeResult struct {
-	coeffs []float64
-	err    error
+	// Decode-plan cache (see plancache.go): bounded, pattern-keyed memo of
+	// decoding rows with hit/miss/eviction counters. Masks up to 128 workers
+	// use the memhash-friendly packed key; wider clusters spill to the
+	// string-keyed shard. A strategy's m is fixed, so only one shard is ever
+	// populated. Steady-state hits read an immutable snapshot map without
+	// taking planMu.
+	planMu       sync.RWMutex
+	plans        planShard
+	plansWide    wideShard
+	planCap      atomic.Int64
+	planCounters metrics.CacheCounters
 }
 
 // Kind returns the strategy family.
@@ -148,18 +154,48 @@ func (st *Strategy) CanDecode(alive []bool) bool {
 }
 
 // Decode returns decoding coefficients a (length m, zero outside the alive
-// set) with aᵀB = 1ᵀ, or ErrUndecodable. Results are memoised per alive set.
+// set) with aᵀB = 1ᵀ, or ErrUndecodable. Results are memoised in the bounded
+// decode-plan cache, so recurring straggler patterns decode by table lookup.
+//
+// Ownership: the returned slice is shared with the plan cache and with every
+// other caller that decoded the same pattern. Treat it as read-only; copy it
+// (e.g. with append) before modifying.
 func (st *Strategy) Decode(alive []bool) ([]float64, error) {
 	if len(alive) != st.M() {
 		return nil, fmt.Errorf("%w: alive length %d != m=%d", ErrBadInput, len(alive), st.M())
 	}
-	key := aliveKey(alive)
-	st.mu.Lock()
-	if res, ok := st.cache[key]; ok {
-		st.mu.Unlock()
-		return cloneCoeffs(res.coeffs), res.err
+	// Hot path: probe the immutable snapshot table without any lock, then
+	// the recent-insert overflow under the read lock. The key is computed
+	// once and reused by the miss path's re-check and insert.
+	small := len(alive) <= planKeyWidth
+	var key planKey
+	var wideKey string
+	if small {
+		key = makePlanKey(alive)
+		if t := st.plans.snap.Load(); t != nil {
+			if res := t.get(key); res != nil {
+				st.planCounters.Hit()
+				return res.coeffs, res.err
+			}
+		}
+		st.planMu.RLock()
+		res, ok := st.plans.overflow[key]
+		st.planMu.RUnlock()
+		if ok {
+			st.planCounters.Hit()
+			return res.coeffs, res.err
+		}
+	} else {
+		wideKey = makeWidePlanKey(alive)
+		st.planMu.RLock()
+		res, ok := st.plansWide.loadLocked(wideKey)
+		st.planMu.RUnlock()
+		if ok {
+			st.planCounters.Hit()
+			return res.coeffs, res.err
+		}
 	}
-	st.mu.Unlock()
+	st.planCounters.Miss()
 
 	coeffs, err := st.decode(alive)
 	if err == nil {
@@ -168,13 +204,26 @@ func (st *Strategy) Decode(alive []bool) ([]float64, error) {
 		}
 	}
 
-	st.mu.Lock()
-	if st.cache == nil {
-		st.cache = make(map[string]decodeResult)
+	st.planMu.Lock()
+	// Another goroutine may have raced the solve; keep its entry so every
+	// caller observes one canonical row per pattern.
+	var evicted int
+	if small {
+		if prior, ok := st.plans.loadLocked(key); ok {
+			st.planMu.Unlock()
+			return prior.coeffs, prior.err
+		}
+		evicted = st.plans.store(key, &decodeResult{coeffs: coeffs, err: err}, st.planCapacity())
+	} else {
+		if prior, ok := st.plansWide.loadLocked(wideKey); ok {
+			st.planMu.Unlock()
+			return prior.coeffs, prior.err
+		}
+		evicted = st.plansWide.store(wideKey, &decodeResult{coeffs: coeffs, err: err}, st.planCapacity())
 	}
-	st.cache[key] = decodeResult{coeffs: coeffs, err: err}
-	st.mu.Unlock()
-	return cloneCoeffs(coeffs), err
+	st.planMu.Unlock()
+	st.planCounters.AddEvictions(evicted)
+	return coeffs, err
 }
 
 // decode dispatches to the scheme-specific decoding paths.
@@ -209,23 +258,6 @@ func (st *Strategy) verifyCoeffs(coeffs []float64) error {
 		return fmt.Errorf("%w: decoding residual too large", ErrUndecodable)
 	}
 	return nil
-}
-
-func aliveKey(alive []bool) string {
-	buf := make([]byte, (len(alive)+7)/8)
-	for i, a := range alive {
-		if a {
-			buf[i/8] |= 1 << (uint(i) % 8)
-		}
-	}
-	return string(buf)
-}
-
-func cloneCoeffs(c []float64) []float64 {
-	if c == nil {
-		return nil
-	}
-	return append([]float64(nil), c...)
 }
 
 // AliveFromStragglers builds an alive mask of length m with the given

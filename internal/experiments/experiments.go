@@ -131,36 +131,43 @@ func RunDelaySweep(cfg DelaySweepConfig) ([]DelayRow, error) {
 	}
 	truth := cfg.Cluster.Throughputs()
 	k := ChooseK(cfg.Cluster, cfg.S)
-	rows := make([]DelayRow, 0, len(cfg.Delays))
+	rows := make([]DelayRow, len(cfg.Delays))
 	for di, delay := range cfg.Delays {
-		row := DelayRow{Delay: delay}
-		for si, kind := range schemes {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(1000*di+si)))
-			st, err := BuildStrategy(kind, cfg.Cluster, truth, k, cfg.S, rng)
-			if err != nil {
-				return nil, fmt.Errorf("%v: %w", kind, err)
-			}
-			res, err := sim.Run(sim.Config{
-				Strategy:       st,
-				Throughputs:    truth,
-				Injector:       straggler.Fixed{Count: cfg.S, Delay: delay, Rng: rng},
-				Iterations:     cfg.Iterations,
-				FluctuationStd: cfg.FluctuationStd,
-				CommOverhead:   cfg.CommOverhead,
-				Rng:            rng,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("%v: %w", kind, err)
-			}
-			row.Outcomes = append(row.Outcomes, SchemeOutcome{
-				Kind:        kind,
-				AvgIterTime: res.AvgIterTime(),
-				P95IterTime: res.Summary.P95,
-				Usage:       res.Usage,
-				Failed:      res.Failed,
-			})
+		rows[di] = DelayRow{Delay: delay, Outcomes: make([]SchemeOutcome, len(schemes))}
+	}
+	// Every (delay, scheme) cell is independent and carries its own seeded
+	// rng, so the sweep fans out across cores with deterministic results.
+	err := forEachCell(len(cfg.Delays)*len(schemes), func(cell int) error {
+		di, si := cell/len(schemes), cell%len(schemes)
+		kind := schemes[si]
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(1000*di+si)))
+		st, err := BuildStrategy(kind, cfg.Cluster, truth, k, cfg.S, rng)
+		if err != nil {
+			return fmt.Errorf("%v: %w", kind, err)
 		}
-		rows = append(rows, row)
+		res, err := sim.Run(sim.Config{
+			Strategy:       st,
+			Throughputs:    truth,
+			Injector:       straggler.Fixed{Count: cfg.S, Delay: rows[di].Delay, Rng: rng},
+			Iterations:     cfg.Iterations,
+			FluctuationStd: cfg.FluctuationStd,
+			CommOverhead:   cfg.CommOverhead,
+			Rng:            rng,
+		})
+		if err != nil {
+			return fmt.Errorf("%v: %w", kind, err)
+		}
+		rows[di].Outcomes[si] = SchemeOutcome{
+			Kind:        kind,
+			AvgIterTime: res.AvgIterTime(),
+			P95IterTime: res.Summary.P95,
+			Usage:       res.Usage,
+			Failed:      res.Failed,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -223,39 +230,47 @@ func RunClusterSweep(cfg ClusterSweepConfig) ([]ClusterRow, error) {
 	if schemes == nil {
 		schemes = DefaultSchemes()
 	}
-	rows := make([]ClusterRow, 0, len(cfg.Clusters))
+	rows := make([]ClusterRow, len(cfg.Clusters))
 	for ci, cl := range cfg.Clusters {
+		rows[ci] = ClusterRow{Cluster: cl.Name, M: cl.M(), Outcomes: make([]SchemeOutcome, len(schemes))}
+	}
+	// Fan the (cluster, scheme) cells across cores; per-cell seeded rngs keep
+	// the tables deterministic.
+	err := forEachCell(len(cfg.Clusters)*len(schemes), func(cell int) error {
+		ci, si := cell/len(schemes), cell%len(schemes)
+		cl := cfg.Clusters[ci]
+		kind := schemes[si]
 		truth := cl.Throughputs()
 		k := ChooseK(cl, cfg.S)
-		row := ClusterRow{Cluster: cl.Name, M: cl.M()}
-		for si, kind := range schemes {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(1000*ci+si)))
-			st, err := BuildStrategy(kind, cl, truth, k, cfg.S, rng)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%v: %w", cl.Name, kind, err)
-			}
-			inj := straggler.Transient{Prob: cfg.TransientProb, Mean: cfg.TransientMean, Rng: rng}
-			res, err := sim.Run(sim.Config{
-				Strategy:       st,
-				Throughputs:    truth,
-				Injector:       inj,
-				Iterations:     cfg.Iterations,
-				FluctuationStd: cfg.FluctuationStd,
-				CommOverhead:   cfg.CommOverhead,
-				Rng:            rng,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("%s/%v: %w", cl.Name, kind, err)
-			}
-			row.Outcomes = append(row.Outcomes, SchemeOutcome{
-				Kind:        kind,
-				AvgIterTime: res.AvgIterTime(),
-				P95IterTime: res.Summary.P95,
-				Usage:       res.Usage,
-				Failed:      res.Failed,
-			})
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(1000*ci+si)))
+		st, err := BuildStrategy(kind, cl, truth, k, cfg.S, rng)
+		if err != nil {
+			return fmt.Errorf("%s/%v: %w", cl.Name, kind, err)
 		}
-		rows = append(rows, row)
+		inj := straggler.Transient{Prob: cfg.TransientProb, Mean: cfg.TransientMean, Rng: rng}
+		res, err := sim.Run(sim.Config{
+			Strategy:       st,
+			Throughputs:    truth,
+			Injector:       inj,
+			Iterations:     cfg.Iterations,
+			FluctuationStd: cfg.FluctuationStd,
+			CommOverhead:   cfg.CommOverhead,
+			Rng:            rng,
+		})
+		if err != nil {
+			return fmt.Errorf("%s/%v: %w", cl.Name, kind, err)
+		}
+		rows[ci].Outcomes[si] = SchemeOutcome{
+			Kind:        kind,
+			AvgIterTime: res.AvgIterTime(),
+			P95IterTime: res.Summary.P95,
+			Usage:       res.Usage,
+			Failed:      res.Failed,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -383,41 +398,54 @@ func RunMisestimation(cfg MisestimationConfig) ([]MisestimationRow, error) {
 	}
 	truth := cfg.Cluster.Throughputs()
 	k := ChooseK(cfg.Cluster, cfg.S)
-	var rows []MisestimationRow
+	// Each (epsilon, trial) cell runs both schemes on one shared rng stream
+	// (order matters within the cell); cells fan out across cores and reduce
+	// deterministically afterwards.
+	type trialOutcome struct{ heter, group float64 }
+	outcomes := make([]trialOutcome, len(cfg.Epsilons)*trials)
+	err := forEachCell(len(outcomes), func(cell int) error {
+		ei, trial := cell/trials, cell%trials
+		eps := cfg.Epsilons[ei]
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(100*ei+trial)))
+		est := estimate.Misestimate(truth, eps, rng)
+		for _, kind := range []core.Kind{core.HeterAware, core.GroupBased} {
+			st, err := BuildStrategy(kind, cfg.Cluster, est, k, cfg.S, rng)
+			if err != nil {
+				return fmt.Errorf("eps=%v %v: %w", eps, kind, err)
+			}
+			res, err := sim.Run(sim.Config{
+				Strategy:       st,
+				Throughputs:    truth,
+				Injector:       straggler.Fixed{Count: cfg.S, Delay: 5, Rng: rng},
+				Iterations:     cfg.Iterations,
+				FluctuationStd: 0.05,
+				Rng:            rng,
+			})
+			if err != nil {
+				return fmt.Errorf("eps=%v %v: %w", eps, kind, err)
+			}
+			if kind == core.HeterAware {
+				outcomes[cell].heter = res.AvgIterTime()
+			} else {
+				outcomes[cell].group = res.AvgIterTime()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]MisestimationRow, 0, len(cfg.Epsilons))
 	for ei, eps := range cfg.Epsilons {
 		var heterSum, groupSum float64
-		n := 0
 		for trial := 0; trial < trials; trial++ {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(100*ei+trial)))
-			est := estimate.Misestimate(truth, eps, rng)
-			for _, kind := range []core.Kind{core.HeterAware, core.GroupBased} {
-				st, err := BuildStrategy(kind, cfg.Cluster, est, k, cfg.S, rng)
-				if err != nil {
-					return nil, fmt.Errorf("eps=%v %v: %w", eps, kind, err)
-				}
-				res, err := sim.Run(sim.Config{
-					Strategy:       st,
-					Throughputs:    truth,
-					Injector:       straggler.Fixed{Count: cfg.S, Delay: 5, Rng: rng},
-					Iterations:     cfg.Iterations,
-					FluctuationStd: 0.05,
-					Rng:            rng,
-				})
-				if err != nil {
-					return nil, fmt.Errorf("eps=%v %v: %w", eps, kind, err)
-				}
-				if kind == core.HeterAware {
-					heterSum += res.AvgIterTime()
-				} else {
-					groupSum += res.AvgIterTime()
-				}
-			}
-			n++
+			heterSum += outcomes[ei*trials+trial].heter
+			groupSum += outcomes[ei*trials+trial].group
 		}
 		row := MisestimationRow{
 			Epsilon:  eps,
-			HeterAvg: heterSum / float64(n),
-			GroupAvg: groupSum / float64(n),
+			HeterAvg: heterSum / float64(trials),
+			GroupAvg: groupSum / float64(trials),
 		}
 		if row.GroupAvg > 0 {
 			row.GroupGain = row.HeterAvg / row.GroupAvg
@@ -458,35 +486,42 @@ func RunReplicationSweep(cfg ReplicationSweepConfig) ([]ReplicationRow, error) {
 		return nil, fmt.Errorf("%w: cluster/iterations/svalues required", ErrBadConfig)
 	}
 	truth := cfg.Cluster.Throughputs()
-	var rows []ReplicationRow
+	schemes := []core.Kind{core.Cyclic, core.HeterAware, core.GroupBased}
+	rows := make([]ReplicationRow, len(cfg.SValues))
 	for si, s := range cfg.SValues {
+		rows[si] = ReplicationRow{S: s, Outcomes: make([]SchemeOutcome, len(schemes))}
+	}
+	err := forEachCell(len(cfg.SValues)*len(schemes), func(cell int) error {
+		si, scIdx := cell/len(schemes), cell%len(schemes)
+		s := cfg.SValues[si]
+		kind := schemes[scIdx]
 		k := ChooseK(cfg.Cluster, s)
-		row := ReplicationRow{S: s}
-		for scIdx, kind := range []core.Kind{core.Cyclic, core.HeterAware, core.GroupBased} {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(100*si+scIdx)))
-			st, err := BuildStrategy(kind, cfg.Cluster, truth, k, s, rng)
-			if err != nil {
-				return nil, fmt.Errorf("s=%d %v: %w", s, kind, err)
-			}
-			res, err := sim.Run(sim.Config{
-				Strategy:       st,
-				Throughputs:    truth,
-				Injector:       straggler.Fixed{Count: s, Delay: cfg.Delay, Rng: rng},
-				Iterations:     cfg.Iterations,
-				FluctuationStd: 0.05,
-				Rng:            rng,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("s=%d %v: %w", s, kind, err)
-			}
-			row.Outcomes = append(row.Outcomes, SchemeOutcome{
-				Kind:        kind,
-				AvgIterTime: res.AvgIterTime(),
-				Usage:       res.Usage,
-				Failed:      res.Failed,
-			})
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(100*si+scIdx)))
+		st, err := BuildStrategy(kind, cfg.Cluster, truth, k, s, rng)
+		if err != nil {
+			return fmt.Errorf("s=%d %v: %w", s, kind, err)
 		}
-		rows = append(rows, row)
+		res, err := sim.Run(sim.Config{
+			Strategy:       st,
+			Throughputs:    truth,
+			Injector:       straggler.Fixed{Count: s, Delay: cfg.Delay, Rng: rng},
+			Iterations:     cfg.Iterations,
+			FluctuationStd: 0.05,
+			Rng:            rng,
+		})
+		if err != nil {
+			return fmt.Errorf("s=%d %v: %w", s, kind, err)
+		}
+		rows[si].Outcomes[scIdx] = SchemeOutcome{
+			Kind:        kind,
+			AvgIterTime: res.AvgIterTime(),
+			Usage:       res.Usage,
+			Failed:      res.Failed,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

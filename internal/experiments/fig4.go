@@ -84,16 +84,20 @@ func RunLossCurves(cfg LossCurveConfig) (*LossCurves, error) {
 	}
 	model := &ml.Softmax{InputDim: cfg.FeatureDim, NumClasses: cfg.Classes}
 
-	out := &LossCurves{FinalLoss: make(map[string]float64)}
+	out := &LossCurves{Curves: make([]metrics.Series, len(schemes)), FinalLoss: make(map[string]float64)}
 	recordEvery := cfg.Iterations / 50
 	if recordEvery <= 0 {
 		recordEvery = 1
 	}
-	for si, kind := range schemes {
+	// Each scheme trains independently on the shared (read-only) dataset and
+	// stateless model, with its own seeded rng: fan the schemes across cores.
+	finals := make([]float64, len(schemes))
+	err = forEachCell(len(schemes), func(si int) error {
+		kind := schemes[si]
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(si+1)))
 		st, err := BuildStrategy(kind, cfg.Cluster, truth, k, cfg.S, rng)
 		if err != nil {
-			return nil, fmt.Errorf("%v: %w", kind, err)
+			return fmt.Errorf("%v: %w", kind, err)
 		}
 		res, err := sim.Train(sim.TrainConfig{
 			Sim: sim.Config{
@@ -111,10 +115,17 @@ func RunLossCurves(cfg LossCurveConfig) (*LossCurves, error) {
 			Name:        kind.String(),
 		})
 		if err != nil {
-			return nil, fmt.Errorf("%v: %w", kind, err)
+			return fmt.Errorf("%v: %w", kind, err)
 		}
-		out.Curves = append(out.Curves, res.Curve)
-		out.FinalLoss[kind.String()] = res.FinalLoss
+		out.Curves[si] = res.Curve
+		finals[si] = res.FinalLoss
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, kind := range schemes {
+		out.FinalLoss[kind.String()] = finals[si]
 	}
 
 	// SSP baseline.

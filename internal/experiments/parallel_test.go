@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/hetgc/hetgc/internal/cluster"
+)
+
+func TestForEachCellCoversAllIndices(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	hits := make([]int32, 100)
+	if err := forEachCell(len(hits), func(i int) error {
+		hits[i]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("cell %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestForEachCellPropagatesError(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	boom := errors.New("boom")
+	err := forEachCell(50, func(i int) error {
+		if i == 17 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestSweepsDeterministicUnderParallelism pins the tentpole requirement:
+// fanning sweep cells across workers must not change any table.
+func TestSweepsDeterministicUnderParallelism(t *testing.T) {
+	cfg := DelaySweepConfig{
+		Cluster:        cluster.ClusterA(),
+		S:              1,
+		Delays:         []float64{0, 3, math.Inf(1)},
+		Iterations:     10,
+		FluctuationStd: 0.05,
+		Seed:           99,
+	}
+	run := func(procs int) []DelayRow {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		rows, err := RunDelaySweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	serial := run(1)
+	parallel := run(4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("delay sweep differs between serial and parallel runs:\n%v\nvs\n%v", serial, parallel)
+	}
+
+	ccfg := ClusterSweepConfig{
+		Clusters:       []*cluster.Cluster{cluster.ClusterA(), cluster.ClusterB()},
+		S:              1,
+		Iterations:     8,
+		TransientProb:  0.05,
+		TransientMean:  2,
+		FluctuationStd: 0.05,
+		Seed:           7,
+	}
+	runC := func(procs int) []ClusterRow {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		rows, err := RunClusterSweep(ccfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	if !reflect.DeepEqual(runC(1), runC(4)) {
+		t.Fatal("cluster sweep differs between serial and parallel runs")
+	}
+
+	mcfg := MisestimationConfig{
+		Cluster:    cluster.ClusterA(),
+		S:          1,
+		Epsilons:   []float64{0, 0.2},
+		Iterations: 6,
+		Trials:     2,
+		Seed:       3,
+	}
+	runM := func(procs int) []MisestimationRow {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		rows, err := RunMisestimation(mcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	if !reflect.DeepEqual(runM(1), runM(4)) {
+		t.Fatal("misestimation sweep differs between serial and parallel runs")
+	}
+
+	lcfg := LossCurveConfig{
+		Cluster:             cluster.ClusterA(),
+		S:                   1,
+		Iterations:          6,
+		SamplesPerPartition: 4,
+		FeatureDim:          4,
+		Classes:             2,
+		Seed:                11,
+	}
+	runL := func(procs int) *LossCurves {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		lc, err := RunLossCurves(lcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lc
+	}
+	if !reflect.DeepEqual(runL(1), runL(4)) {
+		t.Fatal("loss curves differ between serial and parallel runs")
+	}
+
+	rcfg := ReplicationSweepConfig{
+		Cluster:    cluster.ClusterA(),
+		SValues:    []int{1, 2},
+		Delay:      4,
+		Iterations: 6,
+		Seed:       5,
+	}
+	runR := func(procs int) []ReplicationRow {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		rows, err := RunReplicationSweep(rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	if !reflect.DeepEqual(runR(1), runR(4)) {
+		t.Fatal("replication sweep differs between serial and parallel runs")
+	}
+}

@@ -63,52 +63,29 @@ func (g Gradient) MaxAbsDiff(other Gradient) float64 {
 
 // Encode forms the coded gradient Σ_j coeff[j]·partials[j] for the partial
 // gradients a worker computed. coeff[j] pairs with partials[j]; callers pass
-// the non-zero entries of the worker's coding row in partition order.
+// the non-zero entries of the worker's coding row in partition order. The
+// result is freshly allocated; steady-state callers should pair EncodeInto
+// with GetBuffer/PutBuffer instead.
 func Encode(coeff []float64, partials []Gradient) (Gradient, error) {
-	if len(coeff) != len(partials) {
-		return nil, fmt.Errorf("%w: %d coefficients for %d partials", ErrDimension, len(coeff), len(partials))
-	}
 	if len(partials) == 0 {
 		return nil, fmt.Errorf("%w: no partial gradients", ErrDimension)
 	}
-	dim := len(partials[0])
-	out := make(Gradient, dim)
-	for j, p := range partials {
-		if len(p) != dim {
-			return nil, fmt.Errorf("%w: partial %d has dim %d, want %d", ErrDimension, j, len(p), dim)
-		}
-		c := coeff[j]
-		if c == 0 {
-			continue
-		}
-		for i, v := range p {
-			out[i] += c * v
-		}
+	out := make(Gradient, len(partials[0]))
+	if err := EncodeInto(out, coeff, partials); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // Combine recombines coded gradients with decoding coefficients:
 // g = Σ_i coeffs[i]·coded[i], skipping nil entries whose coefficient is zero
-// (stragglers whose results never arrived).
+// (stragglers whose results never arrived). The result is freshly allocated;
+// steady-state callers should pair CombineInto with GetBuffer/PutBuffer
+// instead.
 func Combine(coeffs []float64, coded []Gradient, dim int) (Gradient, error) {
-	if len(coeffs) != len(coded) {
-		return nil, fmt.Errorf("%w: %d coefficients for %d coded gradients", ErrDimension, len(coeffs), len(coded))
-	}
 	out := make(Gradient, dim)
-	for i, c := range coeffs {
-		if c == 0 {
-			continue
-		}
-		if coded[i] == nil {
-			return nil, fmt.Errorf("%w: non-zero coefficient %g for missing gradient %d", ErrDimension, c, i)
-		}
-		if len(coded[i]) != dim {
-			return nil, fmt.Errorf("%w: coded %d has dim %d, want %d", ErrDimension, i, len(coded[i]), dim)
-		}
-		for j, v := range coded[i] {
-			out[j] += c * v
-		}
+	if err := CombineInto(out, coeffs, coded); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -120,13 +97,8 @@ func Sum(gs []Gradient) (Gradient, error) {
 		return nil, fmt.Errorf("%w: empty sum", ErrDimension)
 	}
 	out := make(Gradient, len(gs[0]))
-	for i, g := range gs {
-		if len(g) != len(out) {
-			return nil, fmt.Errorf("%w: gradient %d has dim %d, want %d", ErrDimension, i, len(g), len(out))
-		}
-		for j, v := range g {
-			out[j] += v
-		}
+	if err := SumInto(out, gs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

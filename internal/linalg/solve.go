@@ -3,7 +3,33 @@ package linalg
 import (
 	"fmt"
 	"math"
+	"sync"
 )
+
+// The solvers below run Gaussian elimination directly on raw row-major
+// slices borrowed from a sync.Pool, rather than through per-element At/Set
+// calls on freshly cloned matrices: the decoders call them on every cache
+// miss, so the work matrices are the pipeline's dominant transient
+// allocation.
+
+// workPool recycles elimination work buffers. Contents are unspecified;
+// borrowers must fully overwrite the region they use.
+var workPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// getWork borrows a length-n scratch slice with unspecified contents.
+func getWork(n int) []float64 {
+	p := workPool.Get().(*[]float64)
+	if cap(*p) >= n {
+		return (*p)[:n]
+	}
+	workPool.Put(p)
+	return make([]float64, n)
+}
+
+// putWork returns a scratch slice to the pool.
+func putWork(buf []float64) {
+	workPool.Put(&buf)
+}
 
 // Solve solves the square linear system A·x = b by Gaussian elimination with
 // partial pivoting. A and b are not modified. Returns ErrSingular when A is
@@ -16,18 +42,19 @@ func Solve(a *Matrix, b []float64) ([]float64, error) {
 		return nil, fmt.Errorf("%w: Solve rhs length %d != %d", ErrShape, len(b), a.rows)
 	}
 	n := a.rows
-	// Augmented working copy.
-	work := a.Clone()
+	work := getWork(n * n)
+	defer putWork(work)
+	copy(work, a.data)
 	x := make([]float64, n)
 	copy(x, b)
 
-	tol := pivotTol(work)
+	tol := pivotTolSlice(work, n, n)
 	for col := 0; col < n; col++ {
 		// Partial pivoting: pick the largest remaining entry in this column.
 		pivot := col
-		pmax := math.Abs(work.At(col, col))
+		pmax := math.Abs(work[col*n+col])
 		for r := col + 1; r < n; r++ {
-			if a := math.Abs(work.At(r, col)); a > pmax {
+			if a := math.Abs(work[r*n+col]); a > pmax {
 				pmax, pivot = a, r
 			}
 		}
@@ -35,28 +62,31 @@ func Solve(a *Matrix, b []float64) ([]float64, error) {
 			return nil, ErrSingular
 		}
 		if pivot != col {
-			swapRows(work, pivot, col)
+			swapRowSlices(work, n, pivot, col)
 			x[pivot], x[col] = x[col], x[pivot]
 		}
-		pv := work.At(col, col)
+		crow := work[col*n : col*n+n]
+		pv := crow[col]
 		for r := col + 1; r < n; r++ {
-			f := work.At(r, col) / pv
+			rrow := work[r*n : r*n+n]
+			f := rrow[col] / pv
 			if f == 0 {
 				continue
 			}
 			for c := col; c < n; c++ {
-				work.Set(r, c, work.At(r, c)-f*work.At(col, c))
+				rrow[c] -= f * crow[c]
 			}
 			x[r] -= f * x[col]
 		}
 	}
 	// Back substitution.
 	for i := n - 1; i >= 0; i-- {
+		irow := work[i*n : i*n+n]
 		sum := x[i]
 		for j := i + 1; j < n; j++ {
-			sum -= work.At(i, j) * x[j]
+			sum -= irow[j] * x[j]
 		}
-		x[i] = sum / work.At(i, i)
+		x[i] = sum / irow[i]
 	}
 	return x, nil
 }
@@ -91,32 +121,37 @@ func Inverse(a *Matrix) (*Matrix, error) {
 // column scanning and the given tolerance (DefaultTol scaled by magnitude
 // when tol <= 0).
 func Rank(a *Matrix, tol float64) int {
-	work := a.Clone()
+	rows, cols := a.rows, a.cols
+	work := getWork(rows * cols)
+	defer putWork(work)
+	copy(work, a.data)
 	if tol <= 0 {
-		tol = pivotTol(work)
+		tol = pivotTolSlice(work, rows, cols)
 	}
 	rank := 0
 	row := 0
-	for col := 0; col < work.cols && row < work.rows; col++ {
+	for col := 0; col < cols && row < rows; col++ {
 		pivot := -1
 		pmax := tol
-		for r := row; r < work.rows; r++ {
-			if v := math.Abs(work.At(r, col)); v > pmax {
+		for r := row; r < rows; r++ {
+			if v := math.Abs(work[r*cols+col]); v > pmax {
 				pmax, pivot = v, r
 			}
 		}
 		if pivot < 0 {
 			continue
 		}
-		swapRows(work, pivot, row)
-		pv := work.At(row, col)
-		for r := row + 1; r < work.rows; r++ {
-			f := work.At(r, col) / pv
+		swapRowSlices(work, cols, pivot, row)
+		prow := work[row*cols : row*cols+cols]
+		pv := prow[col]
+		for r := row + 1; r < rows; r++ {
+			rrow := work[r*cols : r*cols+cols]
+			f := rrow[col] / pv
 			if f == 0 {
 				continue
 			}
-			for c := col; c < work.cols; c++ {
-				work.Set(r, c, work.At(r, c)-f*work.At(row, c))
+			for c := col; c < cols; c++ {
+				rrow[c] -= f * prow[c]
 			}
 		}
 		row++
@@ -168,61 +203,69 @@ func SolveConsistent(a *Matrix, b []float64, tol float64) ([]float64, error) {
 	if a.rows != len(b) {
 		return nil, fmt.Errorf("%w: rhs length %d != rows %d", ErrShape, len(b), a.rows)
 	}
-	work := a.Clone()
-	rhs := make([]float64, len(b))
+	rows, cols := a.rows, a.cols
+	// One borrow covers the work matrix and the mutable rhs.
+	scratch := getWork(rows*cols + rows)
+	defer putWork(scratch)
+	work := scratch[:rows*cols]
+	rhs := scratch[rows*cols:]
+	copy(work, a.data)
 	copy(rhs, b)
 	if tol <= 0 {
-		tol = pivotTol(work)
+		tol = pivotTolSlice(work, rows, cols)
 		if bt := Norm2(b) * DefaultTol; bt > tol {
 			tol = bt
 		}
 	}
-	type pivotPos struct{ row, col int }
-	var pivots []pivotPos
+	// pivotRows[i] is the pivot column of elimination row i.
+	pivotCols := make([]int, 0, minInt(rows, cols))
 	row := 0
-	for col := 0; col < work.cols && row < work.rows; col++ {
+	for col := 0; col < cols && row < rows; col++ {
 		pivot := -1
 		pmax := tol
-		for r := row; r < work.rows; r++ {
-			if v := math.Abs(work.At(r, col)); v > pmax {
+		for r := row; r < rows; r++ {
+			if v := math.Abs(work[r*cols+col]); v > pmax {
 				pmax, pivot = v, r
 			}
 		}
 		if pivot < 0 {
 			continue
 		}
-		swapRows(work, pivot, row)
+		swapRowSlices(work, cols, pivot, row)
 		rhs[pivot], rhs[row] = rhs[row], rhs[pivot]
-		pv := work.At(row, col)
-		for r := row + 1; r < work.rows; r++ {
-			f := work.At(r, col) / pv
+		prow := work[row*cols : row*cols+cols]
+		pv := prow[col]
+		for r := row + 1; r < rows; r++ {
+			rrow := work[r*cols : r*cols+cols]
+			f := rrow[col] / pv
 			if f == 0 {
 				continue
 			}
-			for c := col; c < work.cols; c++ {
-				work.Set(r, c, work.At(r, c)-f*work.At(row, c))
+			for c := col; c < cols; c++ {
+				rrow[c] -= f * prow[c]
 			}
 			rhs[r] -= f * rhs[row]
 		}
-		pivots = append(pivots, pivotPos{row, col})
+		pivotCols = append(pivotCols, col)
 		row++
 	}
 	// Consistency: rows below the last pivot must have ~zero rhs.
 	resTol := residualTol(a, b, tol)
-	for r := row; r < work.rows; r++ {
+	for r := row; r < rows; r++ {
 		if math.Abs(rhs[r]) > resTol {
 			return nil, ErrInconsistent
 		}
 	}
 	// Back substitution over pivot columns; free variables stay zero.
-	x := make([]float64, work.cols)
-	for i := len(pivots) - 1; i >= 0; i-- {
-		p := pivots[i]
-		sum := rhs[p.row]
-		for c := p.col + 1; c < work.cols; c++ {
-			sum -= work.At(p.row, c) * x[c]
+	x := make([]float64, cols)
+	for i := len(pivotCols) - 1; i >= 0; i-- {
+		pc := pivotCols[i]
+		irow := work[i*cols : i*cols+cols]
+		sum := rhs[i]
+		for c := pc + 1; c < cols; c++ {
+			sum -= irow[c] * x[c]
 		}
-		x[p.col] = sum / work.At(p.row, p.col)
+		x[pc] = sum / irow[pc]
 	}
 	// Validate: elimination tolerances can mask inconsistency on badly
 	// conditioned systems, so check the actual residual.
@@ -247,42 +290,51 @@ func NullSpaceVector(a *Matrix) ([]float64, error) {
 		return nil, fmt.Errorf("%w: NullSpaceVector needs rows > cols, got %dx%d", ErrShape, a.rows, a.cols)
 	}
 	// vᵀA = 0  ⇔  Aᵀv = 0. Row-reduce Aᵀ (cols×rows) and read a null basis
-	// vector from a free column.
-	at := a.T()
-	work := at.Clone()
-	tol := pivotTol(work)
-	n := work.cols // length of v
-	pivotColOfRow := make([]int, 0, work.rows)
+	// vector from a free column. The transpose is materialised straight into
+	// a pooled buffer.
+	wrows, n := a.cols, a.rows // work is wrows×n; n is the length of v
+	work := getWork(wrows * n)
+	defer putWork(work)
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		for j, v := range arow {
+			work[j*n+i] = v
+		}
+	}
+	tol := pivotTolSlice(work, wrows, n)
+	pivotColOfRow := make([]int, 0, wrows)
 	isPivotCol := make([]bool, n)
 	row := 0
-	for col := 0; col < n && row < work.rows; col++ {
+	for col := 0; col < n && row < wrows; col++ {
 		pivot := -1
 		pmax := tol
-		for r := row; r < work.rows; r++ {
-			if v := math.Abs(work.At(r, col)); v > pmax {
+		for r := row; r < wrows; r++ {
+			if v := math.Abs(work[r*n+col]); v > pmax {
 				pmax, pivot = v, r
 			}
 		}
 		if pivot < 0 {
 			continue
 		}
-		swapRows(work, pivot, row)
-		pv := work.At(row, col)
+		swapRowSlices(work, n, pivot, row)
+		prow := work[row*n : row*n+n]
+		pv := prow[col]
 		// Normalise pivot row and eliminate in both directions (Gauss-Jordan)
 		// so back substitution is trivial.
 		for c := col; c < n; c++ {
-			work.Set(row, c, work.At(row, c)/pv)
+			prow[c] /= pv
 		}
-		for r := 0; r < work.rows; r++ {
+		for r := 0; r < wrows; r++ {
 			if r == row {
 				continue
 			}
-			f := work.At(r, col)
+			rrow := work[r*n : r*n+n]
+			f := rrow[col]
 			if f == 0 {
 				continue
 			}
 			for c := col; c < n; c++ {
-				work.Set(r, c, work.At(r, c)-f*work.At(row, c))
+				rrow[c] -= f * prow[c]
 			}
 		}
 		pivotColOfRow = append(pivotColOfRow, col)
@@ -303,7 +355,7 @@ func NullSpaceVector(a *Matrix) ([]float64, error) {
 	v := make([]float64, n)
 	v[free] = 1
 	for r, pc := range pivotColOfRow {
-		v[pc] = -work.At(r, free)
+		v[pc] = -work[r*n+free]
 	}
 	return v, nil
 }
@@ -315,23 +367,31 @@ func InSpan(basisRows *Matrix, target []float64, tol float64) bool {
 	return err == nil
 }
 
-func swapRows(m *Matrix, i, j int) {
+// swapRowSlices swaps rows i and j of a row-major buffer with the given
+// stride.
+func swapRowSlices(data []float64, stride, i, j int) {
 	if i == j {
 		return
 	}
-	ri := m.data[i*m.cols : (i+1)*m.cols]
-	rj := m.data[j*m.cols : (j+1)*m.cols]
+	ri := data[i*stride : i*stride+stride]
+	rj := data[j*stride : j*stride+stride]
 	for c := range ri {
 		ri[c], rj[c] = rj[c], ri[c]
 	}
 }
 
-func pivotTol(m *Matrix) float64 {
-	scale := m.MaxAbs()
+// pivotTolSlice mirrors pivotTol for a raw row-major buffer.
+func pivotTolSlice(data []float64, rows, cols int) float64 {
+	var scale float64
+	for _, v := range data {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
 	if scale == 0 {
 		return DefaultTol
 	}
-	return DefaultTol * scale * float64(maxInt(m.rows, m.cols))
+	return DefaultTol * scale * float64(maxInt(rows, cols))
 }
 
 func residualTol(a *Matrix, b []float64, tol float64) float64 {
@@ -345,6 +405,13 @@ func residualTol(a *Matrix, b []float64, tol float64) float64 {
 
 func maxInt(a, b int) int {
 	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
 		return a
 	}
 	return b

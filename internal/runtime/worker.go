@@ -104,7 +104,11 @@ func (w *Worker) Run() error {
 				WorkerID: w.ID(),
 				Vector:   coded,
 			}
-			if err := w.conn.Send(out); err != nil {
+			err = w.conn.Send(out)
+			// Send serialises synchronously, so the coded buffer can go
+			// straight back to the pool.
+			grad.PutBuffer(coded)
+			if err != nil {
 				return err
 			}
 		default:
@@ -113,7 +117,8 @@ func (w *Worker) Run() error {
 	}
 }
 
-// computeCoded evaluates g̃ = Σ_j b_j·g_j over the worker's partitions.
+// computeCoded evaluates g̃ = Σ_j b_j·g_j over the worker's partitions into
+// a pooled buffer (recycled by Run after the upload).
 func (w *Worker) computeCoded(params []float64) ([]float64, error) {
 	partials := make([]grad.Gradient, len(w.parts))
 	for i, d := range w.parts {
@@ -123,8 +128,9 @@ func (w *Worker) computeCoded(params []float64) ([]float64, error) {
 		}
 		partials[i] = g
 	}
-	coded, err := grad.Encode(w.assign.RowCoeffs, partials)
-	if err != nil {
+	coded := grad.GetBuffer(len(params))
+	if err := grad.EncodeInto(coded, w.assign.RowCoeffs, partials); err != nil {
+		grad.PutBuffer(coded)
 		return nil, err
 	}
 	return coded, nil

@@ -82,11 +82,14 @@ type IterationOutcome struct {
 	Time float64
 	// Alive is the worker set available at the decode point (nil on failure).
 	Alive []bool
-	// Coeffs are the decoding coefficients used (nil on failure).
+	// Coeffs are the decoding coefficients used (nil on failure). The slice
+	// is shared with the strategy's decode-plan cache: treat it as read-only.
 	Coeffs []float64
 	// ComputeTimes are each worker's pure compute durations (seconds).
 	ComputeTimes []float64
-	// Delays are the injected straggler delays.
+	// Delays are the injected straggler delays. When no injector is
+	// configured, every outcome of a run shares one all-zero slice: treat it
+	// as read-only.
 	Delays []float64
 }
 
@@ -119,11 +122,15 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	res := &Result{}
+	res := &Result{
+		Iterations: make([]IterationOutcome, 0, cfg.Iterations),
+		Times:      make([]float64, 0, cfg.Iterations),
+	}
 	var usage metrics.UsageTally
-	var finite []float64
+	finite := make([]float64, 0, cfg.Iterations)
+	scr := newIterScratch(cfg.Strategy)
 	for iter := 0; iter < cfg.Iterations; iter++ {
-		out := simulateIteration(&cfg, iter)
+		out := simulateIteration(&cfg, iter, scr)
 		res.Iterations = append(res.Iterations, out)
 		res.Times = append(res.Times, out.Time)
 		if math.IsInf(out.Time, 1) {
@@ -138,19 +145,41 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// iterScratch holds the per-iteration working buffers the simulator reuses
+// across iterations: only the outputs retained in IterationOutcome are
+// allocated fresh.
+type iterScratch struct {
+	finish  []float64
+	noDelay []float64 // permanently zero, used when no injector is set
+	order   []int
+	alive   []bool
+	cover   *coverage
+}
+
+func newIterScratch(st *core.Strategy) *iterScratch {
+	m := st.M()
+	return &iterScratch{
+		finish:  make([]float64, m),
+		noDelay: make([]float64, m),
+		order:   make([]int, m),
+		alive:   make([]bool, m),
+		cover:   newCoverage(st),
+	}
+}
+
 // simulateIteration runs one BSP iteration: draw compute times and delays,
 // replay completions in time order, stop at the first decodable prefix.
-func simulateIteration(cfg *Config, iter int) IterationOutcome {
+func simulateIteration(cfg *Config, iter int, scr *iterScratch) IterationOutcome {
 	st := cfg.Strategy
 	m := st.M()
 	loads := st.Allocation().Loads
 
-	delays := make([]float64, m)
+	delays := scr.noDelay
 	if cfg.Injector != nil {
 		delays = cfg.Injector.Delays(iter, m)
 	}
 	compute := make([]float64, m)
-	finish := make([]float64, m)
+	finish := scr.finish
 	k := float64(st.K())
 	for i := 0; i < m; i++ {
 		// One partition is 1/k of the dataset; throughput is datasets/second.
@@ -164,7 +193,7 @@ func simulateIteration(cfg *Config, iter int) IterationOutcome {
 		finish[i] = t + delays[i]
 	}
 
-	order := make([]int, m)
+	order := scr.order
 	for i := range order {
 		order[i] = i
 	}
@@ -175,8 +204,12 @@ func simulateIteration(cfg *Config, iter int) IterationOutcome {
 		ComputeTimes: compute,
 		Delays:       delays,
 	}
-	alive := make([]bool, m)
-	cover := newCoverage(st)
+	alive := scr.alive
+	for i := range alive {
+		alive[i] = false
+	}
+	cover := scr.cover
+	cover.reset()
 	for _, w := range order {
 		if math.IsInf(finish[w], 1) {
 			break // crashed workers never arrive
@@ -192,6 +225,9 @@ func simulateIteration(cfg *Config, iter int) IterationOutcome {
 		}
 		out.Time = finish[w] + cfg.CommOverhead
 		out.Alive = append([]bool(nil), alive...)
+		// The decode-plan cache owns coeffs; the outcome shares the row, so
+		// consumers must treat it as read-only (they all do — the master
+		// combines with it, trace renders it).
 		out.Coeffs = coeffs
 		break
 	}
@@ -224,6 +260,14 @@ func (c *coverage) add(w int) {
 }
 
 func (c *coverage) complete() bool { return c.uncovered == 0 }
+
+// reset clears the tally for reuse in the next iteration.
+func (c *coverage) reset() {
+	for i := range c.count {
+		c.count[i] = 0
+	}
+	c.uncovered = len(c.count)
+}
 
 // accountUsage implements Fig. 5 accounting: the iteration barrier is the
 // decode point T; a worker is busy for the part of its compute that fits in

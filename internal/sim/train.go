@@ -69,8 +69,9 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 		res.Curve.Append(0, l)
 	}
 
+	scr := newIterScratch(st)
 	for iter := 0; iter < cfg.Sim.Iterations; iter++ {
-		out := simulateIteration(&cfg.Sim, iter)
+		out := simulateIteration(&cfg.Sim, iter, scr)
 		res.Timing.Iterations = append(res.Timing.Iterations, out)
 		res.Timing.Times = append(res.Timing.Times, out.Time)
 		if math.IsInf(out.Time, 1) {
@@ -125,14 +126,20 @@ func decodeGradient(st *core.Strategy, coeffs []float64, model ml.Model, params 
 		return g, nil
 	}
 	coded := make([]grad.Gradient, st.M())
+	defer func() {
+		for _, c := range coded {
+			grad.PutBuffer(c)
+		}
+	}()
 	alloc := st.Allocation()
+	var partials []grad.Gradient
+	var rowCoeffs []float64
 	for w, a := range coeffs {
 		if a == 0 {
 			continue
 		}
 		row := st.Row(w)
-		partials := make([]grad.Gradient, 0, len(alloc.Parts[w]))
-		rowCoeffs := make([]float64, 0, len(alloc.Parts[w]))
+		partials, rowCoeffs = partials[:0], rowCoeffs[:0]
 		for _, p := range alloc.Parts[w] {
 			g, err := partial(p)
 			if err != nil {
@@ -141,8 +148,9 @@ func decodeGradient(st *core.Strategy, coeffs []float64, model ml.Model, params 
 			partials = append(partials, g)
 			rowCoeffs = append(rowCoeffs, row[p])
 		}
-		enc, err := grad.Encode(rowCoeffs, partials)
-		if err != nil {
+		enc := grad.GetBuffer(model.Dim())
+		if err := grad.EncodeInto(enc, rowCoeffs, partials); err != nil {
+			grad.PutBuffer(enc)
 			return nil, err
 		}
 		coded[w] = enc
