@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke bench-baseline
+.PHONY: all build test vet race bench bench-smoke bench-baseline bench-compare
 
 all: build test
 
@@ -29,3 +29,12 @@ bench-smoke:
 bench-baseline:
 	$(GO) test -run '^$$' -bench . -benchmem ./... | $(GO) run ./cmd/gcbench > BENCH_baseline.json
 	@echo wrote BENCH_baseline.json
+
+# Regression gate: rerun the decode/encode hot-path benchmarks and fail when
+# any of them regressed beyond BENCH_TOLERANCE (relative ns/op) versus the
+# committed baseline. Override the tolerance when the hardware differs from
+# the baseline machine (CI does).
+BENCH_TOLERANCE ?= 0.25
+bench-compare:
+	$(GO) test -run '^$$' -bench 'Decode|Encode' -benchmem ./... > /tmp/hetgc-bench-current.txt
+	$(GO) run ./cmd/gcbench -compare BENCH_baseline.json -tolerance $(BENCH_TOLERANCE) < /tmp/hetgc-bench-current.txt

@@ -6,14 +6,26 @@
 //
 // (or `make bench-baseline`). Lines that are not benchmark results (pkg
 // headers, PASS/ok, skips) are ignored.
+//
+// With -compare it becomes a regression gate instead: it parses the current
+// bench output from stdin, matches it against the committed baseline and
+// fails when any benchmark selected by -filter regressed by more than
+// -tolerance (relative ns/op):
+//
+//	go test -run '^$' -bench 'Decode|Encode' ./... | \
+//	    gcbench -compare BENCH_baseline.json
+//
+// (or `make bench-compare`).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -46,17 +58,99 @@ type Report struct {
 }
 
 func main() {
-	report, err := Parse(os.Stdin)
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("gcbench", flag.ContinueOnError)
+	var (
+		compare   = fs.String("compare", "", "baseline BENCH_*.json to gate against (default: emit JSON)")
+		tolerance = fs.Float64("tolerance", 0.25, "maximum allowed relative ns/op regression")
+		filter    = fs.String("filter", "Decode|Encode", "regexp selecting benchmarks to gate")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	report, err := Parse(in)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(report); err != nil {
-		fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)
-		os.Exit(1)
+	if *compare == "" {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
 	}
+	baseRaw, err := os.ReadFile(*compare)
+	if err != nil {
+		return err
+	}
+	var baseline Report
+	if err := json.Unmarshal(baseRaw, &baseline); err != nil {
+		return fmt.Errorf("baseline %s: %w", *compare, err)
+	}
+	return Compare(out, report, &baseline, *filter, *tolerance)
+}
+
+// Compare gates current results against a baseline: benchmarks matching the
+// filter regexp that regressed by more than tolerance (relative ns/op) fail
+// the run, and so do gated baseline benchmarks that are missing from the
+// current run — a silently vanished benchmark (e.g. a package whose benches
+// stopped compiling) must not read as a pass. Benchmarks absent from the
+// baseline are reported but don't fail.
+func Compare(out io.Writer, current, baseline *Report, filter string, tolerance float64) error {
+	re, err := regexp.Compile(filter)
+	if err != nil {
+		return fmt.Errorf("filter: %w", err)
+	}
+	base := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Package+"."+r.Name] = r
+	}
+	seen := make(map[string]bool)
+	gated, regressed := 0, 0
+	for _, r := range current.Results {
+		if !re.MatchString(r.Name) {
+			continue
+		}
+		key := r.Package + "." + r.Name
+		b, ok := base[key]
+		if !ok {
+			fmt.Fprintf(out, "NEW      %-40s %12.1f ns/op (not in baseline)\n", r.Name, r.NsPerOp)
+			continue
+		}
+		seen[key] = true
+		gated++
+		delta := (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+		status := "ok"
+		if delta > tolerance {
+			status = "REGRESSED"
+			regressed++
+		}
+		fmt.Fprintf(out, "%-9s %-40s %12.1f -> %12.1f ns/op (%+.1f%%)\n",
+			status, r.Name, b.NsPerOp, r.NsPerOp, delta*100)
+	}
+	missing := 0
+	for _, b := range baseline.Results {
+		if !re.MatchString(b.Name) || seen[b.Package+"."+b.Name] {
+			continue
+		}
+		missing++
+		fmt.Fprintf(out, "MISSING  %-40s baseline %12.1f ns/op, absent from current run\n", b.Name, b.NsPerOp)
+	}
+	if gated == 0 {
+		return fmt.Errorf("no benchmarks matched filter %q against the baseline", filter)
+	}
+	if missing > 0 {
+		return fmt.Errorf("%d gated baseline benchmarks missing from the current run", missing)
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d of %d gated benchmarks regressed beyond %.0f%%", regressed, gated, tolerance*100)
+	}
+	fmt.Fprintf(out, "all %d gated benchmarks within %.0f%% of baseline\n", gated, tolerance*100)
+	return nil
 }
 
 // Parse reads `go test -bench` output and collects benchmark results.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -53,5 +54,100 @@ func TestParseIgnoresGarbage(t *testing.T) {
 	}
 	if len(rep.Results) != 0 {
 		t.Fatalf("results = %+v", rep.Results)
+	}
+}
+
+func TestRunEmitJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"BenchmarkEncodeInto"`) {
+		t.Fatalf("json output: %s", out.String())
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	pkg := "github.com/hetgc/hetgc/internal/grad"
+	baseline := &Report{Results: []Result{
+		{Name: "BenchmarkEncodeInto", Package: pkg, NsPerOp: 100},
+		{Name: "BenchmarkDecodeFastPath", Package: pkg, NsPerOp: 50},
+		{Name: "BenchmarkUnrelated", Package: pkg, NsPerOp: 10},
+	}}
+
+	var out strings.Builder
+	// Within tolerance: +20% on one, improvement on the other.
+	current := &Report{Results: []Result{
+		{Name: "BenchmarkEncodeInto", Package: pkg, NsPerOp: 120},
+		{Name: "BenchmarkDecodeFastPath", Package: pkg, NsPerOp: 40},
+		{Name: "BenchmarkUnrelated", Package: pkg, NsPerOp: 1e9}, // ignored by filter
+		{Name: "BenchmarkDecodeBrandNew", Package: pkg, NsPerOp: 5},
+	}}
+	if err := Compare(&out, current, baseline, "Decode|Encode", 0.25); err != nil {
+		t.Fatalf("within tolerance: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "NEW") {
+		t.Fatalf("new benchmark not reported:\n%s", out.String())
+	}
+
+	// Beyond tolerance must fail.
+	out.Reset()
+	current.Results[0].NsPerOp = 130
+	if err := Compare(&out, current, baseline, "Decode|Encode", 0.25); err == nil {
+		t.Fatalf("expected regression failure, output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("regression not flagged:\n%s", out.String())
+	}
+
+	// No matches at all is an error (misconfigured gate).
+	if err := Compare(&out, &Report{}, baseline, "Decode|Encode", 0.25); err == nil {
+		t.Fatal("expected error when nothing matches the gate")
+	}
+
+	// Bad filter regexp surfaces.
+	if err := Compare(&out, current, baseline, "(", 0.25); err == nil {
+		t.Fatal("expected regexp error")
+	}
+}
+
+func TestRunCompareAgainstFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/base.json"
+	base := `{"results":[{"name":"BenchmarkEncodeInto","package":"github.com/hetgc/hetgc/internal/grad","iterations":1,"ns_per_op":200000}]}`
+	if err := writeFile(path, base); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-compare", path}, strings.NewReader(sample), &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "within 25% of baseline") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestCompareFlagsMissingBaselineBenches(t *testing.T) {
+	pkg := "github.com/hetgc/hetgc/internal/core"
+	baseline := &Report{Results: []Result{
+		{Name: "BenchmarkDecodeFastPath", Package: pkg, NsPerOp: 50},
+		{Name: "BenchmarkEncodeInto", Package: pkg, NsPerOp: 100},
+	}}
+	// The Decode benchmark vanished (e.g. its package stopped compiling):
+	// the gate must fail rather than silently shrink.
+	current := &Report{Results: []Result{
+		{Name: "BenchmarkEncodeInto", Package: pkg, NsPerOp: 100},
+	}}
+	var out strings.Builder
+	err := Compare(&out, current, baseline, "Decode|Encode", 0.25)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("err = %v, output:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "MISSING") || !strings.Contains(out.String(), "BenchmarkDecodeFastPath") {
+		t.Fatalf("missing bench not reported:\n%s", out.String())
 	}
 }

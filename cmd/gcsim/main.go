@@ -10,6 +10,7 @@
 //	gcsim -exp fig5                   # Fig. 5 computing-resource usage
 //	gcsim -exp ablation-misest        # group-based vs heter under bad estimates
 //	gcsim -exp ablation-s             # replication-factor sweep
+//	gcsim -exp churn                  # elastic control loop under seeded churn
 //	gcsim -exp all                    # everything above
 package main
 
@@ -32,7 +33,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gcsim", flag.ContinueOnError)
 	var (
-		exp   = fs.String("exp", "all", "experiment: table2, fig2a, fig2b, fig3, fig4, fig5, ablation-misest, ablation-s, all")
+		exp   = fs.String("exp", "all", "experiment: table2, fig2a, fig2b, fig3, fig4, fig5, ablation-misest, ablation-s, churn, all")
 		iters = fs.Int("iters", 100, "iterations per simulation cell")
 		seed  = fs.Int64("seed", 1, "random seed")
 	)
@@ -61,6 +62,7 @@ func run(args []string) error {
 		{"fig5", func() error { return fig5(*iters, *seed) }},
 		{"ablation-misest", func() error { return misest(*iters, *seed) }},
 		{"ablation-s", func() error { return replication(*iters, *seed) }},
+		{"churn", func() error { return churn(*iters, *seed) }},
 	}
 	matched := false
 	for _, e := range entries {
@@ -181,6 +183,59 @@ func misest(iters int, seed int64) error {
 		return err
 	}
 	fmt.Print(hetgc.MisestimationTable(rows).String())
+	return nil
+}
+
+func churn(iters int, seed int64) error {
+	fmt.Println("Elastic control loop under seeded churn: 2 of 4 workers slow 10x, a 5th joins, one dies and rejoins")
+	if iters < 24 {
+		iters = 24 // the schedule needs room for every event
+	}
+	cfg := hetgc.ElasticSimConfig{
+		K: 8, S: 1,
+		InitialRates: []float64{500, 500, 500, 500},
+		Events: []hetgc.ChurnEvent{
+			{Iter: iters / 4, Kind: hetgc.ChurnSpeedStep, Member: 1, Factor: 0.1},
+			{Iter: iters / 4, Kind: hetgc.ChurnSpeedStep, Member: 3, Factor: 0.1},
+			{Iter: iters / 3, Kind: hetgc.ChurnJoin, Rate: 500},
+			{Iter: iters / 2, Kind: hetgc.ChurnKill, Member: 3},
+			{Iter: iters * 3 / 4, Kind: hetgc.ChurnRejoin, Member: 3, Rate: 500},
+		},
+		Iterations:      iters,
+		Alpha:           0.5,
+		DriftThreshold:  0.5,
+		MinObservations: 2,
+		CooldownIters:   3,
+		Seed:            seed,
+	}
+	res, err := hetgc.SimulateElastic(cfg)
+	if err != nil {
+		return err
+	}
+	// Determinism is part of the contract: a second run must be identical.
+	res2, err := hetgc.SimulateElastic(cfg)
+	if err != nil {
+		return err
+	}
+	identical := len(res.Times) == len(res2.Times)
+	for i := range res.Times {
+		if !identical || res.Times[i] != res2.Times[i] || res.Epochs[i] != res2.Epochs[i] {
+			identical = false
+			break
+		}
+	}
+	fmt.Println("migration timeline:")
+	for _, ev := range res.Replans {
+		fmt.Printf("  iter %3d  epoch %2d  %-7s  %d workers  (imbalance %.2f)\n",
+			ev.Iter, ev.Epoch, ev.Reason, ev.Members, ev.Imbalance)
+	}
+	fmt.Printf("mean iteration %.2fms (min %.2f, max %.2f), final epoch %d\n",
+		res.Summary.Mean*1000, res.Summary.Min*1000, res.Summary.Max*1000,
+		res.Epochs[len(res.Epochs)-1])
+	fmt.Printf("replay bit-identical: %v\n", identical)
+	if !identical {
+		return fmt.Errorf("churn simulation is not deterministic")
+	}
 	return nil
 }
 

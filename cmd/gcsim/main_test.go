@@ -11,6 +11,13 @@ func TestRunSingleExperiments(t *testing.T) {
 	}
 }
 
+func TestRunChurn(t *testing.T) {
+	// The churn runner internally verifies bit-identical replay.
+	if err := run([]string{"-exp", "churn", "-iters", "28", "-seed", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunFig4Small(t *testing.T) {
 	if err := run([]string{"-exp", "fig4", "-iters", "8", "-seed", "3"}); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,179 @@
+// Elastic: the live estimate → replan → migrate loop on a real loopback TCP
+// cluster. Four workers train a softmax model; mid-training two of them slow
+// down 10x and a fifth worker joins. The control plane sees the drift in the
+// workers' telemetry, rebuilds the coding strategy over the live membership
+// and migrates every worker to the new plan with an epoch-versioned atomic
+// handover — iteration times recover instead of staying hostage to the slow
+// machines. A deterministic, socket-free replay of the same scenario
+// (hetgc.SimulateElastic) is printed alongside.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"github.com/hetgc/hetgc"
+)
+
+const (
+	k, s      = 8, 1
+	iters     = 30
+	slowAt    = 6 // iteration at which workers 1 and 3 slow 10x
+	fastDelay = 2 * time.Millisecond
+	slowDelay = 20 * time.Millisecond
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := hetgc.NewRand(1)
+	data, err := hetgc.GaussianMixture(k*20, 4, 3, 3, rng)
+	if err != nil {
+		return err
+	}
+	parts, err := data.Split(k)
+	if err != nil {
+		return err
+	}
+	model := &hetgc.Softmax{InputDim: 4, NumClasses: 3}
+
+	master, err := hetgc.NewElasticMaster(hetgc.ElasticConfig{
+		K: k, S: s,
+		Model:           model,
+		Optimizer:       &hetgc.SGD{LR: 0.5},
+		InitialParams:   model.InitParams(nil),
+		Iterations:      iters,
+		SampleCount:     data.N(),
+		IterTimeout:     10 * time.Second,
+		MinWorkers:      4,
+		Alpha:           0.5,
+		MinObservations: 2,
+		CooldownIters:   3,
+		DriftThreshold:  0.5,
+		Seed:            1,
+	}, "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+
+	var wg sync.WaitGroup
+	var progress sync.Map // latest iteration seen by worker goroutine 0
+	progress.Store("iter", 0)
+	for i := 0; i < 4; i++ {
+		i := i
+		// Workers 0 and 2 (dialled sequentially, so slots 0 and 2 of the
+		// initial uniform plan) slow down 10x at iteration slowAt.
+		perPart := func(iter int) time.Duration {
+			if i == 0 {
+				progress.Store("iter", iter)
+			}
+			if i%2 == 0 && iter >= slowAt {
+				return slowDelay
+			}
+			return fastDelay
+		}
+		w, err := hetgc.DialElasticWorker(master.Addr(), hetgc.ElasticWorkerConfig{
+			Model:             model,
+			PartitionData:     func(p int) (*hetgc.Dataset, error) { return parts[p], nil },
+			DelayPerPartition: perPart,
+		})
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Run()
+		}()
+	}
+	// A fifth worker joins once the slowdown is under way.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			v, _ := progress.Load("iter")
+			if v.(int) >= slowAt+4 {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		w, err := hetgc.DialElasticWorker(master.Addr(), hetgc.ElasticWorkerConfig{
+			Model:             model,
+			PartitionData:     func(p int) (*hetgc.Dataset, error) { return parts[p], nil },
+			DelayPerPartition: func(int) time.Duration { return fastDelay },
+		})
+		if err != nil {
+			return
+		}
+		fmt.Printf("worker %d joined mid-training\n", w.ID())
+		_ = w.Run()
+	}()
+
+	if err := master.WaitForWorkers(5 * time.Second); err != nil {
+		return err
+	}
+	res, err := master.Run()
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\nlive elastic run:")
+	for _, ev := range res.Replans {
+		fmt.Printf("  iter %2d  epoch %d  replan (%s, %d workers)\n", ev.Iter, ev.Epoch, ev.Reason, ev.Members)
+	}
+	phase := func(from, to int) float64 {
+		sum := 0.0
+		for _, t := range res.IterTimes[from:to] {
+			sum += t
+		}
+		return sum / float64(to-from) * 1000
+	}
+	lastEpoch := res.Epochs[len(res.Epochs)-1]
+	migrated := len(res.Epochs)
+	for i, e := range res.Epochs {
+		if e == lastEpoch {
+			migrated = i
+			break
+		}
+	}
+	fmt.Printf("  mean iteration before slowdown: %.1fms\n", phase(0, slowAt))
+	if migrated < iters {
+		fmt.Printf("  mean iteration after final migration: %.1fms (epoch %d)\n", phase(migrated, iters), lastEpoch)
+	}
+	fmt.Printf("  stale-epoch uploads fenced: %d, telemetry samples: %d, joins: %d\n",
+		res.StaleEpochRejected, res.TelemetrySamples, res.Joins)
+
+	// The same scenario, replayed deterministically without sockets.
+	simRes, err := hetgc.SimulateElastic(hetgc.ElasticSimConfig{
+		K: k, S: s,
+		InitialRates: []float64{500, 500, 500, 500},
+		Events: []hetgc.ChurnEvent{
+			{Iter: slowAt, Kind: hetgc.ChurnSpeedStep, Member: 1, Factor: 0.1},
+			{Iter: slowAt, Kind: hetgc.ChurnSpeedStep, Member: 3, Factor: 0.1},
+			{Iter: slowAt + 4, Kind: hetgc.ChurnJoin, Rate: 500},
+		},
+		Iterations:      iters,
+		Alpha:           0.5,
+		DriftThreshold:  0.5,
+		MinObservations: 2,
+		CooldownIters:   3,
+		Seed:            7,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("\ndeterministic churn simulation of the same scenario:")
+	for _, ev := range simRes.Replans {
+		fmt.Printf("  iter %2d  epoch %d  replan (%s, %d workers)\n", ev.Iter, ev.Epoch, ev.Reason, ev.Members)
+	}
+	fmt.Printf("  mean iteration: %.2fms (min %.2f, max %.2f)\n",
+		simRes.Summary.Mean*1000, simRes.Summary.Min*1000, simRes.Summary.Max*1000)
+	return nil
+}

@@ -25,6 +25,7 @@ import (
 
 	"github.com/hetgc/hetgc/internal/cluster"
 	"github.com/hetgc/hetgc/internal/core"
+	"github.com/hetgc/hetgc/internal/elastic"
 	"github.com/hetgc/hetgc/internal/estimate"
 	"github.com/hetgc/hetgc/internal/experiments"
 	"github.com/hetgc/hetgc/internal/grad"
@@ -261,13 +262,105 @@ func DialWorker(addr string, cfg WorkerConfig) (*RuntimeWorker, error) {
 	return runtime.DialWorker(addr, cfg)
 }
 
+// Elastic control plane: live telemetry, online re-planning and
+// epoch-versioned mid-training strategy migration.
+type (
+	// ElasticMaster drives elastic BSP training over workers that may join,
+	// die and rejoin mid-run, migrating the coding strategy on drift/churn.
+	ElasticMaster = runtime.ElasticMaster
+	// ElasticConfig configures an elastic master (coding parameters plus the
+	// control plane's drift/cooldown knobs).
+	ElasticConfig = runtime.ElasticConfig
+	// ElasticResult summarises an elastic run: iteration times, per-iteration
+	// epochs, migration history, stale-epoch rejections.
+	ElasticResult = runtime.ElasticResult
+	// ElasticWorker is a migration-aware, telemetry-reporting worker.
+	ElasticWorker = runtime.ElasticWorker
+	// ElasticWorkerConfig configures an elastic worker (set ResumeID to
+	// reclaim a member slot after a reconnect).
+	ElasticWorkerConfig = runtime.ElasticWorkerConfig
+	// ReplanEvent records one migration (iteration, epoch, trigger).
+	ReplanEvent = elastic.ReplanEvent
+	// ElasticController is the transport-agnostic control plane shared by
+	// the live runtime and the churn simulator.
+	ElasticController = elastic.Controller
+	// ElasticControllerConfig parameterises an ElasticController.
+	ElasticControllerConfig = elastic.Config
+)
+
+// NewElasticMaster starts an elastic master accepting workers on addr.
+func NewElasticMaster(cfg ElasticConfig, addr string) (*ElasticMaster, error) {
+	return runtime.NewElasticMaster(cfg, addr)
+}
+
+// DialElasticWorker connects an elastic worker to a master; it receives its
+// assignments via epoch-versioned reassignment messages.
+func DialElasticWorker(addr string, cfg ElasticWorkerConfig) (*ElasticWorker, error) {
+	return runtime.DialElasticWorker(addr, cfg)
+}
+
+// RunElastic starts an elastic master on addr, waits for the worker quorum
+// and trains to completion.
+func RunElastic(cfg ElasticConfig, addr string, waitTimeout time.Duration) (*ElasticResult, error) {
+	return runtime.RunElastic(cfg, addr, waitTimeout)
+}
+
+// NewElasticController builds the control plane directly (for custom
+// runtimes or simulators).
+func NewElasticController(cfg ElasticControllerConfig, rng *rand.Rand) (*ElasticController, error) {
+	return elastic.NewController(cfg, rng)
+}
+
+// Deterministic elastic churn simulation.
+type (
+	// ElasticSimConfig parameterises a socket-free elastic control-loop
+	// simulation over a seeded churn schedule.
+	ElasticSimConfig = sim.ElasticSimConfig
+	// ElasticSimResult aggregates an elastic simulation run.
+	ElasticSimResult = sim.ElasticSimResult
+	// ChurnEvent is one scheduled speed step, kill, join or rejoin.
+	ChurnEvent = sim.ChurnEvent
+	// ChurnKind enumerates churn event kinds.
+	ChurnKind = sim.ChurnKind
+)
+
+// Churn event kinds.
+const (
+	ChurnSpeedStep = sim.SpeedStep
+	ChurnKill      = sim.Kill
+	ChurnJoin      = sim.Join
+	ChurnRejoin    = sim.Rejoin
+)
+
+// SimulateElastic runs the deterministic elastic co-simulation — the same
+// control plane as the live runtime, bit-identical for a fixed seed.
+func SimulateElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
+	return sim.RunElastic(cfg)
+}
+
 // Throughput estimation.
 type (
 	// ThroughputSampler estimates worker speed by sampling.
 	ThroughputSampler = estimate.Sampler
 	// ThroughputEWMA estimates worker speed with exponential smoothing.
 	ThroughputEWMA = estimate.EWMA
+	// ThroughputMeter is a count-gated EWMA with a prior — the elastic
+	// control plane's per-worker estimator.
+	ThroughputMeter = estimate.Meter
 )
+
+// NewThroughputMeter builds a count-gated EWMA throughput estimator with
+// the given smoothing factor and prior rate guess.
+func NewThroughputMeter(alpha, prior float64) *ThroughputMeter {
+	return estimate.NewMeter(alpha, prior)
+}
+
+// PredictedImbalance predicts a strategy's iteration time relative to the
+// optimal makespan under throughput estimates (1.0 = balanced) — the drift
+// signal of the online replanning loop.
+func PredictedImbalance(st *Strategy, estimates []float64) float64 {
+	return planner.PredictedImbalance(st, estimates)
+}
 
 // MisestimateThroughputs perturbs true speeds with relative noise eps.
 func MisestimateThroughputs(truth []float64, eps float64, rng *rand.Rand) []float64 {

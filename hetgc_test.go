@@ -295,3 +295,66 @@ func TestPublicAPIMiscWrappers(t *testing.T) {
 		t.Fatalf("naive: %v %v", st, err)
 	}
 }
+
+// TestElasticFacade exercises the public elastic control-plane surface: the
+// deterministic churn simulation, the controller, the throughput meter and
+// the imbalance predictor.
+func TestElasticFacade(t *testing.T) {
+	cfg := ElasticSimConfig{
+		K: 6, S: 1,
+		InitialRates: []float64{400, 400, 400},
+		Events: []ChurnEvent{
+			{Iter: 5, Kind: ChurnSpeedStep, Member: 1, Factor: 0.1},
+			{Iter: 8, Kind: ChurnJoin, Rate: 400},
+		},
+		Iterations:      16,
+		MinObservations: 2,
+		CooldownIters:   2,
+		Seed:            3,
+	}
+	a, err := SimulateElastic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateElastic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Times) != 16 || a.Epochs[15] < 1 || len(a.Replans) < 2 {
+		t.Fatalf("sim result = %+v", a)
+	}
+	for i := range a.Times {
+		if a.Times[i] != b.Times[i] || a.Epochs[i] != b.Epochs[i] {
+			t.Fatal("churn simulation not deterministic via facade")
+		}
+	}
+
+	ctrl, err := NewElasticController(ElasticControllerConfig{K: 6, S: 1}, NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.AddMember(1, 1)
+	ctrl.AddMember(2, 1)
+	plan, err := ctrl.Replan(0, "initial")
+	if err != nil || plan.Epoch != 0 || plan.Strategy.M() != 2 {
+		t.Fatalf("plan = %+v err = %v", plan, err)
+	}
+
+	meter := NewThroughputMeter(0.5, 2)
+	if meter.Rate(1) != 2 {
+		t.Fatalf("cold meter rate = %v, want prior 2", meter.Rate(1))
+	}
+	if err := meter.Observe(4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if meter.Rate(1) != 4 {
+		t.Fatalf("warm meter rate = %v, want 4", meter.Rate(1))
+	}
+	st, err := NewHeterAware([]float64{1, 2, 3}, 6, 1, NewRand(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im := PredictedImbalance(st, []float64{1, 2, 3}); im < 1-1e-9 || im > 2 {
+		t.Fatalf("imbalance = %v", im)
+	}
+}

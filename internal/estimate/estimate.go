@@ -80,6 +80,58 @@ func (e *EWMA) Estimate() (float64, error) {
 	return e.value, nil
 }
 
+// Meter is the online estimator used by the elastic control plane: an EWMA
+// gated on a minimum observation count, so that cold or freshly-(re)joined
+// workers fall back to a prior guess until they have reported enough
+// iterations of telemetry.
+type Meter struct {
+	ewma  EWMA
+	prior float64
+	count int
+}
+
+// NewMeter builds a meter with the given smoothing factor and prior rate
+// guess (used until the meter is Ready).
+func NewMeter(alpha, prior float64) *Meter {
+	return &Meter{ewma: EWMA{Alpha: alpha}, prior: prior}
+}
+
+// Observe records one rate measurement (partitions processed in elapsed
+// seconds).
+func (m *Meter) Observe(partitions int, elapsed float64) error {
+	if err := m.ewma.Observe(partitions, elapsed); err != nil {
+		return err
+	}
+	m.count++
+	return nil
+}
+
+// Count returns the number of observations recorded.
+func (m *Meter) Count() int { return m.count }
+
+// Ready reports whether at least min observations have been recorded.
+func (m *Meter) Ready(min int) bool { return m.count >= min }
+
+// Rate returns the smoothed rate once Ready(min), the prior guess before.
+func (m *Meter) Rate(min int) float64 {
+	if m.count >= min {
+		if v, err := m.ewma.Estimate(); err == nil {
+			return v
+		}
+	}
+	return m.prior
+}
+
+// Reset clears the observation history but keeps the prior — for callers
+// that know a machine's speed changed discontinuously (e.g. it moved to new
+// hardware) and want the EWMA to restart rather than converge from stale
+// samples. The elastic control plane deliberately does NOT reset on rejoin:
+// a warm estimate is usually a better prior than none.
+func (m *Meter) Reset() {
+	m.ewma = EWMA{Alpha: m.ewma.Alpha}
+	m.count = 0
+}
+
 // Misestimate perturbs true throughputs with multiplicative
 // Uniform(1−eps, 1+eps) noise — the controlled estimation error used by the
 // group-based ablation. eps=0 returns an exact copy.

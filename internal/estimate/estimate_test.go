@@ -107,3 +107,60 @@ func TestMisestimateBoundsAndExactCopy(t *testing.T) {
 		t.Fatal("Misestimate must not alias input")
 	}
 }
+
+func TestMeterPriorUntilReady(t *testing.T) {
+	m := NewMeter(0.5, 4.0)
+	if m.Ready(2) {
+		t.Fatal("fresh meter must not be ready")
+	}
+	if got := m.Rate(2); got != 4.0 {
+		t.Fatalf("cold rate = %v, want prior 4.0", got)
+	}
+	if err := m.Observe(10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Rate(2); got != 4.0 {
+		t.Fatalf("rate after 1 obs = %v, still want prior", got)
+	}
+	if err := m.Observe(10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Ready(2) || m.Count() != 2 {
+		t.Fatalf("ready=%v count=%d", m.Ready(2), m.Count())
+	}
+	if got := m.Rate(2); got != 10 {
+		t.Fatalf("warm rate = %v, want 10", got)
+	}
+}
+
+func TestMeterResetRestoresPrior(t *testing.T) {
+	m := NewMeter(0.5, 2.0)
+	for i := 0; i < 5; i++ {
+		if err := m.Observe(8, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Reset()
+	if m.Count() != 0 || m.Rate(1) != 2.0 {
+		t.Fatalf("after reset count=%d rate=%v", m.Count(), m.Rate(1))
+	}
+	if err := m.Observe(6, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Rate(1); got != 6 {
+		t.Fatalf("rate after reset+observe = %v", got)
+	}
+}
+
+func TestMeterRejectsBadObservation(t *testing.T) {
+	m := NewMeter(0.5, 1)
+	if err := m.Observe(0, 1); err == nil {
+		t.Fatal("zero partitions must be rejected")
+	}
+	if err := m.Observe(1, -1); err == nil {
+		t.Fatal("negative elapsed must be rejected")
+	}
+	if m.Count() != 0 {
+		t.Fatalf("rejected observations must not count, got %d", m.Count())
+	}
+}

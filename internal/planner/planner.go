@@ -134,22 +134,34 @@ func (p *Planner) Estimates() []float64 {
 // optimum under the latest estimates: max_i (n_i/ĉ_i) / ((s+1)k/Σĉ).
 // 1.0 means the allocation is still perfectly balanced.
 func (p *Planner) Imbalance() float64 {
-	est := p.Estimates()
-	loads := p.current.Allocation().Loads
+	return PredictedImbalance(p.current, p.Estimates())
+}
+
+// PredictedImbalance predicts a strategy's iteration time relative to the
+// optimal makespan under the given throughput estimates:
+// max_i (n_i/ĉ_i) / ((s+1)k/Σĉ). It is the drift signal of the online
+// replanning loop: 1.0 means the allocation still matches the estimates
+// perfectly, 2.0 means iterations are predicted to run at half the possible
+// speed. Estimates must align with the strategy's worker slots.
+func PredictedImbalance(st *core.Strategy, estimates []float64) float64 {
+	loads := st.Allocation().Loads
+	if len(estimates) != len(loads) {
+		return 1
+	}
 	var sum float64
-	for _, c := range est {
+	for _, c := range estimates {
 		sum += c
 	}
 	if sum <= 0 {
 		return 1
 	}
-	optimal := float64((p.cfg.S+1)*p.cfg.K) / sum
+	optimal := float64((st.S()+1)*st.K()) / sum
 	worst := 0.0
 	for i, n := range loads {
-		if est[i] <= 0 {
+		if estimates[i] <= 0 {
 			continue
 		}
-		if t := float64(n) / est[i]; t > worst {
+		if t := float64(n) / estimates[i]; t > worst {
 			worst = t
 		}
 	}
@@ -157,6 +169,21 @@ func (p *Planner) Imbalance() float64 {
 		return 1
 	}
 	return worst / optimal
+}
+
+// BuildStrategy builds a fresh strategy of the given scheme from throughput
+// estimates — the online (re)planning entry point used by the elastic control
+// plane, where the worker count changes with cluster membership. Scheme 0
+// defaults to heter-aware.
+func BuildStrategy(scheme core.Kind, throughputs []float64, k, s int, rng *rand.Rand) (*core.Strategy, error) {
+	switch scheme {
+	case core.GroupBased:
+		return core.NewGroupBased(throughputs, k, s, rng)
+	case core.HeterAware, core.Kind(0):
+		return core.NewHeterAware(throughputs, k, s, rng)
+	default:
+		return nil, fmt.Errorf("%w: online planning supports heter-aware/group-based, got %v", ErrBadConfig, scheme)
+	}
 }
 
 // MaybeReplan rebuilds the strategy when the predicted imbalance exceeds
@@ -186,11 +213,5 @@ func (p *Planner) Replan(rng *rand.Rand) error {
 }
 
 func (p *Planner) build(rng *rand.Rand) (*core.Strategy, error) {
-	est := p.Estimates()
-	switch p.cfg.Scheme {
-	case core.GroupBased:
-		return core.NewGroupBased(est, p.cfg.K, p.cfg.S, rng)
-	default:
-		return core.NewHeterAware(est, p.cfg.K, p.cfg.S, rng)
-	}
+	return BuildStrategy(p.cfg.Scheme, p.Estimates(), p.cfg.K, p.cfg.S, rng)
 }

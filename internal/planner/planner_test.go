@@ -1,4 +1,4 @@
-package planner
+package planner_test
 
 import (
 	"errors"
@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/hetgc/hetgc/internal/core"
+	. "github.com/hetgc/hetgc/internal/planner"
 	"github.com/hetgc/hetgc/internal/sim"
 )
 
@@ -177,4 +178,45 @@ func scaleToDatasetRate(partitionRates []float64, k int) []float64 {
 		out[i] = v / float64(k)
 	}
 	return out
+}
+
+func TestPredictedImbalance(t *testing.T) {
+	truth := []float64{1, 2, 3, 4, 4}
+	st, err := core.NewHeterAware(truth, 7, 1, rng(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Estimates matching the build throughputs: near-balanced (rounding of
+	// the proportional loads leaves a small residual imbalance).
+	if im := PredictedImbalance(st, truth); im < 1-1e-9 || im > 1.6 {
+		t.Fatalf("matched estimates imbalance = %v", im)
+	}
+	// Worker 4 collapses to 1/8th speed: the predicted imbalance must blow up.
+	drifted := append([]float64(nil), truth...)
+	drifted[4] = 0.5
+	if im := PredictedImbalance(st, drifted); im < 2 {
+		t.Fatalf("drifted imbalance = %v, want >= 2", im)
+	}
+	// Mismatched estimate length degrades to neutral.
+	if im := PredictedImbalance(st, []float64{1, 2}); im != 1 {
+		t.Fatalf("mismatched length imbalance = %v, want 1", im)
+	}
+}
+
+func TestBuildStrategyOnline(t *testing.T) {
+	st, err := BuildStrategy(core.HeterAware, []float64{1, 2, 3}, 6, 1, rng(22))
+	if err != nil || st.Kind() != core.HeterAware || st.M() != 3 {
+		t.Fatalf("st = %+v err = %v", st, err)
+	}
+	st, err = BuildStrategy(0, []float64{1, 2, 3}, 6, 1, rng(23))
+	if err != nil || st.Kind() != core.HeterAware {
+		t.Fatalf("default scheme: %v err %v", st.Kind(), err)
+	}
+	st, err = BuildStrategy(core.GroupBased, []float64{1, 2, 3, 4}, 6, 1, rng(24))
+	if err != nil || st.Kind() != core.GroupBased {
+		t.Fatalf("group-based: err %v", err)
+	}
+	if _, err := BuildStrategy(core.Naive, []float64{1, 1}, 2, 0, rng(25)); err == nil {
+		t.Fatal("naive must be rejected for online planning")
+	}
 }

@@ -1,0 +1,632 @@
+// Elastic master: the live counterpart of the internal/elastic control
+// plane. Unlike Master — which freezes one strategy and treats every worker
+// failure as permanent — the ElasticMaster accepts workers for the whole
+// training run, ingests their per-iteration telemetry, and when the
+// controller detects drift or churn it migrates the cluster to a fresh
+// strategy with an epoch-versioned atomic handover: MsgReassign carries
+// (epoch, assignment), parameter broadcasts are tagged with the epoch, and
+// gradient uploads from any older epoch are rejected before they can reach
+// decode.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/core"
+	"github.com/hetgc/hetgc/internal/elastic"
+	"github.com/hetgc/hetgc/internal/grad"
+	"github.com/hetgc/hetgc/internal/metrics"
+	"github.com/hetgc/hetgc/internal/ml"
+	"github.com/hetgc/hetgc/internal/transport"
+)
+
+// ErrMigrationFailed is returned when a forced replan (after worker deaths
+// made the current epoch undecodable) cannot produce a viable strategy.
+var ErrMigrationFailed = errors.New("runtime: migration failed")
+
+// ElasticConfig configures an elastic training master.
+type ElasticConfig struct {
+	// K is the data-partition count, S the straggler budget; both are fixed
+	// across migrations (partition indices are global and stable).
+	K, S int
+	// Scheme is the strategy family to plan: core.HeterAware (default) or
+	// core.GroupBased.
+	Scheme core.Kind
+	// Model, Optimizer, InitialParams, Iterations, SampleCount, IterTimeout,
+	// LossEvery and LossFn mirror MasterConfig.
+	Model         ml.Model
+	Optimizer     ml.Optimizer
+	InitialParams []float64
+	Iterations    int
+	SampleCount   int
+	IterTimeout   time.Duration
+	LossEvery     int
+	LossFn        func(params []float64) (float64, error)
+	// MinWorkers is the membership required before training starts
+	// (default s+1, the planning quorum).
+	MinWorkers int
+	// Alpha, DriftThreshold, MinObservations, CooldownIters and InitialRate
+	// parameterise the control plane (see elastic.Config).
+	Alpha           float64
+	DriftThreshold  float64
+	MinObservations int
+	CooldownIters   int
+	InitialRate     float64
+	// MaxRetries bounds forced replan+retry attempts for a single iteration
+	// after timeouts or mid-iteration deaths (default 2).
+	MaxRetries int
+	// Seed drives strategy construction — fixed seed, reproducible plans.
+	Seed int64
+}
+
+func (c *ElasticConfig) validate() error {
+	if c.Model == nil || c.Optimizer == nil {
+		return fmt.Errorf("%w: model/optimizer required", ErrBadConfig)
+	}
+	if len(c.InitialParams) != c.Model.Dim() {
+		return fmt.Errorf("%w: %d initial params, model wants %d", ErrBadConfig, len(c.InitialParams), c.Model.Dim())
+	}
+	if c.K <= 0 || c.S < 0 {
+		return fmt.Errorf("%w: k=%d s=%d", ErrBadConfig, c.K, c.S)
+	}
+	if c.Iterations <= 0 || c.SampleCount <= 0 {
+		return fmt.Errorf("%w: iterations=%d samples=%d", ErrBadConfig, c.Iterations, c.SampleCount)
+	}
+	if c.IterTimeout <= 0 {
+		return fmt.Errorf("%w: iteration timeout required", ErrBadConfig)
+	}
+	if c.MinWorkers < 0 || (c.MinWorkers > 0 && c.MinWorkers < c.S+1) {
+		return fmt.Errorf("%w: min workers %d below planning quorum s+1=%d", ErrBadConfig, c.MinWorkers, c.S+1)
+	}
+	return nil
+}
+
+// ElasticResult summarises an elastic training run.
+type ElasticResult struct {
+	// Params are the final parameters.
+	Params []float64
+	// IterTimes are per-iteration wall times in seconds.
+	IterTimes []float64
+	// Epochs records the plan epoch each iteration was decoded under.
+	Epochs []int
+	// Summary summarises IterTimes.
+	Summary metrics.Summary
+	// Curve is (cumulative seconds, loss) when loss recording was enabled.
+	Curve metrics.Series
+	// Replans is the migration history (initial plan included).
+	Replans []elastic.ReplanEvent
+	// StaleEpochRejected counts gradient uploads rejected because they were
+	// encoded under a superseded plan epoch — fenced before decode.
+	StaleEpochRejected int
+	// StragglersSkipped counts current-epoch uploads that arrived after
+	// their iteration had already decoded.
+	StragglersSkipped int
+	// MalformedSkipped counts uploads rejected before decode (wrong length,
+	// NaN/Inf, transport validation failures).
+	MalformedSkipped int
+	// TelemetrySamples counts telemetry reports ingested by the controller.
+	TelemetrySamples int
+	// Joins and Deaths count membership events observed during the run.
+	Joins, Deaths int
+}
+
+type elasticMember struct {
+	id    int
+	conn  *transport.Conn
+	alive bool
+	// gen counts reconnects: messages and death reports from a superseded
+	// connection carry an older gen and are fenced out, so a stale reader
+	// can never kill a healthy rejoined member.
+	gen int
+}
+
+type elasticMsg struct {
+	memberID  int
+	gen       int
+	env       *transport.Envelope
+	err       error
+	malformed bool
+}
+
+// ElasticMaster drives elastic BSP training over TCP workers that may join,
+// die and rejoin mid-run.
+type ElasticMaster struct {
+	cfg      ElasticConfig
+	listener *transport.Listener
+	ctrl     *elastic.Controller
+	inbox    chan elasticMsg
+
+	mu      sync.Mutex
+	members map[int]*elasticMember
+	nextID  int
+	joins   int
+	deaths  int
+
+	joined    chan struct{} // signalled on every successful join
+	stop      chan struct{}
+	readers   sync.WaitGroup
+	accept    sync.WaitGroup // accept loop + in-flight handshakes
+	closeOnce sync.Once
+}
+
+// NewElasticMaster validates the config, prepares the control plane and
+// starts accepting workers on addr (use "127.0.0.1:0" for tests). Workers
+// may connect at any time between NewElasticMaster and the end of Run.
+func NewElasticMaster(cfg ElasticConfig, addr string) (*ElasticMaster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ctrl, err := elastic.NewController(elastic.Config{
+		K: cfg.K, S: cfg.S, Scheme: cfg.Scheme,
+		Alpha: cfg.Alpha, DriftThreshold: cfg.DriftThreshold,
+		MinObservations: cfg.MinObservations, CooldownIters: cfg.CooldownIters,
+		InitialRate: cfg.InitialRate,
+	}, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	l, err := transport.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	ma := &ElasticMaster{
+		cfg:      cfg,
+		listener: l,
+		ctrl:     ctrl,
+		inbox:    make(chan elasticMsg, 64),
+		members:  make(map[int]*elasticMember),
+		nextID:   1, // IDs start at 1 so a zero ResumeID means "new worker"
+		joined:   make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+	}
+	ma.accept.Add(1)
+	go ma.acceptLoop()
+	return ma, nil
+}
+
+// Addr returns the address workers should dial.
+func (ma *ElasticMaster) Addr() string { return ma.listener.Addr() }
+
+// acceptLoop admits workers for the lifetime of the run.
+func (ma *ElasticMaster) acceptLoop() {
+	defer ma.accept.Done()
+	for {
+		conn, err := ma.listener.Accept()
+		if err != nil {
+			return // listener closed: run over
+		}
+		ma.accept.Add(1)
+		go func() {
+			defer ma.accept.Done()
+			ma.handshake(conn)
+		}()
+	}
+}
+
+// handshake reads the hello, resolves the member identity (fresh join or
+// rejoin) and registers the member with the control plane. The registration
+// and the hello ack happen under the roster lock, serialising the ack with
+// Close's shutdown sweep — the connection never has two concurrent writers.
+func (ma *ElasticMaster) handshake(conn *transport.Conn) {
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	hello, err := conn.Recv()
+	if err != nil || hello.Type != transport.MsgHello {
+		_ = conn.Close()
+		return
+	}
+	ma.mu.Lock()
+	id, gen := 0, 0
+	if prev, ok := ma.members[hello.WorkerID]; ok && !prev.alive {
+		// Rejoin: resume the dead member's identity (and its warm throughput
+		// estimate in the controller) on a new connection generation. Close
+		// the superseded connection so its readLoop unblocks (its death
+		// report is fenced by the old gen) and the fd is not leaked.
+		id = hello.WorkerID
+		_ = prev.conn.Close()
+		prev.conn = conn
+		prev.alive = true
+		prev.gen++
+		gen = prev.gen
+	} else {
+		id = ma.nextID
+		ma.nextID++
+		ma.members[id] = &elasticMember{id: id, conn: conn, alive: true}
+	}
+	ma.ctrl.AddMember(id, 0)
+	ma.joins++
+	// Ack the hello with the assigned member ID so the worker can resume
+	// this slot after a reconnect.
+	ack := &transport.Envelope{Type: transport.MsgHello, WorkerID: id}
+	if err := conn.Send(ack); err != nil {
+		member := ma.members[id]
+		member.alive = false
+		ma.deaths++
+		ma.ctrl.RemoveMember(id)
+		ma.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	ma.mu.Unlock()
+	_ = conn.SetDeadline(time.Time{})
+
+	select {
+	case ma.joined <- struct{}{}:
+	default:
+	}
+
+	ma.readers.Add(1)
+	go ma.readLoop(id, gen, conn)
+}
+
+// readLoop feeds one connection generation's frames into the shared inbox.
+func (ma *ElasticMaster) readLoop(id, gen int, conn *transport.Conn) {
+	defer ma.readers.Done()
+	for {
+		env, err := conn.Recv()
+		if err != nil {
+			if errors.Is(err, transport.ErrMalformed) {
+				select {
+				case ma.inbox <- elasticMsg{memberID: id, gen: gen, malformed: true}:
+				case <-ma.stop:
+					return
+				}
+				continue
+			}
+			select {
+			case ma.inbox <- elasticMsg{memberID: id, gen: gen, err: err}:
+			case <-ma.stop:
+			}
+			return
+		}
+		switch env.Type {
+		case transport.MsgGradient, transport.MsgTelemetry:
+			select {
+			case ma.inbox <- elasticMsg{memberID: id, gen: gen, env: env}:
+			case <-ma.stop:
+				return
+			}
+		}
+	}
+}
+
+// sendTo writes one envelope under a write deadline, so a stalled (but not
+// disconnected) worker fails the send — and is handled as dead — instead of
+// blocking the control loop forever on a full socket buffer.
+func (ma *ElasticMaster) sendTo(conn *transport.Conn, env *transport.Envelope) error {
+	_ = conn.SetWriteDeadline(time.Now().Add(ma.cfg.IterTimeout))
+	err := conn.Send(env)
+	_ = conn.SetWriteDeadline(time.Time{})
+	return err
+}
+
+// noteDeath marks a member dead in the roster and the control plane — but
+// only if the report refers to the member's current connection generation;
+// errors from a superseded connection are ignored (the member rejoined).
+func (ma *ElasticMaster) noteDeath(id, gen int) {
+	ma.mu.Lock()
+	defer ma.mu.Unlock()
+	if m, ok := ma.members[id]; ok && m.alive && m.gen == gen {
+		m.alive = false
+		ma.deaths++
+		ma.ctrl.RemoveMember(id)
+	}
+}
+
+// WaitForWorkers blocks until the configured MinWorkers (default s+1)
+// members have joined.
+func (ma *ElasticMaster) WaitForWorkers(timeout time.Duration) error {
+	min := ma.cfg.MinWorkers
+	if min == 0 {
+		min = ma.cfg.S + 1
+	}
+	deadline := time.After(timeout)
+	for {
+		ma.mu.Lock()
+		n := len(ma.ctrl.AliveMembers())
+		ma.mu.Unlock()
+		if n >= min {
+			return nil
+		}
+		select {
+		case <-ma.joined:
+		case <-deadline:
+			return fmt.Errorf("%w: %d of %d workers joined before timeout", ErrTooFewWorkers, n, min)
+		}
+	}
+}
+
+// migrate builds the next plan and delivers (epoch, assignment) to every
+// member of it. Members whose reassign send fails are marked dead; migrate
+// replans until a full delivery succeeds or planning becomes infeasible.
+func (ma *ElasticMaster) migrate(iter int, reason string) (*elastic.Plan, error) {
+	for attempt := 0; ; attempt++ {
+		ma.mu.Lock()
+		total := len(ma.members)
+		var plan *elastic.Plan
+		var err error
+		if attempt <= total+1 {
+			plan, err = ma.ctrl.Replan(iter, reason)
+		}
+		ma.mu.Unlock()
+		if attempt > total+1 {
+			return nil, fmt.Errorf("%w: no stable membership after %d attempts", ErrMigrationFailed, attempt)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMigrationFailed, err)
+		}
+		alloc := plan.Strategy.Allocation()
+		failed := false
+		for slot, id := range plan.Members {
+			ma.mu.Lock()
+			member := ma.members[id]
+			conn, gen := member.conn, member.gen
+			ma.mu.Unlock()
+			row := plan.Strategy.Row(slot)
+			parts := alloc.Parts[slot]
+			coeffs := make([]float64, len(parts))
+			for i, p := range parts {
+				coeffs[i] = row[p]
+			}
+			env := &transport.Envelope{
+				Type:  transport.MsgReassign,
+				Epoch: plan.Epoch,
+				Assign: &transport.Assignment{
+					WorkerID:   slot,
+					Partitions: append([]int(nil), parts...),
+					RowCoeffs:  coeffs,
+					K:          ma.cfg.K,
+					S:          ma.cfg.S,
+				},
+			}
+			if err := ma.sendTo(conn, env); err != nil {
+				ma.noteDeath(id, gen)
+				failed = true
+			}
+		}
+		if !failed {
+			return plan, nil
+		}
+		reason = "churn"
+	}
+}
+
+// Run executes the elastic BSP loop: replan/migrate at iteration boundaries
+// when the controller asks for it, then broadcast, collect, decode and step.
+// Mid-iteration deaths that make the current epoch undecodable force an
+// immediate migration and a retry of the same iteration under the new epoch.
+func (ma *ElasticMaster) Run() (*ElasticResult, error) {
+	defer ma.Close()
+	dim := ma.cfg.Model.Dim()
+	params := append([]float64(nil), ma.cfg.InitialParams...)
+	res := &ElasticResult{Curve: metrics.Series{Name: "elastic"}}
+	clock := 0.0
+	if ma.cfg.LossFn != nil {
+		if l, err := ma.cfg.LossFn(params); err == nil {
+			res.Curve.Append(0, l)
+		}
+	}
+	maxRetries := ma.cfg.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = 2
+	}
+
+	var plan *elastic.Plan
+	for iter := 0; iter < ma.cfg.Iterations; iter++ {
+		// Control decision at the iteration boundary.
+		ma.mu.Lock()
+		replan, reason := ma.ctrl.ShouldReplan(iter)
+		ma.mu.Unlock()
+		if replan {
+			p, err := ma.migrate(iter, reason)
+			if err != nil {
+				return nil, err
+			}
+			plan = p
+		}
+
+		retries := 0
+	attempt:
+		start := time.Now()
+		m := plan.Strategy.M()
+		// Broadcast parameters under the current epoch.
+		for _, id := range plan.Members {
+			ma.mu.Lock()
+			member := ma.members[id]
+			conn, live, gen := member.conn, member.alive, member.gen
+			ma.mu.Unlock()
+			if !live {
+				continue
+			}
+			env := &transport.Envelope{Type: transport.MsgParams, Iter: iter, Epoch: plan.Epoch, Vector: params}
+			if err := ma.sendTo(conn, env); err != nil {
+				ma.noteDeath(id, gen)
+			}
+		}
+		coded := make([]grad.Gradient, m)
+		alive := make([]bool, m)
+		var coeffs []float64
+		if !ma.epochViable(plan, alive) {
+			goto migrateRetry
+		}
+		{
+			deadline := time.NewTimer(ma.cfg.IterTimeout)
+			for coeffs == nil {
+				select {
+				case msg := <-ma.inbox:
+					if msg.malformed {
+						res.MalformedSkipped++
+						continue
+					}
+					if msg.err != nil {
+						ma.noteDeath(msg.memberID, msg.gen)
+						if !ma.epochViable(plan, alive) {
+							deadline.Stop()
+							goto migrateRetry
+						}
+						continue
+					}
+					env := msg.env
+					switch env.Type {
+					case transport.MsgTelemetry:
+						if env.Telemetry != nil && env.Telemetry.Partitions > 0 && env.Telemetry.ComputeSeconds > 0 {
+							ma.mu.Lock()
+							err := ma.ctrl.Observe(msg.memberID, env.Telemetry.Partitions, env.Telemetry.ComputeSeconds)
+							ma.mu.Unlock()
+							if err == nil {
+								res.TelemetrySamples++
+							}
+						}
+					case transport.MsgGradient:
+						// Epoch fence: uploads encoded under a superseded
+						// plan are rejected before they can reach decode.
+						if env.Epoch != plan.Epoch {
+							res.StaleEpochRejected++
+							continue
+						}
+						if env.Iter != iter {
+							res.StragglersSkipped++
+							continue
+						}
+						slot := plan.SlotOf(msg.memberID)
+						if slot < 0 {
+							res.StragglersSkipped++
+							continue
+						}
+						if len(env.Vector) != dim || infOrNaN(env.Vector) {
+							res.MalformedSkipped++
+							continue
+						}
+						coded[slot] = env.Vector
+						alive[slot] = true
+						if cs, err := plan.Strategy.Decode(alive); err == nil {
+							coeffs = cs
+						}
+					}
+				case <-deadline.C:
+					deadline.Stop()
+					goto migrateRetry
+				}
+			}
+			deadline.Stop()
+		}
+
+		{
+			g, err := grad.Combine(coeffs, coded, dim)
+			if err != nil {
+				return nil, fmt.Errorf("iteration %d combine: %w", iter, err)
+			}
+			g.Scale(1 / float64(ma.cfg.SampleCount))
+			if err := ma.cfg.Optimizer.Step(params, g); err != nil {
+				return nil, fmt.Errorf("iteration %d step: %w", iter, err)
+			}
+			elapsed := time.Since(start).Seconds()
+			clock += elapsed
+			res.IterTimes = append(res.IterTimes, elapsed)
+			res.Epochs = append(res.Epochs, plan.Epoch)
+			if ma.cfg.LossFn != nil && ma.cfg.LossEvery > 0 && (iter+1)%ma.cfg.LossEvery == 0 {
+				if l, err := ma.cfg.LossFn(params); err == nil {
+					res.Curve.Append(clock, l)
+				}
+			}
+			continue
+		}
+
+	migrateRetry:
+		// The current epoch cannot complete (timeout or fatal deaths):
+		// migrate to the live membership and retry this iteration.
+		retries++
+		if retries > maxRetries {
+			return nil, fmt.Errorf("%w: iteration %d undecodable after %d migrations", ErrIterationTimeout, iter, retries-1)
+		}
+		p, err := ma.migrate(iter, "churn")
+		if err != nil {
+			return nil, err
+		}
+		plan = p
+		goto attempt
+	}
+
+	res.Params = params
+	res.Summary = metrics.Summarize(res.IterTimes)
+	ma.mu.Lock()
+	res.Joins = ma.joins
+	res.Deaths = ma.deaths
+	res.Replans = ma.ctrl.Events()
+	ma.mu.Unlock()
+	return res, nil
+}
+
+// RunElastic is the one-call entry point: it starts an elastic master on
+// addr, waits up to waitTimeout for the configured MinWorkers (default s+1)
+// to join, then trains to completion. Workers dial addr with
+// DialElasticWorker at any time — before training starts or mid-run.
+func RunElastic(cfg ElasticConfig, addr string, waitTimeout time.Duration) (*ElasticResult, error) {
+	ma, err := NewElasticMaster(cfg, addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := ma.WaitForWorkers(waitTimeout); err != nil {
+		ma.Close()
+		return nil, err
+	}
+	return ma.Run()
+}
+
+// epochViable reports whether the current epoch can still decode if every
+// live plan member eventually uploads.
+func (ma *ElasticMaster) epochViable(plan *elastic.Plan, arrived []bool) bool {
+	mask := make([]bool, len(plan.Members))
+	ma.mu.Lock()
+	for slot, id := range plan.Members {
+		m, ok := ma.members[id]
+		mask[slot] = arrived[slot] || (ok && m.alive)
+	}
+	ma.mu.Unlock()
+	return plan.Strategy.CanDecode(mask)
+}
+
+// Close shuts down workers, the listener and the reader goroutines. Safe to
+// call multiple times.
+func (ma *ElasticMaster) Close() {
+	ma.closeOnce.Do(func() {
+		ma.mu.Lock()
+		for _, m := range ma.members {
+			if m.alive {
+				// Best-effort shutdown with a short write deadline: a
+				// stalled worker must not hang Close.
+				_ = m.conn.SetWriteDeadline(time.Now().Add(time.Second))
+				_ = m.conn.Send(&transport.Envelope{Type: transport.MsgShutdown})
+			}
+		}
+		for _, m := range ma.members {
+			_ = m.conn.Close()
+		}
+		ma.mu.Unlock()
+		_ = ma.listener.Close()
+		ma.accept.Wait()
+		// Close conns registered by handshakes that raced the sweep above,
+		// so every reader goroutine unblocks.
+		ma.mu.Lock()
+		for _, m := range ma.members {
+			_ = m.conn.Close()
+		}
+		ma.mu.Unlock()
+		close(ma.stop)
+		done := make(chan struct{})
+		go func() {
+			ma.readers.Wait()
+			close(done)
+		}()
+		for {
+			select {
+			case <-ma.inbox:
+			case <-done:
+				return
+			}
+		}
+	})
+}

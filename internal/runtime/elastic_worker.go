@@ -1,0 +1,220 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/grad"
+	"github.com/hetgc/hetgc/internal/ml"
+	"github.com/hetgc/hetgc/internal/transport"
+)
+
+// ElasticWorkerConfig configures one elastic worker process.
+type ElasticWorkerConfig struct {
+	// Model computes partial gradients.
+	Model ml.Model
+	// PartitionData returns the dataset shard for a global partition index.
+	// Shards are cached across migrations, so a reassignment only fetches
+	// partitions the worker has not held before.
+	PartitionData func(partition int) (*ml.Dataset, error)
+	// Delay, when non-nil, injects an artificial extra delay per iteration —
+	// the fault-simulation hook.
+	Delay func(iter int) time.Duration
+	// DelayPerPartition, when non-nil, injects an artificial delay per
+	// assigned partition per iteration — it emulates a slow machine whose
+	// compute time scales with its load, so migrations that shed load
+	// visibly speed the worker up. Both delays count as compute time in the
+	// telemetry the worker reports.
+	DelayPerPartition func(iter int) time.Duration
+	// DialTimeout bounds the initial connection (default 10s).
+	DialTimeout time.Duration
+	// ResumeID, when non-zero, asks the master to resume this member slot —
+	// the reconnect handshake after a connection loss. Zero requests a fresh
+	// membership.
+	ResumeID int
+}
+
+// ElasticWorker is a connected elastic worker: it survives strategy
+// migrations (MsgReassign) and reports per-iteration telemetry.
+type ElasticWorker struct {
+	cfg    ElasticWorkerConfig
+	conn   *transport.Conn
+	id     int // stable member ID assigned by the master
+	epoch  int
+	assign *transport.Assignment
+	parts  []*ml.Dataset
+	cache  map[int]*ml.Dataset
+}
+
+// DialElasticWorker connects to an elastic master and performs the
+// hello/ack handshake. The worker has no assignment until the master's
+// first MsgReassign arrives (in Run).
+func DialElasticWorker(addr string, cfg ElasticWorkerConfig) (*ElasticWorker, error) {
+	if cfg.Model == nil || cfg.PartitionData == nil {
+		return nil, fmt.Errorf("%w: worker needs model and partition data", ErrBadConfig)
+	}
+	timeout := cfg.DialTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := transport.Dial(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	helloID := transport.HelloNewWorker
+	if cfg.ResumeID > 0 {
+		helloID = cfg.ResumeID
+	}
+	if err := conn.Send(&transport.Envelope{Type: transport.MsgHello, WorkerID: helloID}); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	ack, err := conn.Recv()
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	if ack.Type != transport.MsgHello || ack.WorkerID <= 0 {
+		_ = conn.Close()
+		return nil, fmt.Errorf("%w: expected hello ack, got %v", ErrBadConfig, ack.Type)
+	}
+	return &ElasticWorker{
+		cfg:   cfg,
+		conn:  conn,
+		id:    ack.WorkerID,
+		epoch: -1,
+		cache: make(map[int]*ml.Dataset),
+	}, nil
+}
+
+// ID returns the stable member ID the master assigned — pass it as ResumeID
+// to resume this slot after a reconnect.
+func (w *ElasticWorker) ID() int { return w.id }
+
+// Epoch returns the epoch of the worker's current assignment (-1 before the
+// first reassignment).
+func (w *ElasticWorker) Epoch() int { return w.epoch }
+
+// Close terminates the connection (used to script worker deaths in tests).
+func (w *ElasticWorker) Close() error { return w.conn.Close() }
+
+// Run processes reassignments and parameter broadcasts until shutdown or
+// connection loss. For every iteration it computes the coded gradient of its
+// current assignment, uploads it tagged with the assignment's epoch, then
+// uploads a telemetry report (compute seconds, partitions processed).
+func (w *ElasticWorker) Run() error {
+	defer w.conn.Close()
+	for {
+		env, err := w.conn.Recv()
+		if err != nil {
+			return err
+		}
+		switch env.Type {
+		case transport.MsgShutdown:
+			return nil
+		case transport.MsgReassign:
+			if err := w.applyAssignment(env); err != nil {
+				return fmt.Errorf("worker %d migrate to epoch %d: %w", w.id, env.Epoch, err)
+			}
+		case transport.MsgParams:
+			if w.assign == nil || env.Epoch != w.epoch {
+				// Parameters for an epoch this worker has not (or no longer)
+				// joined — a raced migration; skip, the master fences by
+				// epoch anyway.
+				continue
+			}
+			if err := w.iterate(env); err != nil {
+				return err
+			}
+		default:
+			// Ignore unexpected frames; the master drives the protocol.
+		}
+	}
+}
+
+// applyAssignment installs a new epoch's assignment, fetching only
+// partitions not already cached.
+func (w *ElasticWorker) applyAssignment(env *transport.Envelope) error {
+	parts := make([]*ml.Dataset, len(env.Assign.Partitions))
+	for i, p := range env.Assign.Partitions {
+		d, ok := w.cache[p]
+		if !ok {
+			var err error
+			d, err = w.cfg.PartitionData(p)
+			if err != nil {
+				return fmt.Errorf("partition %d: %w", p, err)
+			}
+			w.cache[p] = d
+		}
+		parts[i] = d
+	}
+	w.assign = env.Assign
+	w.parts = parts
+	w.epoch = env.Epoch
+	return nil
+}
+
+// iterate computes, encodes and uploads one iteration's coded gradient and
+// telemetry.
+func (w *ElasticWorker) iterate(env *transport.Envelope) error {
+	computeStart := time.Now()
+	partials := make([]grad.Gradient, len(w.parts))
+	for i, d := range w.parts {
+		g, err := w.cfg.Model.Gradient(env.Vector, d)
+		if err != nil {
+			return fmt.Errorf("worker %d iter %d: %w", w.id, env.Iter, err)
+		}
+		partials[i] = g
+	}
+	coded := grad.GetBuffer(len(env.Vector))
+	if len(partials) == 0 {
+		// Zero-load assignment (the planner starved this slot): the coding
+		// row is empty, so the honest upload is the zero vector — decode may
+		// still hand the slot a free coefficient.
+		for i := range coded {
+			coded[i] = 0
+		}
+	} else if err := grad.EncodeInto(coded, w.assign.RowCoeffs, partials); err != nil {
+		grad.PutBuffer(coded)
+		return fmt.Errorf("worker %d iter %d: %w", w.id, env.Iter, err)
+	}
+	// Artificial slowness counts as compute so telemetry sees the machine
+	// the master sees.
+	var extra time.Duration
+	if w.cfg.Delay != nil {
+		extra += w.cfg.Delay(env.Iter)
+	}
+	if w.cfg.DelayPerPartition != nil {
+		extra += time.Duration(len(w.parts)) * w.cfg.DelayPerPartition(env.Iter)
+	}
+	if extra > 0 {
+		time.Sleep(extra)
+	}
+	compute := time.Since(computeStart).Seconds()
+
+	uploadStart := time.Now()
+	out := &transport.Envelope{
+		Type:     transport.MsgGradient,
+		Iter:     env.Iter,
+		Epoch:    w.epoch,
+		WorkerID: w.id,
+		Vector:   coded,
+	}
+	err := w.conn.Send(out)
+	grad.PutBuffer(coded)
+	if err != nil {
+		return err
+	}
+	tel := &transport.Envelope{
+		Type:     transport.MsgTelemetry,
+		Iter:     env.Iter,
+		Epoch:    w.epoch,
+		WorkerID: w.id,
+		Telemetry: &transport.Telemetry{
+			ComputeSeconds: compute,
+			UploadSeconds:  time.Since(uploadStart).Seconds(),
+			Partitions:     len(w.parts),
+		},
+	}
+	return w.conn.Send(tel)
+}

@@ -27,6 +27,10 @@ var (
 	// ErrIterationTimeout is returned when an iteration cannot be decoded
 	// before the deadline.
 	ErrIterationTimeout = errors.New("runtime: iteration deadline exceeded before decodable")
+	// ErrTooFewWorkers is returned as soon as permanently dead workers make
+	// decoding impossible for every remaining straggler pattern — failing
+	// fast instead of burning the full iteration timeout.
+	ErrTooFewWorkers = errors.New("runtime: too few live workers to ever decode")
 )
 
 // MasterConfig configures a training master.
@@ -82,6 +86,10 @@ type MasterResult struct {
 	// StragglersSkipped counts worker results that arrived after decode and
 	// were discarded.
 	StragglersSkipped int
+	// MalformedSkipped counts uploads rejected before decode (wrong length,
+	// NaN/Inf payloads, frames failing transport validation); the sender is
+	// treated as a straggler for that iteration.
+	MalformedSkipped int
 	// PerWorker aggregates each worker's participation; feed the mean
 	// latencies and the strategy's loads to a planner.Planner to adapt the
 	// code to observed speeds.
@@ -101,10 +109,11 @@ type WorkerStats struct {
 }
 
 type workerGradient struct {
-	workerID int
-	iter     int
-	vec      []float64
-	err      error
+	workerID  int
+	iter      int
+	vec       []float64
+	err       error
+	malformed bool // frame failed transport validation; connection still live
 }
 
 // Master runs the BSP loop over connected workers.
@@ -186,6 +195,12 @@ func (ma *Master) WaitForWorkers(timeout time.Duration) error {
 			for {
 				env, err := conn.Recv()
 				if err != nil {
+					if errors.Is(err, transport.ErrMalformed) {
+						// The gob stream is still in sync: drop the frame,
+						// treat the worker as a straggler, keep reading.
+						ma.inbox <- workerGradient{workerID: id, malformed: true}
+						continue
+					}
 					ma.inbox <- workerGradient{workerID: id, err: err}
 					return
 				}
@@ -223,30 +238,52 @@ func (ma *Master) Run() (*MasterResult, error) {
 			if dead[id] {
 				continue
 			}
+			// Write deadline: a stalled (but not disconnected) worker fails
+			// the broadcast and is treated as dead instead of blocking the
+			// loop on a full socket buffer.
+			_ = conn.SetWriteDeadline(time.Now().Add(ma.cfg.IterTimeout))
 			env := &transport.Envelope{Type: transport.MsgParams, Iter: iter, Vector: params}
-			if err := conn.Send(env); err != nil {
+			err := conn.Send(env)
+			_ = conn.SetWriteDeadline(time.Time{})
+			if err != nil {
 				dead[id] = true
 			}
 		}
 		coded := make([]grad.Gradient, m)
 		alive := make([]bool, m)
+		if !decodableBestCase(ma.cfg.Strategy, dead, alive) {
+			return nil, fmt.Errorf("%w: iteration %d", ErrTooFewWorkers, iter)
+		}
 		var coeffs []float64
 		deadline := time.NewTimer(ma.cfg.IterTimeout)
 	collect:
 		for {
 			select {
 			case wg := <-ma.inbox:
+				if wg.malformed {
+					res.MalformedSkipped++
+					continue
+				}
 				if wg.err != nil {
 					dead[wg.workerID] = true
+					// Fail fast: if even the arrival of every remaining live
+					// worker could no longer decode, waiting out the timer
+					// cannot help.
+					if !decodableBestCase(ma.cfg.Strategy, dead, alive) {
+						deadline.Stop()
+						return nil, fmt.Errorf("%w: iteration %d", ErrTooFewWorkers, iter)
+					}
+					continue
+				}
+				if len(wg.vec) != ma.cfg.Model.Dim() || infOrNaN(wg.vec) {
+					// Malformed upload (checked before staleness so the count
+					// is independent of arrival timing): treat the worker as
+					// a straggler rather than poisoning the decode.
+					res.MalformedSkipped++
 					continue
 				}
 				if wg.iter != iter {
 					res.StragglersSkipped++
-					continue
-				}
-				if len(wg.vec) != ma.cfg.Model.Dim() || infOrNaN(wg.vec) {
-					// Malformed upload: treat the worker as a straggler for
-					// this iteration rather than poisoning the decode.
 					continue
 				}
 				coded[wg.workerID] = wg.vec
@@ -303,6 +340,7 @@ func (ma *Master) Run() (*MasterResult, error) {
 // Close shuts down workers and the listener. Safe to call multiple times.
 func (ma *Master) Close() {
 	for _, conn := range ma.conns {
+		_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
 		_ = conn.Send(&transport.Envelope{Type: transport.MsgShutdown})
 	}
 	for _, conn := range ma.conns {
@@ -322,6 +360,17 @@ func (ma *Master) Close() {
 			return
 		}
 	}
+}
+
+// decodableBestCase reports whether decode could still succeed if every
+// non-dead worker eventually arrived — arrived uploads from since-dead
+// workers still count for the current iteration.
+func decodableBestCase(st *core.Strategy, dead, arrived []bool) bool {
+	mask := make([]bool, len(dead))
+	for i := range mask {
+		mask[i] = arrived[i] || !dead[i]
+	}
+	return st.CanDecode(mask)
 }
 
 // infOrNaN guards against poisoned vectors from the wire.

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
@@ -9,6 +10,7 @@ import (
 
 	"github.com/hetgc/hetgc/internal/core"
 	"github.com/hetgc/hetgc/internal/ml"
+	"github.com/hetgc/hetgc/internal/transport"
 )
 
 func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
@@ -238,5 +240,257 @@ func TestPerWorkerStats(t *testing.T) {
 	// minimum one worker per iteration.
 	if totalUsed < 6 {
 		t.Fatalf("used totals %d, want >= iterations", totalUsed)
+	}
+}
+
+// rawWorker is a transport-level fake worker: it performs the handshake and
+// exposes the connection so tests can script deaths, poison uploads and
+// protocol violations that the real Worker would never produce.
+type rawWorker struct {
+	conn   *transport.Conn
+	assign *transport.Assignment
+	parts  []*ml.Dataset // indexed by global partition
+	model  ml.Model
+}
+
+func dialRawWorker(t *testing.T, addr string, model ml.Model, parts []*ml.Dataset) *rawWorker {
+	t.Helper()
+	conn, err := transport.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(&transport.Envelope{Type: transport.MsgHello}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := conn.Recv()
+	if err != nil || env.Type != transport.MsgAssign {
+		t.Fatalf("handshake: %+v err %v", env, err)
+	}
+	return &rawWorker{conn: conn, assign: env.Assign, model: model, parts: parts}
+}
+
+// gradient computes the honest coded gradient for the given parameters.
+func (rw *rawWorker) gradient(t *testing.T, params []float64) []float64 {
+	t.Helper()
+	coded, err := codedGradient(rw.model, rw.parts, rw.assign, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coded
+}
+
+// masterFixture builds a master plus the shared dataset/partitions.
+type masterFixture struct {
+	master *Master
+	model  ml.Model
+	data   *ml.Dataset
+	parts  []*ml.Dataset
+}
+
+func newMasterFixture(t *testing.T, st *core.Strategy, iters int, timeout time.Duration) *masterFixture {
+	t.Helper()
+	data, err := ml.GaussianMixture(st.K()*20, 4, 3, 3, rng(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := data.Split(st.K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := &ml.Softmax{InputDim: 4, NumClasses: 3}
+	cfg := MasterConfig{
+		Strategy:      st,
+		Model:         model,
+		Optimizer:     &ml.SGD{LR: 0.5},
+		InitialParams: model.InitParams(nil),
+		Iterations:    iters,
+		SampleCount:   data.N(),
+		IterTimeout:   timeout,
+		LossEvery:     1,
+		LossFn: func(p []float64) (float64, error) {
+			return ml.MeanLoss(model, p, data)
+		},
+	}
+	master, err := NewMaster(cfg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &masterFixture{master: master, model: model, data: data, parts: parts}
+}
+
+func (f *masterFixture) spawnHonestWorkers(t *testing.T, n int, wg *sync.WaitGroup) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w, err := DialWorker(f.master.Addr(), WorkerConfig{
+				Model:         f.model,
+				PartitionData: func(p int) (*ml.Dataset, error) { return f.parts[p], nil },
+			})
+			if err != nil {
+				return
+			}
+			_ = w.Run()
+		}()
+	}
+}
+
+// TestFailFastWhenDecodeImpossible: with a naive (s=0) strategy every worker
+// is required, so one death must surface ErrTooFewWorkers immediately
+// instead of burning the 30s iteration timeout.
+func TestFailFastWhenDecodeImpossible(t *testing.T) {
+	st, err := core.NewNaive(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newMasterFixture(t, st, 5, 30*time.Second)
+	var wg sync.WaitGroup
+	f.spawnHonestWorkers(t, 2, &wg)
+	dying := make(chan *rawWorker, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		dying <- dialRawWorker(t, f.master.Addr(), f.model, f.parts)
+	}()
+	if err := f.master.WaitForWorkers(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rw := <-dying
+	rw.conn.Close() // dies before uploading anything
+
+	start := time.Now()
+	_, runErr := f.master.Run()
+	elapsed := time.Since(start)
+	wg.Wait()
+	if !errors.Is(runErr, ErrTooFewWorkers) {
+		t.Fatalf("err = %v, want ErrTooFewWorkers", runErr)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("fail-fast took %v — the iteration timeout leaked in", elapsed)
+	}
+}
+
+// TestWorkerDiesMidTrainingConverges: with s=1 redundancy, one worker dying
+// after a few iterations must not stop training — the master decodes from
+// the survivors and the loss still drops.
+func TestWorkerDiesMidTrainingConverges(t *testing.T) {
+	st, err := core.NewHeterAware([]float64{1, 2, 3, 4, 4}, 7, 1, rng(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 12
+	f := newMasterFixture(t, st, iters, 5*time.Second)
+	var wg sync.WaitGroup
+	f.spawnHonestWorkers(t, 4, &wg)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rw := dialRawWorker(t, f.master.Addr(), f.model, f.parts)
+		defer rw.conn.Close()
+		for n := 0; ; n++ {
+			env, err := rw.conn.Recv()
+			if err != nil {
+				return
+			}
+			if env.Type == transport.MsgShutdown {
+				return
+			}
+			if env.Type != transport.MsgParams {
+				continue
+			}
+			if n >= 3 {
+				return // dies mid-training, conn closed by defer
+			}
+			out := &transport.Envelope{
+				Type:     transport.MsgGradient,
+				Iter:     env.Iter,
+				WorkerID: rw.assign.WorkerID,
+				Vector:   rw.gradient(t, env.Vector),
+			}
+			if err := rw.conn.Send(out); err != nil {
+				return
+			}
+		}
+	}()
+	if err := f.master.WaitForWorkers(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, runErr := f.master.Run()
+	wg.Wait()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if len(res.IterTimes) != iters {
+		t.Fatalf("completed %d iterations, want %d", len(res.IterTimes), iters)
+	}
+	first := res.Curve.Points[0].Y
+	last := res.Curve.Points[len(res.Curve.Points)-1].Y
+	if last >= first*0.8 {
+		t.Fatalf("loss did not drop after mid-training death: %v -> %v", first, last)
+	}
+}
+
+// TestMalformedUploadsCountedAsStragglers: NaN payloads, wrong-dimension
+// vectors and transport-invalid frames must be skipped (and counted), with
+// training carried by the honest workers.
+func TestMalformedUploadsCountedAsStragglers(t *testing.T) {
+	st, err := core.NewHeterAware([]float64{1, 1, 1}, 4, 1, rng(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 6
+	f := newMasterFixture(t, st, iters, 5*time.Second)
+	var wg sync.WaitGroup
+	f.spawnHonestWorkers(t, 2, &wg)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rw := dialRawWorker(t, f.master.Addr(), f.model, f.parts)
+		defer rw.conn.Close()
+		for {
+			env, err := rw.conn.Recv()
+			if err != nil || env.Type == transport.MsgShutdown {
+				return
+			}
+			if env.Type != transport.MsgParams {
+				continue
+			}
+			var out *transport.Envelope
+			switch env.Iter % 3 {
+			case 0: // NaN poison — passes transport, guarded by the master
+				vec := make([]float64, len(env.Vector))
+				vec[0] = math.NaN()
+				out = &transport.Envelope{Type: transport.MsgGradient, Iter: env.Iter, Vector: vec}
+			case 1: // wrong dimension
+				out = &transport.Envelope{Type: transport.MsgGradient, Iter: env.Iter, Vector: []float64{1, 2}}
+			case 2: // transport-invalid frame: negative iteration
+				out = &transport.Envelope{Type: transport.MsgGradient, Iter: -1, Vector: []float64{1}}
+			}
+			if err := rw.conn.Send(out); err != nil {
+				return
+			}
+		}
+	}()
+	if err := f.master.WaitForWorkers(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, runErr := f.master.Run()
+	wg.Wait()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if len(res.IterTimes) != iters {
+		t.Fatalf("completed %d iterations, want %d", len(res.IterTimes), iters)
+	}
+	// One bad upload per iteration; the final one may still be in flight
+	// when the run completes.
+	if res.MalformedSkipped < iters-1 {
+		t.Fatalf("MalformedSkipped = %d, want ≥ %d (one bad upload per iteration)", res.MalformedSkipped, iters-1)
+	}
+	first := res.Curve.Points[0].Y
+	last := res.Curve.Points[len(res.Curve.Points)-1].Y
+	if last >= first {
+		t.Fatalf("loss did not drop alongside malformed uploads: %v -> %v", first, last)
 	}
 }

@@ -1,0 +1,269 @@
+// Elastic co-simulation: the deterministic, socket-free counterpart of the
+// runtime's ElasticMaster. A seeded churn schedule (speed steps, kills,
+// joins) drives the same elastic.Controller the live master uses, so the
+// whole telemetry → drift/churn detection → replan → epoch migration loop is
+// testable bit-identically — the fixture the live system's behaviour is
+// validated against.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/hetgc/hetgc/internal/core"
+	"github.com/hetgc/hetgc/internal/elastic"
+	"github.com/hetgc/hetgc/internal/metrics"
+)
+
+// ChurnKind enumerates churn-schedule events.
+type ChurnKind int
+
+// Churn event kinds.
+const (
+	// SpeedStep multiplies a member's true rate by Factor — a machine
+	// slowing down (Factor < 1) or recovering (Factor > 1).
+	SpeedStep ChurnKind = iota + 1
+	// Kill removes a member mid-training.
+	Kill
+	// Join adds a fresh member with true rate Rate.
+	Join
+	// Rejoin revives a previously killed member (its estimate history is
+	// retained by the control plane).
+	Rejoin
+)
+
+// String names the event kind.
+func (k ChurnKind) String() string {
+	switch k {
+	case SpeedStep:
+		return "speed-step"
+	case Kill:
+		return "kill"
+	case Join:
+		return "join"
+	case Rejoin:
+		return "rejoin"
+	default:
+		return fmt.Sprintf("ChurnKind(%d)", int(k))
+	}
+}
+
+// ChurnEvent is one scheduled membership or speed change, applied at the
+// boundary before iteration Iter.
+type ChurnEvent struct {
+	// Iter is the iteration before which the event fires.
+	Iter int
+	// Kind is the event type.
+	Kind ChurnKind
+	// Member is the target member ID (SpeedStep, Kill, Rejoin). Ignored for
+	// Join, which allocates the next free ID.
+	Member int
+	// Factor is the SpeedStep rate multiplier.
+	Factor float64
+	// Rate is the true rate (partitions/second) of a Join, and optionally
+	// the new true rate of a Rejoin (0 keeps the old rate).
+	Rate float64
+}
+
+// ErrBadChurn is returned for invalid elastic-simulation configs/schedules.
+var ErrBadChurn = errors.New("sim: invalid churn scenario")
+
+// ElasticSimConfig parameterises a deterministic elastic-control-loop
+// simulation.
+type ElasticSimConfig struct {
+	// K is the partition count, S the straggler budget.
+	K, S int
+	// Scheme is the strategy family (core.HeterAware default).
+	Scheme core.Kind
+	// InitialRates are the true speeds (partitions/second) of the initial
+	// members, which get IDs 1..len(InitialRates) in order.
+	InitialRates []float64
+	// Events is the churn schedule (applied in slice order within an
+	// iteration boundary).
+	Events []ChurnEvent
+	// Iterations is the number of BSP iterations to simulate.
+	Iterations int
+	// Alpha, DriftThreshold, MinObservations, CooldownIters and InitialRate
+	// parameterise the control plane (see elastic.Config).
+	Alpha           float64
+	DriftThreshold  float64
+	MinObservations int
+	CooldownIters   int
+	InitialRate     float64
+	// CommOverhead is a fixed per-iteration communication cost in seconds.
+	CommOverhead float64
+	// Seed drives strategy construction; the simulation has no other
+	// randomness, so a fixed seed makes runs bit-identical.
+	Seed int64
+}
+
+// ElasticSimResult aggregates an elastic simulation run.
+type ElasticSimResult struct {
+	// Times are per-iteration wall times in seconds.
+	Times []float64
+	// Epochs is the plan epoch each iteration ran under.
+	Epochs []int
+	// MemberCounts is the alive membership at each iteration.
+	MemberCounts []int
+	// Replans is the migration history.
+	Replans []elastic.ReplanEvent
+	// Summary summarises Times.
+	Summary metrics.Summary
+}
+
+// RunElastic simulates the elastic control loop over a churn schedule. It is
+// fully deterministic for a given config (bit-identical across runs):
+// strategy construction is the only randomness and is driven by Seed.
+func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
+	if len(cfg.InitialRates) == 0 {
+		return nil, fmt.Errorf("%w: no initial members", ErrBadChurn)
+	}
+	if cfg.Iterations <= 0 {
+		return nil, fmt.Errorf("%w: iterations=%d", ErrBadChurn, cfg.Iterations)
+	}
+	if cfg.CommOverhead < 0 {
+		return nil, fmt.Errorf("%w: comm=%v", ErrBadChurn, cfg.CommOverhead)
+	}
+	ctrl, err := elastic.NewController(elastic.Config{
+		K: cfg.K, S: cfg.S, Scheme: cfg.Scheme,
+		Alpha: cfg.Alpha, DriftThreshold: cfg.DriftThreshold,
+		MinObservations: cfg.MinObservations, CooldownIters: cfg.CooldownIters,
+		InitialRate: cfg.InitialRate,
+	}, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadChurn, err)
+	}
+
+	// True member state, keyed by stable member ID.
+	trueRate := make(map[int]float64)
+	alive := make(map[int]bool)
+	nextID := 1
+	for _, r := range cfg.InitialRates {
+		if r <= 0 {
+			return nil, fmt.Errorf("%w: non-positive initial rate %v", ErrBadChurn, r)
+		}
+		trueRate[nextID] = r
+		alive[nextID] = true
+		ctrl.AddMember(nextID, 0)
+		nextID++
+	}
+
+	res := &ElasticSimResult{
+		Times:        make([]float64, 0, cfg.Iterations),
+		Epochs:       make([]int, 0, cfg.Iterations),
+		MemberCounts: make([]int, 0, cfg.Iterations),
+	}
+	var plan *elastic.Plan
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		// Apply the boundary's churn events in schedule order.
+		for _, ev := range cfg.Events {
+			if ev.Iter != iter {
+				continue
+			}
+			switch ev.Kind {
+			case SpeedStep:
+				if !alive[ev.Member] {
+					return nil, fmt.Errorf("%w: speed-step for absent member %d at iter %d", ErrBadChurn, ev.Member, iter)
+				}
+				if ev.Factor <= 0 {
+					return nil, fmt.Errorf("%w: speed-step factor %v", ErrBadChurn, ev.Factor)
+				}
+				trueRate[ev.Member] *= ev.Factor
+			case Kill:
+				if !alive[ev.Member] {
+					return nil, fmt.Errorf("%w: kill for absent member %d at iter %d", ErrBadChurn, ev.Member, iter)
+				}
+				alive[ev.Member] = false
+				ctrl.RemoveMember(ev.Member)
+			case Join:
+				if ev.Rate <= 0 {
+					return nil, fmt.Errorf("%w: join rate %v", ErrBadChurn, ev.Rate)
+				}
+				trueRate[nextID] = ev.Rate
+				alive[nextID] = true
+				ctrl.AddMember(nextID, 0)
+				nextID++
+			case Rejoin:
+				if _, known := trueRate[ev.Member]; !known || alive[ev.Member] {
+					return nil, fmt.Errorf("%w: rejoin of member %d at iter %d", ErrBadChurn, ev.Member, iter)
+				}
+				alive[ev.Member] = true
+				if ev.Rate > 0 {
+					trueRate[ev.Member] = ev.Rate
+				}
+				ctrl.AddMember(ev.Member, 0)
+			default:
+				return nil, fmt.Errorf("%w: unknown event kind %v", ErrBadChurn, ev.Kind)
+			}
+		}
+
+		// Control decision at the boundary, exactly like the live master.
+		if replan, reason := ctrl.ShouldReplan(iter); replan {
+			p, err := ctrl.Replan(iter, reason)
+			if err != nil {
+				return nil, fmt.Errorf("iter %d: %w", iter, err)
+			}
+			plan = p
+		}
+
+		// One BSP iteration under the current plan: compute times from true
+		// rates, completions replayed in time order, decode at the earliest
+		// decodable prefix.
+		st := plan.Strategy
+		loads := st.Allocation().Loads
+		m := st.M()
+		finish := make([]float64, m)
+		for slot, id := range plan.Members {
+			finish[slot] = float64(loads[slot]) / trueRate[id]
+		}
+		order := make([]int, m)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			if finish[order[a]] != finish[order[b]] {
+				return finish[order[a]] < finish[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		aliveMask := make([]bool, m)
+		iterTime := math.Inf(1)
+		for _, slot := range order {
+			aliveMask[slot] = true
+			if _, err := st.Decode(aliveMask); err == nil {
+				iterTime = finish[slot] + cfg.CommOverhead
+				break
+			}
+		}
+		if math.IsInf(iterTime, 1) {
+			return nil, fmt.Errorf("%w: iter %d undecodable under epoch %d", ErrBadChurn, iter, plan.Epoch)
+		}
+
+		// Telemetry: every plan member with load reports its compute time,
+		// like workers uploading MsgTelemetry.
+		for slot, id := range plan.Members {
+			if loads[slot] <= 0 {
+				continue
+			}
+			if err := ctrl.Observe(id, loads[slot], finish[slot]); err != nil {
+				return nil, fmt.Errorf("iter %d observe member %d: %w", iter, id, err)
+			}
+		}
+
+		res.Times = append(res.Times, iterTime)
+		res.Epochs = append(res.Epochs, plan.Epoch)
+		count := 0
+		for _, a := range alive {
+			if a {
+				count++
+			}
+		}
+		res.MemberCounts = append(res.MemberCounts, count)
+	}
+	res.Replans = ctrl.Events()
+	res.Summary = metrics.Summarize(res.Times)
+	return res, nil
+}

@@ -1,7 +1,9 @@
 // Package transport implements the wire protocol between the master and the
 // workers: gob-encoded envelopes over TCP (or any net.Conn). The protocol is
 // deliberately small — assignment, parameter broadcast, coded-gradient
-// upload, shutdown — mirroring the BSP gradient-coding loop of the paper.
+// upload, shutdown — mirroring the BSP gradient-coding loop of the paper,
+// plus the elastic control-plane extensions: per-iteration telemetry uploads
+// and epoch-versioned reassignment for mid-training strategy migration.
 package transport
 
 import (
@@ -17,7 +19,9 @@ type MsgType int
 
 // Protocol message types.
 const (
-	// MsgHello is sent by a worker right after connecting.
+	// MsgHello is sent by a worker right after connecting. An elastic worker
+	// sets WorkerID to its previous member ID to resume its slot after a
+	// reconnect, or to -1 (HelloNewWorker) to request a fresh one.
 	MsgHello MsgType = iota + 1
 	// MsgAssign carries a worker's data-partition assignment and coding row.
 	MsgAssign
@@ -27,7 +31,16 @@ const (
 	MsgGradient
 	// MsgShutdown tells a worker to exit cleanly.
 	MsgShutdown
+	// MsgTelemetry uploads a worker's per-iteration timing telemetry to the
+	// elastic control plane (compute seconds, partitions processed).
+	MsgTelemetry
+	// MsgReassign migrates a worker to a new coding strategy: it carries
+	// (Epoch, Assignment) and atomically supersedes every earlier epoch.
+	MsgReassign
 )
+
+// HelloNewWorker is the MsgHello WorkerID requesting a fresh member slot.
+const HelloNewWorker = -1
 
 // String names the message type.
 func (t MsgType) String() string {
@@ -42,6 +55,10 @@ func (t MsgType) String() string {
 		return "gradient"
 	case MsgShutdown:
 		return "shutdown"
+	case MsgTelemetry:
+		return "telemetry"
+	case MsgReassign:
+		return "reassign"
 	default:
 		return fmt.Sprintf("MsgType(%d)", int(t))
 	}
@@ -62,17 +79,87 @@ type Assignment struct {
 	S int
 }
 
+// Telemetry is a worker's per-iteration timing report, the raw input to the
+// elastic control plane's throughput estimators.
+type Telemetry struct {
+	// ComputeSeconds is the wall time the worker spent computing and encoding
+	// its partial gradients this iteration.
+	ComputeSeconds float64
+	// UploadSeconds is the wall time spent serialising the gradient upload
+	// (0 when the worker does not measure it).
+	UploadSeconds float64
+	// Partitions is the number of data partitions processed.
+	Partitions int
+}
+
 // Envelope is the single message frame exchanged on the wire.
 type Envelope struct {
 	Type     MsgType
 	Iter     int
 	WorkerID int
-	Assign   *Assignment
-	Vector   []float64 // parameters (MsgParams) or coded gradient (MsgGradient)
+	// Epoch versions the coding strategy the frame belongs to. The master
+	// bumps it on every migration; gradients tagged with a stale epoch are
+	// rejected before decode.
+	Epoch     int
+	Assign    *Assignment
+	Vector    []float64 // parameters (MsgParams) or coded gradient (MsgGradient)
+	Telemetry *Telemetry
 }
 
-// ErrClosed is returned on use of a closed connection.
-var ErrClosed = errors.New("transport: connection closed")
+// Errors returned by the transport layer.
+var (
+	// ErrClosed is returned on use of a closed connection.
+	ErrClosed = errors.New("transport: connection closed")
+	// ErrMalformed is returned by Recv for frames that violate protocol
+	// invariants (mismatched assignment arrays, negative K/S, absurd vector
+	// lengths); such frames never reach decode.
+	ErrMalformed = errors.New("transport: malformed envelope")
+)
+
+// MaxVectorLen bounds the length of any Vector accepted by Recv, far above
+// any real model dimension. Note this is an application-layer sanity check:
+// gob has already decoded (and allocated) the frame by the time it runs, so
+// it rejects absurd frames before they reach the runtime but does not bound
+// the decoder's own allocation.
+const MaxVectorLen = 1 << 30
+
+// validate checks the structural invariants of a received envelope.
+func (e *Envelope) validate() error {
+	if e.Type < MsgHello || e.Type > MsgReassign {
+		return fmt.Errorf("%w: unknown message type %d", ErrMalformed, int(e.Type))
+	}
+	if e.Iter < 0 || e.Epoch < 0 {
+		return fmt.Errorf("%w: %v iter=%d epoch=%d", ErrMalformed, e.Type, e.Iter, e.Epoch)
+	}
+	if len(e.Vector) > MaxVectorLen {
+		return fmt.Errorf("%w: %v vector length %d exceeds cap %d", ErrMalformed, e.Type, len(e.Vector), MaxVectorLen)
+	}
+	if a := e.Assign; a != nil {
+		if len(a.Partitions) != len(a.RowCoeffs) {
+			return fmt.Errorf("%w: assignment has %d partitions but %d coefficients", ErrMalformed, len(a.Partitions), len(a.RowCoeffs))
+		}
+		if a.K <= 0 || a.S < 0 {
+			return fmt.Errorf("%w: assignment k=%d s=%d", ErrMalformed, a.K, a.S)
+		}
+		if len(a.Partitions) > a.K {
+			return fmt.Errorf("%w: assignment holds %d partitions with k=%d", ErrMalformed, len(a.Partitions), a.K)
+		}
+		for _, p := range a.Partitions {
+			if p < 0 || p >= a.K {
+				return fmt.Errorf("%w: assignment partition %d outside [0,%d)", ErrMalformed, p, a.K)
+			}
+		}
+	}
+	if (e.Type == MsgAssign || e.Type == MsgReassign) && e.Assign == nil {
+		return fmt.Errorf("%w: %v without assignment payload", ErrMalformed, e.Type)
+	}
+	if t := e.Telemetry; t != nil {
+		if t.Partitions < 0 || t.ComputeSeconds < 0 || t.UploadSeconds < 0 {
+			return fmt.Errorf("%w: negative telemetry %+v", ErrMalformed, *t)
+		}
+	}
+	return nil
+}
 
 // Conn is a gob-framed bidirectional message stream. Send and Recv are each
 // safe for one concurrent user (one reader, one writer).
@@ -104,17 +191,27 @@ func (c *Conn) Send(e *Envelope) error {
 	return nil
 }
 
-// Recv reads one envelope.
+// Recv reads one envelope and validates its protocol invariants; frames that
+// fail validation are rejected with an error wrapping ErrMalformed so they
+// never reach the decode path.
 func (c *Conn) Recv() (*Envelope, error) {
 	var e Envelope
 	if err := c.dec.Decode(&e); err != nil {
 		return nil, fmt.Errorf("transport recv: %w", err)
+	}
+	if err := e.validate(); err != nil {
+		return nil, err
 	}
 	return &e, nil
 }
 
 // SetDeadline bounds both reads and writes.
 func (c *Conn) SetDeadline(t time.Time) error { return c.raw.SetDeadline(t) }
+
+// SetWriteDeadline bounds writes only — senders with a concurrent reader on
+// the same connection use this so a stalled peer fails the Send without
+// poisoning the reader's blocking Recv.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.raw.SetWriteDeadline(t) }
 
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.raw.Close() }

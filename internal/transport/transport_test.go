@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -8,17 +9,119 @@ import (
 
 func TestMsgTypeString(t *testing.T) {
 	cases := map[MsgType]string{
-		MsgHello:    "hello",
-		MsgAssign:   "assign",
-		MsgParams:   "params",
-		MsgGradient: "gradient",
-		MsgShutdown: "shutdown",
-		MsgType(42): "MsgType(42)",
+		MsgHello:     "hello",
+		MsgAssign:    "assign",
+		MsgParams:    "params",
+		MsgGradient:  "gradient",
+		MsgShutdown:  "shutdown",
+		MsgTelemetry: "telemetry",
+		MsgReassign:  "reassign",
+		MsgType(42):  "MsgType(42)",
 	}
 	for mt, want := range cases {
 		if mt.String() != want {
 			t.Fatalf("%d.String() = %q, want %q", int(mt), mt.String(), want)
 		}
+	}
+}
+
+// pipePair returns two connected transport conns over loopback TCP.
+func pipePair(t *testing.T) (*Conn, *Conn) {
+	t.Helper()
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan *Conn, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			accepted <- nil
+			return
+		}
+		accepted <- conn
+	}()
+	client, err := Dial(l.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-accepted
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestRecvRejectsMalformed(t *testing.T) {
+	bad := []struct {
+		name string
+		env  *Envelope
+	}{
+		{"unknown type", &Envelope{Type: MsgType(99)}},
+		{"negative iter", &Envelope{Type: MsgParams, Iter: -1}},
+		{"negative epoch", &Envelope{Type: MsgParams, Epoch: -3}},
+		{"assign array mismatch", &Envelope{Type: MsgAssign, Assign: &Assignment{
+			Partitions: []int{0, 1}, RowCoeffs: []float64{1}, K: 4, S: 1}}},
+		{"assign bad k", &Envelope{Type: MsgAssign, Assign: &Assignment{
+			Partitions: []int{0}, RowCoeffs: []float64{1}, K: 0, S: 1}}},
+		{"assign negative s", &Envelope{Type: MsgAssign, Assign: &Assignment{
+			Partitions: []int{0}, RowCoeffs: []float64{1}, K: 4, S: -1}}},
+		{"assign partition out of range", &Envelope{Type: MsgAssign, Assign: &Assignment{
+			Partitions: []int{7}, RowCoeffs: []float64{1}, K: 4, S: 1}}},
+		{"assign overfull", &Envelope{Type: MsgAssign, Assign: &Assignment{
+			Partitions: []int{0, 1, 0}, RowCoeffs: []float64{1, 1, 1}, K: 2, S: 0}}},
+		{"reassign without payload", &Envelope{Type: MsgReassign}},
+		{"assign without payload", &Envelope{Type: MsgAssign}},
+		{"negative telemetry", &Envelope{Type: MsgTelemetry, Telemetry: &Telemetry{Partitions: -1}}},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			client, server := pipePair(t)
+			if err := client.Send(tc.env); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := server.Recv(); !errors.Is(err, ErrMalformed) {
+				t.Fatalf("Recv err = %v, want ErrMalformed", err)
+			}
+			// The gob stream stays in sync: a valid frame after the rejected
+			// one is still received.
+			if err := client.Send(&Envelope{Type: MsgParams, Iter: 1, Vector: []float64{1}}); err != nil {
+				t.Fatal(err)
+			}
+			env, err := server.Recv()
+			if err != nil || env.Type != MsgParams || env.Iter != 1 {
+				t.Fatalf("follow-up frame = %+v, err %v", env, err)
+			}
+		})
+	}
+}
+
+func TestTelemetryReassignRoundTrip(t *testing.T) {
+	client, server := pipePair(t)
+	tel := &Telemetry{ComputeSeconds: 0.125, UploadSeconds: 0.001, Partitions: 3}
+	if err := client.Send(&Envelope{Type: MsgTelemetry, Iter: 4, Epoch: 2, WorkerID: 1, Telemetry: tel}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != MsgTelemetry || env.Epoch != 2 || env.Telemetry == nil ||
+		env.Telemetry.ComputeSeconds != 0.125 || env.Telemetry.Partitions != 3 {
+		t.Fatalf("telemetry = %+v (%+v)", env, env.Telemetry)
+	}
+	assign := &Assignment{WorkerID: 1, Partitions: []int{0, 2}, RowCoeffs: []float64{1, -1}, K: 5, S: 1}
+	if err := server.Send(&Envelope{Type: MsgReassign, Epoch: 3, Assign: assign}); err != nil {
+		t.Fatal(err)
+	}
+	env, err = client.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != MsgReassign || env.Epoch != 3 || env.Assign == nil || env.Assign.K != 5 {
+		t.Fatalf("reassign = %+v", env)
 	}
 }
 
