@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke bench-baseline bench-compare
+.PHONY: all build test vet lint race cover cover-gate cover-check \
+	smoke-examples bench bench-smoke bench-baseline bench-compare bench-json
 
 all: build test
 
@@ -13,8 +14,52 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Lint: formatting must be clean, vet must pass, and staticcheck runs when
+# installed (CI installs it; locally it is optional).
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 race:
 	$(GO) test -race ./...
+
+# COVERAGE_FLOOR is the minimum total statement coverage (percent) the test
+# suite must reach; cover-check fails below it. Raise it as coverage grows.
+COVERAGE_FLOOR ?= 75.0
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
+
+# cover-gate checks an existing coverage.out against the floor without
+# re-running the suite (CI produces the profile in its race-test step).
+cover-gate:
+	@test -f coverage.out || { echo "coverage.out missing; run 'make cover' first"; exit 1; }
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {gsub("%","",$$3); print $$3}'); \
+	awk -v t="$$total" -v floor="$(COVERAGE_FLOOR)" 'BEGIN { \
+		if (t+0 < floor+0) { printf "total coverage %.1f%% is below the %.1f%% floor\n", t, floor; exit 1 } \
+		printf "total coverage %.1f%% >= %.1f%% floor\n", t, floor }'
+
+cover-check: cover cover-gate
+
+# Smoke-run the quickstart example: a panic in example main paths must fail
+# the build pipeline, not linger unnoticed (5s budget where `timeout` exists
+# — stock macOS ships without coreutils).
+smoke-examples:
+	$(GO) build ./examples/...
+	@if command -v timeout >/dev/null 2>&1; then \
+		timeout 5 $(GO) run ./examples/quickstart; \
+	else \
+		$(GO) run ./examples/quickstart; \
+	fi
 
 # Full benchmark sweep with allocation reporting.
 bench:
@@ -38,3 +83,12 @@ BENCH_TOLERANCE ?= 0.25
 bench-compare:
 	$(GO) test -run '^$$' -bench 'Decode|Encode' -benchmem ./... > /tmp/hetgc-bench-current.txt
 	$(GO) run ./cmd/gcbench -compare BENCH_baseline.json -tolerance $(BENCH_TOLERANCE) < /tmp/hetgc-bench-current.txt
+
+# Emit the current benchmark sweep as JSON (BENCH_current.json) without
+# touching the committed baseline — CI uploads it as a workflow artifact.
+# Two commands, not a pipe: a bench build failure or panic must fail the
+# target instead of being masked by gcbench's exit status.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem ./... > /tmp/hetgc-bench-json.txt
+	$(GO) run ./cmd/gcbench < /tmp/hetgc-bench-json.txt > BENCH_current.json
+	@echo wrote BENCH_current.json

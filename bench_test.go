@@ -333,3 +333,41 @@ func BenchmarkSSP(b *testing.B) {
 		}
 	}
 }
+
+// benchShardedSim runs the sharded co-simulation at a given scale; groupSize
+// = m degenerates to the flat single-master runtime, so the pair measures
+// flat-vs-sharded per-iteration wall-clock on identical fleets (including
+// real plan construction and decode work).
+func benchShardedSim(b *testing.B, m, groupSize int) {
+	b.Helper()
+	rates := make([]float64, m)
+	for i := range rates {
+		rates[i] = 100
+	}
+	cfg := ShardedSimConfig{
+		K: 2 * m, S: 1, GroupSize: groupSize, FanIn: 4,
+		Rates:         rates,
+		Iterations:    10,
+		IngestSeconds: 0.002,
+		HopSeconds:    0.005,
+		Seed:          7,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := SimulateSharded(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Summary.Mean
+	}
+}
+
+// Flat vs sharded iteration latency at 50–500 simulated workers: the
+// hierarchical runtime builds many small codes and decodes many small
+// systems instead of one large one.
+func BenchmarkSimFlat50(b *testing.B)     { benchShardedSim(b, 50, 50) }
+func BenchmarkSimSharded50(b *testing.B)  { benchShardedSim(b, 50, 10) }
+func BenchmarkSimFlat200(b *testing.B)    { benchShardedSim(b, 200, 200) }
+func BenchmarkSimSharded200(b *testing.B) { benchShardedSim(b, 200, 10) }
+func BenchmarkSimFlat500(b *testing.B)    { benchShardedSim(b, 500, 500) }
+func BenchmarkSimSharded500(b *testing.B) { benchShardedSim(b, 500, 10) }

@@ -21,6 +21,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +30,11 @@ import (
 	"strconv"
 	"strings"
 )
+
+// ErrNoBaseline is returned by -compare when the baseline file does not
+// exist; main exits with code 2 (instead of the generic 1) so callers can
+// distinguish "no baseline recorded yet" from a real regression.
+var ErrNoBaseline = errors.New("gcbench: baseline file not found")
 
 // Result is one parsed benchmark line.
 type Result struct {
@@ -60,6 +66,9 @@ type Report struct {
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)
+		if errors.Is(err, ErrNoBaseline) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -85,6 +94,10 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 	baseRaw, err := os.ReadFile(*compare)
 	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("%w: %s — record one with `make bench-baseline` (and commit it) before gating",
+				ErrNoBaseline, *compare)
+		}
 		return err
 	}
 	var baseline Report

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"strings"
 	"testing"
@@ -129,6 +130,30 @@ func TestRunCompareAgainstFile(t *testing.T) {
 
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// TestRunCompareMissingBaseline: a missing baseline file is a distinct,
+// actionable failure — the error names the remediation (make bench-baseline)
+// and wraps ErrNoBaseline so main exits with code 2 instead of 1.
+func TestRunCompareMissingBaseline(t *testing.T) {
+	path := t.TempDir() + "/does-not-exist.json"
+	var out strings.Builder
+	err := run([]string{"-compare", path}, strings.NewReader(sample), &out)
+	if !errors.Is(err, ErrNoBaseline) {
+		t.Fatalf("err = %v, want ErrNoBaseline", err)
+	}
+	if !strings.Contains(err.Error(), "make bench-baseline") {
+		t.Fatalf("error lacks remediation hint: %v", err)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("error lacks the missing path: %v", err)
+	}
+
+	// Other read failures (e.g. the path is a directory) stay generic.
+	err = run([]string{"-compare", t.TempDir()}, strings.NewReader(sample), &out)
+	if err == nil || errors.Is(err, ErrNoBaseline) {
+		t.Fatalf("directory baseline: err = %v, want a non-ErrNoBaseline failure", err)
+	}
 }
 
 func TestCompareFlagsMissingBaselineBenches(t *testing.T) {

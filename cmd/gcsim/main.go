@@ -11,6 +11,7 @@
 //	gcsim -exp ablation-misest        # group-based vs heter under bad estimates
 //	gcsim -exp ablation-s             # replication-factor sweep
 //	gcsim -exp churn                  # elastic control loop under seeded churn
+//	gcsim -exp sharded                # hierarchical group-sharded runtime vs flat at 200 workers
 //	gcsim -exp all                    # everything above
 package main
 
@@ -33,7 +34,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gcsim", flag.ContinueOnError)
 	var (
-		exp   = fs.String("exp", "all", "experiment: table2, fig2a, fig2b, fig3, fig4, fig5, ablation-misest, ablation-s, churn, all")
+		exp   = fs.String("exp", "all", "experiment: table2, fig2a, fig2b, fig3, fig4, fig5, ablation-misest, ablation-s, churn, sharded, all")
 		iters = fs.Int("iters", 100, "iterations per simulation cell")
 		seed  = fs.Int64("seed", 1, "random seed")
 	)
@@ -63,6 +64,7 @@ func run(args []string) error {
 		{"ablation-misest", func() error { return misest(*iters, *seed) }},
 		{"ablation-s", func() error { return replication(*iters, *seed) }},
 		{"churn", func() error { return churn(*iters, *seed) }},
+		{"sharded", func() error { return sharded(*iters, *seed) }},
 	}
 	matched := false
 	for _, e := range entries {
@@ -235,6 +237,85 @@ func churn(iters int, seed int64) error {
 	fmt.Printf("replay bit-identical: %v\n", identical)
 	if !identical {
 		return fmt.Errorf("churn simulation is not deterministic")
+	}
+	return nil
+}
+
+func sharded(iters int, seed int64) error {
+	fmt.Println("Hierarchical group-sharded runtime vs flat single master, 200 workers")
+	const m = 200
+	if iters > 50 {
+		// The comparison stabilises quickly; keep -exp all fast.
+		fmt.Printf("(clamping -iters %d to 50 for the sharded comparison)\n", iters)
+		iters = 50
+	}
+	rates := make([]float64, m)
+	for i := range rates {
+		rates[i] = 100
+	}
+	base := hetgc.ShardedSimConfig{
+		K: 2 * m, S: 1, FanIn: 4,
+		Rates:      rates,
+		Iterations: iters,
+		// 2ms to ingest one gradient upload, 5ms per reduction-tree hop:
+		// the flat master serialises behind 200 uploads, each group master
+		// ingests ~10 in parallel and ships one coalesced batch upward.
+		IngestSeconds: 0.002,
+		HopSeconds:    0.005,
+		// A slow third of the fleet plus a mid-run slowdown exercises the
+		// group-local control planes.
+		Events: []hetgc.ChurnEvent{
+			{Iter: iters / 3, Kind: hetgc.ChurnSpeedStep, Member: 1, Factor: 0.25},
+			{Iter: iters / 3, Kind: hetgc.ChurnSpeedStep, Member: 2, Factor: 0.25},
+		},
+		Alpha:           0.5,
+		DriftThreshold:  0.5,
+		MinObservations: 2,
+		CooldownIters:   3,
+		Seed:            seed,
+	}
+	shardedCfg := base
+	shardedCfg.GroupSize = 10
+	flatCfg := base
+	flatCfg.GroupSize = m // one group = the flat runtime, same code path
+
+	sh, err := hetgc.SimulateSharded(shardedCfg)
+	if err != nil {
+		return err
+	}
+	fl, err := hetgc.SimulateSharded(flatCfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("flat:    1 master, %d uploads/iter               mean %.1fms/iter\n",
+		m, fl.Summary.Mean*1000)
+	fmt.Printf("sharded: %d groups, tree depth %d (fan-in 4)     mean %.1fms/iter  (%.1fx faster)\n",
+		sh.Groups, sh.Depth, sh.Summary.Mean*1000, fl.Summary.Mean/sh.Summary.Mean)
+	fmt.Println("group-local migration timeline:")
+	for _, ev := range sh.Replans {
+		if ev.Reason == "initial" {
+			continue
+		}
+		fmt.Printf("  iter %3d  group %2d  epoch %2d  %-7s  %d workers\n",
+			ev.Iter, ev.Group, ev.Epoch, ev.Reason, ev.Members)
+	}
+	// Determinism is part of the contract: a second run must be identical.
+	sh2, err := hetgc.SimulateSharded(shardedCfg)
+	if err != nil {
+		return err
+	}
+	identical := len(sh.Times) == len(sh2.Times)
+	for i := 0; identical && i < len(sh.Times); i++ {
+		if sh.Times[i] != sh2.Times[i] {
+			identical = false
+		}
+	}
+	fmt.Printf("replay bit-identical: %v\n", identical)
+	if !identical {
+		return fmt.Errorf("sharded simulation is not deterministic")
+	}
+	if fl.Summary.Mean < 2*sh.Summary.Mean {
+		return fmt.Errorf("sharded speedup below 2x: flat %.4fs vs sharded %.4fs", fl.Summary.Mean, sh.Summary.Mean)
 	}
 	return nil
 }

@@ -18,6 +18,14 @@ func TestRunChurn(t *testing.T) {
 	}
 }
 
+func TestRunSharded(t *testing.T) {
+	// The sharded runner internally verifies the 2x flat-vs-sharded bar and
+	// bit-identical replay.
+	if err := run([]string{"-exp", "sharded", "-iters", "24", "-seed", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunFig4Small(t *testing.T) {
 	if err := run([]string{"-exp", "fig4", "-iters", "8", "-seed", "3"}); err != nil {
 		t.Fatal(err)

@@ -10,7 +10,9 @@
 //   - A discrete-event cluster simulator (Simulate, TrainSimulated, RunSSP)
 //     reproducing the paper's evaluation, with the Table II clusters
 //     (ClusterA…ClusterD) and straggler injectors.
-//   - A real TCP master/worker runtime (NewMaster, DialWorker).
+//   - A real TCP master/worker runtime (NewMaster, DialWorker), its elastic
+//     variant (RunElastic), and a hierarchical group-sharded runtime that
+//     scales the scheme to hundreds of workers (RunSharded, SimulateSharded).
 //   - Experiment runners regenerating every figure and table of the paper
 //     (the Fig2/Fig3/Fig4/Fig5/Table2 family).
 //
@@ -34,6 +36,7 @@ import (
 	"github.com/hetgc/hetgc/internal/partition"
 	"github.com/hetgc/hetgc/internal/planner"
 	"github.com/hetgc/hetgc/internal/runtime"
+	"github.com/hetgc/hetgc/internal/shard"
 	"github.com/hetgc/hetgc/internal/sim"
 	"github.com/hetgc/hetgc/internal/straggler"
 )
@@ -336,6 +339,73 @@ const (
 // control plane as the live runtime, bit-identical for a fixed seed.
 func SimulateElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 	return sim.RunElastic(cfg)
+}
+
+// Hierarchical group-sharded runtime: the worker fleet is partitioned into
+// independently-coded groups, each with its own group master (local decode,
+// group-local elastic control plane, per-group epochs) and its own slice of
+// the global partitions; group sums are streamed upward as coalesced chunked
+// batches and reduced along a configurable fan-in tree into a root master.
+type (
+	// ShardedConfig configures a sharded training run.
+	ShardedConfig = shard.Config
+	// ShardedResult summarises a sharded run (per-group stats included).
+	ShardedResult = shard.Result
+	// ShardedRoot is the hierarchy's root master; workers dial the group
+	// addresses it exposes (GroupAddrs/Plan).
+	ShardedRoot = shard.Root
+	// ShardGroupStats is one group's run summary.
+	ShardGroupStats = shard.GroupStats
+	// ShardPlan is a sharded deployment plan (groups, partition ownership,
+	// reduction tree).
+	ShardPlan = shard.Plan
+	// ShardPlanConfig parameterises the sharding planner.
+	ShardPlanConfig = shard.PlanConfig
+	// ReductionTree is the cross-group aggregation topology.
+	ReductionTree = shard.Tree
+)
+
+// NewShardedRoot builds the shard plan, starts the root on addr and spawns
+// one group master per coding group, each on its own loopback address.
+func NewShardedRoot(cfg ShardedConfig, addr string) (*ShardedRoot, error) {
+	return shard.NewRoot(cfg, addr)
+}
+
+// RunSharded is the one-call sharded entry point: it builds the hierarchy on
+// addr, invokes onListen (dial workers at root.GroupAddrs() there), waits
+// for every group's worker quorum and trains to completion.
+func RunSharded(cfg ShardedConfig, addr string, waitTimeout time.Duration, onListen func(*ShardedRoot)) (*ShardedResult, error) {
+	return shard.RunSharded(cfg, addr, waitTimeout, onListen)
+}
+
+// BuildShardPlan shards workers into coding groups with per-group strategies
+// and a reduction tree — the planning step of the hierarchical runtime,
+// usable standalone.
+func BuildShardPlan(throughputs []float64, cfg ShardPlanConfig, rng *rand.Rand) (*ShardPlan, error) {
+	return shard.BuildPlan(throughputs, cfg, rng)
+}
+
+// NewReductionTree builds a fan-in-ary aggregation tree over the given leaf
+// count.
+func NewReductionTree(leaves, fanIn int) *ReductionTree { return shard.NewTree(leaves, fanIn) }
+
+// Deterministic sharded co-simulation.
+type (
+	// ShardedSimConfig parameterises a socket-free sharded simulation over
+	// optional churn schedules and straggler injectors.
+	ShardedSimConfig = sim.ShardedSimConfig
+	// ShardedSimResult aggregates a sharded simulation run.
+	ShardedSimResult = sim.ShardedSimResult
+	// GroupReplanEvent is one group-local migration of a sharded simulation.
+	GroupReplanEvent = sim.GroupReplanEvent
+)
+
+// SimulateSharded runs the deterministic sharded co-simulation — the same
+// group-local control planes as the live hierarchy, bit-identical for a
+// fixed seed. A GroupSize covering every worker degenerates to the flat
+// single-master runtime, which makes flat-vs-sharded comparisons exact.
+func SimulateSharded(cfg ShardedSimConfig) (*ShardedSimResult, error) {
+	return sim.RunSharded(cfg)
 }
 
 // Throughput estimation.

@@ -46,6 +46,17 @@ func (g Gradient) Norm2() float64 {
 	return math.Sqrt(s)
 }
 
+// InfOrNaN reports whether the vector contains any NaN or infinity — the
+// shared guard every wire-ingest path runs against poisoned uploads.
+func InfOrNaN(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+	}
+	return false
+}
+
 // MaxAbsDiff returns the largest absolute element-wise difference, or +Inf on
 // dimension mismatch.
 func (g Gradient) MaxAbsDiff(other Gradient) float64 {

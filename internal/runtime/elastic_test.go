@@ -36,17 +36,17 @@ func newElasticFixture(t *testing.T, k int) *elasticFixture {
 func (f *elasticFixture) masterConfig(k, s, iters int) ElasticConfig {
 	return ElasticConfig{
 		K: k, S: s,
-		Model:         f.model,
-		Optimizer:     &ml.SGD{LR: 0.5},
-		InitialParams: f.model.InitParams(nil),
-		Iterations:    iters,
-		SampleCount:   f.data.N(),
-		IterTimeout:   10 * time.Second,
-		Alpha:         0.5,
+		Model:           f.model,
+		Optimizer:       &ml.SGD{LR: 0.5},
+		InitialParams:   f.model.InitParams(nil),
+		Iterations:      iters,
+		SampleCount:     f.data.N(),
+		IterTimeout:     10 * time.Second,
+		Alpha:           0.5,
 		MinObservations: 2,
-		CooldownIters: 3,
-		Seed:          1,
-		LossEvery:     1,
+		CooldownIters:   3,
+		Seed:            1,
+		LossEvery:       1,
 		LossFn: func(p []float64) (float64, error) {
 			return ml.MeanLoss(f.model, p, f.data)
 		},

@@ -9,7 +9,6 @@ package runtime
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sync"
 	"time"
 
@@ -374,11 +373,4 @@ func decodableBestCase(st *core.Strategy, dead, arrived []bool) bool {
 }
 
 // infOrNaN guards against poisoned vectors from the wire.
-func infOrNaN(v []float64) bool {
-	for _, x := range v {
-		if math.IsNaN(x) || math.IsInf(x, 0) {
-			return true
-		}
-	}
-	return false
-}
+func infOrNaN(v []float64) bool { return grad.InfOrNaN(v) }

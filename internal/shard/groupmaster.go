@@ -1,0 +1,554 @@
+// The per-group master: an elastic BSP master scoped to one coding group.
+// It admits the group's workers over TCP with the elastic worker protocol,
+// keeps a group-local control plane (its own elastic.Controller, its own
+// epoch counter), migrates only its own workers on drift or churn, decodes
+// the group's gradient sum with the shared decode-plan cache and kernels,
+// and streams that sum to the root as one coalesced chunked batch per
+// iteration.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/elastic"
+	"github.com/hetgc/hetgc/internal/grad"
+	"github.com/hetgc/hetgc/internal/transport"
+)
+
+type gmMember struct {
+	id    int
+	conn  *transport.Conn
+	alive bool
+	// gen counts reconnects; frames and death reports from a superseded
+	// connection generation are fenced out.
+	gen int
+}
+
+type gmMsg struct {
+	memberID  int
+	gen       int
+	env       *transport.Envelope
+	err       error
+	malformed bool
+}
+
+// groupMaster runs one coding group.
+type groupMaster struct {
+	root  *Root
+	g     int
+	lis   *transport.Listener
+	ctrl  *elastic.Controller
+	up    *transport.Conn // uplink to the root (run loop is its only user)
+	inbox chan gmMsg
+
+	mu      sync.Mutex
+	members map[int]*gmMember
+	nextID  int
+	joinSeq int
+
+	joined    chan struct{}
+	stop      chan struct{}
+	readers   sync.WaitGroup
+	accept    sync.WaitGroup
+	done      chan struct{}
+	closeOnce sync.Once
+
+	// Run statistics (owned by the run loop except where noted).
+	epochs             []int
+	staleEpochRejected int
+	stragglersSkipped  int
+	malformedSkipped   int
+	telemetrySamples   int
+}
+
+// newGroupMaster builds the group's control plane, starts its worker
+// listener and dials the root.
+func newGroupMaster(r *Root, g int) (*groupMaster, error) {
+	grp := r.plan.Groups[g]
+	ctrl, err := elastic.NewController(elastic.Config{
+		K: len(grp.Parts), S: r.cfg.S, Scheme: r.cfg.Scheme,
+		Alpha: r.cfg.Alpha, DriftThreshold: r.cfg.DriftThreshold,
+		MinObservations: r.cfg.MinObservations, CooldownIters: r.cfg.CooldownIters,
+		InitialRate: r.cfg.InitialRate,
+	}, rand.New(rand.NewSource(r.cfg.Seed+int64(g)+1)))
+	if err != nil {
+		return nil, fmt.Errorf("%w: group %d: %v", ErrBadConfig, g, err)
+	}
+	lis, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	up, err := transport.Dial(r.lis.Addr(), 10*time.Second)
+	if err != nil {
+		_ = lis.Close()
+		return nil, err
+	}
+	if err := up.Send(&transport.Envelope{Type: transport.MsgHello, WorkerID: g}); err != nil {
+		_ = lis.Close()
+		_ = up.Close()
+		return nil, err
+	}
+	gm := &groupMaster{
+		root:    r,
+		g:       g,
+		lis:     lis,
+		ctrl:    ctrl,
+		up:      up,
+		inbox:   make(chan gmMsg, 2*len(grp.Workers)+8),
+		members: make(map[int]*gmMember),
+		nextID:  1,
+		joined:  make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	gm.accept.Add(1)
+	go gm.acceptLoop()
+	go gm.run()
+	return gm, nil
+}
+
+// acceptLoop admits the group's workers for the lifetime of the run.
+func (gm *groupMaster) acceptLoop() {
+	defer gm.accept.Done()
+	for {
+		conn, err := gm.lis.Accept()
+		if err != nil {
+			return
+		}
+		gm.accept.Add(1)
+		go func() {
+			defer gm.accept.Done()
+			gm.handshake(conn)
+		}()
+	}
+}
+
+// handshake resolves a dialing worker's member identity (fresh join or
+// rejoin via ResumeID) and registers it with the group's control plane. The
+// prior throughput estimate is the planned estimate of the group's workers
+// in join order — workers are fungible processes, telemetry corrects the
+// rest.
+func (gm *groupMaster) handshake(conn *transport.Conn) {
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	hello, err := conn.Recv()
+	if err != nil || hello.Type != transport.MsgHello {
+		_ = conn.Close()
+		return
+	}
+	grp := gm.root.plan.Groups[gm.g]
+	gm.mu.Lock()
+	id, gen := 0, 0
+	if prev, ok := gm.members[hello.WorkerID]; ok && !prev.alive {
+		id = hello.WorkerID
+		_ = prev.conn.Close()
+		prev.conn = conn
+		prev.alive = true
+		prev.gen++
+		gen = prev.gen
+	} else {
+		id = gm.nextID
+		gm.nextID++
+		gm.members[id] = &gmMember{id: id, conn: conn, alive: true}
+	}
+	prior := 0.0
+	if gm.joinSeq < len(grp.Workers) {
+		prior = gm.root.cfg.Throughputs[grp.Workers[gm.joinSeq]]
+	}
+	gm.joinSeq++
+	gm.ctrl.AddMember(id, prior)
+	ack := &transport.Envelope{Type: transport.MsgHello, WorkerID: id}
+	if err := conn.Send(ack); err != nil {
+		member := gm.members[id]
+		member.alive = false
+		gm.ctrl.RemoveMember(id)
+		gm.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	gm.mu.Unlock()
+	_ = conn.SetDeadline(time.Time{})
+
+	select {
+	case gm.joined <- struct{}{}:
+	default:
+	}
+	gm.readers.Add(1)
+	go gm.readLoop(id, gen, conn)
+}
+
+// readLoop feeds one worker connection generation into the shared inbox.
+func (gm *groupMaster) readLoop(id, gen int, conn *transport.Conn) {
+	defer gm.readers.Done()
+	for {
+		env, err := conn.Recv()
+		if err != nil {
+			if errors.Is(err, transport.ErrMalformed) {
+				select {
+				case gm.inbox <- gmMsg{memberID: id, gen: gen, malformed: true}:
+				case <-gm.stop:
+					return
+				}
+				continue
+			}
+			select {
+			case gm.inbox <- gmMsg{memberID: id, gen: gen, err: err}:
+			case <-gm.stop:
+			}
+			return
+		}
+		switch env.Type {
+		case transport.MsgGradient, transport.MsgTelemetry:
+			select {
+			case gm.inbox <- gmMsg{memberID: id, gen: gen, env: env}:
+			case <-gm.stop:
+				return
+			}
+		}
+	}
+}
+
+// waitForWorkers blocks until the group's planned worker count has joined.
+func (gm *groupMaster) waitForWorkers(timeout time.Duration) error {
+	want := len(gm.root.plan.Groups[gm.g].Workers)
+	deadline := time.After(timeout)
+	for {
+		gm.mu.Lock()
+		n := len(gm.ctrl.AliveMembers())
+		gm.mu.Unlock()
+		if n >= want {
+			return nil
+		}
+		select {
+		case <-gm.joined:
+		case <-deadline:
+			return fmt.Errorf("%w: group %d has %d of %d workers", ErrGroupFailed, gm.g, n, want)
+		}
+	}
+}
+
+// sendTo writes one envelope under a write deadline.
+func (gm *groupMaster) sendTo(conn *transport.Conn, env *transport.Envelope) error {
+	_ = conn.SetWriteDeadline(time.Now().Add(gm.root.cfg.IterTimeout))
+	err := conn.Send(env)
+	_ = conn.SetWriteDeadline(time.Time{})
+	return err
+}
+
+// noteDeath marks a member dead if the report is from its live generation.
+func (gm *groupMaster) noteDeath(id, gen int) {
+	gm.mu.Lock()
+	defer gm.mu.Unlock()
+	if m, ok := gm.members[id]; ok && m.alive && m.gen == gen {
+		m.alive = false
+		gm.ctrl.RemoveMember(id)
+	}
+}
+
+// migrate builds the group's next epoch and delivers (epoch, assignment) to
+// every member of it. Partition indices in assignments are global (the
+// worker fetches data by global partition ID); coefficients come from the
+// group strategy's local rows.
+func (gm *groupMaster) migrate(iter int, reason string) (*elastic.Plan, error) {
+	grp := gm.root.plan.Groups[gm.g]
+	for attempt := 0; ; attempt++ {
+		gm.mu.Lock()
+		total := len(gm.members)
+		var plan *elastic.Plan
+		var err error
+		if attempt <= total+1 {
+			plan, err = gm.ctrl.Replan(iter, reason)
+		}
+		gm.mu.Unlock()
+		if attempt > total+1 {
+			return nil, fmt.Errorf("%w: group %d: no stable membership after %d attempts", ErrGroupFailed, gm.g, attempt)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: group %d: %v", ErrGroupFailed, gm.g, err)
+		}
+		alloc := plan.Strategy.Allocation()
+		failed := false
+		for slot, id := range plan.Members {
+			gm.mu.Lock()
+			member := gm.members[id]
+			conn, gen := member.conn, member.gen
+			gm.mu.Unlock()
+			row := plan.Strategy.Row(slot)
+			localParts := alloc.Parts[slot]
+			parts := make([]int, len(localParts))
+			coeffs := make([]float64, len(localParts))
+			for i, p := range localParts {
+				parts[i] = grp.Parts[p] // local → global partition ID
+				coeffs[i] = row[p]
+			}
+			env := &transport.Envelope{
+				Type:  transport.MsgReassign,
+				Epoch: plan.Epoch,
+				Assign: &transport.Assignment{
+					WorkerID:   slot,
+					Partitions: parts,
+					RowCoeffs:  coeffs,
+					K:          gm.root.cfg.K, // global K: partition IDs are global
+					S:          gm.root.cfg.S,
+				},
+			}
+			if err := gm.sendTo(conn, env); err != nil {
+				gm.noteDeath(id, gen)
+				failed = true
+			}
+		}
+		if !failed {
+			return plan, nil
+		}
+		reason = "churn"
+	}
+}
+
+// run is the group master's main loop: it serves root broadcasts until
+// shutdown, running one epoch-fenced group iteration per MsgParams and
+// answering with the group's decoded sum as a single coalesced batch of
+// chunks.
+func (gm *groupMaster) run() {
+	defer close(gm.done)
+	var plan *elastic.Plan
+	for {
+		env, err := gm.up.Recv()
+		if err != nil {
+			gm.fatal(fmt.Errorf("group %d uplink: %w", gm.g, err))
+			return
+		}
+		switch env.Type {
+		case transport.MsgShutdown:
+			gm.shutdown(true)
+			return
+		case transport.MsgParams:
+			sum, epoch, err := gm.iteration(env.Iter, env.Vector, &plan)
+			if err != nil {
+				gm.fatal(err)
+				return
+			}
+			gm.epochs = append(gm.epochs, epoch)
+			tmpl := transport.Envelope{Iter: env.Iter, Epoch: epoch, WorkerID: gm.g}
+			frames := transport.ChunkGradient(tmpl, sum, gm.root.cfg.ChunkLen)
+			err = gm.up.SendBatch(frames)
+			grad.PutBuffer(sum)
+			if err != nil {
+				gm.fatal(fmt.Errorf("group %d upload: %w", gm.g, err))
+				return
+			}
+		}
+	}
+}
+
+// iteration runs one group BSP iteration and returns the group's gradient
+// sum (a pooled buffer the caller must PutBuffer) and the epoch it decoded
+// under. Timeouts and fatal deaths force a group-local migration and a
+// retry, bounded by MaxRetries.
+func (gm *groupMaster) iteration(iter int, params []float64, planRef **elastic.Plan) (grad.Gradient, int, error) {
+	cfg := &gm.root.cfg
+	dim := len(params)
+	gm.mu.Lock()
+	replan, reason := gm.ctrl.ShouldReplan(iter)
+	gm.mu.Unlock()
+	if replan {
+		p, err := gm.migrate(iter, reason)
+		if err != nil {
+			return nil, 0, err
+		}
+		*planRef = p
+	}
+	retries := 0
+	for {
+		plan := *planRef
+		m := plan.Strategy.M()
+		for _, id := range plan.Members {
+			gm.mu.Lock()
+			member := gm.members[id]
+			conn, live, gen := member.conn, member.alive, member.gen
+			gm.mu.Unlock()
+			if !live {
+				continue
+			}
+			env := &transport.Envelope{Type: transport.MsgParams, Iter: iter, Epoch: plan.Epoch, Vector: params}
+			if err := gm.sendTo(conn, env); err != nil {
+				gm.noteDeath(id, gen)
+			}
+		}
+		coded := make([]grad.Gradient, m)
+		alive := make([]bool, m)
+		var coeffs []float64
+		viable := gm.epochViable(plan, alive)
+		if viable {
+			deadline := time.NewTimer(cfg.IterTimeout)
+		collect:
+			for coeffs == nil {
+				select {
+				case msg := <-gm.inbox:
+					if msg.malformed {
+						gm.malformedSkipped++
+						continue
+					}
+					if msg.err != nil {
+						gm.noteDeath(msg.memberID, msg.gen)
+						if !gm.epochViable(plan, alive) {
+							break collect
+						}
+						continue
+					}
+					env := msg.env
+					switch env.Type {
+					case transport.MsgTelemetry:
+						if env.Telemetry != nil && env.Telemetry.Partitions > 0 && env.Telemetry.ComputeSeconds > 0 {
+							gm.mu.Lock()
+							err := gm.ctrl.Observe(msg.memberID, env.Telemetry.Partitions, env.Telemetry.ComputeSeconds)
+							gm.mu.Unlock()
+							if err == nil {
+								gm.telemetrySamples++
+							}
+						}
+					case transport.MsgGradient:
+						if env.Epoch != plan.Epoch {
+							gm.staleEpochRejected++
+							continue
+						}
+						if env.Iter != iter {
+							gm.stragglersSkipped++
+							continue
+						}
+						slot := plan.SlotOf(msg.memberID)
+						if slot < 0 {
+							gm.stragglersSkipped++
+							continue
+						}
+						if len(env.Vector) != dim || grad.InfOrNaN(env.Vector) {
+							gm.malformedSkipped++
+							continue
+						}
+						coded[slot] = env.Vector
+						alive[slot] = true
+						if cs, err := plan.Strategy.Decode(alive); err == nil {
+							coeffs = cs
+						}
+					}
+				case <-deadline.C:
+					break collect
+				}
+			}
+			deadline.Stop()
+		}
+		if coeffs != nil {
+			sum := grad.GetBuffer(dim)
+			if err := grad.CombineInto(sum, coeffs, coded); err != nil {
+				grad.PutBuffer(sum)
+				return nil, 0, fmt.Errorf("group %d iter %d combine: %w", gm.g, iter, err)
+			}
+			return sum, plan.Epoch, nil
+		}
+		// The epoch cannot complete: group-local migrate + retry.
+		retries++
+		if retries > cfg.MaxRetries {
+			return nil, 0, fmt.Errorf("%w: group %d iteration %d undecodable after %d migrations", ErrGroupFailed, gm.g, iter, retries-1)
+		}
+		p, err := gm.migrate(iter, "churn")
+		if err != nil {
+			return nil, 0, err
+		}
+		*planRef = p
+	}
+}
+
+// epochViable reports whether the plan can still decode if every live plan
+// member eventually uploads.
+func (gm *groupMaster) epochViable(plan *elastic.Plan, arrived []bool) bool {
+	mask := make([]bool, len(plan.Members))
+	gm.mu.Lock()
+	for slot, id := range plan.Members {
+		m, ok := gm.members[id]
+		mask[slot] = arrived[slot] || (ok && m.alive)
+	}
+	gm.mu.Unlock()
+	return plan.Strategy.CanDecode(mask)
+}
+
+// fatal reports the error to the root and tears the group down (closing the
+// uplink so the root's reader notices). It runs on the run-loop goroutine,
+// so the graceful shutdown frames cannot race the loop's own sends.
+func (gm *groupMaster) fatal(err error) {
+	select {
+	case gm.root.err <- err:
+	default:
+	}
+	gm.shutdown(true)
+}
+
+// shutdown stops the group's workers and the uplink. graceful sends each
+// worker a MsgShutdown frame first — only the run-loop goroutine may do
+// that, because it is the connections' single writer; Root.Close runs
+// concurrently with the loop and must close the connections cold instead.
+func (gm *groupMaster) shutdown(graceful bool) {
+	gm.closeOnce.Do(func() {
+		gm.mu.Lock()
+		if graceful {
+			for _, m := range gm.members {
+				if m.alive {
+					_ = m.conn.SetWriteDeadline(time.Now().Add(time.Second))
+					_ = m.conn.Send(&transport.Envelope{Type: transport.MsgShutdown})
+				}
+			}
+		}
+		for _, m := range gm.members {
+			_ = m.conn.Close()
+		}
+		gm.mu.Unlock()
+		_ = gm.lis.Close()
+		gm.accept.Wait()
+		gm.mu.Lock()
+		for _, m := range gm.members {
+			_ = m.conn.Close()
+		}
+		gm.mu.Unlock()
+		close(gm.stop)
+		done := make(chan struct{})
+		go func() {
+			gm.readers.Wait()
+			close(done)
+		}()
+		for {
+			select {
+			case <-gm.inbox:
+			case <-done:
+				_ = gm.up.Close()
+				return
+			}
+		}
+	})
+}
+
+// close tears the group down from outside the run loop (Root.Close): no
+// shutdown frames — closing a connection concurrently with its writer is
+// safe, writing to it is not.
+func (gm *groupMaster) close() {
+	gm.shutdown(false)
+}
+
+// waitDone blocks until the run loop exited.
+func (gm *groupMaster) waitDone() { <-gm.done }
+
+// stats snapshots the group's counters after the run completed.
+func (gm *groupMaster) stats() GroupStats {
+	gm.mu.Lock()
+	defer gm.mu.Unlock()
+	return GroupStats{
+		Group:              gm.g,
+		Workers:            len(gm.root.plan.Groups[gm.g].Workers),
+		Epochs:             append([]int(nil), gm.epochs...),
+		Replans:            gm.ctrl.Events(),
+		StaleEpochRejected: gm.staleEpochRejected,
+		StragglersSkipped:  gm.stragglersSkipped,
+		MalformedSkipped:   gm.malformedSkipped,
+		TelemetrySamples:   gm.telemetrySamples,
+	}
+}

@@ -1,0 +1,440 @@
+// Live hierarchical runtime: a Root master, per-group GroupMasters and the
+// elastic worker protocol stitched into a two-level deployment. Each group
+// master owns one coding group — it admits that group's workers over TCP,
+// runs the epoch-fenced BSP collect/decode loop with its own group-local
+// elastic control plane (drift or churn in a group migrates only that
+// group), and streams the group's decoded gradient sum to the root as one
+// coalesced batch of length-prefixed chunks per iteration. The root
+// broadcasts parameters down, reassembles the chunked uploads, reduces them
+// along the configured fan-in tree and steps the optimizer.
+//
+// Workers speak the unmodified elastic worker protocol (hello/ack,
+// MsgReassign, epoch-tagged params and gradients, telemetry), so
+// runtime.DialElasticWorker against a group master's address is all a worker
+// needs.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/core"
+	"github.com/hetgc/hetgc/internal/elastic"
+	"github.com/hetgc/hetgc/internal/grad"
+	"github.com/hetgc/hetgc/internal/metrics"
+	"github.com/hetgc/hetgc/internal/ml"
+	"github.com/hetgc/hetgc/internal/transport"
+)
+
+// Errors returned by the sharded runtime.
+var (
+	// ErrBadConfig marks invalid sharded-runtime configurations.
+	ErrBadConfig = errors.New("shard: invalid config")
+	// ErrGroupFailed is returned when a coding group cannot make progress
+	// (lost its planning quorum or timed out beyond its retry budget).
+	ErrGroupFailed = errors.New("shard: group failed")
+)
+
+// DefaultChunkLen is the default number of float64 elements per upstream
+// gradient chunk (512 KiB frames).
+const DefaultChunkLen = 1 << 16
+
+// Config configures a sharded training run.
+type Config struct {
+	// K is the global data-partition count, S the per-group straggler
+	// budget. GroupSize, FanIn and Scheme parameterise the sharding planner
+	// (see PlanConfig).
+	K, S      int
+	GroupSize int
+	FanIn     int
+	Scheme    core.Kind
+	// Throughputs are the initial per-worker speed estimates; their length
+	// fixes the total worker count and the grouping.
+	Throughputs []float64
+	// Model, Optimizer, InitialParams, Iterations, SampleCount, IterTimeout,
+	// LossEvery and LossFn mirror runtime.MasterConfig.
+	Model         ml.Model
+	Optimizer     ml.Optimizer
+	InitialParams []float64
+	Iterations    int
+	SampleCount   int
+	IterTimeout   time.Duration
+	LossEvery     int
+	LossFn        func(params []float64) (float64, error)
+	// ChunkLen is the number of gradient elements per upstream sub-frame
+	// (default DefaultChunkLen); a group's whole upload is one batched write
+	// regardless of the chunk count.
+	ChunkLen int
+	// Alpha, DriftThreshold, MinObservations, CooldownIters and InitialRate
+	// parameterise every group's control plane (see elastic.Config).
+	Alpha           float64
+	DriftThreshold  float64
+	MinObservations int
+	CooldownIters   int
+	InitialRate     float64
+	// MaxRetries bounds per-group forced replan+retry attempts for a single
+	// iteration (default 2).
+	MaxRetries int
+	// Seed drives plan and strategy construction (fixed seed, reproducible
+	// plans).
+	Seed int64
+}
+
+func (c *Config) validate() error {
+	if c.Model == nil || c.Optimizer == nil {
+		return fmt.Errorf("%w: model/optimizer required", ErrBadConfig)
+	}
+	if len(c.InitialParams) != c.Model.Dim() {
+		return fmt.Errorf("%w: %d initial params, model wants %d", ErrBadConfig, len(c.InitialParams), c.Model.Dim())
+	}
+	if c.K <= 0 || c.S < 0 {
+		return fmt.Errorf("%w: k=%d s=%d", ErrBadConfig, c.K, c.S)
+	}
+	if len(c.Throughputs) == 0 {
+		return fmt.Errorf("%w: no workers", ErrBadConfig)
+	}
+	if c.Iterations <= 0 || c.SampleCount <= 0 {
+		return fmt.Errorf("%w: iterations=%d samples=%d", ErrBadConfig, c.Iterations, c.SampleCount)
+	}
+	if c.IterTimeout <= 0 {
+		return fmt.Errorf("%w: iteration timeout required", ErrBadConfig)
+	}
+	return nil
+}
+
+// GroupStats summarises one group's run.
+type GroupStats struct {
+	// Group is the coding-group index; Workers its planned worker count.
+	Group, Workers int
+	// Epochs is the group-local plan epoch each iteration decoded under.
+	Epochs []int
+	// Replans is the group's migration history (initial plan included).
+	Replans []elastic.ReplanEvent
+	// StaleEpochRejected, StragglersSkipped and MalformedSkipped mirror the
+	// elastic master's fencing counters; TelemetrySamples counts control-
+	// plane observations.
+	StaleEpochRejected, StragglersSkipped, MalformedSkipped, TelemetrySamples int
+}
+
+// Result summarises a sharded training run.
+type Result struct {
+	// Params are the final parameters.
+	Params []float64
+	// IterTimes are per-iteration wall times in seconds.
+	IterTimes []float64
+	// Summary summarises IterTimes.
+	Summary metrics.Summary
+	// Curve is (cumulative seconds, loss) when loss recording was enabled.
+	Curve metrics.Series
+	// Groups holds per-group statistics, indexed by group.
+	Groups []GroupStats
+	// GroupUploads counts the group sums the root accepted (one per group
+	// per iteration); BatchedFrames counts how many of them arrived as a
+	// coalesced multi-chunk batch (0 when every model fits one chunk).
+	GroupUploads, BatchedFrames int
+}
+
+// Root is the top of the hierarchy: it owns the shard plan, spawns one
+// in-process GroupMaster per coding group, and drives the global BSP loop
+// over their TCP uplinks.
+type Root struct {
+	cfg    Config
+	plan   *Plan
+	lis    *transport.Listener
+	groups []*groupMaster
+	uplink []*transport.Conn // per group, registered by hello order
+	wg     sync.WaitGroup
+	stopc  chan struct{}
+	closed sync.Once
+	err    chan error
+}
+
+// NewRoot validates the config, builds the shard plan, starts the root
+// listener on addr ("127.0.0.1:0" for tests) and spawns the group masters,
+// each listening on its own address. Workers dial their group's address
+// (GroupAddrs/GroupOf) with the elastic worker protocol.
+func NewRoot(cfg Config, addr string) (*Root, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ChunkLen <= 0 {
+		cfg.ChunkLen = DefaultChunkLen
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 2
+	}
+	// Layout only: every group's strategy is owned by its controller (the
+	// initial group-local replan builds it from the same estimates).
+	plan, err := BuildPlanLayout(cfg.Throughputs, PlanConfig{
+		K: cfg.K, S: cfg.S, GroupSize: cfg.GroupSize, FanIn: cfg.FanIn, Scheme: cfg.Scheme,
+	})
+	if err != nil {
+		return nil, err
+	}
+	lis, err := transport.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	r := &Root{
+		cfg:    cfg,
+		plan:   plan,
+		lis:    lis,
+		uplink: make([]*transport.Conn, plan.NumGroups()),
+		stopc:  make(chan struct{}),
+		err:    make(chan error, plan.NumGroups()+1),
+	}
+	for g := range plan.Groups {
+		gm, err := newGroupMaster(r, g)
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		r.groups = append(r.groups, gm)
+	}
+	// Group masters dial the root before admitting workers.
+	for range r.groups {
+		conn, err := r.lis.Accept()
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		hello, err := conn.Recv()
+		if err != nil || hello.Type != transport.MsgHello {
+			r.Close()
+			return nil, fmt.Errorf("%w: bad group hello", ErrBadConfig)
+		}
+		g := hello.WorkerID
+		if g < 0 || g >= len(r.uplink) || r.uplink[g] != nil {
+			r.Close()
+			return nil, fmt.Errorf("%w: bad group id %d in hello", ErrBadConfig, g)
+		}
+		r.uplink[g] = conn
+	}
+	return r, nil
+}
+
+// Plan exposes the shard plan (groups, partition ownership, tree).
+func (r *Root) Plan() *Plan { return r.plan }
+
+// Addr returns the root listener address.
+func (r *Root) Addr() string { return r.lis.Addr() }
+
+// GroupAddrs returns each group master's listen address, indexed by group.
+func (r *Root) GroupAddrs() []string {
+	out := make([]string, len(r.groups))
+	for g, gm := range r.groups {
+		out[g] = gm.lis.Addr()
+	}
+	return out
+}
+
+// WaitForWorkers blocks until every group has its planned worker quorum.
+func (r *Root) WaitForWorkers(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, gm := range r.groups {
+		if err := gm.waitForWorkers(time.Until(deadline)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes the sharded BSP loop to completion and shuts everything
+// down.
+func (r *Root) Run() (*Result, error) {
+	defer r.Close()
+	dim := r.cfg.Model.Dim()
+	params := append([]float64(nil), r.cfg.InitialParams...)
+	res := &Result{Curve: metrics.Series{Name: "sharded"}}
+	clock := 0.0
+	if r.cfg.LossFn != nil {
+		if l, err := r.cfg.LossFn(params); err == nil {
+			res.Curve.Append(0, l)
+		}
+	}
+
+	// One reader per uplink reassembles chunked batches into full group
+	// sums and counts coalesced frames.
+	type groupSum struct {
+		group   int
+		iter    int
+		vec     []float64
+		batched bool // upload arrived as >1 coalesced chunks
+		err     error
+	}
+	inbox := make(chan groupSum, len(r.groups))
+	for g, conn := range r.uplink {
+		r.wg.Add(1)
+		go func(g int, conn *transport.Conn) {
+			defer r.wg.Done()
+			var chunks []*transport.Envelope
+			post := func(gs groupSum) bool {
+				select {
+				case inbox <- gs:
+					return true
+				case <-r.stopc:
+					return false
+				}
+			}
+			for {
+				env, err := conn.Recv()
+				if err != nil {
+					post(groupSum{group: g, err: err})
+					return
+				}
+				if env.Type != transport.MsgGradient {
+					continue
+				}
+				chunks = append(chunks, env)
+				if env.Chunks != 0 && env.Chunk != env.Chunks-1 {
+					continue
+				}
+				vec, err := transport.JoinChunks(nil, chunks)
+				batched := len(chunks) > 1
+				chunks = chunks[:0]
+				if err != nil {
+					post(groupSum{group: g, err: err})
+					return
+				}
+				if !post(groupSum{group: g, iter: env.Iter, vec: vec, batched: batched}) {
+					return
+				}
+			}
+		}(g, conn)
+	}
+
+	sums := make([][]float64, len(r.groups))
+	for iter := 0; iter < r.cfg.Iterations; iter++ {
+		start := time.Now()
+		for g, conn := range r.uplink {
+			env := &transport.Envelope{Type: transport.MsgParams, Iter: iter, Vector: params}
+			_ = conn.SetWriteDeadline(time.Now().Add(r.cfg.IterTimeout))
+			err := conn.Send(env)
+			_ = conn.SetWriteDeadline(time.Time{})
+			if err != nil {
+				return nil, fmt.Errorf("%w: group %d uplink: %v", ErrGroupFailed, g, err)
+			}
+		}
+		for i := range sums {
+			sums[i] = nil
+		}
+		pending := len(r.groups)
+		// The root's patience must cover a group's full recovery budget: a
+		// group master waits IterTimeout per attempt and retries up to
+		// MaxRetries times after timeout-driven group-local migrations, so
+		// aborting at one IterTimeout would make those retries unreachable.
+		rootBudget := time.Duration(r.cfg.MaxRetries+1)*r.cfg.IterTimeout + r.cfg.IterTimeout/2
+		deadline := time.NewTimer(rootBudget)
+		for pending > 0 {
+			select {
+			case gs := <-inbox:
+				if gs.err != nil {
+					deadline.Stop()
+					select {
+					case err := <-r.err:
+						return nil, err
+					default:
+					}
+					return nil, fmt.Errorf("%w: group %d: %v", ErrGroupFailed, gs.group, gs.err)
+				}
+				if gs.iter != iter {
+					continue // frame from a superseded iteration
+				}
+				if len(gs.vec) != dim || grad.InfOrNaN(gs.vec) {
+					// A group master is in-process infrastructure: a mis-sized
+					// or non-finite *sum* means training itself blew up, and
+					// the group will not resend — fail now rather than burn
+					// the whole recovery budget waiting for a frame that
+					// cannot come.
+					deadline.Stop()
+					return nil, fmt.Errorf("%w: group %d sent a non-finite or mis-sized sum at iteration %d", ErrGroupFailed, gs.group, iter)
+				}
+				if sums[gs.group] == nil {
+					pending--
+				}
+				sums[gs.group] = gs.vec
+				res.GroupUploads++
+				if gs.batched {
+					res.BatchedFrames++
+				}
+			case <-deadline.C:
+				deadline.Stop()
+				return nil, fmt.Errorf("%w: iteration %d: %d group sums missing at timeout", ErrGroupFailed, iter, pending)
+			}
+		}
+		deadline.Stop()
+
+		total, err := r.plan.Tree.Aggregate(sums)
+		if err != nil {
+			return nil, fmt.Errorf("iteration %d aggregate: %w", iter, err)
+		}
+		g := grad.Gradient(total)
+		g.Scale(1 / float64(r.cfg.SampleCount))
+		if err := r.cfg.Optimizer.Step(params, g); err != nil {
+			return nil, fmt.Errorf("iteration %d step: %w", iter, err)
+		}
+		elapsed := time.Since(start).Seconds()
+		clock += elapsed
+		res.IterTimes = append(res.IterTimes, elapsed)
+		if r.cfg.LossFn != nil && r.cfg.LossEvery > 0 && (iter+1)%r.cfg.LossEvery == 0 {
+			if l, err := r.cfg.LossFn(params); err == nil {
+				res.Curve.Append(clock, l)
+			}
+		}
+	}
+
+	// Graceful shutdown: stop the group masters, then collect their stats.
+	for _, conn := range r.uplink {
+		_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+		_ = conn.Send(&transport.Envelope{Type: transport.MsgShutdown})
+		_ = conn.SetWriteDeadline(time.Time{})
+	}
+	for _, gm := range r.groups {
+		gm.waitDone()
+	}
+	res.Params = params
+	res.Summary = metrics.Summarize(res.IterTimes)
+	res.Groups = make([]GroupStats, len(r.groups))
+	for g, gm := range r.groups {
+		res.Groups[g] = gm.stats()
+	}
+	return res, nil
+}
+
+// Close tears down the root and every group master. Safe to call multiple
+// times.
+func (r *Root) Close() {
+	r.closed.Do(func() {
+		close(r.stopc)
+		for _, gm := range r.groups {
+			gm.close()
+		}
+		for _, conn := range r.uplink {
+			if conn != nil {
+				_ = conn.Close()
+			}
+		}
+		_ = r.lis.Close()
+		r.wg.Wait()
+	})
+}
+
+// RunSharded is the one-call entry point: it builds the hierarchy on addr,
+// invokes onListen (so the caller can dial workers at the group addresses),
+// waits for every group's worker quorum and trains to completion.
+func RunSharded(cfg Config, addr string, waitTimeout time.Duration, onListen func(*Root)) (*Result, error) {
+	r, err := NewRoot(cfg, addr)
+	if err != nil {
+		return nil, err
+	}
+	if onListen != nil {
+		onListen(r)
+	}
+	if err := r.WaitForWorkers(waitTimeout); err != nil {
+		r.Close()
+		return nil, err
+	}
+	return r.Run()
+}

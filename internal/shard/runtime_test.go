@@ -1,0 +1,265 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/grad"
+	"github.com/hetgc/hetgc/internal/ml"
+	"github.com/hetgc/hetgc/internal/runtime"
+)
+
+type liveFixture struct {
+	model *ml.Softmax
+	data  *ml.Dataset
+	parts []*ml.Dataset
+}
+
+func newLiveFixture(t *testing.T, k int) *liveFixture {
+	t.Helper()
+	data, err := ml.GaussianMixture(k*12, 4, 3, 3, rand.New(rand.NewSource(100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := data.Split(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &liveFixture{model: &ml.Softmax{InputDim: 4, NumClasses: 3}, data: data, parts: parts}
+}
+
+func (f *liveFixture) config(k, s, iters int, m int) Config {
+	thr := make([]float64, m)
+	for i := range thr {
+		thr[i] = 1
+	}
+	return Config{
+		K: k, S: s, GroupSize: 3, FanIn: 2,
+		Throughputs:   thr,
+		Model:         f.model,
+		Optimizer:     &ml.SGD{LR: 0.5},
+		InitialParams: f.model.InitParams(nil),
+		Iterations:    iters,
+		SampleCount:   f.data.N(),
+		IterTimeout:   5 * time.Second,
+		ChunkLen:      4, // force multi-chunk batched uploads even at dim 15
+		Seed:          1,
+	}
+}
+
+// spawnWorkers dials the planned number of elastic workers at every group
+// address. delay(group, idx, iter) gives worker idx of a group its
+// per-partition delay.
+func spawnWorkers(t *testing.T, r *Root, wg *sync.WaitGroup, delay func(g, idx, iter int) time.Duration, fx *liveFixture) {
+	t.Helper()
+	addrs := r.GroupAddrs()
+	for g, grp := range r.Plan().Groups {
+		for idx := 0; idx < len(grp.Workers); idx++ {
+			cfg := runtime.ElasticWorkerConfig{
+				Model:         fx.model,
+				PartitionData: func(p int) (*ml.Dataset, error) { return fx.parts[p], nil },
+			}
+			if delay != nil {
+				g, idx := g, idx
+				cfg.DelayPerPartition = func(iter int) time.Duration { return delay(g, idx, iter) }
+			}
+			// Dial sequentially so member IDs within a group are
+			// deterministic (idx+1).
+			w, err := runtime.DialElasticWorker(addrs[g], cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_ = w.Run()
+			}()
+		}
+	}
+}
+
+// TestShardedEndToEndExactTraining runs the full hierarchy live on loopback
+// — 2 coding groups x 3 workers, chunked batched uplinks — and checks the
+// result against serial full-batch SGD: the sharded decomposition must be
+// exact, not approximate.
+func TestShardedEndToEndExactTraining(t *testing.T) {
+	const k, s, iters, m = 8, 1, 12, 6
+	fx := newLiveFixture(t, k)
+	cfg := fx.config(k, s, iters, m)
+
+	var wg sync.WaitGroup
+	res, err := RunSharded(cfg, "127.0.0.1:0", 5*time.Second, func(r *Root) {
+		if r.Plan().NumGroups() != 2 {
+			t.Errorf("plan has %d groups, want 2", r.Plan().NumGroups())
+		}
+		spawnWorkers(t, r, &wg, nil, fx)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if len(res.IterTimes) != iters {
+		t.Fatalf("got %d iterations, want %d", len(res.IterTimes), iters)
+	}
+	// One upload per group per iteration, and — with ChunkLen 4 forcing
+	// multi-chunk uploads at dim 15 — every one a real coalesced batch.
+	if want := 2 * iters; res.GroupUploads != want {
+		t.Fatalf("root accepted %d group uploads, want %d", res.GroupUploads, want)
+	}
+	if res.BatchedFrames != res.GroupUploads {
+		t.Fatalf("only %d of %d uploads arrived batched despite ChunkLen 4", res.BatchedFrames, res.GroupUploads)
+	}
+
+	// Serial full-batch SGD with the same partition split and step rule.
+	params := fx.model.InitParams(nil)
+	for iter := 0; iter < iters; iter++ {
+		sum := make(grad.Gradient, fx.model.Dim())
+		for _, part := range fx.parts {
+			g, err := fx.model.Gradient(params, part)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range sum {
+				sum[i] += g[i]
+			}
+		}
+		sum.Scale(1 / float64(fx.data.N()))
+		if err := (&ml.SGD{LR: 0.5}).Step(params, sum); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range params {
+		if math.Abs(params[i]-res.Params[i]) > 1e-8 {
+			t.Fatalf("param %d: sharded %v vs serial %v — decomposition not exact", i, res.Params[i], params[i])
+		}
+	}
+
+	for g, gs := range res.Groups {
+		if len(gs.Epochs) != iters {
+			t.Fatalf("group %d recorded %d epochs, want %d", g, len(gs.Epochs), iters)
+		}
+		if len(gs.Replans) == 0 || gs.Replans[0].Reason != "initial" {
+			t.Fatalf("group %d missing initial plan: %+v", g, gs.Replans)
+		}
+	}
+}
+
+// TestShardedGroupLocalMigrationLive slows one group's worker mid-run: the
+// drift must migrate that group alone — its epoch advances while the other
+// group finishes the whole run on epoch 0.
+func TestShardedGroupLocalMigrationLive(t *testing.T) {
+	const k, s, iters, m = 8, 1, 30, 6
+	fx := newLiveFixture(t, k)
+	cfg := fx.config(k, s, iters, m)
+	cfg.Alpha = 0.7
+	cfg.DriftThreshold = 0.5
+	cfg.MinObservations = 2
+	cfg.CooldownIters = 2
+	// Accurate priors: a 2ms/partition worker processes ~500 partitions/s.
+	// (With wildly wrong priors every group would rightly replan once its
+	// estimates warm up — warm-up drift is global, not group-local.)
+	for i := range cfg.Throughputs {
+		cfg.Throughputs[i] = 500
+	}
+
+	const (
+		fastDelay = 2 * time.Millisecond
+		slowDelay = 25 * time.Millisecond
+		slowAt    = 6
+	)
+	var wg sync.WaitGroup
+	res, err := RunSharded(cfg, "127.0.0.1:0", 5*time.Second, func(r *Root) {
+		spawnWorkers(t, r, &wg, func(g, idx, iter int) time.Duration {
+			if g == 0 && idx == 0 && iter >= slowAt {
+				return slowDelay
+			}
+			return fastDelay
+		}, fx)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	g0 := res.Groups[0]
+	g1 := res.Groups[1]
+	if final := g0.Epochs[len(g0.Epochs)-1]; final == 0 {
+		t.Fatalf("group 0 never migrated despite a 12x slowdown (epochs %v)", g0.Epochs)
+	}
+	drift := false
+	for _, ev := range g0.Replans {
+		if ev.Reason == "drift" {
+			drift = true
+		}
+	}
+	if !drift {
+		t.Fatalf("group 0 has no drift replan: %+v", g0.Replans)
+	}
+	for i, e := range g1.Epochs {
+		if e != 0 {
+			t.Fatalf("group 1 epoch moved to %d at iteration %d — migration was not group-local", e, i)
+		}
+	}
+	for _, ev := range g1.Replans {
+		if ev.Reason != "initial" {
+			t.Fatalf("group 1 replanned (%+v) though all churn was in group 0", ev)
+		}
+	}
+}
+
+// TestShardedRunFailsWhenGroupLosesQuorum kills a whole group's workers:
+// the run must fail with ErrGroupFailed instead of hanging.
+func TestShardedRunFailsWhenGroupLosesQuorum(t *testing.T) {
+	const k, s, iters, m = 8, 1, 200, 6
+	fx := newLiveFixture(t, k)
+	cfg := fx.config(k, s, iters, m)
+	cfg.IterTimeout = 500 * time.Millisecond
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var group0 []*runtime.ElasticWorker
+	_, err := RunSharded(cfg, "127.0.0.1:0", 5*time.Second, func(r *Root) {
+		addrs := r.GroupAddrs()
+		for g, grp := range r.Plan().Groups {
+			for idx := 0; idx < len(grp.Workers); idx++ {
+				w, err := runtime.DialElasticWorker(addrs[g], runtime.ElasticWorkerConfig{
+					Model:         fx.model,
+					PartitionData: func(p int) (*ml.Dataset, error) { return fx.parts[p], nil },
+					DelayPerPartition: func(int) time.Duration {
+						return 2 * time.Millisecond
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if g == 0 {
+					mu.Lock()
+					group0 = append(group0, w)
+					mu.Unlock()
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					_ = w.Run()
+				}()
+			}
+		}
+		// Kill every group-0 worker shortly after training starts.
+		go func() {
+			time.Sleep(300 * time.Millisecond)
+			mu.Lock()
+			for _, w := range group0 {
+				_ = w.Close()
+			}
+			mu.Unlock()
+		}()
+	})
+	if err == nil {
+		t.Fatal("expected the run to fail after group 0 lost its quorum")
+	}
+	wg.Wait()
+}

@@ -1,0 +1,102 @@
+// Reduction tree: the cross-group aggregation topology. Group masters are
+// the leaves; each internal node sums up to FanIn child results; the root's
+// sum is the fully aggregated gradient. Depth gives the number of
+// aggregation hops a group result traverses — the latency the co-simulation
+// charges per iteration — and Aggregate executes the same reduction over
+// real vectors, with the nodes of each level summed concurrently.
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/hetgc/hetgc/internal/grad"
+)
+
+// Tree is a FanIn-ary reduction tree over a fixed number of leaves.
+type Tree struct {
+	// FanIn is the arity: children summed per node per hop.
+	FanIn int
+	// widths[l] is the node count at level l (level 0 = leaves); the last
+	// level has a single root node.
+	widths []int
+}
+
+// NewTree builds a reduction tree over `leaves` leaf nodes with the given
+// fan-in (minimum 2).
+func NewTree(leaves, fanIn int) *Tree {
+	if leaves < 1 {
+		leaves = 1
+	}
+	if fanIn < 2 {
+		fanIn = 2
+	}
+	t := &Tree{FanIn: fanIn, widths: []int{leaves}}
+	for w := leaves; w > 1; {
+		w = (w + fanIn - 1) / fanIn
+		t.widths = append(t.widths, w)
+	}
+	return t
+}
+
+// Leaves returns the leaf count.
+func (t *Tree) Leaves() int { return t.widths[0] }
+
+// Depth returns the number of aggregation hops from a leaf to the root
+// (0 when a single group feeds the root directly).
+func (t *Tree) Depth() int { return len(t.widths) - 1 }
+
+// Aggregate reduces one vector per leaf to the root sum, level by level:
+// node j of each level sums children j·FanIn … min((j+1)·FanIn, width)−1, so
+// the summation order is fixed and the result deterministic. Levels with
+// more than one node run their nodes concurrently. The returned slice is
+// freshly allocated; inputs are not modified.
+func (t *Tree) Aggregate(vectors [][]float64) ([]float64, error) {
+	if len(vectors) != t.Leaves() {
+		return nil, fmt.Errorf("shard tree: %d vectors for %d leaves", len(vectors), t.Leaves())
+	}
+	dim := len(vectors[0])
+	cur := vectors
+	for level := 1; level < len(t.widths); level++ {
+		width := t.widths[level]
+		next := make([][]float64, width)
+		var wg sync.WaitGroup
+		var firstErr error
+		var mu sync.Mutex
+		for j := 0; j < width; j++ {
+			lo := j * t.FanIn
+			hi := lo + t.FanIn
+			if hi > len(cur) {
+				hi = len(cur)
+			}
+			wg.Add(1)
+			go func(j, lo, hi int) {
+				defer wg.Done()
+				dst := make([]float64, dim)
+				gs := make([]grad.Gradient, hi-lo)
+				for i := lo; i < hi; i++ {
+					gs[i-lo] = cur[i]
+				}
+				if err := grad.SumInto(dst, gs); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				next[j] = dst
+			}(j, lo, hi)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, fmt.Errorf("shard tree level %d: %w", level, firstErr)
+		}
+		cur = next
+	}
+	if len(t.widths) == 1 {
+		// Single leaf: the "reduction" is a copy, keeping inputs unmodified.
+		return append([]float64(nil), cur[0]...), nil
+	}
+	return cur[0], nil
+}

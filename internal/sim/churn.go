@@ -9,9 +9,7 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"math"
 	"math/rand"
-	"sort"
 
 	"github.com/hetgc/hetgc/internal/core"
 	"github.com/hetgc/hetgc/internal/elastic"
@@ -211,36 +209,18 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 
 		// One BSP iteration under the current plan: compute times from true
 		// rates, completions replayed in time order, decode at the earliest
-		// decodable prefix.
+		// decodable prefix (the replay loop is shared with the sharded sim).
 		st := plan.Strategy
 		loads := st.Allocation().Loads
-		m := st.M()
-		finish := make([]float64, m)
+		finish := make([]float64, st.M())
 		for slot, id := range plan.Members {
 			finish[slot] = float64(loads[slot]) / trueRate[id]
 		}
-		order := make([]int, m)
-		for i := range order {
-			order[i] = i
-		}
-		sort.SliceStable(order, func(a, b int) bool {
-			if finish[order[a]] != finish[order[b]] {
-				return finish[order[a]] < finish[order[b]]
-			}
-			return order[a] < order[b]
-		})
-		aliveMask := make([]bool, m)
-		iterTime := math.Inf(1)
-		for _, slot := range order {
-			aliveMask[slot] = true
-			if _, err := st.Decode(aliveMask); err == nil {
-				iterTime = finish[slot] + cfg.CommOverhead
-				break
-			}
-		}
-		if math.IsInf(iterTime, 1) {
+		decodeAt, _, ok := replayEarliestDecodable(st, finish)
+		if !ok {
 			return nil, fmt.Errorf("%w: iter %d undecodable under epoch %d", ErrBadChurn, iter, plan.Epoch)
 		}
+		iterTime := decodeAt + cfg.CommOverhead
 
 		// Telemetry: every plan member with load reports its compute time,
 		// like workers uploading MsgTelemetry.

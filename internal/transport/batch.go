@@ -1,0 +1,263 @@
+// Frame batching: coalesce several envelopes into one wire frame so that
+// high-fan-in senders (a group master streaming its aggregated gradient
+// chunks up the reduction tree every iteration) pay one write per iteration
+// instead of one per message. The batch payload is a flat byte sequence of
+// length-prefixed sub-frames — a uint32 big-endian byte length, a codec
+// byte, then the frame body: a compact fixed binary layout for plain
+// gradient uploads (the hot path), a self-contained gob encoding for
+// everything else — assembled in pooled buffers so steady-state batching
+// does not allocate.
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// maxBatchFrames bounds the number of sub-frames Recv will unpack from one
+// batch; an application-layer sanity cap like MaxVectorLen.
+const maxBatchFrames = 1 << 20
+
+// Sub-frame codecs. Plain gradient uploads — the hot path, dominated by
+// their float payload — use a compact fixed binary layout instead of gob, so
+// a batched upload costs one memcpy-speed pass per chunk rather than
+// per-value gob processing and per-frame type descriptors. Everything else
+// rides the general gob codec.
+const (
+	subFrameGob      = 0x00
+	subFrameGradient = 0x01
+)
+
+// gradientHeaderLen is the binary gradient sub-frame header: codec byte,
+// Iter/Epoch/WorkerID as uint32, Chunk/Chunks as uint32, vector length.
+const gradientHeaderLen = 1 + 4*6
+
+// batchBufPool recycles the scratch buffers used to assemble and encode
+// batch payloads.
+var batchBufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// SendBatch coalesces the given envelopes into a single MsgBatch frame and
+// writes it with one Send. Receivers observe the identical sub-frame
+// sequence from consecutive Recv calls — batching is invisible above the
+// transport. A single envelope is sent directly (no batch overhead); an
+// empty slice is a no-op. Envelopes must be valid per the protocol
+// invariants and must not themselves be batches.
+func (c *Conn) SendBatch(envs []*Envelope) error {
+	switch len(envs) {
+	case 0:
+		return nil
+	case 1:
+		return c.Send(envs[0])
+	}
+	payload := batchBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		payload.Reset()
+		batchBufPool.Put(payload)
+	}()
+	payload.Reset()
+	if err := encodeBatch(payload, envs); err != nil {
+		return err
+	}
+	return c.Send(&Envelope{Type: MsgBatch, Batch: payload.Bytes()})
+}
+
+// encodeBatch assembles the length-prefixed sub-frame payload into buf —
+// the inverse of decodeBatch. Each sub-frame is encoded directly into buf
+// after a 4-byte placeholder that is backfilled with the frame length, so
+// assembly makes no intermediate copies.
+func encodeBatch(buf *bytes.Buffer, envs []*Envelope) error {
+	var prefix [4]byte
+	for i, e := range envs {
+		if e.Type == MsgBatch {
+			return fmt.Errorf("%w: nested batch (sub-frame %d)", ErrMalformed, i)
+		}
+		at := buf.Len()
+		buf.Write(prefix[:])
+		if gradientFastPath(e) {
+			encodeGradientFrame(buf, e)
+		} else {
+			buf.WriteByte(subFrameGob)
+			if err := gob.NewEncoder(buf).Encode(e); err != nil {
+				return fmt.Errorf("transport batch sub-frame %d (%v): %w", i, e.Type, err)
+			}
+		}
+		binary.BigEndian.PutUint32(buf.Bytes()[at:at+4], uint32(buf.Len()-at-4))
+	}
+	return nil
+}
+
+// gradientFastPath reports whether a sub-frame fits the compact binary
+// gradient layout (uint32 header fields, no auxiliary payloads).
+func gradientFastPath(e *Envelope) bool {
+	return e.Type == MsgGradient && e.Assign == nil && e.Telemetry == nil && e.Batch == nil &&
+		e.Iter >= 0 && e.Iter <= math.MaxUint32>>1 &&
+		e.Epoch >= 0 && e.Epoch <= math.MaxUint32>>1 &&
+		e.WorkerID >= 0 && e.WorkerID <= math.MaxUint32>>1 &&
+		e.Chunk >= 0 && e.Chunks >= 0 && e.Chunks <= math.MaxUint32>>1 &&
+		len(e.Vector) <= MaxVectorLen
+}
+
+// encodeGradientFrame writes the binary gradient layout: header fields then
+// the raw little-endian float payload in one buffer-tail append pass.
+func encodeGradientFrame(buf *bytes.Buffer, e *Envelope) {
+	var hdr [gradientHeaderLen]byte
+	hdr[0] = subFrameGradient
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(e.Iter))
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(e.Epoch))
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(e.WorkerID))
+	binary.LittleEndian.PutUint32(hdr[13:], uint32(e.Chunk))
+	binary.LittleEndian.PutUint32(hdr[17:], uint32(e.Chunks))
+	binary.LittleEndian.PutUint32(hdr[21:], uint32(len(e.Vector)))
+	buf.Write(hdr[:])
+	b := buf.AvailableBuffer()
+	if cap(b) < 8*len(e.Vector) {
+		b = make([]byte, 0, 8*len(e.Vector))
+	}
+	for _, v := range e.Vector {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	buf.Write(b)
+}
+
+// decodeGradientFrame parses the binary gradient layout.
+func decodeGradientFrame(frame []byte) (*Envelope, error) {
+	if len(frame) < gradientHeaderLen {
+		return nil, fmt.Errorf("%w: gradient sub-frame header truncated (%d bytes)", ErrMalformed, len(frame))
+	}
+	n := int(binary.LittleEndian.Uint32(frame[21:]))
+	if len(frame) != gradientHeaderLen+8*n {
+		return nil, fmt.Errorf("%w: gradient sub-frame holds %d bytes for %d elements", ErrMalformed, len(frame)-gradientHeaderLen, n)
+	}
+	e := &Envelope{
+		Type:     MsgGradient,
+		Iter:     int(binary.LittleEndian.Uint32(frame[1:])),
+		Epoch:    int(binary.LittleEndian.Uint32(frame[5:])),
+		WorkerID: int(binary.LittleEndian.Uint32(frame[9:])),
+		Chunk:    int(binary.LittleEndian.Uint32(frame[13:])),
+		Chunks:   int(binary.LittleEndian.Uint32(frame[17:])),
+	}
+	if n > 0 {
+		e.Vector = make([]float64, n)
+		raw := frame[gradientHeaderLen:]
+		for i := range e.Vector {
+			e.Vector[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+		}
+	}
+	return e, nil
+}
+
+// decodeBatch splits a batch payload into its sub-frames and validates each.
+// Truncated length prefixes or payloads, nested batches, trailing garbage and
+// sub-frames violating protocol invariants all reject the whole batch with
+// ErrMalformed.
+func decodeBatch(batch []byte) ([]*Envelope, error) {
+	var subs []*Envelope
+	for off := 0; off < len(batch); {
+		if len(batch)-off < 4 {
+			return nil, fmt.Errorf("%w: batch truncated in length prefix at offset %d", ErrMalformed, off)
+		}
+		n := int(binary.BigEndian.Uint32(batch[off : off+4]))
+		off += 4
+		if n <= 0 || n > len(batch)-off {
+			return nil, fmt.Errorf("%w: batch sub-frame length %d with %d bytes left", ErrMalformed, n, len(batch)-off)
+		}
+		if len(subs) == maxBatchFrames {
+			return nil, fmt.Errorf("%w: batch exceeds %d sub-frames", ErrMalformed, maxBatchFrames)
+		}
+		frame := batch[off : off+n]
+		var e *Envelope
+		switch frame[0] {
+		case subFrameGradient:
+			var err error
+			e, err = decodeGradientFrame(frame)
+			if err != nil {
+				return nil, err
+			}
+		case subFrameGob:
+			e = new(Envelope)
+			if err := gob.NewDecoder(bytes.NewReader(frame[1:])).Decode(e); err != nil {
+				return nil, fmt.Errorf("%w: batch sub-frame %d: %v", ErrMalformed, len(subs), err)
+			}
+		default:
+			return nil, fmt.Errorf("%w: batch sub-frame %d has unknown codec %#x", ErrMalformed, len(subs), frame[0])
+		}
+		if e.Type == MsgBatch {
+			return nil, fmt.Errorf("%w: nested batch (sub-frame %d)", ErrMalformed, len(subs))
+		}
+		if err := e.validate(); err != nil {
+			return nil, fmt.Errorf("batch sub-frame %d: %w", len(subs), err)
+		}
+		off += n
+		subs = append(subs, e)
+	}
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrMalformed)
+	}
+	return subs, nil
+}
+
+// ChunkGradient splits one gradient upload into chunked MsgGradient
+// sub-frames of at most chunkLen elements each, ready for SendBatch: the
+// receiver reassembles them with JoinChunks. Every chunk shares the
+// template's Iter/Epoch/WorkerID. chunkLen <= 0, or a vector that fits in a
+// single chunk, yields one unchunked frame.
+func ChunkGradient(tmpl Envelope, vec []float64, chunkLen int) []*Envelope {
+	tmpl.Type = MsgGradient
+	tmpl.Assign, tmpl.Telemetry, tmpl.Batch = nil, nil, nil
+	if chunkLen <= 0 || len(vec) <= chunkLen {
+		e := tmpl
+		e.Vector = vec
+		e.Chunk, e.Chunks = 0, 0
+		return []*Envelope{&e}
+	}
+	chunks := (len(vec) + chunkLen - 1) / chunkLen
+	out := make([]*Envelope, 0, chunks)
+	for i := 0; i < chunks; i++ {
+		lo := i * chunkLen
+		hi := lo + chunkLen
+		if hi > len(vec) {
+			hi = len(vec)
+		}
+		e := tmpl
+		e.Vector = vec[lo:hi]
+		e.Chunk, e.Chunks = i, chunks
+		out = append(out, &e)
+	}
+	return out
+}
+
+// JoinChunks reassembles a chunked gradient from its in-order sub-frames
+// (as produced by ChunkGradient and delivered by Recv): it concatenates the
+// chunk vectors into dst (grown as needed) and returns the full vector. It
+// fails with ErrMalformed when the sequence is not exactly chunks 0..n-1 of
+// a single upload (same Iter/Epoch/WorkerID/Chunks).
+func JoinChunks(dst []float64, envs []*Envelope) ([]float64, error) {
+	if len(envs) == 0 {
+		return nil, fmt.Errorf("%w: no chunks to join", ErrMalformed)
+	}
+	first := envs[0]
+	if first.Chunks == 0 {
+		if len(envs) != 1 {
+			return nil, fmt.Errorf("%w: %d frames for an unchunked upload", ErrMalformed, len(envs))
+		}
+		return append(dst[:0], first.Vector...), nil
+	}
+	if len(envs) != first.Chunks {
+		return nil, fmt.Errorf("%w: %d frames for %d chunks", ErrMalformed, len(envs), first.Chunks)
+	}
+	dst = dst[:0]
+	for i, e := range envs {
+		if e.Type != MsgGradient || e.Chunk != i || e.Chunks != first.Chunks ||
+			e.Iter != first.Iter || e.Epoch != first.Epoch || e.WorkerID != first.WorkerID {
+			return nil, fmt.Errorf("%w: chunk sequence broken at frame %d (%v chunk %d/%d)", ErrMalformed, i, e.Type, e.Chunk, e.Chunks)
+		}
+		dst = append(dst, e.Vector...)
+	}
+	return dst, nil
+}

@@ -1,0 +1,423 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// randomEnvelope draws one valid non-batch envelope of a random flavour.
+func randomEnvelope(rng *rand.Rand) *Envelope {
+	vec := func(n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		return v
+	}
+	switch rng.Intn(5) {
+	case 0: // unchunked gradient
+		return &Envelope{Type: MsgGradient, Iter: rng.Intn(100), Epoch: rng.Intn(5),
+			WorkerID: rng.Intn(8), Vector: vec(1 + rng.Intn(16))}
+	case 1: // chunked gradient
+		chunks := 2 + rng.Intn(4)
+		return &Envelope{Type: MsgGradient, Iter: rng.Intn(100), Epoch: rng.Intn(5),
+			WorkerID: rng.Intn(8), Chunk: rng.Intn(chunks), Chunks: chunks,
+			Vector: vec(1 + rng.Intn(16))}
+	case 2:
+		return &Envelope{Type: MsgParams, Iter: rng.Intn(100), Epoch: rng.Intn(5),
+			Vector: vec(1 + rng.Intn(16))}
+	case 3:
+		return &Envelope{Type: MsgTelemetry, Iter: rng.Intn(100), WorkerID: rng.Intn(8),
+			Telemetry: &Telemetry{ComputeSeconds: rng.Float64(), Partitions: 1 + rng.Intn(9)}}
+	default:
+		return &Envelope{Type: MsgReassign, Epoch: rng.Intn(5), Assign: &Assignment{
+			WorkerID:   rng.Intn(8),
+			Partitions: []int{0, 2},
+			RowCoeffs:  []float64{rng.NormFloat64(), rng.NormFloat64()},
+			K:          4, S: 1,
+		}}
+	}
+}
+
+// TestBatchRoundTripProperty is the batching contract: any sequence of
+// sub-frames coalesced with SendBatch is observed by Recv exactly as if each
+// envelope had been sent individually.
+func TestBatchRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		envs := make([]*Envelope, n)
+		for i := range envs {
+			envs[i] = randomEnvelope(rng)
+		}
+
+		batched, batchedPeer := pipePair(t)
+		plain, plainPeer := pipePair(t)
+		errc := make(chan error, 2)
+		go func() { errc <- batched.SendBatch(envs) }()
+		go func() {
+			for _, e := range envs {
+				if err := plain.Send(e); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}()
+		for i := 0; i < n; i++ {
+			got, err := batchedPeer.Recv()
+			if err != nil {
+				t.Fatalf("trial %d: batched recv %d: %v", trial, i, err)
+			}
+			want, err := plainPeer.Recv()
+			if err != nil {
+				t.Fatalf("trial %d: plain recv %d: %v", trial, i, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d frame %d:\nbatched %+v\nplain   %+v", trial, i, got, want)
+			}
+			if !reflect.DeepEqual(got, envs[i]) {
+				t.Fatalf("trial %d frame %d: round-trip changed the envelope:\ngot  %+v\nsent %+v", trial, i, got, envs[i])
+			}
+		}
+		if err := <-errc; err != nil {
+			t.Fatalf("trial %d: send: %v", trial, err)
+		}
+		if err := <-errc; err != nil {
+			t.Fatalf("trial %d: send: %v", trial, err)
+		}
+	}
+}
+
+func TestSendBatchEmptyAndSingle(t *testing.T) {
+	a, b := pipePair(t)
+	if err := a.SendBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	one := &Envelope{Type: MsgParams, Iter: 3, Vector: []float64{1, 2}}
+	go func() { _ = a.SendBatch([]*Envelope{one}) }()
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if !reflect.DeepEqual(got, one) {
+		t.Fatalf("single-envelope batch mangled: %+v", got)
+	}
+}
+
+func TestSendBatchRejectsNested(t *testing.T) {
+	a, _ := pipePair(t)
+	err := a.SendBatch([]*Envelope{
+		{Type: MsgParams, Vector: []float64{1}},
+		{Type: MsgBatch, Batch: []byte{1, 2, 3}},
+	})
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("nested batch error = %v, want ErrMalformed", err)
+	}
+}
+
+// TestTruncatedSubFrames rejects batches cut anywhere inside a sub-frame —
+// the whole batch fails with ErrMalformed and the connection survives.
+func TestTruncatedSubFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	envs := []*Envelope{randomEnvelope(rng), randomEnvelope(rng), randomEnvelope(rng)}
+	var payload bytes.Buffer
+	if err := encodeBatch(&payload, envs); err != nil {
+		t.Fatal(err)
+	}
+	full := payload.Bytes()
+	// A cut exactly at a sub-frame boundary is a (valid) shorter batch; every
+	// other cut lands inside a prefix or payload and must be rejected.
+	boundary := map[int]bool{}
+	for off := 0; off < len(full); {
+		n := int(binary.BigEndian.Uint32(full[off : off+4]))
+		off += 4 + n
+		boundary[off] = true
+	}
+	for cut := 1; cut < len(full); cut++ {
+		sub, err := decodeBatch(full[:cut])
+		if boundary[cut] {
+			if err != nil {
+				t.Fatalf("boundary cut at %d/%d: unexpected err %v", cut, len(full), err)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrMalformed) {
+			t.Fatalf("cut at %d/%d: err = %v (subs=%d), want ErrMalformed", cut, len(full), err, len(sub))
+		}
+	}
+
+	// Over a live connection: the malformed batch is dropped, the stream
+	// stays in sync and the next frame is delivered.
+	a, b := pipePair(t)
+	go func() {
+		_ = a.Send(&Envelope{Type: MsgBatch, Batch: full[:len(full)-3]})
+		_ = a.Send(&Envelope{Type: MsgParams, Iter: 9, Vector: []float64{4}})
+	}()
+	if _, err := b.Recv(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("truncated batch recv err = %v, want ErrMalformed", err)
+	}
+	got, err := b.Recv()
+	if err != nil || got.Type != MsgParams || got.Iter != 9 {
+		t.Fatalf("connection poisoned after malformed batch: %+v, %v", got, err)
+	}
+}
+
+func TestBatchRejectsMalformedSubFrameAndEmpty(t *testing.T) {
+	// A structurally intact sub-frame that violates protocol invariants
+	// (chunk index out of range) poisons the whole batch.
+	bad := &Envelope{Type: MsgGradient, Vector: []float64{1}, Chunk: 5, Chunks: 2}
+	var payload bytes.Buffer
+	var scratch bytes.Buffer
+	if err := encodeBatch(&scratch, []*Envelope{{Type: MsgParams, Vector: []float64{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	payload.Write(scratch.Bytes())
+	var raw bytes.Buffer
+	if err := encodeBatchUnvalidated(&raw, bad); err != nil {
+		t.Fatal(err)
+	}
+	payload.Write(raw.Bytes())
+	if _, err := decodeBatch(payload.Bytes()); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("invalid sub-frame: err = %v, want ErrMalformed", err)
+	}
+
+	if _, err := decodeBatch(nil); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("empty batch: err = %v, want ErrMalformed", err)
+	}
+
+	a, b := pipePair(t)
+	go func() { _ = a.Send(&Envelope{Type: MsgBatch}) }()
+	if _, err := b.Recv(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("empty MsgBatch recv err = %v, want ErrMalformed", err)
+	}
+}
+
+// encodeBatchUnvalidated writes one sub-frame without send-side checks, to
+// craft hostile payloads.
+func encodeBatchUnvalidated(buf *bytes.Buffer, e *Envelope) error {
+	var scratch bytes.Buffer
+	if err := gob.NewEncoder(&scratch).Encode(e); err != nil {
+		return err
+	}
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(scratch.Len()))
+	buf.Write(prefix[:])
+	buf.Write(scratch.Bytes())
+	return nil
+}
+
+func TestChunkJoinRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dim := range []int{1, 5, 64, 257} {
+		for _, chunkLen := range []int{0, 1, 7, 64, 1000} {
+			vec := make([]float64, dim)
+			for i := range vec {
+				vec[i] = rng.NormFloat64()
+			}
+			tmpl := Envelope{Iter: 4, Epoch: 2, WorkerID: 3}
+			envs := ChunkGradient(tmpl, vec, chunkLen)
+			if chunkLen > 0 && dim > chunkLen {
+				want := (dim + chunkLen - 1) / chunkLen
+				if len(envs) != want {
+					t.Fatalf("dim=%d chunkLen=%d: %d chunks, want %d", dim, chunkLen, len(envs), want)
+				}
+			} else if len(envs) != 1 || envs[0].Chunks != 0 {
+				t.Fatalf("dim=%d chunkLen=%d: expected one unchunked frame, got %d (chunks=%d)", dim, chunkLen, len(envs), envs[0].Chunks)
+			}
+			for _, e := range envs {
+				if err := e.validate(); err != nil {
+					t.Fatalf("chunk fails validation: %v", err)
+				}
+			}
+			got, err := JoinChunks(nil, envs)
+			if err != nil {
+				t.Fatalf("join: %v", err)
+			}
+			if !reflect.DeepEqual(got, vec) {
+				t.Fatalf("dim=%d chunkLen=%d: join mismatch", dim, chunkLen)
+			}
+		}
+	}
+}
+
+func TestJoinChunksRejectsBrokenSequences(t *testing.T) {
+	vec := []float64{1, 2, 3, 4, 5}
+	envs := ChunkGradient(Envelope{Iter: 1, WorkerID: 2}, vec, 2)
+	cases := map[string][]*Envelope{
+		"nil":           nil,
+		"missing chunk": envs[:2],
+		"reordered":     {envs[1], envs[0], envs[2]},
+		"mixed iter": {envs[0], {Type: MsgGradient, Iter: 99, WorkerID: 2,
+			Chunk: 1, Chunks: 3, Vector: []float64{9}}, envs[2]},
+		"extra frame for unchunked": {
+			{Type: MsgGradient, Vector: []float64{1}},
+			{Type: MsgGradient, Vector: []float64{2}},
+		},
+	}
+	for name, seq := range cases {
+		if _, err := JoinChunks(nil, seq); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("%s: err = %v, want ErrMalformed", name, err)
+		}
+	}
+}
+
+// FuzzDecodeBatch feeds arbitrary bytes to the batch splitter: it must never
+// panic, and anything it accepts must be a valid sub-frame sequence that
+// re-encodes to an equivalent batch.
+func FuzzDecodeBatch(f *testing.F) {
+	rng := rand.New(rand.NewSource(19))
+	var seed bytes.Buffer
+	if err := encodeBatch(&seed, []*Envelope{randomEnvelope(rng), randomEnvelope(rng)}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 200, 1, 2, 3})
+	f.Add(seed.Bytes()[:seed.Len()/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		subs, err := decodeBatch(data)
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("non-ErrMalformed rejection: %v", err)
+			}
+			return
+		}
+		if len(subs) == 0 {
+			t.Fatal("accepted batch with zero sub-frames")
+		}
+		for i, e := range subs {
+			if e.Type == MsgBatch {
+				t.Fatalf("sub-frame %d is a nested batch", i)
+			}
+			if err := e.validate(); err != nil {
+				t.Fatalf("accepted invalid sub-frame %d: %v", i, err)
+			}
+		}
+		var re bytes.Buffer
+		if err := encodeBatch(&re, subs); err != nil {
+			t.Fatalf("re-encode of accepted batch failed: %v", err)
+		}
+		again, err := decodeBatch(re.Bytes())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(subs, again) {
+			t.Fatal("decode/encode/decode not a fixed point")
+		}
+	})
+}
+
+// FuzzBatchRoundTrip drives the encode→decode pair with generated envelope
+// sequences: the decoded sub-frames must equal the inputs exactly.
+func FuzzBatchRoundTrip(f *testing.F) {
+	f.Add(int64(1), 3)
+	f.Add(int64(42), 1)
+	f.Add(int64(7), 12)
+	f.Fuzz(func(t *testing.T, seed int64, n int) {
+		if n <= 0 || n > 64 {
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		envs := make([]*Envelope, n)
+		for i := range envs {
+			envs[i] = randomEnvelope(rng)
+		}
+		var payload bytes.Buffer
+		if err := encodeBatch(&payload, envs); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := decodeBatch(payload.Bytes())
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, envs) {
+			t.Fatal("round trip changed the sub-frame sequence")
+		}
+	})
+}
+
+// benchUplink measures a group master's per-iteration upload of a 64k-float
+// gradient in 4k-element chunks over loopback TCP: 16 separate sends versus
+// one coalesced batched write.
+func benchUplink(b *testing.B, batched bool) {
+	b.Helper()
+	lis, err := Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lis.Close()
+	done := make(chan *Conn, 1)
+	go func() {
+		c, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		done <- c
+	}()
+	sender, err := Dial(lis.Addr(), time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sender.Close()
+	receiver := <-done
+	defer receiver.Close()
+
+	vec := make([]float64, 64*1024)
+	for i := range vec {
+		vec[i] = float64(i)
+	}
+	frames := ChunkGradient(Envelope{WorkerID: 1}, vec, 4*1024)
+	recvErr := make(chan error, 1)
+	go func() {
+		joined := make([]float64, 0, len(vec))
+		var chunk []*Envelope
+		for i := 0; i < b.N*len(frames); i++ {
+			e, err := receiver.Recv()
+			if err != nil {
+				recvErr <- err
+				return
+			}
+			chunk = append(chunk, e)
+			if e.Chunks != 0 && e.Chunk != e.Chunks-1 {
+				continue
+			}
+			var jerr error
+			joined, jerr = JoinChunks(joined, chunk)
+			chunk = chunk[:0]
+			if jerr != nil {
+				recvErr <- jerr
+				return
+			}
+		}
+		recvErr <- nil
+	}()
+
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if batched {
+			if err := sender.SendBatch(frames); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			for _, f := range frames {
+				if err := sender.Send(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := <-recvErr; err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkBatchedUplink(b *testing.B)   { benchUplink(b, true) }
+func BenchmarkUnbatchedUplink(b *testing.B) { benchUplink(b, false) }

@@ -37,6 +37,10 @@ const (
 	// MsgReassign migrates a worker to a new coding strategy: it carries
 	// (Epoch, Assignment) and atomically supersedes every earlier epoch.
 	MsgReassign
+	// MsgBatch coalesces several sub-frames into one write: its Batch payload
+	// is a sequence of length-prefixed, individually gob-encoded envelopes.
+	// Recv unpacks batches transparently, so receivers never see this type.
+	MsgBatch
 )
 
 // HelloNewWorker is the MsgHello WorkerID requesting a fresh member slot.
@@ -59,6 +63,8 @@ func (t MsgType) String() string {
 		return "telemetry"
 	case MsgReassign:
 		return "reassign"
+	case MsgBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("MsgType(%d)", int(t))
 	}
@@ -100,10 +106,17 @@ type Envelope struct {
 	// Epoch versions the coding strategy the frame belongs to. The master
 	// bumps it on every migration; gradients tagged with a stale epoch are
 	// rejected before decode.
-	Epoch     int
-	Assign    *Assignment
-	Vector    []float64 // parameters (MsgParams) or coded gradient (MsgGradient)
-	Telemetry *Telemetry
+	Epoch int
+	// Chunk/Chunks split one large Vector across several sub-frames of a
+	// batch: a chunked MsgGradient carries piece Chunk of Chunks, to be
+	// concatenated in order by the receiver (JoinChunks). Chunks == 0 means
+	// the frame is unchunked.
+	Chunk, Chunks int
+	Assign        *Assignment
+	Vector        []float64 // parameters (MsgParams) or coded gradient (MsgGradient)
+	Telemetry     *Telemetry
+	// Batch is the MsgBatch payload: length-prefixed gob-encoded sub-frames.
+	Batch []byte
 }
 
 // Errors returned by the transport layer.
@@ -125,11 +138,30 @@ const MaxVectorLen = 1 << 30
 
 // validate checks the structural invariants of a received envelope.
 func (e *Envelope) validate() error {
-	if e.Type < MsgHello || e.Type > MsgReassign {
+	if e.Type < MsgHello || e.Type > MsgBatch {
 		return fmt.Errorf("%w: unknown message type %d", ErrMalformed, int(e.Type))
 	}
 	if e.Iter < 0 || e.Epoch < 0 {
 		return fmt.Errorf("%w: %v iter=%d epoch=%d", ErrMalformed, e.Type, e.Iter, e.Epoch)
+	}
+	if e.Type == MsgBatch {
+		if len(e.Batch) == 0 {
+			return fmt.Errorf("%w: empty batch", ErrMalformed)
+		}
+		if e.Assign != nil || e.Vector != nil || e.Telemetry != nil {
+			return fmt.Errorf("%w: batch with non-batch payload", ErrMalformed)
+		}
+		return nil
+	}
+	if len(e.Batch) > 0 {
+		return fmt.Errorf("%w: %v carries a batch payload", ErrMalformed, e.Type)
+	}
+	if e.Chunks < 0 || (e.Chunks == 0 && e.Chunk != 0) ||
+		(e.Chunks > 0 && (e.Chunk < 0 || e.Chunk >= e.Chunks)) {
+		return fmt.Errorf("%w: %v chunk %d of %d", ErrMalformed, e.Type, e.Chunk, e.Chunks)
+	}
+	if e.Chunks > 0 && e.Type != MsgGradient {
+		return fmt.Errorf("%w: %v cannot be chunked", ErrMalformed, e.Type)
 	}
 	if len(e.Vector) > MaxVectorLen {
 		return fmt.Errorf("%w: %v vector length %d exceeds cap %d", ErrMalformed, e.Type, len(e.Vector), MaxVectorLen)
@@ -167,6 +199,9 @@ type Conn struct {
 	raw net.Conn
 	enc *gob.Encoder
 	dec *gob.Decoder
+	// pending holds sub-frames of the last received batch still owed to Recv
+	// callers (only the reader touches it).
+	pending []*Envelope
 }
 
 // NewConn wraps a net.Conn.
@@ -193,14 +228,30 @@ func (c *Conn) Send(e *Envelope) error {
 
 // Recv reads one envelope and validates its protocol invariants; frames that
 // fail validation are rejected with an error wrapping ErrMalformed so they
-// never reach the decode path.
+// never reach the decode path. Batches (SendBatch) are unpacked
+// transparently: their sub-frames are returned one per Recv call, in send
+// order, and a batch with any malformed or truncated sub-frame is rejected
+// whole — the outer frame was fully consumed, so the stream stays in sync.
 func (c *Conn) Recv() (*Envelope, error) {
+	if len(c.pending) > 0 {
+		e := c.pending[0]
+		c.pending = c.pending[1:]
+		return e, nil
+	}
 	var e Envelope
 	if err := c.dec.Decode(&e); err != nil {
 		return nil, fmt.Errorf("transport recv: %w", err)
 	}
 	if err := e.validate(); err != nil {
 		return nil, err
+	}
+	if e.Type == MsgBatch {
+		subs, err := decodeBatch(e.Batch)
+		if err != nil {
+			return nil, err
+		}
+		c.pending = subs[1:]
+		return subs[0], nil
 	}
 	return &e, nil
 }
