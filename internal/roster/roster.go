@@ -1,0 +1,645 @@
+// Package roster is the shared membership engine behind every elastic
+// master in the system. The flat runtime (runtime.ElasticMaster) and the
+// sharded per-group masters (shard.groupMaster) run the same
+// estimate → allocate → re-code loop over live TCP workers, and before this
+// package existed each carried its own copy of the accept loop, the
+// join/rejoin handshake, connection-generation fencing, the epoch-tagged
+// migration broadcast and the death/timeout bookkeeping — so every fencing
+// fix had to land twice. The Engine owns that skeleton once:
+//
+//   - Accept loop: workers may connect for the whole lifetime of a run.
+//   - Join/rejoin handshake: a hello with WorkerID -1 gets a fresh stable
+//     member ID; a hello naming a dead member's ID resumes that identity
+//     (and its warm throughput estimate in the controller) on a new
+//     connection generation.
+//   - Generation fencing: every connection carries the member's generation
+//     at registration time; frames and death reports from a superseded
+//     connection are fenced out, so a stale reader can never evict a
+//     healthy rejoined member.
+//   - Migration: Migrate replans via the elastic controller and delivers
+//     (epoch, assignment) to every plan member, translating local partition
+//     indices to global IDs when the engine manages one shard of a larger
+//     key space.
+//   - Collection: Collect runs one epoch-fenced gather — stale-epoch
+//     uploads are rejected before they can reach decode, malformed frames
+//     are counted and skipped without killing the connection, and deaths
+//     that make the epoch undecodable abort the attempt so the caller can
+//     migrate and retry.
+//
+// The engine is deliberately policy-free: what to do when an epoch stalls
+// (retry budgets, error sentinels, result bookkeeping) stays with the
+// runtime that embeds it.
+package roster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/elastic"
+	"github.com/hetgc/hetgc/internal/grad"
+	"github.com/hetgc/hetgc/internal/transport"
+)
+
+// Errors returned by the roster engine.
+var (
+	// ErrBadConfig marks invalid engine configurations.
+	ErrBadConfig = errors.New("roster: invalid config")
+	// ErrQuorum is returned by WaitForMembers when the quorum was not
+	// reached before the timeout.
+	ErrQuorum = errors.New("roster: quorum not reached")
+	// ErrMigrationFailed is returned by Migrate when no stable membership
+	// can be reassigned — planning became infeasible or every replan lost
+	// another member mid-broadcast.
+	ErrMigrationFailed = errors.New("roster: migration failed")
+)
+
+// Config parameterises an Engine.
+type Config struct {
+	// Controller is the elastic control plane the engine feeds: joins and
+	// deaths update its membership, telemetry its estimates, Migrate its
+	// plan. The engine serialises all controller access under its own lock.
+	Controller *elastic.Controller
+	// WriteTimeout bounds every per-member send, so a stalled (but not
+	// disconnected) worker fails the send — and is handled as dead —
+	// instead of blocking the control loop forever on a full socket buffer.
+	WriteTimeout time.Duration
+	// HandshakeTimeout bounds the hello/ack exchange (default 10s).
+	HandshakeTimeout time.Duration
+	// InboxSize is the capacity of the shared frame inbox (default 64).
+	InboxSize int
+	// Prior, when non-nil, supplies the controller prior (partitions/second)
+	// for the n-th successful join of the run (rejoins included, matching
+	// the join-order semantics of the sharded planner). Zero or a nil hook
+	// lets the controller pick its own prior.
+	Prior func(joinSeq int) float64
+	// K and S are advertised in every assignment (the global partition
+	// count and straggler budget the workers see).
+	K, S int
+	// PartitionMap translates the controller's local partition indices to
+	// the global partition IDs carried in assignments; nil means the engine
+	// manages the whole key space (identity mapping).
+	PartitionMap []int
+}
+
+// member is one stable identity in the roster.
+type member struct {
+	id    int
+	conn  *transport.Conn
+	alive bool
+	// gen counts reconnects: messages and death reports from a superseded
+	// connection carry an older gen and are fenced out, so a stale reader
+	// can never kill a healthy rejoined member.
+	gen int
+}
+
+// msg is one inbox entry: a frame, a transport-level malformed marker, or a
+// connection death, all tagged with the originating member and generation.
+type msg struct {
+	memberID  int
+	gen       int
+	env       *transport.Envelope
+	err       error
+	malformed bool
+}
+
+// Stats counts the fencing decisions of Collect. Callers accumulate one
+// Stats across a run and surface the counters in their results.
+type Stats struct {
+	// StaleEpochRejected counts gradient uploads rejected because they were
+	// encoded under a superseded plan epoch — fenced before decode.
+	StaleEpochRejected int
+	// StaleConnRejected counts frames rejected because they arrived from a
+	// superseded connection generation — the member rejoined while they
+	// were in flight.
+	StaleConnRejected int
+	// StragglersSkipped counts current-epoch uploads that arrived after
+	// their iteration had already decoded (or from members outside the
+	// plan).
+	StragglersSkipped int
+	// MalformedSkipped counts uploads rejected before decode (wrong length,
+	// NaN/Inf, transport validation failures).
+	MalformedSkipped int
+	// TelemetrySamples counts telemetry reports ingested by the controller.
+	TelemetrySamples int
+}
+
+// Engine owns membership, fencing and migration for one elastic master.
+type Engine struct {
+	cfg Config
+	lis *transport.Listener
+
+	inbox chan msg
+
+	mu      sync.Mutex
+	members map[int]*member
+	nextID  int
+	joins   int
+	deaths  int
+	joinSeq int
+
+	joined    chan struct{} // signalled on every successful join
+	stop      chan struct{}
+	readers   sync.WaitGroup
+	accept    sync.WaitGroup // accept loop + in-flight handshakes
+	closeOnce sync.Once
+}
+
+// New validates the config and starts the accept loop on lis. The engine
+// takes ownership of the listener; Shutdown closes it.
+func New(cfg Config, lis *transport.Listener) (*Engine, error) {
+	if cfg.Controller == nil {
+		return nil, fmt.Errorf("%w: controller required", ErrBadConfig)
+	}
+	if lis == nil {
+		return nil, fmt.Errorf("%w: listener required", ErrBadConfig)
+	}
+	if cfg.WriteTimeout <= 0 {
+		return nil, fmt.Errorf("%w: write timeout required", ErrBadConfig)
+	}
+	if cfg.K <= 0 || cfg.S < 0 {
+		return nil, fmt.Errorf("%w: k=%d s=%d", ErrBadConfig, cfg.K, cfg.S)
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 10 * time.Second
+	}
+	if cfg.InboxSize <= 0 {
+		cfg.InboxSize = 64
+	}
+	e := &Engine{
+		cfg:     cfg,
+		lis:     lis,
+		inbox:   make(chan msg, cfg.InboxSize),
+		members: make(map[int]*member),
+		nextID:  1, // IDs start at 1 so a zero ResumeID means "new worker"
+		joined:  make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+	}
+	e.accept.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the address workers should dial.
+func (e *Engine) Addr() string { return e.lis.Addr() }
+
+// ReadHello reads and validates the join handshake frame. Every failure —
+// a broken or truncated gob stream, a duplicated type definition, a frame
+// of the wrong type, or a hello carrying payloads a hello must not carry —
+// is reported as an error wrapping transport.ErrMalformed, so handshake
+// code (and its fuzzers) can assert on one typed error for the whole
+// decode path.
+func ReadHello(conn *transport.Conn) (*transport.Envelope, error) {
+	env, err := conn.Recv()
+	if err != nil {
+		if errors.Is(err, transport.ErrMalformed) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: handshake: %v", transport.ErrMalformed, err)
+	}
+	if err := validateHello(env); err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+// validateHello enforces the handshake frame shape on top of the
+// transport-level envelope invariants: a hello is exactly a type and a
+// member ID (HelloNewWorker or a positive resume ID) — anything else on the
+// frame means the peer is not speaking the join protocol.
+func validateHello(env *transport.Envelope) error {
+	if env.Type != transport.MsgHello {
+		return fmt.Errorf("%w: handshake expected hello, got %v", transport.ErrMalformed, env.Type)
+	}
+	if env.WorkerID < transport.HelloNewWorker || env.WorkerID == 0 {
+		return fmt.Errorf("%w: hello with member id %d", transport.ErrMalformed, env.WorkerID)
+	}
+	if env.Iter != 0 || env.Epoch != 0 || env.Chunks != 0 {
+		return fmt.Errorf("%w: hello with iter=%d epoch=%d chunks=%d", transport.ErrMalformed, env.Iter, env.Epoch, env.Chunks)
+	}
+	if env.Assign != nil || env.Telemetry != nil || len(env.Vector) != 0 || len(env.Batch) != 0 {
+		return fmt.Errorf("%w: hello carries payload", transport.ErrMalformed)
+	}
+	return nil
+}
+
+// acceptLoop admits workers for the lifetime of the run.
+func (e *Engine) acceptLoop() {
+	defer e.accept.Done()
+	for {
+		conn, err := e.lis.Accept()
+		if err != nil {
+			return // listener closed: run over
+		}
+		e.accept.Add(1)
+		go func() {
+			defer e.accept.Done()
+			e.handshake(conn)
+		}()
+	}
+}
+
+// handshake reads the hello, resolves the member identity (fresh join or
+// rejoin) and registers the member with the control plane. The registration
+// and the hello ack happen under the roster lock, serialising the ack with
+// Shutdown's sweep — the connection never has two concurrent writers.
+func (e *Engine) handshake(conn *transport.Conn) {
+	_ = conn.SetDeadline(time.Now().Add(e.cfg.HandshakeTimeout))
+	hello, err := ReadHello(conn)
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	e.mu.Lock()
+	id, gen := 0, 0
+	if prev, ok := e.members[hello.WorkerID]; ok && !prev.alive {
+		// Rejoin: resume the dead member's identity (and its warm throughput
+		// estimate in the controller) on a new connection generation. Close
+		// the superseded connection so its readLoop unblocks (its death
+		// report is fenced by the old gen) and the fd is not leaked.
+		id = hello.WorkerID
+		_ = prev.conn.Close()
+		prev.conn = conn
+		prev.alive = true
+		prev.gen++
+		gen = prev.gen
+	} else {
+		id = e.nextID
+		e.nextID++
+		e.members[id] = &member{id: id, conn: conn, alive: true}
+	}
+	// Ack the hello with the assigned member ID so the worker can resume
+	// this slot after a reconnect. Join bookkeeping — the controller
+	// registration, the join counter, the Prior slot — happens only after
+	// the ack lands: a peer that dies mid-handshake was never a member, so
+	// it must not count as a join, a death, or burn a planned-throughput
+	// prior.
+	ack := &transport.Envelope{Type: transport.MsgHello, WorkerID: id}
+	if err := conn.Send(ack); err != nil {
+		e.members[id].alive = false
+		e.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	prior := 0.0
+	if e.cfg.Prior != nil {
+		prior = e.cfg.Prior(e.joinSeq)
+	}
+	e.joinSeq++
+	e.cfg.Controller.AddMember(id, prior)
+	e.joins++
+	e.mu.Unlock()
+	_ = conn.SetDeadline(time.Time{})
+
+	select {
+	case e.joined <- struct{}{}:
+	default:
+	}
+
+	e.readers.Add(1)
+	go e.readLoop(id, gen, conn)
+}
+
+// readLoop feeds one connection generation's frames into the shared inbox.
+func (e *Engine) readLoop(id, gen int, conn *transport.Conn) {
+	defer e.readers.Done()
+	for {
+		env, err := conn.Recv()
+		if err != nil {
+			if errors.Is(err, transport.ErrMalformed) {
+				select {
+				case e.inbox <- msg{memberID: id, gen: gen, malformed: true}:
+				case <-e.stop:
+					return
+				}
+				continue
+			}
+			select {
+			case e.inbox <- msg{memberID: id, gen: gen, err: err}:
+			case <-e.stop:
+			}
+			return
+		}
+		switch env.Type {
+		case transport.MsgGradient, transport.MsgTelemetry:
+			select {
+			case e.inbox <- msg{memberID: id, gen: gen, env: env}:
+			case <-e.stop:
+				return
+			}
+		}
+	}
+}
+
+// sendTo writes one envelope under the configured write deadline.
+func (e *Engine) sendTo(conn *transport.Conn, env *transport.Envelope) error {
+	_ = conn.SetWriteDeadline(time.Now().Add(e.cfg.WriteTimeout))
+	err := conn.Send(env)
+	_ = conn.SetWriteDeadline(time.Time{})
+	return err
+}
+
+// staleGen reports whether gen is a superseded connection generation for
+// the member — the frame or report carrying it predates a rejoin.
+func (e *Engine) staleGen(id, gen int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m, ok := e.members[id]
+	return !ok || m.gen != gen
+}
+
+// noteDeath marks a member dead in the roster and the control plane — but
+// only if the report refers to the member's current connection generation;
+// errors from a superseded connection are ignored (the member rejoined).
+func (e *Engine) noteDeath(id, gen int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if m, ok := e.members[id]; ok && m.alive && m.gen == gen {
+		m.alive = false
+		e.deaths++
+		e.cfg.Controller.RemoveMember(id)
+	}
+}
+
+// AliveCount returns the number of members currently alive in the control
+// plane.
+func (e *Engine) AliveCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cfg.Controller.AliveMembers())
+}
+
+// Joins returns the number of successful joins (rejoins included).
+func (e *Engine) Joins() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.joins
+}
+
+// Deaths returns the number of member deaths observed.
+func (e *Engine) Deaths() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.deaths
+}
+
+// Events returns the controller's replan history.
+func (e *Engine) Events() []elastic.ReplanEvent {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cfg.Controller.Events()
+}
+
+// WaitForMembers blocks until min members are alive or the timeout expires.
+func (e *Engine) WaitForMembers(min int, timeout time.Duration) error {
+	deadline := time.After(timeout)
+	for {
+		n := e.AliveCount()
+		if n >= min {
+			return nil
+		}
+		select {
+		case <-e.joined:
+		case <-deadline:
+			return fmt.Errorf("%w: %d of %d members joined before timeout", ErrQuorum, n, min)
+		}
+	}
+}
+
+// ShouldReplan asks the controller whether to migrate at this iteration
+// boundary (see elastic.Controller.ShouldReplan).
+func (e *Engine) ShouldReplan(iter int) (bool, string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cfg.Controller.ShouldReplan(iter)
+}
+
+// Migrate builds the next plan and delivers (epoch, assignment) to every
+// member of it, translating partition indices through PartitionMap. Members
+// whose reassign send fails are marked dead; Migrate replans until a full
+// delivery succeeds or planning becomes infeasible.
+func (e *Engine) Migrate(iter int, reason string) (*elastic.Plan, error) {
+	for attempt := 0; ; attempt++ {
+		e.mu.Lock()
+		total := len(e.members)
+		var plan *elastic.Plan
+		var err error
+		if attempt <= total+1 {
+			plan, err = e.cfg.Controller.Replan(iter, reason)
+		}
+		e.mu.Unlock()
+		if attempt > total+1 {
+			return nil, fmt.Errorf("%w: no stable membership after %d attempts", ErrMigrationFailed, attempt)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMigrationFailed, err)
+		}
+		alloc := plan.Strategy.Allocation()
+		failed := false
+		for slot, id := range plan.Members {
+			e.mu.Lock()
+			m := e.members[id]
+			conn, gen := m.conn, m.gen
+			e.mu.Unlock()
+			row := plan.Strategy.Row(slot)
+			local := alloc.Parts[slot]
+			parts := make([]int, len(local))
+			coeffs := make([]float64, len(local))
+			for i, p := range local {
+				parts[i] = p
+				if e.cfg.PartitionMap != nil {
+					parts[i] = e.cfg.PartitionMap[p] // local → global partition ID
+				}
+				coeffs[i] = row[p]
+			}
+			env := &transport.Envelope{
+				Type:  transport.MsgReassign,
+				Epoch: plan.Epoch,
+				Assign: &transport.Assignment{
+					WorkerID:   slot,
+					Partitions: parts,
+					RowCoeffs:  coeffs,
+					K:          e.cfg.K,
+					S:          e.cfg.S,
+				},
+			}
+			if err := e.sendTo(conn, env); err != nil {
+				e.noteDeath(id, gen)
+				failed = true
+			}
+		}
+		if !failed {
+			return plan, nil
+		}
+		reason = "churn"
+	}
+}
+
+// BroadcastParams sends one iteration's parameters, tagged with the plan
+// epoch, to every live plan member; members whose send fails are marked
+// dead.
+func (e *Engine) BroadcastParams(plan *elastic.Plan, iter int, params []float64) {
+	for _, id := range plan.Members {
+		e.mu.Lock()
+		m := e.members[id]
+		conn, live, gen := m.conn, m.alive, m.gen
+		e.mu.Unlock()
+		if !live {
+			continue
+		}
+		env := &transport.Envelope{Type: transport.MsgParams, Iter: iter, Epoch: plan.Epoch, Vector: params}
+		if err := e.sendTo(conn, env); err != nil {
+			e.noteDeath(id, gen)
+		}
+	}
+}
+
+// EpochViable reports whether the plan can still decode if every live plan
+// member eventually uploads (arrived marks slots already collected).
+func (e *Engine) EpochViable(plan *elastic.Plan, arrived []bool) bool {
+	mask := make([]bool, len(plan.Members))
+	e.mu.Lock()
+	for slot, id := range plan.Members {
+		m, ok := e.members[id]
+		mask[slot] = arrived[slot] || (ok && m.alive)
+	}
+	e.mu.Unlock()
+	return plan.Strategy.CanDecode(mask)
+}
+
+// Collect runs one epoch-fenced gather for an iteration: it consumes inbox
+// frames — ingesting telemetry, fencing stale-epoch and malformed uploads,
+// noting deaths — until the strategy decodes (ok=true, with the decode
+// coefficients and the coded uploads by slot), the timeout expires, or
+// deaths make the epoch unviable (ok=false either way: the caller migrates
+// and retries, or gives up). Fencing decisions are accumulated into st.
+func (e *Engine) Collect(plan *elastic.Plan, iter, dim int, timeout time.Duration, st *Stats) (coeffs []float64, coded []grad.Gradient, ok bool) {
+	m := plan.Strategy.M()
+	coded = make([]grad.Gradient, m)
+	arrived := make([]bool, m)
+	if !e.EpochViable(plan, arrived) {
+		return nil, nil, false
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case in := <-e.inbox:
+			// Generation fence: anything from a superseded connection —
+			// a frame already queued when its member rejoined, a malformed
+			// marker, a late death report — must not impersonate the live
+			// connection. (Death reports are gen-fenced inside noteDeath
+			// too; frames have no other fence.)
+			if e.staleGen(in.memberID, in.gen) {
+				if in.env != nil {
+					st.StaleConnRejected++
+				}
+				continue
+			}
+			if in.malformed {
+				st.MalformedSkipped++
+				continue
+			}
+			if in.err != nil {
+				e.noteDeath(in.memberID, in.gen)
+				if !e.EpochViable(plan, arrived) {
+					return nil, nil, false
+				}
+				continue
+			}
+			env := in.env
+			switch env.Type {
+			case transport.MsgTelemetry:
+				if env.Telemetry != nil && env.Telemetry.Partitions > 0 && env.Telemetry.ComputeSeconds > 0 {
+					e.mu.Lock()
+					err := e.cfg.Controller.Observe(in.memberID, env.Telemetry.Partitions, env.Telemetry.ComputeSeconds)
+					e.mu.Unlock()
+					if err == nil {
+						st.TelemetrySamples++
+					}
+				}
+			case transport.MsgGradient:
+				// Epoch fence: uploads encoded under a superseded plan are
+				// rejected before they can reach decode.
+				if env.Epoch != plan.Epoch {
+					st.StaleEpochRejected++
+					continue
+				}
+				// Shape fence before the iteration fence: a mis-sized or
+				// non-finite upload is malformed no matter which iteration
+				// it straggled in from. (The two pre-roster runtimes raced
+				// here — a truncated frame that arrived after its iteration
+				// had decoded was miscounted as a mere straggler.)
+				if len(env.Vector) != dim || grad.InfOrNaN(env.Vector) {
+					st.MalformedSkipped++
+					continue
+				}
+				if env.Iter != iter {
+					st.StragglersSkipped++
+					continue
+				}
+				slot := plan.SlotOf(in.memberID)
+				if slot < 0 {
+					st.StragglersSkipped++
+					continue
+				}
+				coded[slot] = env.Vector
+				arrived[slot] = true
+				if cs, err := plan.Strategy.Decode(arrived); err == nil {
+					return cs, coded, true
+				}
+			}
+		case <-deadline.C:
+			return nil, nil, false
+		}
+	}
+}
+
+// Shutdown stops the engine: the listener, every member connection and the
+// reader goroutines. With graceful set, live members are sent a best-effort
+// MsgShutdown frame first — callers may only do that from the goroutine
+// that owns the member connections' writes (or after that goroutine
+// exited); a concurrent teardown must close cold. Safe to call multiple
+// times; later calls block until the first completes.
+func (e *Engine) Shutdown(graceful bool) {
+	e.closeOnce.Do(func() {
+		e.mu.Lock()
+		if graceful {
+			for _, m := range e.members {
+				if m.alive {
+					// Best-effort shutdown with a short write deadline: a
+					// stalled worker must not hang Shutdown.
+					_ = m.conn.SetWriteDeadline(time.Now().Add(time.Second))
+					_ = m.conn.Send(&transport.Envelope{Type: transport.MsgShutdown})
+				}
+			}
+		}
+		for _, m := range e.members {
+			_ = m.conn.Close()
+		}
+		e.mu.Unlock()
+		_ = e.lis.Close()
+		e.accept.Wait()
+		// Close conns registered by handshakes that raced the sweep above,
+		// so every reader goroutine unblocks.
+		e.mu.Lock()
+		for _, m := range e.members {
+			_ = m.conn.Close()
+		}
+		e.mu.Unlock()
+		close(e.stop)
+		done := make(chan struct{})
+		go func() {
+			e.readers.Wait()
+			close(done)
+		}()
+		for {
+			select {
+			case <-e.inbox:
+			case <-done:
+				return
+			}
+		}
+	})
+}

@@ -7,13 +7,17 @@
 // (epoch, assignment), parameter broadcasts are tagged with the epoch, and
 // gradient uploads from any older epoch are rejected before they can reach
 // decode.
+//
+// All membership machinery — the accept loop, the join/rejoin handshake,
+// connection-generation fencing, the migration broadcast and the
+// epoch-fenced collect — lives in internal/roster and is shared with the
+// sharded runtime's per-group masters; this file only keeps the policy:
+// the BSP loop, retry budgets and result bookkeeping.
 package runtime
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
-	"sync"
 	"time"
 
 	"github.com/hetgc/hetgc/internal/core"
@@ -21,12 +25,14 @@ import (
 	"github.com/hetgc/hetgc/internal/grad"
 	"github.com/hetgc/hetgc/internal/metrics"
 	"github.com/hetgc/hetgc/internal/ml"
+	"github.com/hetgc/hetgc/internal/roster"
 	"github.com/hetgc/hetgc/internal/transport"
 )
 
 // ErrMigrationFailed is returned when a forced replan (after worker deaths
-// made the current epoch undecodable) cannot produce a viable strategy.
-var ErrMigrationFailed = errors.New("runtime: migration failed")
+// made the current epoch undecodable) cannot produce a viable strategy. It
+// is the roster engine's sentinel, shared with the sharded runtime.
+var ErrMigrationFailed = roster.ErrMigrationFailed
 
 // ElasticConfig configures an elastic training master.
 type ElasticConfig struct {
@@ -108,49 +114,22 @@ type ElasticResult struct {
 	// MalformedSkipped counts uploads rejected before decode (wrong length,
 	// NaN/Inf, transport validation failures).
 	MalformedSkipped int
+	// StaleConnRejected counts frames rejected because they arrived from a
+	// superseded connection generation (the member rejoined while they were
+	// in flight).
+	StaleConnRejected int
 	// TelemetrySamples counts telemetry reports ingested by the controller.
 	TelemetrySamples int
 	// Joins and Deaths count membership events observed during the run.
 	Joins, Deaths int
 }
 
-type elasticMember struct {
-	id    int
-	conn  *transport.Conn
-	alive bool
-	// gen counts reconnects: messages and death reports from a superseded
-	// connection carry an older gen and are fenced out, so a stale reader
-	// can never kill a healthy rejoined member.
-	gen int
-}
-
-type elasticMsg struct {
-	memberID  int
-	gen       int
-	env       *transport.Envelope
-	err       error
-	malformed bool
-}
-
 // ElasticMaster drives elastic BSP training over TCP workers that may join,
-// die and rejoin mid-run.
+// die and rejoin mid-run. Membership and fencing are delegated to a
+// roster.Engine; this type owns the training policy.
 type ElasticMaster struct {
-	cfg      ElasticConfig
-	listener *transport.Listener
-	ctrl     *elastic.Controller
-	inbox    chan elasticMsg
-
-	mu      sync.Mutex
-	members map[int]*elasticMember
-	nextID  int
-	joins   int
-	deaths  int
-
-	joined    chan struct{} // signalled on every successful join
-	stop      chan struct{}
-	readers   sync.WaitGroup
-	accept    sync.WaitGroup // accept loop + in-flight handshakes
-	closeOnce sync.Once
+	cfg ElasticConfig
+	eng *roster.Engine
 }
 
 // NewElasticMaster validates the config, prepares the control plane and
@@ -173,148 +152,21 @@ func NewElasticMaster(cfg ElasticConfig, addr string) (*ElasticMaster, error) {
 	if err != nil {
 		return nil, err
 	}
-	ma := &ElasticMaster{
-		cfg:      cfg,
-		listener: l,
-		ctrl:     ctrl,
-		inbox:    make(chan elasticMsg, 64),
-		members:  make(map[int]*elasticMember),
-		nextID:   1, // IDs start at 1 so a zero ResumeID means "new worker"
-		joined:   make(chan struct{}, 1),
-		stop:     make(chan struct{}),
+	eng, err := roster.New(roster.Config{
+		Controller:   ctrl,
+		WriteTimeout: cfg.IterTimeout,
+		K:            cfg.K,
+		S:            cfg.S,
+	}, l)
+	if err != nil {
+		_ = l.Close()
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
-	ma.accept.Add(1)
-	go ma.acceptLoop()
-	return ma, nil
+	return &ElasticMaster{cfg: cfg, eng: eng}, nil
 }
 
 // Addr returns the address workers should dial.
-func (ma *ElasticMaster) Addr() string { return ma.listener.Addr() }
-
-// acceptLoop admits workers for the lifetime of the run.
-func (ma *ElasticMaster) acceptLoop() {
-	defer ma.accept.Done()
-	for {
-		conn, err := ma.listener.Accept()
-		if err != nil {
-			return // listener closed: run over
-		}
-		ma.accept.Add(1)
-		go func() {
-			defer ma.accept.Done()
-			ma.handshake(conn)
-		}()
-	}
-}
-
-// handshake reads the hello, resolves the member identity (fresh join or
-// rejoin) and registers the member with the control plane. The registration
-// and the hello ack happen under the roster lock, serialising the ack with
-// Close's shutdown sweep — the connection never has two concurrent writers.
-func (ma *ElasticMaster) handshake(conn *transport.Conn) {
-	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
-	hello, err := conn.Recv()
-	if err != nil || hello.Type != transport.MsgHello {
-		_ = conn.Close()
-		return
-	}
-	ma.mu.Lock()
-	id, gen := 0, 0
-	if prev, ok := ma.members[hello.WorkerID]; ok && !prev.alive {
-		// Rejoin: resume the dead member's identity (and its warm throughput
-		// estimate in the controller) on a new connection generation. Close
-		// the superseded connection so its readLoop unblocks (its death
-		// report is fenced by the old gen) and the fd is not leaked.
-		id = hello.WorkerID
-		_ = prev.conn.Close()
-		prev.conn = conn
-		prev.alive = true
-		prev.gen++
-		gen = prev.gen
-	} else {
-		id = ma.nextID
-		ma.nextID++
-		ma.members[id] = &elasticMember{id: id, conn: conn, alive: true}
-	}
-	ma.ctrl.AddMember(id, 0)
-	ma.joins++
-	// Ack the hello with the assigned member ID so the worker can resume
-	// this slot after a reconnect.
-	ack := &transport.Envelope{Type: transport.MsgHello, WorkerID: id}
-	if err := conn.Send(ack); err != nil {
-		member := ma.members[id]
-		member.alive = false
-		ma.deaths++
-		ma.ctrl.RemoveMember(id)
-		ma.mu.Unlock()
-		_ = conn.Close()
-		return
-	}
-	ma.mu.Unlock()
-	_ = conn.SetDeadline(time.Time{})
-
-	select {
-	case ma.joined <- struct{}{}:
-	default:
-	}
-
-	ma.readers.Add(1)
-	go ma.readLoop(id, gen, conn)
-}
-
-// readLoop feeds one connection generation's frames into the shared inbox.
-func (ma *ElasticMaster) readLoop(id, gen int, conn *transport.Conn) {
-	defer ma.readers.Done()
-	for {
-		env, err := conn.Recv()
-		if err != nil {
-			if errors.Is(err, transport.ErrMalformed) {
-				select {
-				case ma.inbox <- elasticMsg{memberID: id, gen: gen, malformed: true}:
-				case <-ma.stop:
-					return
-				}
-				continue
-			}
-			select {
-			case ma.inbox <- elasticMsg{memberID: id, gen: gen, err: err}:
-			case <-ma.stop:
-			}
-			return
-		}
-		switch env.Type {
-		case transport.MsgGradient, transport.MsgTelemetry:
-			select {
-			case ma.inbox <- elasticMsg{memberID: id, gen: gen, env: env}:
-			case <-ma.stop:
-				return
-			}
-		}
-	}
-}
-
-// sendTo writes one envelope under a write deadline, so a stalled (but not
-// disconnected) worker fails the send — and is handled as dead — instead of
-// blocking the control loop forever on a full socket buffer.
-func (ma *ElasticMaster) sendTo(conn *transport.Conn, env *transport.Envelope) error {
-	_ = conn.SetWriteDeadline(time.Now().Add(ma.cfg.IterTimeout))
-	err := conn.Send(env)
-	_ = conn.SetWriteDeadline(time.Time{})
-	return err
-}
-
-// noteDeath marks a member dead in the roster and the control plane — but
-// only if the report refers to the member's current connection generation;
-// errors from a superseded connection are ignored (the member rejoined).
-func (ma *ElasticMaster) noteDeath(id, gen int) {
-	ma.mu.Lock()
-	defer ma.mu.Unlock()
-	if m, ok := ma.members[id]; ok && m.alive && m.gen == gen {
-		m.alive = false
-		ma.deaths++
-		ma.ctrl.RemoveMember(id)
-	}
-}
+func (ma *ElasticMaster) Addr() string { return ma.eng.Addr() }
 
 // WaitForWorkers blocks until the configured MinWorkers (default s+1)
 // members have joined.
@@ -323,75 +175,10 @@ func (ma *ElasticMaster) WaitForWorkers(timeout time.Duration) error {
 	if min == 0 {
 		min = ma.cfg.S + 1
 	}
-	deadline := time.After(timeout)
-	for {
-		ma.mu.Lock()
-		n := len(ma.ctrl.AliveMembers())
-		ma.mu.Unlock()
-		if n >= min {
-			return nil
-		}
-		select {
-		case <-ma.joined:
-		case <-deadline:
-			return fmt.Errorf("%w: %d of %d workers joined before timeout", ErrTooFewWorkers, n, min)
-		}
+	if err := ma.eng.WaitForMembers(min, timeout); err != nil {
+		return fmt.Errorf("%w: %v", ErrTooFewWorkers, err)
 	}
-}
-
-// migrate builds the next plan and delivers (epoch, assignment) to every
-// member of it. Members whose reassign send fails are marked dead; migrate
-// replans until a full delivery succeeds or planning becomes infeasible.
-func (ma *ElasticMaster) migrate(iter int, reason string) (*elastic.Plan, error) {
-	for attempt := 0; ; attempt++ {
-		ma.mu.Lock()
-		total := len(ma.members)
-		var plan *elastic.Plan
-		var err error
-		if attempt <= total+1 {
-			plan, err = ma.ctrl.Replan(iter, reason)
-		}
-		ma.mu.Unlock()
-		if attempt > total+1 {
-			return nil, fmt.Errorf("%w: no stable membership after %d attempts", ErrMigrationFailed, attempt)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrMigrationFailed, err)
-		}
-		alloc := plan.Strategy.Allocation()
-		failed := false
-		for slot, id := range plan.Members {
-			ma.mu.Lock()
-			member := ma.members[id]
-			conn, gen := member.conn, member.gen
-			ma.mu.Unlock()
-			row := plan.Strategy.Row(slot)
-			parts := alloc.Parts[slot]
-			coeffs := make([]float64, len(parts))
-			for i, p := range parts {
-				coeffs[i] = row[p]
-			}
-			env := &transport.Envelope{
-				Type:  transport.MsgReassign,
-				Epoch: plan.Epoch,
-				Assign: &transport.Assignment{
-					WorkerID:   slot,
-					Partitions: append([]int(nil), parts...),
-					RowCoeffs:  coeffs,
-					K:          ma.cfg.K,
-					S:          ma.cfg.S,
-				},
-			}
-			if err := ma.sendTo(conn, env); err != nil {
-				ma.noteDeath(id, gen)
-				failed = true
-			}
-		}
-		if !failed {
-			return plan, nil
-		}
-		reason = "churn"
-	}
+	return nil
 }
 
 // Run executes the elastic BSP loop: replan/migrate at iteration boundaries
@@ -399,7 +186,10 @@ func (ma *ElasticMaster) migrate(iter int, reason string) (*elastic.Plan, error)
 // Mid-iteration deaths that make the current epoch undecodable force an
 // immediate migration and a retry of the same iteration under the new epoch.
 func (ma *ElasticMaster) Run() (*ElasticResult, error) {
-	defer ma.Close()
+	// Graceful shutdown from the run goroutine itself: Run is the member
+	// connections' only writer, so only it may send the shutdown frames.
+	// (External Close calls race Run's sends and must close cold instead.)
+	defer ma.eng.Shutdown(true)
 	dim := ma.cfg.Model.Dim()
 	params := append([]float64(nil), ma.cfg.InitialParams...)
 	res := &ElasticResult{Curve: metrics.Series{Name: "elastic"}}
@@ -414,14 +204,12 @@ func (ma *ElasticMaster) Run() (*ElasticResult, error) {
 		maxRetries = 2
 	}
 
+	var stats roster.Stats
 	var plan *elastic.Plan
 	for iter := 0; iter < ma.cfg.Iterations; iter++ {
 		// Control decision at the iteration boundary.
-		ma.mu.Lock()
-		replan, reason := ma.ctrl.ShouldReplan(iter)
-		ma.mu.Unlock()
-		if replan {
-			p, err := ma.migrate(iter, reason)
+		if replan, reason := ma.eng.ShouldReplan(iter); replan {
+			p, err := ma.eng.Migrate(iter, reason)
 			if err != nil {
 				return nil, err
 			}
@@ -429,92 +217,28 @@ func (ma *ElasticMaster) Run() (*ElasticResult, error) {
 		}
 
 		retries := 0
-	attempt:
-		start := time.Now()
-		m := plan.Strategy.M()
-		// Broadcast parameters under the current epoch.
-		for _, id := range plan.Members {
-			ma.mu.Lock()
-			member := ma.members[id]
-			conn, live, gen := member.conn, member.alive, member.gen
-			ma.mu.Unlock()
-			if !live {
+		for {
+			start := time.Now()
+			// Broadcast parameters under the current epoch, then gather
+			// until the strategy decodes.
+			ma.eng.BroadcastParams(plan, iter, params)
+			coeffs, coded, ok := ma.eng.Collect(plan, iter, dim, ma.cfg.IterTimeout, &stats)
+			if !ok {
+				// The current epoch cannot complete (timeout or fatal
+				// deaths): migrate to the live membership and retry this
+				// iteration.
+				retries++
+				if retries > maxRetries {
+					return nil, fmt.Errorf("%w: iteration %d undecodable after %d migrations", ErrIterationTimeout, iter, retries-1)
+				}
+				p, err := ma.eng.Migrate(iter, "churn")
+				if err != nil {
+					return nil, err
+				}
+				plan = p
 				continue
 			}
-			env := &transport.Envelope{Type: transport.MsgParams, Iter: iter, Epoch: plan.Epoch, Vector: params}
-			if err := ma.sendTo(conn, env); err != nil {
-				ma.noteDeath(id, gen)
-			}
-		}
-		coded := make([]grad.Gradient, m)
-		alive := make([]bool, m)
-		var coeffs []float64
-		if !ma.epochViable(plan, alive) {
-			goto migrateRetry
-		}
-		{
-			deadline := time.NewTimer(ma.cfg.IterTimeout)
-			for coeffs == nil {
-				select {
-				case msg := <-ma.inbox:
-					if msg.malformed {
-						res.MalformedSkipped++
-						continue
-					}
-					if msg.err != nil {
-						ma.noteDeath(msg.memberID, msg.gen)
-						if !ma.epochViable(plan, alive) {
-							deadline.Stop()
-							goto migrateRetry
-						}
-						continue
-					}
-					env := msg.env
-					switch env.Type {
-					case transport.MsgTelemetry:
-						if env.Telemetry != nil && env.Telemetry.Partitions > 0 && env.Telemetry.ComputeSeconds > 0 {
-							ma.mu.Lock()
-							err := ma.ctrl.Observe(msg.memberID, env.Telemetry.Partitions, env.Telemetry.ComputeSeconds)
-							ma.mu.Unlock()
-							if err == nil {
-								res.TelemetrySamples++
-							}
-						}
-					case transport.MsgGradient:
-						// Epoch fence: uploads encoded under a superseded
-						// plan are rejected before they can reach decode.
-						if env.Epoch != plan.Epoch {
-							res.StaleEpochRejected++
-							continue
-						}
-						if env.Iter != iter {
-							res.StragglersSkipped++
-							continue
-						}
-						slot := plan.SlotOf(msg.memberID)
-						if slot < 0 {
-							res.StragglersSkipped++
-							continue
-						}
-						if len(env.Vector) != dim || infOrNaN(env.Vector) {
-							res.MalformedSkipped++
-							continue
-						}
-						coded[slot] = env.Vector
-						alive[slot] = true
-						if cs, err := plan.Strategy.Decode(alive); err == nil {
-							coeffs = cs
-						}
-					}
-				case <-deadline.C:
-					deadline.Stop()
-					goto migrateRetry
-				}
-			}
-			deadline.Stop()
-		}
 
-		{
 			g, err := grad.Combine(coeffs, coded, dim)
 			if err != nil {
 				return nil, fmt.Errorf("iteration %d combine: %w", iter, err)
@@ -532,31 +256,20 @@ func (ma *ElasticMaster) Run() (*ElasticResult, error) {
 					res.Curve.Append(clock, l)
 				}
 			}
-			continue
+			break
 		}
-
-	migrateRetry:
-		// The current epoch cannot complete (timeout or fatal deaths):
-		// migrate to the live membership and retry this iteration.
-		retries++
-		if retries > maxRetries {
-			return nil, fmt.Errorf("%w: iteration %d undecodable after %d migrations", ErrIterationTimeout, iter, retries-1)
-		}
-		p, err := ma.migrate(iter, "churn")
-		if err != nil {
-			return nil, err
-		}
-		plan = p
-		goto attempt
 	}
 
 	res.Params = params
 	res.Summary = metrics.Summarize(res.IterTimes)
-	ma.mu.Lock()
-	res.Joins = ma.joins
-	res.Deaths = ma.deaths
-	res.Replans = ma.ctrl.Events()
-	ma.mu.Unlock()
+	res.StaleEpochRejected = stats.StaleEpochRejected
+	res.StaleConnRejected = stats.StaleConnRejected
+	res.StragglersSkipped = stats.StragglersSkipped
+	res.MalformedSkipped = stats.MalformedSkipped
+	res.TelemetrySamples = stats.TelemetrySamples
+	res.Joins = ma.eng.Joins()
+	res.Deaths = ma.eng.Deaths()
+	res.Replans = ma.eng.Events()
 	return res, nil
 }
 
@@ -576,57 +289,10 @@ func RunElastic(cfg ElasticConfig, addr string, waitTimeout time.Duration) (*Ela
 	return ma.Run()
 }
 
-// epochViable reports whether the current epoch can still decode if every
-// live plan member eventually uploads.
-func (ma *ElasticMaster) epochViable(plan *elastic.Plan, arrived []bool) bool {
-	mask := make([]bool, len(plan.Members))
-	ma.mu.Lock()
-	for slot, id := range plan.Members {
-		m, ok := ma.members[id]
-		mask[slot] = arrived[slot] || (ok && m.alive)
-	}
-	ma.mu.Unlock()
-	return plan.Strategy.CanDecode(mask)
-}
-
 // Close shuts down workers, the listener and the reader goroutines. Safe to
-// call multiple times.
+// call multiple times and from any goroutine: it closes connections cold,
+// because sending shutdown frames would race Run's own writes (Run performs
+// the graceful variant itself when it returns).
 func (ma *ElasticMaster) Close() {
-	ma.closeOnce.Do(func() {
-		ma.mu.Lock()
-		for _, m := range ma.members {
-			if m.alive {
-				// Best-effort shutdown with a short write deadline: a
-				// stalled worker must not hang Close.
-				_ = m.conn.SetWriteDeadline(time.Now().Add(time.Second))
-				_ = m.conn.Send(&transport.Envelope{Type: transport.MsgShutdown})
-			}
-		}
-		for _, m := range ma.members {
-			_ = m.conn.Close()
-		}
-		ma.mu.Unlock()
-		_ = ma.listener.Close()
-		ma.accept.Wait()
-		// Close conns registered by handshakes that raced the sweep above,
-		// so every reader goroutine unblocks.
-		ma.mu.Lock()
-		for _, m := range ma.members {
-			_ = m.conn.Close()
-		}
-		ma.mu.Unlock()
-		close(ma.stop)
-		done := make(chan struct{})
-		go func() {
-			ma.readers.Wait()
-			close(done)
-		}()
-		for {
-			select {
-			case <-ma.inbox:
-			case <-done:
-				return
-			}
-		}
-	})
+	ma.eng.Shutdown(false)
 }

@@ -5,68 +5,45 @@
 // the group's gradient sum with the shared decode-plan cache and kernels,
 // and streams that sum to the root as one coalesced chunked batch per
 // iteration.
+//
+// Membership, generation fencing, migration delivery and the epoch-fenced
+// collect are delegated to internal/roster — the same engine behind the
+// flat runtime.ElasticMaster — so a fencing fix lands once and is verified
+// against both runtimes by the shared conformance suite.
 package shard
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
-	"sync"
 	"time"
 
 	"github.com/hetgc/hetgc/internal/elastic"
 	"github.com/hetgc/hetgc/internal/grad"
+	"github.com/hetgc/hetgc/internal/roster"
 	"github.com/hetgc/hetgc/internal/transport"
 )
 
-type gmMember struct {
-	id    int
-	conn  *transport.Conn
-	alive bool
-	// gen counts reconnects; frames and death reports from a superseded
-	// connection generation are fenced out.
-	gen int
-}
-
-type gmMsg struct {
-	memberID  int
-	gen       int
-	env       *transport.Envelope
-	err       error
-	malformed bool
-}
-
 // groupMaster runs one coding group.
 type groupMaster struct {
-	root  *Root
-	g     int
-	lis   *transport.Listener
-	ctrl  *elastic.Controller
-	up    *transport.Conn // uplink to the root (run loop is its only user)
-	inbox chan gmMsg
+	root *Root
+	g    int
+	eng  *roster.Engine
+	up   *transport.Conn // uplink to the root (run loop is its only user)
 
-	mu      sync.Mutex
-	members map[int]*gmMember
-	nextID  int
-	joinSeq int
+	done chan struct{}
 
-	joined    chan struct{}
-	stop      chan struct{}
-	readers   sync.WaitGroup
-	accept    sync.WaitGroup
-	done      chan struct{}
-	closeOnce sync.Once
-
-	// Run statistics (owned by the run loop except where noted).
-	epochs             []int
-	staleEpochRejected int
-	stragglersSkipped  int
-	malformedSkipped   int
-	telemetrySamples   int
+	// Run statistics (owned by the run loop; read after it exits).
+	epochs   []int
+	runStats roster.Stats
 }
 
 // newGroupMaster builds the group's control plane, starts its worker
-// listener and dials the root.
+// listener and dials the root. The roster engine's prior hook hands the
+// controller the planned estimate of the group's workers in join order —
+// workers are fungible processes, telemetry corrects the rest. Partition
+// indices in assignments are global (the worker fetches data by global
+// partition ID), so the engine translates through the group's partition
+// slice and advertises the global K.
 func newGroupMaster(r *Root, g int) (*groupMaster, error) {
 	grp := r.plan.Groups[g]
 	ctrl, err := elastic.NewController(elastic.Config{
@@ -82,229 +59,65 @@ func newGroupMaster(r *Root, g int) (*groupMaster, error) {
 	if err != nil {
 		return nil, err
 	}
-	up, err := transport.Dial(r.lis.Addr(), 10*time.Second)
+	eng, err := roster.New(roster.Config{
+		Controller:   ctrl,
+		WriteTimeout: r.cfg.IterTimeout,
+		InboxSize:    2*len(grp.Workers) + 8,
+		K:            r.cfg.K, // global K: partition IDs are global
+		S:            r.cfg.S,
+		PartitionMap: grp.Parts,
+		Prior: func(joinSeq int) float64 {
+			if joinSeq < len(grp.Workers) {
+				return r.cfg.Throughputs[grp.Workers[joinSeq]]
+			}
+			return 0
+		},
+	}, lis)
 	if err != nil {
 		_ = lis.Close()
+		return nil, fmt.Errorf("%w: group %d: %v", ErrBadConfig, g, err)
+	}
+	up, err := transport.Dial(r.lis.Addr(), 10*time.Second)
+	if err != nil {
+		eng.Shutdown(false)
 		return nil, err
 	}
 	if err := up.Send(&transport.Envelope{Type: transport.MsgHello, WorkerID: g}); err != nil {
-		_ = lis.Close()
+		eng.Shutdown(false)
 		_ = up.Close()
 		return nil, err
 	}
 	gm := &groupMaster{
-		root:    r,
-		g:       g,
-		lis:     lis,
-		ctrl:    ctrl,
-		up:      up,
-		inbox:   make(chan gmMsg, 2*len(grp.Workers)+8),
-		members: make(map[int]*gmMember),
-		nextID:  1,
-		joined:  make(chan struct{}, 1),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		root: r,
+		g:    g,
+		eng:  eng,
+		up:   up,
+		done: make(chan struct{}),
 	}
-	gm.accept.Add(1)
-	go gm.acceptLoop()
 	go gm.run()
 	return gm, nil
 }
 
-// acceptLoop admits the group's workers for the lifetime of the run.
-func (gm *groupMaster) acceptLoop() {
-	defer gm.accept.Done()
-	for {
-		conn, err := gm.lis.Accept()
-		if err != nil {
-			return
-		}
-		gm.accept.Add(1)
-		go func() {
-			defer gm.accept.Done()
-			gm.handshake(conn)
-		}()
-	}
-}
-
-// handshake resolves a dialing worker's member identity (fresh join or
-// rejoin via ResumeID) and registers it with the group's control plane. The
-// prior throughput estimate is the planned estimate of the group's workers
-// in join order — workers are fungible processes, telemetry corrects the
-// rest.
-func (gm *groupMaster) handshake(conn *transport.Conn) {
-	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
-	hello, err := conn.Recv()
-	if err != nil || hello.Type != transport.MsgHello {
-		_ = conn.Close()
-		return
-	}
-	grp := gm.root.plan.Groups[gm.g]
-	gm.mu.Lock()
-	id, gen := 0, 0
-	if prev, ok := gm.members[hello.WorkerID]; ok && !prev.alive {
-		id = hello.WorkerID
-		_ = prev.conn.Close()
-		prev.conn = conn
-		prev.alive = true
-		prev.gen++
-		gen = prev.gen
-	} else {
-		id = gm.nextID
-		gm.nextID++
-		gm.members[id] = &gmMember{id: id, conn: conn, alive: true}
-	}
-	prior := 0.0
-	if gm.joinSeq < len(grp.Workers) {
-		prior = gm.root.cfg.Throughputs[grp.Workers[gm.joinSeq]]
-	}
-	gm.joinSeq++
-	gm.ctrl.AddMember(id, prior)
-	ack := &transport.Envelope{Type: transport.MsgHello, WorkerID: id}
-	if err := conn.Send(ack); err != nil {
-		member := gm.members[id]
-		member.alive = false
-		gm.ctrl.RemoveMember(id)
-		gm.mu.Unlock()
-		_ = conn.Close()
-		return
-	}
-	gm.mu.Unlock()
-	_ = conn.SetDeadline(time.Time{})
-
-	select {
-	case gm.joined <- struct{}{}:
-	default:
-	}
-	gm.readers.Add(1)
-	go gm.readLoop(id, gen, conn)
-}
-
-// readLoop feeds one worker connection generation into the shared inbox.
-func (gm *groupMaster) readLoop(id, gen int, conn *transport.Conn) {
-	defer gm.readers.Done()
-	for {
-		env, err := conn.Recv()
-		if err != nil {
-			if errors.Is(err, transport.ErrMalformed) {
-				select {
-				case gm.inbox <- gmMsg{memberID: id, gen: gen, malformed: true}:
-				case <-gm.stop:
-					return
-				}
-				continue
-			}
-			select {
-			case gm.inbox <- gmMsg{memberID: id, gen: gen, err: err}:
-			case <-gm.stop:
-			}
-			return
-		}
-		switch env.Type {
-		case transport.MsgGradient, transport.MsgTelemetry:
-			select {
-			case gm.inbox <- gmMsg{memberID: id, gen: gen, env: env}:
-			case <-gm.stop:
-				return
-			}
-		}
-	}
-}
+// addr returns the group's worker listen address.
+func (gm *groupMaster) addr() string { return gm.eng.Addr() }
 
 // waitForWorkers blocks until the group's planned worker count has joined.
 func (gm *groupMaster) waitForWorkers(timeout time.Duration) error {
 	want := len(gm.root.plan.Groups[gm.g].Workers)
-	deadline := time.After(timeout)
-	for {
-		gm.mu.Lock()
-		n := len(gm.ctrl.AliveMembers())
-		gm.mu.Unlock()
-		if n >= want {
-			return nil
-		}
-		select {
-		case <-gm.joined:
-		case <-deadline:
-			return fmt.Errorf("%w: group %d has %d of %d workers", ErrGroupFailed, gm.g, n, want)
-		}
+	if err := gm.eng.WaitForMembers(want, timeout); err != nil {
+		return fmt.Errorf("%w: group %d: %v", ErrGroupFailed, gm.g, err)
 	}
-}
-
-// sendTo writes one envelope under a write deadline.
-func (gm *groupMaster) sendTo(conn *transport.Conn, env *transport.Envelope) error {
-	_ = conn.SetWriteDeadline(time.Now().Add(gm.root.cfg.IterTimeout))
-	err := conn.Send(env)
-	_ = conn.SetWriteDeadline(time.Time{})
-	return err
-}
-
-// noteDeath marks a member dead if the report is from its live generation.
-func (gm *groupMaster) noteDeath(id, gen int) {
-	gm.mu.Lock()
-	defer gm.mu.Unlock()
-	if m, ok := gm.members[id]; ok && m.alive && m.gen == gen {
-		m.alive = false
-		gm.ctrl.RemoveMember(id)
-	}
+	return nil
 }
 
 // migrate builds the group's next epoch and delivers (epoch, assignment) to
-// every member of it. Partition indices in assignments are global (the
-// worker fetches data by global partition ID); coefficients come from the
-// group strategy's local rows.
+// every member of it via the roster engine.
 func (gm *groupMaster) migrate(iter int, reason string) (*elastic.Plan, error) {
-	grp := gm.root.plan.Groups[gm.g]
-	for attempt := 0; ; attempt++ {
-		gm.mu.Lock()
-		total := len(gm.members)
-		var plan *elastic.Plan
-		var err error
-		if attempt <= total+1 {
-			plan, err = gm.ctrl.Replan(iter, reason)
-		}
-		gm.mu.Unlock()
-		if attempt > total+1 {
-			return nil, fmt.Errorf("%w: group %d: no stable membership after %d attempts", ErrGroupFailed, gm.g, attempt)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("%w: group %d: %v", ErrGroupFailed, gm.g, err)
-		}
-		alloc := plan.Strategy.Allocation()
-		failed := false
-		for slot, id := range plan.Members {
-			gm.mu.Lock()
-			member := gm.members[id]
-			conn, gen := member.conn, member.gen
-			gm.mu.Unlock()
-			row := plan.Strategy.Row(slot)
-			localParts := alloc.Parts[slot]
-			parts := make([]int, len(localParts))
-			coeffs := make([]float64, len(localParts))
-			for i, p := range localParts {
-				parts[i] = grp.Parts[p] // local → global partition ID
-				coeffs[i] = row[p]
-			}
-			env := &transport.Envelope{
-				Type:  transport.MsgReassign,
-				Epoch: plan.Epoch,
-				Assign: &transport.Assignment{
-					WorkerID:   slot,
-					Partitions: parts,
-					RowCoeffs:  coeffs,
-					K:          gm.root.cfg.K, // global K: partition IDs are global
-					S:          gm.root.cfg.S,
-				},
-			}
-			if err := gm.sendTo(conn, env); err != nil {
-				gm.noteDeath(id, gen)
-				failed = true
-			}
-		}
-		if !failed {
-			return plan, nil
-		}
-		reason = "churn"
+	plan, err := gm.eng.Migrate(iter, reason)
+	if err != nil {
+		return nil, fmt.Errorf("%w: group %d: %v", ErrGroupFailed, gm.g, err)
 	}
+	return plan, nil
 }
 
 // run is the group master's main loop: it serves root broadcasts until
@@ -350,10 +163,7 @@ func (gm *groupMaster) run() {
 func (gm *groupMaster) iteration(iter int, params []float64, planRef **elastic.Plan) (grad.Gradient, int, error) {
 	cfg := &gm.root.cfg
 	dim := len(params)
-	gm.mu.Lock()
-	replan, reason := gm.ctrl.ShouldReplan(iter)
-	gm.mu.Unlock()
-	if replan {
+	if replan, reason := gm.eng.ShouldReplan(iter); replan {
 		p, err := gm.migrate(iter, reason)
 		if err != nil {
 			return nil, 0, err
@@ -363,83 +173,9 @@ func (gm *groupMaster) iteration(iter int, params []float64, planRef **elastic.P
 	retries := 0
 	for {
 		plan := *planRef
-		m := plan.Strategy.M()
-		for _, id := range plan.Members {
-			gm.mu.Lock()
-			member := gm.members[id]
-			conn, live, gen := member.conn, member.alive, member.gen
-			gm.mu.Unlock()
-			if !live {
-				continue
-			}
-			env := &transport.Envelope{Type: transport.MsgParams, Iter: iter, Epoch: plan.Epoch, Vector: params}
-			if err := gm.sendTo(conn, env); err != nil {
-				gm.noteDeath(id, gen)
-			}
-		}
-		coded := make([]grad.Gradient, m)
-		alive := make([]bool, m)
-		var coeffs []float64
-		viable := gm.epochViable(plan, alive)
-		if viable {
-			deadline := time.NewTimer(cfg.IterTimeout)
-		collect:
-			for coeffs == nil {
-				select {
-				case msg := <-gm.inbox:
-					if msg.malformed {
-						gm.malformedSkipped++
-						continue
-					}
-					if msg.err != nil {
-						gm.noteDeath(msg.memberID, msg.gen)
-						if !gm.epochViable(plan, alive) {
-							break collect
-						}
-						continue
-					}
-					env := msg.env
-					switch env.Type {
-					case transport.MsgTelemetry:
-						if env.Telemetry != nil && env.Telemetry.Partitions > 0 && env.Telemetry.ComputeSeconds > 0 {
-							gm.mu.Lock()
-							err := gm.ctrl.Observe(msg.memberID, env.Telemetry.Partitions, env.Telemetry.ComputeSeconds)
-							gm.mu.Unlock()
-							if err == nil {
-								gm.telemetrySamples++
-							}
-						}
-					case transport.MsgGradient:
-						if env.Epoch != plan.Epoch {
-							gm.staleEpochRejected++
-							continue
-						}
-						if env.Iter != iter {
-							gm.stragglersSkipped++
-							continue
-						}
-						slot := plan.SlotOf(msg.memberID)
-						if slot < 0 {
-							gm.stragglersSkipped++
-							continue
-						}
-						if len(env.Vector) != dim || grad.InfOrNaN(env.Vector) {
-							gm.malformedSkipped++
-							continue
-						}
-						coded[slot] = env.Vector
-						alive[slot] = true
-						if cs, err := plan.Strategy.Decode(alive); err == nil {
-							coeffs = cs
-						}
-					}
-				case <-deadline.C:
-					break collect
-				}
-			}
-			deadline.Stop()
-		}
-		if coeffs != nil {
+		gm.eng.BroadcastParams(plan, iter, params)
+		coeffs, coded, ok := gm.eng.Collect(plan, iter, dim, cfg.IterTimeout, &gm.runStats)
+		if ok {
 			sum := grad.GetBuffer(dim)
 			if err := grad.CombineInto(sum, coeffs, coded); err != nil {
 				grad.PutBuffer(sum)
@@ -460,19 +196,6 @@ func (gm *groupMaster) iteration(iter int, params []float64, planRef **elastic.P
 	}
 }
 
-// epochViable reports whether the plan can still decode if every live plan
-// member eventually uploads.
-func (gm *groupMaster) epochViable(plan *elastic.Plan, arrived []bool) bool {
-	mask := make([]bool, len(plan.Members))
-	gm.mu.Lock()
-	for slot, id := range plan.Members {
-		m, ok := gm.members[id]
-		mask[slot] = arrived[slot] || (ok && m.alive)
-	}
-	gm.mu.Unlock()
-	return plan.Strategy.CanDecode(mask)
-}
-
 // fatal reports the error to the root and tears the group down (closing the
 // uplink so the root's reader notices). It runs on the run-loop goroutine,
 // so the graceful shutdown frames cannot race the loop's own sends.
@@ -489,42 +212,8 @@ func (gm *groupMaster) fatal(err error) {
 // that, because it is the connections' single writer; Root.Close runs
 // concurrently with the loop and must close the connections cold instead.
 func (gm *groupMaster) shutdown(graceful bool) {
-	gm.closeOnce.Do(func() {
-		gm.mu.Lock()
-		if graceful {
-			for _, m := range gm.members {
-				if m.alive {
-					_ = m.conn.SetWriteDeadline(time.Now().Add(time.Second))
-					_ = m.conn.Send(&transport.Envelope{Type: transport.MsgShutdown})
-				}
-			}
-		}
-		for _, m := range gm.members {
-			_ = m.conn.Close()
-		}
-		gm.mu.Unlock()
-		_ = gm.lis.Close()
-		gm.accept.Wait()
-		gm.mu.Lock()
-		for _, m := range gm.members {
-			_ = m.conn.Close()
-		}
-		gm.mu.Unlock()
-		close(gm.stop)
-		done := make(chan struct{})
-		go func() {
-			gm.readers.Wait()
-			close(done)
-		}()
-		for {
-			select {
-			case <-gm.inbox:
-			case <-done:
-				_ = gm.up.Close()
-				return
-			}
-		}
-	})
+	gm.eng.Shutdown(graceful)
+	_ = gm.up.Close()
 }
 
 // close tears the group down from outside the run loop (Root.Close): no
@@ -539,16 +228,17 @@ func (gm *groupMaster) waitDone() { <-gm.done }
 
 // stats snapshots the group's counters after the run completed.
 func (gm *groupMaster) stats() GroupStats {
-	gm.mu.Lock()
-	defer gm.mu.Unlock()
 	return GroupStats{
 		Group:              gm.g,
 		Workers:            len(gm.root.plan.Groups[gm.g].Workers),
 		Epochs:             append([]int(nil), gm.epochs...),
-		Replans:            gm.ctrl.Events(),
-		StaleEpochRejected: gm.staleEpochRejected,
-		StragglersSkipped:  gm.stragglersSkipped,
-		MalformedSkipped:   gm.malformedSkipped,
-		TelemetrySamples:   gm.telemetrySamples,
+		Replans:            gm.eng.Events(),
+		StaleEpochRejected: gm.runStats.StaleEpochRejected,
+		StaleConnRejected:  gm.runStats.StaleConnRejected,
+		StragglersSkipped:  gm.runStats.StragglersSkipped,
+		MalformedSkipped:   gm.runStats.MalformedSkipped,
+		TelemetrySamples:   gm.runStats.TelemetrySamples,
+		Joins:              gm.eng.Joins(),
+		Deaths:             gm.eng.Deaths(),
 	}
 }

@@ -112,10 +112,13 @@ type GroupStats struct {
 	Epochs []int
 	// Replans is the group's migration history (initial plan included).
 	Replans []elastic.ReplanEvent
-	// StaleEpochRejected, StragglersSkipped and MalformedSkipped mirror the
-	// elastic master's fencing counters; TelemetrySamples counts control-
-	// plane observations.
-	StaleEpochRejected, StragglersSkipped, MalformedSkipped, TelemetrySamples int
+	// StaleEpochRejected, StaleConnRejected, StragglersSkipped and
+	// MalformedSkipped mirror the elastic master's fencing counters;
+	// TelemetrySamples counts control-plane observations.
+	StaleEpochRejected, StaleConnRejected, StragglersSkipped, MalformedSkipped, TelemetrySamples int
+	// Joins and Deaths count the group's membership events (rejoins count
+	// as joins), mirroring the flat runtime's bookkeeping.
+	Joins, Deaths int
 }
 
 // Result summarises a sharded training run.
@@ -225,7 +228,7 @@ func (r *Root) Addr() string { return r.lis.Addr() }
 func (r *Root) GroupAddrs() []string {
 	out := make([]string, len(r.groups))
 	for g, gm := range r.groups {
-		out[g] = gm.lis.Addr()
+		out[g] = gm.addr()
 	}
 	return out
 }

@@ -1,0 +1,174 @@
+package testkit
+
+import (
+	"sync"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/transport"
+)
+
+// Fault enumerates the transport faults the harness can inject.
+type Fault int
+
+// Fault kinds, applied per gradient upload.
+const (
+	// FaultNone passes the frame through untouched.
+	FaultNone Fault = iota
+	// FaultDrop silently discards the frame.
+	FaultDrop
+	// FaultDelay sends the frame after Rates.DelayFor.
+	FaultDelay
+	// FaultDup sends the frame twice.
+	FaultDup
+	// FaultTruncate sends the frame with the first half of its vector only
+	// — the receiver must reject the mis-sized upload before decode.
+	FaultTruncate
+	// FaultStaleEpoch replays the frame tagged with the previous plan epoch
+	// — the receiver's epoch fence must reject it before decode. A no-op
+	// while the sender is still on epoch 0.
+	FaultStaleEpoch
+)
+
+// String names the fault.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultDrop:
+		return "drop"
+	case FaultDelay:
+		return "delay"
+	case FaultDup:
+		return "dup"
+	case FaultTruncate:
+		return "truncate"
+	case FaultStaleEpoch:
+		return "stale-epoch"
+	default:
+		return "unknown"
+	}
+}
+
+// Rates are per-send fault probabilities (each in [0,1], summing to at most
+// 1; the remainder is the no-fault probability).
+type Rates struct {
+	Drop, Delay, Dup, Truncate, StaleEpoch float64
+	// DelayFor is the extra latency a FaultDelay injects (default 2ms).
+	DelayFor time.Duration
+}
+
+// Schedule draws one fault per send from a seeded generator: the same seed
+// and rates always produce the same fault sequence, so a failing run is
+// reproduced — not approximated — by its seed.
+type Schedule struct {
+	mu     sync.Mutex
+	rng    *lcg
+	rates  Rates
+	counts map[Fault]int
+}
+
+// lcg is the minimal deterministic generator the schedule needs — a
+// linear congruential step, deliberately dependency-free so the sequence is
+// stable across Go releases (math/rand's stream is not guaranteed).
+type lcg struct{ state uint64 }
+
+func (r *lcg) float64() float64 {
+	// 64-bit LCG (Knuth's MMIX constants), top 53 bits → [0,1).
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return float64(r.state>>11) / float64(1<<53)
+}
+
+// NewSchedule builds a seeded fault schedule.
+func NewSchedule(seed int64, rates Rates) *Schedule {
+	if rates.DelayFor <= 0 {
+		rates.DelayFor = 2 * time.Millisecond
+	}
+	return &Schedule{
+		rng:    &lcg{state: uint64(seed)*2654435761 + 1},
+		rates:  rates,
+		counts: make(map[Fault]int),
+	}
+}
+
+// Next draws the fault for the next send and records it.
+func (s *Schedule) Next() Fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u := s.rng.float64()
+	f := FaultNone
+	switch {
+	case u < s.rates.Drop:
+		f = FaultDrop
+	case u < s.rates.Drop+s.rates.Delay:
+		f = FaultDelay
+	case u < s.rates.Drop+s.rates.Delay+s.rates.Dup:
+		f = FaultDup
+	case u < s.rates.Drop+s.rates.Delay+s.rates.Dup+s.rates.Truncate:
+		f = FaultTruncate
+	case u < s.rates.Drop+s.rates.Delay+s.rates.Dup+s.rates.Truncate+s.rates.StaleEpoch:
+		f = FaultStaleEpoch
+	}
+	s.counts[f]++
+	return f
+}
+
+// Counts snapshots how many times each fault was injected.
+func (s *Schedule) Counts() map[Fault]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Fault]int, len(s.counts))
+	for f, n := range s.counts {
+		out[f] = n
+	}
+	return out
+}
+
+// DelayFor exposes the schedule's injected latency.
+func (s *Schedule) DelayFor() time.Duration { return s.rates.DelayFor }
+
+// FaultConn wraps a transport connection and injects the schedule's faults
+// into gradient uploads; every other frame type (hello, telemetry) passes
+// through untouched so the fault surface is exactly the data path the
+// receiving master must fence.
+type FaultConn struct {
+	*transport.Conn
+	sched *Schedule
+}
+
+// NewFaultConn wraps conn with a fault schedule (nil schedule = transparent).
+func NewFaultConn(conn *transport.Conn, sched *Schedule) *FaultConn {
+	return &FaultConn{Conn: conn, sched: sched}
+}
+
+// Send applies the scheduled fault to gradient frames and forwards
+// everything else unchanged.
+func (c *FaultConn) Send(env *transport.Envelope) error {
+	if c.sched == nil || env.Type != transport.MsgGradient {
+		return c.Conn.Send(env)
+	}
+	switch c.sched.Next() {
+	case FaultDrop:
+		return nil
+	case FaultDelay:
+		time.Sleep(c.sched.DelayFor())
+		return c.Conn.Send(env)
+	case FaultDup:
+		if err := c.Conn.Send(env); err != nil {
+			return err
+		}
+		return c.Conn.Send(env)
+	case FaultTruncate:
+		cp := *env
+		cp.Vector = env.Vector[:len(env.Vector)/2]
+		return c.Conn.Send(&cp)
+	case FaultStaleEpoch:
+		if env.Epoch == 0 {
+			return c.Conn.Send(env)
+		}
+		cp := *env
+		cp.Epoch = env.Epoch - 1
+		return c.Conn.Send(&cp)
+	default:
+		return c.Conn.Send(env)
+	}
+}

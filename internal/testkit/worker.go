@@ -1,0 +1,236 @@
+package testkit
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/grad"
+	"github.com/hetgc/hetgc/internal/transport"
+)
+
+// Behavior scripts one worker's conduct through a scenario. The zero value
+// is an honest, fast worker.
+type Behavior struct {
+	// PerPart is the artificial per-partition compute delay emulating
+	// machine speed (default 2ms).
+	PerPart time.Duration
+	// SlowAtIter, when > 0, switches the worker to SlowPerPart per
+	// partition from that iteration on — the drift scenario's knob.
+	SlowAtIter  int
+	SlowPerPart time.Duration
+	// KillAtIter, when > 0, closes the connection upon receiving that
+	// iteration's parameter broadcast, before uploading — a mid-iteration
+	// death the master must fence or retry around.
+	KillAtIter int
+	// RejoinAtIter, when > 0 (with KillAtIter), redials with the old member
+	// ID once the surviving cluster reaches that iteration — the
+	// rejoin-with-stale-connection path.
+	RejoinAtIter int
+	// PoisonAfterMigration makes the worker tag every upload with epoch 0
+	// and a poisoned payload (1e12 per coordinate) once its assignment
+	// epoch advances past 0 — the payload must never reach combine.
+	PoisonAfterMigration bool
+	// Faults, when non-nil, routes gradient uploads through a seeded
+	// fault-injecting FaultConn.
+	Faults *Rates
+}
+
+// WorkerRecord is what a scripted worker observed, for scenario assertions.
+type WorkerRecord struct {
+	// ID is the member ID assigned at the first join; RejoinID the ID
+	// assigned when the worker rejoined (0 if it never did). Identity
+	// resumption holds when they are equal.
+	ID, RejoinID int
+	// Iters counts parameter broadcasts processed across all connections.
+	Iters int
+	// Schedule is the worker's fault schedule (nil without Faults).
+	Schedule *Schedule
+}
+
+// DriveWorkers spawns one scripted worker per address slot (addrs[i] is the
+// dial address for slot i; grouped runtimes pass each group's address once
+// per planned group member, consecutively). Behaviors missing from the
+// scenario default to honest fast workers. progress tracks the highest
+// iteration any worker has seen — the clock rejoin scripts wait on.
+func DriveWorkers(sc *Scenario, addrs []string, fx *Fixture, wg *sync.WaitGroup, progress *atomic.Int64) []*WorkerRecord {
+	recs := make([]*WorkerRecord, len(addrs))
+	for i, addr := range addrs {
+		rec := &WorkerRecord{}
+		recs[i] = rec
+		b := sc.Behaviors[i]
+		if b.Faults != nil {
+			rec.Schedule = NewSchedule(sc.Seed+int64(i), *b.Faults)
+		}
+		wg.Add(1)
+		go func(addr string, b Behavior, rec *WorkerRecord) {
+			defer wg.Done()
+			runScripted(addr, b, fx, progress, rec)
+		}(addr, b, rec)
+	}
+	return recs
+}
+
+// bumpProgress advances the shared iteration clock monotonically.
+func bumpProgress(progress *atomic.Int64, iter int) {
+	v := int64(iter)
+	for {
+		cur := progress.Load()
+		if v <= cur || progress.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// waitProgress polls the shared clock until it reaches iter or the timeout
+// expires; reports whether it got there (a dead master stalls the clock, so
+// rejoin scripts must not wait forever).
+func waitProgress(progress *atomic.Int64, iter int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if progress.Load() >= int64(iter) {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return progress.Load() >= int64(iter)
+}
+
+// runScripted speaks the raw elastic worker protocol under the behavior
+// script, across an initial session and (optionally) one rejoin session.
+func runScripted(addr string, b Behavior, fx *Fixture, progress *atomic.Int64, rec *WorkerRecord) {
+	killed := false
+	resumeID := 0
+	for {
+		rejoin := scriptedSession(addr, b, fx, progress, rec, &killed, &resumeID)
+		if !rejoin {
+			return
+		}
+		if !waitProgress(progress, b.RejoinAtIter, 15*time.Second) {
+			return // the cluster died before the rejoin point
+		}
+	}
+}
+
+// scriptedSession runs one connection's lifetime; it returns true when the
+// script wants to rejoin (resumeID carries the identity to resume).
+func scriptedSession(addr string, b Behavior, fx *Fixture, progress *atomic.Int64, rec *WorkerRecord, killed *bool, resumeID *int) bool {
+	conn, err := transport.Dial(addr, 5*time.Second)
+	if err != nil {
+		return false
+	}
+	defer conn.Close()
+	helloID := transport.HelloNewWorker
+	if *resumeID > 0 {
+		helloID = *resumeID
+	}
+	if err := conn.Send(&transport.Envelope{Type: transport.MsgHello, WorkerID: helloID}); err != nil {
+		return false
+	}
+	ack, err := conn.Recv()
+	if err != nil || ack.Type != transport.MsgHello || ack.WorkerID <= 0 {
+		return false
+	}
+	if rec.ID == 0 {
+		rec.ID = ack.WorkerID
+	} else {
+		rec.RejoinID = ack.WorkerID
+	}
+	send := conn.Send
+	if rec.Schedule != nil {
+		send = NewFaultConn(conn, rec.Schedule).Send
+	}
+
+	var assign *transport.Assignment
+	epoch := -1
+	for {
+		env, err := conn.Recv()
+		if err != nil || env.Type == transport.MsgShutdown {
+			return false
+		}
+		switch env.Type {
+		case transport.MsgReassign:
+			assign, epoch = env.Assign, env.Epoch
+		case transport.MsgParams:
+			bumpProgress(progress, env.Iter)
+			rec.Iters++
+			if !*killed && b.KillAtIter > 0 && env.Iter >= b.KillAtIter {
+				// Mid-iteration death: vanish between the broadcast and the
+				// upload.
+				*killed = true
+				*resumeID = ack.WorkerID
+				_ = conn.Close()
+				return b.RejoinAtIter > 0
+			}
+			if assign == nil || env.Epoch != epoch {
+				continue // raced migration; the master fences by epoch anyway
+			}
+			if err := scriptedIterate(send, conn, b, fx, assign, epoch, env, ack.WorkerID); err != nil {
+				return false
+			}
+		}
+	}
+}
+
+// scriptedIterate computes, encodes and uploads one iteration's coded
+// gradient (honest or poisoned, through the fault schedule when one is
+// configured) and its honest telemetry.
+func scriptedIterate(send func(*transport.Envelope) error, conn *transport.Conn, b Behavior, fx *Fixture, assign *transport.Assignment, epoch int, env *transport.Envelope, id int) error {
+	start := time.Now()
+	partials := make([]grad.Gradient, len(assign.Partitions))
+	for i, p := range assign.Partitions {
+		g, err := fx.Model.Gradient(env.Vector, fx.Parts[p])
+		if err != nil {
+			return err
+		}
+		partials[i] = g
+	}
+	coded := make([]float64, len(env.Vector))
+	if len(partials) > 0 {
+		if err := grad.EncodeInto(coded, assign.RowCoeffs, partials); err != nil {
+			return err
+		}
+	}
+	perPart := b.PerPart
+	if perPart <= 0 {
+		perPart = 2 * time.Millisecond
+	}
+	if b.SlowAtIter > 0 && env.Iter >= b.SlowAtIter {
+		perPart = b.SlowPerPart
+	}
+	if extra := time.Duration(len(assign.Partitions)) * perPart; extra > 0 {
+		time.Sleep(extra)
+	}
+	compute := time.Since(start).Seconds()
+
+	out := &transport.Envelope{
+		Type:     transport.MsgGradient,
+		Iter:     env.Iter,
+		Epoch:    epoch,
+		WorkerID: id,
+		Vector:   coded,
+	}
+	if b.PoisonAfterMigration && epoch > 0 {
+		// Stale epoch + poison: 1e12 in every coordinate would blow up the
+		// parameters if it ever reached combine.
+		poison := make([]float64, len(env.Vector))
+		for i := range poison {
+			poison[i] = 1e12
+		}
+		out.Epoch = 0 // deliberately stale
+		out.Vector = poison
+	}
+	if err := send(out); err != nil {
+		return err
+	}
+	return conn.Send(&transport.Envelope{
+		Type:     transport.MsgTelemetry,
+		Iter:     env.Iter,
+		Epoch:    epoch,
+		WorkerID: id,
+		Telemetry: &transport.Telemetry{
+			ComputeSeconds: compute,
+			Partitions:     len(assign.Partitions),
+		},
+	})
+}
