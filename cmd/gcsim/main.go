@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 
 	"github.com/hetgc/hetgc"
 )
@@ -76,7 +77,12 @@ func run(args []string) error {
 		}
 	}
 	if !matched {
-		return fmt.Errorf("unknown experiment %q", *exp)
+		names := make([]string, 0, len(entries)+1)
+		for _, e := range entries {
+			names = append(names, e.name)
+		}
+		names = append(names, "all")
+		return fmt.Errorf("unknown experiment %q (valid: %s)", *exp, strings.Join(names, ", "))
 	}
 	return nil
 }

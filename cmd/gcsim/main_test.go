@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestRunSingleExperiments(t *testing.T) {
 	// Keep iteration counts tiny: this validates wiring, not statistics.
@@ -33,8 +36,15 @@ func TestRunFig4Small(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-exp", "nope"}); err == nil {
+	err := run([]string{"-exp", "nope"})
+	if err == nil {
 		t.Fatal("expected error for unknown experiment")
+	}
+	// The error must teach the valid vocabulary, not just reject.
+	for _, name := range []string{"table2", "fig4", "churn", "sharded", "all"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list experiment %q", err, name)
+		}
 	}
 }
 

@@ -5,9 +5,18 @@
 // simulation on a real wire protocol.
 //
 //	gctrain -scheme heter -iters 30 -straggler-ms 200
+//
+// With -checkpoint-dir the job runs on the elastic runtime with durable
+// state: a write-ahead journal plus periodic model snapshots. Kill the
+// process mid-run, rerun with -resume, and training continues from the last
+// snapshot with every pre-crash upload fenced:
+//
+//	gctrain -checkpoint-dir /tmp/ckpt -iters 50
+//	gctrain -checkpoint-dir /tmp/ckpt -iters 50 -resume
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -32,9 +41,18 @@ func run(args []string) error {
 		s           = fs.Int("s", 1, "straggler budget")
 		stragglerMs = fs.Int("straggler-ms", 200, "artificial delay of worker 0 per iteration (ms)")
 		seed        = fs.Int64("seed", 1, "random seed")
+		ckptDir     = fs.String("checkpoint-dir", "", "durable-state directory (journal + snapshots); enables the elastic runtime")
+		snapEvery   = fs.Int("snapshot-every", 5, "snapshot cadence in iterations (with -checkpoint-dir)")
+		resume      = fs.Bool("resume", false, "resume from the state in -checkpoint-dir instead of starting fresh")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *ckptDir == "" {
+		return errors.New("-resume requires -checkpoint-dir (the directory holding the journal and snapshots of the run to continue)")
+	}
+	if *ckptDir != "" {
+		return runDurable(*scheme, *iters, *s, *stragglerMs, *seed, *ckptDir, *snapEvery, *resume)
 	}
 
 	// A small heterogeneous fleet (relative speeds 1..4, as in Example 1).
@@ -131,4 +149,120 @@ func run(args []string) error {
 		fmt.Printf("  %8.3f  %.4f\n", p.X, p.Y)
 	}
 	return nil
+}
+
+// runDurable trains on the elastic runtime with a checkpoint directory:
+// journaled iterations, periodic snapshots, and — with resume — exact
+// continuation from the last snapshot.
+func runDurable(scheme string, iters, s, stragglerMs int, seed int64, dir string, snapEvery int, resume bool) error {
+	var kind hetgc.Kind
+	switch scheme {
+	case "heter":
+		kind = hetgc.HeterAware
+	case "group":
+		kind = hetgc.GroupBased
+	default:
+		return fmt.Errorf("the durable elastic runtime plans heter or group schemes, not %q", scheme)
+	}
+
+	// The workload is derived from the seed, so a resumed process rebuilds
+	// the identical dataset and partitioning.
+	throughputs := []float64{1, 2, 3, 4, 4}
+	m := len(throughputs)
+	k := 7
+	rng := hetgc.NewRand(seed)
+	data, err := hetgc.GaussianMixture(k*30, 8, 3, 3, rng)
+	if err != nil {
+		return err
+	}
+	parts, err := data.Split(k)
+	if err != nil {
+		return err
+	}
+	model := &hetgc.Softmax{InputDim: 8, NumClasses: 3}
+
+	master, err := hetgc.NewElasticMaster(hetgc.ElasticConfig{
+		K: k, S: s, Scheme: kind,
+		Model:         model,
+		Optimizer:     &hetgc.SGD{LR: 0.5, Momentum: 0.5},
+		InitialParams: model.InitParams(nil),
+		Iterations:    iters,
+		SampleCount:   data.N(),
+		IterTimeout:   10 * time.Second,
+		MinWorkers:    m,
+		LossEvery:     5,
+		LossFn: func(p []float64) (float64, error) {
+			return hetgc.MeanLoss(model, p, data)
+		},
+		Seed:          seed,
+		CheckpointDir: dir,
+		SnapshotEvery: snapEvery,
+		Resume:        resume,
+	}, "127.0.0.1:0")
+	if err != nil {
+		return remediate(err, dir)
+	}
+	if resume {
+		fmt.Printf("resumed from checkpoint %s at iteration %d\n", dir, master.StartIter())
+	}
+	fmt.Printf("elastic master on %s; scheme=%s k=%d s=%d checkpoint-dir=%s snapshot-every=%d\n",
+		master.Addr(), scheme, k, s, dir, snapEvery)
+
+	var wg sync.WaitGroup
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wcfg := hetgc.ElasticWorkerConfig{
+				Model:         model,
+				PartitionData: func(p int) (*hetgc.Dataset, error) { return parts[p], nil },
+			}
+			if i == 0 && stragglerMs > 0 {
+				wcfg.Delay = func(int) time.Duration {
+					return time.Duration(stragglerMs) * time.Millisecond
+				}
+			}
+			w, err := hetgc.DialElasticWorker(master.Addr(), wcfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "worker %d: %v\n", i, err)
+				return
+			}
+			_ = w.Run()
+		}(i)
+	}
+	if err := master.WaitForWorkers(10 * time.Second); err != nil {
+		master.Close()
+		return err
+	}
+	res, err := master.Run()
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+	if len(res.Epochs) == 0 {
+		fmt.Printf("\nnothing to do: the checkpoint already covers all %d iterations (raise -iters to continue training)\n", iters)
+		return nil
+	}
+	fmt.Printf("\niterations %d..%d done  mean %.1fms  final epoch %d  stale-epoch fenced: %d\n",
+		res.StartIter, iters, res.Summary.Mean*1e3, res.Epochs[len(res.Epochs)-1], res.StaleEpochRejected)
+	fmt.Println("loss curve (time s, mean loss):")
+	for _, p := range res.Curve.Points {
+		fmt.Printf("  %8.3f  %.4f\n", p.X, p.Y)
+	}
+	fmt.Printf("rerun with -resume to continue from the last snapshot in %s\n", dir)
+	return nil
+}
+
+// remediate attaches an actionable hint to the typed checkpoint failures.
+func remediate(err error, dir string) error {
+	switch {
+	case errors.Is(err, hetgc.ErrNoCheckpoint):
+		return fmt.Errorf("%w\n  hint: %s holds no checkpoint state — drop -resume to start a fresh run there", err, dir)
+	case errors.Is(err, hetgc.ErrCheckpointCorrupt):
+		return fmt.Errorf("%w\n  hint: every snapshot in %s failed its integrity check — restore the directory from a backup, or start fresh in an empty -checkpoint-dir", err, dir)
+	case errors.Is(err, hetgc.ErrCheckpointExists):
+		return fmt.Errorf("%w\n  hint: %s already holds a run's durable state — pass -resume to continue it, or point -checkpoint-dir at an empty directory", err, dir)
+	default:
+		return err
+	}
 }

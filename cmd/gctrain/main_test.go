@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/hetgc/hetgc"
+)
 
 func TestRunSmallTraining(t *testing.T) {
 	if err := run([]string{"-scheme", "heter", "-iters", "5", "-straggler-ms", "0", "-seed", "4"}); err != nil {
@@ -23,5 +31,100 @@ func TestRunUnknownScheme(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-wat"}); err == nil {
 		t.Fatal("expected flag error")
+	}
+}
+
+func TestResumeWithoutCheckpointDir(t *testing.T) {
+	err := run([]string{"-resume"})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "-checkpoint-dir") {
+		t.Fatalf("error %q does not name the missing flag", err)
+	}
+}
+
+func TestResumeMissingCheckpoint(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "never-created")
+	err := run([]string{"-checkpoint-dir", dir, "-resume"})
+	if !errors.Is(err, hetgc.ErrNoCheckpoint) {
+		t.Fatalf("resume from missing dir: %v, want ErrNoCheckpoint", err)
+	}
+	if !strings.Contains(err.Error(), "hint:") {
+		t.Fatalf("error %q carries no remediation hint", err)
+	}
+}
+
+func TestDurableFreshRefusesExistingState(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	if err := run([]string{"-checkpoint-dir", dir, "-iters", "4", "-snapshot-every", "2", "-seed", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-checkpoint-dir", dir, "-iters", "4", "-seed", "4"})
+	if !errors.Is(err, hetgc.ErrCheckpointExists) {
+		t.Fatalf("fresh run over existing state: %v, want ErrCheckpointExists", err)
+	}
+	if !strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("error %q does not suggest -resume", err)
+	}
+}
+
+func TestResumeCorruptSnapshot(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	if err := run([]string{"-checkpoint-dir", dir, "-iters", "4", "-snapshot-every", "2", "-seed", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.ckpt"))
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no snapshots written (%v)", err)
+	}
+	for _, p := range snaps {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			data[i] ^= 0x5a
+		}
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = run([]string{"-checkpoint-dir", dir, "-iters", "8", "-resume", "-seed", "4"})
+	if !errors.Is(err, hetgc.ErrCheckpointCorrupt) {
+		t.Fatalf("resume over corrupt snapshots: %v, want ErrCheckpointCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "hint:") {
+		t.Fatalf("error %q carries no remediation hint", err)
+	}
+}
+
+func TestResumeHappyPath(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	if err := run([]string{"-checkpoint-dir", dir, "-iters", "6", "-snapshot-every", "2", "-seed", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	// Continue the same run for more iterations from its final snapshot.
+	if err := run([]string{"-checkpoint-dir", dir, "-iters", "10", "-snapshot-every", "2", "-resume", "-seed", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := hetgc.RecoverCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LastIter != 9 {
+		t.Fatalf("checkpoint records last iteration %d, want 9", st.LastIter)
+	}
+}
+
+func TestResumeAlreadyComplete(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	if err := run([]string{"-checkpoint-dir", dir, "-iters", "4", "-snapshot-every", "2", "-seed", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	// Resuming with the same -iters has nothing left to run: must report
+	// that cleanly, not panic or error.
+	if err := run([]string{"-checkpoint-dir", dir, "-iters", "4", "-resume", "-seed", "4"}); err != nil {
+		t.Fatal(err)
 	}
 }

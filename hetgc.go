@@ -25,6 +25,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/hetgc/hetgc/internal/checkpoint"
 	"github.com/hetgc/hetgc/internal/cluster"
 	"github.com/hetgc/hetgc/internal/core"
 	"github.com/hetgc/hetgc/internal/elastic"
@@ -264,6 +265,34 @@ func NewMaster(cfg MasterConfig, addr string) (*Master, error) {
 func DialWorker(addr string, cfg WorkerConfig) (*RuntimeWorker, error) {
 	return runtime.DialWorker(addr, cfg)
 }
+
+// Durable training state: the checkpoint + journal subsystem behind
+// ElasticConfig.CheckpointDir / ShardedConfig.CheckpointDir. A master with a
+// checkpoint directory journals every migration, iteration and membership
+// event and snapshots the model atomically; Resume reconstructs it after a
+// crash with pre-crash uploads fenced by epoch.
+type (
+	// CheckpointState is the recovered view of a checkpoint directory.
+	CheckpointState = checkpoint.State
+	// CheckpointSnapshot is one durable model snapshot.
+	CheckpointSnapshot = checkpoint.Snapshot
+)
+
+// Checkpoint recovery errors.
+var (
+	// ErrNoCheckpoint is returned when a directory holds no checkpoint state.
+	ErrNoCheckpoint = checkpoint.ErrNoCheckpoint
+	// ErrCheckpointCorrupt is returned when no snapshot in the directory
+	// passes its integrity checks.
+	ErrCheckpointCorrupt = checkpoint.ErrCorrupt
+	// ErrCheckpointExists is returned when a fresh (non-resume) run names a
+	// directory that already holds checkpoint state.
+	ErrCheckpointExists = checkpoint.ErrExists
+)
+
+// RecoverCheckpoint reads a checkpoint directory without opening it for
+// writing — inspection and tooling.
+func RecoverCheckpoint(dir string) (*CheckpointState, error) { return checkpoint.Recover(dir) }
 
 // Elastic control plane: live telemetry, online re-planning and
 // epoch-versioned mid-training strategy migration.

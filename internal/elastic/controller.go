@@ -148,6 +148,14 @@ type Controller struct {
 	// lastReplan is the iteration of the most recent replan, -1 before any.
 	lastReplan int
 	events     []ReplanEvent
+	// epochBase floors the next plan's epoch (SetEpochBase): a resumed
+	// master fences every pre-crash epoch by starting above them.
+	epochBase int
+	// draws reads the RNG source's draw counter when set (SetDrawCounter);
+	// planState then records each plan's construction provenance for
+	// bit-identical restore.
+	draws     func() uint64
+	planState *PlanState
 }
 
 // NewController validates the config and builds an empty controller; add
@@ -389,12 +397,16 @@ func (ct *Controller) Replan(iter int, reason string) (*Plan, error) {
 	if ct.plan != nil {
 		imbalance = ct.Imbalance()
 	}
+	var drawsBefore uint64
+	if ct.draws != nil {
+		drawsBefore = ct.draws()
+	}
 	st, err := planner.BuildStrategy(ct.cfg.Scheme, est, ct.cfg.K, ct.cfg.S, ct.rng)
 	if err != nil {
 		return nil, fmt.Errorf("elastic replan at iter %d: %w", iter, err)
 	}
-	epoch := 0
-	if ct.plan != nil {
+	epoch := ct.epochBase
+	if ct.plan != nil && ct.plan.Epoch+1 > epoch {
 		epoch = ct.plan.Epoch + 1
 	}
 	plan := &Plan{
@@ -407,6 +419,12 @@ func (ct *Controller) Replan(iter int, reason string) (*Plan, error) {
 		plan.slotOf[id] = slot
 	}
 	ct.plan = plan
+	ct.planState = &PlanState{
+		Iter: iter, Epoch: epoch,
+		Members:     append([]int(nil), alive...),
+		Est:         append([]float64(nil), est...),
+		DrawsBefore: drawsBefore,
+	}
 	ct.churned = false
 	ct.lastReplan = iter
 	ct.events = append(ct.events, ReplanEvent{

@@ -122,6 +122,39 @@ func (m *Meter) Rate(min int) float64 {
 	return m.prior
 }
 
+// MeterState is the serialisable snapshot of a Meter, captured by State and
+// revived by NewMeterFromState — the piece of control-plane state a
+// checkpoint must carry so a resumed master plans from the estimates it had
+// at the snapshot, not from cold priors.
+type MeterState struct {
+	// Prior is the rate guess used until the meter warms up.
+	Prior float64
+	// Value is the EWMA value; meaningful only when Init is set.
+	Value float64
+	// Init reports whether the EWMA has absorbed at least one observation.
+	Init bool
+	// Count is the number of observations recorded.
+	Count int
+}
+
+// State snapshots the meter for checkpointing.
+func (m *Meter) State() MeterState {
+	return MeterState{Prior: m.prior, Value: m.ewma.value, Init: m.ewma.init, Count: m.count}
+}
+
+// NewMeterFromState revives a meter from a checkpointed snapshot with the
+// given smoothing factor. A state with a non-positive count is normalised to
+// a cold meter (prior only).
+func NewMeterFromState(alpha float64, st MeterState) *Meter {
+	m := NewMeter(alpha, st.Prior)
+	if st.Count > 0 {
+		m.count = st.Count
+		m.ewma.value = st.Value
+		m.ewma.init = st.Init
+	}
+	return m
+}
+
 // Reset clears the observation history but keeps the prior — for callers
 // that know a machine's speed changed discontinuously (e.g. it moved to new
 // hardware) and want the EWMA to restart rather than converge from stale

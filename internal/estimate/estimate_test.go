@@ -164,3 +164,41 @@ func TestMeterRejectsBadObservation(t *testing.T) {
 		t.Fatalf("rejected observations must not count, got %d", m.Count())
 	}
 }
+
+func TestMeterStateRoundTrip(t *testing.T) {
+	m := NewMeter(0.5, 100)
+	for i := 0; i < 5; i++ {
+		if err := m.Observe(4, 0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.State()
+	revived := NewMeterFromState(0.5, st)
+	if got, want := revived.Rate(3), m.Rate(3); got != want {
+		t.Fatalf("revived rate %v, want %v", got, want)
+	}
+	if revived.Count() != m.Count() {
+		t.Fatalf("revived count %d, want %d", revived.Count(), m.Count())
+	}
+	// The revived meter keeps smoothing from where the original stood.
+	if err := m.Observe(4, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	if err := revived.Observe(4, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	if m.Rate(3) != revived.Rate(3) {
+		t.Fatalf("post-restore smoothing diverged: %v vs %v", revived.Rate(3), m.Rate(3))
+	}
+}
+
+func TestMeterStateColdNormalisation(t *testing.T) {
+	// A state with a non-positive count revives cold: prior only.
+	revived := NewMeterFromState(0.5, MeterState{Prior: 250, Value: 999, Init: true, Count: 0})
+	if got := revived.Rate(1); got != 250 {
+		t.Fatalf("cold revived rate %v, want the prior 250", got)
+	}
+	if revived.Ready(1) {
+		t.Fatal("cold revived meter reports ready")
+	}
+}

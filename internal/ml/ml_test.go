@@ -406,3 +406,80 @@ func TestAdditivityProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSGDStateRoundTrip(t *testing.T) {
+	params := []float64{1, 2, 3}
+	twin := append([]float64(nil), params...)
+	g := grad.Gradient{0.5, -0.5, 1}
+
+	o := &SGD{LR: 0.1, Momentum: 0.9}
+	for i := 0; i < 3; i++ {
+		if err := o.Step(params, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vecs, step := o.OptimizerState()
+	o2 := &SGD{LR: 0.1, Momentum: 0.9}
+	if err := o2.RestoreOptimizerState(vecs, step); err != nil {
+		t.Fatal(err)
+	}
+	// The restored optimizer must continue the exact trajectory.
+	copy(twin, params)
+	if err := o.Step(params, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := o2.Step(twin, g); err != nil {
+		t.Fatal(err)
+	}
+	for i := range params {
+		if params[i] != twin[i] {
+			t.Fatalf("restored SGD diverged at %d: %v vs %v", i, twin[i], params[i])
+		}
+	}
+	if err := o2.RestoreOptimizerState([][]float64{{1}, {2}, {3}}, 0); err == nil {
+		t.Fatal("SGD restore accepted 3 state vectors")
+	}
+	cold := &SGD{LR: 0.1}
+	if vecs, _ := cold.OptimizerState(); vecs != nil {
+		t.Fatalf("cold SGD state %v, want nil", vecs)
+	}
+}
+
+func TestAdamStateRoundTrip(t *testing.T) {
+	params := []float64{1, 2, 3}
+	twin := append([]float64(nil), params...)
+	g := grad.Gradient{0.5, -0.5, 1}
+
+	o := &Adam{LR: 0.05}
+	for i := 0; i < 4; i++ {
+		if err := o.Step(params, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vecs, step := o.OptimizerState()
+	if step != 4 || len(vecs) != 2 {
+		t.Fatalf("Adam state %d vecs step %d, want 2 vecs step 4", len(vecs), step)
+	}
+	o2 := &Adam{LR: 0.05}
+	if err := o2.RestoreOptimizerState(vecs, step); err != nil {
+		t.Fatal(err)
+	}
+	copy(twin, params)
+	if err := o.Step(params, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := o2.Step(twin, g); err != nil {
+		t.Fatal(err)
+	}
+	for i := range params {
+		if params[i] != twin[i] {
+			t.Fatalf("restored Adam diverged at %d: %v vs %v (bias correction lost?)", i, twin[i], params[i])
+		}
+	}
+	if err := o2.RestoreOptimizerState([][]float64{{1}, {2, 3}}, 1); err == nil {
+		t.Fatal("Adam restore accepted mismatched moment lengths")
+	}
+	if err := o2.RestoreOptimizerState(nil, -1); err == nil {
+		t.Fatal("Adam restore accepted negative step")
+	}
+}

@@ -13,6 +13,22 @@ type Optimizer interface {
 	Step(params []float64, g grad.Gradient) error
 }
 
+// StatefulOptimizer is implemented by optimizers whose update rule carries
+// state across steps (momentum velocity, Adam moments). Checkpointing
+// masters capture the state into snapshots and restore it on resume, so a
+// recovered run continues the exact same trajectory instead of restarting
+// the state cold.
+type StatefulOptimizer interface {
+	Optimizer
+	// OptimizerState returns copies of the state vectors and the internal
+	// step counter. A cold optimizer returns (nil, 0).
+	OptimizerState() (vecs [][]float64, step int)
+	// RestoreOptimizerState installs previously captured state. The vector
+	// count and lengths must match what OptimizerState produced for this
+	// optimizer type (nil/empty restores the cold state).
+	RestoreOptimizerState(vecs [][]float64, step int) error
+}
+
 // SGD is stochastic gradient descent with optional momentum.
 type SGD struct {
 	// LR is the learning rate (> 0).
@@ -23,7 +39,30 @@ type SGD struct {
 	velocity []float64
 }
 
-var _ Optimizer = (*SGD)(nil)
+var _ StatefulOptimizer = (*SGD)(nil)
+
+// OptimizerState implements StatefulOptimizer: the momentum velocity (one
+// vector, absent while cold or without momentum).
+func (o *SGD) OptimizerState() ([][]float64, int) {
+	if o.velocity == nil {
+		return nil, 0
+	}
+	return [][]float64{append([]float64(nil), o.velocity...)}, 0
+}
+
+// RestoreOptimizerState implements StatefulOptimizer.
+func (o *SGD) RestoreOptimizerState(vecs [][]float64, step int) error {
+	switch len(vecs) {
+	case 0:
+		o.velocity = nil
+		return nil
+	case 1:
+		o.velocity = append([]float64(nil), vecs[0]...)
+		return nil
+	default:
+		return fmt.Errorf("%w: SGD restore got %d state vectors, want at most 1", ErrBadData, len(vecs))
+	}
+}
 
 // Step implements Optimizer.
 func (o *SGD) Step(params []float64, g grad.Gradient) error {
@@ -74,7 +113,42 @@ type Adam struct {
 	t    int
 }
 
-var _ Optimizer = (*Adam)(nil)
+var _ StatefulOptimizer = (*Adam)(nil)
+
+// OptimizerState implements StatefulOptimizer: the first/second moment
+// vectors and the step counter t (bias correction depends on it, so a
+// resume without it would re-warm the learning rate).
+func (o *Adam) OptimizerState() ([][]float64, int) {
+	if o.m == nil {
+		return nil, o.t
+	}
+	return [][]float64{
+		append([]float64(nil), o.m...),
+		append([]float64(nil), o.v...),
+	}, o.t
+}
+
+// RestoreOptimizerState implements StatefulOptimizer.
+func (o *Adam) RestoreOptimizerState(vecs [][]float64, step int) error {
+	if step < 0 {
+		return fmt.Errorf("%w: Adam restore with step %d", ErrBadData, step)
+	}
+	switch len(vecs) {
+	case 0:
+		o.m, o.v, o.t = nil, nil, step
+		return nil
+	case 2:
+		if len(vecs[0]) != len(vecs[1]) {
+			return fmt.Errorf("%w: Adam restore with mismatched moments (%d vs %d)", ErrBadData, len(vecs[0]), len(vecs[1]))
+		}
+		o.m = append([]float64(nil), vecs[0]...)
+		o.v = append([]float64(nil), vecs[1]...)
+		o.t = step
+		return nil
+	default:
+		return fmt.Errorf("%w: Adam restore got %d state vectors, want 0 or 2", ErrBadData, len(vecs))
+	}
+}
 
 // Step implements Optimizer.
 func (o *Adam) Step(params []float64, g grad.Gradient) error {

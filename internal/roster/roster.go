@@ -81,6 +81,26 @@ type Config struct {
 	// the global partition IDs carried in assignments; nil means the engine
 	// manages the whole key space (identity mapping).
 	PartitionMap []int
+	// Recovered pre-registers member IDs restored from a checkpoint. They
+	// start dead with no connection; a worker that dials in with one of
+	// these IDs as its ResumeID resumes that identity through the ordinary
+	// rejoin handshake. Fresh joins are numbered above every recovered ID.
+	Recovered []int
+	// Recorder, when non-nil, is notified after every durable membership
+	// and plan event: a successful join (ack delivered), a death, a fully
+	// delivered migration. It is invoked outside the engine lock and must
+	// be safe for concurrent use (the checkpoint store's GroupRecorder is).
+	Recorder Recorder
+}
+
+// Recorder receives the engine's durable events for write-ahead journaling.
+type Recorder interface {
+	// RecordJoin reports a successful join; rejoin marks a resumed identity.
+	RecordJoin(id int, rejoin bool)
+	// RecordDeath reports a member death.
+	RecordDeath(id int)
+	// RecordPlan reports a fully delivered migration.
+	RecordPlan(iter, epoch int, members []int)
 }
 
 // member is one stable identity in the roster.
@@ -176,6 +196,17 @@ func New(cfg Config, lis *transport.Listener) (*Engine, error) {
 		joined:  make(chan struct{}, 1),
 		stop:    make(chan struct{}),
 	}
+	for _, id := range cfg.Recovered {
+		if id <= 0 {
+			return nil, fmt.Errorf("%w: recovered member id %d", ErrBadConfig, id)
+		}
+		// Reserved, dead, connection-less: a ResumeID hello revives it; a
+		// fresh join can never collide with it.
+		e.members[id] = &member{id: id}
+		if id >= e.nextID {
+			e.nextID = id + 1
+		}
+	}
 	e.accept.Add(1)
 	go e.acceptLoop()
 	return e, nil
@@ -253,13 +284,19 @@ func (e *Engine) handshake(conn *transport.Conn) {
 	}
 	e.mu.Lock()
 	id, gen := 0, 0
+	rejoin := false
 	if prev, ok := e.members[hello.WorkerID]; ok && !prev.alive {
 		// Rejoin: resume the dead member's identity (and its warm throughput
 		// estimate in the controller) on a new connection generation. Close
 		// the superseded connection so its readLoop unblocks (its death
-		// report is fenced by the old gen) and the fd is not leaked.
+		// report is fenced by the old gen) and the fd is not leaked. A
+		// checkpoint-recovered member has no superseded connection: the old
+		// one died with the crashed master.
 		id = hello.WorkerID
-		_ = prev.conn.Close()
+		rejoin = true
+		if prev.conn != nil {
+			_ = prev.conn.Close()
+		}
 		prev.conn = conn
 		prev.alive = true
 		prev.gen++
@@ -290,6 +327,9 @@ func (e *Engine) handshake(conn *transport.Conn) {
 	e.cfg.Controller.AddMember(id, prior)
 	e.joins++
 	e.mu.Unlock()
+	if e.cfg.Recorder != nil {
+		e.cfg.Recorder.RecordJoin(id, rejoin)
+	}
 	_ = conn.SetDeadline(time.Time{})
 
 	select {
@@ -354,11 +394,16 @@ func (e *Engine) staleGen(id, gen int) bool {
 // errors from a superseded connection are ignored (the member rejoined).
 func (e *Engine) noteDeath(id, gen int) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	died := false
 	if m, ok := e.members[id]; ok && m.alive && m.gen == gen {
 		m.alive = false
 		e.deaths++
 		e.cfg.Controller.RemoveMember(id)
+		died = true
+	}
+	e.mu.Unlock()
+	if died && e.cfg.Recorder != nil {
+		e.cfg.Recorder.RecordDeath(id)
 	}
 }
 
@@ -389,6 +434,24 @@ func (e *Engine) Events() []elastic.ReplanEvent {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.cfg.Controller.Events()
+}
+
+// Epoch returns the controller's current plan epoch (-1 before any plan).
+// Epochs are monotonic, so this is also the highest epoch the engine ever
+// created — the fencing base a checkpoint must carry.
+func (e *Engine) Epoch() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cfg.Controller.Epoch()
+}
+
+// ControllerState captures the control plane for a checkpoint snapshot,
+// serialised against the engine's own controller access (handshakes and
+// collects mutate the controller under the same lock).
+func (e *Engine) ControllerState() *elastic.ControllerState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cfg.Controller.State()
 }
 
 // WaitForMembers blocks until min members are alive or the timeout expires.
@@ -470,6 +533,12 @@ func (e *Engine) Migrate(iter int, reason string) (*elastic.Plan, error) {
 			}
 		}
 		if !failed {
+			// Journal the migration only after full delivery: an undelivered
+			// plan is retried under a fresh epoch and must not become the
+			// recovered fencing base.
+			if e.cfg.Recorder != nil {
+				e.cfg.Recorder.RecordPlan(iter, plan.Epoch, plan.Members)
+			}
 			return plan, nil
 		}
 		reason = "churn"
@@ -607,7 +676,7 @@ func (e *Engine) Shutdown(graceful bool) {
 		e.mu.Lock()
 		if graceful {
 			for _, m := range e.members {
-				if m.alive {
+				if m.alive && m.conn != nil {
 					// Best-effort shutdown with a short write deadline: a
 					// stalled worker must not hang Shutdown.
 					_ = m.conn.SetWriteDeadline(time.Now().Add(time.Second))
@@ -616,16 +685,21 @@ func (e *Engine) Shutdown(graceful bool) {
 			}
 		}
 		for _, m := range e.members {
-			_ = m.conn.Close()
+			if m.conn != nil {
+				_ = m.conn.Close()
+			}
 		}
 		e.mu.Unlock()
 		_ = e.lis.Close()
 		e.accept.Wait()
 		// Close conns registered by handshakes that raced the sweep above,
-		// so every reader goroutine unblocks.
+		// so every reader goroutine unblocks. (Checkpoint-recovered members
+		// that never rejoined have no connection at all.)
 		e.mu.Lock()
 		for _, m := range e.members {
-			_ = m.conn.Close()
+			if m.conn != nil {
+				_ = m.conn.Close()
+			}
 		}
 		e.mu.Unlock()
 		close(e.stop)

@@ -1,0 +1,201 @@
+package runtime
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/checkpoint"
+	"github.com/hetgc/hetgc/internal/ml"
+)
+
+// TestElasticCheckpointResume runs a checkpointed training to completion,
+// then constructs a second master from the directory and continues for more
+// iterations — the in-package exercise of the durable-state wiring
+// (the adversarial master-kill variants live in the cross-runtime
+// conformance suite, internal/testkit).
+func TestElasticCheckpointResume(t *testing.T) {
+	fx := newElasticFixture(t, 8)
+	dir := filepath.Join(t.TempDir(), "ckpt")
+
+	cfg := fx.masterConfig(8, 1, 6)
+	cfg.Optimizer = &ml.SGD{LR: 0.5, Momentum: 0.5}
+	cfg.MinWorkers = 3
+	cfg.CheckpointDir = dir
+	cfg.SnapshotEvery = 2
+	ma, err := NewElasticMaster(cfg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		fx.spawnElasticWorker(t, ma.Addr(), &wg, nil)
+	}
+	if err := ma.WaitForWorkers(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ma.Run()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StartIter != 0 || len(res.IterTimes) != 6 {
+		t.Fatalf("fresh run: start %d with %d iterations", res.StartIter, len(res.IterTimes))
+	}
+
+	// The directory now holds the finished run's state; continuing it for
+	// more iterations must pick up at iteration 6 with the journal's epochs
+	// fenced below the new plans.
+	state, err := checkpoint.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.Snap == nil || state.Snap.Iter != 6 || state.LastIter != 5 {
+		t.Fatalf("recovered state %+v, want snapshot at iter 6 / last iter 5", state)
+	}
+	preMax := state.MaxEpoch()
+
+	cfg2 := fx.masterConfig(8, 1, 10)
+	cfg2.Optimizer = &ml.SGD{LR: 0.5, Momentum: 0.5}
+	cfg2.MinWorkers = 3
+	cfg2.CheckpointDir = dir
+	cfg2.SnapshotEvery = 2
+	cfg2.Resume = true
+	ma2, err := NewElasticMaster(cfg2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma2.StartIter() != 6 {
+		t.Fatalf("resumed StartIter = %d, want 6", ma2.StartIter())
+	}
+	var wg2 sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		fx.spawnElasticWorker(t, ma2.Addr(), &wg2, nil)
+	}
+	if err := ma2.WaitForWorkers(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := ma2.Run()
+	wg2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.StartIter != 6 || len(res2.IterTimes) != 4 {
+		t.Fatalf("resumed run: start %d with %d iterations, want 6 with 4", res2.StartIter, len(res2.IterTimes))
+	}
+	if res2.Epochs[0] <= preMax {
+		t.Fatalf("resumed epoch %d not above pre-resume max %d", res2.Epochs[0], preMax)
+	}
+	final, err := checkpoint.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.LastIter != 9 {
+		t.Fatalf("final journal records last iter %d, want 9", final.LastIter)
+	}
+}
+
+// TestElasticCheckpointConfigErrors pins the typed construction failures.
+func TestElasticCheckpointConfigErrors(t *testing.T) {
+	fx := newElasticFixture(t, 8)
+
+	cfg := fx.masterConfig(8, 1, 4)
+	cfg.Resume = true // no CheckpointDir
+	if _, err := NewElasticMaster(cfg, "127.0.0.1:0"); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("resume without dir: %v, want ErrBadConfig", err)
+	}
+
+	cfg = fx.masterConfig(8, 1, 4)
+	cfg.CheckpointDir = filepath.Join(t.TempDir(), "missing")
+	cfg.Resume = true
+	if _, err := NewElasticMaster(cfg, "127.0.0.1:0"); !errors.Is(err, checkpoint.ErrNoCheckpoint) {
+		t.Fatalf("resume from missing dir: %v, want ErrNoCheckpoint", err)
+	}
+
+	// A fresh run must refuse a directory already holding state.
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	st, err := checkpoint.Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendIter(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cfg = fx.masterConfig(8, 1, 4)
+	cfg.CheckpointDir = dir
+	if _, err := NewElasticMaster(cfg, "127.0.0.1:0"); !errors.Is(err, checkpoint.ErrExists) {
+		t.Fatalf("fresh run over existing state: %v, want ErrExists", err)
+	}
+}
+
+// TestResumeAnchorPreservesEpochFence pins the double-crash case: a master
+// that resumes and crashes again BEFORE creating any new plan must leave a
+// checkpoint whose epoch fence still covers the first incarnation's epochs
+// (the resume anchor snapshot is the only durable state in between).
+func TestResumeAnchorPreservesEpochFence(t *testing.T) {
+	fx := newElasticFixture(t, 8)
+	dir := filepath.Join(t.TempDir(), "ckpt")
+
+	cfg := fx.masterConfig(8, 1, 4)
+	cfg.MinWorkers = 3
+	cfg.CheckpointDir = dir
+	cfg.SnapshotEvery = 2
+	ma, err := NewElasticMaster(cfg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		fx.spawnElasticWorker(t, ma.Addr(), &wg, nil)
+	}
+	if err := ma.WaitForWorkers(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ma.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	preMax := recoverMaxEpoch(t, dir)
+	if preMax < 0 {
+		t.Fatalf("first run recorded max epoch %d", preMax)
+	}
+
+	// Second incarnation: constructed from the checkpoint, then killed
+	// before any training (its only durable write is the anchor snapshot).
+	cfg2 := cfg
+	cfg2.Resume = true
+	ma2, err := NewElasticMaster(cfg2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma2.Close()
+
+	if got := recoverMaxEpoch(t, dir); got != preMax {
+		t.Fatalf("after anchor-only crash the fence is %d, want %d — a third incarnation would reuse live epochs", got, preMax)
+	}
+	// And a third incarnation still fences above it.
+	cfg3 := cfg
+	cfg3.Resume = true
+	ma3, err := NewElasticMaster(cfg3, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ma3.Close()
+	if ma3.fence != preMax {
+		t.Fatalf("third incarnation recovered fence %d, want %d", ma3.fence, preMax)
+	}
+}
+
+func recoverMaxEpoch(t *testing.T, dir string) int {
+	t.Helper()
+	st, err := checkpoint.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.MaxEpoch()
+}

@@ -18,8 +18,10 @@ package runtime
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
+	"github.com/hetgc/hetgc/internal/checkpoint"
 	"github.com/hetgc/hetgc/internal/core"
 	"github.com/hetgc/hetgc/internal/elastic"
 	"github.com/hetgc/hetgc/internal/grad"
@@ -67,6 +69,21 @@ type ElasticConfig struct {
 	MaxRetries int
 	// Seed drives strategy construction — fixed seed, reproducible plans.
 	Seed int64
+	// CheckpointDir, when non-empty, makes training state durable: every
+	// migration, iteration and membership event is journaled there and the
+	// model is snapshotted every SnapshotEvery iterations. A fresh run
+	// refuses a directory that already holds checkpoint state
+	// (checkpoint.ErrExists) — resuming it must be explicit.
+	CheckpointDir string
+	// SnapshotEvery is the snapshot cadence in iterations (default 10).
+	SnapshotEvery int
+	// Resume constructs the master from the state recovered out of
+	// CheckpointDir: parameters, optimizer state and iteration counter from
+	// the newest decodable snapshot; member IDs reserved so workers rejoin
+	// their old identities via ResumeID; and the plan epoch base raised
+	// above every epoch the journal ever recorded, so gradient uploads
+	// encoded before the crash are fenced before decode.
+	Resume bool
 }
 
 func (c *ElasticConfig) validate() error {
@@ -88,6 +105,9 @@ func (c *ElasticConfig) validate() error {
 	if c.MinWorkers < 0 || (c.MinWorkers > 0 && c.MinWorkers < c.S+1) {
 		return fmt.Errorf("%w: min workers %d below planning quorum s+1=%d", ErrBadConfig, c.MinWorkers, c.S+1)
 	}
+	if c.Resume && c.CheckpointDir == "" {
+		return fmt.Errorf("%w: resume requires a checkpoint directory", ErrBadConfig)
+	}
 	return nil
 }
 
@@ -95,6 +115,10 @@ func (c *ElasticConfig) validate() error {
 type ElasticResult struct {
 	// Params are the final parameters.
 	Params []float64
+	// StartIter is the first iteration this run executed (non-zero when the
+	// master was resumed from a checkpoint; IterTimes and Epochs cover
+	// iterations StartIter..).
+	StartIter int
 	// IterTimes are per-iteration wall times in seconds.
 	IterTimes []float64
 	// Epochs records the plan epoch each iteration was decoded under.
@@ -130,14 +154,35 @@ type ElasticResult struct {
 type ElasticMaster struct {
 	cfg ElasticConfig
 	eng *roster.Engine
+
+	// Durable-state wiring (nil/zero without CheckpointDir).
+	store     *checkpoint.Store
+	params    []float64 // starting parameters (recovered on resume)
+	startIter int
+	step      int
+	clock     float64
+	// fence is the highest plan epoch the recovered journal had seen (-1 on
+	// a fresh run). Snapshots must never record a group epoch below it: the
+	// resume anchor is written before any new plan exists, and losing the
+	// fence there would let a second crash resume with colliding epochs.
+	fence int
 }
 
 // NewElasticMaster validates the config, prepares the control plane and
 // starts accepting workers on addr (use "127.0.0.1:0" for tests). Workers
 // may connect at any time between NewElasticMaster and the end of Run.
+//
+// With CheckpointDir set, the master writes through a checkpoint.Store;
+// with Resume additionally set, it is constructed from the recovered state
+// instead of the configured initial state (see ElasticConfig.Resume).
+// Recovery failures are typed: checkpoint.ErrNoCheckpoint when the
+// directory holds no state, checkpoint.ErrCorrupt when no snapshot decodes.
 func NewElasticMaster(cfg ElasticConfig, addr string) (*ElasticMaster, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.CheckpointDir != "" && cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 10
 	}
 	ctrl, err := elastic.NewController(elastic.Config{
 		K: cfg.K, S: cfg.S, Scheme: cfg.Scheme,
@@ -148,21 +193,138 @@ func NewElasticMaster(cfg ElasticConfig, addr string) (*ElasticMaster, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
+	ma := &ElasticMaster{cfg: cfg, params: append([]float64(nil), cfg.InitialParams...), fence: -1}
+	var recovered []int
+	if cfg.CheckpointDir != "" && cfg.Resume {
+		state, err := checkpoint.Recover(cfg.CheckpointDir)
+		if err != nil {
+			return nil, err
+		}
+		if recovered, err = ma.restoreFrom(state, ctrl); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.CheckpointDir != "" {
+		if cfg.Resume {
+			ma.store, err = checkpoint.Reopen(cfg.CheckpointDir)
+		} else {
+			ma.store, err = checkpoint.Create(cfg.CheckpointDir)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Resume {
+			// Anchor a fresh generation with the resumed state before any
+			// journal append: crash-during-resume re-recovers this exact
+			// state, and the old (possibly torn) journal is never extended.
+			if err := ma.store.WriteSnapshot(ma.snapshot(ctrl.State(), ma.startIter, -1, ma.clock, ma.params)); err != nil {
+				_ = ma.store.Close()
+				return nil, err
+			}
+		}
+	}
 	l, err := transport.Listen(addr)
 	if err != nil {
+		ma.closeStore()
 		return nil, err
+	}
+	var rec roster.Recorder
+	if ma.store != nil {
+		rec = ma.store.GroupRecorder(0)
 	}
 	eng, err := roster.New(roster.Config{
 		Controller:   ctrl,
 		WriteTimeout: cfg.IterTimeout,
 		K:            cfg.K,
 		S:            cfg.S,
+		Recovered:    recovered,
+		Recorder:     rec,
 	}, l)
 	if err != nil {
 		_ = l.Close()
+		ma.closeStore()
 		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
-	return &ElasticMaster{cfg: cfg, eng: eng}, nil
+	ma.eng = eng
+	return ma, nil
+}
+
+// restoreFrom rebuilds the master's starting state from a recovered
+// checkpoint: parameters, optimizer state, iteration counter, the reserved
+// member IDs, and the epoch fence.
+func (ma *ElasticMaster) restoreFrom(state *checkpoint.State, ctrl *elastic.Controller) ([]int, error) {
+	recovered := append([]int(nil), state.GroupMembers[0]...)
+	// Membership restores in snapshot order (join order) with warm meters;
+	// journal-only joiners follow with cold priors. Everyone starts dead:
+	// their connections died with the crashed master, and rejoining via
+	// ResumeID revives them.
+	var ctrlState elastic.ControllerState
+	seen := make(map[int]bool)
+	if state.Snap != nil && state.Snap.Ctrl != nil {
+		for _, ms := range state.Snap.Ctrl.Members {
+			ms.Alive = false
+			ctrlState.Members = append(ctrlState.Members, ms)
+			seen[ms.ID] = true
+		}
+		ctrlState.Events = state.Snap.Ctrl.Events
+	}
+	for _, id := range recovered {
+		if !seen[id] {
+			ctrlState.Members = append(ctrlState.Members, elastic.MemberState{ID: id})
+		}
+	}
+	sort.Ints(recovered)
+	ctrlState.LastReplan = -1
+	if err := ctrl.Restore(&ctrlState); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	ma.fence = state.MaxEpoch()
+	ctrl.SetEpochBase(ma.fence + 1)
+	ts, err := state.RestoreTraining(ma.cfg.Model.Dim(), ma.cfg.Optimizer)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	if ts.Params != nil {
+		ma.params = ts.Params
+	}
+	ma.startIter, ma.step, ma.clock = ts.Iter, ts.Step, ts.Clock
+	return recovered, nil
+}
+
+// snapshot assembles the durable state at an iteration boundary: nextIter
+// is the first iteration NOT folded into params, epoch the current plan
+// epoch (-1 before any plan, e.g. the resume anchor).
+func (ma *ElasticMaster) snapshot(ctrlState *elastic.ControllerState, nextIter, epoch int, clock float64, params []float64) *checkpoint.Snapshot {
+	snap := &checkpoint.Snapshot{
+		Iter:   nextIter,
+		Epoch:  epoch,
+		Step:   ma.step,
+		Clock:  clock,
+		Params: append([]float64(nil), params...),
+		Ctrl:   ctrlState,
+	}
+	if so, ok := ma.cfg.Optimizer.(ml.StatefulOptimizer); ok {
+		snap.OptVecs, snap.OptStep = so.OptimizerState()
+	}
+	// The group epoch is the fencing base the NEXT recovery derives: it must
+	// never fall below what this master itself recovered, even before the
+	// resumed run's first plan exists (the anchor snapshot).
+	gs := checkpoint.GroupState{Group: 0, Epoch: epoch}
+	if ma.fence > gs.Epoch {
+		gs.Epoch = ma.fence
+	}
+	for _, ms := range ctrlState.Members {
+		gs.Members = append(gs.Members, ms.ID)
+	}
+	sort.Ints(gs.Members)
+	snap.Groups = []checkpoint.GroupState{gs}
+	return snap
+}
+
+func (ma *ElasticMaster) closeStore() {
+	if ma.store != nil {
+		_ = ma.store.Close()
+	}
 }
 
 // Addr returns the address workers should dial.
@@ -189,14 +351,15 @@ func (ma *ElasticMaster) Run() (*ElasticResult, error) {
 	// Graceful shutdown from the run goroutine itself: Run is the member
 	// connections' only writer, so only it may send the shutdown frames.
 	// (External Close calls race Run's sends and must close cold instead.)
+	defer ma.closeStore()
 	defer ma.eng.Shutdown(true)
 	dim := ma.cfg.Model.Dim()
-	params := append([]float64(nil), ma.cfg.InitialParams...)
-	res := &ElasticResult{Curve: metrics.Series{Name: "elastic"}}
-	clock := 0.0
+	params := append([]float64(nil), ma.params...)
+	res := &ElasticResult{Curve: metrics.Series{Name: "elastic"}, StartIter: ma.startIter}
+	clock := ma.clock
 	if ma.cfg.LossFn != nil {
 		if l, err := ma.cfg.LossFn(params); err == nil {
-			res.Curve.Append(0, l)
+			res.Curve.Append(clock, l)
 		}
 	}
 	maxRetries := ma.cfg.MaxRetries
@@ -206,7 +369,7 @@ func (ma *ElasticMaster) Run() (*ElasticResult, error) {
 
 	var stats roster.Stats
 	var plan *elastic.Plan
-	for iter := 0; iter < ma.cfg.Iterations; iter++ {
+	for iter := ma.startIter; iter < ma.cfg.Iterations; iter++ {
 		// Control decision at the iteration boundary.
 		if replan, reason := ma.eng.ShouldReplan(iter); replan {
 			p, err := ma.eng.Migrate(iter, reason)
@@ -247,6 +410,7 @@ func (ma *ElasticMaster) Run() (*ElasticResult, error) {
 			if err := ma.cfg.Optimizer.Step(params, g); err != nil {
 				return nil, fmt.Errorf("iteration %d step: %w", iter, err)
 			}
+			ma.step++
 			elapsed := time.Since(start).Seconds()
 			clock += elapsed
 			res.IterTimes = append(res.IterTimes, elapsed)
@@ -255,6 +419,9 @@ func (ma *ElasticMaster) Run() (*ElasticResult, error) {
 				if l, err := ma.cfg.LossFn(params); err == nil {
 					res.Curve.Append(clock, l)
 				}
+			}
+			if err := ma.persist(iter, plan.Epoch, clock, params); err != nil {
+				return nil, err
 			}
 			break
 		}
@@ -273,6 +440,29 @@ func (ma *ElasticMaster) Run() (*ElasticResult, error) {
 	return res, nil
 }
 
+// persist journals one completed iteration and snapshots the model on the
+// configured cadence. No-op without a checkpoint store. A write failure —
+// direct or swallowed earlier by the roster recorder — fails the run: a
+// training job that silently stopped being durable is worse than a dead one.
+func (ma *ElasticMaster) persist(iter, epoch int, clock float64, params []float64) error {
+	if ma.store == nil {
+		return nil
+	}
+	if err := ma.store.Err(); err != nil {
+		return fmt.Errorf("iteration %d: journal writes failing: %w", iter, err)
+	}
+	if err := ma.store.AppendIter(iter, epoch, ma.step); err != nil {
+		return fmt.Errorf("iteration %d: %w", iter, err)
+	}
+	if (iter+1)%ma.cfg.SnapshotEvery == 0 || iter+1 == ma.cfg.Iterations {
+		snap := ma.snapshot(ma.eng.ControllerState(), iter+1, epoch, clock, params)
+		if err := ma.store.WriteSnapshot(snap); err != nil {
+			return fmt.Errorf("iteration %d: %w", iter, err)
+		}
+	}
+	return nil
+}
+
 // RunElastic is the one-call entry point: it starts an elastic master on
 // addr, waits up to waitTimeout for the configured MinWorkers (default s+1)
 // to join, then trains to completion. Workers dial addr with
@@ -289,10 +479,15 @@ func RunElastic(cfg ElasticConfig, addr string, waitTimeout time.Duration) (*Ela
 	return ma.Run()
 }
 
+// StartIter returns the first iteration this master will run (non-zero
+// after a checkpoint resume).
+func (ma *ElasticMaster) StartIter() int { return ma.startIter }
+
 // Close shuts down workers, the listener and the reader goroutines. Safe to
 // call multiple times and from any goroutine: it closes connections cold,
 // because sending shutdown frames would race Run's own writes (Run performs
 // the graceful variant itself when it returns).
 func (ma *ElasticMaster) Close() {
 	ma.eng.Shutdown(false)
+	ma.closeStore()
 }

@@ -15,9 +15,12 @@ package shard
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
+	"github.com/hetgc/hetgc/internal/checkpoint"
 	"github.com/hetgc/hetgc/internal/elastic"
+	"github.com/hetgc/hetgc/internal/estimate"
 	"github.com/hetgc/hetgc/internal/grad"
 	"github.com/hetgc/hetgc/internal/roster"
 	"github.com/hetgc/hetgc/internal/transport"
@@ -55,6 +58,36 @@ func newGroupMaster(r *Root, g int) (*groupMaster, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: group %d: %v", ErrBadConfig, g, err)
 	}
+	// Checkpoint resume: reserve the group's pre-crash member IDs (workers
+	// rejoin them via ResumeID), restore them dead in the control plane with
+	// the planned throughputs as priors, and raise the epoch base above
+	// everything the journal recorded so stale pre-crash uploads are fenced.
+	var recovered []int
+	if st := r.resume; st != nil {
+		if ids := st.GroupMembers[g]; len(ids) > 0 {
+			cs := &elastic.ControllerState{LastReplan: -1}
+			for i, id := range ids {
+				prior := 0.0
+				if i < len(grp.Workers) {
+					prior = r.cfg.Throughputs[grp.Workers[i]]
+				}
+				cs.Members = append(cs.Members, elastic.MemberState{
+					ID: id, Meter: estimate.MeterState{Prior: prior},
+				})
+			}
+			if err := ctrl.Restore(cs); err != nil {
+				return nil, fmt.Errorf("%w: group %d: %v", ErrBadConfig, g, err)
+			}
+			recovered = ids
+		}
+		if e, ok := st.GroupEpochs[g]; ok {
+			ctrl.SetEpochBase(e + 1)
+		}
+	}
+	var rec roster.Recorder
+	if r.store != nil {
+		rec = r.store.GroupRecorder(g)
+	}
 	lis, err := transport.Listen("127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -66,6 +99,8 @@ func newGroupMaster(r *Root, g int) (*groupMaster, error) {
 		K:            r.cfg.K, // global K: partition IDs are global
 		S:            r.cfg.S,
 		PartitionMap: grp.Parts,
+		Recovered:    recovered,
+		Recorder:     rec,
 		Prior: func(joinSeq int) float64 {
 			if joinSeq < len(grp.Workers) {
 				return r.cfg.Throughputs[grp.Workers[joinSeq]]
@@ -225,6 +260,17 @@ func (gm *groupMaster) close() {
 
 // waitDone blocks until the run loop exited.
 func (gm *groupMaster) waitDone() { <-gm.done }
+
+// groupState summarises the group's durable state for a snapshot: its
+// highest plan epoch and every member ID it admitted.
+func (gm *groupMaster) groupState() checkpoint.GroupState {
+	gs := checkpoint.GroupState{Group: gm.g, Epoch: gm.eng.Epoch()}
+	for _, ms := range gm.eng.ControllerState().Members {
+		gs.Members = append(gs.Members, ms.ID)
+	}
+	sort.Ints(gs.Members)
+	return gs
+}
 
 // stats snapshots the group's counters after the run completed.
 func (gm *groupMaster) stats() GroupStats {

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/hetgc/hetgc/internal/checkpoint"
 	"github.com/hetgc/hetgc/internal/core"
 	"github.com/hetgc/hetgc/internal/elastic"
 	"github.com/hetgc/hetgc/internal/grad"
@@ -80,6 +81,20 @@ type Config struct {
 	// Seed drives plan and strategy construction (fixed seed, reproducible
 	// plans).
 	Seed int64
+	// CheckpointDir, when non-empty, makes training state durable: the root
+	// journals every iteration, each group master journals its membership
+	// and migrations, and the model is snapshotted every SnapshotEvery
+	// iterations. See runtime.ElasticConfig for the semantics; a fresh run
+	// refuses a directory already holding state (checkpoint.ErrExists).
+	CheckpointDir string
+	// SnapshotEvery is the snapshot cadence in iterations (default 10).
+	SnapshotEvery int
+	// Resume constructs the hierarchy from the recovered state: parameters,
+	// optimizer state and iteration counter from the newest snapshot; each
+	// group's member IDs reserved for ResumeID rejoins; each group's epoch
+	// base raised above everything its journal recorded, fencing pre-crash
+	// uploads.
+	Resume bool
 }
 
 func (c *Config) validate() error {
@@ -100,6 +115,9 @@ func (c *Config) validate() error {
 	}
 	if c.IterTimeout <= 0 {
 		return fmt.Errorf("%w: iteration timeout required", ErrBadConfig)
+	}
+	if c.Resume && c.CheckpointDir == "" {
+		return fmt.Errorf("%w: resume requires a checkpoint directory", ErrBadConfig)
 	}
 	return nil
 }
@@ -125,6 +143,9 @@ type GroupStats struct {
 type Result struct {
 	// Params are the final parameters.
 	Params []float64
+	// StartIter is the first iteration this run executed (non-zero when the
+	// root was resumed from a checkpoint).
+	StartIter int
 	// IterTimes are per-iteration wall times in seconds.
 	IterTimes []float64
 	// Summary summarises IterTimes.
@@ -152,6 +173,14 @@ type Root struct {
 	stopc  chan struct{}
 	closed sync.Once
 	err    chan error
+
+	// Durable-state wiring (nil/zero without CheckpointDir).
+	store     *checkpoint.Store
+	resume    *checkpoint.State
+	params    []float64
+	startIter int
+	step      int
+	clock     float64
 }
 
 // NewRoot validates the config, builds the shard plan, starts the root
@@ -170,24 +199,53 @@ func NewRoot(cfg Config, addr string) (*Root, error) {
 	}
 	// Layout only: every group's strategy is owned by its controller (the
 	// initial group-local replan builds it from the same estimates).
+	if cfg.CheckpointDir != "" && cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 10
+	}
 	plan, err := BuildPlanLayout(cfg.Throughputs, PlanConfig{
 		K: cfg.K, S: cfg.S, GroupSize: cfg.GroupSize, FanIn: cfg.FanIn, Scheme: cfg.Scheme,
 	})
 	if err != nil {
 		return nil, err
 	}
-	lis, err := transport.Listen(addr)
-	if err != nil {
-		return nil, err
-	}
 	r := &Root{
 		cfg:    cfg,
 		plan:   plan,
-		lis:    lis,
 		uplink: make([]*transport.Conn, plan.NumGroups()),
 		stopc:  make(chan struct{}),
 		err:    make(chan error, plan.NumGroups()+1),
+		params: append([]float64(nil), cfg.InitialParams...),
 	}
+	if cfg.CheckpointDir != "" {
+		if cfg.Resume {
+			state, err := checkpoint.Recover(cfg.CheckpointDir)
+			if err != nil {
+				return nil, err
+			}
+			if err := r.restoreFrom(state); err != nil {
+				return nil, err
+			}
+			if r.store, err = checkpoint.Reopen(cfg.CheckpointDir); err != nil {
+				return nil, err
+			}
+			// Anchor a fresh generation with the resumed state before any
+			// journal append (see runtime.NewElasticMaster).
+			if err := r.store.WriteSnapshot(r.snapshot(r.startIter)); err != nil {
+				_ = r.store.Close()
+				return nil, err
+			}
+		} else if r.store, err = checkpoint.Create(cfg.CheckpointDir); err != nil {
+			return nil, err
+		}
+	}
+	lis, err := transport.Listen(addr)
+	if err != nil {
+		if r.store != nil {
+			_ = r.store.Close()
+		}
+		return nil, err
+	}
+	r.lis = lis
 	for g := range plan.Groups {
 		gm, err := newGroupMaster(r, g)
 		if err != nil {
@@ -218,8 +276,79 @@ func NewRoot(cfg Config, addr string) (*Root, error) {
 	return r, nil
 }
 
+// restoreFrom rebuilds the root's durable starting state from a recovered
+// checkpoint: parameters, optimizer state and iteration counter. Per-group
+// state (epoch bases, reserved member IDs) is consumed by newGroupMaster.
+func (r *Root) restoreFrom(state *checkpoint.State) error {
+	r.resume = state
+	ts, err := state.RestoreTraining(r.cfg.Model.Dim(), r.cfg.Optimizer)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	if ts.Params != nil {
+		r.params = ts.Params
+	}
+	r.startIter, r.step, r.clock = ts.Iter, ts.Step, ts.Clock
+	return nil
+}
+
+// snapshot assembles the durable state at an iteration boundary. Group
+// summaries (max epoch, member IDs) come from the live group masters once
+// they exist; before that — the resume anchor — from the recovered state,
+// so the fencing base is never narrowed.
+func (r *Root) snapshot(nextIter int) *checkpoint.Snapshot {
+	snap := &checkpoint.Snapshot{
+		Iter: nextIter, Epoch: -1, Step: r.step, Clock: r.clock,
+		Params: append([]float64(nil), r.params...),
+	}
+	if so, ok := r.cfg.Optimizer.(ml.StatefulOptimizer); ok {
+		snap.OptVecs, snap.OptStep = so.OptimizerState()
+	}
+	if len(r.groups) > 0 {
+		for _, gm := range r.groups {
+			snap.Groups = append(snap.Groups, gm.groupState())
+		}
+		return snap
+	}
+	if r.resume != nil {
+		for g := 0; g < r.plan.NumGroups(); g++ {
+			gs := checkpoint.GroupState{Group: g, Epoch: -1}
+			if e, ok := r.resume.GroupEpochs[g]; ok {
+				gs.Epoch = e
+			}
+			gs.Members = append([]int(nil), r.resume.GroupMembers[g]...)
+			snap.Groups = append(snap.Groups, gs)
+		}
+	}
+	return snap
+}
+
+// persist journals one completed iteration and snapshots on the configured
+// cadence. No-op without a checkpoint store.
+func (r *Root) persist(iter int) error {
+	if r.store == nil {
+		return nil
+	}
+	if err := r.store.Err(); err != nil {
+		return fmt.Errorf("iteration %d: journal writes failing: %w", iter, err)
+	}
+	if err := r.store.AppendIter(iter, 0, r.step); err != nil {
+		return fmt.Errorf("iteration %d: %w", iter, err)
+	}
+	if (iter+1)%r.cfg.SnapshotEvery == 0 || iter+1 == r.cfg.Iterations {
+		if err := r.store.WriteSnapshot(r.snapshot(iter + 1)); err != nil {
+			return fmt.Errorf("iteration %d: %w", iter, err)
+		}
+	}
+	return nil
+}
+
 // Plan exposes the shard plan (groups, partition ownership, tree).
 func (r *Root) Plan() *Plan { return r.plan }
+
+// StartIter returns the first iteration this root will run (non-zero after
+// a checkpoint resume).
+func (r *Root) StartIter() int { return r.startIter }
 
 // Addr returns the root listener address.
 func (r *Root) Addr() string { return r.lis.Addr() }
@@ -249,12 +378,12 @@ func (r *Root) WaitForWorkers(timeout time.Duration) error {
 func (r *Root) Run() (*Result, error) {
 	defer r.Close()
 	dim := r.cfg.Model.Dim()
-	params := append([]float64(nil), r.cfg.InitialParams...)
-	res := &Result{Curve: metrics.Series{Name: "sharded"}}
-	clock := 0.0
+	params := append([]float64(nil), r.params...)
+	res := &Result{Curve: metrics.Series{Name: "sharded"}, StartIter: r.startIter}
+	clock := r.clock
 	if r.cfg.LossFn != nil {
 		if l, err := r.cfg.LossFn(params); err == nil {
-			res.Curve.Append(0, l)
+			res.Curve.Append(clock, l)
 		}
 	}
 
@@ -309,7 +438,7 @@ func (r *Root) Run() (*Result, error) {
 	}
 
 	sums := make([][]float64, len(r.groups))
-	for iter := 0; iter < r.cfg.Iterations; iter++ {
+	for iter := r.startIter; iter < r.cfg.Iterations; iter++ {
 		start := time.Now()
 		for g, conn := range r.uplink {
 			env := &transport.Envelope{Type: transport.MsgParams, Iter: iter, Vector: params}
@@ -378,6 +507,7 @@ func (r *Root) Run() (*Result, error) {
 		if err := r.cfg.Optimizer.Step(params, g); err != nil {
 			return nil, fmt.Errorf("iteration %d step: %w", iter, err)
 		}
+		r.step++
 		elapsed := time.Since(start).Seconds()
 		clock += elapsed
 		res.IterTimes = append(res.IterTimes, elapsed)
@@ -385,6 +515,10 @@ func (r *Root) Run() (*Result, error) {
 			if l, err := r.cfg.LossFn(params); err == nil {
 				res.Curve.Append(clock, l)
 			}
+		}
+		r.params, r.clock = params, clock
+		if err := r.persist(iter); err != nil {
+			return nil, err
 		}
 	}
 
@@ -421,6 +555,9 @@ func (r *Root) Close() {
 		}
 		_ = r.lis.Close()
 		r.wg.Wait()
+		if r.store != nil {
+			_ = r.store.Close()
+		}
 	})
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"github.com/hetgc/hetgc/internal/checkpoint"
 	"github.com/hetgc/hetgc/internal/core"
 	"github.com/hetgc/hetgc/internal/elastic"
 	"github.com/hetgc/hetgc/internal/metrics"
@@ -96,10 +97,32 @@ type ElasticSimConfig struct {
 	// Seed drives strategy construction; the simulation has no other
 	// randomness, so a fixed seed makes runs bit-identical.
 	Seed int64
+	// CheckpointDir, when non-empty, writes the simulation's control-plane
+	// state through a checkpoint.Store: a journal record per iteration and
+	// migration plus a snapshot every SnapshotEvery iterations carrying the
+	// full controller state and the RNG draw count — enough to resume
+	// bit-identically.
+	CheckpointDir string
+	// SnapshotEvery is the snapshot cadence in iterations (default 5).
+	SnapshotEvery int
+	// CrashAtIter, when > 0, is the crash injector: the run stops cold
+	// before that iteration (no final snapshot, exactly as a killed process
+	// would), returning the partial result with Crashed set.
+	CrashAtIter int
+	// Resume continues a crashed run from CheckpointDir: the controller,
+	// the current plan (rebuilt bit-for-bit by replaying the seeded RNG to
+	// its recorded draw position) and the iteration counter are restored
+	// from the newest snapshot, and the same config's schedule re-derives
+	// the true member speeds. The resumed segment is bit-identical to the
+	// same iterations of an uninterrupted run.
+	Resume bool
 }
 
 // ElasticSimResult aggregates an elastic simulation run.
 type ElasticSimResult struct {
+	// StartIter is the first simulated iteration (non-zero on a resumed
+	// run); Times, Epochs and MemberCounts cover StartIter onward.
+	StartIter int
 	// Times are per-iteration wall times in seconds.
 	Times []float64
 	// Epochs is the plan epoch each iteration ran under.
@@ -108,6 +131,9 @@ type ElasticSimResult struct {
 	MemberCounts []int
 	// Replans is the migration history.
 	Replans []elastic.ReplanEvent
+	// Crashed reports that the crash injector stopped the run at
+	// CrashAtIter.
+	Crashed bool
 	// Summary summarises Times.
 	Summary metrics.Summary
 }
@@ -125,17 +151,82 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 	if cfg.CommOverhead < 0 {
 		return nil, fmt.Errorf("%w: comm=%v", ErrBadChurn, cfg.CommOverhead)
 	}
+	if cfg.Resume && cfg.CheckpointDir == "" {
+		return nil, fmt.Errorf("%w: resume requires a checkpoint dir", ErrBadChurn)
+	}
+	if cfg.CheckpointDir != "" && cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 5
+	}
+	// With checkpointing, the strategy-construction RNG runs over a counting
+	// source so its position is serialisable. The wrapped source yields the
+	// identical draw sequence, so checkpointing never perturbs the run.
+	var src *checkpoint.CountingSource
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.CheckpointDir != "" {
+		src = checkpoint.NewCountingSource(cfg.Seed)
+		rng = rand.New(src)
+	}
 	ctrl, err := elastic.NewController(elastic.Config{
 		K: cfg.K, S: cfg.S, Scheme: cfg.Scheme,
 		Alpha: cfg.Alpha, DriftThreshold: cfg.DriftThreshold,
 		MinObservations: cfg.MinObservations, CooldownIters: cfg.CooldownIters,
 		InitialRate: cfg.InitialRate,
-	}, rand.New(rand.NewSource(cfg.Seed)))
+	}, rng)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadChurn, err)
 	}
+	if src != nil {
+		ctrl.SetDrawCounter(src.Draws)
+	}
 
-	// True member state, keyed by stable member ID.
+	startIter := 0
+	var store *checkpoint.Store
+	var resumedSnap *checkpoint.Snapshot
+	if cfg.Resume {
+		state, err := checkpoint.Recover(cfg.CheckpointDir)
+		if err != nil {
+			return nil, err
+		}
+		if snap := state.Snap; snap != nil {
+			if snap.Ctrl == nil {
+				return nil, fmt.Errorf("%w: snapshot at iter %d carries no controller state", checkpoint.ErrCorrupt, snap.Iter)
+			}
+			// Reposition the seeded source exactly where it stood before the
+			// current plan was built; Restore's strategy reconstruction then
+			// consumes the identical draws the original construction did.
+			if pl := snap.Ctrl.Plan; pl != nil {
+				if err := src.FastForward(pl.DrawsBefore); err != nil {
+					return nil, err
+				}
+			}
+			if err := ctrl.Restore(snap.Ctrl); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadChurn, err)
+			}
+			// The plan rebuild must land exactly on the snapshot's recorded
+			// draw position; having consumed more draws than the snapshot
+			// saw means the state is inconsistent, and FastForward reports
+			// it as an un-rewindable position.
+			if err := src.FastForward(snap.Draws); err != nil {
+				return nil, err
+			}
+			startIter = snap.Iter
+			resumedSnap = snap
+		}
+		if store, err = checkpoint.Reopen(cfg.CheckpointDir); err != nil {
+			return nil, err
+		}
+	} else if cfg.CheckpointDir != "" {
+		if store, err = checkpoint.Create(cfg.CheckpointDir); err != nil {
+			return nil, err
+		}
+	}
+	if store != nil {
+		defer store.Close()
+	}
+
+	// True member state, keyed by stable member ID. On resume, the schedule
+	// prefix (events before startIter) re-derives the true speeds — they are
+	// deterministic functions of the config, so they need no snapshot.
 	trueRate := make(map[int]float64)
 	alive := make(map[int]bool)
 	nextID := 1
@@ -145,17 +236,71 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 		}
 		trueRate[nextID] = r
 		alive[nextID] = true
-		ctrl.AddMember(nextID, 0)
+		if startIter == 0 {
+			ctrl.AddMember(nextID, 0)
+		}
 		nextID++
+	}
+	if startIter > 0 {
+		for _, ev := range cfg.Events {
+			if ev.Iter >= startIter {
+				continue
+			}
+			switch ev.Kind {
+			case SpeedStep:
+				trueRate[ev.Member] *= ev.Factor
+			case Kill:
+				alive[ev.Member] = false
+			case Join:
+				trueRate[nextID] = ev.Rate
+				alive[nextID] = true
+				nextID++
+			case Rejoin:
+				alive[ev.Member] = true
+				if ev.Rate > 0 {
+					trueRate[ev.Member] = ev.Rate
+				}
+			}
+		}
+	}
+	if cfg.Resume {
+		// Anchor a fresh generation with the resumed state before any
+		// appends; a crash during resume re-recovers this exact state. (A
+		// run that crashed before its first snapshot anchors the initial
+		// state: startIter 0, fresh controller.)
+		anchor := &checkpoint.Snapshot{Iter: startIter, Epoch: -1}
+		if resumedSnap != nil {
+			anchor.Epoch = resumedSnap.Epoch
+			anchor.Step = resumedSnap.Step
+			anchor.Groups = resumedSnap.Groups
+		}
+		anchor.Ctrl = ctrl.State()
+		anchor.Draws = src.Draws()
+		if err := store.WriteSnapshot(anchor); err != nil {
+			return nil, err
+		}
 	}
 
 	res := &ElasticSimResult{
+		StartIter:    startIter,
 		Times:        make([]float64, 0, cfg.Iterations),
 		Epochs:       make([]int, 0, cfg.Iterations),
 		MemberCounts: make([]int, 0, cfg.Iterations),
 	}
 	var plan *elastic.Plan
-	for iter := 0; iter < cfg.Iterations; iter++ {
+	if startIter > 0 {
+		plan = ctrl.Plan()
+		if plan == nil {
+			return nil, fmt.Errorf("%w: resumed at iter %d without a plan", ErrBadChurn, startIter)
+		}
+	}
+	for iter := startIter; iter < cfg.Iterations; iter++ {
+		if cfg.CrashAtIter > 0 && iter == cfg.CrashAtIter {
+			// Crash injector: stop cold, mid-generation, like a killed
+			// process — no goodbye snapshot, a possibly mid-written journal.
+			res.Crashed = true
+			break
+		}
 		// Apply the boundary's churn events in schedule order.
 		for _, ev := range cfg.Events {
 			if ev.Iter != iter {
@@ -205,6 +350,13 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 				return nil, fmt.Errorf("iter %d: %w", iter, err)
 			}
 			plan = p
+			if store != nil {
+				rec := &checkpoint.Record{Kind: checkpoint.KindPlan, Iter: iter, Epoch: p.Epoch,
+					Members: append([]int(nil), p.Members...)}
+				if err := store.Append(rec); err != nil {
+					return nil, err
+				}
+			}
 		}
 
 		// One BSP iteration under the current plan: compute times from true
@@ -242,6 +394,26 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 			}
 		}
 		res.MemberCounts = append(res.MemberCounts, count)
+
+		if store != nil {
+			if err := store.AppendIter(iter, plan.Epoch, iter+1); err != nil {
+				return nil, err
+			}
+			if (iter+1)%cfg.SnapshotEvery == 0 {
+				cs := ctrl.State()
+				gs := checkpoint.GroupState{Group: 0, Epoch: plan.Epoch}
+				for _, ms := range cs.Members {
+					gs.Members = append(gs.Members, ms.ID)
+				}
+				snap := &checkpoint.Snapshot{
+					Iter: iter + 1, Epoch: plan.Epoch, Step: iter + 1,
+					Draws: src.Draws(), Groups: []checkpoint.GroupState{gs}, Ctrl: cs,
+				}
+				if err := store.WriteSnapshot(snap); err != nil {
+					return nil, err
+				}
+			}
+		}
 	}
 	res.Replans = ctrl.Events()
 	res.Summary = metrics.Summarize(res.Times)

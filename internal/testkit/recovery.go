@@ -1,0 +1,436 @@
+// Recovery conformance: the crash class the churn scenario table cannot
+// express — the MASTER process dies and is reconstructed from its
+// checkpoint directory. The harness runs one cluster to a durably recorded
+// iteration, kills it cold, optionally corrupts snapshot files, resumes a
+// second cluster from the directory, and holds both runtimes to the same
+// guarantees:
+//
+//   - training completes exactly the iterations the recovered snapshot had
+//     not folded in;
+//   - workers rejoin their old member identities through the ordinary
+//     ResumeID handshake against the recovered roster;
+//   - plan epochs after resume are strictly above everything the journal
+//     ever recorded, so stale pre-crash uploads (one worker deliberately
+//     replays some) are fenced before decode;
+//   - a corrupt newest snapshot falls back to the previous generation, and
+//     a directory with no decodable snapshot fails construction with a
+//     typed checkpoint error instead of silently restarting from scratch.
+//
+// Workers here are not the scripted churn workers: they are reconnecting
+// protocol loops that survive the master's death, re-dialing the (new)
+// address until the resumed cluster admits them — the shape a real
+// production worker has.
+package testkit
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/checkpoint"
+	"github.com/hetgc/hetgc/internal/grad"
+	"github.com/hetgc/hetgc/internal/transport"
+)
+
+// RecoveryScenario is one master-crash script.
+type RecoveryScenario struct {
+	// Name labels the subtest.
+	Name string
+	// K, S, Workers and Iters mirror Scenario.
+	K, S, Workers, Iters int
+	// GroupSize shards workers into coding groups in grouped runtimes.
+	GroupSize int
+	// SnapshotEvery is the checkpoint cadence handed to the runtime.
+	SnapshotEvery int
+	// KillAfterIter kills the first cluster once the journal durably
+	// records this iteration as completed.
+	KillAfterIter int
+	// CorruptNewest flips bytes in the newest snapshot before resuming:
+	// recovery must fall back to the previous generation.
+	CorruptNewest bool
+	// CorruptAll corrupts every snapshot: resuming must fail with a typed
+	// checkpoint error (no silent restart-from-scratch).
+	CorruptAll bool
+	// IterTimeout bounds one collection attempt; InitialRate seeds the
+	// control-plane priors.
+	IterTimeout time.Duration
+	InitialRate float64
+}
+
+// RecoveryScenarios is the table both runtimes are held to.
+func RecoveryScenarios() []RecoveryScenario {
+	base := RecoveryScenario{
+		K: 8, S: 1, Workers: 6, GroupSize: 3, Iters: 30,
+		SnapshotEvery: 3, KillAfterIter: 10,
+		IterTimeout: 5 * time.Second, InitialRate: 500,
+	}
+	kill := base
+	kill.Name = "master-kill-resume"
+	corruptNewest := base
+	corruptNewest.Name = "corrupt-newest-snapshot"
+	corruptNewest.CorruptNewest = true
+	corruptAll := base
+	corruptAll.Name = "corrupt-all-snapshots"
+	corruptAll.CorruptAll = true
+	return []RecoveryScenario{kill, corruptNewest, corruptAll}
+}
+
+// StartRecovery builds a listening (not yet training) cluster over fx that
+// checkpoints into dir, resuming from it when resume is set. Construction
+// errors are returned, not fataled: the corrupt-all scenario asserts on
+// them.
+type StartRecovery func(sc *RecoveryScenario, fx *Fixture, dir string, resume bool) (Cluster, error)
+
+// RunRecoveryConformance executes the recovery scenario table against one
+// runtime.
+func RunRecoveryConformance(t *testing.T, start StartRecovery) {
+	for _, sc := range RecoveryScenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			runRecoveryScenario(t, &sc, start)
+		})
+	}
+}
+
+func runRecoveryScenario(t *testing.T, sc *RecoveryScenario, start StartRecovery) {
+	fx, err := NewFixture(sc.K, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "ckpt")
+
+	cl, err := start(sc, fx, dir, false)
+	if err != nil {
+		t.Fatalf("fresh cluster: %v", err)
+	}
+	defer cl.Close()
+
+	pool := startRecoveryWorkers(sc, fx, cl.Addrs())
+	defer pool.stopAll()
+
+	// Phase A: train until KillAfterIter is durably journaled, then kill
+	// the master cold — no goodbye frames, no final snapshot.
+	runDone := make(chan error, 1)
+	go func() {
+		_, err := cl.Run()
+		runDone <- err
+	}()
+	if !waitDurableIter(dir, sc.KillAfterIter, 60*time.Second) {
+		cl.Close()
+		<-runDone
+		t.Fatalf("iteration %d never became durable", sc.KillAfterIter)
+	}
+	cl.Close()
+	if err := <-runDone; err == nil {
+		t.Fatalf("first run completed despite the kill — KillAfterIter %d too close to Iters %d", sc.KillAfterIter, sc.Iters)
+	}
+
+	if sc.CorruptAll {
+		corruptSnapshots(t, dir, -1)
+		if _, err := start(sc, fx, dir, true); !errors.Is(err, checkpoint.ErrCorrupt) {
+			t.Fatalf("resume over all-corrupt snapshots: %v, want checkpoint.ErrCorrupt", err)
+		}
+		return
+	}
+	if sc.CorruptNewest {
+		corruptSnapshots(t, dir, 1)
+	}
+
+	// What the resumed master must see: the decodable snapshot's iteration
+	// and the max epoch across snapshot + journals.
+	state, err := checkpoint.Recover(dir)
+	if err != nil {
+		t.Fatalf("recover after crash: %v", err)
+	}
+	if state.Snap == nil {
+		t.Fatalf("no snapshot recovered after %d durable iterations", sc.KillAfterIter)
+	}
+	preMaxEpoch := state.MaxEpoch()
+	expectStart := state.Snap.Iter
+
+	// Phase B: resume. The workers are still dialing; point them at the new
+	// addresses.
+	cl2, err := start(sc, fx, dir, true)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	defer cl2.Close()
+	pool.retarget(cl2.Addrs())
+	out, err := cl2.Run()
+	cl2.Close()
+	pool.stopAll()
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+
+	if out.Iters != sc.Iters-expectStart {
+		t.Errorf("resumed run executed %d iterations, want %d (resume from iter %d of %d)",
+			out.Iters, sc.Iters-expectStart, expectStart, sc.Iters)
+	}
+	if out.FinalEpoch <= preMaxEpoch {
+		t.Errorf("final epoch %d not above the pre-crash max %d — pre-crash uploads are not fenced", out.FinalEpoch, preMaxEpoch)
+	}
+	if out.StaleEpochRejected == 0 {
+		t.Errorf("no stale-epoch uploads rejected — the pre-crash replay was never fenced")
+	}
+	if out.Joins < sc.Workers {
+		t.Errorf("resumed run admitted %d joins, want ≥ %d", out.Joins, sc.Workers)
+	}
+	for i, p := range out.Params {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p > 1e6 || p < -1e6 {
+			t.Errorf("poisoned or divergent parameter %v at %d after resume", p, i)
+			break
+		}
+	}
+	pool.checkIdentities(t, state)
+}
+
+// waitDurableIter polls the checkpoint directory until the journal records
+// iteration `iter` as completed. Reading concurrently with the writer is
+// safe: recovery observes a consistent prefix.
+func waitDurableIter(dir string, iter int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if st, err := checkpoint.Recover(dir); err == nil && st.LastIter >= iter {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return false
+}
+
+// corruptSnapshots flips bytes in the newest n snapshot files (all of them
+// when n < 0).
+func corruptSnapshots(t *testing.T, dir string, n int) {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "snap-*.ckpt"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no snapshots to corrupt in %s (%v)", dir, err)
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(paths)))
+	if n < 0 || n > len(paths) {
+		n = len(paths)
+	}
+	for _, p := range paths[:n] {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := len(data) / 2; i < len(data)/2+16 && i < len(data); i++ {
+			data[i] ^= 0xa5
+		}
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// recoveryPool drives one reconnecting worker per slot.
+type recoveryPool struct {
+	wg      sync.WaitGroup
+	stop    atomic.Bool
+	addrs   atomic.Value // []string, slot-indexed
+	workers []*recoveryWorker
+}
+
+// recoveryWorker is one reconnecting protocol loop's record.
+type recoveryWorker struct {
+	slot   int
+	poison bool
+
+	mu  sync.Mutex
+	ids []int // member ID acked per successful session, in order
+}
+
+func (w *recoveryWorker) sessionIDs() []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]int(nil), w.ids...)
+}
+
+// startRecoveryWorkers launches the pool. Slot 0 is the adversary: after
+// any reconnect it replays a gradient tagged with epoch 0 — the epoch its
+// pre-crash uploads carried — alongside its honest work, so the harness can
+// assert the resume fence engaged.
+func startRecoveryWorkers(sc *RecoveryScenario, fx *Fixture, addrs []string) *recoveryPool {
+	pool := &recoveryPool{}
+	pool.addrs.Store(append([]string(nil), addrs...))
+	for slot := 0; slot < sc.Workers; slot++ {
+		w := &recoveryWorker{slot: slot, poison: slot == 0}
+		pool.workers = append(pool.workers, w)
+		pool.wg.Add(1)
+		go func() {
+			defer pool.wg.Done()
+			pool.runWorker(w, fx)
+		}()
+	}
+	return pool
+}
+
+// retarget points every slot at a new cluster's addresses.
+func (p *recoveryPool) retarget(addrs []string) {
+	p.addrs.Store(append([]string(nil), addrs...))
+}
+
+// stopAll ends the dial loops (workers blocked in Recv exit when the
+// cluster closes their connections). Idempotent.
+func (p *recoveryPool) stopAll() {
+	p.stop.Store(true)
+	p.wg.Wait()
+}
+
+// checkIdentities asserts that every worker that reconnected after the
+// crash resumed the member identity it held before it, and that the
+// identity was one the recovered roster had reserved.
+func (p *recoveryPool) checkIdentities(t *testing.T, state *checkpoint.State) {
+	t.Helper()
+	reserved := make(map[int]bool)
+	for _, ids := range state.GroupMembers {
+		for _, id := range ids {
+			reserved[id] = true
+		}
+	}
+	resumed := 0
+	for _, w := range p.workers {
+		ids := w.sessionIDs()
+		if len(ids) < 2 {
+			continue // never reconnected (e.g. corrupt-all scenario path)
+		}
+		resumed++
+		for _, id := range ids[1:] {
+			if id != ids[0] {
+				t.Errorf("slot %d: reconnect resumed member %d, want its original identity %d", w.slot, id, ids[0])
+			}
+		}
+		if !reserved[ids[0]] {
+			t.Errorf("slot %d: identity %d was not reserved by the recovered roster %v", w.slot, ids[0], state.GroupMembers)
+		}
+	}
+	if resumed == 0 {
+		t.Errorf("no worker ever rejoined after the crash")
+	}
+}
+
+// runWorker is the reconnect loop: dial the slot's current address, run an
+// honest elastic worker session, and on connection loss retry with the old
+// member ID until stopped or cleanly shut down.
+func (p *recoveryPool) runWorker(w *recoveryWorker, fx *Fixture) {
+	resumeID := 0
+	sessions := 0
+	for !p.stop.Load() {
+		addrs := p.addrs.Load().([]string)
+		conn, err := transport.Dial(addrs[w.slot], 2*time.Second)
+		if err != nil {
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		id, done := p.runSession(w, fx, conn, resumeID, sessions > 0)
+		if id > 0 {
+			resumeID = id
+			sessions++
+			w.mu.Lock()
+			w.ids = append(w.ids, id)
+			w.mu.Unlock()
+		}
+		if done {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// runSession speaks one connection's protocol. It returns the acked member
+// ID (0 if the handshake failed) and whether the worker is done for good
+// (clean shutdown or pool stop).
+func (p *recoveryPool) runSession(w *recoveryWorker, fx *Fixture, conn *transport.Conn, resumeID int, reconnect bool) (int, bool) {
+	defer conn.Close()
+	helloID := transport.HelloNewWorker
+	if resumeID > 0 {
+		helloID = resumeID
+	}
+	if err := conn.Send(&transport.Envelope{Type: transport.MsgHello, WorkerID: helloID}); err != nil {
+		return 0, p.stop.Load()
+	}
+	ack, err := conn.Recv()
+	if err != nil || ack.Type != transport.MsgHello || ack.WorkerID <= 0 {
+		return 0, p.stop.Load()
+	}
+	id := ack.WorkerID
+	poisonPending := w.poison && reconnect
+
+	var assign *transport.Assignment
+	epoch := -1
+	for {
+		env, err := conn.Recv()
+		if err != nil {
+			return id, p.stop.Load()
+		}
+		switch env.Type {
+		case transport.MsgShutdown:
+			return id, true
+		case transport.MsgReassign:
+			assign, epoch = env.Assign, env.Epoch
+		case transport.MsgParams:
+			if assign == nil || env.Epoch != epoch {
+				continue
+			}
+			if poisonPending {
+				// Replay the pre-crash world: a gradient still tagged with
+				// the first epoch of the previous incarnation. The resumed
+				// master's epoch base must fence it before decode.
+				stale := &transport.Envelope{
+					Type: transport.MsgGradient, Iter: env.Iter, Epoch: 0,
+					WorkerID: id, Vector: make([]float64, len(env.Vector)),
+				}
+				for i := range stale.Vector {
+					stale.Vector[i] = 1e9
+				}
+				if err := conn.Send(stale); err != nil {
+					return id, p.stop.Load()
+				}
+				poisonPending = false
+			}
+			if err := honestIterate(conn, fx, assign, epoch, env, id); err != nil {
+				return id, p.stop.Load()
+			}
+		}
+	}
+}
+
+// honestIterate computes, encodes and uploads one iteration plus telemetry.
+func honestIterate(conn *transport.Conn, fx *Fixture, assign *transport.Assignment, epoch int, env *transport.Envelope, id int) error {
+	start := time.Now()
+	partials := make([]grad.Gradient, len(assign.Partitions))
+	for i, part := range assign.Partitions {
+		g, err := fx.Model.Gradient(env.Vector, fx.Parts[part])
+		if err != nil {
+			return err
+		}
+		partials[i] = g
+	}
+	coded := make([]float64, len(env.Vector))
+	if len(partials) > 0 {
+		if err := grad.EncodeInto(coded, assign.RowCoeffs, partials); err != nil {
+			return err
+		}
+	}
+	time.Sleep(time.Duration(len(assign.Partitions)) * 2 * time.Millisecond)
+	if err := conn.Send(&transport.Envelope{
+		Type: transport.MsgGradient, Iter: env.Iter, Epoch: epoch, WorkerID: id, Vector: coded,
+	}); err != nil {
+		return err
+	}
+	return conn.Send(&transport.Envelope{
+		Type: transport.MsgTelemetry, Iter: env.Iter, Epoch: epoch, WorkerID: id,
+		Telemetry: &transport.Telemetry{
+			ComputeSeconds: time.Since(start).Seconds(),
+			Partitions:     len(assign.Partitions),
+		},
+	})
+}

@@ -119,10 +119,7 @@ func encodeGradientFrame(buf *bytes.Buffer, e *Envelope) {
 	if cap(b) < 8*len(e.Vector) {
 		b = make([]byte, 0, 8*len(e.Vector))
 	}
-	for _, v := range e.Vector {
-		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
-	}
-	buf.Write(b)
+	buf.Write(AppendFloat64s(b, e.Vector))
 }
 
 // decodeGradientFrame parses the binary gradient layout.
@@ -143,11 +140,11 @@ func decodeGradientFrame(frame []byte) (*Envelope, error) {
 		Chunks:   int(binary.LittleEndian.Uint32(frame[17:])),
 	}
 	if n > 0 {
-		e.Vector = make([]float64, n)
-		raw := frame[gradientHeaderLen:]
-		for i := range e.Vector {
-			e.Vector[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+		vec, _, err := ReadFloat64s(frame[gradientHeaderLen:], n)
+		if err != nil {
+			return nil, err
 		}
+		e.Vector = vec
 	}
 	return e, nil
 }
