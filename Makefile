@@ -53,16 +53,20 @@ cover-check: cover cover-gate
 
 # Short fuzz smoke over every defensive decode path: the join/rejoin
 # handshake (any byte stream a peer opens with must yield a valid hello or a
-# typed transport.ErrMalformed) and the checkpoint snapshot/journal decoders
+# typed transport.ErrMalformed), the checkpoint snapshot/journal decoders
 # (truncated, bit-flipped or garbage bytes must yield typed
-# checkpoint.ErrCorrupt — never a panic, never a silent mis-decode). A
-# failing input is written to the package's testdata/fuzz; rerun it with
+# checkpoint.ErrCorrupt — never a panic, never a silent mis-decode), the
+# lease-token codec (arbitrary LEASE file bytes must yield an error wrapping
+# checkpoint.ErrCorrupt) and the adoption-handshake frames. A failing input is
+# written to the package's testdata/fuzz; rerun it with
 # `go test -run 'Fuzz<Target>/<name>' ./internal/<pkg>`.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadHello$$' -fuzztime $(FUZZTIME) ./internal/roster
 	$(GO) test -run '^$$' -fuzz '^FuzzSnapshot$$' -fuzztime $(FUZZTIME) ./internal/checkpoint
 	$(GO) test -run '^$$' -fuzz '^FuzzJournal$$' -fuzztime $(FUZZTIME) ./internal/checkpoint
+	$(GO) test -run '^$$' -fuzz '^FuzzLease$$' -fuzztime $(FUZZTIME) ./internal/ha
+	$(GO) test -run '^$$' -fuzz '^FuzzAdoption$$' -fuzztime $(FUZZTIME) ./internal/transport
 
 # Smoke-run the quickstart example: a panic in example main paths must fail
 # the build pipeline, not linger unnoticed (5s budget where `timeout` exists

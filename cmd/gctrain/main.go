@@ -13,6 +13,13 @@
 //
 //	gctrain -checkpoint-dir /tmp/ckpt -iters 50
 //	gctrain -checkpoint-dir /tmp/ckpt -iters 50 -resume
+//
+// With -lease-ttl the master additionally holds the HA root lease over the
+// checkpoint directory, and -standby runs a warm standby that tails the
+// directory and takes over training the moment the lease lapses:
+//
+//	gctrain -checkpoint-dir /tmp/ckpt -iters 50 -lease-ttl 2s
+//	gctrain -checkpoint-dir /tmp/ckpt -iters 50 -lease-ttl 2s -standby
 package main
 
 import (
@@ -44,6 +51,8 @@ func run(args []string) error {
 		ckptDir     = fs.String("checkpoint-dir", "", "durable-state directory (journal + snapshots); enables the elastic runtime")
 		snapEvery   = fs.Int("snapshot-every", 5, "snapshot cadence in iterations (with -checkpoint-dir)")
 		resume      = fs.Bool("resume", false, "resume from the state in -checkpoint-dir instead of starting fresh")
+		leaseTTL    = fs.Duration("lease-ttl", 0, "hold the HA root lease over -checkpoint-dir with this TTL (0 disables)")
+		standby     = fs.Bool("standby", false, "run as a warm standby: tail -checkpoint-dir and take over training when the lease lapses")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,8 +60,21 @@ func run(args []string) error {
 	if *resume && *ckptDir == "" {
 		return errors.New("-resume requires -checkpoint-dir (the directory holding the journal and snapshots of the run to continue)")
 	}
+	if *leaseTTL < 0 {
+		return errors.New("-lease-ttl must be positive")
+	}
+	if (*leaseTTL > 0 || *standby) && *ckptDir == "" {
+		return errors.New("-lease-ttl and -standby require -checkpoint-dir (the lease lives in the checkpoint directory)")
+	}
+	if *standby {
+		if err := standBy(*ckptDir); err != nil {
+			return err
+		}
+		// Promoted: continue the deposed root's run at the next generation.
+		*resume = true
+	}
 	if *ckptDir != "" {
-		return runDurable(*scheme, *iters, *s, *stragglerMs, *seed, *ckptDir, *snapEvery, *resume)
+		return runDurable(*scheme, *iters, *s, *stragglerMs, *seed, *ckptDir, *snapEvery, *resume, *leaseTTL)
 	}
 
 	// A small heterogeneous fleet (relative speeds 1..4, as in Example 1).
@@ -154,7 +176,7 @@ func run(args []string) error {
 // runDurable trains on the elastic runtime with a checkpoint directory:
 // journaled iterations, periodic snapshots, and — with resume — exact
 // continuation from the last snapshot.
-func runDurable(scheme string, iters, s, stragglerMs int, seed int64, dir string, snapEvery int, resume bool) error {
+func runDurable(scheme string, iters, s, stragglerMs int, seed int64, dir string, snapEvery int, resume bool, leaseTTL time.Duration) error {
 	var kind hetgc.Kind
 	switch scheme {
 	case "heter":
@@ -198,12 +220,16 @@ func runDurable(scheme string, iters, s, stragglerMs int, seed int64, dir string
 		CheckpointDir: dir,
 		SnapshotEvery: snapEvery,
 		Resume:        resume,
+		LeaseTTL:      leaseTTL,
 	}, "127.0.0.1:0")
 	if err != nil {
 		return remediate(err, dir)
 	}
 	if resume {
 		fmt.Printf("resumed from checkpoint %s at iteration %d\n", dir, master.StartIter())
+	}
+	if gen := master.RootGen(); gen > 0 {
+		fmt.Printf("holding root lease: generation %d, ttl %s\n", gen, leaseTTL)
 	}
 	fmt.Printf("elastic master on %s; scheme=%s k=%d s=%d checkpoint-dir=%s snapshot-every=%d\n",
 		master.Addr(), scheme, k, s, dir, snapEvery)
@@ -237,7 +263,7 @@ func runDurable(scheme string, iters, s, stragglerMs int, seed int64, dir string
 	res, err := master.Run()
 	wg.Wait()
 	if err != nil {
-		return err
+		return remediate(err, dir)
 	}
 	if len(res.Epochs) == 0 {
 		fmt.Printf("\nnothing to do: the checkpoint already covers all %d iterations (raise -iters to continue training)\n", iters)
@@ -245,6 +271,13 @@ func runDurable(scheme string, iters, s, stragglerMs int, seed int64, dir string
 	}
 	fmt.Printf("\niterations %d..%d done  mean %.1fms  final epoch %d  stale-epoch fenced: %d\n",
 		res.StartIter, iters, res.Summary.Mean*1e3, res.Epochs[len(res.Epochs)-1], res.StaleEpochRejected)
+	if res.RootGen > 0 {
+		fmt.Printf("high availability: root generation %d  stale-generation uploads fenced: %d\n",
+			res.RootGen, res.FencedUploads)
+		if res.RootGen > 1 {
+			fmt.Printf("  this run took over from a deposed root (generation %d) and kept its progress\n", res.RootGen-1)
+		}
+	}
 	fmt.Println("loss curve (time s, mean loss):")
 	for _, p := range res.Curve.Points {
 		fmt.Printf("  %8.3f  %.4f\n", p.X, p.Y)
@@ -253,9 +286,36 @@ func runDurable(scheme string, iters, s, stragglerMs int, seed int64, dir string
 	return nil
 }
 
-// remediate attaches an actionable hint to the typed checkpoint failures.
+// standBy tails the checkpoint directory until its root lease lapses, then
+// returns so the caller can take over at the next generation.
+func standBy(dir string) error {
+	fmt.Printf("standby: tailing %s, waiting for the root lease to lapse\n", dir)
+	prom, err := hetgc.NewStandby(hetgc.StandbyConfig{Dir: dir}).Run(nil)
+	if err != nil {
+		return fmt.Errorf("standby: %w", err)
+	}
+	last := -1
+	if prom.State != nil {
+		last = prom.State.LastIter
+	}
+	fmt.Printf("standby: promoted — generation %d (%q) lapsed; freshest durable iteration: %d\n",
+		prom.Deposed.Gen, prom.Deposed.Holder, last)
+	return nil
+}
+
+// remediate attaches an actionable hint to the typed checkpoint and
+// high-availability failures.
 func remediate(err error, dir string) error {
 	switch {
+	case errors.Is(err, hetgc.ErrFenced):
+		hint := "let it finish, or restart this process with -standby to queue as its successor"
+		if tok, terr := hetgc.ReadLeaseToken(dir); terr == nil {
+			return fmt.Errorf("%w\n  hint: root generation %d (%q at %s) now owns %s — %s",
+				err, tok.Gen, tok.Holder, tok.Addr, dir, hint)
+		}
+		return fmt.Errorf("%w\n  hint: a newer root generation owns %s — %s", err, dir, hint)
+	case errors.Is(err, hetgc.ErrLeaseHeld):
+		return fmt.Errorf("%w\n  hint: another live root holds the lease on %s — run this process with -standby to wait for it, or stop the other root first", err, dir)
 	case errors.Is(err, hetgc.ErrNoCheckpoint):
 		return fmt.Errorf("%w\n  hint: %s holds no checkpoint state — drop -resume to start a fresh run there", err, dir)
 	case errors.Is(err, hetgc.ErrCheckpointCorrupt):

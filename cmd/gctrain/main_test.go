@@ -2,10 +2,12 @@ package main
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/hetgc/hetgc"
 )
@@ -126,5 +128,59 @@ func TestResumeAlreadyComplete(t *testing.T) {
 	// that cleanly, not panic or error.
 	if err := run([]string{"-checkpoint-dir", dir, "-iters", "4", "-resume", "-seed", "4"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestHAFlagValidation(t *testing.T) {
+	if err := run([]string{"-lease-ttl", "-1s"}); err == nil || !strings.Contains(err.Error(), "-lease-ttl") {
+		t.Fatalf("negative ttl: %v", err)
+	}
+	if err := run([]string{"-lease-ttl", "2s"}); err == nil || !strings.Contains(err.Error(), "-checkpoint-dir") {
+		t.Fatalf("lease without dir: %v", err)
+	}
+	if err := run([]string{"-standby"}); err == nil || !strings.Contains(err.Error(), "-checkpoint-dir") {
+		t.Fatalf("standby without dir: %v", err)
+	}
+}
+
+func TestRunLeased(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	if err := run([]string{"-checkpoint-dir", dir, "-iters", "4", "-snapshot-every", "2", "-lease-ttl", "5s", "-seed", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := hetgc.ReadLeaseToken(dir)
+	if err != nil || tok.Gen != 1 {
+		t.Fatalf("lease after run = %+v, %v, want generation 1", tok, err)
+	}
+}
+
+func TestStandByPromotes(t *testing.T) {
+	dir := t.TempDir()
+	lease, err := hetgc.AcquireLease(dir, "root-x", "addr-x", 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = lease // never renewed: the lease lapses and the standby promotes
+	if err := standBy(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemediateHA(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := hetgc.AcquireLease(dir, "root-b", "addr-b", time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	err := remediate(fmt.Errorf("run: %w", hetgc.ErrFenced), dir)
+	if !errors.Is(err, hetgc.ErrFenced) || !strings.Contains(err.Error(), `generation 1 ("root-b" at addr-b)`) {
+		t.Fatalf("fenced remediation %q does not name the usurper", err)
+	}
+	err = remediate(fmt.Errorf("run: %w", hetgc.ErrFenced), filepath.Join(dir, "nope"))
+	if !errors.Is(err, hetgc.ErrFenced) || !strings.Contains(err.Error(), "hint:") {
+		t.Fatalf("fenced remediation without a token: %q", err)
+	}
+	err = remediate(fmt.Errorf("run: %w", hetgc.ErrLeaseHeld), dir)
+	if !errors.Is(err, hetgc.ErrLeaseHeld) || !strings.Contains(err.Error(), "-standby") {
+		t.Fatalf("lease-held remediation: %q", err)
 	}
 }

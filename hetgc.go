@@ -32,6 +32,7 @@ import (
 	"github.com/hetgc/hetgc/internal/estimate"
 	"github.com/hetgc/hetgc/internal/experiments"
 	"github.com/hetgc/hetgc/internal/grad"
+	"github.com/hetgc/hetgc/internal/ha"
 	"github.com/hetgc/hetgc/internal/metrics"
 	"github.com/hetgc/hetgc/internal/ml"
 	"github.com/hetgc/hetgc/internal/partition"
@@ -336,6 +337,55 @@ func DialElasticWorker(addr string, cfg ElasticWorkerConfig) (*ElasticWorker, er
 func RunElastic(cfg ElasticConfig, addr string, waitTimeout time.Duration) (*ElasticResult, error) {
 	return runtime.RunElastic(cfg, addr, waitTimeout)
 }
+
+// High availability: a root with ElasticConfig.LeaseTTL (or
+// ShardedConfig.LeaseTTL) set holds a monotonic lease over its checkpoint
+// directory. Every broadcast carries the lease generation, every upload
+// echoes it, and every journal write verifies it — so when a standby takes
+// over the directory at the next generation, the deposed root's writes are
+// rejected typed (ErrFenced) instead of corrupting the successor's run.
+type (
+	// HALease is an acquired root lease: a monotonic generation over a
+	// checkpoint directory, renewed while the holder is healthy.
+	HALease = ha.Lease
+	// HAToken is the durable claim a lease writes: generation, holder,
+	// address, expiry.
+	HAToken = ha.Token
+	// Standby tails a root's checkpoint directory and reports when the
+	// lease lapses — the warm half of a failover pair.
+	Standby = ha.Standby
+	// StandbyConfig parameterises a Standby (directory, poll cadence,
+	// post-expiry grace).
+	StandbyConfig = ha.StandbyConfig
+	// Promotion is what a standby hands over when the lease lapses: the
+	// deposed token and the freshest durable state it tailed.
+	Promotion = ha.Promotion
+)
+
+// High-availability errors.
+var (
+	// ErrFenced marks a write or run rejected because a higher lease
+	// generation has claimed the root's checkpoint directory.
+	ErrFenced = ha.ErrFenced
+	// ErrLeaseHeld is returned by AcquireLease while another holder's
+	// unexpired claim stands.
+	ErrLeaseHeld = ha.ErrLeaseHeld
+)
+
+// AcquireLease claims dir's root lease for holder at the next generation,
+// advertising addr to group masters and standbys. It fails typed
+// (ErrLeaseHeld) while another holder's claim is unexpired.
+func AcquireLease(dir, holder, addr string, ttl time.Duration) (*HALease, error) {
+	return ha.Acquire(dir, holder, addr, ttl)
+}
+
+// NewStandby builds a warm standby over a root's checkpoint directory; its
+// Run blocks until the lease lapses and the standby should take over.
+func NewStandby(cfg StandbyConfig) *Standby { return ha.NewStandby(cfg) }
+
+// ReadLeaseToken reads dir's current lease token without claiming anything
+// — discovery and monitoring.
+func ReadLeaseToken(dir string) (*HAToken, error) { return ha.ReadToken(dir) }
 
 // NewElasticController builds the control plane directly (for custom
 // runtimes or simulators).

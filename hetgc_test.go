@@ -1,9 +1,11 @@
 package hetgc
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestPublicAPIQuickstart walks the documented core loop end to end through
@@ -356,5 +358,43 @@ func TestElasticFacade(t *testing.T) {
 	}
 	if im := PredictedImbalance(st, []float64{1, 2, 3}); im < 1-1e-9 || im > 2 {
 		t.Fatalf("imbalance = %v", im)
+	}
+}
+
+// TestHAFacade drives the high-availability surface through the facade
+// only: acquire, read back, expire, standby promotion, fencing error.
+func TestHAFacade(t *testing.T) {
+	dir := t.TempDir()
+	lease, err := AcquireLease(dir, "root-a", "addr-a", 40*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Gen() != 1 {
+		t.Fatalf("generation = %d, want 1", lease.Gen())
+	}
+	tok, err := ReadLeaseToken(dir)
+	if err != nil || tok.Holder != "root-a" {
+		t.Fatalf("token = %+v, %v", tok, err)
+	}
+	if _, err := AcquireLease(dir, "root-b", "addr-b", time.Hour); err == nil || !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("steal of a live lease = %v, want ErrLeaseHeld", err)
+	}
+	// Never renewed: the standby sees the lapse and promotes.
+	prom, err := NewStandby(StandbyConfig{Dir: dir, Poll: 5 * time.Millisecond}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prom.Deposed == nil || prom.Deposed.Gen != 1 {
+		t.Fatalf("promotion = %+v, want deposed generation 1", prom)
+	}
+	b, err := AcquireLease(dir, "root-b", "addr-b", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Gen() != 2 {
+		t.Fatalf("successor generation = %d, want 2", b.Gen())
+	}
+	if err := lease.Renew(); !errors.Is(err, ErrFenced) {
+		t.Fatalf("deposed renew = %v, want ErrFenced", err)
 	}
 }

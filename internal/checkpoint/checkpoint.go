@@ -95,8 +95,8 @@ type Snapshot struct {
 	Groups []GroupState
 	// Ctrl is the control-plane state (membership, estimates, and — in
 	// simulator checkpoints — the current plan's construction provenance).
-	// Nil in sharded root snapshots, whose group controllers re-warm from
-	// telemetry instead.
+	// Nil in sharded root snapshots, which carry per-group controller
+	// states inside Groups instead.
 	Ctrl *elastic.ControllerState
 }
 
@@ -108,6 +108,11 @@ type GroupState struct {
 	Epoch int
 	// Members are the member IDs the group ever admitted, ascending.
 	Members []int
+	// Ctrl is the group's control-plane state — membership with live
+	// throughput estimates — captured so a resumed or promoted root
+	// re-plans from real history instead of re-warming its estimators from
+	// scratch. Nil in snapshots written before the group ever planned.
+	Ctrl *elastic.ControllerState
 }
 
 // Kind enumerates journal record kinds.

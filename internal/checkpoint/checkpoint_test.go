@@ -21,7 +21,13 @@ func fullSnapshot() *Snapshot {
 		OptStep: 12,
 		Draws:   991,
 		Groups: []GroupState{
-			{Group: 0, Epoch: 3, Members: []int{1, 2, 3}},
+			{Group: 0, Epoch: 3, Members: []int{1, 2, 3},
+				Ctrl: &elastic.ControllerState{
+					Members: []elastic.MemberState{
+						{ID: 1, Alive: true, Meter: estimate.MeterState{Prior: 500, Value: 505, Init: true, Count: 4}},
+					},
+					LastReplan: 3,
+				}},
 			{Group: 1, Epoch: -1, Members: nil},
 		},
 		Ctrl: &elastic.ControllerState{
@@ -555,5 +561,126 @@ func TestRecoverMidJournalCorruptionIsTyped(t *testing.T) {
 	}
 	if st.GroupEpochs[0] != 1 {
 		t.Fatalf("torn-tail replay saw epoch %d, want 1 (two intact records)", st.GroupEpochs[0])
+	}
+}
+
+func TestStoreGuardRefusesWrites(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.AppendIter(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	fence := errors.New("fenced by generation 2")
+	var fenced bool
+	st.SetGuard(func() error {
+		if fenced {
+			return fence
+		}
+		return nil
+	})
+	if err := st.AppendIter(1, 0, 2); err != nil {
+		t.Fatalf("guarded append while allowed: %v", err)
+	}
+	fenced = true
+	if err := st.AppendIter(2, 0, 3); !errors.Is(err, fence) {
+		t.Fatalf("append under fence = %v, want %v", err, fence)
+	}
+	if err := st.WriteSnapshot(&Snapshot{Iter: 2}); !errors.Is(err, fence) {
+		t.Fatalf("snapshot under fence = %v, want %v", err, fence)
+	}
+	// The refused append latched the sticky error, so masters that only
+	// consult Err at iteration boundaries still observe the fence.
+	if err := st.Err(); !errors.Is(err, fence) {
+		t.Fatalf("sticky err = %v, want %v", err, fence)
+	}
+	// Best-effort recorder appends are refused the same way.
+	st.GroupRecorder(0).RecordDeath(1)
+	// The directory must hold only pre-fence state.
+	recovered, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.LastIter != 1 {
+		t.Fatalf("recovered LastIter = %d, want 1 (post-fence writes applied)", recovered.LastIter)
+	}
+	st.SetGuard(nil)
+	if err := st.AppendIter(2, 0, 3); err != nil {
+		t.Fatalf("append after guard cleared: %v", err)
+	}
+}
+
+// restoreStub matches the statefulOptimizer surface structurally, like
+// ml.StatefulOptimizer does.
+type restoreStub struct {
+	vecs [][]float64
+	step int
+	err  error
+}
+
+func (o *restoreStub) OptimizerState() ([][]float64, int) { return o.vecs, o.step }
+func (o *restoreStub) RestoreOptimizerState(vecs [][]float64, step int) error {
+	o.vecs, o.step = vecs, step
+	return o.err
+}
+
+func TestRestoreTraining(t *testing.T) {
+	// A state without a snapshot restores the zero start.
+	ts, err := (&State{}).RestoreTraining(3, nil)
+	if err != nil || ts.Iter != 0 || ts.Params != nil {
+		t.Fatalf("snapshot-less restore = %+v, %v", ts, err)
+	}
+
+	st := &State{Snap: &Snapshot{
+		Iter: 7, Step: 9, Clock: 1.5,
+		Params:  []float64{1, 2, 3},
+		OptVecs: [][]float64{{4, 5, 6}},
+		OptStep: 9,
+	}}
+	opt := &restoreStub{}
+	ts, err = st.RestoreTraining(3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Iter != 7 || ts.Step != 9 || ts.Clock != 1.5 || len(ts.Params) != 3 {
+		t.Fatalf("restored start = %+v", ts)
+	}
+	if opt.step != 9 || len(opt.vecs) != 1 || opt.vecs[0][2] != 6 {
+		t.Fatalf("optimizer state not restored: %+v", opt)
+	}
+
+	// Dimension mismatches fail loudly rather than train on garbage.
+	if _, err := st.RestoreTraining(2, nil); err == nil {
+		t.Fatal("param dim mismatch accepted")
+	}
+	st.Snap.Params = []float64{1, 2}
+	st.Snap.OptVecs = [][]float64{{4, 5, 6}}
+	if _, err := st.RestoreTraining(2, &restoreStub{}); err == nil {
+		t.Fatal("optimizer dim mismatch accepted")
+	}
+	st.Snap.OptVecs = [][]float64{{4, 5}}
+	if _, err := st.RestoreTraining(2, &restoreStub{err: errors.New("boom")}); err == nil {
+		t.Fatal("optimizer restore failure swallowed")
+	}
+}
+
+func TestCountingSourceReseed(t *testing.T) {
+	s := NewCountingSource(7)
+	if v1, v2 := s.Uint64(), s.Uint64(); v1 == v2 {
+		t.Fatalf("consecutive draws equal: %d", v1)
+	}
+	if s.Draws() != 2 {
+		t.Fatalf("draws = %d, want 2", s.Draws())
+	}
+	first := NewCountingSource(7).Uint64()
+	s.Seed(7)
+	if s.Draws() != 0 {
+		t.Fatalf("reseed kept draw count %d", s.Draws())
+	}
+	if got := s.Uint64(); got != first {
+		t.Fatalf("reseeded draw = %d, want %d", got, first)
 	}
 }

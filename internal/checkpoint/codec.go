@@ -288,6 +288,13 @@ func EncodeSnapshot(snap *Snapshot) []byte {
 		for _, m := range gs.Members {
 			p = binary.AppendUvarint(p, uint64(m))
 		}
+		// Same normalisation as the top-level controller state below: a
+		// memberless state is useless to recovery and rejected on decode.
+		hasGC := gs.Ctrl != nil && len(gs.Ctrl.Members) > 0
+		p = appendBool(p, hasGC)
+		if hasGC {
+			p = appendControllerState(p, gs.Ctrl)
+		}
 	}
 	// A controller state without members carries nothing recovery can use
 	// (a resume anchor written before any worker ever joined); normalise it
@@ -434,6 +441,15 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 					if gs.Members[j], err = r.count("group member", maxID); err != nil {
 						return nil, err
 					}
+				}
+			}
+			hasGC, err := r.bool()
+			if err != nil {
+				return nil, err
+			}
+			if hasGC {
+				if gs.Ctrl, err = readControllerState(r); err != nil {
+					return nil, err
 				}
 			}
 		}

@@ -37,6 +37,21 @@ type Store struct {
 	closed  bool
 	err     error // sticky first write failure
 	scratch []byte
+	// guard, when set, is consulted before every journal append and
+	// snapshot commit. The HA control plane installs the root lease's fence
+	// check here, so a deposed root's writes fail typed (ha.ErrFenced)
+	// instead of reaching the directory the new root now owns.
+	guard func() error
+}
+
+// SetGuard installs a write guard consulted before every Append and
+// WriteSnapshot; a non-nil return aborts the write with that error. Pass nil
+// to clear. The guard must be safe for concurrent use and fast on the happy
+// path — it runs under the store lock.
+func (s *Store) SetGuard(guard func() error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.guard = guard
 }
 
 // Create opens a fresh store in dir, creating the directory as needed. A
@@ -117,6 +132,15 @@ func (s *Store) appendLocked(rec *Record) error {
 	if s.closed {
 		return ErrClosed
 	}
+	if s.guard != nil {
+		if err := s.guard(); err != nil {
+			err = fmt.Errorf("checkpoint journal append refused: %w", err)
+			if s.err == nil {
+				s.err = err
+			}
+			return err
+		}
+	}
 	if s.pending {
 		return ErrNeedSnapshot
 	}
@@ -156,6 +180,11 @@ func (s *Store) WriteSnapshot(snap *Snapshot) error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
+	}
+	if s.guard != nil {
+		if err := s.guard(); err != nil {
+			return fmt.Errorf("checkpoint snapshot refused: %w", err)
+		}
 	}
 	gen := s.gen + 1
 	data := EncodeSnapshot(snap)

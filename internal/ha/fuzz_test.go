@@ -1,0 +1,45 @@
+package ha
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/checkpoint"
+)
+
+// FuzzLease feeds arbitrary bytes to the lease-token decoder: every outcome
+// must be either a valid token or an error wrapping checkpoint.ErrCorrupt —
+// never a panic, never a silently wrong token. Decodable inputs must
+// re-encode to a token that decodes to the same claim (the fencing token
+// survives a write/read cycle bit-exactly).
+func FuzzLease(f *testing.F) {
+	valid := EncodeToken(&Token{Gen: 9, Holder: "root-a", Addr: "127.0.0.1:19999", Expiry: time.Unix(0, 1_699_999_999_000_000_001)})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte{})
+	f.Add([]byte("HGCLEASE\x01"))
+	f.Add(EncodeToken(&Token{Gen: 1, Holder: "", Addr: "", Expiry: time.Unix(0, -5)}))
+	flipped := append([]byte{}, valid...)
+	flipped[len(flipped)-1] ^= 0x01
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tok, err := DecodeToken(data)
+		if err != nil {
+			if !errors.Is(err, checkpoint.ErrCorrupt) {
+				t.Fatalf("decode error %v does not wrap checkpoint.ErrCorrupt", err)
+			}
+			return
+		}
+		if tok.Gen <= 0 || len(tok.Holder) > maxStringLen || len(tok.Addr) > maxStringLen {
+			t.Fatalf("decoder accepted impossible token %+v", tok)
+		}
+		again, err := DecodeToken(EncodeToken(tok))
+		if err != nil {
+			t.Fatalf("re-decode of valid token failed: %v", err)
+		}
+		if again.Gen != tok.Gen || again.Holder != tok.Holder || again.Addr != tok.Addr || !again.Expiry.Equal(tok.Expiry) {
+			t.Fatalf("re-encode drifted: %+v vs %+v", again, tok)
+		}
+	})
+}

@@ -1,0 +1,369 @@
+// Package ha is the high-availability control plane for the training root:
+// a file-based lease with monotonic fencing generations, and a warm standby
+// that tails the checkpoint directory and promotes itself when the lease
+// expires.
+//
+// The lease lives in the same directory as the checkpoint store, in a single
+// file (LeaseFile). Its token carries four facts: the root generation (the
+// fencing token — strictly monotonic across every takeover), the holder's
+// name, the holder's dial address (so group masters, workers and standbys
+// discover the current root by reading the token), and the expiry time. A
+// root renews its token well inside the TTL; a standby that observes the
+// token expired acquires the next generation and takes over. Every frame the
+// root sends and every journal append it makes is guarded by the generation,
+// so a deposed root — one whose generation has been superseded — fails typed
+// with ErrFenced instead of silently corrupting the job.
+//
+// The lease is advisory and assumes the checkpoint directory is a single
+// coherent filesystem (the same assumption the checkpoint store makes).
+// Takeover is driven by expiry, so the guarantee is: at most one root holds
+// an unexpired, unsuperseded generation; a root that cannot renew before its
+// TTL elapses must treat itself as deposed (Check verifies against the file
+// once the TTL has passed).
+package ha
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/checkpoint"
+)
+
+// LeaseFile is the token's filename inside the checkpoint directory.
+const LeaseFile = "LEASE"
+
+const (
+	// leaseMagic opens the lease file; the trailing byte is the format
+	// version.
+	leaseMagic = "HGCLEASE\x01"
+	// maxStringLen bounds the holder and address strings on decode.
+	maxStringLen = 256
+	// maxGen bounds the generation counter on decode (mirrors the
+	// checkpoint codec's ID cap).
+	maxGen = 1 << 40
+)
+
+// Errors returned by the lease layer.
+var (
+	// ErrFenced marks a deposed root: its lease generation has been
+	// superseded by a newer one. Nothing tagged with the old generation may
+	// be applied — journal appends, snapshots and broadcasts all fail with
+	// an error wrapping ErrFenced.
+	ErrFenced = errors.New("ha: fenced: root lease superseded")
+	// ErrLeaseHeld is returned by Acquire while another holder's token is
+	// still unexpired.
+	ErrLeaseHeld = errors.New("ha: lease held by a live root")
+	// ErrNoLease is returned by ReadToken when no lease file exists.
+	ErrNoLease = errors.New("ha: no lease")
+)
+
+// Token is the decoded lease file: who is root, at which generation, where
+// to dial it, and until when the claim is live.
+type Token struct {
+	// Gen is the root generation — the fencing token. Strictly monotonic:
+	// every acquisition (takeover or restart) bumps it.
+	Gen int
+	// Holder names the owning process (for logs and remediation hints).
+	Holder string
+	// Addr is the root's dial address; readers use the token for discovery.
+	Addr string
+	// Expiry is the instant the claim lapses unless renewed.
+	Expiry time.Time
+}
+
+// Expired reports whether the token's claim has lapsed at time now.
+func (t *Token) Expired(now time.Time) bool { return now.After(t.Expiry) }
+
+// EncodeToken serialises a token into its full file contents: magic, CRC
+// frame, payload.
+func EncodeToken(t *Token) []byte {
+	p := make([]byte, 0, 64)
+	p = binary.AppendUvarint(p, uint64(t.Gen))
+	p = binary.AppendVarint(p, t.Expiry.UnixNano())
+	p = binary.AppendUvarint(p, uint64(len(t.Holder)))
+	p = append(p, t.Holder...)
+	p = binary.AppendUvarint(p, uint64(len(t.Addr)))
+	p = append(p, t.Addr...)
+	out := make([]byte, 0, len(leaseMagic)+8+len(p))
+	out = append(out, leaseMagic...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(p)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(p))
+	return append(out, p...)
+}
+
+// DecodeToken parses a lease file's contents. Corruption anywhere — bad
+// magic, CRC mismatch, truncation, impossible values, trailing bytes —
+// yields an error wrapping checkpoint.ErrCorrupt, never a panic.
+func DecodeToken(data []byte) (*Token, error) {
+	if len(data) < len(leaseMagic)+8 {
+		return nil, fmt.Errorf("%w: lease file truncated (%d bytes)", checkpoint.ErrCorrupt, len(data))
+	}
+	if string(data[:len(leaseMagic)]) != leaseMagic {
+		return nil, fmt.Errorf("%w: bad lease magic", checkpoint.ErrCorrupt)
+	}
+	body := data[len(leaseMagic):]
+	n := int(binary.LittleEndian.Uint32(body))
+	sum := binary.LittleEndian.Uint32(body[4:])
+	if n < 0 || n != len(body)-8 {
+		return nil, fmt.Errorf("%w: lease payload length %d with %d bytes present", checkpoint.ErrCorrupt, n, len(body)-8)
+	}
+	payload := body[8:]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("%w: lease CRC mismatch", checkpoint.ErrCorrupt)
+	}
+	r := payload
+	uvar := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(r)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: bad uvarint (%s)", checkpoint.ErrCorrupt, what)
+		}
+		r = r[n:]
+		return v, nil
+	}
+	str := func(what string) (string, error) {
+		l, err := uvar(what)
+		if err != nil {
+			return "", err
+		}
+		if l > maxStringLen {
+			return "", fmt.Errorf("%w: %s length %d exceeds cap %d", checkpoint.ErrCorrupt, what, l, maxStringLen)
+		}
+		if uint64(len(r)) < l {
+			return "", fmt.Errorf("%w: truncated %s", checkpoint.ErrCorrupt, what)
+		}
+		s := string(r[:l])
+		r = r[l:]
+		return s, nil
+	}
+	tok := &Token{}
+	gen, err := uvar("generation")
+	if err != nil {
+		return nil, err
+	}
+	if gen == 0 || gen > maxGen {
+		return nil, fmt.Errorf("%w: lease generation %d", checkpoint.ErrCorrupt, gen)
+	}
+	tok.Gen = int(gen)
+	nanos, n2 := binary.Varint(r)
+	if n2 <= 0 {
+		return nil, fmt.Errorf("%w: bad varint (expiry)", checkpoint.ErrCorrupt)
+	}
+	r = r[n2:]
+	tok.Expiry = time.Unix(0, nanos)
+	if tok.Holder, err = str("holder"); err != nil {
+		return nil, err
+	}
+	if tok.Addr, err = str("address"); err != nil {
+		return nil, err
+	}
+	if len(r) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after lease token", checkpoint.ErrCorrupt, len(r))
+	}
+	return tok, nil
+}
+
+// ReadToken reads and decodes the lease token in dir. A missing file maps to
+// ErrNoLease; an undecodable one to an error wrapping checkpoint.ErrCorrupt.
+func ReadToken(dir string) (*Token, error) {
+	data, err := os.ReadFile(filepath.Join(dir, LeaseFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNoLease, dir)
+		}
+		return nil, fmt.Errorf("ha read lease: %w", err)
+	}
+	return DecodeToken(data)
+}
+
+// writeToken atomically replaces the lease file: write a temp file, fsync,
+// rename over the token, fsync the directory.
+func writeToken(dir string, tok *Token) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("ha write lease: %w", err)
+	}
+	path := filepath.Join(dir, LeaseFile)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("ha write lease: %w", err)
+	}
+	if _, err := f.Write(EncodeToken(tok)); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ha write lease: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ha sync lease: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ha close lease: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ha publish lease: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Lease is one holder's live claim on the root role. All methods are safe
+// for concurrent use (a renewal goroutine typically runs beside the training
+// loop's Check calls).
+type Lease struct {
+	dir string
+	ttl time.Duration
+
+	mu       sync.Mutex
+	tok      Token
+	fenced   error // non-nil once deposed; returned verbatim thereafter
+	released bool
+}
+
+// Acquire claims the root lease in dir for holder at generation cur+1 (or 1
+// when no token exists). It refuses with ErrLeaseHeld while a different
+// holder's token is unexpired; the same holder re-acquiring (a restart)
+// always succeeds and still bumps the generation, so fencing stays
+// monotonic across restarts. addr is published in the token for discovery.
+// A corrupt lease file is surfaced typed (wrapping checkpoint.ErrCorrupt)
+// rather than silently overwritten: overwriting would forget the generation
+// counter and re-open the split-brain window the lease exists to close.
+func Acquire(dir, holder, addr string, ttl time.Duration) (*Lease, error) {
+	if ttl <= 0 {
+		return nil, fmt.Errorf("ha acquire: ttl %v must be positive", ttl)
+	}
+	gen := 1
+	cur, err := ReadToken(dir)
+	switch {
+	case errors.Is(err, ErrNoLease):
+	case err != nil:
+		return nil, err
+	default:
+		if cur.Holder != holder && !cur.Expired(time.Now()) {
+			return nil, fmt.Errorf("%w: generation %d held by %q (%s) until %s",
+				ErrLeaseHeld, cur.Gen, cur.Holder, cur.Addr, cur.Expiry.Format(time.RFC3339Nano))
+		}
+		gen = cur.Gen + 1
+	}
+	l := &Lease{dir: dir, ttl: ttl}
+	l.tok = Token{Gen: gen, Holder: holder, Addr: addr, Expiry: time.Now().Add(ttl)}
+	if err := writeToken(dir, &l.tok); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Gen returns the held generation — the fencing token every frame and
+// journal append of this root carries.
+func (l *Lease) Gen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tok.Gen
+}
+
+// Token returns a copy of the held token.
+func (l *Lease) Token() Token {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tok
+}
+
+// TTL returns the lease's time-to-live (renewals should run well inside it).
+func (l *Lease) TTL() time.Duration { return l.ttl }
+
+// fencedErr builds (and latches) the deposition error naming the usurper.
+func (l *Lease) fenceLocked(cur *Token) error {
+	if l.fenced == nil {
+		l.fenced = fmt.Errorf("%w: generation %d deposed by generation %d (%q at %s)",
+			ErrFenced, l.tok.Gen, cur.Gen, cur.Holder, cur.Addr)
+	}
+	return l.fenced
+}
+
+// verifyLocked re-reads the token file and compares claims. Returns the
+// latched ErrFenced once a newer generation (or a different holder at ours)
+// is observed; nil while the file still carries our claim or has vanished.
+func (l *Lease) verifyLocked() error {
+	if l.fenced != nil {
+		return l.fenced
+	}
+	cur, err := ReadToken(l.dir)
+	switch {
+	case errors.Is(err, ErrNoLease):
+		return nil // cleared underneath us; next Renew rewrites it
+	case err != nil:
+		return err
+	case cur.Gen > l.tok.Gen, cur.Gen == l.tok.Gen && cur.Holder != l.tok.Holder:
+		return l.fenceLocked(cur)
+	}
+	return nil
+}
+
+// Verify synchronously checks the lease file for deposition. Used at
+// snapshot boundaries and in failure paths, where the answer must reflect
+// the file, not the in-memory cache.
+func (l *Lease) Verify() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.verifyLocked()
+}
+
+// Check is the hot-path guard: free while the held token is unexpired, a
+// file verification once the TTL has lapsed without a successful renewal (a
+// stalled root must not trust its stale claim). Returns an error wrapping
+// ErrFenced when deposed.
+func (l *Lease) Check() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.fenced != nil {
+		return l.fenced
+	}
+	if !l.released && time.Now().Before(l.tok.Expiry) {
+		return nil
+	}
+	return l.verifyLocked()
+}
+
+// Renew extends the claim by one TTL after verifying it still stands.
+// Returns an error wrapping ErrFenced if a newer generation has taken over.
+func (l *Lease) Renew() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.verifyLocked(); err != nil {
+		return err
+	}
+	if l.released {
+		return fmt.Errorf("%w: lease released", ErrNoLease)
+	}
+	l.tok.Expiry = time.Now().Add(l.ttl)
+	return writeToken(l.dir, &l.tok)
+}
+
+// Release expires the claim in place (keeping the generation in the file, so
+// the counter stays monotonic) — a graceful shutdown lets a standby take
+// over immediately instead of waiting out the TTL. Idempotent; a no-op once
+// fenced (the file belongs to the new root).
+func (l *Lease) Release() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.released || l.fenced != nil {
+		return nil
+	}
+	l.released = true
+	if err := l.verifyLocked(); err != nil {
+		return nil // deposed or unreadable: the file is no longer ours to touch
+	}
+	l.tok.Expiry = time.Now()
+	return writeToken(l.dir, &l.tok)
+}

@@ -34,6 +34,7 @@ package roster
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -91,6 +92,13 @@ type Config struct {
 	// delivered migration. It is invoked outside the engine lock and must
 	// be safe for concurrent use (the checkpoint store's GroupRecorder is).
 	Recorder Recorder
+	// RootGen is the master's lease generation (the HA fencing token).
+	// When positive, it is stamped on every parameter broadcast and migrate
+	// reassign, workers echo it on their uploads, and Collect rejects
+	// uploads carrying any other generation — so gradients encoded under a
+	// deposed root can never decode into the new root's model. Zero
+	// disables root-generation fencing (legacy single-root operation).
+	RootGen int
 }
 
 // Recorder receives the engine's durable events for write-ahead journaling.
@@ -141,6 +149,10 @@ type Stats struct {
 	// MalformedSkipped counts uploads rejected before decode (wrong length,
 	// NaN/Inf, transport validation failures).
 	MalformedSkipped int
+	// FencedRejected counts uploads rejected by the root-generation fence —
+	// frames tagged with (or encoded under) a deposed root's lease
+	// generation.
+	FencedRejected int
 	// TelemetrySamples counts telemetry reports ingested by the controller.
 	TelemetrySamples int
 }
@@ -445,6 +457,41 @@ func (e *Engine) Epoch() int {
 	return e.cfg.Controller.Epoch()
 }
 
+// SetRootGen replaces the lease generation stamped on broadcasts and checked
+// by Collect. An adopted group master calls it when a new root (a higher
+// generation) adopts it mid-run. It must be called only from the goroutine
+// that drives Migrate/BroadcastParams/Collect — the engine does not lock the
+// generation against its own run loop.
+func (e *Engine) SetRootGen(gen int) {
+	if gen > e.cfg.RootGen {
+		e.cfg.RootGen = gen
+	}
+}
+
+// RaiseEpochBase raises the controller's epoch floor (no-op when base is not
+// above the current floor) — the membership-reconciliation half of an
+// adoption handshake: a re-adopting root hands the group the highest epoch it
+// ever recorded for it, so plans built after adoption can never collide with
+// uploads encoded before.
+func (e *Engine) RaiseEpochBase(base int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cfg.Controller.SetEpochBase(base)
+}
+
+// MemberIDs returns every member ID the engine has admitted or reserved,
+// ascending — what a group master reports in its adoption handshake.
+func (e *Engine) MemberIDs() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ids := make([]int, 0, len(e.members))
+	for id := range e.members {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
 // ControllerState captures the control plane for a checkpoint snapshot,
 // serialised against the engine's own controller access (handshakes and
 // collects mutate the controller under the same lock).
@@ -517,8 +564,9 @@ func (e *Engine) Migrate(iter int, reason string) (*elastic.Plan, error) {
 				coeffs[i] = row[p]
 			}
 			env := &transport.Envelope{
-				Type:  transport.MsgReassign,
-				Epoch: plan.Epoch,
+				Type:    transport.MsgReassign,
+				Epoch:   plan.Epoch,
+				RootGen: e.cfg.RootGen,
 				Assign: &transport.Assignment{
 					WorkerID:   slot,
 					Partitions: parts,
@@ -557,7 +605,7 @@ func (e *Engine) BroadcastParams(plan *elastic.Plan, iter int, params []float64)
 		if !live {
 			continue
 		}
-		env := &transport.Envelope{Type: transport.MsgParams, Iter: iter, Epoch: plan.Epoch, Vector: params}
+		env := &transport.Envelope{Type: transport.MsgParams, Iter: iter, Epoch: plan.Epoch, RootGen: e.cfg.RootGen, Vector: params}
 		if err := e.sendTo(conn, env); err != nil {
 			e.noteDeath(id, gen)
 		}
@@ -629,6 +677,14 @@ func (e *Engine) Collect(plan *elastic.Plan, iter, dim int, timeout time.Duratio
 					}
 				}
 			case transport.MsgGradient:
+				// Root-generation fence: an upload tagged with a deposed
+				// root's lease generation was encoded against parameters that
+				// are no longer this run's truth — reject it before any other
+				// consideration.
+				if e.cfg.RootGen > 0 && env.RootGen != e.cfg.RootGen {
+					st.FencedRejected++
+					continue
+				}
 				// Epoch fence: uploads encoded under a superseded plan are
 				// rejected before they can reach decode.
 				if env.Epoch != plan.Epoch {

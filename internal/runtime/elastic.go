@@ -16,15 +16,19 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hetgc/hetgc/internal/checkpoint"
 	"github.com/hetgc/hetgc/internal/core"
 	"github.com/hetgc/hetgc/internal/elastic"
 	"github.com/hetgc/hetgc/internal/grad"
+	"github.com/hetgc/hetgc/internal/ha"
 	"github.com/hetgc/hetgc/internal/metrics"
 	"github.com/hetgc/hetgc/internal/ml"
 	"github.com/hetgc/hetgc/internal/roster"
@@ -84,6 +88,16 @@ type ElasticConfig struct {
 	// above every epoch the journal ever recorded, so gradient uploads
 	// encoded before the crash are fenced before decode.
 	Resume bool
+	// LeaseTTL, when positive, puts the master under the HA root lease in
+	// CheckpointDir: construction acquires the next lease generation
+	// (publishing the master's address in the token for discovery), a
+	// background loop renews it, every broadcast and upload carries the
+	// generation, and journal writes are refused once the lease is lost —
+	// a deposed master fails typed with ha.ErrFenced while the new holder
+	// trains on. Requires CheckpointDir.
+	LeaseTTL time.Duration
+	// Holder names this master in the lease token (default "elastic-root").
+	Holder string
 }
 
 func (c *ElasticConfig) validate() error {
@@ -107,6 +121,9 @@ func (c *ElasticConfig) validate() error {
 	}
 	if c.Resume && c.CheckpointDir == "" {
 		return fmt.Errorf("%w: resume requires a checkpoint directory", ErrBadConfig)
+	}
+	if c.LeaseTTL > 0 && c.CheckpointDir == "" {
+		return fmt.Errorf("%w: lease requires a checkpoint directory", ErrBadConfig)
 	}
 	return nil
 }
@@ -146,6 +163,11 @@ type ElasticResult struct {
 	TelemetrySamples int
 	// Joins and Deaths count membership events observed during the run.
 	Joins, Deaths int
+	// RootGen is the lease generation this master held (0 without a lease).
+	RootGen int
+	// FencedUploads counts gradient uploads rejected by the root-generation
+	// fence — frames encoded under a deposed root's broadcast.
+	FencedUploads int
 }
 
 // ElasticMaster drives elastic BSP training over TCP workers that may join,
@@ -166,6 +188,16 @@ type ElasticMaster struct {
 	// resume anchor is written before any new plan exists, and losing the
 	// fence there would let a second crash resume with colliding epochs.
 	fence int
+	// lease is the HA root lease (nil without LeaseTTL). renewSuspended is
+	// the fault-injection hook: once set, the renewal loop stops extending
+	// the lease, the TTL lapses, and a standby may take over — this master
+	// becomes the zombie whose writes get fenced.
+	lease          *ha.Lease
+	renewSuspended atomic.Bool
+	// stopRenew stops the renewal loop (idempotent; no-op without a lease).
+	// Renewal starts in the constructor so the lease survives however long
+	// worker admission takes before Run.
+	stopRenew func()
 }
 
 // NewElasticMaster validates the config, prepares the control plane and
@@ -193,7 +225,7 @@ func NewElasticMaster(cfg ElasticConfig, addr string) (*ElasticMaster, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
-	ma := &ElasticMaster{cfg: cfg, params: append([]float64(nil), cfg.InitialParams...), fence: -1}
+	ma := &ElasticMaster{cfg: cfg, params: append([]float64(nil), cfg.InitialParams...), fence: -1, stopRenew: func() {}}
 	var recovered []int
 	if cfg.CheckpointDir != "" && cfg.Resume {
 		state, err := checkpoint.Recover(cfg.CheckpointDir)
@@ -204,6 +236,31 @@ func NewElasticMaster(cfg ElasticConfig, addr string) (*ElasticMaster, error) {
 			return nil, err
 		}
 	}
+	// The listener comes first: the lease token publishes the dial address,
+	// so a standby that promotes discovers the live root from the token.
+	l, err := transport.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.LeaseTTL > 0 {
+		holder := cfg.Holder
+		if holder == "" {
+			holder = "elastic-root"
+		}
+		ma.lease, err = ha.Acquire(cfg.CheckpointDir, holder, l.Addr(), cfg.LeaseTTL)
+		if err != nil {
+			_ = l.Close()
+			return nil, err
+		}
+		// Renewal starts now, not in Run: worker admission between the two
+		// can outlast a short TTL, and the lease must not lapse then.
+		ch := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go ma.renewLoop(ch, &wg)
+		var once sync.Once
+		ma.stopRenew = func() { once.Do(func() { close(ch); wg.Wait() }) }
+	}
 	if cfg.CheckpointDir != "" {
 		if cfg.Resume {
 			ma.store, err = checkpoint.Reopen(cfg.CheckpointDir)
@@ -211,36 +268,47 @@ func NewElasticMaster(cfg ElasticConfig, addr string) (*ElasticMaster, error) {
 			ma.store, err = checkpoint.Create(cfg.CheckpointDir)
 		}
 		if err != nil {
+			ma.stopRenew()
+			_ = l.Close()
 			return nil, err
+		}
+		if ma.lease != nil {
+			// Every journal append and snapshot re-checks the lease: the
+			// moment a newer generation holds it, this master's writes are
+			// refused — a deposed root can never extend state the new
+			// holder already owns.
+			ma.store.SetGuard(ma.lease.Check)
 		}
 		if cfg.Resume {
 			// Anchor a fresh generation with the resumed state before any
 			// journal append: crash-during-resume re-recovers this exact
 			// state, and the old (possibly torn) journal is never extended.
 			if err := ma.store.WriteSnapshot(ma.snapshot(ctrl.State(), ma.startIter, -1, ma.clock, ma.params)); err != nil {
-				_ = ma.store.Close()
+				ma.stopRenew()
+				_ = l.Close()
+				ma.closeStore()
 				return nil, err
 			}
 		}
-	}
-	l, err := transport.Listen(addr)
-	if err != nil {
-		ma.closeStore()
-		return nil, err
 	}
 	var rec roster.Recorder
 	if ma.store != nil {
 		rec = ma.store.GroupRecorder(0)
 	}
-	eng, err := roster.New(roster.Config{
+	rcfg := roster.Config{
 		Controller:   ctrl,
 		WriteTimeout: cfg.IterTimeout,
 		K:            cfg.K,
 		S:            cfg.S,
 		Recovered:    recovered,
 		Recorder:     rec,
-	}, l)
+	}
+	if ma.lease != nil {
+		rcfg.RootGen = ma.lease.Gen()
+	}
+	eng, err := roster.New(rcfg, l)
 	if err != nil {
+		ma.stopRenew()
 		_ = l.Close()
 		ma.closeStore()
 		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
@@ -347,12 +415,15 @@ func (ma *ElasticMaster) WaitForWorkers(timeout time.Duration) error {
 // when the controller asks for it, then broadcast, collect, decode and step.
 // Mid-iteration deaths that make the current epoch undecodable force an
 // immediate migration and a retry of the same iteration under the new epoch.
-func (ma *ElasticMaster) Run() (*ElasticResult, error) {
+func (ma *ElasticMaster) Run() (_ *ElasticResult, err error) {
 	// Graceful shutdown from the run goroutine itself: Run is the member
 	// connections' only writer, so only it may send the shutdown frames.
 	// (External Close calls race Run's sends and must close cold instead.)
+	// A deposed master closes cold too: its workers now belong to the
+	// successor generation, and a MsgShutdown would dismiss them for good.
 	defer ma.closeStore()
-	defer ma.eng.Shutdown(true)
+	defer func() { ma.eng.Shutdown(!errors.Is(err, ha.ErrFenced)) }()
+	defer ma.stopRenew()
 	dim := ma.cfg.Model.Dim()
 	params := append([]float64(nil), ma.params...)
 	res := &ElasticResult{Curve: metrics.Series{Name: "elastic"}, StartIter: ma.startIter}
@@ -374,7 +445,7 @@ func (ma *ElasticMaster) Run() (*ElasticResult, error) {
 		if replan, reason := ma.eng.ShouldReplan(iter); replan {
 			p, err := ma.eng.Migrate(iter, reason)
 			if err != nil {
-				return nil, err
+				return nil, ma.fenced(err)
 			}
 			plan = p
 		}
@@ -392,11 +463,11 @@ func (ma *ElasticMaster) Run() (*ElasticResult, error) {
 				// iteration.
 				retries++
 				if retries > maxRetries {
-					return nil, fmt.Errorf("%w: iteration %d undecodable after %d migrations", ErrIterationTimeout, iter, retries-1)
+					return nil, ma.fenced(fmt.Errorf("%w: iteration %d undecodable after %d migrations", ErrIterationTimeout, iter, retries-1))
 				}
 				p, err := ma.eng.Migrate(iter, "churn")
 				if err != nil {
-					return nil, err
+					return nil, ma.fenced(err)
 				}
 				plan = p
 				continue
@@ -421,7 +492,7 @@ func (ma *ElasticMaster) Run() (*ElasticResult, error) {
 				}
 			}
 			if err := ma.persist(iter, plan.Epoch, clock, params); err != nil {
-				return nil, err
+				return nil, ma.fenced(err)
 			}
 			break
 		}
@@ -434,10 +505,77 @@ func (ma *ElasticMaster) Run() (*ElasticResult, error) {
 	res.StragglersSkipped = stats.StragglersSkipped
 	res.MalformedSkipped = stats.MalformedSkipped
 	res.TelemetrySamples = stats.TelemetrySamples
+	res.FencedUploads = stats.FencedRejected
 	res.Joins = ma.eng.Joins()
 	res.Deaths = ma.eng.Deaths()
 	res.Replans = ma.eng.Events()
+	if ma.lease != nil {
+		res.RootGen = ma.lease.Gen()
+		// Training complete: stop renewing and expire the lease in place so
+		// a standby is not left waiting a full TTL for a root that exited
+		// cleanly. The generation stays in the file for monotonicity.
+		ma.stopRenew()
+		_ = ma.lease.Release()
+	}
 	return res, nil
+}
+
+// renewLoop extends the lease on a cadence well inside the TTL. It stops on
+// the stop signal, when SuspendLeaseRenewal has been called (fault
+// injection: a stalled root), or when renewal observes the fence — in the
+// latter cases the lease lapses and a standby may take over; the store guard
+// then fails the run typed at the next persist.
+func (ma *ElasticMaster) renewLoop(stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	interval := ma.lease.TTL() / 3
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if ma.renewSuspended.Load() {
+				return
+			}
+			if err := ma.lease.Renew(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// SuspendLeaseRenewal stops extending the HA lease without stopping the
+// master — the fault-injection hook that turns this master into a zombie: it
+// keeps training until a standby takes over, after which its journal writes
+// and its workers' uploads are rejected and Run fails wrapping ha.ErrFenced.
+// No-op without a lease.
+func (ma *ElasticMaster) SuspendLeaseRenewal() { ma.renewSuspended.Store(true) }
+
+// RootGen returns the lease generation this master holds (0 without a
+// lease) — the fencing token stamped on every broadcast.
+func (ma *ElasticMaster) RootGen() int {
+	if ma.lease == nil {
+		return 0
+	}
+	return ma.lease.Gen()
+}
+
+// fenced maps a run failure to the fencing error when the real cause is a
+// lost lease: an error observed while a newer generation holds the lease is
+// reported wrapping ha.ErrFenced and naming the usurper — the remediation
+// the operator needs (this root must exit; workers follow the new token).
+func (ma *ElasticMaster) fenced(err error) error {
+	if ma.lease == nil || errors.Is(err, ha.ErrFenced) {
+		return err
+	}
+	if verr := ma.lease.Verify(); verr != nil && errors.Is(verr, ha.ErrFenced) {
+		return fmt.Errorf("%w (run failed: %v)", verr, err)
+	}
+	return err
 }
 
 // persist journals one completed iteration and snapshots the model on the
@@ -488,6 +626,7 @@ func (ma *ElasticMaster) StartIter() int { return ma.startIter }
 // because sending shutdown frames would race Run's own writes (Run performs
 // the graceful variant itself when it returns).
 func (ma *ElasticMaster) Close() {
+	ma.stopRenew()
 	ma.eng.Shutdown(false)
 	ma.closeStore()
 }

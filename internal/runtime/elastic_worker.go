@@ -198,7 +198,11 @@ func (w *ElasticWorker) iterate(env *transport.Envelope) error {
 		Iter:     env.Iter,
 		Epoch:    w.epoch,
 		WorkerID: w.id,
-		Vector:   coded,
+		// Echo the broadcast's root generation: the gradient is only valid
+		// against the params of the root that sent them, so a promoted root
+		// can fence uploads computed under its deposed predecessor.
+		RootGen: env.RootGen,
+		Vector:  coded,
 	}
 	err := w.conn.Send(out)
 	grad.PutBuffer(coded)
@@ -210,6 +214,7 @@ func (w *ElasticWorker) iterate(env *transport.Envelope) error {
 		Iter:     env.Iter,
 		Epoch:    w.epoch,
 		WorkerID: w.id,
+		RootGen:  env.RootGen,
 		Telemetry: &transport.Telemetry{
 			ComputeSeconds: compute,
 			UploadSeconds:  time.Since(uploadStart).Seconds(),

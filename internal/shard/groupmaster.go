@@ -10,6 +10,12 @@
 // collect are delegated to internal/roster — the same engine behind the
 // flat runtime.ElasticMaster — so a fencing fix lands once and is verified
 // against both runtimes by the shared conformance suite.
+//
+// Two deployments share this file's core. The in-process groupMaster is
+// spawned by NewRoot and lives and dies with the root. The out-of-process
+// GroupRunner (runner.go) wraps the same core in an adoption loop so the
+// group survives root restarts and can itself be restarted from its own
+// journal.
 package shard
 
 import (
@@ -26,63 +32,266 @@ import (
 	"github.com/hetgc/hetgc/internal/transport"
 )
 
-// groupMaster runs one coding group.
-type groupMaster struct {
-	root *Root
-	g    int
-	eng  *roster.Engine
-	up   *transport.Conn // uplink to the root (run loop is its only user)
+// groupCore is the group BSP machinery shared by the in-process groupMaster
+// and the restartable GroupRunner: one roster engine plus the epoch-fenced
+// iterate/migrate/retry policy.
+type groupCore struct {
+	eng         *roster.Engine
+	g           int
+	iterTimeout time.Duration
+	maxRetries  int
 
-	done chan struct{}
-
-	// Run statistics (owned by the run loop; read after it exits).
+	// Run statistics (owned by the serving goroutine; read after it exits).
 	epochs   []int
 	runStats roster.Stats
 }
 
-// newGroupMaster builds the group's control plane, starts its worker
-// listener and dials the root. The roster engine's prior hook hands the
-// controller the planned estimate of the group's workers in join order —
-// workers are fungible processes, telemetry corrects the rest. Partition
+// migrate builds the group's next epoch and delivers (epoch, assignment) to
+// every member of it via the roster engine.
+func (gc *groupCore) migrate(iter int, reason string) (*elastic.Plan, error) {
+	plan, err := gc.eng.Migrate(iter, reason)
+	if err != nil {
+		return nil, fmt.Errorf("%w: group %d: %v", ErrGroupFailed, gc.g, err)
+	}
+	return plan, nil
+}
+
+// iteration runs one group BSP iteration and returns the group's gradient
+// sum (a pooled buffer the caller must PutBuffer) and the epoch it decoded
+// under. Timeouts and fatal deaths force a group-local migration and a
+// retry, bounded by maxRetries.
+func (gc *groupCore) iteration(iter int, params []float64, planRef **elastic.Plan) (grad.Gradient, int, error) {
+	dim := len(params)
+	if replan, reason := gc.eng.ShouldReplan(iter); replan {
+		p, err := gc.migrate(iter, reason)
+		if err != nil {
+			return nil, 0, err
+		}
+		*planRef = p
+	}
+	if *planRef == nil {
+		// A session that starts without a plan — a runner re-adopting after
+		// an uplink loss — must migrate before it can broadcast: the fresh
+		// plan also lands above any epoch floor raised by the adoption ack.
+		p, err := gc.migrate(iter, "adopt")
+		if err != nil {
+			return nil, 0, err
+		}
+		*planRef = p
+	}
+	retries := 0
+	for {
+		plan := *planRef
+		gc.eng.BroadcastParams(plan, iter, params)
+		coeffs, coded, ok := gc.eng.Collect(plan, iter, dim, gc.iterTimeout, &gc.runStats)
+		if ok {
+			sum := grad.GetBuffer(dim)
+			if err := grad.CombineInto(sum, coeffs, coded); err != nil {
+				grad.PutBuffer(sum)
+				return nil, 0, fmt.Errorf("group %d iter %d combine: %w", gc.g, iter, err)
+			}
+			return sum, plan.Epoch, nil
+		}
+		// The epoch cannot complete: group-local migrate + retry.
+		retries++
+		if retries > gc.maxRetries {
+			return nil, 0, fmt.Errorf("%w: group %d iteration %d undecodable after %d migrations", ErrGroupFailed, gc.g, iter, retries-1)
+		}
+		p, err := gc.migrate(iter, "churn")
+		if err != nil {
+			return nil, 0, err
+		}
+		*planRef = p
+	}
+}
+
+// adopt performs the group side of the adoption handshake on a freshly
+// dialed root connection: it announces the group's live epoch and members,
+// and applies the root's reply — the epoch floor the root recorded for this
+// group (reconciled into the controller so post-adoption plans fence every
+// pre-adoption upload) and the root's lease generation. It returns the
+// adopted generation and the iteration the root will serve next.
+func (gc *groupCore) adopt(conn *transport.Conn, timeout time.Duration) (gen, nextIter int, err error) {
+	members := gc.eng.MemberIDs()
+	epoch := gc.eng.Epoch()
+	if epoch < -1 {
+		epoch = -1
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	defer conn.SetDeadline(time.Time{})
+	err = conn.Send(&transport.Envelope{
+		Type:  transport.MsgAdopt,
+		Adopt: &transport.Adoption{Group: gc.g, Epoch: epoch, Members: members},
+	})
+	if err != nil {
+		return 0, 0, fmt.Errorf("group %d adoption: %w", gc.g, err)
+	}
+	ack, err := conn.Recv()
+	if err != nil {
+		return 0, 0, fmt.Errorf("group %d adoption ack: %w", gc.g, err)
+	}
+	if ack.Type != transport.MsgAdopt || ack.Adopt == nil || ack.Adopt.Group != gc.g {
+		return 0, 0, fmt.Errorf("%w: group %d: bad adoption ack %v", ErrBadConfig, gc.g, ack.Type)
+	}
+	gc.eng.RaiseEpochBase(ack.Adopt.Epoch + 1)
+	gc.eng.SetRootGen(ack.RootGen)
+	return ack.RootGen, ack.Iter, nil
+}
+
+// coreState summarises the group's durable state: its highest plan epoch,
+// every member ID it admitted, and the live control-plane state (throughput
+// estimates), so a resumed or promoted root re-plans from real history.
+func (gc *groupCore) coreState() checkpoint.GroupState {
+	gs := checkpoint.GroupState{Group: gc.g, Epoch: gc.eng.Epoch(), Ctrl: gc.eng.ControllerState()}
+	for _, ms := range gs.Ctrl.Members {
+		gs.Members = append(gs.Members, ms.ID)
+	}
+	sort.Ints(gs.Members)
+	return gs
+}
+
+// coreStats snapshots the group's counters after the serving loop exited.
+func (gc *groupCore) coreStats(workers int) GroupStats {
+	return GroupStats{
+		Group:              gc.g,
+		Workers:            workers,
+		Epochs:             append([]int(nil), gc.epochs...),
+		Replans:            gc.eng.Events(),
+		StaleEpochRejected: gc.runStats.StaleEpochRejected,
+		StaleConnRejected:  gc.runStats.StaleConnRejected,
+		StragglersSkipped:  gc.runStats.StragglersSkipped,
+		MalformedSkipped:   gc.runStats.MalformedSkipped,
+		FencedRejected:     gc.runStats.FencedRejected,
+		TelemetrySamples:   gc.runStats.TelemetrySamples,
+		Joins:              gc.eng.Joins(),
+		Deaths:             gc.eng.Deaths(),
+	}
+}
+
+// buildGroupController constructs (and, on resume, restores) one group's
+// control plane. Recovery precedence: a snapshot-carried controller state —
+// real throughput history — wins over the planned-throughput priors derived
+// from member IDs alone. Every restored member starts dead (its connection
+// died with the previous incarnation) and the epoch base is raised above
+// everything the journal recorded.
+func buildGroupController(cfg *Config, grp *Group, g int, ctrlState *elastic.ControllerState, memberIDs []int, epochFloor int, has bool) (*elastic.Controller, []int, error) {
+	ctrl, err := elastic.NewController(elastic.Config{
+		K: len(grp.Parts), S: cfg.S, Scheme: cfg.Scheme,
+		Alpha: cfg.Alpha, DriftThreshold: cfg.DriftThreshold,
+		MinObservations: cfg.MinObservations, CooldownIters: cfg.CooldownIters,
+		InitialRate: cfg.InitialRate,
+	}, rand.New(rand.NewSource(cfg.Seed+int64(g)+1)))
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: group %d: %v", ErrBadConfig, g, err)
+	}
+	var recovered []int
+	switch {
+	case ctrlState != nil && len(ctrlState.Members) > 0:
+		cs := &elastic.ControllerState{LastReplan: -1, Events: ctrlState.Events}
+		seen := make(map[int]bool)
+		for _, ms := range ctrlState.Members {
+			ms.Alive = false
+			cs.Members = append(cs.Members, ms)
+			seen[ms.ID] = true
+			recovered = append(recovered, ms.ID)
+		}
+		// Journal-only joiners (admitted after the snapshot) follow with cold
+		// priors.
+		for _, id := range memberIDs {
+			if !seen[id] {
+				cs.Members = append(cs.Members, elastic.MemberState{ID: id})
+				recovered = append(recovered, id)
+			}
+		}
+		if err := ctrl.Restore(cs); err != nil {
+			return nil, nil, fmt.Errorf("%w: group %d: %v", ErrBadConfig, g, err)
+		}
+	case len(memberIDs) > 0:
+		cs := &elastic.ControllerState{LastReplan: -1}
+		for i, id := range memberIDs {
+			prior := 0.0
+			if i < len(grp.Workers) {
+				prior = cfg.Throughputs[grp.Workers[i]]
+			}
+			cs.Members = append(cs.Members, elastic.MemberState{
+				ID: id, Meter: estimate.MeterState{Prior: prior},
+			})
+		}
+		if err := ctrl.Restore(cs); err != nil {
+			return nil, nil, fmt.Errorf("%w: group %d: %v", ErrBadConfig, g, err)
+		}
+		recovered = memberIDs
+	}
+	if has {
+		ctrl.SetEpochBase(epochFloor + 1)
+	}
+	sort.Ints(recovered)
+	return ctrl, recovered, nil
+}
+
+// newGroupEngine builds the roster engine for one group on lis. Partition
 // indices in assignments are global (the worker fetches data by global
 // partition ID), so the engine translates through the group's partition
 // slice and advertises the global K.
-func newGroupMaster(r *Root, g int) (*groupMaster, error) {
-	grp := r.plan.Groups[g]
-	ctrl, err := elastic.NewController(elastic.Config{
-		K: len(grp.Parts), S: r.cfg.S, Scheme: r.cfg.Scheme,
-		Alpha: r.cfg.Alpha, DriftThreshold: r.cfg.DriftThreshold,
-		MinObservations: r.cfg.MinObservations, CooldownIters: r.cfg.CooldownIters,
-		InitialRate: r.cfg.InitialRate,
-	}, rand.New(rand.NewSource(r.cfg.Seed+int64(g)+1)))
+func newGroupEngine(cfg *Config, grp *Group, g int, ctrl *elastic.Controller, recovered []int, rec roster.Recorder, lis *transport.Listener) (*roster.Engine, error) {
+	eng, err := roster.New(roster.Config{
+		Controller:   ctrl,
+		WriteTimeout: cfg.IterTimeout,
+		InboxSize:    2*len(grp.Workers) + 8,
+		K:            cfg.K, // global K: partition IDs are global
+		S:            cfg.S,
+		PartitionMap: grp.Parts,
+		Recovered:    recovered,
+		Recorder:     rec,
+		Prior: func(joinSeq int) float64 {
+			if joinSeq < len(grp.Workers) {
+				return cfg.Throughputs[grp.Workers[joinSeq]]
+			}
+			return 0
+		},
+	}, lis)
 	if err != nil {
+		_ = lis.Close()
 		return nil, fmt.Errorf("%w: group %d: %v", ErrBadConfig, g, err)
 	}
-	// Checkpoint resume: reserve the group's pre-crash member IDs (workers
-	// rejoin them via ResumeID), restore them dead in the control plane with
-	// the planned throughputs as priors, and raise the epoch base above
-	// everything the journal recorded so stale pre-crash uploads are fenced.
-	var recovered []int
+	return eng, nil
+}
+
+// groupMaster runs one coding group in-process, under the root that spawned
+// it.
+type groupMaster struct {
+	groupCore
+	root    *Root
+	up      *transport.Conn // uplink to the root (run loop is its only user)
+	rootGen int             // the root lease generation adopted at construction
+
+	done chan struct{}
+}
+
+// newGroupMaster builds the group's control plane, starts its worker
+// listener, dials the root and performs the adoption handshake (announcing
+// the recovered membership, adopting the root's lease generation).
+func newGroupMaster(r *Root, g int) (*groupMaster, error) {
+	grp := r.plan.Groups[g]
+	var ctrlState *elastic.ControllerState
+	var memberIDs []int
+	epochFloor, has := 0, false
 	if st := r.resume; st != nil {
-		if ids := st.GroupMembers[g]; len(ids) > 0 {
-			cs := &elastic.ControllerState{LastReplan: -1}
-			for i, id := range ids {
-				prior := 0.0
-				if i < len(grp.Workers) {
-					prior = r.cfg.Throughputs[grp.Workers[i]]
+		memberIDs = st.GroupMembers[g]
+		if st.Snap != nil {
+			for i := range st.Snap.Groups {
+				if st.Snap.Groups[i].Group == g {
+					ctrlState = st.Snap.Groups[i].Ctrl
 				}
-				cs.Members = append(cs.Members, elastic.MemberState{
-					ID: id, Meter: estimate.MeterState{Prior: prior},
-				})
 			}
-			if err := ctrl.Restore(cs); err != nil {
-				return nil, fmt.Errorf("%w: group %d: %v", ErrBadConfig, g, err)
-			}
-			recovered = ids
 		}
 		if e, ok := st.GroupEpochs[g]; ok {
-			ctrl.SetEpochBase(e + 1)
+			epochFloor, has = e, true
 		}
+	}
+	ctrl, recovered, err := buildGroupController(&r.cfg, grp, g, ctrlState, memberIDs, epochFloor, has)
+	if err != nil {
+		return nil, err
 	}
 	var rec roster.Recorder
 	if r.store != nil {
@@ -92,43 +301,28 @@ func newGroupMaster(r *Root, g int) (*groupMaster, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := roster.New(roster.Config{
-		Controller:   ctrl,
-		WriteTimeout: r.cfg.IterTimeout,
-		InboxSize:    2*len(grp.Workers) + 8,
-		K:            r.cfg.K, // global K: partition IDs are global
-		S:            r.cfg.S,
-		PartitionMap: grp.Parts,
-		Recovered:    recovered,
-		Recorder:     rec,
-		Prior: func(joinSeq int) float64 {
-			if joinSeq < len(grp.Workers) {
-				return r.cfg.Throughputs[grp.Workers[joinSeq]]
-			}
-			return 0
-		},
-	}, lis)
+	eng, err := newGroupEngine(&r.cfg, grp, g, ctrl, recovered, rec, lis)
 	if err != nil {
-		_ = lis.Close()
-		return nil, fmt.Errorf("%w: group %d: %v", ErrBadConfig, g, err)
+		return nil, err
 	}
 	up, err := transport.Dial(r.lis.Addr(), 10*time.Second)
 	if err != nil {
 		eng.Shutdown(false)
 		return nil, err
 	}
-	if err := up.Send(&transport.Envelope{Type: transport.MsgHello, WorkerID: g}); err != nil {
+	gm := &groupMaster{
+		groupCore: groupCore{eng: eng, g: g, iterTimeout: r.cfg.IterTimeout, maxRetries: r.cfg.MaxRetries},
+		root:      r,
+		up:        up,
+		done:      make(chan struct{}),
+	}
+	gen, _, err := gm.adopt(up, 10*time.Second)
+	if err != nil {
 		eng.Shutdown(false)
 		_ = up.Close()
 		return nil, err
 	}
-	gm := &groupMaster{
-		root: r,
-		g:    g,
-		eng:  eng,
-		up:   up,
-		done: make(chan struct{}),
-	}
+	gm.rootGen = gen
 	go gm.run()
 	return gm, nil
 }
@@ -145,20 +339,10 @@ func (gm *groupMaster) waitForWorkers(timeout time.Duration) error {
 	return nil
 }
 
-// migrate builds the group's next epoch and delivers (epoch, assignment) to
-// every member of it via the roster engine.
-func (gm *groupMaster) migrate(iter int, reason string) (*elastic.Plan, error) {
-	plan, err := gm.eng.Migrate(iter, reason)
-	if err != nil {
-		return nil, fmt.Errorf("%w: group %d: %v", ErrGroupFailed, gm.g, err)
-	}
-	return plan, nil
-}
-
 // run is the group master's main loop: it serves root broadcasts until
 // shutdown, running one epoch-fenced group iteration per MsgParams and
 // answering with the group's decoded sum as a single coalesced batch of
-// chunks.
+// chunks, stamped with the adopted root generation.
 func (gm *groupMaster) run() {
 	defer close(gm.done)
 	var plan *elastic.Plan
@@ -173,13 +357,19 @@ func (gm *groupMaster) run() {
 			gm.shutdown(true)
 			return
 		case transport.MsgParams:
+			if env.RootGen != gm.rootGen {
+				// A frame from a root generation this group never adopted —
+				// in-process that cannot happen, but the check is the same
+				// one the restartable runner relies on.
+				continue
+			}
 			sum, epoch, err := gm.iteration(env.Iter, env.Vector, &plan)
 			if err != nil {
 				gm.fatal(err)
 				return
 			}
 			gm.epochs = append(gm.epochs, epoch)
-			tmpl := transport.Envelope{Iter: env.Iter, Epoch: epoch, WorkerID: gm.g}
+			tmpl := transport.Envelope{Iter: env.Iter, Epoch: epoch, WorkerID: gm.g, RootGen: gm.rootGen}
 			frames := transport.ChunkGradient(tmpl, sum, gm.root.cfg.ChunkLen)
 			err = gm.up.SendBatch(frames)
 			grad.PutBuffer(sum)
@@ -188,46 +378,6 @@ func (gm *groupMaster) run() {
 				return
 			}
 		}
-	}
-}
-
-// iteration runs one group BSP iteration and returns the group's gradient
-// sum (a pooled buffer the caller must PutBuffer) and the epoch it decoded
-// under. Timeouts and fatal deaths force a group-local migration and a
-// retry, bounded by MaxRetries.
-func (gm *groupMaster) iteration(iter int, params []float64, planRef **elastic.Plan) (grad.Gradient, int, error) {
-	cfg := &gm.root.cfg
-	dim := len(params)
-	if replan, reason := gm.eng.ShouldReplan(iter); replan {
-		p, err := gm.migrate(iter, reason)
-		if err != nil {
-			return nil, 0, err
-		}
-		*planRef = p
-	}
-	retries := 0
-	for {
-		plan := *planRef
-		gm.eng.BroadcastParams(plan, iter, params)
-		coeffs, coded, ok := gm.eng.Collect(plan, iter, dim, cfg.IterTimeout, &gm.runStats)
-		if ok {
-			sum := grad.GetBuffer(dim)
-			if err := grad.CombineInto(sum, coeffs, coded); err != nil {
-				grad.PutBuffer(sum)
-				return nil, 0, fmt.Errorf("group %d iter %d combine: %w", gm.g, iter, err)
-			}
-			return sum, plan.Epoch, nil
-		}
-		// The epoch cannot complete: group-local migrate + retry.
-		retries++
-		if retries > cfg.MaxRetries {
-			return nil, 0, fmt.Errorf("%w: group %d iteration %d undecodable after %d migrations", ErrGroupFailed, gm.g, iter, retries-1)
-		}
-		p, err := gm.migrate(iter, "churn")
-		if err != nil {
-			return nil, 0, err
-		}
-		*planRef = p
 	}
 }
 
@@ -261,30 +411,10 @@ func (gm *groupMaster) close() {
 // waitDone blocks until the run loop exited.
 func (gm *groupMaster) waitDone() { <-gm.done }
 
-// groupState summarises the group's durable state for a snapshot: its
-// highest plan epoch and every member ID it admitted.
-func (gm *groupMaster) groupState() checkpoint.GroupState {
-	gs := checkpoint.GroupState{Group: gm.g, Epoch: gm.eng.Epoch()}
-	for _, ms := range gm.eng.ControllerState().Members {
-		gs.Members = append(gs.Members, ms.ID)
-	}
-	sort.Ints(gs.Members)
-	return gs
-}
+// groupState summarises the group's durable state for a root snapshot.
+func (gm *groupMaster) groupState() checkpoint.GroupState { return gm.coreState() }
 
 // stats snapshots the group's counters after the run completed.
 func (gm *groupMaster) stats() GroupStats {
-	return GroupStats{
-		Group:              gm.g,
-		Workers:            len(gm.root.plan.Groups[gm.g].Workers),
-		Epochs:             append([]int(nil), gm.epochs...),
-		Replans:            gm.eng.Events(),
-		StaleEpochRejected: gm.runStats.StaleEpochRejected,
-		StaleConnRejected:  gm.runStats.StaleConnRejected,
-		StragglersSkipped:  gm.runStats.StragglersSkipped,
-		MalformedSkipped:   gm.runStats.MalformedSkipped,
-		TelemetrySamples:   gm.runStats.TelemetrySamples,
-		Joins:              gm.eng.Joins(),
-		Deaths:             gm.eng.Deaths(),
-	}
+	return gm.coreStats(len(gm.root.plan.Groups[gm.g].Workers))
 }

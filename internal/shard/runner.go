@@ -1,0 +1,483 @@
+// GroupRunner: a coding-group master as an independently restartable unit.
+//
+// The in-process groupMaster lives and dies with its root. A GroupRunner
+// hosts the same group core (roster engine, group-local control plane,
+// epoch-fenced collect) behind an adoption loop: it dials whatever root the
+// lease token in RootDir names (or a fixed RootAddr), announces its live
+// epoch and membership with MsgAdopt, serves params broadcasts from the
+// adopted root, and whenever the uplink dies — root crash, root takeover,
+// network fault — it simply re-dials and re-adopts. The group's workers
+// never notice: the runner's own listener address is stable, so they stay
+// connected (or rejoin by ResumeID) across any number of root incarnations.
+//
+// With a JournalDir the runner owns a per-group journal: membership and
+// migrations stream through a checkpoint.GroupRecorder, and the group's
+// control-plane state (epoch, members, throughput estimates) is snapshotted
+// on the SnapshotEvery cadence. A restarted runner (ResumeJournal) rebuilds
+// its controller from that history, reserves its member IDs for rejoins,
+// and raises its epoch base above everything recorded — the same fencing
+// discipline as a resumed root.
+//
+// Zombie fencing is generation-based on both sides: the runner refuses an
+// adoption ack whose RootGen is below the generation it already adopted
+// (a deposed root answering late), stamps every upload with the adopted
+// generation, and — when RootDir is set — watches the lease token so a
+// takeover proactively defects the uplink to the new root instead of
+// waiting for the old one to die.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/checkpoint"
+	"github.com/hetgc/hetgc/internal/elastic"
+	"github.com/hetgc/hetgc/internal/grad"
+	"github.com/hetgc/hetgc/internal/ha"
+	"github.com/hetgc/hetgc/internal/roster"
+	"github.com/hetgc/hetgc/internal/transport"
+)
+
+// ErrRunnerStopped reports a runner torn down by Stop rather than failure.
+var ErrRunnerStopped = errors.New("shard: group runner stopped")
+
+// GroupRunnerConfig configures one out-of-process group master. The
+// embedded Config must match the root's exactly where the plan is concerned
+// (K, S, GroupSize, FanIn, Scheme, Throughputs, Seed) — both sides derive
+// the same layout independently. Model, Optimizer, InitialParams,
+// Iterations, SampleCount, LossEvery, LossFn, CheckpointDir, Resume,
+// LeaseTTL and ExternalGroups are ignored: the runner neither trains nor
+// holds the root lease.
+type GroupRunnerConfig struct {
+	Config
+	// Group is the coding group this runner serves (must be listed in the
+	// root's ExternalGroups).
+	Group int
+	// WorkerAddr is the runner's worker listen address. Use a fixed port in
+	// deployments so workers survive runner restarts ("127.0.0.1:0" is fine
+	// for single-run tests).
+	WorkerAddr string
+	// RootAddr, when non-empty, pins the root's dial address. Leave empty
+	// and set RootDir to discover the root (and every successor) from the
+	// lease token instead.
+	RootAddr string
+	// RootDir, when non-empty, is the root's checkpoint/lease directory:
+	// the runner reads the lease token for discovery and watches it for
+	// takeovers, defecting to each new generation's address.
+	RootDir string
+	// JournalDir, when non-empty, makes the group's control-plane state
+	// durable in its own per-group journal.
+	JournalDir string
+	// ResumeJournal rebuilds the runner from the journal in JournalDir: the
+	// controller restored from the snapshot's throughput history, member
+	// IDs reserved for ResumeID rejoins, epoch base raised above the
+	// recorded history.
+	ResumeJournal bool
+}
+
+func (c *GroupRunnerConfig) validate() error {
+	if c.K <= 0 || c.S < 0 {
+		return fmt.Errorf("%w: k=%d s=%d", ErrBadConfig, c.K, c.S)
+	}
+	if len(c.Throughputs) == 0 {
+		return fmt.Errorf("%w: no workers", ErrBadConfig)
+	}
+	if c.IterTimeout <= 0 {
+		return fmt.Errorf("%w: iteration timeout required", ErrBadConfig)
+	}
+	if c.RootAddr == "" && c.RootDir == "" {
+		return fmt.Errorf("%w: runner needs RootAddr or RootDir", ErrBadConfig)
+	}
+	if c.ResumeJournal && c.JournalDir == "" {
+		return fmt.Errorf("%w: resume requires a journal directory", ErrBadConfig)
+	}
+	return nil
+}
+
+// GroupRunner is a running out-of-process group master.
+type GroupRunner struct {
+	cfg   GroupRunnerConfig
+	core  groupCore
+	store *checkpoint.Store
+
+	mu         sync.Mutex
+	up         *transport.Conn // live uplink (nil between adoptions)
+	adoptedGen int
+	stopped    bool
+
+	served       int // iterations served (drives the snapshot cadence)
+	iterFailures int // consecutive failed iterations across adoptions
+
+	stop chan struct{}
+	done chan struct{}
+	err  error // sticky; read via Err after done
+}
+
+// StartGroup builds the group's control plane (restoring it from the
+// journal when resuming), starts the worker listener on WorkerAddr, and
+// launches the adoption/serve loop. Workers dial Addr() with the elastic
+// worker protocol; the runner keeps serving across root restarts until
+// Stop, a MsgShutdown from the root, or an unrecoverable failure.
+func StartGroup(cfg GroupRunnerConfig) (*GroupRunner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ChunkLen <= 0 {
+		cfg.ChunkLen = DefaultChunkLen
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 2
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 10
+	}
+	plan, err := BuildPlanLayout(cfg.Throughputs, PlanConfig{
+		K: cfg.K, S: cfg.S, GroupSize: cfg.GroupSize, FanIn: cfg.FanIn, Scheme: cfg.Scheme,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g := cfg.Group
+	if g < 0 || g >= plan.NumGroups() {
+		return nil, fmt.Errorf("%w: group %d out of range (plan has %d groups)", ErrBadConfig, g, plan.NumGroups())
+	}
+	grp := plan.Groups[g]
+
+	// Journal recovery: the runner's own history, not the root's.
+	var ctrlState *elastic.ControllerState
+	var memberIDs []int
+	epochFloor, hasFloor := 0, false
+	var store *checkpoint.Store
+	if cfg.JournalDir != "" {
+		if cfg.ResumeJournal {
+			state, err := checkpoint.Recover(cfg.JournalDir)
+			if err != nil {
+				return nil, err
+			}
+			memberIDs = state.GroupMembers[g]
+			if state.Snap != nil {
+				for i := range state.Snap.Groups {
+					if state.Snap.Groups[i].Group == g {
+						ctrlState = state.Snap.Groups[i].Ctrl
+					}
+				}
+			}
+			if e, ok := state.GroupEpochs[g]; ok {
+				epochFloor, hasFloor = e, true
+			}
+			if store, err = checkpoint.Reopen(cfg.JournalDir); err != nil {
+				return nil, err
+			}
+		} else if store, err = checkpoint.Create(cfg.JournalDir); err != nil {
+			return nil, err
+		}
+	}
+	ctrl, recovered, err := buildGroupController(&cfg.Config, grp, g, ctrlState, memberIDs, epochFloor, hasFloor)
+	if err != nil {
+		if store != nil {
+			_ = store.Close()
+		}
+		return nil, err
+	}
+	var rec roster.Recorder
+	if store != nil {
+		rec = store.GroupRecorder(g)
+	}
+	lis, err := transport.Listen(cfg.WorkerAddr)
+	if err != nil {
+		if store != nil {
+			_ = store.Close()
+		}
+		return nil, err
+	}
+	eng, err := newGroupEngine(&cfg.Config, grp, g, ctrl, recovered, rec, lis)
+	if err != nil {
+		if store != nil {
+			_ = store.Close()
+		}
+		return nil, err
+	}
+	r := &GroupRunner{
+		cfg:   cfg,
+		core:  groupCore{eng: eng, g: g, iterTimeout: cfg.IterTimeout, maxRetries: cfg.MaxRetries},
+		store: store,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	if store != nil && cfg.ResumeJournal {
+		// Anchor a fresh journal generation with the restored state before
+		// any append.
+		if err := store.WriteSnapshot(r.snapshot()); err != nil {
+			r.teardown()
+			return nil, err
+		}
+	}
+	go r.loop()
+	return r, nil
+}
+
+// Addr returns the runner's worker listen address.
+func (r *GroupRunner) Addr() string { return r.core.eng.Addr() }
+
+// Group returns the coding group this runner serves.
+func (r *GroupRunner) Group() int { return r.cfg.Group }
+
+// Gen returns the root generation the runner most recently adopted.
+func (r *GroupRunner) Gen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.adoptedGen
+}
+
+// WaitForWorkers blocks until at least min members joined the group.
+func (r *GroupRunner) WaitForWorkers(min int, timeout time.Duration) error {
+	return r.core.eng.WaitForMembers(min, timeout)
+}
+
+// Done is closed when the runner's serve loop exits.
+func (r *GroupRunner) Done() <-chan struct{} { return r.done }
+
+// Err reports why the runner exited (nil after a root-driven shutdown,
+// ErrRunnerStopped after Stop). Valid once Done is closed.
+func (r *GroupRunner) Err() error {
+	<-r.done
+	if r.err != nil && errors.Is(r.err, ErrRunnerStopped) {
+		return ErrRunnerStopped
+	}
+	return r.err
+}
+
+// Stats snapshots the group's counters. Valid once Done is closed.
+func (r *GroupRunner) Stats() GroupStats {
+	<-r.done
+	return r.core.coreStats(r.core.eng.AliveCount())
+}
+
+// Stop tears the runner down cold: no shutdown frames to workers (they see
+// a dead connection and reconnect elsewhere — or to this runner's restart).
+func (r *GroupRunner) Stop() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		<-r.done
+		return
+	}
+	r.stopped = true
+	up := r.up
+	r.mu.Unlock()
+	close(r.stop)
+	if up != nil {
+		_ = up.Close()
+	}
+	r.core.eng.Shutdown(false)
+	<-r.done
+}
+
+// snapshot assembles the runner's durable state: the group's epoch,
+// members and live controller state (nil params — a group journal holds no
+// model).
+func (r *GroupRunner) snapshot() *checkpoint.Snapshot {
+	return &checkpoint.Snapshot{
+		Iter:   r.served,
+		Epoch:  -1,
+		Groups: []checkpoint.GroupState{r.core.coreState()},
+	}
+}
+
+// teardown releases everything the constructor built.
+func (r *GroupRunner) teardown() {
+	r.core.eng.Shutdown(false)
+	if r.store != nil {
+		_ = r.store.Close()
+	}
+	close(r.done)
+}
+
+// stopping reports whether Stop was called.
+func (r *GroupRunner) stopping() bool {
+	select {
+	case <-r.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// rootAddr resolves the root's current dial address (and its generation,
+// when discovered through the lease token).
+func (r *GroupRunner) rootAddr() (addr string, gen int, err error) {
+	if r.cfg.RootDir != "" {
+		tok, err := ha.ReadToken(r.cfg.RootDir)
+		if err != nil {
+			return "", 0, err
+		}
+		return tok.Addr, tok.Gen, nil
+	}
+	return r.cfg.RootAddr, 0, nil
+}
+
+// loop is the adoption/serve loop: dial the current root, adopt, serve its
+// broadcasts until the uplink dies, repeat. Iteration failures are
+// non-fatal (the root resends params after re-adoption) but bounded:
+// consecutive failures without a single served iteration in between give
+// up.
+func (r *GroupRunner) loop() {
+	var tornDown bool
+	defer func() {
+		if !tornDown {
+			r.teardown()
+		}
+	}()
+	failures := 0
+	for {
+		if r.stopping() {
+			r.err = ErrRunnerStopped
+			return
+		}
+		addr, tokGen, err := r.rootAddr()
+		if err == nil && tokGen > 0 && tokGen < r.Gen() {
+			// The token still names a root older than the one we adopted —
+			// a stale read during takeover; wait for the new claim.
+			err = fmt.Errorf("stale lease token (gen %d < adopted %d)", tokGen, r.Gen())
+		}
+		var conn *transport.Conn
+		if err == nil {
+			conn, err = transport.Dial(addr, 2*time.Second)
+		}
+		if err != nil {
+			failures++
+			if failures > 200 {
+				r.err = fmt.Errorf("%w: group %d cannot reach a root: %v", ErrGroupFailed, r.cfg.Group, err)
+				return
+			}
+			select {
+			case <-r.stop:
+			case <-time.After(50 * time.Millisecond):
+			}
+			continue
+		}
+		gen, _, err := r.core.adopt(conn, 5*time.Second)
+		if err != nil || gen < r.Gen() {
+			// A handshake failure — or a zombie: a deposed root acking with
+			// a generation below the one we already adopted.
+			_ = conn.Close()
+			failures++
+			select {
+			case <-r.stop:
+			case <-time.After(50 * time.Millisecond):
+			}
+			continue
+		}
+		failures = 0
+		r.mu.Lock()
+		if r.stopped {
+			r.mu.Unlock()
+			_ = conn.Close()
+			r.err = ErrRunnerStopped
+			return
+		}
+		r.up = conn
+		r.adoptedGen = gen
+		r.mu.Unlock()
+		watchStop := make(chan struct{})
+		if r.cfg.RootDir != "" {
+			go r.watchToken(conn, gen, watchStop)
+		}
+		fatal := r.serve(conn, gen)
+		close(watchStop)
+		r.mu.Lock()
+		if r.up == conn {
+			r.up = nil
+		}
+		r.mu.Unlock()
+		_ = conn.Close()
+		if fatal {
+			return
+		}
+	}
+}
+
+// watchToken polls the lease token while conn is the live uplink and closes
+// it the moment a higher generation claims the root — the proactive defect
+// that keeps a zombie root from holding this group hostage until TCP
+// notices.
+func (r *GroupRunner) watchToken(conn *transport.Conn, gen int, stop <-chan struct{}) {
+	t := time.NewTicker(50 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-r.stop:
+			return
+		case <-t.C:
+			tok, err := ha.ReadToken(r.cfg.RootDir)
+			if err == nil && tok.Gen > gen {
+				_ = conn.Close()
+				return
+			}
+		}
+	}
+}
+
+// serve runs the adopted session: one group iteration per MsgParams (fenced
+// by the adopted generation), uploads stamped with it, group snapshots on
+// the journal cadence. Returns true when the loop must not re-adopt
+// (shutdown, stop, unrecoverable failure); false re-enters the adoption
+// loop.
+func (r *GroupRunner) serve(conn *transport.Conn, gen int) (fatal bool) {
+	var plan *elastic.Plan
+	for {
+		env, err := conn.Recv()
+		if err != nil {
+			if r.stopping() {
+				r.err = ErrRunnerStopped
+				return true
+			}
+			return false
+		}
+		switch env.Type {
+		case transport.MsgShutdown:
+			r.core.eng.Shutdown(true)
+			return true
+		case transport.MsgParams:
+			if env.RootGen != gen {
+				continue // a broadcast from a generation we did not adopt
+			}
+			// A freshly restarted runner may see params before its workers
+			// have rejoined; give a plannable quorum (s+1 — the controller's
+			// floor) one timeout to show up. Serving with a partial roster
+			// beyond that is fine — the controller plans around it.
+			if need := r.cfg.S + 1; r.core.eng.AliveCount() < need {
+				_ = r.core.eng.WaitForMembers(need, r.cfg.IterTimeout)
+			}
+			sum, epoch, err := r.core.iteration(env.Iter, env.Vector, &plan)
+			if err != nil {
+				// Unlike the in-process master, an iteration failure is not
+				// fatal to training: drop the uplink, re-adopt, let the root
+				// resend. Bounded so a group that can never decode gives up.
+				r.iterFailures++
+				if r.iterFailures > r.cfg.MaxRetries+2 {
+					r.err = err
+					return true
+				}
+				return false
+			}
+			r.iterFailures = 0
+			r.core.epochs = append(r.core.epochs, epoch)
+			tmpl := transport.Envelope{Iter: env.Iter, Epoch: epoch, WorkerID: r.cfg.Group, RootGen: gen}
+			frames := transport.ChunkGradient(tmpl, sum, r.cfg.ChunkLen)
+			err = conn.SendBatch(frames)
+			grad.PutBuffer(sum)
+			if err != nil {
+				return false // uplink died mid-upload; re-adopt
+			}
+			r.served++
+			if r.store != nil && r.served%r.cfg.SnapshotEvery == 0 {
+				_ = r.store.WriteSnapshot(r.snapshot())
+			}
+		}
+	}
+}

@@ -8,6 +8,21 @@
 // broadcasts parameters down, reassembles the chunked uploads, reduces them
 // along the configured fan-in tree and steps the optimizer.
 //
+// Groups attach to the root through an adoption handshake rather than a
+// fixed spawn order: every group connection (in-process group master or
+// out-of-process GroupRunner, and every reconnect after either side
+// restarts) opens with MsgAdopt carrying the group's live epoch and member
+// IDs. The root reconciles that against what its own journal recorded —
+// epoch floors only ever rise, member sets only ever grow — and answers
+// with the reconciled floor plus its lease generation, so a group that
+// outlived a root crash is re-adopted with its real history instead of
+// being respawned from scratch.
+//
+// With a positive LeaseTTL the root runs under the HA lease in
+// CheckpointDir: its generation fences every params broadcast and group-sum
+// upload, and the journal guard refuses writes the moment the lease is lost
+// (see internal/ha).
+//
 // Workers speak the unmodified elastic worker protocol (hello/ack,
 // MsgReassign, epoch-tagged params and gradients, telemetry), so
 // runtime.DialElasticWorker against a group master's address is all a worker
@@ -17,13 +32,16 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hetgc/hetgc/internal/checkpoint"
 	"github.com/hetgc/hetgc/internal/core"
 	"github.com/hetgc/hetgc/internal/elastic"
 	"github.com/hetgc/hetgc/internal/grad"
+	"github.com/hetgc/hetgc/internal/ha"
 	"github.com/hetgc/hetgc/internal/metrics"
 	"github.com/hetgc/hetgc/internal/ml"
 	"github.com/hetgc/hetgc/internal/transport"
@@ -95,6 +113,21 @@ type Config struct {
 	// base raised above everything its journal recorded, fencing pre-crash
 	// uploads.
 	Resume bool
+	// LeaseTTL, when positive, puts the root under the HA lease in
+	// CheckpointDir: construction acquires (or, after a takeover, inherits)
+	// the lease, every broadcast and journal write is fenced by its
+	// generation, and losing it turns run failures into ha.ErrFenced.
+	LeaseTTL time.Duration
+	// Holder names this root in the lease token (default "shard-root").
+	Holder string
+	// ExternalGroups lists coding groups served by out-of-process
+	// GroupRunners: the root does not spawn masters for them and instead
+	// waits for their adoption handshakes. Their restarts (and the root's
+	// own) are survivable — see GroupRunner.
+	ExternalGroups []int
+	// AdoptTimeout bounds how long WaitForWorkers waits for every external
+	// group's adoption handshake (default 30s).
+	AdoptTimeout time.Duration
 }
 
 func (c *Config) validate() error {
@@ -119,6 +152,9 @@ func (c *Config) validate() error {
 	if c.Resume && c.CheckpointDir == "" {
 		return fmt.Errorf("%w: resume requires a checkpoint directory", ErrBadConfig)
 	}
+	if c.LeaseTTL > 0 && c.CheckpointDir == "" {
+		return fmt.Errorf("%w: lease requires a checkpoint directory", ErrBadConfig)
+	}
 	return nil
 }
 
@@ -132,8 +168,9 @@ type GroupStats struct {
 	Replans []elastic.ReplanEvent
 	// StaleEpochRejected, StaleConnRejected, StragglersSkipped and
 	// MalformedSkipped mirror the elastic master's fencing counters;
+	// FencedRejected counts uploads fenced by root generation;
 	// TelemetrySamples counts control-plane observations.
-	StaleEpochRejected, StaleConnRejected, StragglersSkipped, MalformedSkipped, TelemetrySamples int
+	StaleEpochRejected, StaleConnRejected, StragglersSkipped, MalformedSkipped, FencedRejected, TelemetrySamples int
 	// Joins and Deaths count the group's membership events (rejoins count
 	// as joins), mirroring the flat runtime's bookkeeping.
 	Joins, Deaths int
@@ -152,27 +189,68 @@ type Result struct {
 	Summary metrics.Summary
 	// Curve is (cumulative seconds, loss) when loss recording was enabled.
 	Curve metrics.Series
-	// Groups holds per-group statistics, indexed by group.
+	// Groups holds per-group statistics, indexed by group (external groups
+	// keep their own statistics; their entries carry only the layout).
 	Groups []GroupStats
 	// GroupUploads counts the group sums the root accepted (one per group
 	// per iteration); BatchedFrames counts how many of them arrived as a
 	// coalesced multi-chunk batch (0 when every model fits one chunk).
 	GroupUploads, BatchedFrames int
+	// RootGen is the lease generation the run held (0 without a lease);
+	// FencedSums counts group uploads rejected for carrying a different
+	// generation.
+	RootGen, FencedSums int
+	// Readoptions counts adoption handshakes beyond each group's first —
+	// group masters that reconnected after a restart on either side.
+	Readoptions int
+	// Failovers records human-readable control-plane events (uplinks lost,
+	// groups re-adopted), in order.
+	Failovers []string
+}
+
+// groupSum is one reassembled group upload (or a dead uplink) posted by a
+// reader goroutine to the root's collect loop.
+type groupSum struct {
+	group   int
+	seq     int // uplink incarnation that produced it
+	iter    int
+	epoch   int
+	rootGen int
+	vec     []float64
+	batched bool // upload arrived as >1 coalesced chunks
+	err     error
 }
 
 // Root is the top of the hierarchy: it owns the shard plan, spawns one
-// in-process GroupMaster per coding group, and drives the global BSP loop
-// over their TCP uplinks.
+// in-process GroupMaster per coding group it serves itself, adopts external
+// GroupRunners, and drives the global BSP loop over their TCP uplinks.
 type Root struct {
 	cfg    Config
 	plan   *Plan
 	lis    *transport.Listener
-	groups []*groupMaster
-	uplink []*transport.Conn // per group, registered by hello order
+	groups []*groupMaster // indexed by group; nil for external groups
 	wg     sync.WaitGroup
 	stopc  chan struct{}
 	closed sync.Once
 	err    chan error
+	inbox  chan groupSum
+
+	// Uplink state, guarded by upMu. An uplink is nil while its group is
+	// down (crashed runner, lost connection); adoption installs a new conn
+	// and bumps the incarnation so frames from the dead conn are ignored.
+	upMu         sync.Mutex
+	uplink       []*transport.Conn
+	upSeq        []int
+	adoptedOnce  []bool
+	external     []bool
+	groupEpoch   []int   // reconciled per-group epoch floor
+	groupMembers [][]int // reconciled per-group member IDs (sorted)
+	serveIter    int     // iteration the run loop is currently collecting
+	readoptions  int
+	failovers    []string
+	down         bool // set by Close: refuse further adoptions
+
+	adoptedc chan int // adoption notifications for the collect loop
 
 	// Durable-state wiring (nil/zero without CheckpointDir).
 	store     *checkpoint.Store
@@ -181,12 +259,20 @@ type Root struct {
 	startIter int
 	step      int
 	clock     float64
+
+	// HA wiring (nil/zero without LeaseTTL).
+	lease          *ha.Lease
+	gen            int
+	stopRenew      func()
+	renewSuspended atomic.Bool
 }
 
 // NewRoot validates the config, builds the shard plan, starts the root
-// listener on addr ("127.0.0.1:0" for tests) and spawns the group masters,
-// each listening on its own address. Workers dial their group's address
-// (GroupAddrs/GroupOf) with the elastic worker protocol.
+// listener on addr ("127.0.0.1:0" for tests) and spawns the in-process
+// group masters, each listening on its own address. Workers dial their
+// group's address (GroupAddrs/GroupOf) with the elastic worker protocol.
+// External groups attach themselves afterwards; WaitForWorkers covers their
+// adoption.
 func NewRoot(cfg Config, addr string) (*Root, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -202,83 +288,354 @@ func NewRoot(cfg Config, addr string) (*Root, error) {
 	if cfg.CheckpointDir != "" && cfg.SnapshotEvery <= 0 {
 		cfg.SnapshotEvery = 10
 	}
+	if cfg.AdoptTimeout <= 0 {
+		cfg.AdoptTimeout = 30 * time.Second
+	}
 	plan, err := BuildPlanLayout(cfg.Throughputs, PlanConfig{
 		K: cfg.K, S: cfg.S, GroupSize: cfg.GroupSize, FanIn: cfg.FanIn, Scheme: cfg.Scheme,
 	})
 	if err != nil {
 		return nil, err
 	}
+	n := plan.NumGroups()
 	r := &Root{
-		cfg:    cfg,
-		plan:   plan,
-		uplink: make([]*transport.Conn, plan.NumGroups()),
-		stopc:  make(chan struct{}),
-		err:    make(chan error, plan.NumGroups()+1),
-		params: append([]float64(nil), cfg.InitialParams...),
+		cfg:          cfg,
+		plan:         plan,
+		groups:       make([]*groupMaster, n),
+		uplink:       make([]*transport.Conn, n),
+		upSeq:        make([]int, n),
+		adoptedOnce:  make([]bool, n),
+		external:     make([]bool, n),
+		groupEpoch:   make([]int, n),
+		groupMembers: make([][]int, n),
+		stopc:        make(chan struct{}),
+		err:          make(chan error, n+1),
+		inbox:        make(chan groupSum, 2*n+4),
+		adoptedc:     make(chan int, 2*n+4),
+		params:       append([]float64(nil), cfg.InitialParams...),
+		stopRenew:    func() {},
+	}
+	for g := range r.groupEpoch {
+		r.groupEpoch[g] = -1
+	}
+	for _, g := range cfg.ExternalGroups {
+		if g < 0 || g >= n {
+			return nil, fmt.Errorf("%w: external group %d out of range (plan has %d groups)", ErrBadConfig, g, n)
+		}
+		r.external[g] = true
+	}
+	lis, err := transport.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	r.lis = lis
+	if cfg.LeaseTTL > 0 {
+		holder := cfg.Holder
+		if holder == "" {
+			holder = "shard-root"
+		}
+		lease, err := ha.Acquire(cfg.CheckpointDir, holder, lis.Addr(), cfg.LeaseTTL)
+		if err != nil {
+			_ = lis.Close()
+			return nil, err
+		}
+		r.lease, r.gen = lease, lease.Gen()
+		stop := make(chan struct{})
+		var rwg sync.WaitGroup
+		rwg.Add(1)
+		go r.renewLoop(stop, &rwg)
+		var once sync.Once
+		r.stopRenew = func() { once.Do(func() { close(stop); rwg.Wait() }) }
 	}
 	if cfg.CheckpointDir != "" {
 		if cfg.Resume {
 			state, err := checkpoint.Recover(cfg.CheckpointDir)
 			if err != nil {
+				r.Close()
 				return nil, err
 			}
 			if err := r.restoreFrom(state); err != nil {
+				r.Close()
 				return nil, err
 			}
 			if r.store, err = checkpoint.Reopen(cfg.CheckpointDir); err != nil {
+				r.Close()
 				return nil, err
+			}
+			if r.lease != nil {
+				r.store.SetGuard(r.lease.Check)
 			}
 			// Anchor a fresh generation with the resumed state before any
 			// journal append (see runtime.NewElasticMaster).
 			if err := r.store.WriteSnapshot(r.snapshot(r.startIter)); err != nil {
-				_ = r.store.Close()
+				r.Close()
 				return nil, err
 			}
-		} else if r.store, err = checkpoint.Create(cfg.CheckpointDir); err != nil {
-			return nil, err
+		} else {
+			if r.store, err = checkpoint.Create(cfg.CheckpointDir); err != nil {
+				r.Close()
+				return nil, err
+			}
+			if r.lease != nil {
+				r.store.SetGuard(r.lease.Check)
+			}
 		}
 	}
-	lis, err := transport.Listen(addr)
-	if err != nil {
-		if r.store != nil {
-			_ = r.store.Close()
+	r.serveIter = r.startIter
+	// The adoption service runs for the root's lifetime: in-process masters
+	// adopt during their construction below; external runners (and every
+	// restart of either) adopt whenever they dial in.
+	r.wg.Add(1)
+	go r.acceptLoop()
+	for g := 0; g < n; g++ {
+		if r.external[g] {
+			continue
 		}
-		return nil, err
-	}
-	r.lis = lis
-	for g := range plan.Groups {
 		gm, err := newGroupMaster(r, g)
 		if err != nil {
 			r.Close()
 			return nil, err
 		}
-		r.groups = append(r.groups, gm)
-	}
-	// Group masters dial the root before admitting workers.
-	for range r.groups {
-		conn, err := r.lis.Accept()
-		if err != nil {
-			r.Close()
-			return nil, err
-		}
-		hello, err := conn.Recv()
-		if err != nil || hello.Type != transport.MsgHello {
-			r.Close()
-			return nil, fmt.Errorf("%w: bad group hello", ErrBadConfig)
-		}
-		g := hello.WorkerID
-		if g < 0 || g >= len(r.uplink) || r.uplink[g] != nil {
-			r.Close()
-			return nil, fmt.Errorf("%w: bad group id %d in hello", ErrBadConfig, g)
-		}
-		r.uplink[g] = conn
+		r.groups[g] = gm
 	}
 	return r, nil
 }
 
+// renewLoop keeps the root's lease alive until stopped, suspended (fault
+// injection) or irrecoverably refused.
+func (r *Root) renewLoop(stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	interval := r.lease.TTL() / 3
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if r.renewSuspended.Load() {
+				return
+			}
+			if err := r.lease.Renew(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// SuspendLeaseRenewal stops the root from renewing its lease — the fault
+// hook simulating a wedged (but not dead) root so a standby can take over.
+func (r *Root) SuspendLeaseRenewal() { r.renewSuspended.Store(true) }
+
+// RootGen returns the lease generation this root runs under (0 without a
+// lease).
+func (r *Root) RootGen() int { return r.gen }
+
+// fenced maps a run failure to the fencing verdict: if the root's lease has
+// been taken over, the real error is ha.ErrFenced (the reported failure is
+// just how the deposition surfaced).
+func (r *Root) fenced(err error) error {
+	if r.lease == nil || err == nil || errors.Is(err, ha.ErrFenced) {
+		return err
+	}
+	if verr := r.lease.Verify(); verr != nil && errors.Is(verr, ha.ErrFenced) {
+		return fmt.Errorf("%w (run failed: %v)", verr, err)
+	}
+	return err
+}
+
+// acceptLoop serves adoption handshakes for the root's lifetime.
+func (r *Root) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.lis.Accept()
+		if err != nil {
+			return
+		}
+		r.wg.Add(1)
+		go r.adoptConn(conn)
+	}
+}
+
+// adoptConn performs the root side of one adoption handshake: it validates
+// the group's announcement, reconciles epoch floor and membership (both
+// only ever grow), answers with the reconciled state plus the root's lease
+// generation, installs the connection as the group's live uplink (bumping
+// the incarnation so the dead conn's frames are ignored) and starts its
+// reader.
+func (r *Root) adoptConn(conn *transport.Conn) {
+	defer r.wg.Done()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	env, err := conn.Recv()
+	if err != nil || env.Type != transport.MsgAdopt || env.Adopt == nil {
+		_ = conn.Close()
+		return
+	}
+	g := env.Adopt.Group
+	if g < 0 || g >= len(r.uplink) {
+		_ = conn.Close()
+		return
+	}
+	r.upMu.Lock()
+	if r.down {
+		r.upMu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	if env.Adopt.Epoch > r.groupEpoch[g] {
+		r.groupEpoch[g] = env.Adopt.Epoch
+	}
+	r.groupMembers[g] = mergeMembers(r.groupMembers[g], env.Adopt.Members)
+	ack := &transport.Envelope{
+		Type:    transport.MsgAdopt,
+		Iter:    r.serveIter,
+		RootGen: r.gen,
+		Adopt: &transport.Adoption{
+			Group:   g,
+			Epoch:   r.groupEpoch[g],
+			Members: append([]int(nil), r.groupMembers[g]...),
+		},
+	}
+	if err := conn.Send(ack); err != nil {
+		r.upMu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	_ = conn.SetDeadline(time.Time{})
+	if old := r.uplink[g]; old != nil {
+		_ = old.Close()
+	}
+	r.upSeq[g]++
+	seq := r.upSeq[g]
+	r.uplink[g] = conn
+	// A re-adoption is an uplink replaced on this root, or a surviving
+	// group — one announcing a live plan epoch — adopting a root that has
+	// never seen it (the warm-standby takeover path). Fresh groups announce
+	// epoch -1, so crash-free runs count zero.
+	if r.adoptedOnce[g] || env.Adopt.Epoch >= 0 {
+		r.readoptions++
+		r.failovers = append(r.failovers, fmt.Sprintf("group %d re-adopted at iteration %d (gen %d)", g, r.serveIter, r.gen))
+	}
+	r.adoptedOnce[g] = true
+	r.upMu.Unlock()
+	// Reader first, notification second: the collect loop may resend the
+	// current params the moment it learns of the adoption, and the reader
+	// must already be draining the conn by then.
+	r.wg.Add(1)
+	go r.readUplink(g, seq, conn)
+	select {
+	case r.adoptedc <- g:
+	case <-r.stopc:
+	}
+}
+
+// mergeMembers unions two sorted-or-not ID slices into a sorted slice.
+func mergeMembers(a, b []int) []int {
+	seen := make(map[int]bool, len(a)+len(b))
+	var out []int
+	for _, id := range a {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, id := range b {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// readUplink reassembles one uplink incarnation's chunked batches into full
+// group sums and posts them to the collect loop.
+func (r *Root) readUplink(g, seq int, conn *transport.Conn) {
+	defer r.wg.Done()
+	var chunks []*transport.Envelope
+	post := func(gs groupSum) bool {
+		gs.group, gs.seq = g, seq
+		select {
+		case r.inbox <- gs:
+			return true
+		case <-r.stopc:
+			return false
+		}
+	}
+	for {
+		env, err := conn.Recv()
+		if err != nil {
+			post(groupSum{err: err})
+			return
+		}
+		if env.Type != transport.MsgGradient {
+			continue
+		}
+		chunks = append(chunks, env)
+		if env.Chunks != 0 && env.Chunk != env.Chunks-1 {
+			continue
+		}
+		vec, err := transport.JoinChunks(nil, chunks)
+		batched := len(chunks) > 1
+		chunks = chunks[:0]
+		if err != nil {
+			post(groupSum{err: err})
+			return
+		}
+		if !post(groupSum{iter: env.Iter, epoch: env.Epoch, rootGen: env.RootGen, vec: vec, batched: batched}) {
+			return
+		}
+	}
+}
+
+// markDown retires one uplink incarnation after its reader or a send
+// failed: the conn is closed and the slot nilled so the next adoption
+// installs a replacement. Frames from newer incarnations are untouched.
+func (r *Root) markDown(g, seq int, cause error) {
+	r.upMu.Lock()
+	defer r.upMu.Unlock()
+	if r.upSeq[g] != seq || r.uplink[g] == nil {
+		return // already superseded
+	}
+	_ = r.uplink[g].Close()
+	r.uplink[g] = nil
+	r.failovers = append(r.failovers, fmt.Sprintf("group %d uplink lost at iteration %d: %v", g, r.serveIter, cause))
+}
+
+// sendParams broadcasts one iteration's parameters to one group, stamped
+// with the root's generation. A down external group is skipped (adoption
+// will trigger a resend); a failed or missing in-process uplink is fatal.
+func (r *Root) sendParams(g, iter int, params []float64) error {
+	r.upMu.Lock()
+	conn, seq := r.uplink[g], r.upSeq[g]
+	r.upMu.Unlock()
+	if conn == nil {
+		if r.external[g] {
+			return nil
+		}
+		return fmt.Errorf("%w: group %d uplink gone", ErrGroupFailed, g)
+	}
+	env := &transport.Envelope{Type: transport.MsgParams, Iter: iter, Vector: params, RootGen: r.gen}
+	_ = conn.SetWriteDeadline(time.Now().Add(r.cfg.IterTimeout))
+	err := conn.Send(env)
+	_ = conn.SetWriteDeadline(time.Time{})
+	if err != nil {
+		r.markDown(g, seq, err)
+		if !r.external[g] {
+			return fmt.Errorf("%w: group %d uplink: %v", ErrGroupFailed, g, err)
+		}
+	}
+	return nil
+}
+
 // restoreFrom rebuilds the root's durable starting state from a recovered
-// checkpoint: parameters, optimizer state and iteration counter. Per-group
-// state (epoch bases, reserved member IDs) is consumed by newGroupMaster.
+// checkpoint: parameters, optimizer state and iteration counter, plus the
+// per-group epoch floors and member sets that seed adoption reconciliation
+// (and, for in-process groups, newGroupMaster's controller restore).
 func (r *Root) restoreFrom(state *checkpoint.State) error {
 	r.resume = state
 	ts, err := state.RestoreTraining(r.cfg.Model.Dim(), r.cfg.Optimizer)
@@ -289,13 +646,22 @@ func (r *Root) restoreFrom(state *checkpoint.State) error {
 		r.params = ts.Params
 	}
 	r.startIter, r.step, r.clock = ts.Iter, ts.Step, ts.Clock
+	r.upMu.Lock()
+	for g := range r.groupEpoch {
+		if e, ok := state.GroupEpochs[g]; ok && e > r.groupEpoch[g] {
+			r.groupEpoch[g] = e
+		}
+		r.groupMembers[g] = mergeMembers(r.groupMembers[g], state.GroupMembers[g])
+	}
+	r.upMu.Unlock()
 	return nil
 }
 
 // snapshot assembles the durable state at an iteration boundary. Group
-// summaries (max epoch, member IDs) come from the live group masters once
-// they exist; before that — the resume anchor — from the recovered state,
-// so the fencing base is never narrowed.
+// summaries come from the live in-process masters (epoch, members and the
+// controller's throughput estimates); for external or not-yet-spawned
+// groups, from the reconciled adoption state — so the fencing base is never
+// narrowed and a promoted root re-plans from real history.
 func (r *Root) snapshot(nextIter int) *checkpoint.Snapshot {
 	snap := &checkpoint.Snapshot{
 		Iter: nextIter, Epoch: -1, Step: r.step, Clock: r.clock,
@@ -304,21 +670,19 @@ func (r *Root) snapshot(nextIter int) *checkpoint.Snapshot {
 	if so, ok := r.cfg.Optimizer.(ml.StatefulOptimizer); ok {
 		snap.OptVecs, snap.OptStep = so.OptimizerState()
 	}
-	if len(r.groups) > 0 {
-		for _, gm := range r.groups {
-			snap.Groups = append(snap.Groups, gm.groupState())
-		}
-		return snap
+	r.upMu.Lock()
+	epochs := append([]int(nil), r.groupEpoch...)
+	members := make([][]int, len(r.groupMembers))
+	for g := range members {
+		members[g] = append([]int(nil), r.groupMembers[g]...)
 	}
-	if r.resume != nil {
-		for g := 0; g < r.plan.NumGroups(); g++ {
-			gs := checkpoint.GroupState{Group: g, Epoch: -1}
-			if e, ok := r.resume.GroupEpochs[g]; ok {
-				gs.Epoch = e
-			}
-			gs.Members = append([]int(nil), r.resume.GroupMembers[g]...)
-			snap.Groups = append(snap.Groups, gs)
+	r.upMu.Unlock()
+	for g := 0; g < r.plan.NumGroups(); g++ {
+		if gm := r.groups[g]; gm != nil {
+			snap.Groups = append(snap.Groups, gm.groupState())
+			continue
 		}
+		snap.Groups = append(snap.Groups, checkpoint.GroupState{Group: g, Epoch: epochs[g], Members: members[g]})
 	}
 	return snap
 }
@@ -353,21 +717,49 @@ func (r *Root) StartIter() int { return r.startIter }
 // Addr returns the root listener address.
 func (r *Root) Addr() string { return r.lis.Addr() }
 
-// GroupAddrs returns each group master's listen address, indexed by group.
+// GroupAddrs returns each in-process group master's listen address, indexed
+// by group ("" for external groups — their runners own their addresses).
 func (r *Root) GroupAddrs() []string {
 	out := make([]string, len(r.groups))
 	for g, gm := range r.groups {
-		out[g] = gm.addr()
+		if gm != nil {
+			out[g] = gm.addr()
+		}
 	}
 	return out
 }
 
-// WaitForWorkers blocks until every group has its planned worker quorum.
+// WaitForWorkers blocks until every in-process group has its planned worker
+// quorum and every external group has completed its adoption handshake.
 func (r *Root) WaitForWorkers(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for _, gm := range r.groups {
+		if gm == nil {
+			continue
+		}
 		if err := gm.waitForWorkers(time.Until(deadline)); err != nil {
 			return err
+		}
+	}
+	adoptBy := time.Now().Add(r.cfg.AdoptTimeout)
+	if deadline.Before(adoptBy) {
+		adoptBy = deadline
+	}
+	for g := range r.external {
+		if !r.external[g] {
+			continue
+		}
+		for {
+			r.upMu.Lock()
+			adopted := r.adoptedOnce[g]
+			r.upMu.Unlock()
+			if adopted {
+				break
+			}
+			if time.Now().After(adoptBy) {
+				return fmt.Errorf("%w: external group %d never adopted", ErrGroupFailed, g)
+			}
+			time.Sleep(5 * time.Millisecond)
 		}
 	}
 	return nil
@@ -379,7 +771,7 @@ func (r *Root) Run() (*Result, error) {
 	defer r.Close()
 	dim := r.cfg.Model.Dim()
 	params := append([]float64(nil), r.params...)
-	res := &Result{Curve: metrics.Series{Name: "sharded"}, StartIter: r.startIter}
+	res := &Result{Curve: metrics.Series{Name: "sharded"}, StartIter: r.startIter, RootGen: r.gen}
 	clock := r.clock
 	if r.cfg.LossFn != nil {
 		if l, err := r.cfg.LossFn(params); err == nil {
@@ -387,89 +779,54 @@ func (r *Root) Run() (*Result, error) {
 		}
 	}
 
-	// One reader per uplink reassembles chunked batches into full group
-	// sums and counts coalesced frames.
-	type groupSum struct {
-		group   int
-		iter    int
-		vec     []float64
-		batched bool // upload arrived as >1 coalesced chunks
-		err     error
-	}
-	inbox := make(chan groupSum, len(r.groups))
-	for g, conn := range r.uplink {
-		r.wg.Add(1)
-		go func(g int, conn *transport.Conn) {
-			defer r.wg.Done()
-			var chunks []*transport.Envelope
-			post := func(gs groupSum) bool {
-				select {
-				case inbox <- gs:
-					return true
-				case <-r.stopc:
-					return false
-				}
-			}
-			for {
-				env, err := conn.Recv()
-				if err != nil {
-					post(groupSum{group: g, err: err})
-					return
-				}
-				if env.Type != transport.MsgGradient {
-					continue
-				}
-				chunks = append(chunks, env)
-				if env.Chunks != 0 && env.Chunk != env.Chunks-1 {
-					continue
-				}
-				vec, err := transport.JoinChunks(nil, chunks)
-				batched := len(chunks) > 1
-				chunks = chunks[:0]
-				if err != nil {
-					post(groupSum{group: g, err: err})
-					return
-				}
-				if !post(groupSum{group: g, iter: env.Iter, vec: vec, batched: batched}) {
-					return
-				}
-			}
-		}(g, conn)
+	// Adoptions completed during construction already have their uplinks
+	// installed, so the first broadcast reaches them — drain their stale
+	// notifications rather than double-sending the first iteration.
+	for drained := false; !drained; {
+		select {
+		case <-r.adoptedc:
+		default:
+			drained = true
+		}
 	}
 
-	sums := make([][]float64, len(r.groups))
+	sums := make([][]float64, r.plan.NumGroups())
 	for iter := r.startIter; iter < r.cfg.Iterations; iter++ {
 		start := time.Now()
-		for g, conn := range r.uplink {
-			env := &transport.Envelope{Type: transport.MsgParams, Iter: iter, Vector: params}
-			_ = conn.SetWriteDeadline(time.Now().Add(r.cfg.IterTimeout))
-			err := conn.Send(env)
-			_ = conn.SetWriteDeadline(time.Time{})
-			if err != nil {
-				return nil, fmt.Errorf("%w: group %d uplink: %v", ErrGroupFailed, g, err)
+		r.upMu.Lock()
+		r.serveIter = iter
+		r.upMu.Unlock()
+		for g := range sums {
+			sums[g] = nil
+			if err := r.sendParams(g, iter, params); err != nil {
+				return nil, r.fenced(r.drainErr(err))
 			}
 		}
-		for i := range sums {
-			sums[i] = nil
-		}
-		pending := len(r.groups)
+		pending := len(sums)
 		// The root's patience must cover a group's full recovery budget: a
 		// group master waits IterTimeout per attempt and retries up to
 		// MaxRetries times after timeout-driven group-local migrations, so
 		// aborting at one IterTimeout would make those retries unreachable.
+		// The same budget bounds an external group's restart-and-readopt.
 		rootBudget := time.Duration(r.cfg.MaxRetries+1)*r.cfg.IterTimeout + r.cfg.IterTimeout/2
 		deadline := time.NewTimer(rootBudget)
 		for pending > 0 {
 			select {
-			case gs := <-inbox:
+			case gs := <-r.inbox:
 				if gs.err != nil {
-					deadline.Stop()
-					select {
-					case err := <-r.err:
-						return nil, err
-					default:
+					if r.external[gs.group] {
+						// A runner died or defected: retire the uplink and
+						// keep collecting — its restart re-adopts and the
+						// params are resent below.
+						r.markDown(gs.group, gs.seq, gs.err)
+						continue
 					}
-					return nil, fmt.Errorf("%w: group %d: %v", ErrGroupFailed, gs.group, gs.err)
+					deadline.Stop()
+					return nil, r.fenced(r.drainErr(fmt.Errorf("%w: group %d: %v", ErrGroupFailed, gs.group, gs.err)))
+				}
+				if gs.rootGen != r.gen {
+					res.FencedSums++
+					continue // an upload for a root generation this is not
 				}
 				if gs.iter != iter {
 					continue // frame from a superseded iteration
@@ -487,13 +844,28 @@ func (r *Root) Run() (*Result, error) {
 					pending--
 				}
 				sums[gs.group] = gs.vec
+				r.upMu.Lock()
+				if gs.epoch > r.groupEpoch[gs.group] {
+					r.groupEpoch[gs.group] = gs.epoch
+				}
+				r.upMu.Unlock()
 				res.GroupUploads++
 				if gs.batched {
 					res.BatchedFrames++
 				}
+			case g := <-r.adoptedc:
+				if sums[g] == nil {
+					if err := r.sendParams(g, iter, params); err != nil {
+						deadline.Stop()
+						return nil, r.fenced(r.drainErr(err))
+					}
+				}
+			case <-r.stopc:
+				deadline.Stop()
+				return nil, fmt.Errorf("%w: root closed at iteration %d", ErrGroupFailed, iter)
 			case <-deadline.C:
 				deadline.Stop()
-				return nil, fmt.Errorf("%w: iteration %d: %d group sums missing at timeout", ErrGroupFailed, iter, pending)
+				return nil, r.fenced(fmt.Errorf("%w: iteration %d: %d group sums missing at timeout", ErrGroupFailed, iter, pending))
 			}
 		}
 		deadline.Stop()
@@ -518,37 +890,77 @@ func (r *Root) Run() (*Result, error) {
 		}
 		r.params, r.clock = params, clock
 		if err := r.persist(iter); err != nil {
-			return nil, err
+			return nil, r.fenced(err)
 		}
 	}
 
 	// Graceful shutdown: stop the group masters, then collect their stats.
-	for _, conn := range r.uplink {
+	r.upMu.Lock()
+	conns := append([]*transport.Conn(nil), r.uplink...)
+	r.upMu.Unlock()
+	for _, conn := range conns {
+		if conn == nil {
+			continue
+		}
 		_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
 		_ = conn.Send(&transport.Envelope{Type: transport.MsgShutdown})
 		_ = conn.SetWriteDeadline(time.Time{})
 	}
 	for _, gm := range r.groups {
-		gm.waitDone()
+		if gm != nil {
+			gm.waitDone()
+		}
 	}
 	res.Params = params
 	res.Summary = metrics.Summarize(res.IterTimes)
 	res.Groups = make([]GroupStats, len(r.groups))
 	for g, gm := range r.groups {
-		res.Groups[g] = gm.stats()
+		if gm != nil {
+			res.Groups[g] = gm.stats()
+		} else {
+			res.Groups[g] = GroupStats{Group: g, Workers: len(r.plan.Groups[g].Workers)}
+		}
+	}
+	r.upMu.Lock()
+	res.Readoptions = r.readoptions
+	res.Failovers = append([]string(nil), r.failovers...)
+	r.upMu.Unlock()
+	if r.lease != nil {
+		r.stopRenew()
+		_ = r.lease.Release()
 	}
 	return res, nil
 }
 
+// drainErr prefers a group's own fatal report (queued on r.err) over the
+// secondary symptom err that surfaced at the root.
+func (r *Root) drainErr(err error) error {
+	select {
+	case ferr := <-r.err:
+		return ferr
+	default:
+		return err
+	}
+}
+
 // Close tears down the root and every group master. Safe to call multiple
-// times.
+// times. Close never releases the lease — a closed-but-unreleased lease is
+// a crash as far as a standby is concerned, which is exactly the semantics
+// tests and failover drills need; Run's success path does release it.
 func (r *Root) Close() {
 	r.closed.Do(func() {
+		r.stopRenew()
 		close(r.stopc)
+		r.upMu.Lock()
+		r.down = true
+		conns := append([]*transport.Conn(nil), r.uplink...)
+		r.upMu.Unlock()
 		for _, gm := range r.groups {
-			gm.close()
+			if gm != nil {
+				gm.close()
+			}
 		}
-		for _, conn := range r.uplink {
+		for _, conn := range conns {
 			if conn != nil {
 				_ = conn.Close()
 			}

@@ -10,11 +10,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"github.com/hetgc/hetgc/internal/checkpoint"
 	"github.com/hetgc/hetgc/internal/core"
 	"github.com/hetgc/hetgc/internal/elastic"
+	"github.com/hetgc/hetgc/internal/ha"
 	"github.com/hetgc/hetgc/internal/metrics"
+	"github.com/hetgc/hetgc/internal/ml"
 )
 
 // ChurnKind enumerates churn-schedule events.
@@ -116,6 +119,24 @@ type ElasticSimConfig struct {
 	// the true member speeds. The resumed segment is bit-identical to the
 	// same iterations of an uninterrupted run.
 	Resume bool
+	// Model, Data and Optimizer — all set or all nil — couple the timing
+	// simulation with real optimisation: every iteration decodes the true
+	// coded gradient under the live plan (the exact arithmetic the runtime
+	// master performs) and applies one optimizer step. Params and optimizer
+	// state ride snapshots, so a crash/takeover/resume sequence neither
+	// loses nor duplicates a step.
+	Model     ml.Model
+	Data      *ml.Dataset
+	Optimizer ml.Optimizer
+	// LeaseTTL, with CheckpointDir set, makes the run hold the directory's
+	// HA lease: acquired (bumping the root generation) before any durable
+	// write, renewed at every iteration boundary, released on success — and
+	// deliberately left to expire on an injected crash, exactly like a
+	// killed root. The store's guard refuses journal writes the moment the
+	// lease is fenced.
+	LeaseTTL time.Duration
+	// Holder names the lease holder (default "sim-root").
+	Holder string
 }
 
 // ElasticSimResult aggregates an elastic simulation run.
@@ -134,6 +155,10 @@ type ElasticSimResult struct {
 	// Crashed reports that the crash injector stopped the run at
 	// CrashAtIter.
 	Crashed bool
+	// Params are the final model parameters (training simulations only).
+	Params []float64
+	// RootGen is the lease generation the run held (0 without a lease).
+	RootGen int
 	// Summary summarises Times.
 	Summary metrics.Summary
 }
@@ -156,6 +181,25 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 	}
 	if cfg.CheckpointDir != "" && cfg.SnapshotEvery <= 0 {
 		cfg.SnapshotEvery = 5
+	}
+	training := cfg.Model != nil || cfg.Data != nil || cfg.Optimizer != nil
+	if training && (cfg.Model == nil || cfg.Data == nil || cfg.Optimizer == nil) {
+		return nil, fmt.Errorf("%w: training needs model, data and optimizer together", ErrBadChurn)
+	}
+	if cfg.LeaseTTL < 0 {
+		return nil, fmt.Errorf("%w: lease ttl %v", ErrBadChurn, cfg.LeaseTTL)
+	}
+	if cfg.LeaseTTL > 0 && cfg.CheckpointDir == "" {
+		return nil, fmt.Errorf("%w: a lease needs a checkpoint dir to live in", ErrBadChurn)
+	}
+	var parts []*ml.Dataset
+	var params []float64
+	if training {
+		var err error
+		if parts, err = cfg.Data.Split(cfg.K); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadChurn, err)
+		}
+		params = cfg.Model.InitParams(nil)
 	}
 	// With checkpointing, the strategy-construction RNG runs over a counting
 	// source so its position is serialisable. The wrapped source yields the
@@ -180,6 +224,24 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 	}
 
 	startIter := 0
+	var lease *ha.Lease
+	leaveLease := false // an injected crash leaves the lease to expire
+	if cfg.LeaseTTL > 0 {
+		holder := cfg.Holder
+		if holder == "" {
+			holder = "sim-root"
+		}
+		l, err := ha.Acquire(cfg.CheckpointDir, holder, "sim", cfg.LeaseTTL)
+		if err != nil {
+			return nil, err
+		}
+		lease = l
+		defer func() {
+			if !leaveLease {
+				_ = lease.Release()
+			}
+		}()
+	}
 	var store *checkpoint.Store
 	var resumedSnap *checkpoint.Snapshot
 	if cfg.Resume {
@@ -211,6 +273,17 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 			}
 			startIter = snap.Iter
 			resumedSnap = snap
+			if training {
+				if snap.Params == nil {
+					return nil, fmt.Errorf("%w: snapshot at iter %d carries no params", checkpoint.ErrCorrupt, snap.Iter)
+				}
+				params = append(params[:0], snap.Params...)
+				if so, ok := cfg.Optimizer.(ml.StatefulOptimizer); ok && snap.OptVecs != nil {
+					if err := so.RestoreOptimizerState(snap.OptVecs, snap.OptStep); err != nil {
+						return nil, fmt.Errorf("%w: %v", checkpoint.ErrCorrupt, err)
+					}
+				}
+			}
 		}
 		if store, err = checkpoint.Reopen(cfg.CheckpointDir); err != nil {
 			return nil, err
@@ -222,6 +295,9 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 	}
 	if store != nil {
 		defer store.Close()
+		if lease != nil {
+			store.SetGuard(lease.Check)
+		}
 	}
 
 	// True member state, keyed by stable member ID. On resume, the schedule
@@ -276,6 +352,12 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 		}
 		anchor.Ctrl = ctrl.State()
 		anchor.Draws = src.Draws()
+		if training {
+			anchor.Params = append([]float64(nil), params...)
+			if so, ok := cfg.Optimizer.(ml.StatefulOptimizer); ok {
+				anchor.OptVecs, anchor.OptStep = so.OptimizerState()
+			}
+		}
 		if err := store.WriteSnapshot(anchor); err != nil {
 			return nil, err
 		}
@@ -286,6 +368,9 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 		Times:        make([]float64, 0, cfg.Iterations),
 		Epochs:       make([]int, 0, cfg.Iterations),
 		MemberCounts: make([]int, 0, cfg.Iterations),
+	}
+	if lease != nil {
+		res.RootGen = lease.Gen()
 	}
 	var plan *elastic.Plan
 	if startIter > 0 {
@@ -299,7 +384,13 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 			// Crash injector: stop cold, mid-generation, like a killed
 			// process — no goodbye snapshot, a possibly mid-written journal.
 			res.Crashed = true
+			leaveLease = true
 			break
+		}
+		if lease != nil {
+			if err := lease.Renew(); err != nil {
+				return nil, fmt.Errorf("iter %d: %w", iter, err)
+			}
 		}
 		// Apply the boundary's churn events in schedule order.
 		for _, ev := range cfg.Events {
@@ -368,11 +459,21 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 		for slot, id := range plan.Members {
 			finish[slot] = float64(loads[slot]) / trueRate[id]
 		}
-		decodeAt, _, ok := replayEarliestDecodable(st, finish)
+		decodeAt, coeffs, _, ok := replayEarliestDecodable(st, finish)
 		if !ok {
 			return nil, fmt.Errorf("%w: iter %d undecodable under epoch %d", ErrBadChurn, iter, plan.Epoch)
 		}
 		iterTime := decodeAt + cfg.CommOverhead
+		if training {
+			g, err := decodeGradient(st, coeffs, cfg.Model, params, parts)
+			if err != nil {
+				return nil, fmt.Errorf("iter %d decode: %w", iter, err)
+			}
+			g.Scale(1 / float64(cfg.Data.N()))
+			if err := cfg.Optimizer.Step(params, g); err != nil {
+				return nil, fmt.Errorf("iter %d step: %w", iter, err)
+			}
+		}
 
 		// Telemetry: every plan member with load reports its compute time,
 		// like workers uploading MsgTelemetry.
@@ -409,6 +510,12 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 					Iter: iter + 1, Epoch: plan.Epoch, Step: iter + 1,
 					Draws: src.Draws(), Groups: []checkpoint.GroupState{gs}, Ctrl: cs,
 				}
+				if training {
+					snap.Params = append([]float64(nil), params...)
+					if so, ok := cfg.Optimizer.(ml.StatefulOptimizer); ok {
+						snap.OptVecs, snap.OptStep = so.OptimizerState()
+					}
+				}
 				if err := store.WriteSnapshot(snap); err != nil {
 					return nil, err
 				}
@@ -417,5 +524,8 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 	}
 	res.Replans = ctrl.Events()
 	res.Summary = metrics.Summarize(res.Times)
+	if training {
+		res.Params = params
+	}
 	return res, nil
 }

@@ -327,7 +327,7 @@ func simulateGroupIteration(sg *shardedGroup, trueRate map[int]float64, delays [
 	for slot, id := range sg.plan.Members {
 		finish[slot] = float64(loads[slot])/trueRate[id] + delayOf(delays, id)
 	}
-	t, ingested, ok := replayEarliestDecodable(st, finish)
+	t, _, ingested, ok := replayEarliestDecodable(st, finish)
 	if !ok {
 		return 0, 0, fmt.Errorf("%w: undecodable", ErrBadChurn)
 	}
@@ -337,9 +337,10 @@ func simulateGroupIteration(sg *shardedGroup, trueRate map[int]float64, delays [
 // replayEarliestDecodable is the simulators' shared BSP replay: completions
 // walk in stable (finish, slot) order, decode is probed after every arrival,
 // and the earliest decodable prefix wins. It returns that prefix's finish
-// time and how many arrivals the master ingested up to it; ok is false when
-// no prefix decodes (crashed workers — +Inf finish — never arrive).
-func replayEarliestDecodable(st *core.Strategy, finish []float64) (t float64, ingested int, ok bool) {
+// time, the decoding coefficients, and how many arrivals the master ingested
+// up to it; ok is false when no prefix decodes (crashed workers — +Inf
+// finish — never arrive).
+func replayEarliestDecodable(st *core.Strategy, finish []float64) (t float64, coeffs []float64, ingested int, ok bool) {
 	m := st.M()
 	order := make([]int, m)
 	for i := range order {
@@ -358,11 +359,11 @@ func replayEarliestDecodable(st *core.Strategy, finish []float64) (t float64, in
 		}
 		alive[slot] = true
 		ingested++
-		if _, err := st.Decode(alive); err == nil {
-			return finish[slot], ingested, true
+		if c, err := st.Decode(alive); err == nil {
+			return finish[slot], c, ingested, true
 		}
 	}
-	return 0, 0, false
+	return 0, nil, 0, false
 }
 
 // delayOf reads a member's injected delay (0 outside the slice).

@@ -134,6 +134,23 @@ func decodeGradient(st *core.Strategy, coeffs []float64, model ml.Model, params 
 	alloc := st.Allocation()
 	var partials []grad.Gradient
 	var rowCoeffs []float64
+	// A worker with an empty allocation (an elastic plan can assign zero
+	// load to a very slow member) uploads the zero vector in the live
+	// runtime; its contribution is exactly zero, so drop its coefficient
+	// instead of encoding an empty combination.
+	use := coeffs
+	for w, a := range coeffs {
+		if a != 0 && len(alloc.Parts[w]) == 0 {
+			use = append([]float64(nil), coeffs...)
+			for v := range use {
+				if len(alloc.Parts[v]) == 0 {
+					use[v] = 0
+				}
+			}
+			break
+		}
+	}
+	coeffs = use
 	for w, a := range coeffs {
 		if a == 0 {
 			continue

@@ -1,0 +1,351 @@
+// HA conformance: the failover class the recovery table cannot express —
+// the ROOT holds a lease, and its death, deposition or a group master's
+// restart must be survived live, not merely recovered from. Three scenarios,
+// one table, every lease-holding runtime:
+//
+//   - standby-takeover-mid-iteration: the root is killed cold mid-training;
+//     a warm standby tailing the directory promotes on lease expiry, and a
+//     successor resumed at the next generation finishes the job with the
+//     same reconnecting workers.
+//   - zombie-root-fenced-after-takeover: the root stops renewing but keeps
+//     training; once a successor claims the next generation the zombie's
+//     run must fail typed with ha.ErrFenced — naming the usurping
+//     generation — while training completes under the new root.
+//   - group-master-restart-and-readoption: one external group master is
+//     killed and restarted from its own journal mid-run; the root must
+//     re-adopt it (epoch base and membership reconciled) and finish all
+//     iterations. Runtimes without independently restartable group masters
+//     skip this scenario.
+//
+// Workers are the reconnecting protocol loops of the recovery harness: they
+// survive whichever control-plane process dies and follow the retargeted
+// addresses, the shape a real production worker has.
+package testkit
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/checkpoint"
+	"github.com/hetgc/hetgc/internal/ha"
+)
+
+// HAScenario parameterises one failover script.
+type HAScenario struct {
+	// Name labels the subtest.
+	Name string
+	// K, S, Workers, Iters and GroupSize mirror RecoveryScenario.
+	K, S, Workers, Iters int
+	GroupSize            int
+	// SnapshotEvery is the checkpoint cadence.
+	SnapshotEvery int
+	// LeaseTTL is the root lease's time-to-live: short enough that a test
+	// waits on a real expiry, long enough that a healthy root never lapses
+	// between renewals.
+	LeaseTTL time.Duration
+	// DisruptAfterIter fires the scenario's disruption (kill, renewal
+	// suspension, group-master restart) once this iteration is durable.
+	DisruptAfterIter int
+	// IterTimeout bounds one collection attempt; InitialRate seeds the
+	// control-plane priors.
+	IterTimeout time.Duration
+	InitialRate float64
+}
+
+// HACluster is a lease-holding cluster the HA suite can depose.
+type HACluster interface {
+	Cluster
+	// RootGen returns the lease generation the cluster's root holds.
+	RootGen() int
+	// SuspendLeaseRenewal wedges the root: it keeps training but stops
+	// extending its lease, so a successor can claim the next generation.
+	SuspendLeaseRenewal()
+}
+
+// GroupRestarter is the optional capability behind the group-master-restart
+// scenario: kill group g's master cold and restart it from its own journal.
+// After it returns, Addrs must reflect the restarted master's new address.
+type GroupRestarter interface {
+	RestartGroup(g int) error
+}
+
+// StartHA builds a listening, lease-holding cluster over fx that checkpoints
+// into dir under the given holder name, resuming from the directory when
+// resume is set.
+type StartHA func(sc *HAScenario, fx *Fixture, dir string, resume bool, holder string) (HACluster, error)
+
+func haBase(name string) HAScenario {
+	return HAScenario{
+		Name: name, K: 8, S: 1, Workers: 6, GroupSize: 3, Iters: 30,
+		SnapshotEvery: 3, LeaseTTL: 400 * time.Millisecond, DisruptAfterIter: 8,
+		IterTimeout: 5 * time.Second, InitialRate: 500,
+	}
+}
+
+// RunHAConformance executes the failover scenarios against one runtime.
+// groupMasters declares whether the runtime has independently restartable
+// group masters (the third scenario is skipped without them).
+func RunHAConformance(t *testing.T, groupMasters bool, start StartHA) {
+	t.Run("standby-takeover-mid-iteration", func(t *testing.T) {
+		runStandbyTakeover(t, groupMasters, start)
+	})
+	t.Run("zombie-root-fenced-after-takeover", func(t *testing.T) {
+		runZombieFenced(t, start)
+	})
+	t.Run("group-master-restart-and-readoption", func(t *testing.T) {
+		if !groupMasters {
+			t.Skip("runtime has no independently restartable group masters")
+		}
+		runGroupRestart(t, start)
+	})
+}
+
+// checkFiniteParams is the universal sanity floor on a finished run.
+func checkFiniteParams(t *testing.T, params []float64) {
+	t.Helper()
+	if len(params) == 0 {
+		t.Error("run produced no parameters")
+	}
+	for i, p := range params {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p > 1e6 || p < -1e6 {
+			t.Errorf("poisoned or divergent parameter %v at %d", p, i)
+			return
+		}
+	}
+}
+
+func runStandbyTakeover(t *testing.T, groupMasters bool, start StartHA) {
+	sc := haBase("standby-takeover-mid-iteration")
+	fx, err := NewFixture(sc.K, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "ckpt")
+
+	a, err := start(&sc, fx, dir, false, "ha-root-a")
+	if err != nil {
+		t.Fatalf("first root: %v", err)
+	}
+	defer a.Close()
+	if a.RootGen() != 1 {
+		t.Fatalf("first root holds generation %d, want 1", a.RootGen())
+	}
+	pool := startRecoveryWorkers(sc.Workers, fx, a.Addrs())
+	defer pool.stopAll()
+
+	// The standby tails the directory from before the crash: its promotion
+	// must hand over the freshest durable state, not a stale copy.
+	sb := ha.NewStandby(ha.StandbyConfig{Dir: dir, Poll: 25 * time.Millisecond})
+	promc := make(chan *ha.Promotion, 1)
+	sbErrc := make(chan error, 1)
+	go func() {
+		prom, err := sb.Run(nil)
+		promc <- prom
+		sbErrc <- err
+	}()
+
+	runDone := make(chan error, 1)
+	go func() {
+		_, err := a.Run()
+		runDone <- err
+	}()
+	if !waitDurableIter(dir, sc.DisruptAfterIter, 60*time.Second) {
+		a.Close()
+		<-runDone
+		t.Fatalf("iteration %d never became durable", sc.DisruptAfterIter)
+	}
+	a.Close() // cold: no goodbye frames, the lease is left to expire
+	if err := <-runDone; err == nil {
+		t.Fatal("first run completed despite the kill")
+	}
+
+	var prom *ha.Promotion
+	select {
+	case prom = <-promc:
+		if err := <-sbErrc; err != nil {
+			t.Fatalf("standby: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("standby never promoted after the root died")
+	}
+	if prom.Deposed == nil || prom.Deposed.Gen != 1 {
+		t.Fatalf("promotion deposed %+v, want generation 1", prom.Deposed)
+	}
+	if prom.State == nil || prom.State.LastIter < sc.DisruptAfterIter {
+		t.Fatalf("standby hot copy at iteration %d, want ≥ %d", prom.State.LastIter, sc.DisruptAfterIter)
+	}
+
+	state, err := checkpoint.Recover(dir)
+	if err != nil || state.Snap == nil {
+		t.Fatalf("recover after crash: %v (snap %v)", err, state)
+	}
+	expectStart := state.Snap.Iter
+
+	b, err := start(&sc, fx, dir, true, "ha-root-b")
+	if err != nil {
+		t.Fatalf("promoted root: %v", err)
+	}
+	defer b.Close()
+	if b.RootGen() != 2 {
+		t.Fatalf("promoted root holds generation %d, want 2", b.RootGen())
+	}
+	pool.retarget(b.Addrs())
+	out, err := b.Run()
+	b.Close()
+	pool.stopAll()
+	if err != nil {
+		t.Fatalf("promoted run: %v", err)
+	}
+	if out.Iters != sc.Iters-expectStart {
+		t.Errorf("promoted run executed %d iterations, want %d (takeover at iter %d of %d)",
+			out.Iters, sc.Iters-expectStart, expectStart, sc.Iters)
+	}
+	if groupMasters && out.Readoptions == 0 {
+		t.Error("promoted root re-adopted no surviving group masters")
+	}
+	checkFiniteParams(t, out.Params)
+}
+
+func runZombieFenced(t *testing.T, start StartHA) {
+	sc := haBase("zombie-root-fenced-after-takeover")
+	sc.LeaseTTL = 300 * time.Millisecond
+	sc.IterTimeout = 2 * time.Second // bounds the zombie's fenced-detection latency
+	// The zombie must still be training when the successor claims the next
+	// generation: give it enough iterations (a few ms each) to outlast the
+	// lease expiry wait by a wide margin.
+	sc.Iters = 240
+	fx, err := NewFixture(sc.K, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "ckpt")
+
+	a, err := start(&sc, fx, dir, false, "ha-root-a")
+	if err != nil {
+		t.Fatalf("first root: %v", err)
+	}
+	defer a.Close()
+	pool := startRecoveryWorkers(sc.Workers, fx, a.Addrs())
+	defer pool.stopAll()
+
+	runDone := make(chan error, 1)
+	go func() {
+		_, err := a.Run()
+		runDone <- err
+	}()
+	if !waitDurableIter(dir, sc.DisruptAfterIter, 60*time.Second) {
+		a.Close()
+		<-runDone
+		t.Fatalf("iteration %d never became durable", sc.DisruptAfterIter)
+	}
+
+	// Wedge the root: it keeps training but its claim silently lapses.
+	a.SuspendLeaseRenewal()
+	expiry := time.Now().Add(60 * time.Second)
+	for {
+		tok, err := ha.ReadToken(dir)
+		if err == nil && tok.Expired(time.Now()) {
+			break
+		}
+		if time.Now().After(expiry) {
+			t.Fatal("suspended lease never expired")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	b, err := start(&sc, fx, dir, true, "ha-root-b")
+	if err != nil {
+		t.Fatalf("successor: %v", err)
+	}
+	defer b.Close()
+	if b.RootGen() != 2 {
+		t.Fatalf("successor holds generation %d, want 2", b.RootGen())
+	}
+	pool.retarget(b.Addrs())
+
+	// The deposed root must fail typed — and name the usurping generation,
+	// the remediation an operator acts on — before the successor can finish.
+	var zerr error
+	select {
+	case zerr = <-runDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("deposed root never failed")
+	}
+	if zerr == nil {
+		t.Fatal("deposed root finished its run successfully")
+	}
+	if !errors.Is(zerr, ha.ErrFenced) {
+		t.Fatalf("deposed root failed with %v, want ha.ErrFenced", zerr)
+	}
+	if !strings.Contains(zerr.Error(), "deposed by generation 2") {
+		t.Errorf("fenced error %q does not name the usurping generation", zerr)
+	}
+	a.Close() // frees any worker still attached to the zombie
+
+	out, err := b.Run()
+	b.Close()
+	pool.stopAll()
+	if err != nil {
+		t.Fatalf("successor run: %v", err)
+	}
+	checkFiniteParams(t, out.Params)
+}
+
+func runGroupRestart(t *testing.T, start StartHA) {
+	sc := haBase("group-master-restart-and-readoption")
+	fx, err := NewFixture(sc.K, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "ckpt")
+
+	cl, err := start(&sc, fx, dir, false, "ha-root")
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	defer cl.Close()
+	gr, ok := cl.(GroupRestarter)
+	if !ok {
+		t.Fatal("cluster does not implement GroupRestarter despite declaring group masters")
+	}
+	pool := startRecoveryWorkers(sc.Workers, fx, cl.Addrs())
+	defer pool.stopAll()
+
+	runDone := make(chan *Outcome, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		out, err := cl.Run()
+		runDone <- out
+		runErr <- err
+	}()
+	if !waitDurableIter(dir, sc.DisruptAfterIter, 60*time.Second) {
+		cl.Close()
+		<-runErr
+		t.Fatalf("iteration %d never became durable", sc.DisruptAfterIter)
+	}
+	if err := gr.RestartGroup(0); err != nil {
+		t.Fatalf("group restart: %v", err)
+	}
+	pool.retarget(cl.Addrs()) // the restarted master listens at a new address
+
+	var out *Outcome
+	select {
+	case out = <-runDone:
+		if err := <-runErr; err != nil {
+			t.Fatalf("run failed after the group restart: %v", err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("run never completed after the group restart")
+	}
+	if out.Iters != sc.Iters {
+		t.Errorf("run executed %d iterations, want %d — the restart lost progress", out.Iters, sc.Iters)
+	}
+	if out.Readoptions == 0 {
+		t.Error("the restarted group master was never re-adopted")
+	}
+	checkFiniteParams(t, out.Params)
+}

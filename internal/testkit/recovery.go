@@ -111,7 +111,7 @@ func runRecoveryScenario(t *testing.T, sc *RecoveryScenario, start StartRecovery
 	}
 	defer cl.Close()
 
-	pool := startRecoveryWorkers(sc, fx, cl.Addrs())
+	pool := startRecoveryWorkers(sc.Workers, fx, cl.Addrs())
 	defer pool.stopAll()
 
 	// Phase A: train until KillAfterIter is durably journaled, then kill
@@ -258,10 +258,10 @@ func (w *recoveryWorker) sessionIDs() []int {
 // any reconnect it replays a gradient tagged with epoch 0 — the epoch its
 // pre-crash uploads carried — alongside its honest work, so the harness can
 // assert the resume fence engaged.
-func startRecoveryWorkers(sc *RecoveryScenario, fx *Fixture, addrs []string) *recoveryPool {
+func startRecoveryWorkers(workers int, fx *Fixture, addrs []string) *recoveryPool {
 	pool := &recoveryPool{}
 	pool.addrs.Store(append([]string(nil), addrs...))
-	for slot := 0; slot < sc.Workers; slot++ {
+	for slot := 0; slot < workers; slot++ {
 		w := &recoveryWorker{slot: slot, poison: slot == 0}
 		pool.workers = append(pool.workers, w)
 		pool.wg.Add(1)
@@ -422,12 +422,12 @@ func honestIterate(conn *transport.Conn, fx *Fixture, assign *transport.Assignme
 	}
 	time.Sleep(time.Duration(len(assign.Partitions)) * 2 * time.Millisecond)
 	if err := conn.Send(&transport.Envelope{
-		Type: transport.MsgGradient, Iter: env.Iter, Epoch: epoch, WorkerID: id, Vector: coded,
+		Type: transport.MsgGradient, Iter: env.Iter, Epoch: epoch, WorkerID: id, RootGen: env.RootGen, Vector: coded,
 	}); err != nil {
 		return err
 	}
 	return conn.Send(&transport.Envelope{
-		Type: transport.MsgTelemetry, Iter: env.Iter, Epoch: epoch, WorkerID: id,
+		Type: transport.MsgTelemetry, Iter: env.Iter, Epoch: epoch, WorkerID: id, RootGen: env.RootGen,
 		Telemetry: &transport.Telemetry{
 			ComputeSeconds: time.Since(start).Seconds(),
 			Partitions:     len(assign.Partitions),

@@ -33,8 +33,9 @@ const (
 )
 
 // gradientHeaderLen is the binary gradient sub-frame header: codec byte,
-// Iter/Epoch/WorkerID as uint32, Chunk/Chunks as uint32, vector length.
-const gradientHeaderLen = 1 + 4*6
+// Iter/Epoch/WorkerID as uint32, Chunk/Chunks as uint32, RootGen, vector
+// length.
+const gradientHeaderLen = 1 + 4*7
 
 // batchBufPool recycles the scratch buffers used to assemble and encode
 // batch payloads.
@@ -96,9 +97,11 @@ func encodeBatch(buf *bytes.Buffer, envs []*Envelope) error {
 // gradient layout (uint32 header fields, no auxiliary payloads).
 func gradientFastPath(e *Envelope) bool {
 	return e.Type == MsgGradient && e.Assign == nil && e.Telemetry == nil && e.Batch == nil &&
+		e.Adopt == nil &&
 		e.Iter >= 0 && e.Iter <= math.MaxUint32>>1 &&
 		e.Epoch >= 0 && e.Epoch <= math.MaxUint32>>1 &&
 		e.WorkerID >= 0 && e.WorkerID <= math.MaxUint32>>1 &&
+		e.RootGen >= 0 && e.RootGen <= math.MaxUint32>>1 &&
 		e.Chunk >= 0 && e.Chunks >= 0 && e.Chunks <= math.MaxUint32>>1 &&
 		len(e.Vector) <= MaxVectorLen
 }
@@ -113,7 +116,8 @@ func encodeGradientFrame(buf *bytes.Buffer, e *Envelope) {
 	binary.LittleEndian.PutUint32(hdr[9:], uint32(e.WorkerID))
 	binary.LittleEndian.PutUint32(hdr[13:], uint32(e.Chunk))
 	binary.LittleEndian.PutUint32(hdr[17:], uint32(e.Chunks))
-	binary.LittleEndian.PutUint32(hdr[21:], uint32(len(e.Vector)))
+	binary.LittleEndian.PutUint32(hdr[21:], uint32(e.RootGen))
+	binary.LittleEndian.PutUint32(hdr[25:], uint32(len(e.Vector)))
 	buf.Write(hdr[:])
 	b := buf.AvailableBuffer()
 	if cap(b) < 8*len(e.Vector) {
@@ -127,7 +131,7 @@ func decodeGradientFrame(frame []byte) (*Envelope, error) {
 	if len(frame) < gradientHeaderLen {
 		return nil, fmt.Errorf("%w: gradient sub-frame header truncated (%d bytes)", ErrMalformed, len(frame))
 	}
-	n := int(binary.LittleEndian.Uint32(frame[21:]))
+	n := int(binary.LittleEndian.Uint32(frame[25:]))
 	if len(frame) != gradientHeaderLen+8*n {
 		return nil, fmt.Errorf("%w: gradient sub-frame holds %d bytes for %d elements", ErrMalformed, len(frame)-gradientHeaderLen, n)
 	}
@@ -138,6 +142,7 @@ func decodeGradientFrame(frame []byte) (*Envelope, error) {
 		WorkerID: int(binary.LittleEndian.Uint32(frame[9:])),
 		Chunk:    int(binary.LittleEndian.Uint32(frame[13:])),
 		Chunks:   int(binary.LittleEndian.Uint32(frame[17:])),
+		RootGen:  int(binary.LittleEndian.Uint32(frame[21:])),
 	}
 	if n > 0 {
 		vec, _, err := ReadFloat64s(frame[gradientHeaderLen:], n)

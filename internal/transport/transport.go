@@ -41,6 +41,13 @@ const (
 	// is a sequence of length-prefixed, individually gob-encoded envelopes.
 	// Recv unpacks batches transparently, so receivers never see this type.
 	MsgBatch
+	// MsgAdopt is the group-master adoption handshake. A restartable group
+	// master opens its uplink with MsgAdopt carrying its Adoption (group
+	// index, current epoch base, admitted members); the root replies with
+	// MsgAdopt carrying its RootGen and the iteration to serve next, so a
+	// surviving group master attaches to a restarted or promoted root
+	// without being respawned.
+	MsgAdopt
 )
 
 // HelloNewWorker is the MsgHello WorkerID requesting a fresh member slot.
@@ -65,6 +72,8 @@ func (t MsgType) String() string {
 		return "reassign"
 	case MsgBatch:
 		return "batch"
+	case MsgAdopt:
+		return "adopt"
 	default:
 		return fmt.Sprintf("MsgType(%d)", int(t))
 	}
@@ -83,6 +92,20 @@ type Assignment struct {
 	K int
 	// S is the straggler budget (informational).
 	S int
+}
+
+// Adoption is the MsgAdopt payload: the group master's side of the
+// handshake describes the group it brings (its epoch base and admitted
+// members, for membership reconciliation against the root's durable state);
+// the root's ack reuses the struct with just the group index, its authority
+// carried by the envelope's RootGen and Iter.
+type Adoption struct {
+	// Group is the coding-group index.
+	Group int
+	// Epoch is the group's current plan epoch base (-1 before any plan).
+	Epoch int
+	// Members are the member IDs the group has admitted, ascending.
+	Members []int
 }
 
 // Telemetry is a worker's per-iteration timing report, the raw input to the
@@ -107,6 +130,12 @@ type Envelope struct {
 	// bumps it on every migration; gradients tagged with a stale epoch are
 	// rejected before decode.
 	Epoch int
+	// RootGen is the root's lease generation — the HA fencing token. The
+	// root stamps it on every downlink frame and group masters echo it on
+	// every group-sum upload, so frames from (or encoded under) a deposed
+	// root are rejected typed instead of silently applied. 0 means the run
+	// is not lease-fenced (legacy single-root operation).
+	RootGen int
 	// Chunk/Chunks split one large Vector across several sub-frames of a
 	// batch: a chunked MsgGradient carries piece Chunk of Chunks, to be
 	// concatenated in order by the receiver (JoinChunks). Chunks == 0 means
@@ -115,6 +144,8 @@ type Envelope struct {
 	Assign        *Assignment
 	Vector        []float64 // parameters (MsgParams) or coded gradient (MsgGradient)
 	Telemetry     *Telemetry
+	// Adopt is the MsgAdopt payload.
+	Adopt *Adoption
 	// Batch is the MsgBatch payload: length-prefixed gob-encoded sub-frames.
 	Batch []byte
 }
@@ -136,19 +167,25 @@ var (
 // the decoder's own allocation.
 const MaxVectorLen = 1 << 30
 
+// MaxAdoptMembers bounds the member list of an adoption handshake.
+const MaxAdoptMembers = 1 << 20
+
 // validate checks the structural invariants of a received envelope.
 func (e *Envelope) validate() error {
-	if e.Type < MsgHello || e.Type > MsgBatch {
+	if e.Type < MsgHello || e.Type > MsgAdopt {
 		return fmt.Errorf("%w: unknown message type %d", ErrMalformed, int(e.Type))
 	}
 	if e.Iter < 0 || e.Epoch < 0 {
 		return fmt.Errorf("%w: %v iter=%d epoch=%d", ErrMalformed, e.Type, e.Iter, e.Epoch)
 	}
+	if e.RootGen < 0 {
+		return fmt.Errorf("%w: %v root generation %d", ErrMalformed, e.Type, e.RootGen)
+	}
 	if e.Type == MsgBatch {
 		if len(e.Batch) == 0 {
 			return fmt.Errorf("%w: empty batch", ErrMalformed)
 		}
-		if e.Assign != nil || e.Vector != nil || e.Telemetry != nil {
+		if e.Assign != nil || e.Vector != nil || e.Telemetry != nil || e.Adopt != nil {
 			return fmt.Errorf("%w: batch with non-batch payload", ErrMalformed)
 		}
 		return nil
@@ -184,6 +221,30 @@ func (e *Envelope) validate() error {
 	}
 	if (e.Type == MsgAssign || e.Type == MsgReassign) && e.Assign == nil {
 		return fmt.Errorf("%w: %v without assignment payload", ErrMalformed, e.Type)
+	}
+	if e.Type == MsgAdopt && e.Adopt == nil {
+		return fmt.Errorf("%w: adopt without adoption payload", ErrMalformed)
+	}
+	if e.Type != MsgAdopt && e.Adopt != nil {
+		return fmt.Errorf("%w: %v carries an adoption payload", ErrMalformed, e.Type)
+	}
+	if a := e.Adopt; a != nil {
+		if a.Group < 0 {
+			return fmt.Errorf("%w: adoption group %d", ErrMalformed, a.Group)
+		}
+		if a.Epoch < -1 {
+			return fmt.Errorf("%w: adoption epoch %d", ErrMalformed, a.Epoch)
+		}
+		if len(a.Members) > MaxAdoptMembers {
+			return fmt.Errorf("%w: adoption with %d members exceeds cap %d", ErrMalformed, len(a.Members), MaxAdoptMembers)
+		}
+		prev := 0
+		for _, m := range a.Members {
+			if m <= prev {
+				return fmt.Errorf("%w: adoption members not ascending positive IDs (%d after %d)", ErrMalformed, m, prev)
+			}
+			prev = m
+		}
 	}
 	if t := e.Telemetry; t != nil {
 		if t.Partitions < 0 || t.ComputeSeconds < 0 || t.UploadSeconds < 0 {

@@ -16,6 +16,8 @@ func TestMsgTypeString(t *testing.T) {
 		MsgShutdown:  "shutdown",
 		MsgTelemetry: "telemetry",
 		MsgReassign:  "reassign",
+		MsgBatch:     "batch",
+		MsgAdopt:     "adopt",
 		MsgType(42):  "MsgType(42)",
 	}
 	for mt, want := range cases {
@@ -75,6 +77,13 @@ func TestRecvRejectsMalformed(t *testing.T) {
 		{"reassign without payload", &Envelope{Type: MsgReassign}},
 		{"assign without payload", &Envelope{Type: MsgAssign}},
 		{"negative telemetry", &Envelope{Type: MsgTelemetry, Telemetry: &Telemetry{Partitions: -1}}},
+		{"negative root generation", &Envelope{Type: MsgParams, RootGen: -1}},
+		{"adopt without payload", &Envelope{Type: MsgAdopt}},
+		{"adopt on non-adopt frame", &Envelope{Type: MsgParams, Adopt: &Adoption{Group: 0, Epoch: -1}}},
+		{"adopt negative group", &Envelope{Type: MsgAdopt, Adopt: &Adoption{Group: -1, Epoch: -1}}},
+		{"adopt impossible epoch", &Envelope{Type: MsgAdopt, Adopt: &Adoption{Group: 0, Epoch: -2}}},
+		{"adopt unsorted members", &Envelope{Type: MsgAdopt, Adopt: &Adoption{Group: 0, Epoch: 0, Members: []int{3, 2}}}},
+		{"adopt zero member id", &Envelope{Type: MsgAdopt, Adopt: &Adoption{Group: 0, Epoch: 0, Members: []int{0, 1}}}},
 	}
 	for _, tc := range bad {
 		t.Run(tc.name, func(t *testing.T) {
