@@ -1,8 +1,8 @@
 GO ?= go
 
 .PHONY: all build test vet lint race cover cover-gate cover-check \
-	fuzz-smoke smoke-examples bench bench-smoke bench-baseline \
-	bench-compare bench-json
+	fuzz-smoke smoke-examples metrics-smoke bench bench-smoke \
+	bench-baseline bench-compare bench-json
 
 all: build test
 
@@ -16,7 +16,11 @@ vet:
 	$(GO) vet ./...
 
 # Lint: formatting must be clean, vet must pass, and staticcheck runs when
-# installed (CI installs it; locally it is optional).
+# installed (CI installs it; locally it is optional). The final grep pins
+# every "hetgc_ metric name literal in production code to
+# internal/obs/names.go, so the sim and live runtimes cannot drift apart on
+# naming. Tests and examples are exempt: they assert on the text exposition
+# deliberately, as black-box scrape consumers.
 lint:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -28,6 +32,13 @@ lint:
 	else \
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
+	@bad=$$(grep -rn '"hetgc_' --include='*.go' --exclude='*_test.go' \
+		--exclude-dir=examples . | grep -v 'internal/obs/names.go'); \
+	if [ -n "$$bad" ]; then \
+		echo "metric name literals outside internal/obs/names.go (use the obs.M* constants):"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@echo "metric names: single-sourced in internal/obs/names.go"
 
 race:
 	$(GO) test -race ./...
@@ -78,6 +89,15 @@ smoke-examples:
 	else \
 		$(GO) run ./examples/quickstart; \
 	fi
+
+# Live telemetry smoke: each runtime (elastic and sharded) trains a loopback
+# cluster with checkpointing and the HA lease on while serving /metrics; the
+# tests scrape mid-run and assert the acceptance families carry non-zero
+# samples — iteration counters, throughput estimates, decode-cache hit rate,
+# snapshot activity and the lease generation. `make test` runs these too;
+# this named target is the CI entry point.
+metrics-smoke:
+	$(GO) test -run 'TestMetricsSmoke' -v .
 
 # Full benchmark sweep with allocation reporting.
 bench:

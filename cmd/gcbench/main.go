@@ -51,6 +51,10 @@ type Result struct {
 	BytesPerOp *float64 `json:"bytes_per_op,omitempty"`
 	// AllocsPerOp is allocations per operation (-benchmem only).
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. the batched uplink
+	// benches' "wire-B/iter" — bytes on the wire per iteration), keyed by
+	// unit string.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the emitted document.
@@ -232,6 +236,12 @@ func parseBenchLine(line string) (Result, bool) {
 		case "allocs/op":
 			v := val
 			res.AllocsPerOp = &v
+		default:
+			// Custom b.ReportMetric units (MB/s, wire-B/iter, ...).
+			if res.Extra == nil {
+				res.Extra = make(map[string]float64)
+			}
+			res.Extra[fields[i+1]] = val
 		}
 	}
 	if !seenNs {

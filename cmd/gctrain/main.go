@@ -20,6 +20,15 @@
 //
 //	gctrain -checkpoint-dir /tmp/ckpt -iters 50 -lease-ttl 2s
 //	gctrain -checkpoint-dir /tmp/ckpt -iters 50 -lease-ttl 2s -standby
+//
+// With -metrics-addr the run serves live telemetry over HTTP — Prometheus
+// metrics at /metrics, the structured event journal at /debug/events,
+// iteration phase traces at /debug/trace and pprof at /debug/pprof/ — and
+// -trace streams each iteration's phase breakdown to stderr as JSON lines.
+// Both route the job through the elastic runtime:
+//
+//	gctrain -metrics-addr 127.0.0.1:9090 -iters 50
+//	curl -s http://127.0.0.1:9090/metrics | grep hetgc_
 package main
 
 import (
@@ -53,6 +62,8 @@ func run(args []string) error {
 		resume      = fs.Bool("resume", false, "resume from the state in -checkpoint-dir instead of starting fresh")
 		leaseTTL    = fs.Duration("lease-ttl", 0, "hold the HA root lease over -checkpoint-dir with this TTL (0 disables)")
 		standby     = fs.Bool("standby", false, "run as a warm standby: tail -checkpoint-dir and take over training when the lease lapses")
+		metricsAddr = fs.String("metrics-addr", "", "serve live telemetry on this host:port (/metrics, /healthz, /debug/events, /debug/trace, /debug/pprof/); uses the elastic runtime")
+		trace       = fs.Bool("trace", false, "stream per-iteration phase traces to stderr as JSON lines; uses the elastic runtime")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,15 +77,31 @@ func run(args []string) error {
 	if (*leaseTTL > 0 || *standby) && *ckptDir == "" {
 		return errors.New("-lease-ttl and -standby require -checkpoint-dir (the lease lives in the checkpoint directory)")
 	}
+	var tel *hetgc.Telemetry
+	if *metricsAddr != "" || *trace {
+		tel = hetgc.NewTelemetry()
+		if *trace {
+			tel.Tracer().Stream(os.Stderr)
+		}
+		if *metricsAddr != "" {
+			srv, err := hetgc.ServeTelemetry(tel, *metricsAddr)
+			if err != nil {
+				return fmt.Errorf("telemetry server: %w", err)
+			}
+			defer srv.Close()
+			fmt.Printf("telemetry on %s/metrics (events at /debug/events, traces at /debug/trace, pprof at /debug/pprof/)\n", srv.URL())
+		}
+	}
 	if *standby {
-		if err := standBy(*ckptDir); err != nil {
+		if err := standBy(*ckptDir, tel); err != nil {
 			return err
 		}
 		// Promoted: continue the deposed root's run at the next generation.
 		*resume = true
 	}
-	if *ckptDir != "" {
-		return runDurable(*scheme, *iters, *s, *stragglerMs, *seed, *ckptDir, *snapEvery, *resume, *leaseTTL)
+	if *ckptDir != "" || tel != nil {
+		// Durable state and telemetry both live on the elastic runtime.
+		return runDurable(*scheme, *iters, *s, *stragglerMs, *seed, *ckptDir, *snapEvery, *resume, *leaseTTL, tel)
 	}
 
 	// A small heterogeneous fleet (relative speeds 1..4, as in Example 1).
@@ -176,7 +203,7 @@ func run(args []string) error {
 // runDurable trains on the elastic runtime with a checkpoint directory:
 // journaled iterations, periodic snapshots, and — with resume — exact
 // continuation from the last snapshot.
-func runDurable(scheme string, iters, s, stragglerMs int, seed int64, dir string, snapEvery int, resume bool, leaseTTL time.Duration) error {
+func runDurable(scheme string, iters, s, stragglerMs int, seed int64, dir string, snapEvery int, resume bool, leaseTTL time.Duration, tel *hetgc.Telemetry) error {
 	var kind hetgc.Kind
 	switch scheme {
 	case "heter":
@@ -184,7 +211,7 @@ func runDurable(scheme string, iters, s, stragglerMs int, seed int64, dir string
 	case "group":
 		kind = hetgc.GroupBased
 	default:
-		return fmt.Errorf("the durable elastic runtime plans heter or group schemes, not %q", scheme)
+		return fmt.Errorf("the elastic runtime (-checkpoint-dir, -metrics-addr, -trace) plans heter or group schemes, not %q", scheme)
 	}
 
 	// The workload is derived from the seed, so a resumed process rebuilds
@@ -221,6 +248,7 @@ func runDurable(scheme string, iters, s, stragglerMs int, seed int64, dir string
 		SnapshotEvery: snapEvery,
 		Resume:        resume,
 		LeaseTTL:      leaseTTL,
+		Obs:           tel,
 	}, "127.0.0.1:0")
 	if err != nil {
 		return remediate(err, dir)
@@ -231,8 +259,12 @@ func runDurable(scheme string, iters, s, stragglerMs int, seed int64, dir string
 	if gen := master.RootGen(); gen > 0 {
 		fmt.Printf("holding root lease: generation %d, ttl %s\n", gen, leaseTTL)
 	}
-	fmt.Printf("elastic master on %s; scheme=%s k=%d s=%d checkpoint-dir=%s snapshot-every=%d\n",
-		master.Addr(), scheme, k, s, dir, snapEvery)
+	if dir != "" {
+		fmt.Printf("elastic master on %s; scheme=%s k=%d s=%d checkpoint-dir=%s snapshot-every=%d\n",
+			master.Addr(), scheme, k, s, dir, snapEvery)
+	} else {
+		fmt.Printf("elastic master on %s; scheme=%s k=%d s=%d\n", master.Addr(), scheme, k, s)
+	}
 
 	var wg sync.WaitGroup
 	for i := 0; i < m; i++ {
@@ -282,13 +314,30 @@ func runDurable(scheme string, iters, s, stragglerMs int, seed int64, dir string
 	for _, p := range res.Curve.Points {
 		fmt.Printf("  %8.3f  %.4f\n", p.X, p.Y)
 	}
-	fmt.Printf("rerun with -resume to continue from the last snapshot in %s\n", dir)
+	if tel != nil {
+		if evs := tel.Journal().Recent(20); len(evs) > 0 {
+			fmt.Println("\nevent journal (most recent):")
+			for _, ev := range evs {
+				line := fmt.Sprintf("  #%-4d %-9s iter=%d", ev.Seq, ev.Kind, ev.Iter)
+				if ev.Member != 0 {
+					line += fmt.Sprintf(" member=%d", ev.Member)
+				}
+				if ev.Detail != "" {
+					line += " " + ev.Detail
+				}
+				fmt.Println(line)
+			}
+		}
+	}
+	if dir != "" {
+		fmt.Printf("rerun with -resume to continue from the last snapshot in %s\n", dir)
+	}
 	return nil
 }
 
 // standBy tails the checkpoint directory until its root lease lapses, then
 // returns so the caller can take over at the next generation.
-func standBy(dir string) error {
+func standBy(dir string, tel *hetgc.Telemetry) error {
 	fmt.Printf("standby: tailing %s, waiting for the root lease to lapse\n", dir)
 	prom, err := hetgc.NewStandby(hetgc.StandbyConfig{Dir: dir}).Run(nil)
 	if err != nil {
@@ -298,6 +347,9 @@ func standBy(dir string) error {
 	if prom.State != nil {
 		last = prom.State.LastIter
 	}
+	// The promoted master's own Acquire claims the next generation; record
+	// the takeover now, at the moment the standby decides to promote.
+	tel.OnPromotion(uint64(prom.Deposed.Gen+1), last)
 	fmt.Printf("standby: promoted — generation %d (%q) lapsed; freshest durable iteration: %d\n",
 		prom.Deposed.Gen, prom.Deposed.Holder, last)
 	return nil

@@ -161,7 +161,7 @@ func TestStandByPromotes(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = lease // never renewed: the lease lapses and the standby promotes
-	if err := standBy(dir); err != nil {
+	if err := standBy(dir, nil); err != nil {
 		t.Fatal(err)
 	}
 }

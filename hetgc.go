@@ -35,6 +35,7 @@ import (
 	"github.com/hetgc/hetgc/internal/ha"
 	"github.com/hetgc/hetgc/internal/metrics"
 	"github.com/hetgc/hetgc/internal/ml"
+	"github.com/hetgc/hetgc/internal/obs"
 	"github.com/hetgc/hetgc/internal/partition"
 	"github.com/hetgc/hetgc/internal/planner"
 	"github.com/hetgc/hetgc/internal/runtime"
@@ -603,6 +604,40 @@ var AsciiPlot = metrics.AsciiPlot
 
 // MergeSeriesCSV writes several series as one wide CSV aligned on x.
 var MergeSeriesCSV = metrics.MergeSeries
+
+// Live telemetry plane: a dependency-free metrics registry with Prometheus
+// text exposition, an HTTP server (/metrics, /healthz, /debug/events,
+// /debug/trace, /debug/pprof), per-iteration phase tracing and a structured
+// control-plane event journal. Set ElasticConfig.Obs / ShardedConfig.Obs /
+// ElasticSimConfig.Obs / ShardedSimConfig.Obs to the same *Telemetry to
+// instrument a run; nil (the default) disables everything. The sim and live
+// runtimes emit the same metric families, so their scrapes are diffable.
+type (
+	// Telemetry is the canonical hetgc metric bundle plus the event journal
+	// and iteration tracer.
+	Telemetry = obs.Metrics
+	// TelemetryServer is the HTTP server exposing a Telemetry bundle.
+	TelemetryServer = obs.Server
+	// TelemetryRegistry is the underlying metric registry (usable standalone
+	// for custom metrics).
+	TelemetryRegistry = obs.Registry
+	// TelemetryEvent is one structured control-plane event (replan,
+	// join/death, failover, fence, ...).
+	TelemetryEvent = obs.Event
+	// IterTrace is one traced iteration: phase spans from broadcast to
+	// persist.
+	IterTrace = obs.IterTrace
+)
+
+// NewTelemetry builds a Telemetry bundle on a fresh registry with
+// default-capacity event journal and iteration tracer.
+func NewTelemetry() *Telemetry { return obs.New() }
+
+// ServeTelemetry starts the telemetry HTTP server on addr (host:port; port 0
+// picks a free one) exposing m. Close the returned server when done.
+func ServeTelemetry(m *Telemetry, addr string) (*TelemetryServer, error) {
+	return obs.NewServer(addr, m)
+}
 
 // NewRand returns a deterministic rand.Rand for the given seed — the only
 // randomness source the library uses.

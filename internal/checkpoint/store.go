@@ -12,6 +12,9 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/obs"
 )
 
 // DefaultRetain is the number of snapshot generations kept after
@@ -42,6 +45,19 @@ type Store struct {
 	// check here, so a deposed root's writes fail typed (ha.ErrFenced)
 	// instead of reaching the directory the new root now owns.
 	guard func() error
+	// obs, when set, receives append/fsync latencies, journal lag and
+	// fenced-write counts.
+	obs *obs.Metrics
+	// sinceSnap counts journal records appended since the last snapshot —
+	// the replay cost of recovering from this store right now.
+	sinceSnap int
+}
+
+// SetMetrics attaches a telemetry bundle; nil detaches it.
+func (s *Store) SetMetrics(m *obs.Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs = m
 }
 
 // SetGuard installs a write guard consulted before every Append and
@@ -138,6 +154,7 @@ func (s *Store) appendLocked(rec *Record) error {
 			if s.err == nil {
 				s.err = err
 			}
+			s.obs.OnFencedWrite(rec.Iter, "journal append")
 			return err
 		}
 	}
@@ -155,6 +172,7 @@ func (s *Store) appendLocked(rec *Record) error {
 		s.wal = wal
 	}
 	s.scratch = frameRecord(s.scratch[:0], encodeRecordPayload(nil, rec))
+	start := time.Now()
 	if _, err := s.wal.Write(s.scratch); err != nil {
 		err = fmt.Errorf("checkpoint journal append: %w", err)
 		if s.err == nil {
@@ -162,6 +180,8 @@ func (s *Store) appendLocked(rec *Record) error {
 		}
 		return err
 	}
+	s.sinceSnap++
+	s.obs.OnAppend(time.Since(start).Seconds(), s.sinceSnap)
 	return nil
 }
 
@@ -183,9 +203,11 @@ func (s *Store) WriteSnapshot(snap *Snapshot) error {
 	}
 	if s.guard != nil {
 		if err := s.guard(); err != nil {
+			s.obs.OnFencedWrite(snap.Iter, "snapshot")
 			return fmt.Errorf("checkpoint snapshot refused: %w", err)
 		}
 	}
+	start := time.Now()
 	gen := s.gen + 1
 	data := EncodeSnapshot(snap)
 	final := filepath.Join(s.dir, fmt.Sprintf(snapPattern, gen))
@@ -225,6 +247,8 @@ func (s *Store) WriteSnapshot(snap *Snapshot) error {
 		}
 		syncDir(s.dir)
 	}
+	s.sinceSnap = 0
+	s.obs.OnSnapshot(time.Since(start).Seconds(), snap.Iter)
 	return nil
 }
 

@@ -1,0 +1,58 @@
+package obs
+
+import "testing"
+
+func cacheGauges(t *testing.T, m *Metrics) (hits, misses, ratio float64) {
+	t.Helper()
+	return m.CacheHits.Value(), m.CacheMisses.Value(), m.CacheHitRatio.Value()
+}
+
+func TestOnCacheDeltaAccumulates(t *testing.T) {
+	m := New()
+	m.OnCacheDelta(9, 1)
+	m.OnCacheDelta(11, 4)
+	hits, misses, ratio := cacheGauges(t, m)
+	if hits != 20 || misses != 5 {
+		t.Fatalf("totals = %v/%v, want 20/5", hits, misses)
+	}
+	if ratio != 0.8 {
+		t.Fatalf("ratio = %v, want 0.8", ratio)
+	}
+	// Nil receiver must no-op.
+	var nilM *Metrics
+	nilM.OnCacheDelta(1, 1)
+}
+
+func TestCacheTrackerFoldsSnapshots(t *testing.T) {
+	m := New()
+	var tr CacheTracker
+	keyA, keyB := new(int), new(int)
+
+	// Growing snapshots from one strategy fold as deltas.
+	tr.Fold(m, keyA, 10, 2)
+	tr.Fold(m, keyA, 25, 5)
+	if hits, misses, _ := cacheGauges(t, m); hits != 25 || misses != 5 {
+		t.Fatalf("after same-key folds: %v/%v, want 25/5", hits, misses)
+	}
+
+	// A replan installs a fresh strategy with zeroed counters: the baseline
+	// resets and the new snapshot adds on top instead of wrapping negative.
+	tr.Fold(m, keyB, 4, 1)
+	if hits, misses, _ := cacheGauges(t, m); hits != 29 || misses != 6 {
+		t.Fatalf("after key change: %v/%v, want 29/6", hits, misses)
+	}
+
+	// A counter decrease under the same key (a reset we did not see the key
+	// change for) also resets the baseline rather than underflowing.
+	tr.Fold(m, keyB, 2, 0)
+	if hits, misses, _ := cacheGauges(t, m); hits != 31 || misses != 6 {
+		t.Fatalf("after counter decrease: %v/%v, want 31/6", hits, misses)
+	}
+
+	// Nil metrics must not advance the baseline.
+	before := tr
+	tr.Fold(nil, keyB, 100, 100)
+	if tr != before {
+		t.Fatalf("nil fold advanced the tracker: %+v", tr)
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one structured control-plane occurrence: a replan, a
+// join/death, a migration, a failover, a fence rejection. Events land in a
+// bounded in-memory ring served from /debug/events and printed by the CLI.
+type Event struct {
+	Seq    uint64    `json:"seq"`
+	Time   time.Time `json:"time"`
+	Kind   string    `json:"kind"`
+	Iter   int       `json:"iter"`
+	Group  int       `json:"group"`
+	Member int       `json:"member,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// Journal is a fixed-capacity ring of Events. The zero value is unusable;
+// use NewJournal. A nil *Journal is safe: Append and Recent are no-ops.
+type Journal struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int
+	total uint64
+}
+
+// DefaultJournalCap bounds the in-memory event ring.
+const DefaultJournalCap = 1024
+
+// NewJournal returns a journal holding the most recent capacity events
+// (DefaultJournalCap when capacity <= 0).
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultJournalCap
+	}
+	return &Journal{ring: make([]Event, 0, capacity)}
+}
+
+// Append stamps the event with a sequence number and the current time and
+// records it, evicting the oldest entry when full.
+func (j *Journal) Append(ev Event) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.total++
+	ev.Seq = j.total
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	if len(j.ring) < cap(j.ring) {
+		j.ring = append(j.ring, ev)
+		return
+	}
+	j.ring[j.next] = ev
+	j.next = (j.next + 1) % len(j.ring)
+}
+
+// Recent returns up to n most recent events in chronological order
+// (all retained events when n <= 0).
+func (j *Journal) Recent(n int) []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, 0, len(j.ring))
+	out = append(out, j.ring[j.next:]...)
+	out = append(out, j.ring[:j.next]...)
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// Total returns the number of events ever appended (including evicted).
+func (j *Journal) Total() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.total
+}

@@ -1,0 +1,438 @@
+// Package obs is the repo's dependency-free telemetry plane: a metrics
+// registry (atomic counters, gauges, fixed-bucket histograms, labeled
+// families) that serializes to the Prometheus text exposition format, a
+// bounded structured event journal, a per-iteration phase tracer, and an
+// HTTP server exposing /metrics, /healthz, /debug/events and
+// net/http/pprof. It imports only the standard library so every layer of
+// the stack (transport, roster, checkpoint, runtimes, simulator) can
+// depend on it without cycles.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+type metricKind int
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	case histogramKind:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. All methods are safe for concurrent use; updates on
+// the returned handles are lock-free atomics.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	labels  []string
+	buckets []float64 // histogramKind only
+
+	// fn-backed families have exactly one synthetic series whose value is
+	// read at scrape time (used for process-wide counters owned elsewhere,
+	// e.g. the transport wire plane, and derived gauges like snapshot age).
+	fn        func() float64
+	fnInteger bool
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+type series struct {
+	labelVals []string
+
+	// counter: integer count in bits. gauge: math.Float64bits in bits.
+	bits atomic.Uint64
+
+	// histogram only.
+	counts  []atomic.Uint64 // one per bucket bound, +Inf implicit via count
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits, CAS-accumulated
+}
+
+func (r *Registry) register(name, help string, kind metricKind, labels []string, buckets []float64) *family {
+	if name == "" || !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabel(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v with %d labels (was %v with %d)",
+				name, kind, len(labels), f.kind, len(f.labels)))
+		}
+		return f
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		kind:    kind,
+		labels:  append([]string(nil), labels...),
+		buckets: append([]float64(nil), buckets...),
+		series:  make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+func (f *family) get(vals []string) *series {
+	if len(vals) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(vals)))
+	}
+	key := strings.Join(vals, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{labelVals: append([]string(nil), vals...)}
+	if f.kind == histogramKind {
+		s.counts = make([]atomic.Uint64, len(f.buckets))
+	}
+	f.series[key] = s
+	return s
+}
+
+// Counter is a monotonically increasing integer.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.s.bits.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.s.bits.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.s.bits.Load() }
+
+// Gauge is a float that can go up and down.
+type Gauge struct{ s *series }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.s.bits.Store(math.Float64bits(v)) }
+
+// Add accumulates delta with a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.s.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.s.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.s.bits.Load()) }
+
+// Histogram counts observations into fixed cumulative buckets.
+type Histogram struct {
+	f *family
+	s *series
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.f.buckets, v)
+	if idx < len(h.s.counts) {
+		h.s.counts[idx].Add(1)
+	}
+	h.s.count.Add(1)
+	for {
+		old := h.s.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.s.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.s.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.s.sumBits.Load()) }
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values.
+func (v *CounterVec) With(vals ...string) *Counter { return &Counter{s: v.f.get(vals)} }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(vals ...string) *Gauge { return &Gauge{s: v.f.get(vals)} }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(vals ...string) *Histogram {
+	return &Histogram{f: v.f, s: v.f.get(vals)}
+}
+
+// Counter registers (or returns the existing) unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, counterKind, nil, nil)
+	return &Counter{s: f.get(nil)}
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, counterKind, labels, nil)}
+}
+
+// Gauge registers an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, gaugeKind, nil, nil)
+	return &Gauge{s: f.get(nil)}
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, gaugeKind, labels, nil)}
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, gaugeKind, nil, nil)
+	f.fn = fn
+}
+
+// CounterFunc registers a counter whose value is read at scrape time from
+// fn — for counters maintained elsewhere as plain atomics (e.g. the
+// transport wire plane).
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	f := r.register(name, help, counterKind, nil, nil)
+	f.fn = func() float64 { return float64(fn()) }
+	f.fnInteger = true
+}
+
+// Histogram registers an unlabeled histogram with the given bucket upper
+// bounds (ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefSecondsBuckets
+	}
+	if !sort.Float64sAreSorted(buckets) {
+		panic(fmt.Sprintf("obs: histogram %q buckets not ascending", name))
+	}
+	f := r.register(name, help, histogramKind, nil, buckets)
+	return &Histogram{f: f, s: f.get(nil)}
+}
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(buckets) == 0 {
+		buckets = DefSecondsBuckets
+	}
+	if !sort.Float64sAreSorted(buckets) {
+		panic(fmt.Sprintf("obs: histogram %q buckets not ascending", name))
+	}
+	return &HistogramVec{f: r.register(name, help, histogramKind, labels, buckets)}
+}
+
+// DefSecondsBuckets covers sub-millisecond appends through multi-second
+// iterations; shared by every latency histogram so families stay diffable.
+var DefSecondsBuckets = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// WritePrometheus renders every family in text exposition format: families
+// sorted by name, series sorted by label values, HELP/TYPE comment lines
+// per family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.write(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) write(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+
+	if f.fn != nil {
+		v := f.fn()
+		if f.fnInteger {
+			fmt.Fprintf(b, "%s %s\n", f.name, strconv.FormatUint(uint64(v), 10))
+		} else {
+			fmt.Fprintf(b, "%s %s\n", f.name, formatFloat(v))
+		}
+		return
+	}
+
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sers := make([]*series, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		sers = append(sers, f.series[k])
+	}
+	f.mu.Unlock()
+
+	for _, s := range sers {
+		switch f.kind {
+		case counterKind:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, labelString(f.labels, s.labelVals, "", ""),
+				strconv.FormatUint(s.bits.Load(), 10))
+		case gaugeKind:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, labelString(f.labels, s.labelVals, "", ""),
+				formatFloat(math.Float64frombits(s.bits.Load())))
+		case histogramKind:
+			// Snapshot bucket counts before the total so a concurrent
+			// Observe can never make cumulative buckets exceed _count...
+			// the inverse (count ahead of buckets) is legal: the +Inf
+			// bucket is emitted as _count itself.
+			var cum uint64
+			counts := make([]uint64, len(s.counts))
+			for i := range s.counts {
+				counts[i] = s.counts[i].Load()
+			}
+			total := s.count.Load()
+			sum := math.Float64frombits(s.sumBits.Load())
+			for i, bound := range f.buckets {
+				cum += counts[i]
+				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+					labelString(f.labels, s.labelVals, "le", formatFloat(bound)), cum)
+			}
+			if cum > total {
+				total = cum
+			}
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+				labelString(f.labels, s.labelVals, "le", "+Inf"), total)
+			fmt.Fprintf(b, "%s_sum%s %s\n", f.name,
+				labelString(f.labels, s.labelVals, "", ""), formatFloat(sum))
+			fmt.Fprintf(b, "%s_count%s %d\n", f.name,
+				labelString(f.labels, s.labelVals, "", ""), total)
+		}
+	}
+}
+
+// labelString renders {k1="v1",k2="v2"} with optional extra label (for
+// histogram le). Empty when there are no labels at all.
+func labelString(keys, vals []string, extraKey, extraVal string) string {
+	if len(keys) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+func validName(s string) bool {
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func validLabel(s string) bool {
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0 && !strings.HasPrefix(s, "__")
+}

@@ -1,0 +1,533 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// populatedRegistry builds a registry with every metric kind, labeled and
+// unlabeled, at fixed values — shared by the golden and round-trip tests.
+func populatedRegistry() *Registry {
+	r := NewRegistry()
+
+	c := r.Counter("demo_requests_total", "Requests served.")
+	c.Add(42)
+
+	cv := r.CounterVec("demo_errors_total", "Errors by class.", "class")
+	cv.With("timeout").Add(3)
+	cv.With("decode").Inc()
+
+	g := r.Gauge("demo_temperature", "Current temperature.")
+	g.Set(36.6)
+
+	gv := r.GaugeVec("demo_rate", "Rate per member.", "group", "member")
+	gv.With("0", "1").Set(1.5)
+	gv.With("0", "2").Set(2.25)
+	gv.With("1", "1").Set(0.125)
+
+	r.GaugeFunc("demo_answer", "The answer, computed at scrape time.", func() float64 { return 42 })
+	r.CounterFunc("demo_ticks_total", "Ticks, read at scrape time.", func() uint64 { return 7 })
+
+	h := r.Histogram("demo_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+
+	hv := r.HistogramVec("demo_phase_seconds", "Phase latency.", []float64{0.1, 1}, "phase")
+	hv.With("collect").Observe(0.05)
+	hv.With("collect").Observe(2)
+	hv.With("step").Observe(0.5)
+
+	// Escaping: backslashes, quotes and newlines in help and label values.
+	eg := r.GaugeVec("demo_escaped", "Help with \\ backslash and\nnewline.", "path")
+	eg.With(`C:\tmp\"x"` + "\n").Set(1)
+
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := populatedRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	golden := filepath.Join("testdata", "golden.prom")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("scrape differs from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestScrapeDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	r := populatedRegistry()
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two scrapes of an idle registry differ — output ordering is not deterministic")
+	}
+}
+
+// TestConcurrencyHammer pounds counters, gauges and histograms from many
+// goroutines while scraping concurrently; run under -race this is the
+// data-race check, and the final values must be exact (no lost updates).
+func TestConcurrencyHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "")
+	cv := r.CounterVec("hammer_labeled_total", "", "worker")
+	g := r.Gauge("hammer_gauge", "")
+	h := r.Histogram("hammer_seconds", "", []float64{0.5})
+
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lc := cv.With(strconv.Itoa(w))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				lc.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 2)) // alternates below/above the bucket
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Errorf("concurrent scrape: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	const total = workers * perWorker
+	if got := c.Value(); got != total {
+		t.Errorf("counter lost updates: got %d want %d", got, total)
+	}
+	for w := 0; w < workers; w++ {
+		if got := cv.With(strconv.Itoa(w)).Value(); got != perWorker {
+			t.Errorf("labeled counter %d: got %d want %d", w, got, perWorker)
+		}
+	}
+	if got := g.Value(); got != total {
+		t.Errorf("gauge lost adds: got %v want %d", got, total)
+	}
+	if got := h.Count(); got != total {
+		t.Errorf("histogram count: got %d want %d", got, total)
+	}
+	if got := h.Sum(); got != total/2 {
+		t.Errorf("histogram sum: got %v want %d", got, total/2)
+	}
+}
+
+// --- Prometheus text-format validator (round-trip test) ---------------
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseExposition validates every line of a text-format scrape and returns
+// the parsed samples. It enforces: valid metric/label names, properly
+// quoted+escaped label values, parseable sample values, TYPE before
+// samples, and one HELP/TYPE pair per family.
+func parseExposition(t *testing.T, text string) []promSample {
+	t.Helper()
+	var samples []promSample
+	typed := map[string]string{}
+	helped := map[string]bool{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, _ := strings.Cut(rest, " ")
+			if !nameRe.MatchString(name) {
+				t.Fatalf("line %d: bad HELP name %q", lineNo, name)
+			}
+			if helped[name] {
+				t.Fatalf("line %d: duplicate HELP for %q", lineNo, name)
+			}
+			helped[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			name, typ := fields[0], fields[1]
+			if !nameRe.MatchString(name) {
+				t.Fatalf("line %d: bad TYPE name %q", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown type %q", lineNo, typ)
+			}
+			if _, dup := typed[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			typed[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		s := parseSampleLine(t, lineNo, line)
+		base := s.name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(base, suf)
+			if trimmed != base && typed[trimmed] == "histogram" {
+				base = trimmed
+				break
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Fatalf("line %d: sample %q has no preceding TYPE", lineNo, s.name)
+		}
+		samples = append(samples, s)
+	}
+	return samples
+}
+
+func parseSampleLine(t *testing.T, lineNo int, line string) promSample {
+	t.Helper()
+	s := promSample{labels: map[string]string{}}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var nameEnd int
+	if brace >= 0 {
+		nameEnd = brace
+	} else {
+		nameEnd = strings.IndexByte(rest, ' ')
+		if nameEnd < 0 {
+			t.Fatalf("line %d: no value separator in %q", lineNo, line)
+		}
+	}
+	s.name = rest[:nameEnd]
+	if !nameRe.MatchString(s.name) {
+		t.Fatalf("line %d: invalid metric name %q", lineNo, s.name)
+	}
+	rest = rest[nameEnd:]
+	if brace >= 0 {
+		rest = rest[1:] // consume '{'
+		for {
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				t.Fatalf("line %d: unterminated label set in %q", lineNo, line)
+			}
+			key := rest[:eq]
+			if !labelRe.MatchString(key) {
+				t.Fatalf("line %d: invalid label name %q", lineNo, key)
+			}
+			rest = rest[eq+1:]
+			if len(rest) == 0 || rest[0] != '"' {
+				t.Fatalf("line %d: label value for %q not quoted", lineNo, key)
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			closed := false
+			for i := 0; i < len(rest); i++ {
+				ch := rest[i]
+				if ch == '\\' {
+					if i+1 >= len(rest) {
+						t.Fatalf("line %d: dangling escape", lineNo)
+					}
+					i++
+					switch rest[i] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						t.Fatalf("line %d: invalid escape \\%c", lineNo, rest[i])
+					}
+					continue
+				}
+				if ch == '"' {
+					rest = rest[i+1:]
+					closed = true
+					break
+				}
+				if ch == '\n' {
+					t.Fatalf("line %d: raw newline inside label value", lineNo)
+				}
+				val.WriteByte(ch)
+			}
+			if !closed {
+				t.Fatalf("line %d: unterminated label value in %q", lineNo, line)
+			}
+			if _, dup := s.labels[key]; dup {
+				t.Fatalf("line %d: duplicate label %q", lineNo, key)
+			}
+			s.labels[key] = val.String()
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+				continue
+			}
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			t.Fatalf("line %d: expected ',' or '}' after label, got %q", lineNo, rest)
+		}
+	}
+	if !strings.HasPrefix(rest, " ") {
+		t.Fatalf("line %d: expected space before value in %q", lineNo, line)
+	}
+	valStr := strings.TrimPrefix(rest, " ")
+	v, err := parsePromValue(valStr)
+	if err != nil {
+		t.Fatalf("line %d: bad sample value %q: %v", lineNo, valStr, err)
+	}
+	s.value = v
+	return s
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// TestExpositionRoundTrip scrapes a fully populated registry (including
+// the canonical Metrics bundle with events, traces and wire counters live)
+// and re-parses every line, checking format validity, escaping round-trip
+// and histogram invariants.
+func TestExpositionRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := populatedRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, buf.String())
+	if len(samples) == 0 {
+		t.Fatal("no samples parsed")
+	}
+
+	// Escaped label value survives the round trip exactly.
+	found := false
+	for _, s := range samples {
+		if s.name == "demo_escaped" {
+			found = true
+			want := `C:\tmp\"x"` + "\n"
+			if got := s.labels["path"]; got != want {
+				t.Errorf("escaping round-trip: got %q want %q", got, want)
+			}
+		}
+	}
+	if !found {
+		t.Error("demo_escaped sample missing from scrape")
+	}
+
+	checkHistogramInvariants(t, samples, "demo_latency_seconds", nil)
+	checkHistogramInvariants(t, samples, "demo_phase_seconds", []string{"collect", "step"})
+
+	// The canonical bundle itself must survive the same round trip.
+	m := New()
+	sc := m.StartIter(0, 1)
+	sc.Phase(PhaseBroadcast)
+	sc.Phase(PhaseCollect)
+	sc.End()
+	m.OnReplan(ReasonDrift, 3, 2, 5)
+	m.OnEstimate(0, 1, 123.5)
+	m.OnJoin(0, 2, true, 4, 3)
+	m.OnDeath(0, 3, 3, 4)
+	m.OnReject(RStaleEpoch)
+	m.OnCache(90, 10)
+	m.OnAppend(0.001, 4)
+	m.OnSnapshot(0.01, 5)
+	m.OnLease(2)
+	m.OnRenewal()
+	m.OnFencedWrite(6, "journal append")
+	m.OnPromotion(3, 7)
+	m.OnDrift(1.4)
+	m.BindWire(func() (a, b, c, d, e, f uint64) { return 1, 2, 3, 4, 5, 6 })
+	buf.Reset()
+	if err := m.Registry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bundle := parseExposition(t, buf.String())
+	byName := map[string]float64{}
+	for _, s := range bundle {
+		if len(s.labels) == 0 {
+			byName[s.name] = s.value
+		}
+	}
+	for name, want := range map[string]float64{
+		MIterationsTotal:   1,
+		MPlanEpoch:         2,
+		MDriftGain:         1.4,
+		MCacheHitRatio:     0.9,
+		MLeaseGeneration:   3,
+		MPromotionsTotal:   1,
+		MFencedWritesTotal: 1,
+		MDeathsTotal:       1,
+		MWireBytesOutTotal: 4,
+		MEventsTotal:       float64(m.Journal().Total()),
+	} {
+		if got, ok := byName[name]; !ok || got != want {
+			t.Errorf("bundle scrape %s: got %v (present=%v) want %v", name, got, ok, want)
+		}
+	}
+}
+
+func checkHistogramInvariants(t *testing.T, samples []promSample, base string, labelVals []string) {
+	t.Helper()
+	seriesKey := func(s promSample) string {
+		parts := make([]string, 0, len(s.labels))
+		for k, v := range s.labels {
+			if k == "le" {
+				continue
+			}
+			parts = append(parts, k+"="+v)
+		}
+		sortStrings(parts)
+		return strings.Join(parts, ",")
+	}
+	buckets := map[string][]float64{} // series -> cumulative counts in order
+	bounds := map[string][]float64{}
+	counts := map[string]float64{}
+	for _, s := range samples {
+		switch s.name {
+		case base + "_bucket":
+			k := seriesKey(s)
+			le, err := parsePromValue(s.labels["le"])
+			if err != nil {
+				t.Fatalf("%s: bad le %q", base, s.labels["le"])
+			}
+			bounds[k] = append(bounds[k], le)
+			buckets[k] = append(buckets[k], s.value)
+		case base + "_count":
+			counts[seriesKey(s)] = s.value
+		}
+	}
+	if len(buckets) == 0 {
+		t.Fatalf("no %s_bucket samples found", base)
+	}
+	if labelVals != nil && len(buckets) != len(labelVals) {
+		t.Errorf("%s: got %d series, want %d", base, len(buckets), len(labelVals))
+	}
+	for k, cum := range buckets {
+		for i := 1; i < len(cum); i++ {
+			if bounds[k][i] <= bounds[k][i-1] {
+				t.Errorf("%s{%s}: le bounds not ascending: %v", base, k, bounds[k])
+			}
+			if cum[i] < cum[i-1] {
+				t.Errorf("%s{%s}: cumulative bucket counts decrease: %v", base, k, cum)
+			}
+		}
+		last := cum[len(cum)-1]
+		if !math.IsInf(bounds[k][len(bounds[k])-1], 1) {
+			t.Errorf("%s{%s}: final bucket is not +Inf", base, k)
+		}
+		if last != counts[k] {
+			t.Errorf("%s{%s}: +Inf bucket %v != _count %v", base, k, last, counts[k])
+		}
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func TestRegistryMisuse(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_total", "")
+	mustPanic(t, "kind clash", func() { r.Gauge("ok_total", "") })
+	mustPanic(t, "label arity clash", func() { r.CounterVec("ok_total", "", "x") })
+	mustPanic(t, "bad name", func() { r.Counter("9starts_with_digit", "") })
+	mustPanic(t, "bad label", func() { r.CounterVec("fine_total", "", "__reserved") })
+	mustPanic(t, "unsorted buckets", func() { r.Histogram("h_total", "", []float64{1, 0.5}) })
+	cv := r.CounterVec("labeled_total", "", "a", "b")
+	mustPanic(t, "label value arity", func() { cv.With("only-one") })
+
+	// Re-registering identically is idempotent and shares state.
+	c1 := r.Counter("idem_total", "")
+	c2 := r.Counter("idem_total", "")
+	c1.Inc()
+	if c2.Value() != 1 {
+		t.Error("re-registered counter does not share state")
+	}
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestFormatFloat(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{1, "1"}, {1.5, "1.5"}, {math.Inf(1), "+Inf"}, {math.Inf(-1), "-Inf"},
+		{0.00025, "0.00025"},
+	} {
+		if got := formatFloat(tc.in); got != tc.want {
+			t.Errorf("formatFloat(%v) = %q want %q", tc.in, got, tc.want)
+		}
+	}
+	if got := formatFloat(math.NaN()); got != "NaN" {
+		t.Errorf("formatFloat(NaN) = %q", got)
+	}
+	var _ fmt.Stringer = counterKind
+}

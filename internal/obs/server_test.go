@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestJournalRing(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Append(Event{Kind: EvReplan, Iter: i})
+	}
+	got := j.Recent(0)
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(got))
+	}
+	for i, ev := range got {
+		if want := 6 + i; ev.Iter != want {
+			t.Errorf("recent[%d].Iter = %d, want %d", i, ev.Iter, want)
+		}
+	}
+	if got[0].Seq >= got[1].Seq {
+		t.Error("sequence numbers not increasing")
+	}
+	if j.Total() != 10 {
+		t.Errorf("Total = %d, want 10", j.Total())
+	}
+	if last := j.Recent(1); len(last) != 1 || last[0].Iter != 9 {
+		t.Errorf("Recent(1) = %+v, want last event", last)
+	}
+
+	var nilJ *Journal
+	nilJ.Append(Event{}) // must not panic
+	if nilJ.Recent(0) != nil || nilJ.Total() != 0 {
+		t.Error("nil journal not inert")
+	}
+}
+
+func TestTracerRingAndStream(t *testing.T) {
+	tr := NewTracer(2)
+	var jsonl bytes.Buffer
+	tr.Stream(&jsonl)
+
+	m := NewWith(NewRegistry(), nil, tr)
+	for i := 0; i < 3; i++ {
+		sc := m.StartIter(i, 1)
+		sc.Phase(PhaseBroadcast)
+		sc.Phase(PhaseCollect)
+		sc.End()
+	}
+	recent := tr.Recent(0)
+	if len(recent) != 2 {
+		t.Fatalf("trace ring holds %d, want 2", len(recent))
+	}
+	if recent[0].Iter != 1 || recent[1].Iter != 2 {
+		t.Errorf("ring kept iters %d,%d; want 1,2", recent[0].Iter, recent[1].Iter)
+	}
+	if len(recent[1].Spans) != 2 || recent[1].Spans[0].Phase != PhaseBroadcast {
+		t.Errorf("spans = %+v", recent[1].Spans)
+	}
+	lines := strings.Split(strings.TrimSpace(jsonl.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("JSONL stream has %d lines, want 3", len(lines))
+	}
+	var decoded IterTrace
+	if err := json.Unmarshal([]byte(lines[0]), &decoded); err != nil {
+		t.Fatalf("stream line not valid JSON: %v", err)
+	}
+	if decoded.Iter != 0 {
+		t.Errorf("decoded.Iter = %d, want 0", decoded.Iter)
+	}
+	if m.Iterations.Value() != 3 {
+		t.Errorf("iterations counter = %d, want 3", m.Iterations.Value())
+	}
+
+	var nilScope *IterScope
+	nilScope.Phase("x") // nil scope must be inert
+	nilScope.End()
+	var nilT *Tracer
+	nilT.Stream(io.Discard)
+	nilT.record(IterTrace{})
+	if nilT.Recent(0) != nil {
+		t.Error("nil tracer not inert")
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	m := New()
+	m.OnIteration(1, 0.01)
+	m.Event(Event{Kind: EvJoin, Iter: 2, Member: 7})
+
+	srv, err := m.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.Contains(ct, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	if !strings.Contains(body, MIterationsTotal+" 1") {
+		t.Errorf("/metrics missing iteration counter:\n%s", body)
+	}
+	parseExposition(t, body) // every served line must be valid text format
+
+	if body, _ := get("/healthz"); !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %q", body)
+	}
+
+	evBody, ct := get("/debug/events?n=10")
+	if !strings.Contains(ct, "application/json") {
+		t.Errorf("/debug/events content-type = %q", ct)
+	}
+	var evs []Event
+	if err := json.Unmarshal([]byte(evBody), &evs); err != nil {
+		t.Fatalf("/debug/events not JSON: %v", err)
+	}
+	if len(evs) != 1 || evs[0].Kind != EvJoin || evs[0].Member != 7 {
+		t.Errorf("/debug/events = %+v", evs)
+	}
+
+	trBody, _ := get("/debug/trace")
+	var traces []IterTrace
+	if err := json.Unmarshal([]byte(trBody), &traces); err != nil {
+		t.Fatalf("/debug/trace not JSON: %v", err)
+	}
+
+	if body, _ := get("/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}

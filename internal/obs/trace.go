@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one timed phase inside an iteration.
+type Span struct {
+	Phase   string  `json:"phase"`
+	Seconds float64 `json:"seconds"`
+}
+
+// IterTrace is the full phase breakdown of one training iteration.
+type IterTrace struct {
+	Iter    int       `json:"iter"`
+	Epoch   int       `json:"epoch"`
+	Start   time.Time `json:"start"`
+	Seconds float64   `json:"seconds"`
+	Spans   []Span    `json:"spans"`
+}
+
+// Tracer records per-iteration phase spans into a bounded ring and
+// optionally streams each completed trace as one JSON line. A nil *Tracer
+// is safe everywhere.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []IterTrace
+	next  int
+	total uint64
+	enc   *json.Encoder
+}
+
+// DefaultTraceCap bounds the in-memory trace ring.
+const DefaultTraceCap = 256
+
+// NewTracer returns a tracer retaining the most recent capacity iteration
+// traces (DefaultTraceCap when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{ring: make([]IterTrace, 0, capacity)}
+}
+
+// Stream makes every completed iteration trace also emit one JSON line to
+// w (the -trace flag's JSONL output). Pass nil to stop streaming.
+func (t *Tracer) Stream(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if w == nil {
+		t.enc = nil
+		return
+	}
+	t.enc = json.NewEncoder(w)
+}
+
+func (t *Tracer) record(tr IterTrace) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, tr)
+	} else {
+		t.ring[t.next] = tr
+		t.next = (t.next + 1) % len(t.ring)
+	}
+	if t.enc != nil {
+		_ = t.enc.Encode(tr) // stream is best-effort; never fail training
+	}
+}
+
+// Recent returns up to n most recent iteration traces in order (all
+// retained traces when n <= 0).
+func (t *Tracer) Recent(n int) []IterTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]IterTrace, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// IterScope times the phases of one iteration. Obtain one from
+// Metrics.StartIter; a nil scope is safe and all methods no-op.
+type IterScope struct {
+	m     *Metrics
+	tr    IterTrace
+	cur   string
+	curAt time.Time
+}
+
+// Phase closes the previous phase span (if any) and opens a new one named
+// name. Phases may repeat within an iteration (e.g. collect retries).
+func (s *IterScope) Phase(name string) {
+	if s == nil {
+		return
+	}
+	s.closeSpan()
+	s.cur = name
+	s.curAt = time.Now()
+}
+
+func (s *IterScope) closeSpan() {
+	if s.cur == "" {
+		return
+	}
+	sec := time.Since(s.curAt).Seconds()
+	s.tr.Spans = append(s.tr.Spans, Span{Phase: s.cur, Seconds: sec})
+	if s.m != nil && s.m.PhaseSeconds != nil {
+		s.m.PhaseSeconds.With(s.cur).Observe(sec)
+	}
+	s.cur = ""
+}
+
+// End closes the open phase, records the trace in the ring, and updates
+// the iteration counter, latency histogram and epoch gauge.
+func (s *IterScope) End() {
+	if s == nil {
+		return
+	}
+	s.closeSpan()
+	s.tr.Seconds = time.Since(s.tr.Start).Seconds()
+	if s.m != nil {
+		s.m.tracer.record(s.tr)
+		s.m.OnIteration(s.tr.Epoch, s.tr.Seconds)
+	}
+}

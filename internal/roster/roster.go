@@ -40,6 +40,7 @@ import (
 
 	"github.com/hetgc/hetgc/internal/elastic"
 	"github.com/hetgc/hetgc/internal/grad"
+	"github.com/hetgc/hetgc/internal/obs"
 	"github.com/hetgc/hetgc/internal/transport"
 )
 
@@ -99,6 +100,15 @@ type Config struct {
 	// deposed root can never decode into the new root's model. Zero
 	// disables root-generation fencing (legacy single-root operation).
 	RootGen int
+	// Obs, when non-nil, receives live telemetry: member counts,
+	// join/death/rejoin events, fencing rejections mirroring Stats
+	// field-for-field, per-member throughput estimates and replan events.
+	// Nil disables instrumentation at the cost of one branch per event.
+	Obs *obs.Metrics
+	// ObsGroup is the group label stamped on this engine's metrics and
+	// events (0 for the flat runtime; the coding-group index under a
+	// sharded root).
+	ObsGroup int
 }
 
 // Recorder receives the engine's durable events for write-ahead journaling.
@@ -338,7 +348,9 @@ func (e *Engine) handshake(conn *transport.Conn) {
 	e.joinSeq++
 	e.cfg.Controller.AddMember(id, prior)
 	e.joins++
+	alive := len(e.cfg.Controller.AliveMembers())
 	e.mu.Unlock()
+	e.cfg.Obs.OnJoin(e.cfg.ObsGroup, id, rejoin, alive, 0)
 	if e.cfg.Recorder != nil {
 		e.cfg.Recorder.RecordJoin(id, rejoin)
 	}
@@ -407,14 +419,20 @@ func (e *Engine) staleGen(id, gen int) bool {
 func (e *Engine) noteDeath(id, gen int) {
 	e.mu.Lock()
 	died := false
+	alive := 0
 	if m, ok := e.members[id]; ok && m.alive && m.gen == gen {
 		m.alive = false
 		e.deaths++
 		e.cfg.Controller.RemoveMember(id)
+		alive = len(e.cfg.Controller.AliveMembers())
 		died = true
 	}
 	e.mu.Unlock()
-	if died && e.cfg.Recorder != nil {
+	if !died {
+		return
+	}
+	e.cfg.Obs.OnDeath(e.cfg.ObsGroup, id, alive, 0)
+	if e.cfg.Recorder != nil {
 		e.cfg.Recorder.RecordDeath(id)
 	}
 }
@@ -522,6 +540,9 @@ func (e *Engine) WaitForMembers(min int, timeout time.Duration) error {
 func (e *Engine) ShouldReplan(iter int) (bool, string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.cfg.Obs != nil {
+		e.cfg.Obs.OnDrift(e.cfg.Controller.DriftGain())
+	}
 	return e.cfg.Controller.ShouldReplan(iter)
 }
 
@@ -587,6 +608,7 @@ func (e *Engine) Migrate(iter int, reason string) (*elastic.Plan, error) {
 			if e.cfg.Recorder != nil {
 				e.cfg.Recorder.RecordPlan(iter, plan.Epoch, plan.Members)
 			}
+			e.cfg.Obs.OnReplan(reason, iter, plan.Epoch, len(plan.Members))
 			return plan, nil
 		}
 		reason = "churn"
@@ -651,11 +673,13 @@ func (e *Engine) Collect(plan *elastic.Plan, iter, dim int, timeout time.Duratio
 			if e.staleGen(in.memberID, in.gen) {
 				if in.env != nil {
 					st.StaleConnRejected++
+					e.cfg.Obs.OnReject(obs.RStaleConn)
 				}
 				continue
 			}
 			if in.malformed {
 				st.MalformedSkipped++
+				e.cfg.Obs.OnReject(obs.RMalformed)
 				continue
 			}
 			if in.err != nil {
@@ -671,9 +695,14 @@ func (e *Engine) Collect(plan *elastic.Plan, iter, dim int, timeout time.Duratio
 				if env.Telemetry != nil && env.Telemetry.Partitions > 0 && env.Telemetry.ComputeSeconds > 0 {
 					e.mu.Lock()
 					err := e.cfg.Controller.Observe(in.memberID, env.Telemetry.Partitions, env.Telemetry.ComputeSeconds)
+					rate := 0.0
+					if err == nil && e.cfg.Obs != nil {
+						rate, _ = e.cfg.Controller.Rate(in.memberID)
+					}
 					e.mu.Unlock()
 					if err == nil {
 						st.TelemetrySamples++
+						e.cfg.Obs.OnEstimate(e.cfg.ObsGroup, in.memberID, rate)
 					}
 				}
 			case transport.MsgGradient:
@@ -683,12 +712,14 @@ func (e *Engine) Collect(plan *elastic.Plan, iter, dim int, timeout time.Duratio
 				// consideration.
 				if e.cfg.RootGen > 0 && env.RootGen != e.cfg.RootGen {
 					st.FencedRejected++
+					e.cfg.Obs.OnReject(obs.RFenced)
 					continue
 				}
 				// Epoch fence: uploads encoded under a superseded plan are
 				// rejected before they can reach decode.
 				if env.Epoch != plan.Epoch {
 					st.StaleEpochRejected++
+					e.cfg.Obs.OnReject(obs.RStaleEpoch)
 					continue
 				}
 				// Shape fence before the iteration fence: a mis-sized or
@@ -698,15 +729,18 @@ func (e *Engine) Collect(plan *elastic.Plan, iter, dim int, timeout time.Duratio
 				// had decoded was miscounted as a mere straggler.)
 				if len(env.Vector) != dim || grad.InfOrNaN(env.Vector) {
 					st.MalformedSkipped++
+					e.cfg.Obs.OnReject(obs.RMalformed)
 					continue
 				}
 				if env.Iter != iter {
 					st.StragglersSkipped++
+					e.cfg.Obs.OnReject(obs.RStraggler)
 					continue
 				}
 				slot := plan.SlotOf(in.memberID)
 				if slot < 0 {
 					st.StragglersSkipped++
+					e.cfg.Obs.OnReject(obs.RStraggler)
 					continue
 				}
 				coded[slot] = env.Vector

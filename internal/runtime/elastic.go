@@ -31,6 +31,7 @@ import (
 	"github.com/hetgc/hetgc/internal/ha"
 	"github.com/hetgc/hetgc/internal/metrics"
 	"github.com/hetgc/hetgc/internal/ml"
+	"github.com/hetgc/hetgc/internal/obs"
 	"github.com/hetgc/hetgc/internal/roster"
 	"github.com/hetgc/hetgc/internal/transport"
 )
@@ -98,6 +99,11 @@ type ElasticConfig struct {
 	LeaseTTL time.Duration
 	// Holder names this master in the lease token (default "elastic-root").
 	Holder string
+	// Obs, when non-nil, attaches the live telemetry plane: per-iteration
+	// phase traces, roster/controller/checkpoint/lease metrics and the
+	// structured event journal all feed this bundle (serve it with
+	// obs.Metrics.Serve). Nil disables instrumentation.
+	Obs *obs.Metrics
 }
 
 func (c *ElasticConfig) validate() error {
@@ -252,6 +258,7 @@ func NewElasticMaster(cfg ElasticConfig, addr string) (*ElasticMaster, error) {
 			_ = l.Close()
 			return nil, err
 		}
+		cfg.Obs.OnLease(uint64(ma.lease.Gen()))
 		// Renewal starts now, not in Run: worker admission between the two
 		// can outlast a short TTL, and the lease must not lapse then.
 		ch := make(chan struct{})
@@ -272,6 +279,7 @@ func NewElasticMaster(cfg ElasticConfig, addr string) (*ElasticMaster, error) {
 			_ = l.Close()
 			return nil, err
 		}
+		ma.store.SetMetrics(cfg.Obs)
 		if ma.lease != nil {
 			// Every journal append and snapshot re-checks the lease: the
 			// moment a newer generation holds it, this master's writes are
@@ -295,6 +303,7 @@ func NewElasticMaster(cfg ElasticConfig, addr string) (*ElasticMaster, error) {
 	if ma.store != nil {
 		rec = ma.store.GroupRecorder(0)
 	}
+	cfg.Obs.BindWire(transport.Wire)
 	rcfg := roster.Config{
 		Controller:   ctrl,
 		WriteTimeout: cfg.IterTimeout,
@@ -302,6 +311,7 @@ func NewElasticMaster(cfg ElasticConfig, addr string) (*ElasticMaster, error) {
 		S:            cfg.S,
 		Recovered:    recovered,
 		Recorder:     rec,
+		Obs:          cfg.Obs,
 	}
 	if ma.lease != nil {
 		rcfg.RootGen = ma.lease.Gen()
@@ -440,6 +450,7 @@ func (ma *ElasticMaster) Run() (_ *ElasticResult, err error) {
 
 	var stats roster.Stats
 	var plan *elastic.Plan
+	var cache obs.CacheTracker
 	for iter := ma.startIter; iter < ma.cfg.Iterations; iter++ {
 		// Control decision at the iteration boundary.
 		if replan, reason := ma.eng.ShouldReplan(iter); replan {
@@ -455,7 +466,10 @@ func (ma *ElasticMaster) Run() (_ *ElasticResult, err error) {
 			start := time.Now()
 			// Broadcast parameters under the current epoch, then gather
 			// until the strategy decodes.
+			sc := ma.cfg.Obs.StartIter(iter, plan.Epoch)
+			sc.Phase(obs.PhaseBroadcast)
 			ma.eng.BroadcastParams(plan, iter, params)
+			sc.Phase(obs.PhaseCollect)
 			coeffs, coded, ok := ma.eng.Collect(plan, iter, dim, ma.cfg.IterTimeout, &stats)
 			if !ok {
 				// The current epoch cannot complete (timeout or fatal
@@ -473,11 +487,13 @@ func (ma *ElasticMaster) Run() (_ *ElasticResult, err error) {
 				continue
 			}
 
+			sc.Phase(obs.PhaseDecode)
 			g, err := grad.Combine(coeffs, coded, dim)
 			if err != nil {
 				return nil, fmt.Errorf("iteration %d combine: %w", iter, err)
 			}
 			g.Scale(1 / float64(ma.cfg.SampleCount))
+			sc.Phase(obs.PhaseStep)
 			if err := ma.cfg.Optimizer.Step(params, g); err != nil {
 				return nil, fmt.Errorf("iteration %d step: %w", iter, err)
 			}
@@ -491,8 +507,14 @@ func (ma *ElasticMaster) Run() (_ *ElasticResult, err error) {
 					res.Curve.Append(clock, l)
 				}
 			}
+			sc.Phase(obs.PhasePersist)
 			if err := ma.persist(iter, plan.Epoch, clock, params); err != nil {
 				return nil, ma.fenced(err)
+			}
+			sc.End()
+			if ma.cfg.Obs != nil {
+				cs := plan.Strategy.DecodeCacheStats()
+				cache.Fold(ma.cfg.Obs, plan.Strategy, cs.Hits, cs.Misses)
 			}
 			break
 		}
@@ -544,6 +566,7 @@ func (ma *ElasticMaster) renewLoop(stop <-chan struct{}, wg *sync.WaitGroup) {
 			if err := ma.lease.Renew(); err != nil {
 				return
 			}
+			ma.cfg.Obs.OnRenewal()
 		}
 	}
 }

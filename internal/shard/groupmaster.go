@@ -28,6 +28,7 @@ import (
 	"github.com/hetgc/hetgc/internal/elastic"
 	"github.com/hetgc/hetgc/internal/estimate"
 	"github.com/hetgc/hetgc/internal/grad"
+	"github.com/hetgc/hetgc/internal/obs"
 	"github.com/hetgc/hetgc/internal/roster"
 	"github.com/hetgc/hetgc/internal/transport"
 )
@@ -40,10 +41,12 @@ type groupCore struct {
 	g           int
 	iterTimeout time.Duration
 	maxRetries  int
+	obs         *obs.Metrics
 
 	// Run statistics (owned by the serving goroutine; read after it exits).
 	epochs   []int
 	runStats roster.Stats
+	cache    obs.CacheTracker
 }
 
 // migrate builds the group's next epoch and delivers (epoch, assignment) to
@@ -89,6 +92,10 @@ func (gc *groupCore) iteration(iter int, params []float64, planRef **elastic.Pla
 			if err := grad.CombineInto(sum, coeffs, coded); err != nil {
 				grad.PutBuffer(sum)
 				return nil, 0, fmt.Errorf("group %d iter %d combine: %w", gc.g, iter, err)
+			}
+			if gc.obs != nil {
+				cs := plan.Strategy.DecodeCacheStats()
+				gc.cache.Fold(gc.obs, plan.Strategy, cs.Hits, cs.Misses)
 			}
 			return sum, plan.Epoch, nil
 		}
@@ -243,6 +250,8 @@ func newGroupEngine(cfg *Config, grp *Group, g int, ctrl *elastic.Controller, re
 		PartitionMap: grp.Parts,
 		Recovered:    recovered,
 		Recorder:     rec,
+		Obs:          cfg.Obs,
+		ObsGroup:     g,
 		Prior: func(joinSeq int) float64 {
 			if joinSeq < len(grp.Workers) {
 				return cfg.Throughputs[grp.Workers[joinSeq]]
@@ -311,7 +320,7 @@ func newGroupMaster(r *Root, g int) (*groupMaster, error) {
 		return nil, err
 	}
 	gm := &groupMaster{
-		groupCore: groupCore{eng: eng, g: g, iterTimeout: r.cfg.IterTimeout, maxRetries: r.cfg.MaxRetries},
+		groupCore: groupCore{eng: eng, g: g, iterTimeout: r.cfg.IterTimeout, maxRetries: r.cfg.MaxRetries, obs: r.cfg.Obs},
 		root:      r,
 		up:        up,
 		done:      make(chan struct{}),

@@ -199,9 +199,13 @@ func StartGroup(cfg GroupRunnerConfig) (*GroupRunner, error) {
 		}
 		return nil, err
 	}
+	if store != nil {
+		store.SetMetrics(cfg.Obs)
+	}
+	cfg.Obs.BindWire(transport.Wire)
 	r := &GroupRunner{
 		cfg:   cfg,
-		core:  groupCore{eng: eng, g: g, iterTimeout: cfg.IterTimeout, maxRetries: cfg.MaxRetries},
+		core:  groupCore{eng: eng, g: g, iterTimeout: cfg.IterTimeout, maxRetries: cfg.MaxRetries, obs: cfg.Obs},
 		store: store,
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),

@@ -44,6 +44,7 @@ import (
 	"github.com/hetgc/hetgc/internal/ha"
 	"github.com/hetgc/hetgc/internal/metrics"
 	"github.com/hetgc/hetgc/internal/ml"
+	"github.com/hetgc/hetgc/internal/obs"
 	"github.com/hetgc/hetgc/internal/transport"
 )
 
@@ -128,6 +129,11 @@ type Config struct {
 	// AdoptTimeout bounds how long WaitForWorkers waits for every external
 	// group's adoption handshake (default 30s).
 	AdoptTimeout time.Duration
+	// Obs, when non-nil, receives the run's telemetry: iteration phase
+	// spans at the root, per-group roster and control-plane metrics (group
+	// labels match the coding-group index), checkpoint and lease metrics,
+	// and the structured event journal. Nil disables telemetry.
+	Obs *obs.Metrics
 }
 
 func (c *Config) validate() error {
@@ -340,6 +346,7 @@ func NewRoot(cfg Config, addr string) (*Root, error) {
 			return nil, err
 		}
 		r.lease, r.gen = lease, lease.Gen()
+		cfg.Obs.OnLease(uint64(lease.Gen()))
 		stop := make(chan struct{})
 		var rwg sync.WaitGroup
 		rwg.Add(1)
@@ -381,6 +388,10 @@ func NewRoot(cfg Config, addr string) (*Root, error) {
 			}
 		}
 	}
+	if r.store != nil {
+		r.store.SetMetrics(cfg.Obs)
+	}
+	cfg.Obs.BindWire(transport.Wire)
 	r.serveIter = r.startIter
 	// The adoption service runs for the root's lifetime: in-process masters
 	// adopt during their construction below; external runners (and every
@@ -422,6 +433,7 @@ func (r *Root) renewLoop(stop <-chan struct{}, wg *sync.WaitGroup) {
 			if err := r.lease.Renew(); err != nil {
 				return
 			}
+			r.cfg.Obs.OnRenewal()
 		}
 	}
 }
@@ -515,12 +527,16 @@ func (r *Root) adoptConn(conn *transport.Conn) {
 	// group — one announcing a live plan epoch — adopting a root that has
 	// never seen it (the warm-standby takeover path). Fresh groups announce
 	// epoch -1, so crash-free runs count zero.
+	detail := "adopted"
 	if r.adoptedOnce[g] || env.Adopt.Epoch >= 0 {
 		r.readoptions++
 		r.failovers = append(r.failovers, fmt.Sprintf("group %d re-adopted at iteration %d (gen %d)", g, r.serveIter, r.gen))
+		detail = "re-adopted"
 	}
 	r.adoptedOnce[g] = true
+	serveIter := r.serveIter
 	r.upMu.Unlock()
+	r.cfg.Obs.Event(obs.Event{Kind: obs.EvAdoption, Iter: serveIter, Group: g, Detail: detail})
 	// Reader first, notification second: the collect loop may resend the
 	// current params the moment it learns of the adoption, and the reader
 	// must already be draining the conn by then.
@@ -604,6 +620,7 @@ func (r *Root) markDown(g, seq int, cause error) {
 	_ = r.uplink[g].Close()
 	r.uplink[g] = nil
 	r.failovers = append(r.failovers, fmt.Sprintf("group %d uplink lost at iteration %d: %v", g, r.serveIter, cause))
+	r.cfg.Obs.Event(obs.Event{Kind: obs.EvUplink, Iter: r.serveIter, Group: g, Detail: fmt.Sprintf("uplink lost: %v", cause)})
 }
 
 // sendParams broadcasts one iteration's parameters to one group, stamped
@@ -796,12 +813,17 @@ func (r *Root) Run() (*Result, error) {
 		r.upMu.Lock()
 		r.serveIter = iter
 		r.upMu.Unlock()
+		// Epoch -1: plan epochs are group-local here; the epoch gauge is
+		// owned by the group replan events.
+		sc := r.cfg.Obs.StartIter(iter, -1)
+		sc.Phase(obs.PhaseBroadcast)
 		for g := range sums {
 			sums[g] = nil
 			if err := r.sendParams(g, iter, params); err != nil {
 				return nil, r.fenced(r.drainErr(err))
 			}
 		}
+		sc.Phase(obs.PhaseCollect)
 		pending := len(sums)
 		// The root's patience must cover a group's full recovery budget: a
 		// group master waits IterTimeout per attempt and retries up to
@@ -826,6 +848,7 @@ func (r *Root) Run() (*Result, error) {
 				}
 				if gs.rootGen != r.gen {
 					res.FencedSums++
+					r.cfg.Obs.OnReject(obs.RFenced)
 					continue // an upload for a root generation this is not
 				}
 				if gs.iter != iter {
@@ -870,12 +893,14 @@ func (r *Root) Run() (*Result, error) {
 		}
 		deadline.Stop()
 
+		sc.Phase(obs.PhaseReduce)
 		total, err := r.plan.Tree.Aggregate(sums)
 		if err != nil {
 			return nil, fmt.Errorf("iteration %d aggregate: %w", iter, err)
 		}
 		g := grad.Gradient(total)
 		g.Scale(1 / float64(r.cfg.SampleCount))
+		sc.Phase(obs.PhaseStep)
 		if err := r.cfg.Optimizer.Step(params, g); err != nil {
 			return nil, fmt.Errorf("iteration %d step: %w", iter, err)
 		}
@@ -889,9 +914,11 @@ func (r *Root) Run() (*Result, error) {
 			}
 		}
 		r.params, r.clock = params, clock
+		sc.Phase(obs.PhasePersist)
 		if err := r.persist(iter); err != nil {
 			return nil, r.fenced(err)
 		}
+		sc.End()
 	}
 
 	// Graceful shutdown: stop the group masters, then collect their stats.

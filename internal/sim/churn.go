@@ -18,6 +18,7 @@ import (
 	"github.com/hetgc/hetgc/internal/ha"
 	"github.com/hetgc/hetgc/internal/metrics"
 	"github.com/hetgc/hetgc/internal/ml"
+	"github.com/hetgc/hetgc/internal/obs"
 )
 
 // ChurnKind enumerates churn-schedule events.
@@ -137,6 +138,10 @@ type ElasticSimConfig struct {
 	LeaseTTL time.Duration
 	// Holder names the lease holder (default "sim-root").
 	Holder string
+	// Obs, when non-nil, receives the simulation's telemetry through the
+	// same helpers (and therefore the same metric families) the live
+	// ElasticMaster uses, so a sim scrape and a live scrape are diffable.
+	Obs *obs.Metrics
 }
 
 // ElasticSimResult aggregates an elastic simulation run.
@@ -236,6 +241,7 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 			return nil, err
 		}
 		lease = l
+		cfg.Obs.OnLease(uint64(l.Gen()))
 		defer func() {
 			if !leaveLease {
 				_ = lease.Release()
@@ -298,6 +304,7 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 		if lease != nil {
 			store.SetGuard(lease.Check)
 		}
+		store.SetMetrics(cfg.Obs)
 	}
 
 	// True member state, keyed by stable member ID. On resume, the schedule
@@ -306,6 +313,15 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 	trueRate := make(map[int]float64)
 	alive := make(map[int]bool)
 	nextID := 1
+	aliveCount := func() int {
+		n := 0
+		for _, a := range alive {
+			if a {
+				n++
+			}
+		}
+		return n
+	}
 	for _, r := range cfg.InitialRates {
 		if r <= 0 {
 			return nil, fmt.Errorf("%w: non-positive initial rate %v", ErrBadChurn, r)
@@ -373,6 +389,7 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 		res.RootGen = lease.Gen()
 	}
 	var plan *elastic.Plan
+	var cache obs.CacheTracker
 	if startIter > 0 {
 		plan = ctrl.Plan()
 		if plan == nil {
@@ -391,6 +408,7 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 			if err := lease.Renew(); err != nil {
 				return nil, fmt.Errorf("iter %d: %w", iter, err)
 			}
+			cfg.Obs.OnRenewal()
 		}
 		// Apply the boundary's churn events in schedule order.
 		for _, ev := range cfg.Events {
@@ -412,6 +430,7 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 				}
 				alive[ev.Member] = false
 				ctrl.RemoveMember(ev.Member)
+				cfg.Obs.OnDeath(0, ev.Member, aliveCount(), iter)
 			case Join:
 				if ev.Rate <= 0 {
 					return nil, fmt.Errorf("%w: join rate %v", ErrBadChurn, ev.Rate)
@@ -419,6 +438,7 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 				trueRate[nextID] = ev.Rate
 				alive[nextID] = true
 				ctrl.AddMember(nextID, 0)
+				cfg.Obs.OnJoin(0, nextID, false, aliveCount(), iter)
 				nextID++
 			case Rejoin:
 				if _, known := trueRate[ev.Member]; !known || alive[ev.Member] {
@@ -429,18 +449,24 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 					trueRate[ev.Member] = ev.Rate
 				}
 				ctrl.AddMember(ev.Member, 0)
+				cfg.Obs.OnJoin(0, ev.Member, true, aliveCount(), iter)
 			default:
 				return nil, fmt.Errorf("%w: unknown event kind %v", ErrBadChurn, ev.Kind)
 			}
 		}
 
 		// Control decision at the boundary, exactly like the live master.
-		if replan, reason := ctrl.ShouldReplan(iter); replan {
+		replan, reason := ctrl.ShouldReplan(iter)
+		if cfg.Obs != nil {
+			cfg.Obs.OnDrift(ctrl.DriftGain())
+		}
+		if replan {
 			p, err := ctrl.Replan(iter, reason)
 			if err != nil {
 				return nil, fmt.Errorf("iter %d: %w", iter, err)
 			}
 			plan = p
+			cfg.Obs.OnReplan(reason, iter, p.Epoch, len(p.Members))
 			if store != nil {
 				rec := &checkpoint.Record{Kind: checkpoint.KindPlan, Iter: iter, Epoch: p.Epoch,
 					Members: append([]int(nil), p.Members...)}
@@ -484,6 +510,11 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 			if err := ctrl.Observe(id, loads[slot], finish[slot]); err != nil {
 				return nil, fmt.Errorf("iter %d observe member %d: %w", iter, id, err)
 			}
+			if cfg.Obs != nil {
+				if rate, err := ctrl.Rate(id); err == nil {
+					cfg.Obs.OnEstimate(0, id, rate)
+				}
+			}
 		}
 
 		res.Times = append(res.Times, iterTime)
@@ -495,6 +526,12 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 			}
 		}
 		res.MemberCounts = append(res.MemberCounts, count)
+		cfg.Obs.OnIteration(plan.Epoch, iterTime)
+		cfg.Obs.OnMembers(0, count)
+		if cfg.Obs != nil {
+			cs := st.DecodeCacheStats()
+			cache.Fold(cfg.Obs, st, cs.Hits, cs.Misses)
+		}
 
 		if store != nil {
 			if err := store.AppendIter(iter, plan.Epoch, iter+1); err != nil {

@@ -17,6 +17,7 @@ import (
 	"github.com/hetgc/hetgc/internal/core"
 	"github.com/hetgc/hetgc/internal/elastic"
 	"github.com/hetgc/hetgc/internal/metrics"
+	"github.com/hetgc/hetgc/internal/obs"
 	"github.com/hetgc/hetgc/internal/shard"
 	"github.com/hetgc/hetgc/internal/straggler"
 )
@@ -69,6 +70,10 @@ type ShardedSimConfig struct {
 	// Seed drives plan construction; with the injector's rng it is the only
 	// randomness, so fixed seeds make runs bit-identical.
 	Seed int64
+	// Obs, when non-nil, receives the simulation's telemetry through the
+	// same helpers (and therefore the same metric families and group labels)
+	// the live sharded runtime uses, so sim and live scrapes are diffable.
+	Obs *obs.Metrics
 }
 
 // GroupReplanEvent is one group-local migration.
@@ -104,6 +109,7 @@ type shardedGroup struct {
 	ctrl    *elastic.Controller
 	plan    *elastic.Plan
 	members map[int]bool // alive member IDs of this group
+	cache   obs.CacheTracker
 }
 
 // RunSharded simulates the hierarchical group-sharded runtime over an
@@ -168,7 +174,7 @@ func RunSharded(cfg ShardedSimConfig) (*ShardedSimResult, error) {
 			if ev.Iter != iter {
 				continue
 			}
-			if err := applyShardedChurn(ev, iter, groups, memberGroup, trueRate, &nextID); err != nil {
+			if err := applyShardedChurn(ev, iter, groups, memberGroup, trueRate, &nextID, cfg.Obs); err != nil {
 				return nil, err
 			}
 		}
@@ -176,12 +182,17 @@ func RunSharded(cfg ShardedSimConfig) (*ShardedSimResult, error) {
 		// Group-local control decisions: a replan in one group leaves every
 		// other group's epoch untouched.
 		for g, sg := range groups {
-			if replan, reason := sg.ctrl.ShouldReplan(iter); replan {
+			replan, reason := sg.ctrl.ShouldReplan(iter)
+			if cfg.Obs != nil {
+				cfg.Obs.OnDrift(sg.ctrl.DriftGain())
+			}
+			if replan {
 				p, err := sg.ctrl.Replan(iter, reason)
 				if err != nil {
 					return nil, fmt.Errorf("group %d iter %d: %w", g, iter, err)
 				}
 				sg.plan = p
+				cfg.Obs.OnReplan(reason, iter, p.Epoch, len(p.Members))
 			}
 		}
 
@@ -205,6 +216,10 @@ func RunSharded(cfg ShardedSimConfig) (*ShardedSimResult, error) {
 			// decode point on one path — charged serially, the worst case.
 			iterGroupTimes[g] = gt + float64(ingested)*cfg.IngestSeconds
 			iterEpochs[g] = sg.plan.Epoch
+			if cfg.Obs != nil {
+				cs := sg.plan.Strategy.DecodeCacheStats()
+				sg.cache.Fold(cfg.Obs, sg.plan.Strategy, cs.Hits, cs.Misses)
+			}
 		}
 
 		// The barrier: every group's sum must reach the root, so the
@@ -222,7 +237,7 @@ func RunSharded(cfg ShardedSimConfig) (*ShardedSimResult, error) {
 		// Telemetry into each group's control plane, exactly like workers
 		// uploading MsgTelemetry to their group master: injected delay
 		// counts as compute, because that is what the master observes.
-		for _, sg := range groups {
+		for g, sg := range groups {
 			loads := sg.plan.Strategy.Allocation().Loads
 			for slot, id := range sg.plan.Members {
 				if loads[slot] <= 0 {
@@ -235,6 +250,11 @@ func RunSharded(cfg ShardedSimConfig) (*ShardedSimResult, error) {
 				if err := sg.ctrl.Observe(id, loads[slot], finish); err != nil {
 					return nil, fmt.Errorf("iter %d observe member %d: %w", iter, id, err)
 				}
+				if cfg.Obs != nil {
+					if rate, err := sg.ctrl.Rate(id); err == nil {
+						cfg.Obs.OnEstimate(g, id, rate)
+					}
+				}
 			}
 		}
 
@@ -242,10 +262,14 @@ func RunSharded(cfg ShardedSimConfig) (*ShardedSimResult, error) {
 		res.GroupTimes = append(res.GroupTimes, iterGroupTimes)
 		res.Epochs = append(res.Epochs, iterEpochs)
 		count := 0
-		for _, sg := range groups {
-			count += len(sg.ctrl.AliveMembers())
+		for g, sg := range groups {
+			alive := len(sg.ctrl.AliveMembers())
+			count += alive
+			cfg.Obs.OnMembers(g, alive)
 		}
 		res.MemberCounts = append(res.MemberCounts, count)
+		// Epoch -1, like the live root: plan epochs are group-local.
+		cfg.Obs.OnIteration(-1, iterTime)
 	}
 
 	for g, sg := range groups {
@@ -265,7 +289,7 @@ func RunSharded(cfg ShardedSimConfig) (*ShardedSimResult, error) {
 
 // applyShardedChurn routes one churn event to its owning group.
 func applyShardedChurn(ev ChurnEvent, iter int, groups []*shardedGroup,
-	memberGroup map[int]int, trueRate map[int]float64, nextID *int) error {
+	memberGroup map[int]int, trueRate map[int]float64, nextID *int, om *obs.Metrics) error {
 	switch ev.Kind {
 	case SpeedStep:
 		g, ok := memberGroup[ev.Member]
@@ -283,6 +307,7 @@ func applyShardedChurn(ev ChurnEvent, iter int, groups []*shardedGroup,
 		}
 		groups[g].members[ev.Member] = false
 		groups[g].ctrl.RemoveMember(ev.Member)
+		om.OnDeath(g, ev.Member, len(groups[g].ctrl.AliveMembers()), iter)
 	case Join:
 		if ev.Rate <= 0 {
 			return fmt.Errorf("%w: join rate %v", ErrBadChurn, ev.Rate)
@@ -301,6 +326,7 @@ func applyShardedChurn(ev ChurnEvent, iter int, groups []*shardedGroup,
 		memberGroup[id] = best
 		groups[best].members[id] = true
 		groups[best].ctrl.AddMember(id, 0)
+		om.OnJoin(best, id, false, len(groups[best].ctrl.AliveMembers()), iter)
 	case Rejoin:
 		g, ok := memberGroup[ev.Member]
 		if !ok || groups[g].members[ev.Member] {
@@ -311,6 +337,7 @@ func applyShardedChurn(ev ChurnEvent, iter int, groups []*shardedGroup,
 			trueRate[ev.Member] = ev.Rate
 		}
 		groups[g].ctrl.AddMember(ev.Member, 0)
+		om.OnJoin(g, ev.Member, true, len(groups[g].ctrl.AliveMembers()), iter)
 	default:
 		return fmt.Errorf("%w: unknown event kind %v", ErrBadChurn, ev.Kind)
 	}

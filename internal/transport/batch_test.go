@@ -401,6 +401,7 @@ func benchUplink(b *testing.B, batched bool) {
 
 	b.ResetTimer()
 	b.ReportAllocs()
+	_, _, _, bytesBefore, _, _ := Wire()
 	for i := 0; i < b.N; i++ {
 		if batched {
 			if err := sender.SendBatch(frames); err != nil {
@@ -417,6 +418,12 @@ func benchUplink(b *testing.B, batched bool) {
 	if err := <-recvErr; err != nil {
 		b.Fatal(err)
 	}
+	b.StopTimer()
+	// Wire bytes per uploaded gradient, measured at the socket boundary by
+	// the process-wide transport counters (the receiver goroutine has fully
+	// drained, so every sent byte is accounted for).
+	_, _, _, bytesAfter, _, _ := Wire()
+	b.ReportMetric(float64(bytesAfter-bytesBefore)/float64(b.N), "wire-B/iter")
 }
 
 func BenchmarkBatchedUplink(b *testing.B)   { benchUplink(b, true) }

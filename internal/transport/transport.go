@@ -265,9 +265,11 @@ type Conn struct {
 	pending []*Envelope
 }
 
-// NewConn wraps a net.Conn.
+// NewConn wraps a net.Conn. All traffic is routed through a byte-counting
+// shim feeding the process-wide Wire counters.
 func NewConn(raw net.Conn) *Conn {
-	return &Conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
+	counted := countingConn{Conn: raw}
+	return &Conn{raw: raw, enc: gob.NewEncoder(counted), dec: gob.NewDecoder(counted)}
 }
 
 // Dial connects to a master at addr.
@@ -283,6 +285,10 @@ func Dial(addr string, timeout time.Duration) (*Conn, error) {
 func (c *Conn) Send(e *Envelope) error {
 	if err := c.enc.Encode(e); err != nil {
 		return fmt.Errorf("transport send %v: %w", e.Type, err)
+	}
+	wire.framesOut.Add(1)
+	if e.Type == MsgBatch {
+		wire.batches.Add(1)
 	}
 	return nil
 }
@@ -303,12 +309,15 @@ func (c *Conn) Recv() (*Envelope, error) {
 	if err := c.dec.Decode(&e); err != nil {
 		return nil, fmt.Errorf("transport recv: %w", err)
 	}
+	wire.framesIn.Add(1)
 	if err := e.validate(); err != nil {
+		wire.malformed.Add(1)
 		return nil, err
 	}
 	if e.Type == MsgBatch {
 		subs, err := decodeBatch(e.Batch)
 		if err != nil {
+			wire.malformed.Add(1)
 			return nil, err
 		}
 		c.pending = subs[1:]

@@ -1,0 +1,49 @@
+package transport
+
+import (
+	"net"
+	"sync/atomic"
+)
+
+// Process-wide wire counters, always on: frame and byte counts are a
+// handful of atomic adds per message, cheap enough to keep unconditional.
+// The telemetry plane reads them at scrape time via Wire (bound with
+// obs.Metrics.BindWire), and the uplink benchmarks use them to report
+// bytes-per-iteration. transport deliberately does not import obs — the
+// counters are plain atomics so the package stays a leaf.
+var wire struct {
+	framesIn  atomic.Uint64
+	framesOut atomic.Uint64
+	bytesIn   atomic.Uint64
+	bytesOut  atomic.Uint64
+	batches   atomic.Uint64
+	malformed atomic.Uint64
+}
+
+// Wire snapshots the process-wide transport counters: frames received and
+// sent, raw bytes read and written (counted at the net.Conn boundary, so
+// gob framing overhead is included), batch frames sent, and frames
+// rejected as malformed. Counters are cumulative for the process lifetime.
+func Wire() (framesIn, framesOut, bytesIn, bytesOut, batches, malformed uint64) {
+	return wire.framesIn.Load(), wire.framesOut.Load(),
+		wire.bytesIn.Load(), wire.bytesOut.Load(),
+		wire.batches.Load(), wire.malformed.Load()
+}
+
+// countingConn counts raw bytes crossing a connection. Embedding forwards
+// Close, deadlines and addresses untouched.
+type countingConn struct {
+	net.Conn
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	wire.bytesIn.Add(uint64(n))
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	wire.bytesOut.Add(uint64(n))
+	return n, err
+}

@@ -1,0 +1,60 @@
+package transport
+
+import (
+	"net"
+	"testing"
+)
+
+// TestWireCountersAdvance pins the process-wide wire snapshot: one framed
+// round trip over a real socket must advance frames and bytes in both
+// directions, and the counters must be monotonic (cumulative for the
+// process, shared with every other test in the package).
+func TestWireCountersAdvance(t *testing.T) {
+	fi0, fo0, bi0, bo0, _, _ := Wire()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		srv := NewConn(conn)
+		env, err := srv.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- srv.Send(env)
+	}()
+
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	cli := NewConn(raw)
+	if err := cli.Send(&Envelope{Type: MsgTelemetry, Iter: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	fi1, fo1, bi1, bo1, _, _ := Wire()
+	if fi1 < fi0+2 || fo1 < fo0+2 {
+		t.Errorf("frames in/out advanced %d/%d, want >= 2 each", fi1-fi0, fo1-fo0)
+	}
+	if bi1 <= bi0 || bo1 <= bo0 {
+		t.Errorf("bytes in/out did not advance: in %d->%d, out %d->%d", bi0, bi1, bo0, bo1)
+	}
+}
