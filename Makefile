@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: all build test vet lint race cover cover-gate cover-check \
-	fuzz-smoke smoke-examples metrics-smoke bench bench-smoke \
+	fuzz-smoke smoke-examples metrics-smoke e2e-procs bench bench-smoke \
 	bench-baseline bench-compare bench-json
 
 all: build test
@@ -78,6 +78,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzJournal$$' -fuzztime $(FUZZTIME) ./internal/checkpoint
 	$(GO) test -run '^$$' -fuzz '^FuzzLease$$' -fuzztime $(FUZZTIME) ./internal/ha
 	$(GO) test -run '^$$' -fuzz '^FuzzAdoption$$' -fuzztime $(FUZZTIME) ./internal/transport
+	$(GO) test -run '^$$' -fuzz '^FuzzRoster$$' -fuzztime $(FUZZTIME) ./internal/node
 
 # Smoke-run the quickstart example: a panic in example main paths must fail
 # the build pipeline, not linger unnoticed (5s budget where `timeout` exists
@@ -98,6 +99,15 @@ smoke-examples:
 # this named target is the CI entry point.
 metrics-smoke:
 	$(GO) test -run 'TestMetricsSmoke' -v .
+
+# Multi-process failover e2e: builds the gcroot/gcworker binaries, spawns a
+# real cluster (1 root + 1 standby + 4 workers as separate OS processes, with
+# training shards fetched over the wire), SIGKILLs the root mid-training and
+# asserts the promoted standby finishes with parameters bit-identical to an
+# uninterrupted in-process run. Point HETGC_E2E_ARTIFACTS at a directory to
+# keep the per-process logs and /debug/events journal tails.
+e2e-procs:
+	HETGC_E2E_PROCS=1 $(GO) test -v -run '^TestProcClusterFailover$$' -timeout 300s ./e2e
 
 # Full benchmark sweep with allocation reporting.
 bench:

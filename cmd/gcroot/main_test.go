@@ -1,0 +1,146 @@
+package main
+
+import (
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hetgc/hetgc"
+)
+
+func writeRoster(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cluster.toml")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	roster := writeRoster(t, "root = \"127.0.0.1:7000\"\nworkers = 2\n")
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		args []string
+		hint string
+	}{
+		{"bad flag", []string{"-wat"}, ""},
+		{"missing roster", []string{"-checkpoint-dir", dir, "-lease-ttl", "2s"}, "-roster"},
+		{"missing checkpoint dir", []string{"-roster", roster, "-lease-ttl", "2s"}, "-checkpoint-dir"},
+		{"missing lease", []string{"-roster", roster, "-checkpoint-dir", dir}, "-lease-ttl"},
+		{"negative lease", []string{"-roster", roster, "-checkpoint-dir", dir, "-lease-ttl", "-1s"}, "-lease-ttl"},
+		{"bad role", []string{"-roster", roster, "-checkpoint-dir", dir, "-lease-ttl", "2s", "-role", "observer"}, "root or standby"},
+		{"standby without listen", []string{"-roster", roster, "-checkpoint-dir", dir, "-lease-ttl", "2s", "-role", "standby"}, "-listen"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil {
+				t.Fatal("run accepted an invalid flag set")
+			}
+			if tc.hint != "" && !strings.Contains(err.Error(), tc.hint) {
+				t.Fatalf("error %q lacks hint %q", err, tc.hint)
+			}
+		})
+	}
+}
+
+func TestRunRejectsBadRosterFile(t *testing.T) {
+	roster := writeRoster(t, "gibberish")
+	err := run([]string{"-roster", roster, "-checkpoint-dir", t.TempDir(), "-lease-ttl", "2s"})
+	if !errors.Is(err, hetgc.ErrRoster) {
+		t.Fatalf("err = %v, want ErrRoster", err)
+	}
+}
+
+func TestRunRejectsMissingRosterFile(t *testing.T) {
+	err := run([]string{"-roster", filepath.Join(t.TempDir(), "absent.toml"),
+		"-checkpoint-dir", t.TempDir(), "-lease-ttl", "2s"})
+	if !errors.Is(err, hetgc.ErrRoster) {
+		t.Fatalf("err = %v, want ErrRoster", err)
+	}
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// spawnWorkers runs n in-process worker loops against the roster addrs.
+func spawnWorkers(t *testing.T, n int, rootAddr, standbyAddr, dir string) (stop chan struct{}, wg *sync.WaitGroup) {
+	t.Helper()
+	stop = make(chan struct{})
+	wg = &sync.WaitGroup{}
+	roster := hetgc.Roster{Root: rootAddr, Workers: n}
+	if standbyAddr != "" {
+		roster.Standbys = []string{standbyAddr}
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = hetgc.RunWorkerNode(hetgc.WorkerNodeConfig{
+				Roster:        roster,
+				K:             4,
+				Seed:          3,
+				CheckpointDir: dir,
+				DialTimeout:   500 * time.Millisecond,
+			}, stop)
+		}()
+	}
+	return stop, wg
+}
+
+// TestRunRootTrainsCluster drives the full root role through run(): a real
+// listener on a roster address, two worker loops fetching shards over the
+// wire, training to completion.
+func TestRunRootTrainsCluster(t *testing.T) {
+	dir := t.TempDir()
+	addr := freeAddr(t)
+	roster := writeRoster(t, "root = \""+addr+"\"\nworkers = 2\n")
+	stop, wg := spawnWorkers(t, 2, addr, "", dir)
+	defer func() { close(stop); wg.Wait() }()
+	err := run([]string{"-roster", roster, "-k", "4", "-s", "0", "-iters", "6", "-seed", "3",
+		"-pin-estimates", "-checkpoint-dir", dir, "-snapshot-every", "2", "-lease-ttl", "5s",
+		"-wait", "15s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunStandbyPromotesAndFinishes drives the standby role through run():
+// a lapsed lease in the directory, promotion, and a full training run on the
+// standby's own address.
+func TestRunStandbyPromotesAndFinishes(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := hetgc.AcquireLease(dir, "old-root", "127.0.0.1:1", 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	addr := freeAddr(t)
+	roster := writeRoster(t, "root = \"127.0.0.1:1\"\nstandbys = [\""+addr+"\"]\nworkers = 2\n")
+	stop, wg := spawnWorkers(t, 2, "127.0.0.1:1", addr, dir)
+	defer func() { close(stop); wg.Wait() }()
+	err := run([]string{"-roster", roster, "-role", "standby", "-listen", addr,
+		"-k", "4", "-s", "0", "-iters", "6", "-seed", "3",
+		"-pin-estimates", "-checkpoint-dir", dir, "-snapshot-every", "2", "-lease-ttl", "500ms",
+		"-wait", "15s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := hetgc.ReadLeaseToken(dir)
+	if err != nil || tok.Gen < 2 {
+		t.Fatalf("lease after promotion = %+v, %v — want generation >= 2", tok, err)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"github.com/hetgc/hetgc"
+	"github.com/hetgc/hetgc/internal/cliflags"
 )
 
 func main() {
@@ -57,51 +58,40 @@ func run(args []string) error {
 		s           = fs.Int("s", 1, "straggler budget")
 		stragglerMs = fs.Int("straggler-ms", 200, "artificial delay of worker 0 per iteration (ms)")
 		seed        = fs.Int64("seed", 1, "random seed")
-		ckptDir     = fs.String("checkpoint-dir", "", "durable-state directory (journal + snapshots); enables the elastic runtime")
-		snapEvery   = fs.Int("snapshot-every", 5, "snapshot cadence in iterations (with -checkpoint-dir)")
 		resume      = fs.Bool("resume", false, "resume from the state in -checkpoint-dir instead of starting fresh")
-		leaseTTL    = fs.Duration("lease-ttl", 0, "hold the HA root lease over -checkpoint-dir with this TTL (0 disables)")
 		standby     = fs.Bool("standby", false, "run as a warm standby: tail -checkpoint-dir and take over training when the lease lapses")
-		metricsAddr = fs.String("metrics-addr", "", "serve live telemetry on this host:port (/metrics, /healthz, /debug/events, /debug/trace, /debug/pprof/); uses the elastic runtime")
-		trace       = fs.Bool("trace", false, "stream per-iteration phase traces to stderr as JSON lines; uses the elastic runtime")
+		shared      cliflags.Cluster
 	)
+	cliflags.Register(fs, &shared)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *resume && *ckptDir == "" {
+	if err := shared.Validate(); err != nil {
+		return err
+	}
+	if *resume && shared.CheckpointDir == "" {
 		return errors.New("-resume requires -checkpoint-dir (the directory holding the journal and snapshots of the run to continue)")
 	}
-	if *leaseTTL < 0 {
-		return errors.New("-lease-ttl must be positive")
+	if *standby && shared.CheckpointDir == "" {
+		return errors.New("-standby requires -checkpoint-dir (the lease lives in the checkpoint directory)")
 	}
-	if (*leaseTTL > 0 || *standby) && *ckptDir == "" {
-		return errors.New("-lease-ttl and -standby require -checkpoint-dir (the lease lives in the checkpoint directory)")
+	tel, srv, err := shared.StartTelemetry(os.Stderr, os.Stdout)
+	if err != nil {
+		return err
 	}
-	var tel *hetgc.Telemetry
-	if *metricsAddr != "" || *trace {
-		tel = hetgc.NewTelemetry()
-		if *trace {
-			tel.Tracer().Stream(os.Stderr)
-		}
-		if *metricsAddr != "" {
-			srv, err := hetgc.ServeTelemetry(tel, *metricsAddr)
-			if err != nil {
-				return fmt.Errorf("telemetry server: %w", err)
-			}
-			defer srv.Close()
-			fmt.Printf("telemetry on %s/metrics (events at /debug/events, traces at /debug/trace, pprof at /debug/pprof/)\n", srv.URL())
-		}
+	if srv != nil {
+		defer srv.Close()
 	}
 	if *standby {
-		if err := standBy(*ckptDir, tel); err != nil {
+		if err := standBy(shared.CheckpointDir, tel); err != nil {
 			return err
 		}
 		// Promoted: continue the deposed root's run at the next generation.
 		*resume = true
 	}
-	if *ckptDir != "" || tel != nil {
+	if shared.CheckpointDir != "" || tel != nil {
 		// Durable state and telemetry both live on the elastic runtime.
-		return runDurable(*scheme, *iters, *s, *stragglerMs, *seed, *ckptDir, *snapEvery, *resume, *leaseTTL, tel)
+		return runDurable(*scheme, *iters, *s, *stragglerMs, *seed, shared, *resume, tel)
 	}
 
 	// A small heterogeneous fleet (relative speeds 1..4, as in Example 1).
@@ -111,7 +101,6 @@ func run(args []string) error {
 	rng := hetgc.NewRand(*seed)
 
 	var st *hetgc.Strategy
-	var err error
 	switch *scheme {
 	case "heter":
 		st, err = hetgc.NewHeterAware(throughputs, k, *s, rng)
@@ -202,8 +191,11 @@ func run(args []string) error {
 
 // runDurable trains on the elastic runtime with a checkpoint directory:
 // journaled iterations, periodic snapshots, and — with resume — exact
-// continuation from the last snapshot.
-func runDurable(scheme string, iters, s, stragglerMs int, seed int64, dir string, snapEvery int, resume bool, leaseTTL time.Duration, tel *hetgc.Telemetry) error {
+// continuation from the last snapshot. The flag surface routes through
+// ClusterConfig — the same assembly the standalone gcroot binary uses — so
+// an in-process gctrain run and a multi-machine cluster are configured by
+// the identical code path.
+func runDurable(scheme string, iters, s, stragglerMs int, seed int64, shared cliflags.Cluster, resume bool, tel *hetgc.Telemetry) error {
 	var kind hetgc.Kind
 	switch scheme {
 	case "heter":
@@ -213,6 +205,7 @@ func runDurable(scheme string, iters, s, stragglerMs int, seed int64, dir string
 	default:
 		return fmt.Errorf("the elastic runtime (-checkpoint-dir, -metrics-addr, -trace) plans heter or group schemes, not %q", scheme)
 	}
+	dir := shared.CheckpointDir
 
 	// The workload is derived from the seed, so a resumed process rebuilds
 	// the identical dataset and partitioning.
@@ -230,26 +223,31 @@ func runDurable(scheme string, iters, s, stragglerMs int, seed int64, dir string
 	}
 	model := &hetgc.Softmax{InputDim: 8, NumClasses: 3}
 
-	master, err := hetgc.NewElasticMaster(hetgc.ElasticConfig{
-		K: k, S: s, Scheme: kind,
-		Model:         model,
-		Optimizer:     &hetgc.SGD{LR: 0.5, Momentum: 0.5},
-		InitialParams: model.InitParams(nil),
-		Iterations:    iters,
-		SampleCount:   data.N(),
-		IterTimeout:   10 * time.Second,
-		MinWorkers:    m,
-		LossEvery:     5,
-		LossFn: func(p []float64) (float64, error) {
-			return hetgc.MeanLoss(model, p, data)
+	ecfg, err := hetgc.ClusterConfig{
+		// The "cluster" is this process: m loopback workers, quorum m.
+		Roster: hetgc.Roster{Root: "127.0.0.1:0", Workers: m},
+		K:      k, S: s, Scheme: kind,
+		Iterations:  iters,
+		Seed:        seed,
+		IterTimeout: 10 * time.Second,
+		Workload: &hetgc.Workload{
+			Model:     model,
+			Optimizer: &hetgc.SGD{LR: 0.5, Momentum: 0.5},
+			Data:      data,
+			Parts:     parts,
 		},
-		Seed:          seed,
-		CheckpointDir: dir,
-		SnapshotEvery: snapEvery,
-		Resume:        resume,
-		LeaseTTL:      leaseTTL,
-		Obs:           tel,
-	}, "127.0.0.1:0")
+		DurabilityConfig: shared.Durability(),
+		HAConfig:         shared.HA(""),
+		TelemetryConfig:  hetgc.TelemetryConfig{Obs: tel},
+	}.ElasticConfig(resume)
+	if err != nil {
+		return err
+	}
+	ecfg.LossEvery = 5
+	ecfg.LossFn = func(p []float64) (float64, error) {
+		return hetgc.MeanLoss(model, p, data)
+	}
+	master, err := hetgc.NewElasticMaster(ecfg, "127.0.0.1:0")
 	if err != nil {
 		return remediate(err, dir)
 	}
@@ -257,11 +255,11 @@ func runDurable(scheme string, iters, s, stragglerMs int, seed int64, dir string
 		fmt.Printf("resumed from checkpoint %s at iteration %d\n", dir, master.StartIter())
 	}
 	if gen := master.RootGen(); gen > 0 {
-		fmt.Printf("holding root lease: generation %d, ttl %s\n", gen, leaseTTL)
+		fmt.Printf("holding root lease: generation %d, ttl %s\n", gen, shared.LeaseTTL)
 	}
 	if dir != "" {
 		fmt.Printf("elastic master on %s; scheme=%s k=%d s=%d checkpoint-dir=%s snapshot-every=%d\n",
-			master.Addr(), scheme, k, s, dir, snapEvery)
+			master.Addr(), scheme, k, s, dir, shared.SnapshotEvery)
 	} else {
 		fmt.Printf("elastic master on %s; scheme=%s k=%d s=%d\n", master.Addr(), scheme, k, s)
 	}

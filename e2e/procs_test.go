@@ -1,0 +1,290 @@
+// Package e2e holds the multi-process cluster test: real gcroot/gcworker OS
+// processes wired by a roster file, a SIGKILLed root, a promoted standby, and
+// a bit-identity assertion against an uninterrupted in-process run.
+//
+// The test is expensive (it builds binaries and spawns seven processes), so
+// it only runs when HETGC_E2E_PROCS=1 — `make e2e-procs` is the entry point.
+// Set HETGC_E2E_ARTIFACTS to a directory to keep every process log and the
+// /debug/events journal tails (CI uploads them on failure).
+package e2e
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/checkpoint"
+	"github.com/hetgc/hetgc/internal/node"
+)
+
+const (
+	k         = 8
+	s         = 0
+	seed      = 5
+	iters     = 30
+	workers   = 4
+	killAfter = 10 // durable iteration after which the root is SIGKILLed
+)
+
+// TestProcClusterFailover is the acceptance test of the multi-machine
+// deployment: one root, one standby and four workers as separate OS
+// processes, shards fetched over the wire, the root killed cold
+// mid-training — and the standby's final parameters bit-identical to an
+// uninterrupted single-process run of the same configuration.
+func TestProcClusterFailover(t *testing.T) {
+	if os.Getenv("HETGC_E2E_PROCS") == "" {
+		t.Skip("set HETGC_E2E_PROCS=1 (or run `make e2e-procs`) to run the multi-process e2e")
+	}
+
+	bin := buildBinaries(t)
+	artifacts := artifactDir(t)
+	ckpt := t.TempDir()
+
+	rootAddr, standbyAddr := freeAddr(t), freeAddr(t)
+	rootMetrics, standbyMetrics := freeAddr(t), freeAddr(t)
+	roster := filepath.Join(t.TempDir(), "cluster.toml")
+	rosterBody := fmt.Sprintf("root = %q\nstandbys = [%q]\nworkers = %d\n", rootAddr, standbyAddr, workers)
+	if err := os.WriteFile(roster, []byte(rosterBody), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sharedFlags := []string{
+		"-roster", roster,
+		"-k", strconv.Itoa(k), "-s", strconv.Itoa(s),
+		"-iters", strconv.Itoa(iters), "-seed", strconv.Itoa(seed),
+		"-pin-estimates",
+		"-checkpoint-dir", ckpt, "-snapshot-every", "4",
+		"-lease-ttl", "1s", "-iter-timeout", "20s", "-wait", "60s",
+	}
+	root := spawn(t, artifacts, "root", bin["gcroot"],
+		append(sharedFlags, "-metrics-addr", rootMetrics)...)
+	standby := spawn(t, artifacts, "standby", bin["gcroot"],
+		append(sharedFlags, "-role", "standby", "-listen", standbyAddr, "-metrics-addr", standbyMetrics)...)
+	for i := 0; i < workers; i++ {
+		spawn(t, artifacts, fmt.Sprintf("worker-%d", i), bin["gcworker"],
+			"-roster", roster,
+			"-k", strconv.Itoa(k), "-seed", strconv.Itoa(seed),
+			"-slow-ms", "75",
+			"-checkpoint-dir", ckpt,
+			"-dial-timeout", "2s")
+	}
+	defer func() {
+		if t.Failed() {
+			dumpEvents(t, artifacts, "root", rootMetrics)
+			dumpEvents(t, artifacts, "standby", standbyMetrics)
+		}
+	}()
+
+	// Kill the root cold — no shutdown handshake — once iteration killAfter
+	// is durable in the shared checkpoint directory.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if st, err := checkpoint.Recover(ckpt); err == nil && st.LastIter >= killAfter {
+			break
+		}
+		if root.done() {
+			t.Fatalf("root exited before the kill window (wanted to kill it after iteration %d):\n%s", killAfter, root.output())
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("root never reached durable iteration %d:\n%s", killAfter, root.output())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := root.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL root: %v", err)
+	}
+	t.Logf("root killed after durable iteration %d", killAfter)
+
+	if err := standby.wait(120 * time.Second); err != nil {
+		t.Fatalf("standby did not finish the run: %v\n%s", err, standby.output())
+	}
+
+	out := standby.output()
+	resumed := regexp.MustCompile(`promoted — resumed at iteration (\d+)`).FindStringSubmatch(out)
+	if resumed == nil {
+		t.Fatalf("standby output does not report a promotion:\n%s", out)
+	}
+	if n, _ := strconv.Atoi(resumed[1]); n <= 0 {
+		t.Fatalf("standby resumed at iteration %s — it trained from scratch instead of promoting", resumed[1])
+	}
+	digest := regexp.MustCompile(`params digest: ([0-9a-f]+)`).FindStringSubmatch(out)
+	if digest == nil {
+		t.Fatalf("standby output carries no params digest:\n%s", out)
+	}
+
+	want := baselineDigest(t)
+	if digest[1] != want {
+		t.Fatalf("failover params digest %s != uninterrupted baseline %s\nstandby output:\n%s", digest[1], want, out)
+	}
+	t.Logf("failover run bit-identical to baseline (digest %s), standby resumed at iteration %s", want, resumed[1])
+}
+
+// baselineDigest trains the identical configuration uninterrupted in-process
+// and digests the final parameters.
+func baselineDigest(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := node.ClusterConfig{
+		Roster:       node.Roster{Root: "127.0.0.1:1", Workers: workers},
+		Listen:       "127.0.0.1:0",
+		K:            k,
+		S:            s,
+		Iterations:   iters,
+		Seed:         seed,
+		IterTimeout:  20 * time.Second,
+		PinEstimates: true,
+	}
+	cfg.CheckpointDir = dir
+	cfg.SnapshotEvery = 4
+	cfg.LeaseTTL = time.Second
+	root, err := node.StartRoot(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	for i := 0; i < workers; i++ {
+		go func() {
+			_ = node.RunWorker(node.WorkerConfig{
+				Roster: node.Roster{Root: root.Addr(), Workers: workers},
+				K:      k,
+				Seed:   seed,
+			}, stop)
+		}()
+	}
+	res, err := root.Run(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return node.ParamsDigest(res.Params)
+}
+
+// buildBinaries compiles gcroot and gcworker once into a temp dir.
+func buildBinaries(t *testing.T) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator), "../cmd/gcroot", "../cmd/gcworker")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return map[string]string{
+		"gcroot":   filepath.Join(dir, "gcroot"),
+		"gcworker": filepath.Join(dir, "gcworker"),
+	}
+}
+
+// artifactDir is where process logs and journal tails land; CI points
+// HETGC_E2E_ARTIFACTS at an upload path.
+func artifactDir(t *testing.T) string {
+	if dir := os.Getenv("HETGC_E2E_ARTIFACTS"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	return t.TempDir()
+}
+
+// proc is one spawned cluster member with its combined output tee'd to an
+// artifact file.
+type proc struct {
+	cmd  *exec.Cmd
+	log  string
+	exit chan error
+}
+
+func spawn(t *testing.T, artifacts, name, bin string, args ...string) *proc {
+	t.Helper()
+	logPath := filepath.Join(artifacts, name+".log")
+	f, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = f
+	cmd.Stderr = f
+	if err := cmd.Start(); err != nil {
+		f.Close()
+		t.Fatalf("start %s: %v", name, err)
+	}
+	p := &proc{cmd: cmd, log: logPath, exit: make(chan error, 1)}
+	go func() {
+		p.exit <- cmd.Wait()
+		f.Close()
+	}()
+	t.Cleanup(func() {
+		_ = cmd.Process.Signal(syscall.SIGKILL)
+		select {
+		case <-p.exit:
+		case <-time.After(5 * time.Second):
+		}
+	})
+	return p
+}
+
+func (p *proc) done() bool {
+	select {
+	case err := <-p.exit:
+		p.exit <- err
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *proc) wait(timeout time.Duration) error {
+	select {
+	case err := <-p.exit:
+		p.exit <- err
+		return err
+	case <-time.After(timeout):
+		return fmt.Errorf("still running after %s", timeout)
+	}
+}
+
+func (p *proc) output() string {
+	b, err := os.ReadFile(p.log)
+	if err != nil {
+		return fmt.Sprintf("<no output: %v>", err)
+	}
+	return string(b)
+}
+
+// dumpEvents tails a live process's /debug/events journal into the artifact
+// dir and the test log — the first thing to read when the e2e fails.
+func dumpEvents(t *testing.T, artifacts, name, metricsAddr string) {
+	client := &http.Client{Timeout: 2 * time.Second}
+	resp, err := client.Get("http://" + metricsAddr + "/debug/events")
+	if err != nil {
+		t.Logf("%s: no /debug/events (%v) — process likely dead; see %s.log", name, err, name)
+		return
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	path := filepath.Join(artifacts, name+"-events.json")
+	_ = os.WriteFile(path, b, 0o644)
+	t.Logf("%s /debug/events tail:\n%s", name, b)
+}
+
+// freeAddr reserves a loopback port and releases it for a child process to
+// bind. The race between release and rebind is real but tolerable in a test
+// that binds four ports on a quiet loopback.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}

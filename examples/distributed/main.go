@@ -1,15 +1,40 @@
-// Distributed: train a softmax classifier with real master/worker processes
-// talking gradient-coded BSP over TCP loopback. Worker 0 is artificially
-// slowed every iteration; the coded master decodes without waiting for it.
+// Distributed: a true multi-process cluster on one machine, driven by the
+// real gcroot/gcworker binaries. The example builds the binaries, writes the
+// roster file every cluster member shares, then spawns one training root,
+// one warm standby and four workers as separate OS processes — the workers
+// fetch their training shards from the root over the wire, so nothing but
+// the roster and the (seed, k) pair is configured on them.
+//
+// Halfway through training the root is SIGKILLed, cold. The standby's lease
+// watch notices, promotes, resumes from the shared checkpoint directory and
+// finishes the run — and because the planner is pinned, the final parameter
+// digest it prints is bit-identical to what the uninterrupted run would have
+// produced.
+//
+// Run from the repository root:
+//
+//	go run ./examples/distributed
 package main
 
 import (
+	"bufio"
 	"fmt"
 	"log"
-	"sync"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"github.com/hetgc/hetgc"
+)
+
+const (
+	k, s, iters = 8, 0, 30
+	seed        = 5
+	workers     = 4
+	killAfter   = 10 // durable iteration after which the root dies
 )
 
 func main() {
@@ -19,73 +44,141 @@ func main() {
 }
 
 func run() error {
-	throughputs := []float64{1, 2, 3, 4, 4}
-	const k, s, iters = 7, 1, 25
-	rng := hetgc.NewRand(3)
+	work, err := os.MkdirTemp("", "hetgc-distributed-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
 
-	strategy, err := hetgc.NewGroupBased(throughputs, k, s, rng)
-	if err != nil {
-		return err
+	fmt.Println("building gcroot and gcworker ...")
+	build := exec.Command("go", "build", "-o", work+string(os.PathSeparator), "./cmd/gcroot", "./cmd/gcworker")
+	if out, err := build.CombinedOutput(); err != nil {
+		return fmt.Errorf("go build (run this example from the repository root): %v\n%s", err, out)
 	}
-	data, err := hetgc.GaussianMixture(k*30, 6, 3, 3, rng)
-	if err != nil {
-		return err
-	}
-	parts, err := data.Split(k)
-	if err != nil {
-		return err
-	}
-	model := &hetgc.Softmax{InputDim: 6, NumClasses: 3}
 
-	master, err := hetgc.NewMaster(hetgc.MasterConfig{
-		Strategy:      strategy,
-		Model:         model,
-		Optimizer:     &hetgc.SGD{LR: 0.5, Momentum: 0.5},
-		InitialParams: model.InitParams(nil),
-		Iterations:    iters,
-		SampleCount:   data.N(),
-		IterTimeout:   10 * time.Second,
-		LossEvery:     5,
-		LossFn:        func(p []float64) (float64, error) { return hetgc.MeanLoss(model, p, data) },
-	}, "127.0.0.1:0")
+	rootAddr, err := freeAddr()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("master on %s, scheme %v with groups %v\n",
-		master.Addr(), strategy.Kind(), strategy.Groups())
+	standbyAddr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	roster := filepath.Join(work, "cluster.toml")
+	body := fmt.Sprintf("root = %q\nstandbys = [%q]\nworkers = %d\n", rootAddr, standbyAddr, workers)
+	if err := os.WriteFile(roster, []byte(body), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("cluster.toml — the one file every machine shares:\n%s\n", body)
 
-	var wg sync.WaitGroup
-	for i := 0; i < strategy.M(); i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			cfg := hetgc.WorkerConfig{
-				Model:         model,
-				PartitionData: func(p int) (*hetgc.Dataset, error) { return parts[p], nil },
-			}
-			if i == 0 {
-				cfg.Delay = func(int) time.Duration { return 150 * time.Millisecond }
-			}
-			w, err := hetgc.DialWorker(master.Addr(), cfg)
-			if err != nil {
-				return
-			}
-			_ = w.Run() // exits on shutdown; races at teardown are benign
-		}(i)
+	ckpt := filepath.Join(work, "ckpt")
+	shared := []string{
+		"-roster", roster,
+		"-k", fmt.Sprint(k), "-s", fmt.Sprint(s),
+		"-iters", fmt.Sprint(iters), "-seed", fmt.Sprint(seed),
+		"-pin-estimates",
+		"-checkpoint-dir", ckpt, "-snapshot-every", "4", "-lease-ttl", "1s",
 	}
-	if err := master.WaitForWorkers(10 * time.Second); err != nil {
-		return err
-	}
-	res, err := master.Run()
-	wg.Wait()
+	root, err := spawn("root   ", filepath.Join(work, "gcroot"), shared...)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("ran %d iterations, mean %.1fms (worker 0 was 150ms late each time)\n",
-		res.Summary.Count, res.Summary.Mean*1e3)
-	fmt.Println("loss curve:")
-	for _, p := range res.Curve.Points {
-		fmt.Printf("  t=%6.3fs  loss=%.4f\n", p.X, p.Y)
+	standby, err := spawn("standby", filepath.Join(work, "gcroot"),
+		append(shared, "-role", "standby", "-listen", standbyAddr)...)
+	if err != nil {
+		return err
 	}
+	var workerProcs []*exec.Cmd
+	for i := 0; i < workers; i++ {
+		w, err := spawn(fmt.Sprintf("work-%d ", i), filepath.Join(work, "gcworker"),
+			"-roster", roster,
+			"-k", fmt.Sprint(k), "-seed", fmt.Sprint(seed),
+			"-slow-ms", "75",
+			"-checkpoint-dir", ckpt)
+		if err != nil {
+			return err
+		}
+		workerProcs = append(workerProcs, w)
+	}
+	defer func() {
+		for _, p := range append(workerProcs, root, standby) {
+			if p.Process != nil {
+				_ = p.Process.Signal(syscall.SIGKILL)
+			}
+		}
+	}()
+
+	// Kill the root cold — no shutdown handshake — once iteration killAfter
+	// is durable in the shared checkpoint directory.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if st, err := hetgc.RecoverCheckpoint(ckpt); err == nil && st.LastIter >= killAfter {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("root never reached durable iteration %d", killAfter)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("\n*** SIGKILL the root (durable iteration >= %d); the standby takes over ***\n\n", killAfter)
+	if err := root.Process.Signal(syscall.SIGKILL); err != nil {
+		return err
+	}
+	_ = root.Wait()
+
+	// The standby promotes, finishes the run and prints the params digest —
+	// run the cluster again without the kill to see the same digest.
+	done := make(chan error, 1)
+	go func() { done <- standby.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("standby: %v", err)
+		}
+	case <-time.After(120 * time.Second):
+		return fmt.Errorf("standby never finished")
+	}
+	for _, w := range workerProcs {
+		_ = w.Wait()
+	}
+	fmt.Println("\ncluster run complete: the promoted standby finished the deposed root's job")
 	return nil
+}
+
+// spawn starts a binary with its output line-prefixed onto ours. The child
+// writes into an OS pipe whose read side a goroutine drains; the parent
+// drops its write end right after the fork so the drain sees EOF the moment
+// the child exits.
+func spawn(prefix, bin string, args ...string) (*exec.Cmd, error) {
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = pw
+	cmd.Stderr = pw
+	if err := cmd.Start(); err != nil {
+		pr.Close()
+		pw.Close()
+		return nil, fmt.Errorf("start %s: %w", bin, err)
+	}
+	pw.Close()
+	go func() {
+		defer pr.Close()
+		sc := bufio.NewScanner(pr)
+		for sc.Scan() {
+			fmt.Printf("[%s] %s\n", prefix, sc.Text())
+		}
+	}()
+	return cmd, nil
+}
+
+// freeAddr reserves a loopback port and releases it for a child to bind.
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	defer l.Close()
+	return l.Addr().String(), nil
 }

@@ -27,6 +27,7 @@ import (
 
 	"github.com/hetgc/hetgc/internal/checkpoint"
 	"github.com/hetgc/hetgc/internal/cluster"
+	"github.com/hetgc/hetgc/internal/clustercfg"
 	"github.com/hetgc/hetgc/internal/core"
 	"github.com/hetgc/hetgc/internal/elastic"
 	"github.com/hetgc/hetgc/internal/estimate"
@@ -35,6 +36,7 @@ import (
 	"github.com/hetgc/hetgc/internal/ha"
 	"github.com/hetgc/hetgc/internal/metrics"
 	"github.com/hetgc/hetgc/internal/ml"
+	"github.com/hetgc/hetgc/internal/node"
 	"github.com/hetgc/hetgc/internal/obs"
 	"github.com/hetgc/hetgc/internal/partition"
 	"github.com/hetgc/hetgc/internal/planner"
@@ -638,6 +640,82 @@ func NewTelemetry() *Telemetry { return obs.New() }
 func ServeTelemetry(m *Telemetry, addr string) (*TelemetryServer, error) {
 	return obs.NewServer(addr, m)
 }
+
+// Cluster deployment: the configuration blocks and node assembly behind the
+// standalone gcroot/gcworker binaries. A cluster is described once — a
+// Roster for static discovery plus the composable durability/HA/telemetry
+// blocks — and every process role (training root, warm standby, worker) is
+// assembled from that one ClusterConfig. Workers fetch their training shards
+// from the root's data plane, so a worker machine needs nothing but the
+// roster file and the cluster's (seed, k) pair.
+type (
+	// DurabilityConfig selects checkpointing (journal + snapshots); embedded
+	// by ElasticConfig, ShardedConfig, StandbyConfig and ClusterConfig.
+	DurabilityConfig = clustercfg.DurabilityConfig
+	// HAConfig selects lease-fenced high availability.
+	HAConfig = clustercfg.HAConfig
+	// TelemetryConfig plugs a Telemetry bundle into a runtime.
+	TelemetryConfig = clustercfg.TelemetryConfig
+	// Roster is a cluster's static discovery plan: root address, standby
+	// addresses in promotion order, expected worker count.
+	Roster = node.Roster
+	// ClusterConfig is the single declarative configuration a cluster node
+	// runs from.
+	ClusterConfig = node.ClusterConfig
+	// Workload is the training job a cluster runs (model, optimizer, data).
+	Workload = node.Workload
+	// RootNode is a standalone training root (see StartRoot).
+	RootNode = node.Root
+	// WorkerNodeConfig configures a standalone worker process.
+	WorkerNodeConfig = node.WorkerConfig
+	// ReconnectPolicy bounds a worker's dial retry sequence.
+	ReconnectPolicy = runtime.ReconnectPolicy
+)
+
+// Cluster configuration errors.
+var (
+	// ErrRoster marks an unusable roster file; every instance carries a
+	// remediation hint.
+	ErrRoster = node.ErrRoster
+	// ErrBadNode marks an unusable cluster node configuration.
+	ErrBadNode = node.ErrBadNode
+)
+
+// LoadRoster reads and parses a roster file (TOML or JSON, sniffed by
+// content).
+func LoadRoster(path string) (*Roster, error) { return node.LoadRoster(path) }
+
+// ParseRoster parses a roster from TOML or JSON bytes.
+func ParseRoster(b []byte) (*Roster, error) { return node.ParseRoster(b) }
+
+// DefaultWorkload builds the seed-derived synthetic workload shared by the
+// gcroot/gcworker binaries: the same (seed, k) yields bit-identical data on
+// every machine.
+func DefaultWorkload(seed int64, k int) (*Workload, error) {
+	return node.DefaultWorkload(seed, k)
+}
+
+// StartRoot builds a cluster training root and starts accepting workers.
+func StartRoot(cfg ClusterConfig, resume bool) (*RootNode, error) {
+	return node.StartRoot(cfg, resume)
+}
+
+// RunStandby tails the checkpoint directory until the active root's lease
+// lapses, then promotes and finishes the run. A nil result (with nil error)
+// means stop was closed before promotion.
+func RunStandby(cfg ClusterConfig, stop <-chan struct{}) (*ElasticResult, error) {
+	return node.RunStandby(cfg, stop)
+}
+
+// RunWorkerNode runs the standalone worker loop: resolve the live root,
+// dial, train until the connection drops, re-resolve and rejoin.
+func RunWorkerNode(cfg WorkerNodeConfig, stop <-chan struct{}) error {
+	return node.RunWorker(cfg, stop)
+}
+
+// ParamsDigest returns a short hex digest of a parameter vector, for
+// comparing two runs for bit-identity.
+func ParamsDigest(params []float64) string { return node.ParamsDigest(params) }
 
 // NewRand returns a deterministic rand.Rand for the given seed — the only
 // randomness source the library uses.

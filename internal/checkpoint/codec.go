@@ -43,6 +43,39 @@ func frameRecord(dst, payload []byte) []byte {
 	return append(dst, payload...)
 }
 
+// AppendFrame appends one CRC-framed record to dst — the exact framing the
+// journal uses (uint32 LE payload length, uint32 LE CRC-32 IEEE, payload).
+// Exported for the data plane, so partition payloads on the wire share the
+// checkpoint codec's integrity check.
+func AppendFrame(dst, payload []byte) []byte { return frameRecord(dst, payload) }
+
+// ReadFrame parses one CRC-framed record (as written by AppendFrame) from b,
+// bounding the payload length by max (maxPayload <= 0 selects the journal's
+// own frame cap). It returns the payload and the bytes after the frame;
+// truncation, an absurd length or a CRC mismatch yield an error wrapping
+// ErrCorrupt.
+func ReadFrame(b []byte, maxPayload int) (payload, rest []byte, err error) {
+	if maxPayload <= 0 {
+		maxPayload = maxFrameLen
+	}
+	if len(b) < 8 {
+		return nil, nil, fmt.Errorf("%w: frame header truncated (%d bytes)", ErrCorrupt, len(b))
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	sum := binary.LittleEndian.Uint32(b[4:])
+	if n < 0 || n > maxPayload {
+		return nil, nil, fmt.Errorf("%w: frame length %d exceeds cap %d", ErrCorrupt, n, maxPayload)
+	}
+	if len(b)-8 < n {
+		return nil, nil, fmt.Errorf("%w: frame truncated (%d of %d payload bytes)", ErrCorrupt, len(b)-8, n)
+	}
+	payload = b[8 : 8+n]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, nil, fmt.Errorf("%w: frame CRC mismatch", ErrCorrupt)
+	}
+	return payload, b[8+n:], nil
+}
+
 // reader is a bounds-checked cursor over a decoded payload.
 type reader struct {
 	b []byte

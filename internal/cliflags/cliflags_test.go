@@ -1,0 +1,95 @@
+package cliflags
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func parse(t *testing.T, args ...string) *Cluster {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var c Cluster
+	Register(fs, &c)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return &c
+}
+
+func TestRegisterParsesSharedBlock(t *testing.T) {
+	c := parse(t,
+		"-checkpoint-dir", "/tmp/ckpt",
+		"-snapshot-every", "7",
+		"-lease-ttl", "2s",
+		"-metrics-addr", "127.0.0.1:9090",
+		"-trace")
+	if c.CheckpointDir != "/tmp/ckpt" || c.SnapshotEvery != 7 ||
+		c.LeaseTTL != 2*time.Second || c.MetricsAddr != "127.0.0.1:9090" || !c.Trace {
+		t.Fatalf("parsed block = %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCrossFlagRules(t *testing.T) {
+	if err := parse(t, "-lease-ttl", "-1s").Validate(); err == nil || !strings.Contains(err.Error(), "-lease-ttl") {
+		t.Fatalf("negative ttl: %v", err)
+	}
+	if err := parse(t, "-lease-ttl", "2s").Validate(); err == nil || !strings.Contains(err.Error(), "-checkpoint-dir") {
+		t.Fatalf("lease without dir: %v", err)
+	}
+	if err := parse(t).Validate(); err != nil {
+		t.Fatalf("zero block must validate: %v", err)
+	}
+}
+
+func TestConfigBlocks(t *testing.T) {
+	c := parse(t, "-checkpoint-dir", "/d", "-snapshot-every", "3", "-lease-ttl", "1s")
+	if d := c.Durability(); d.CheckpointDir != "/d" || d.SnapshotEvery != 3 || d.Resume {
+		t.Fatalf("durability block = %+v", d)
+	}
+	if h := c.HA("node-7"); h.LeaseTTL != time.Second || h.Holder != "node-7" {
+		t.Fatalf("ha block = %+v", h)
+	}
+}
+
+func TestStartTelemetryOff(t *testing.T) {
+	m, srv, err := parse(t).StartTelemetry(nil, nil)
+	if m != nil || srv != nil || err != nil {
+		t.Fatalf("zero block telemetry = %v, %v, %v", m, srv, err)
+	}
+}
+
+func TestStartTelemetryTraceOnly(t *testing.T) {
+	m, srv, err := parse(t, "-trace").StartTelemetry(io.Discard, nil)
+	if err != nil || m == nil || srv != nil {
+		t.Fatalf("trace-only telemetry = %v, %v, %v", m, srv, err)
+	}
+}
+
+func TestStartTelemetryServes(t *testing.T) {
+	var status bytes.Buffer
+	m, srv, err := parse(t, "-metrics-addr", "127.0.0.1:0").StartTelemetry(nil, &status)
+	if err != nil || m == nil || srv == nil {
+		t.Fatalf("telemetry = %v, %v, %v", m, srv, err)
+	}
+	defer srv.Close()
+	if !strings.Contains(status.String(), srv.URL()) {
+		t.Fatalf("status banner %q does not name the server", status.String())
+	}
+	resp, err := http.Get(srv.URL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+}

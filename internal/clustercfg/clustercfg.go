@@ -1,0 +1,100 @@
+// Package clustercfg holds the composable configuration blocks shared by
+// every runtime entry point: durability (checkpoint + journal), high
+// availability (lease fencing) and telemetry (the obs registry). Before this
+// package the same six fields were duplicated — with slowly drifting doc
+// comments — across ElasticConfig, the sharded Config, StandbyConfig and both
+// simulator configs. Each run config now embeds these structs; the old flat
+// fields remain as deprecated aliases for one release (see each config's
+// Normalize) so existing composite literals keep compiling unchanged.
+//
+// The package is a leaf: it may import internal/obs and the standard library
+// only, so every runtime, simulator and binary can depend on it without
+// cycles.
+package clustercfg
+
+import (
+	"time"
+
+	"github.com/hetgc/hetgc/internal/obs"
+)
+
+// DurabilityConfig selects checkpointing: a CRC-framed write-ahead journal
+// plus generation-rotated snapshots under CheckpointDir (see
+// internal/checkpoint). The zero value disables durability.
+type DurabilityConfig struct {
+	// CheckpointDir enables durable training state when non-empty: the
+	// journal, snapshots and the HA lease token all live in this directory.
+	CheckpointDir string
+	// SnapshotEvery is the snapshot cadence in iterations (default 10 when
+	// checkpointing is enabled).
+	SnapshotEvery int
+	// Resume restores training state from CheckpointDir instead of starting
+	// fresh. Requires CheckpointDir.
+	Resume bool
+}
+
+// Enabled reports whether durable state is configured.
+func (d DurabilityConfig) Enabled() bool { return d.CheckpointDir != "" }
+
+// Merge fills zero-valued fields from deprecated flat aliases: each alias is
+// copied only when the embedded field is unset, so a config that sets both
+// keeps the embedded (new) value. Returns the merged struct.
+func (d DurabilityConfig) Merge(checkpointDir string, snapshotEvery int, resume bool) DurabilityConfig {
+	if d.CheckpointDir == "" {
+		d.CheckpointDir = checkpointDir
+	}
+	if d.SnapshotEvery == 0 {
+		d.SnapshotEvery = snapshotEvery
+	}
+	if !d.Resume {
+		d.Resume = resume
+	}
+	return d
+}
+
+// HAConfig selects lease-fenced high availability (see internal/ha). The
+// zero value disables the lease.
+type HAConfig struct {
+	// LeaseTTL enables the master lease when > 0: the master acquires and
+	// renews a fencing token under the checkpoint directory, a warm standby
+	// takes over when the token lapses. Requires a checkpoint directory.
+	LeaseTTL time.Duration
+	// Holder names this node in the lease token (default is runtime-specific,
+	// e.g. "master" or "shard-root").
+	Holder string
+}
+
+// Enabled reports whether the HA lease is configured.
+func (h HAConfig) Enabled() bool { return h.LeaseTTL > 0 }
+
+// Merge fills zero-valued fields from deprecated flat aliases (see
+// DurabilityConfig.Merge).
+func (h HAConfig) Merge(leaseTTL time.Duration, holder string) HAConfig {
+	if h.LeaseTTL == 0 {
+		h.LeaseTTL = leaseTTL
+	}
+	if h.Holder == "" {
+		h.Holder = holder
+	}
+	return h
+}
+
+// TelemetryConfig plugs a live metrics registry into a runtime (see
+// internal/obs). The zero value disables telemetry.
+type TelemetryConfig struct {
+	// Obs receives roster, controller, checkpoint, HA and wire metrics plus
+	// control-plane events when non-nil.
+	Obs *obs.Metrics
+}
+
+// Enabled reports whether telemetry is configured.
+func (t TelemetryConfig) Enabled() bool { return t.Obs != nil }
+
+// Merge fills the registry from a deprecated flat alias (see
+// DurabilityConfig.Merge).
+func (t TelemetryConfig) Merge(o *obs.Metrics) TelemetryConfig {
+	if t.Obs == nil {
+		t.Obs = o
+	}
+	return t
+}

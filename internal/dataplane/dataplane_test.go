@@ -1,0 +1,203 @@
+package dataplane
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/checkpoint"
+	"github.com/hetgc/hetgc/internal/ml"
+	"github.com/hetgc/hetgc/internal/transport"
+)
+
+func sampleDataset(t *testing.T, n int) *ml.Dataset {
+	t.Helper()
+	d, err := ml.GaussianMixture(n, 4, 3, 2, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := map[string]*ml.Dataset{
+		"classification": sampleDataset(t, 17),
+		"regression": {
+			Features: [][]float64{{1, 2}, {3, 4}, {5, 6}},
+			Labels:   []float64{0.5, -1.25, 3},
+		},
+		"single sample": {
+			Features: [][]float64{{42}},
+			Labels:   []float64{1},
+			Classes:  2,
+		},
+	}
+	for name, d := range cases {
+		t.Run(name, func(t *testing.T) {
+			blob, err := EncodeDataset(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeDataset(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, d) {
+				t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, d)
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	d := sampleDataset(t, 9)
+	blob, err := EncodeDataset(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := map[string]func([]byte) []byte{
+		"flipped payload bit": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)/2] ^= 0x40
+			return c
+		},
+		"truncated": func(b []byte) []byte { return b[:len(b)-5] },
+		"trailing bytes": func(b []byte) []byte {
+			return append(append([]byte(nil), b...), 0xFF)
+		},
+		"bad magic": func(b []byte) []byte {
+			payload := append([]byte("XXXX\x01"), b[8+len(magic):]...)
+			return checkpoint.AppendFrame(nil, payload)
+		},
+		"header lies about size": func([]byte) []byte {
+			p := []byte(magic)
+			p = append(p, 200, 1, 4, 2) // uvarints: n=328, dim=4, classes=2, no payload
+			return checkpoint.AppendFrame(nil, p)
+		},
+		"empty": func([]byte) []byte { return nil },
+	}
+	for name, fn := range mutate {
+		t.Run(name, func(t *testing.T) {
+			if _, err := DecodeDataset(fn(blob)); !errors.Is(err, checkpoint.ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+func TestSourceCachesEncodedBlobs(t *testing.T) {
+	d := sampleDataset(t, 12)
+	parts, err := d.Split(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	src := NewSource(func(p int) (*ml.Dataset, error) {
+		calls++
+		return parts[p], nil
+	}, 3)
+	for i := 0; i < 4; i++ {
+		b, err := src.Blob(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeDataset(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, parts[1]) {
+			t.Fatal("cached blob decodes to wrong partition")
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("underlying source called %d times, want 1", calls)
+	}
+	if _, err := src.Blob(3); !errors.Is(err, ErrNotServed) {
+		t.Fatalf("out-of-range blob err = %v, want ErrNotServed", err)
+	}
+	if _, err := src.Blob(-1); !errors.Is(err, ErrNotServed) {
+		t.Fatalf("negative blob err = %v, want ErrNotServed", err)
+	}
+}
+
+// serveLoop accepts one connection and serves src on it with a tiny chunk
+// length, forcing multi-chunk transfers.
+func serveLoop(t *testing.T, src *Source) string {
+	t.Helper()
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go Serve(conn, src.Blob, 64)
+		}
+	}()
+	return l.Addr()
+}
+
+func TestClientFetchOverLoopback(t *testing.T) {
+	d := sampleDataset(t, 20)
+	parts, err := d.Split(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSource(func(p int) (*ml.Dataset, error) { return parts[p], nil }, 4)
+	addr := serveLoop(t, src)
+
+	c := NewClient(addr, 2*time.Second)
+	defer c.Close()
+	// Fetch every partition, out of order, some twice (migration re-fetch).
+	for _, p := range []int{2, 0, 3, 1, 2} {
+		got, err := c.Fetch(p)
+		if err != nil {
+			t.Fatalf("fetch %d: %v", p, err)
+		}
+		if !reflect.DeepEqual(got, parts[p]) {
+			t.Fatalf("partition %d round trip mismatch", p)
+		}
+	}
+	if _, err := c.Fetch(9); !errors.Is(err, ErrNotServed) {
+		t.Fatalf("fetch 9 err = %v, want ErrNotServed", err)
+	}
+	// The not-served refusal must not wedge the session.
+	if _, err := c.Fetch(0); err != nil {
+		t.Fatalf("fetch after refusal: %v", err)
+	}
+}
+
+func TestClientRetriesOnFreshConnection(t *testing.T) {
+	d := sampleDataset(t, 8)
+	parts, err := d.Split(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSource(func(p int) (*ml.Dataset, error) { return parts[p], nil }, 2)
+	addr := serveLoop(t, src)
+
+	c := NewClient(addr, 2*time.Second)
+	defer c.Close()
+	if _, err := c.Fetch(0); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the client's connection behind its back; the next fetch must
+	// transparently redial.
+	c.conn.Close()
+	if _, err := c.Fetch(1); err != nil {
+		t.Fatalf("fetch after dropped conn: %v", err)
+	}
+}
+
+func TestSourceK(t *testing.T) {
+	src := NewSource(func(int) (*ml.Dataset, error) { return nil, nil }, 7)
+	if src.K() != 7 {
+		t.Fatalf("K = %d, want 7", src.K())
+	}
+}

@@ -7,12 +7,17 @@ import (
 	"time"
 
 	"github.com/hetgc/hetgc/internal/checkpoint"
+	"github.com/hetgc/hetgc/internal/clustercfg"
 )
 
 // StandbyConfig parameterises a warm standby.
 type StandbyConfig struct {
-	// Dir is the checkpoint directory (journal + snapshots + lease) the
-	// standby tails. Typically shared storage with the active root.
+	// DurabilityConfig names the checkpoint directory (journal + snapshots +
+	// lease) the standby tails — typically shared storage with the active
+	// root. SnapshotEvery and Resume are ignored: the standby only reads.
+	clustercfg.DurabilityConfig
+	// Deprecated: set DurabilityConfig.CheckpointDir. Kept as a flat alias
+	// for one release; when both are set the embedded field wins.
 	Dir string
 	// Poll is the tail/lease polling interval (default 50ms).
 	Poll time.Duration
@@ -51,8 +56,13 @@ type Standby struct {
 	lastIter int
 }
 
-// NewStandby builds a standby over cfg.Dir.
+// NewStandby builds a standby over the configured checkpoint directory
+// (DurabilityConfig.CheckpointDir, or the deprecated Dir alias).
 func NewStandby(cfg StandbyConfig) *Standby {
+	if cfg.CheckpointDir == "" {
+		cfg.CheckpointDir = cfg.Dir
+	}
+	cfg.Dir = cfg.CheckpointDir
 	if cfg.Poll <= 0 {
 		cfg.Poll = 50 * time.Millisecond
 	}

@@ -1,0 +1,44 @@
+// Fuzz coverage for the roster file parser: whatever an operator (or a
+// truncated copy, or a file in the wrong format entirely) feeds ParseRoster,
+// it must either return a roster that passes Validate or an error wrapping
+// ErrRoster — never panic, never hand back a roster the cluster cannot use.
+//
+// CI runs a short -fuzz smoke over this target (make fuzz-smoke); the seed
+// corpus alone also runs as a regular test.
+package node
+
+import (
+	"errors"
+	"testing"
+)
+
+func FuzzRoster(f *testing.F) {
+	seeds := []string{
+		"root = \"10.0.0.1:7000\"\nstandbys = [\"10.0.0.2:7000\"]\nworkers = 4\n",
+		"# comment only\n",
+		"root = \"h:1\"\nworkers = 2\n",
+		`{"root": "127.0.0.1:9000", "standbys": ["127.0.0.1:9001"], "workers": 2}`,
+		`{"root": 3}`,
+		"[section]\n",
+		"root = h:1",
+		"standbys = [\"a\",]",
+		"workers = 99999999999999999999",
+		"root = \"h:1\" # trailing\nworkers = 1\n",
+		"\x00\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := ParseRoster(data)
+		if err != nil {
+			if !errors.Is(err, ErrRoster) {
+				t.Fatalf("error %v does not wrap ErrRoster", err)
+			}
+			return
+		}
+		if verr := r.Validate(); verr != nil {
+			t.Fatalf("ParseRoster returned an invalid roster %+v: %v", r, verr)
+		}
+	})
+}

@@ -1,0 +1,247 @@
+package node
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/checkpoint"
+	"github.com/hetgc/hetgc/internal/clustercfg"
+)
+
+// clusterConfig builds a pinned-deterministic cluster config over dir.
+func clusterConfig(dir string, workers, iters int) ClusterConfig {
+	return ClusterConfig{
+		Roster:       Roster{Root: "127.0.0.1:1", Workers: workers}, // placeholder; tests dial real addrs
+		Listen:       "127.0.0.1:0",
+		K:            8,
+		S:            0,
+		Iterations:   iters,
+		Seed:         5,
+		IterTimeout:  20 * time.Second,
+		PinEstimates: true,
+		DurabilityConfig: clustercfg.DurabilityConfig{
+			CheckpointDir: dir,
+			SnapshotEvery: 4,
+		},
+		HAConfig: clustercfg.HAConfig{LeaseTTL: 300 * time.Millisecond},
+	}
+}
+
+// spawnWorkers starts n RunWorker loops resolving the root via the lease
+// token in dir.
+func spawnWorkers(t *testing.T, n int, rootAddr, dir string, stop chan struct{}, wg *sync.WaitGroup) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = RunWorker(WorkerConfig{
+				Roster:        Roster{Root: rootAddr, Workers: n},
+				K:             8,
+				Seed:          5,
+				CheckpointDir: dir,
+				DialTimeout:   500 * time.Millisecond,
+				Delay:         func(int) time.Duration { return 10 * time.Millisecond },
+			}, stop)
+		}()
+	}
+}
+
+// runUninterrupted trains the cluster to completion with no faults and
+// returns the final parameters.
+func runUninterrupted(t *testing.T, workers, iters int) []float64 {
+	t.Helper()
+	dir := t.TempDir()
+	root, err := StartRoot(clusterConfig(dir, workers, iters), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	spawnWorkers(t, workers, root.Addr(), dir, stop, &wg)
+	res, err := root.Run(15 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	return res.Params
+}
+
+// TestClusterFailoverBitIdentical is the node-level dress rehearsal of the
+// process e2e: a root trains with wire-served shards, dies cold mid-run, a
+// standby promotes and finishes — and the final parameters are bit-identical
+// to an uninterrupted run of the same config.
+func TestClusterFailoverBitIdentical(t *testing.T) {
+	const workers, iters, killAfter = 4, 24, 8
+
+	baseline := runUninterrupted(t, workers, iters)
+
+	dir := t.TempDir()
+	cfg := clusterConfig(dir, workers, iters)
+	root, err := StartRoot(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	spawnWorkers(t, workers, root.Addr(), dir, stop, &wg)
+
+	// The standby tails the same directory and takes over on lease lapse.
+	sbCfg := cfg
+	sbCfg.Holder = "standby-1"
+	type sbResult struct {
+		params []float64
+		start  int
+		err    error
+	}
+	sbCh := make(chan sbResult, 1)
+	go func() {
+		res, err := RunStandby(sbCfg, nil)
+		if err != nil {
+			sbCh <- sbResult{err: err}
+			return
+		}
+		sbCh <- sbResult{params: res.Params, start: res.StartIter}
+	}()
+
+	go func() { _, _ = root.Run(15 * time.Second) }()
+
+	// Kill the root cold once iteration killAfter is durable.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := checkpoint.Recover(dir)
+		if err == nil && st.LastIter >= killAfter {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("root never reached the kill iteration")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	root.Close()
+
+	var sb sbResult
+	select {
+	case sb = <-sbCh:
+	case <-time.After(60 * time.Second):
+		t.Fatal("standby never finished")
+	}
+	if sb.err != nil {
+		t.Fatal(sb.err)
+	}
+	if sb.start == 0 {
+		t.Fatal("standby resumed at iteration 0 — it trained from scratch instead of promoting")
+	}
+	close(stop)
+	wg.Wait()
+
+	if len(sb.params) != len(baseline) {
+		t.Fatalf("param dims differ: %d vs %d", len(sb.params), len(baseline))
+	}
+	for i := range baseline {
+		if sb.params[i] != baseline[i] {
+			t.Fatalf("param %d differs after failover: %v vs %v", i, sb.params[i], baseline[i])
+		}
+	}
+}
+
+func TestStartRootValidation(t *testing.T) {
+	cases := []func(*ClusterConfig){
+		func(c *ClusterConfig) { c.Roster.Workers = 0 },
+		func(c *ClusterConfig) { c.K = 0 },
+		func(c *ClusterConfig) { c.Iterations = 0 },
+		func(c *ClusterConfig) { c.CheckpointDir = "" },
+		func(c *ClusterConfig) { c.LeaseTTL = 0 },
+	}
+	for i, mutate := range cases {
+		cfg := clusterConfig(t.TempDir(), 2, 4)
+		mutate(&cfg)
+		if _, err := StartRoot(cfg, false); err == nil {
+			t.Fatalf("case %d: StartRoot accepted invalid config", i)
+		}
+	}
+}
+
+func TestRunWorkerValidation(t *testing.T) {
+	if err := RunWorker(WorkerConfig{}, nil); !errors.Is(err, ErrRoster) {
+		t.Fatalf("empty config err = %v, want ErrRoster", err)
+	}
+	err := RunWorker(WorkerConfig{Roster: Roster{Root: "127.0.0.1:1", Workers: 1}}, nil)
+	if !errors.Is(err, ErrBadNode) {
+		t.Fatalf("missing K err = %v, want ErrBadNode", err)
+	}
+	// A roster of dead addresses with bounded cycles fails with the dial
+	// error instead of spinning forever.
+	err = RunWorker(WorkerConfig{
+		Roster:      Roster{Root: "127.0.0.1:1", Workers: 1},
+		K:           4,
+		MaxCycles:   2,
+		DialTimeout: 100 * time.Millisecond,
+	}, nil)
+	if err == nil {
+		t.Fatal("worker with unreachable roster returned nil")
+	}
+}
+
+func TestElasticConfigAssembly(t *testing.T) {
+	cfg := clusterConfig(t.TempDir(), 3, 12)
+	ec, err := cfg.ElasticConfig(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec.K != 8 || ec.S != 0 || ec.Iterations != 12 || ec.MinWorkers != 3 || ec.Seed != 5 {
+		t.Fatalf("assembled config = %+v", ec)
+	}
+	if ec.MinObservations != 1<<30 {
+		t.Fatalf("pinned estimates not applied: MinObservations = %d", ec.MinObservations)
+	}
+	if ec.DurabilityConfig.CheckpointDir != cfg.CheckpointDir || ec.DurabilityConfig.Resume {
+		t.Fatalf("durability block not threaded: dir=%q resume=%v",
+			ec.DurabilityConfig.CheckpointDir, ec.DurabilityConfig.Resume)
+	}
+	if rec, err := cfg.ElasticConfig(true); err != nil || !rec.DurabilityConfig.Resume {
+		t.Fatalf("resume not threaded: %+v, %v", rec.DurabilityConfig, err)
+	}
+	if ec.PartitionSource == nil {
+		t.Fatal("workload partitions not wired into PartitionSource")
+	}
+	if _, err := cfg.ElasticConfig(true); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.K = -1
+	if _, err := bad.ElasticConfig(false); !errors.Is(err, ErrBadNode) {
+		t.Fatalf("invalid config err = %v, want ErrBadNode", err)
+	}
+}
+
+func TestParamsDigestStableAndDiscriminating(t *testing.T) {
+	a := ParamsDigest([]float64{1, 2, 3})
+	if b := ParamsDigest([]float64{1, 2, 3}); b != a {
+		t.Fatalf("digest not deterministic: %s vs %s", a, b)
+	}
+	if len(a) != 16 {
+		t.Fatalf("digest %q is not 8 hex bytes", a)
+	}
+	if ParamsDigest([]float64{1, 2, 3.0000000001}) == a {
+		t.Fatal("digest ignores a params perturbation")
+	}
+}
+
+func TestStartIterFreshRoot(t *testing.T) {
+	cfg := clusterConfig(t.TempDir(), 1, 4)
+	root, err := StartRoot(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer root.Close()
+	if it := root.StartIter(); it != 0 {
+		t.Fatalf("fresh root StartIter = %d, want 0", it)
+	}
+	if root.Addr() == "" {
+		t.Fatal("root has no listen address")
+	}
+}

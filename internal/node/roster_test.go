@@ -1,0 +1,121 @@
+package node
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseRosterTOML(t *testing.T) {
+	in := `
+# three-machine quickstart
+root = "10.0.0.1:7000"
+standbys = ["10.0.0.2:7000", "10.0.0.3:7000"] # promotion order
+workers = 4
+`
+	r, err := ParseRoster([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Roster{
+		Root:     "10.0.0.1:7000",
+		Standbys: []string{"10.0.0.2:7000", "10.0.0.3:7000"},
+		Workers:  4,
+	}
+	if !reflect.DeepEqual(r, want) {
+		t.Fatalf("roster = %+v, want %+v", r, want)
+	}
+	if got := r.Addrs(); len(got) != 3 || got[0] != want.Root {
+		t.Fatalf("Addrs() = %v", got)
+	}
+}
+
+func TestParseRosterJSON(t *testing.T) {
+	in := `{"root": "127.0.0.1:9000", "standbys": ["127.0.0.1:9001"], "workers": 2}`
+	r, err := ParseRoster([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Root != "127.0.0.1:9000" || len(r.Standbys) != 1 || r.Workers != 2 {
+		t.Fatalf("roster = %+v", r)
+	}
+}
+
+func TestParseRosterNoStandbys(t *testing.T) {
+	r, err := ParseRoster([]byte("root = \"127.0.0.1:9000\"\nworkers = 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Standbys) != 0 {
+		t.Fatalf("standbys = %v", r.Standbys)
+	}
+}
+
+func TestParseRosterErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		hint string // remediation text the error must carry
+	}{
+		{"empty file", "", "no root address"},
+		{"missing root", `workers = 4`, "no root address"},
+		{"zero workers", "root = \"h:1\"\nworkers = 0", "must be positive"},
+		{"negative workers", "root = \"h:1\"\nworkers = -2", "must be positive"},
+		{"missing workers", `root = "h:1"`, "must be positive"},
+		{"duplicate addr", "root = \"h:1\"\nstandbys = [\"h:1\"]\nworkers = 2", "listed twice"},
+		{"duplicate standby", "root = \"h:1\"\nstandbys = [\"h:2\", \"h:2\"]\nworkers = 2", "listed twice"},
+		{"no port", "root = \"justahost\"\nworkers = 2", "host:port"},
+		{"unknown key", "root = \"h:1\"\nworkers = 2\nworker_count = 3", "unknown key"},
+		{"section header", "[cluster]\nroot = \"h:1\"", "no sections"},
+		{"unquoted string", "root = h:1\nworkers = 2", "quoted string"},
+		{"bad array", "root = \"h:1\"\nstandbys = \"h:2\"\nworkers = 2", "array"},
+		{"trailing comma", "root = \"h:1\"\nstandbys = [\"h:2\",]\nworkers = 2", "empty element"},
+		{"non-integer workers", "root = \"h:1\"\nworkers = \"four\"", "integer"},
+		{"duplicate key", "root = \"h:1\"\nroot = \"h:2\"\nworkers = 2", "set twice"},
+		{"no equals", "root \"h:1\"\nworkers = 2", "key = value"},
+		{"malformed json", `{"root": }`, "bad JSON"},
+		{"unknown json key", `{"root": "h:1", "workers": 2, "standby": []}`, "bad JSON"},
+		{"json trailing content", `{"root": "h:1", "workers": 2} extra`, "trailing content"},
+		{"json zero workers", `{"root": "h:1", "workers": 0}`, "must be positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseRoster([]byte(tc.in))
+			if !errors.Is(err, ErrRoster) {
+				t.Fatalf("err = %v, want ErrRoster", err)
+			}
+			if !strings.Contains(err.Error(), tc.hint) {
+				t.Fatalf("error %q lacks remediation hint %q", err, tc.hint)
+			}
+		})
+	}
+}
+
+func TestLoadRoster(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "roster.toml")
+	if err := os.WriteFile(path, []byte("root = \"127.0.0.1:9000\"\nworkers = 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadRoster(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workers != 3 {
+		t.Fatalf("roster = %+v", r)
+	}
+	if _, err := LoadRoster(filepath.Join(dir, "absent.toml")); !errors.Is(err, ErrRoster) {
+		t.Fatalf("missing file err = %v, want ErrRoster", err)
+	}
+	// The path shows up in parse failures so the operator knows which file.
+	bad := filepath.Join(dir, "bad.toml")
+	if err := os.WriteFile(bad, []byte("gibberish"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRoster(bad); err == nil || !strings.Contains(err.Error(), "bad.toml") {
+		t.Fatalf("parse error %v does not name the file", err)
+	}
+}

@@ -1,0 +1,87 @@
+package roster
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/dataplane"
+	"github.com/hetgc/hetgc/internal/ml"
+)
+
+func TestDataPlaneSessionServesPartitions(t *testing.T) {
+	d, err := ml.GaussianMixture(24, 5, 3, 2, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := d.Split(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := dataplane.NewSource(func(p int) (*ml.Dataset, error) { return parts[p], nil }, 4)
+	eng, _ := newTestEngine(t, 4, 1, func(c *Config) {
+		c.PartitionBlob = src.Blob
+		c.PartitionChunkLen = 128 // force multi-chunk transfers
+	})
+
+	// A control-plane worker joins on the same listener the data plane uses.
+	conn, id := dialJoin(t, eng.Addr(), 0)
+	defer conn.Close()
+	if id <= 0 {
+		t.Fatalf("join assigned id %d", id)
+	}
+
+	c := dataplane.NewClient(eng.Addr(), 2*time.Second)
+	defer c.Close()
+	for _, p := range []int{3, 0, 3} {
+		got, err := c.Fetch(p)
+		if err != nil {
+			t.Fatalf("fetch %d: %v", p, err)
+		}
+		if !reflect.DeepEqual(got, parts[p]) {
+			t.Fatalf("partition %d mismatch", p)
+		}
+	}
+	if _, err := c.Fetch(11); !errors.Is(err, dataplane.ErrNotServed) {
+		t.Fatalf("out-of-range fetch err = %v, want ErrNotServed", err)
+	}
+	if got := eng.PartitionsServed(); got != 3 {
+		t.Fatalf("PartitionsServed = %d, want 3", got)
+	}
+	// The data session never became a member.
+	if eng.AliveCount() != 1 {
+		t.Fatalf("alive members = %d, want 1", eng.AliveCount())
+	}
+}
+
+func TestDataPlaneWithoutSourceRefuses(t *testing.T) {
+	eng, _ := newTestEngine(t, 4, 1, nil)
+	c := dataplane.NewClient(eng.Addr(), 2*time.Second)
+	defer c.Close()
+	if _, err := c.Fetch(0); !errors.Is(err, dataplane.ErrNotServed) {
+		t.Fatalf("fetch err = %v, want ErrNotServed", err)
+	}
+}
+
+func TestShutdownClosesDataSessions(t *testing.T) {
+	eng, _ := newTestEngine(t, 4, 1, func(c *Config) {
+		c.PartitionBlob = func(int) ([]byte, error) { return nil, errors.New("none") }
+	})
+	c := dataplane.NewClient(eng.Addr(), 2*time.Second)
+	defer c.Close()
+	if _, err := c.Fetch(0); !errors.Is(err, dataplane.ErrNotServed) {
+		t.Fatalf("fetch err = %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		eng.Shutdown(false)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown hung on a live data-plane session")
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/hetgc/hetgc/internal/dataplane"
 	"github.com/hetgc/hetgc/internal/elastic"
 	"github.com/hetgc/hetgc/internal/grad"
 	"github.com/hetgc/hetgc/internal/obs"
@@ -100,6 +101,17 @@ type Config struct {
 	// deposed root can never decode into the new root's model. Zero
 	// disables root-generation fencing (legacy single-root operation).
 	RootGen int
+	// PartitionBlob, when non-nil, enables the engine's data plane: a
+	// connection whose FIRST frame is MsgPartitionReq never joins the
+	// membership — it becomes a dedicated data-plane session answering
+	// partition requests with PartitionBlob's encoded shards (see
+	// internal/dataplane) until the peer hangs up. With a nil hook the
+	// session protocol still works but every request gets the not-served
+	// marker, so a misconfigured worker fails loudly instead of hanging.
+	PartitionBlob func(p int) ([]byte, error)
+	// PartitionChunkLen is the wire chunk size for partition blobs
+	// (0 selects dataplane.DefaultChunkLen).
+	PartitionChunkLen int
 	// Obs, when non-nil, receives live telemetry: member counts,
 	// join/death/rejoin events, fencing rejections mirroring Stats
 	// field-for-field, per-member throughput estimates and replan events.
@@ -181,6 +193,10 @@ type Engine struct {
 	deaths  int
 	joinSeq int
 
+	// Data-plane sessions (connections that never joined the membership).
+	dataConns   map[*transport.Conn]struct{}
+	partsServed int
+
 	joined    chan struct{} // signalled on every successful join
 	stop      chan struct{}
 	readers   sync.WaitGroup
@@ -210,13 +226,14 @@ func New(cfg Config, lis *transport.Listener) (*Engine, error) {
 		cfg.InboxSize = 64
 	}
 	e := &Engine{
-		cfg:     cfg,
-		lis:     lis,
-		inbox:   make(chan msg, cfg.InboxSize),
-		members: make(map[int]*member),
-		nextID:  1, // IDs start at 1 so a zero ResumeID means "new worker"
-		joined:  make(chan struct{}, 1),
-		stop:    make(chan struct{}),
+		cfg:       cfg,
+		lis:       lis,
+		inbox:     make(chan msg, cfg.InboxSize),
+		members:   make(map[int]*member),
+		nextID:    1, // IDs start at 1 so a zero ResumeID means "new worker"
+		dataConns: make(map[*transport.Conn]struct{}),
+		joined:    make(chan struct{}, 1),
+		stop:      make(chan struct{}),
 	}
 	for _, id := range cfg.Recovered {
 		if id <= 0 {
@@ -293,14 +310,24 @@ func (e *Engine) acceptLoop() {
 	}
 }
 
-// handshake reads the hello, resolves the member identity (fresh join or
-// rejoin) and registers the member with the control plane. The registration
-// and the hello ack happen under the roster lock, serialising the ack with
-// Shutdown's sweep — the connection never has two concurrent writers.
+// handshake reads the first frame and routes the connection: a hello enters
+// the membership handshake (fresh join or rejoin, registered with the control
+// plane); a partition request makes this a data-plane session for its whole
+// lifetime. The registration and the hello ack happen under the roster lock,
+// serialising the ack with Shutdown's sweep — the connection never has two
+// concurrent writers.
 func (e *Engine) handshake(conn *transport.Conn) {
 	_ = conn.SetDeadline(time.Now().Add(e.cfg.HandshakeTimeout))
-	hello, err := ReadHello(conn)
+	hello, err := conn.Recv()
 	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	if hello.Type == transport.MsgPartitionReq {
+		e.serveData(conn, hello)
+		return
+	}
+	if err := validateHello(hello); err != nil {
 		_ = conn.Close()
 		return
 	}
@@ -363,6 +390,51 @@ func (e *Engine) handshake(conn *transport.Conn) {
 
 	e.readers.Add(1)
 	go e.readLoop(id, gen, conn)
+}
+
+// serveData runs a data-plane session: the connection opened with a
+// partition request (already in hand as first) answers requests until the
+// peer hangs up or Shutdown closes the conn. It runs inside the handshake
+// goroutine, so Shutdown's accept.Wait also waits for data sessions — which
+// is why Shutdown closes the tracked conns before waiting.
+func (e *Engine) serveData(conn *transport.Conn, first *transport.Envelope) {
+	_ = conn.SetDeadline(time.Time{})
+	e.mu.Lock()
+	e.dataConns[conn] = struct{}{}
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.dataConns, conn)
+		e.mu.Unlock()
+		_ = conn.Close()
+	}()
+	blob := e.cfg.PartitionBlob
+	if blob == nil {
+		blob = func(p int) ([]byte, error) {
+			return nil, fmt.Errorf("%w: engine has no partition source", dataplane.ErrNotServed)
+		}
+	}
+	counted := func(p int) ([]byte, error) {
+		b, err := blob(p)
+		if err == nil {
+			e.mu.Lock()
+			e.partsServed++
+			e.mu.Unlock()
+		}
+		return b, err
+	}
+	if err := dataplane.Answer(conn, first, counted, e.cfg.PartitionChunkLen); err != nil {
+		return
+	}
+	_ = dataplane.Serve(conn, counted, e.cfg.PartitionChunkLen)
+}
+
+// PartitionsServed returns the number of partition blobs delivered over the
+// engine's data plane (not-served refusals excluded).
+func (e *Engine) PartitionsServed() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.partsServed
 }
 
 // readLoop feeds one connection generation's frames into the shared inbox.
@@ -781,6 +853,13 @@ func (e *Engine) Shutdown(graceful bool) {
 		}
 		e.mu.Unlock()
 		_ = e.lis.Close()
+		// Data-plane sessions run inside handshake goroutines; close their
+		// conns so accept.Wait below cannot deadlock on a live session.
+		e.mu.Lock()
+		for conn := range e.dataConns {
+			_ = conn.Close()
+		}
+		e.mu.Unlock()
 		e.accept.Wait()
 		// Close conns registered by handshakes that raced the sweep above,
 		// so every reader goroutine unblocks. (Checkpoint-recovered members

@@ -25,7 +25,9 @@ import (
 	"time"
 
 	"github.com/hetgc/hetgc/internal/checkpoint"
+	"github.com/hetgc/hetgc/internal/clustercfg"
 	"github.com/hetgc/hetgc/internal/core"
+	"github.com/hetgc/hetgc/internal/dataplane"
 	"github.com/hetgc/hetgc/internal/elastic"
 	"github.com/hetgc/hetgc/internal/grad"
 	"github.com/hetgc/hetgc/internal/ha"
@@ -74,36 +76,68 @@ type ElasticConfig struct {
 	MaxRetries int
 	// Seed drives strategy construction — fixed seed, reproducible plans.
 	Seed int64
-	// CheckpointDir, when non-empty, makes training state durable: every
-	// migration, iteration and membership event is journaled there and the
-	// model is snapshotted every SnapshotEvery iterations. A fresh run
-	// refuses a directory that already holds checkpoint state
-	// (checkpoint.ErrExists) — resuming it must be explicit.
+	// PartitionSource, when non-nil, turns the master into the data plane:
+	// workers that dial with no local PartitionData fetch their shards over
+	// the wire (MsgPartitionReq/MsgPartition, CRC-framed), and the master
+	// answers partition p with PartitionSource(p). Nil keeps the in-process
+	// behavior where every worker must carry its own PartitionData.
+	PartitionSource func(p int) (*ml.Dataset, error)
+
+	// The composable cluster blocks (see internal/clustercfg). Durability:
+	// a non-empty CheckpointDir makes training state durable — every
+	// migration, iteration and membership event is journaled there, the model
+	// is snapshotted every SnapshotEvery iterations (default 10), a fresh run
+	// refuses a directory that already holds state (checkpoint.ErrExists),
+	// and Resume instead constructs the master from the recovered state:
+	// parameters, optimizer state and iteration counter from the newest
+	// decodable snapshot; member IDs reserved so workers rejoin their old
+	// identities via ResumeID; and the plan epoch base raised above every
+	// epoch the journal ever recorded, so gradient uploads encoded before the
+	// crash are fenced before decode. HA: a positive LeaseTTL puts the master
+	// under the root lease in CheckpointDir — construction acquires the next
+	// lease generation (publishing the master's address in the token for
+	// discovery), a background loop renews it, every broadcast and upload
+	// carries the generation, and journal writes are refused once the lease
+	// is lost: a deposed master fails typed with ha.ErrFenced while the new
+	// holder trains on (Holder defaults to "elastic-root"). Telemetry: a
+	// non-nil Obs attaches the live telemetry plane — per-iteration phase
+	// traces, roster/controller/checkpoint/lease metrics and the structured
+	// event journal (serve it with obs.Metrics.Serve).
+	clustercfg.DurabilityConfig
+	clustercfg.HAConfig
+	clustercfg.TelemetryConfig
+
+	// Deprecated: flat aliases for the embedded cluster blocks above, kept
+	// for one release so existing composite literals compile unchanged. Set
+	// DurabilityConfig.CheckpointDir (etc.) instead; when both views are set
+	// the embedded field wins. normalize merges and mirrors them, so reads
+	// through either view agree everywhere past the constructor.
 	CheckpointDir string
-	// SnapshotEvery is the snapshot cadence in iterations (default 10).
+	// Deprecated: set DurabilityConfig.SnapshotEvery.
 	SnapshotEvery int
-	// Resume constructs the master from the state recovered out of
-	// CheckpointDir: parameters, optimizer state and iteration counter from
-	// the newest decodable snapshot; member IDs reserved so workers rejoin
-	// their old identities via ResumeID; and the plan epoch base raised
-	// above every epoch the journal ever recorded, so gradient uploads
-	// encoded before the crash are fenced before decode.
+	// Deprecated: set DurabilityConfig.Resume.
 	Resume bool
-	// LeaseTTL, when positive, puts the master under the HA root lease in
-	// CheckpointDir: construction acquires the next lease generation
-	// (publishing the master's address in the token for discovery), a
-	// background loop renews it, every broadcast and upload carries the
-	// generation, and journal writes are refused once the lease is lost —
-	// a deposed master fails typed with ha.ErrFenced while the new holder
-	// trains on. Requires CheckpointDir.
+	// Deprecated: set HAConfig.LeaseTTL.
 	LeaseTTL time.Duration
-	// Holder names this master in the lease token (default "elastic-root").
+	// Deprecated: set HAConfig.Holder.
 	Holder string
-	// Obs, when non-nil, attaches the live telemetry plane: per-iteration
-	// phase traces, roster/controller/checkpoint/lease metrics and the
-	// structured event journal all feed this bundle (serve it with
-	// obs.Metrics.Serve). Nil disables instrumentation.
+	// Deprecated: set TelemetryConfig.Obs.
 	Obs *obs.Metrics
+}
+
+// normalize merges the deprecated flat aliases into the embedded cluster
+// blocks (the embedded field wins when both are set) and mirrors the merged
+// values back onto the aliases, so internal reads through either view agree.
+func (c *ElasticConfig) normalize() {
+	c.DurabilityConfig = c.DurabilityConfig.Merge(c.CheckpointDir, c.SnapshotEvery, c.Resume)
+	c.HAConfig = c.HAConfig.Merge(c.LeaseTTL, c.Holder)
+	c.TelemetryConfig = c.TelemetryConfig.Merge(c.Obs)
+	c.CheckpointDir = c.DurabilityConfig.CheckpointDir
+	c.SnapshotEvery = c.DurabilityConfig.SnapshotEvery
+	c.Resume = c.DurabilityConfig.Resume
+	c.LeaseTTL = c.HAConfig.LeaseTTL
+	c.Holder = c.HAConfig.Holder
+	c.Obs = c.TelemetryConfig.Obs
 }
 
 func (c *ElasticConfig) validate() error {
@@ -216,11 +250,13 @@ type ElasticMaster struct {
 // Recovery failures are typed: checkpoint.ErrNoCheckpoint when the
 // directory holds no state, checkpoint.ErrCorrupt when no snapshot decodes.
 func NewElasticMaster(cfg ElasticConfig, addr string) (*ElasticMaster, error) {
+	cfg.normalize()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	if cfg.CheckpointDir != "" && cfg.SnapshotEvery <= 0 {
 		cfg.SnapshotEvery = 10
+		cfg.DurabilityConfig.SnapshotEvery = 10
 	}
 	ctrl, err := elastic.NewController(elastic.Config{
 		K: cfg.K, S: cfg.S, Scheme: cfg.Scheme,
@@ -315,6 +351,12 @@ func NewElasticMaster(cfg ElasticConfig, addr string) (*ElasticMaster, error) {
 	}
 	if ma.lease != nil {
 		rcfg.RootGen = ma.lease.Gen()
+	}
+	if cfg.PartitionSource != nil {
+		// The master doubles as the data plane: remote workers fetch their
+		// shards from the same address they dial for the control plane
+		// (first-frame routing in the roster engine keeps the two apart).
+		rcfg.PartitionBlob = dataplane.NewSource(cfg.PartitionSource, cfg.K).Blob
 	}
 	eng, err := roster.New(rcfg, l)
 	if err != nil {

@@ -4,10 +4,52 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/hetgc/hetgc/internal/dataplane"
 	"github.com/hetgc/hetgc/internal/grad"
 	"github.com/hetgc/hetgc/internal/ml"
 	"github.com/hetgc/hetgc/internal/transport"
 )
+
+// ReconnectPolicy bounds a worker's dial attempts against a master that is
+// not (yet) reachable — a root still starting up, or briefly gone during a
+// failover. The zero value is exactly the historic behavior: one attempt,
+// no redial.
+type ReconnectPolicy struct {
+	// MaxAttempts is the total number of dial attempts; 0 or 1 means a
+	// single attempt (no redial).
+	MaxAttempts int
+	// Backoff is the wait after a failed attempt, doubling per retry.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling; 0 caps it at 8× Backoff.
+	MaxBackoff time.Duration
+}
+
+// attempts returns the effective total attempt count.
+func (p ReconnectPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// wait returns the backoff before retry number n (1-based).
+func (p ReconnectPolicy) wait(n int) time.Duration {
+	if p.Backoff <= 0 {
+		return 0
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = 8 * p.Backoff
+	}
+	d := p.Backoff
+	for i := 1; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
 
 // ElasticWorkerConfig configures one elastic worker process.
 type ElasticWorkerConfig struct {
@@ -15,7 +57,11 @@ type ElasticWorkerConfig struct {
 	Model ml.Model
 	// PartitionData returns the dataset shard for a global partition index.
 	// Shards are cached across migrations, so a reassignment only fetches
-	// partitions the worker has not held before.
+	// partitions the worker has not held before. Nil means the worker has no
+	// local data at all: it fetches shards over the master's data plane
+	// (MsgPartitionReq/MsgPartition against the same address it dialed) —
+	// the multi-machine deployment mode, where only the root holds the
+	// dataset.
 	PartitionData func(partition int) (*ml.Dataset, error)
 	// Delay, when non-nil, injects an artificial extra delay per iteration —
 	// the fault-simulation hook.
@@ -32,6 +78,9 @@ type ElasticWorkerConfig struct {
 	// the reconnect handshake after a connection loss. Zero requests a fresh
 	// membership.
 	ResumeID int
+	// Reconnect governs dial retries. The zero value preserves the historic
+	// no-redial behavior: one attempt, fail fast.
+	Reconnect ReconnectPolicy
 }
 
 // ElasticWorker is a connected elastic worker: it survives strategy
@@ -39,7 +88,8 @@ type ElasticWorkerConfig struct {
 type ElasticWorker struct {
 	cfg    ElasticWorkerConfig
 	conn   *transport.Conn
-	id     int // stable member ID assigned by the master
+	dp     *dataplane.Client // wire shard fetcher (nil with local PartitionData)
+	id     int               // stable member ID assigned by the master
 	epoch  int
 	assign *transport.Assignment
 	parts  []*ml.Dataset
@@ -47,12 +97,30 @@ type ElasticWorker struct {
 }
 
 // DialElasticWorker connects to an elastic master and performs the
-// hello/ack handshake. The worker has no assignment until the master's
-// first MsgReassign arrives (in Run).
+// hello/ack handshake, retrying per cfg.Reconnect when the master is not
+// reachable. The worker has no assignment until the master's first
+// MsgReassign arrives (in Run). With a nil PartitionData the worker fetches
+// shards over the master's data plane at the same address.
 func DialElasticWorker(addr string, cfg ElasticWorkerConfig) (*ElasticWorker, error) {
-	if cfg.Model == nil || cfg.PartitionData == nil {
-		return nil, fmt.Errorf("%w: worker needs model and partition data", ErrBadConfig)
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("%w: worker needs a model", ErrBadConfig)
 	}
+	var lastErr error
+	for attempt := 1; attempt <= cfg.Reconnect.attempts(); attempt++ {
+		if attempt > 1 {
+			time.Sleep(cfg.Reconnect.wait(attempt - 1))
+		}
+		w, err := dialElasticOnce(addr, cfg)
+		if err == nil {
+			return w, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// dialElasticOnce performs one dial + handshake attempt.
+func dialElasticOnce(addr string, cfg ElasticWorkerConfig) (*ElasticWorker, error) {
 	timeout := cfg.DialTimeout
 	if timeout <= 0 {
 		timeout = 10 * time.Second
@@ -78,13 +146,21 @@ func DialElasticWorker(addr string, cfg ElasticWorkerConfig) (*ElasticWorker, er
 		_ = conn.Close()
 		return nil, fmt.Errorf("%w: expected hello ack, got %v", ErrBadConfig, ack.Type)
 	}
-	return &ElasticWorker{
+	w := &ElasticWorker{
 		cfg:   cfg,
 		conn:  conn,
 		id:    ack.WorkerID,
 		epoch: -1,
 		cache: make(map[int]*ml.Dataset),
-	}, nil
+	}
+	if w.cfg.PartitionData == nil {
+		// No local data: shards come over the wire from the master's data
+		// plane. The per-partition cache above makes a migration fetch only
+		// the shards this worker never held.
+		w.dp = dataplane.NewClient(addr, timeout)
+		w.cfg.PartitionData = w.dp.Fetch
+	}
+	return w, nil
 }
 
 // ID returns the stable member ID the master assigned — pass it as ResumeID
@@ -96,14 +172,19 @@ func (w *ElasticWorker) ID() int { return w.id }
 func (w *ElasticWorker) Epoch() int { return w.epoch }
 
 // Close terminates the connection (used to script worker deaths in tests).
-func (w *ElasticWorker) Close() error { return w.conn.Close() }
+func (w *ElasticWorker) Close() error {
+	if w.dp != nil {
+		_ = w.dp.Close()
+	}
+	return w.conn.Close()
+}
 
 // Run processes reassignments and parameter broadcasts until shutdown or
 // connection loss. For every iteration it computes the coded gradient of its
 // current assignment, uploads it tagged with the assignment's epoch, then
 // uploads a telemetry report (compute seconds, partitions processed).
 func (w *ElasticWorker) Run() error {
-	defer w.conn.Close()
+	defer w.Close()
 	for {
 		env, err := w.conn.Recv()
 		if err != nil {

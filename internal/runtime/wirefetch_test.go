@@ -1,0 +1,165 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/ml"
+)
+
+// TestElasticWireFetchedShards runs a full elastic training where no worker
+// holds local data: every shard travels over the master's data plane. The
+// result must be bit-identical to the same run with local partitions —
+// decode is exact, so the data path must not perturb a single bit. The run
+// is pinned deterministic: s=0 makes every slot's upload part of the decode
+// set, and huge MinObservations/DriftThreshold freeze the planner on the
+// seeded initial strategy, so both runs sum identical floats in identical
+// order.
+func TestElasticWireFetchedShards(t *testing.T) {
+	const k, s, iters, workers = 8, 0, 10, 4
+	f := newElasticFixture(t, k)
+
+	run := func(wire bool) []float64 {
+		cfg := f.masterConfig(k, s, iters)
+		cfg.MinObservations = 1 << 30
+		cfg.DriftThreshold = 1e18
+		cfg.MinWorkers = workers
+		if wire {
+			cfg.PartitionSource = func(p int) (*ml.Dataset, error) { return f.parts[p], nil }
+		}
+		master, err := NewElasticMaster(cfg, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				wcfg := ElasticWorkerConfig{Model: f.model}
+				if !wire {
+					wcfg.PartitionData = func(p int) (*ml.Dataset, error) { return f.parts[p], nil }
+				}
+				w, err := DialElasticWorker(master.Addr(), wcfg)
+				if err != nil {
+					return
+				}
+				_ = w.Run()
+			}()
+		}
+		if err := master.WaitForWorkers(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		res, err := master.Run()
+		wg.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Params
+	}
+
+	local := run(false)
+	remote := run(true)
+	if len(local) != len(remote) {
+		t.Fatalf("param dims differ: %d vs %d", len(local), len(remote))
+	}
+	for i := range local {
+		if local[i] != remote[i] {
+			t.Fatalf("param %d differs: wire-fetched %v, local %v", i, remote[i], local[i])
+		}
+	}
+}
+
+// TestWorkerWithoutDataNeedsServingMaster: dialing a master with no
+// PartitionSource while carrying no local data must fail at the first
+// assignment (not hang) — the not-served marker surfaces as a run error.
+func TestWorkerWithoutDataNeedsServingMaster(t *testing.T) {
+	const k, s = 4, 0
+	f := newElasticFixture(t, k)
+	master, err := NewElasticMaster(f.masterConfig(k, s, 2), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		w, err := DialElasticWorker(master.Addr(), ElasticWorkerConfig{Model: f.model})
+		if err != nil {
+			errCh <- err
+			return
+		}
+		errCh <- w.Run()
+	}()
+	if err := master.WaitForWorkers(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _, _ = master.Run() }()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("worker run succeeded without any data source")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("worker hung instead of failing on unserved partition")
+	}
+}
+
+func TestReconnectPolicyRetriesDial(t *testing.T) {
+	f := newElasticFixture(t, 4)
+	data := func(p int) (*ml.Dataset, error) { return f.parts[p], nil }
+
+	// Against a dead port, the policy burns every attempt (with backoff
+	// between them) before failing.
+	start := time.Now()
+	_, err := DialElasticWorker("127.0.0.1:1", ElasticWorkerConfig{
+		Model: f.model, PartitionData: data,
+		DialTimeout: 200 * time.Millisecond,
+		Reconnect:   ReconnectPolicy{MaxAttempts: 3, Backoff: 30 * time.Millisecond},
+	})
+	if err == nil {
+		t.Fatal("dial against dead port succeeded")
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("3 attempts with 30ms backoff returned after %v — retries not happening", elapsed)
+	}
+
+	// Zero value: a single attempt against the same dead port fails without
+	// any backoff sleeps.
+	start = time.Now()
+	if _, err := DialElasticWorker("127.0.0.1:1", ElasticWorkerConfig{
+		Model: f.model, PartitionData: data,
+		DialTimeout: 200 * time.Millisecond,
+	}); err == nil {
+		t.Fatal("zero-value policy should fail fast on a dead port")
+	}
+
+	// With a live master, a retrying dial still succeeds on the first try.
+	master, err := NewElasticMaster(f.masterConfig(4, 0, 1), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+	w, err := DialElasticWorker(master.Addr(), ElasticWorkerConfig{
+		Model: f.model, PartitionData: data,
+		Reconnect: ReconnectPolicy{MaxAttempts: 5, Backoff: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("retrying dial against live master: %v", err)
+	}
+	w.Close()
+}
+
+func TestReconnectPolicyBackoffSchedule(t *testing.T) {
+	p := ReconnectPolicy{MaxAttempts: 6, Backoff: 10 * time.Millisecond, MaxBackoff: 35 * time.Millisecond}
+	want := []time.Duration{10, 20, 35, 35, 35}
+	for i, w := range want {
+		if got := p.wait(i + 1); got != w*time.Millisecond {
+			t.Fatalf("wait(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+	var zero ReconnectPolicy
+	if zero.attempts() != 1 || zero.wait(1) != 0 {
+		t.Fatalf("zero policy: attempts=%d wait=%v, want 1 and 0", zero.attempts(), zero.wait(1))
+	}
+}

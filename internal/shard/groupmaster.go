@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"github.com/hetgc/hetgc/internal/checkpoint"
+	"github.com/hetgc/hetgc/internal/dataplane"
 	"github.com/hetgc/hetgc/internal/elastic"
 	"github.com/hetgc/hetgc/internal/estimate"
 	"github.com/hetgc/hetgc/internal/grad"
@@ -241,7 +242,7 @@ func buildGroupController(cfg *Config, grp *Group, g int, ctrlState *elastic.Con
 // partition ID), so the engine translates through the group's partition
 // slice and advertises the global K.
 func newGroupEngine(cfg *Config, grp *Group, g int, ctrl *elastic.Controller, recovered []int, rec roster.Recorder, lis *transport.Listener) (*roster.Engine, error) {
-	eng, err := roster.New(roster.Config{
+	rcfg := roster.Config{
 		Controller:   ctrl,
 		WriteTimeout: cfg.IterTimeout,
 		InboxSize:    2*len(grp.Workers) + 8,
@@ -258,7 +259,14 @@ func newGroupEngine(cfg *Config, grp *Group, g int, ctrl *elastic.Controller, re
 			}
 			return 0
 		},
-	}, lis)
+	}
+	if cfg.PartitionSource != nil {
+		// The group master doubles as its workers' data plane. Partition
+		// indices are global, so the root-wide source serves every group;
+		// each engine caches only the blobs its own workers request.
+		rcfg.PartitionBlob = dataplane.NewSource(cfg.PartitionSource, cfg.K).Blob
+	}
+	eng, err := roster.New(rcfg, lis)
 	if err != nil {
 		_ = lis.Close()
 		return nil, fmt.Errorf("%w: group %d: %v", ErrBadConfig, g, err)

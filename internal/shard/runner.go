@@ -121,6 +121,7 @@ type GroupRunner struct {
 // worker protocol; the runner keeps serving across root restarts until
 // Stop, a MsgShutdown from the root, or an unrecoverable failure.
 func StartGroup(cfg GroupRunnerConfig) (*GroupRunner, error) {
+	cfg.Config.normalize()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -132,6 +133,7 @@ func StartGroup(cfg GroupRunnerConfig) (*GroupRunner, error) {
 	}
 	if cfg.SnapshotEvery <= 0 {
 		cfg.SnapshotEvery = 10
+		cfg.DurabilityConfig.SnapshotEvery = 10
 	}
 	plan, err := BuildPlanLayout(cfg.Throughputs, PlanConfig{
 		K: cfg.K, S: cfg.S, GroupSize: cfg.GroupSize, FanIn: cfg.FanIn, Scheme: cfg.Scheme,

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"github.com/hetgc/hetgc/internal/checkpoint"
+	"github.com/hetgc/hetgc/internal/clustercfg"
 	"github.com/hetgc/hetgc/internal/core"
 	"github.com/hetgc/hetgc/internal/elastic"
 	"github.com/hetgc/hetgc/internal/grad"
@@ -100,27 +101,12 @@ type Config struct {
 	// Seed drives plan and strategy construction (fixed seed, reproducible
 	// plans).
 	Seed int64
-	// CheckpointDir, when non-empty, makes training state durable: the root
-	// journals every iteration, each group master journals its membership
-	// and migrations, and the model is snapshotted every SnapshotEvery
-	// iterations. See runtime.ElasticConfig for the semantics; a fresh run
-	// refuses a directory already holding state (checkpoint.ErrExists).
-	CheckpointDir string
-	// SnapshotEvery is the snapshot cadence in iterations (default 10).
-	SnapshotEvery int
-	// Resume constructs the hierarchy from the recovered state: parameters,
-	// optimizer state and iteration counter from the newest snapshot; each
-	// group's member IDs reserved for ResumeID rejoins; each group's epoch
-	// base raised above everything its journal recorded, fencing pre-crash
-	// uploads.
-	Resume bool
-	// LeaseTTL, when positive, puts the root under the HA lease in
-	// CheckpointDir: construction acquires (or, after a takeover, inherits)
-	// the lease, every broadcast and journal write is fenced by its
-	// generation, and losing it turns run failures into ha.ErrFenced.
-	LeaseTTL time.Duration
-	// Holder names this root in the lease token (default "shard-root").
-	Holder string
+	// PartitionSource, when non-nil, turns every group master into a data
+	// plane: workers with no local PartitionData fetch their shards over the
+	// wire (MsgPartitionReq/MsgPartition) from their group master, which
+	// answers partition p with PartitionSource(p). Partition indices are
+	// global, so one source serves all groups.
+	PartitionSource func(p int) (*ml.Dataset, error)
 	// ExternalGroups lists coding groups served by out-of-process
 	// GroupRunners: the root does not spawn masters for them and instead
 	// waits for their adoption handshakes. Their restarts (and the root's
@@ -129,11 +115,55 @@ type Config struct {
 	// AdoptTimeout bounds how long WaitForWorkers waits for every external
 	// group's adoption handshake (default 30s).
 	AdoptTimeout time.Duration
-	// Obs, when non-nil, receives the run's telemetry: iteration phase
-	// spans at the root, per-group roster and control-plane metrics (group
-	// labels match the coding-group index), checkpoint and lease metrics,
-	// and the structured event journal. Nil disables telemetry.
+
+	// The composable cluster blocks (see internal/clustercfg). Durability: a
+	// non-empty CheckpointDir makes training state durable — the root
+	// journals every iteration, each group master journals its membership and
+	// migrations, and the model is snapshotted every SnapshotEvery iterations
+	// (default 10); a fresh run refuses a directory already holding state
+	// (checkpoint.ErrExists); Resume instead constructs the hierarchy from
+	// the recovered state, with each group's member IDs reserved for
+	// ResumeID rejoins and its epoch base raised above everything its journal
+	// recorded. HA: a positive LeaseTTL puts the root under the lease in
+	// CheckpointDir — construction acquires (or, after a takeover, inherits)
+	// the lease, every broadcast and journal write is fenced by its
+	// generation, and losing it turns run failures into ha.ErrFenced (Holder
+	// defaults to "shard-root"). Telemetry: a non-nil Obs receives iteration
+	// phase spans at the root, per-group roster and control-plane metrics,
+	// checkpoint and lease metrics, and the structured event journal.
+	clustercfg.DurabilityConfig
+	clustercfg.HAConfig
+	clustercfg.TelemetryConfig
+
+	// Deprecated: flat aliases for the embedded cluster blocks above, kept
+	// for one release. Set DurabilityConfig.CheckpointDir (etc.) instead;
+	// when both views are set the embedded field wins.
+	CheckpointDir string
+	// Deprecated: set DurabilityConfig.SnapshotEvery.
+	SnapshotEvery int
+	// Deprecated: set DurabilityConfig.Resume.
+	Resume bool
+	// Deprecated: set HAConfig.LeaseTTL.
+	LeaseTTL time.Duration
+	// Deprecated: set HAConfig.Holder.
+	Holder string
+	// Deprecated: set TelemetryConfig.Obs.
 	Obs *obs.Metrics
+}
+
+// normalize merges the deprecated flat aliases into the embedded cluster
+// blocks (the embedded field wins when both are set) and mirrors the merged
+// values back onto the aliases, so internal reads through either view agree.
+func (c *Config) normalize() {
+	c.DurabilityConfig = c.DurabilityConfig.Merge(c.CheckpointDir, c.SnapshotEvery, c.Resume)
+	c.HAConfig = c.HAConfig.Merge(c.LeaseTTL, c.Holder)
+	c.TelemetryConfig = c.TelemetryConfig.Merge(c.Obs)
+	c.CheckpointDir = c.DurabilityConfig.CheckpointDir
+	c.SnapshotEvery = c.DurabilityConfig.SnapshotEvery
+	c.Resume = c.DurabilityConfig.Resume
+	c.LeaseTTL = c.HAConfig.LeaseTTL
+	c.Holder = c.HAConfig.Holder
+	c.Obs = c.TelemetryConfig.Obs
 }
 
 func (c *Config) validate() error {
@@ -280,6 +310,7 @@ type Root struct {
 // External groups attach themselves afterwards; WaitForWorkers covers their
 // adoption.
 func NewRoot(cfg Config, addr string) (*Root, error) {
+	cfg.normalize()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -293,6 +324,7 @@ func NewRoot(cfg Config, addr string) (*Root, error) {
 	// initial group-local replan builds it from the same estimates).
 	if cfg.CheckpointDir != "" && cfg.SnapshotEvery <= 0 {
 		cfg.SnapshotEvery = 10
+		cfg.DurabilityConfig.SnapshotEvery = 10
 	}
 	if cfg.AdoptTimeout <= 0 {
 		cfg.AdoptTimeout = 30 * time.Second

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/hetgc/hetgc/internal/checkpoint"
+	"github.com/hetgc/hetgc/internal/clustercfg"
 	"github.com/hetgc/hetgc/internal/core"
 	"github.com/hetgc/hetgc/internal/elastic"
 	"github.com/hetgc/hetgc/internal/ha"
@@ -101,25 +102,10 @@ type ElasticSimConfig struct {
 	// Seed drives strategy construction; the simulation has no other
 	// randomness, so a fixed seed makes runs bit-identical.
 	Seed int64
-	// CheckpointDir, when non-empty, writes the simulation's control-plane
-	// state through a checkpoint.Store: a journal record per iteration and
-	// migration plus a snapshot every SnapshotEvery iterations carrying the
-	// full controller state and the RNG draw count — enough to resume
-	// bit-identically.
-	CheckpointDir string
-	// SnapshotEvery is the snapshot cadence in iterations (default 5).
-	SnapshotEvery int
 	// CrashAtIter, when > 0, is the crash injector: the run stops cold
 	// before that iteration (no final snapshot, exactly as a killed process
 	// would), returning the partial result with Crashed set.
 	CrashAtIter int
-	// Resume continues a crashed run from CheckpointDir: the controller,
-	// the current plan (rebuilt bit-for-bit by replaying the seeded RNG to
-	// its recorded draw position) and the iteration counter are restored
-	// from the newest snapshot, and the same config's schedule re-derives
-	// the true member speeds. The resumed segment is bit-identical to the
-	// same iterations of an uninterrupted run.
-	Resume bool
 	// Model, Data and Optimizer — all set or all nil — couple the timing
 	// simulation with real optimisation: every iteration decodes the true
 	// coded gradient under the live plan (the exact arithmetic the runtime
@@ -129,19 +115,54 @@ type ElasticSimConfig struct {
 	Model     ml.Model
 	Data      *ml.Dataset
 	Optimizer ml.Optimizer
-	// LeaseTTL, with CheckpointDir set, makes the run hold the directory's
-	// HA lease: acquired (bumping the root generation) before any durable
-	// write, renewed at every iteration boundary, released on success — and
-	// deliberately left to expire on an injected crash, exactly like a
-	// killed root. The store's guard refuses journal writes the moment the
-	// lease is fenced.
+
+	// The composable cluster blocks (see internal/clustercfg). Durability:
+	// a non-empty CheckpointDir writes the simulation's control-plane state
+	// through a checkpoint.Store — a journal record per iteration and
+	// migration plus a snapshot every SnapshotEvery iterations (default 5)
+	// carrying the full controller state and the RNG draw count; Resume
+	// continues a crashed run bit-identically (the plan is rebuilt by
+	// replaying the seeded RNG to its recorded draw position). HA: with
+	// CheckpointDir set, a positive LeaseTTL makes the run hold the
+	// directory's lease — acquired before any durable write, renewed at
+	// every iteration boundary, released on success, and deliberately left
+	// to expire on an injected crash (Holder defaults to "sim-root").
+	// Telemetry: a non-nil Obs receives the simulation's telemetry through
+	// the same helpers (and the same metric families) the live ElasticMaster
+	// uses, so a sim scrape and a live scrape are diffable.
+	clustercfg.DurabilityConfig
+	clustercfg.HAConfig
+	clustercfg.TelemetryConfig
+
+	// Deprecated: flat aliases for the embedded cluster blocks above, kept
+	// for one release. Set DurabilityConfig.CheckpointDir (etc.) instead;
+	// when both views are set the embedded field wins.
+	CheckpointDir string
+	// Deprecated: set DurabilityConfig.SnapshotEvery.
+	SnapshotEvery int
+	// Deprecated: set DurabilityConfig.Resume.
+	Resume bool
+	// Deprecated: set HAConfig.LeaseTTL.
 	LeaseTTL time.Duration
-	// Holder names the lease holder (default "sim-root").
+	// Deprecated: set HAConfig.Holder.
 	Holder string
-	// Obs, when non-nil, receives the simulation's telemetry through the
-	// same helpers (and therefore the same metric families) the live
-	// ElasticMaster uses, so a sim scrape and a live scrape are diffable.
+	// Deprecated: set TelemetryConfig.Obs.
 	Obs *obs.Metrics
+}
+
+// normalize merges the deprecated flat aliases into the embedded cluster
+// blocks (the embedded field wins when both are set) and mirrors the merged
+// values back onto the aliases, so internal reads through either view agree.
+func (c *ElasticSimConfig) normalize() {
+	c.DurabilityConfig = c.DurabilityConfig.Merge(c.CheckpointDir, c.SnapshotEvery, c.Resume)
+	c.HAConfig = c.HAConfig.Merge(c.LeaseTTL, c.Holder)
+	c.TelemetryConfig = c.TelemetryConfig.Merge(c.Obs)
+	c.CheckpointDir = c.DurabilityConfig.CheckpointDir
+	c.SnapshotEvery = c.DurabilityConfig.SnapshotEvery
+	c.Resume = c.DurabilityConfig.Resume
+	c.LeaseTTL = c.HAConfig.LeaseTTL
+	c.Holder = c.HAConfig.Holder
+	c.Obs = c.TelemetryConfig.Obs
 }
 
 // ElasticSimResult aggregates an elastic simulation run.
@@ -172,6 +193,7 @@ type ElasticSimResult struct {
 // fully deterministic for a given config (bit-identical across runs):
 // strategy construction is the only randomness and is driven by Seed.
 func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
+	cfg.normalize()
 	if len(cfg.InitialRates) == 0 {
 		return nil, fmt.Errorf("%w: no initial members", ErrBadChurn)
 	}
@@ -186,6 +208,7 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 	}
 	if cfg.CheckpointDir != "" && cfg.SnapshotEvery <= 0 {
 		cfg.SnapshotEvery = 5
+		cfg.DurabilityConfig.SnapshotEvery = 5
 	}
 	training := cfg.Model != nil || cfg.Data != nil || cfg.Optimizer != nil
 	if training && (cfg.Model == nil || cfg.Data == nil || cfg.Optimizer == nil) {

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"github.com/hetgc/hetgc/internal/clustercfg"
 	"github.com/hetgc/hetgc/internal/core"
 	"github.com/hetgc/hetgc/internal/elastic"
 	"github.com/hetgc/hetgc/internal/metrics"
@@ -70,9 +71,13 @@ type ShardedSimConfig struct {
 	// Seed drives plan construction; with the injector's rng it is the only
 	// randomness, so fixed seeds make runs bit-identical.
 	Seed int64
-	// Obs, when non-nil, receives the simulation's telemetry through the
-	// same helpers (and therefore the same metric families and group labels)
-	// the live sharded runtime uses, so sim and live scrapes are diffable.
+	// TelemetryConfig (see internal/clustercfg): a non-nil Obs receives the
+	// simulation's telemetry through the same helpers (and therefore the
+	// same metric families and group labels) the live sharded runtime uses,
+	// so sim and live scrapes are diffable.
+	clustercfg.TelemetryConfig
+	// Deprecated: set TelemetryConfig.Obs. Kept as a flat alias for one
+	// release; when both are set the embedded field wins.
 	Obs *obs.Metrics
 }
 
@@ -116,6 +121,8 @@ type shardedGroup struct {
 // optional churn schedule and straggler injector. Fully deterministic for a
 // fixed config: two runs produce bit-identical results.
 func RunSharded(cfg ShardedSimConfig) (*ShardedSimResult, error) {
+	cfg.TelemetryConfig = cfg.TelemetryConfig.Merge(cfg.Obs)
+	cfg.Obs = cfg.TelemetryConfig.Obs
 	if len(cfg.Rates) == 0 {
 		return nil, fmt.Errorf("%w: no initial members", ErrBadChurn)
 	}

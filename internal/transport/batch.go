@@ -97,7 +97,7 @@ func encodeBatch(buf *bytes.Buffer, envs []*Envelope) error {
 // gradient layout (uint32 header fields, no auxiliary payloads).
 func gradientFastPath(e *Envelope) bool {
 	return e.Type == MsgGradient && e.Assign == nil && e.Telemetry == nil && e.Batch == nil &&
-		e.Adopt == nil &&
+		e.Adopt == nil && e.Blob == nil && e.Part == 0 &&
 		e.Iter >= 0 && e.Iter <= math.MaxUint32>>1 &&
 		e.Epoch >= 0 && e.Epoch <= math.MaxUint32>>1 &&
 		e.WorkerID >= 0 && e.WorkerID <= math.MaxUint32>>1 &&
@@ -232,6 +232,60 @@ func ChunkGradient(tmpl Envelope, vec []float64, chunkLen int) []*Envelope {
 		out = append(out, &e)
 	}
 	return out
+}
+
+// ChunkBlob splits one data-plane payload into chunked MsgPartition frames
+// of at most chunkLen bytes each; the receiver reassembles them with
+// JoinBlobChunks. Every chunk shares the template's Part/Iter/RootGen. The
+// result always has Chunks >= 1 (protocol rule: a MsgPartition carrying data
+// is always chunk-framed; Chunks == 0 is the not-served marker), so chunkLen
+// <= 0 or a blob that fits yields a single 1-of-1 chunk.
+func ChunkBlob(tmpl Envelope, blob []byte, chunkLen int) []*Envelope {
+	tmpl.Type = MsgPartition
+	tmpl.Assign, tmpl.Telemetry, tmpl.Batch, tmpl.Vector = nil, nil, nil, nil
+	if chunkLen <= 0 || len(blob) <= chunkLen {
+		e := tmpl
+		e.Blob = blob
+		e.Chunk, e.Chunks = 0, 1
+		return []*Envelope{&e}
+	}
+	chunks := (len(blob) + chunkLen - 1) / chunkLen
+	out := make([]*Envelope, 0, chunks)
+	for i := 0; i < chunks; i++ {
+		lo := i * chunkLen
+		hi := lo + chunkLen
+		if hi > len(blob) {
+			hi = len(blob)
+		}
+		e := tmpl
+		e.Blob = blob[lo:hi]
+		e.Chunk, e.Chunks = i, chunks
+		out = append(out, &e)
+	}
+	return out
+}
+
+// JoinBlobChunks reassembles a chunked data-plane payload from its in-order
+// MsgPartition frames (as produced by ChunkBlob): it concatenates the blob
+// pieces and returns the full payload. It fails with ErrMalformed when the
+// sequence is not exactly chunks 0..n-1 of a single partition (same
+// Part/Chunks).
+func JoinBlobChunks(envs []*Envelope) ([]byte, error) {
+	if len(envs) == 0 {
+		return nil, fmt.Errorf("%w: no chunks to join", ErrMalformed)
+	}
+	first := envs[0]
+	if len(envs) != first.Chunks {
+		return nil, fmt.Errorf("%w: %d frames for %d chunks", ErrMalformed, len(envs), first.Chunks)
+	}
+	var dst []byte
+	for i, e := range envs {
+		if e.Type != MsgPartition || e.Chunk != i || e.Chunks != first.Chunks || e.Part != first.Part {
+			return nil, fmt.Errorf("%w: partition chunk sequence broken at frame %d (%v part %d chunk %d/%d)", ErrMalformed, i, e.Type, e.Part, e.Chunk, e.Chunks)
+		}
+		dst = append(dst, e.Blob...)
+	}
+	return dst, nil
 }
 
 // JoinChunks reassembles a chunked gradient from its in-order sub-frames

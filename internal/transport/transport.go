@@ -48,6 +48,16 @@ const (
 	// surviving group master attaches to a restarted or promoted root
 	// without being respawned.
 	MsgAdopt
+	// MsgPartitionReq opens (or continues) a data-plane session: a worker
+	// requests the training-data shard with global index Part. A connection
+	// whose FIRST frame is MsgPartitionReq is a data-plane session for its
+	// whole life — it never joins the membership.
+	MsgPartitionReq
+	// MsgPartition answers a MsgPartitionReq with the CRC-framed encoded
+	// dataset in Blob, split across Chunks sub-frames (Chunk of Chunks, to be
+	// reassembled in order). A reply with Chunks == 0 and an empty Blob means
+	// the master does not serve that partition.
+	MsgPartition
 )
 
 // HelloNewWorker is the MsgHello WorkerID requesting a fresh member slot.
@@ -74,6 +84,10 @@ func (t MsgType) String() string {
 		return "batch"
 	case MsgAdopt:
 		return "adopt"
+	case MsgPartitionReq:
+		return "partition-req"
+	case MsgPartition:
+		return "partition"
 	default:
 		return fmt.Sprintf("MsgType(%d)", int(t))
 	}
@@ -148,6 +162,12 @@ type Envelope struct {
 	Adopt *Adoption
 	// Batch is the MsgBatch payload: length-prefixed gob-encoded sub-frames.
 	Batch []byte
+	// Part is the global partition index of a data-plane frame
+	// (MsgPartitionReq / MsgPartition); 0 otherwise.
+	Part int
+	// Blob is the MsgPartition payload: one piece of the CRC-framed encoded
+	// dataset (see internal/dataplane).
+	Blob []byte
 }
 
 // Errors returned by the transport layer.
@@ -170,9 +190,17 @@ const MaxVectorLen = 1 << 30
 // MaxAdoptMembers bounds the member list of an adoption handshake.
 const MaxAdoptMembers = 1 << 20
 
+// MaxBlobLen bounds the byte length of any data-plane Blob piece accepted by
+// Recv (the same application-layer sanity check as MaxVectorLen).
+const MaxBlobLen = 1 << 30
+
+// MaxPartIndex bounds the partition index of a data-plane frame, far above
+// any real partition count.
+const MaxPartIndex = 1 << 30
+
 // validate checks the structural invariants of a received envelope.
 func (e *Envelope) validate() error {
-	if e.Type < MsgHello || e.Type > MsgAdopt {
+	if e.Type < MsgHello || e.Type > MsgPartition {
 		return fmt.Errorf("%w: unknown message type %d", ErrMalformed, int(e.Type))
 	}
 	if e.Iter < 0 || e.Epoch < 0 {
@@ -181,11 +209,17 @@ func (e *Envelope) validate() error {
 	if e.RootGen < 0 {
 		return fmt.Errorf("%w: %v root generation %d", ErrMalformed, e.Type, e.RootGen)
 	}
+	if e.Part < 0 || e.Part > MaxPartIndex {
+		return fmt.Errorf("%w: %v partition index %d", ErrMalformed, e.Type, e.Part)
+	}
+	if e.Part != 0 && e.Type != MsgPartitionReq && e.Type != MsgPartition {
+		return fmt.Errorf("%w: %v carries a partition index", ErrMalformed, e.Type)
+	}
 	if e.Type == MsgBatch {
 		if len(e.Batch) == 0 {
 			return fmt.Errorf("%w: empty batch", ErrMalformed)
 		}
-		if e.Assign != nil || e.Vector != nil || e.Telemetry != nil || e.Adopt != nil {
+		if e.Assign != nil || e.Vector != nil || e.Telemetry != nil || e.Adopt != nil || e.Blob != nil {
 			return fmt.Errorf("%w: batch with non-batch payload", ErrMalformed)
 		}
 		return nil
@@ -197,11 +231,28 @@ func (e *Envelope) validate() error {
 		(e.Chunks > 0 && (e.Chunk < 0 || e.Chunk >= e.Chunks)) {
 		return fmt.Errorf("%w: %v chunk %d of %d", ErrMalformed, e.Type, e.Chunk, e.Chunks)
 	}
-	if e.Chunks > 0 && e.Type != MsgGradient {
+	if e.Chunks > 0 && e.Type != MsgGradient && e.Type != MsgPartition {
 		return fmt.Errorf("%w: %v cannot be chunked", ErrMalformed, e.Type)
 	}
 	if len(e.Vector) > MaxVectorLen {
 		return fmt.Errorf("%w: %v vector length %d exceeds cap %d", ErrMalformed, e.Type, len(e.Vector), MaxVectorLen)
+	}
+	if len(e.Blob) > MaxBlobLen {
+		return fmt.Errorf("%w: %v blob length %d exceeds cap %d", ErrMalformed, e.Type, len(e.Blob), MaxBlobLen)
+	}
+	if len(e.Blob) > 0 && e.Type != MsgPartition {
+		return fmt.Errorf("%w: %v carries a blob payload", ErrMalformed, e.Type)
+	}
+	if e.Type == MsgPartitionReq && (e.Assign != nil || e.Vector != nil || e.Telemetry != nil || e.Chunks != 0) {
+		return fmt.Errorf("%w: partition-req with payload", ErrMalformed)
+	}
+	if e.Type == MsgPartition {
+		if e.Chunks > 0 && len(e.Blob) == 0 {
+			return fmt.Errorf("%w: partition chunk %d of %d with empty blob", ErrMalformed, e.Chunk, e.Chunks)
+		}
+		if e.Chunks == 0 && len(e.Blob) > 0 {
+			return fmt.Errorf("%w: partition data without chunk framing", ErrMalformed)
+		}
 	}
 	if a := e.Assign; a != nil {
 		if len(a.Partitions) != len(a.RowCoeffs) {

@@ -9,16 +9,18 @@ import (
 
 func TestMsgTypeString(t *testing.T) {
 	cases := map[MsgType]string{
-		MsgHello:     "hello",
-		MsgAssign:    "assign",
-		MsgParams:    "params",
-		MsgGradient:  "gradient",
-		MsgShutdown:  "shutdown",
-		MsgTelemetry: "telemetry",
-		MsgReassign:  "reassign",
-		MsgBatch:     "batch",
-		MsgAdopt:     "adopt",
-		MsgType(42):  "MsgType(42)",
+		MsgHello:        "hello",
+		MsgAssign:       "assign",
+		MsgParams:       "params",
+		MsgGradient:     "gradient",
+		MsgShutdown:     "shutdown",
+		MsgTelemetry:    "telemetry",
+		MsgReassign:     "reassign",
+		MsgBatch:        "batch",
+		MsgAdopt:        "adopt",
+		MsgPartitionReq: "partition-req",
+		MsgPartition:    "partition",
+		MsgType(42):     "MsgType(42)",
 	}
 	for mt, want := range cases {
 		if mt.String() != want {
