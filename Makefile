@@ -68,8 +68,10 @@ cover-check: cover cover-gate
 # (truncated, bit-flipped or garbage bytes must yield typed
 # checkpoint.ErrCorrupt — never a panic, never a silent mis-decode), the
 # lease-token codec (arbitrary LEASE file bytes must yield an error wrapping
-# checkpoint.ErrCorrupt) and the adoption-handshake frames. A failing input is
-# written to the package's testdata/fuzz; rerun it with
+# checkpoint.ErrCorrupt), the adoption-handshake frames and the quantized
+# gradient sub-frame (arbitrary codec bytes, corrupt scale headers and
+# truncated payloads must yield transport.ErrMalformed — never a panic). A
+# failing input is written to the package's testdata/fuzz; rerun it with
 # `go test -run 'Fuzz<Target>/<name>' ./internal/<pkg>`.
 FUZZTIME ?= 10s
 fuzz-smoke:
@@ -78,6 +80,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzJournal$$' -fuzztime $(FUZZTIME) ./internal/checkpoint
 	$(GO) test -run '^$$' -fuzz '^FuzzLease$$' -fuzztime $(FUZZTIME) ./internal/ha
 	$(GO) test -run '^$$' -fuzz '^FuzzAdoption$$' -fuzztime $(FUZZTIME) ./internal/transport
+	$(GO) test -run '^$$' -fuzz '^FuzzQuantizedFrame$$' -fuzztime $(FUZZTIME) ./internal/transport
 	$(GO) test -run '^$$' -fuzz '^FuzzRoster$$' -fuzztime $(FUZZTIME) ./internal/node
 
 # Smoke-run the quickstart example: a panic in example main paths must fail
@@ -123,13 +126,15 @@ bench-baseline:
 	$(GO) test -run '^$$' -bench . -benchmem ./... | $(GO) run ./cmd/gcbench > BENCH_baseline.json
 	@echo wrote BENCH_baseline.json
 
-# Regression gate: rerun the decode/encode hot-path benchmarks and fail when
-# any of them regressed beyond BENCH_TOLERANCE (relative ns/op) versus the
-# committed baseline. Override the tolerance when the hardware differs from
-# the baseline machine (CI does).
+# Regression gate: rerun the gated benchmarks — decode/encode hot paths, the
+# quantized batched-uplink wire benches (gating their wire-B/iter extras) and
+# the fleet-scale IterRate end-to-end throughput benches (gating iter/s) —
+# and fail when any regressed beyond BENCH_TOLERANCE versus the committed
+# baseline. Override the tolerance when the hardware differs from the
+# baseline machine (CI does).
 BENCH_TOLERANCE ?= 0.25
 bench-compare:
-	$(GO) test -run '^$$' -bench 'Decode|Encode' -benchmem ./... > /tmp/hetgc-bench-current.txt
+	$(GO) test -run '^$$' -bench 'Decode|Encode|Uplink|IterRate' -benchmem ./... > /tmp/hetgc-bench-current.txt
 	$(GO) run ./cmd/gcbench -compare BENCH_baseline.json -tolerance $(BENCH_TOLERANCE) < /tmp/hetgc-bench-current.txt
 
 # Emit the current benchmark sweep as JSON (BENCH_current.json) without

@@ -362,6 +362,39 @@ func benchShardedSim(b *testing.B, m, groupSize int) {
 	}
 }
 
+// benchIterRate reports end-to-end training throughput of the sharded
+// co-simulation at fleet scale as an explicit "iter/s" metric. The
+// bench-regression gate (gcbench -compare, IterRate in the default filter)
+// gates throughput-style units on a drop, so a collapse in iterations/sec
+// fails CI even if per-op wall time shifts in a way ns/op tolerates.
+func benchIterRate(b *testing.B, m int) {
+	b.Helper()
+	rates := make([]float64, m)
+	for i := range rates {
+		rates[i] = 100
+	}
+	const iters = 10
+	cfg := ShardedSimConfig{
+		K: 2 * m, S: 1, GroupSize: 10, FanIn: 4,
+		Rates:         rates,
+		Iterations:    iters,
+		IngestSeconds: 0.002,
+		HopSeconds:    0.005,
+		Seed:          7,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateSharded(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(iters*b.N)/b.Elapsed().Seconds(), "iter/s")
+}
+
+// End-to-end iterations/sec at 200 and 500 simulated workers (gated).
+func BenchmarkIterRate200Workers(b *testing.B) { benchIterRate(b, 200) }
+func BenchmarkIterRate500Workers(b *testing.B) { benchIterRate(b, 500) }
+
 // Flat vs sharded iteration latency at 50–500 simulated workers: the
 // hierarchical runtime builds many small codes and decodes many small
 // systems instead of one large one.

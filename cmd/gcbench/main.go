@@ -12,7 +12,7 @@
 // fails when any benchmark selected by -filter regressed by more than
 // -tolerance (relative ns/op):
 //
-//	go test -run '^$' -bench 'Decode|Encode' ./... | \
+//	go test -run '^$' -bench 'Decode|Encode|Uplink|IterRate' ./... | \
 //	    gcbench -compare BENCH_baseline.json
 //
 // (or `make bench-compare`).
@@ -27,6 +27,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -82,7 +83,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	var (
 		compare   = fs.String("compare", "", "baseline BENCH_*.json to gate against (default: emit JSON)")
 		tolerance = fs.Float64("tolerance", 0.25, "maximum allowed relative ns/op regression")
-		filter    = fs.String("filter", "Decode|Encode", "regexp selecting benchmarks to gate")
+		filter    = fs.String("filter", "Decode|Encode|Uplink|IterRate", "regexp selecting benchmarks to gate")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,8 +116,12 @@ func run(args []string, in io.Reader, out io.Writer) error {
 // filter regexp that regressed by more than tolerance (relative ns/op) fail
 // the run, and so do gated baseline benchmarks that are missing from the
 // current run — a silently vanished benchmark (e.g. a package whose benches
-// stopped compiling) must not read as a pass. Benchmarks absent from the
-// baseline are reported but don't fail.
+// stopped compiling) must not read as a pass. Custom b.ReportMetric units
+// recorded in the baseline ("wire-B/iter", "iter/s", ...) are gated with the
+// same tolerance: throughput-style units (containing "/s") regress when the
+// current value drops below baseline, everything else when it rises above —
+// and an extra that vanished from the current run fails too. Benchmarks
+// absent from the baseline are reported but don't fail.
 func Compare(out io.Writer, current, baseline *Report, filter string, tolerance float64) error {
 	re, err := regexp.Compile(filter)
 	if err != nil {
@@ -127,7 +132,7 @@ func Compare(out io.Writer, current, baseline *Report, filter string, tolerance 
 		base[r.Package+"."+r.Name] = r
 	}
 	seen := make(map[string]bool)
-	gated, regressed := 0, 0
+	gated, regressed, missing := 0, 0, 0
 	for _, r := range current.Results {
 		if !re.MatchString(r.Name) {
 			continue
@@ -148,8 +153,31 @@ func Compare(out io.Writer, current, baseline *Report, filter string, tolerance 
 		}
 		fmt.Fprintf(out, "%-9s %-40s %12.1f -> %12.1f ns/op (%+.1f%%)\n",
 			status, r.Name, b.NsPerOp, r.NsPerOp, delta*100)
+		for _, unit := range sortedKeys(b.Extra) {
+			bv := b.Extra[unit]
+			cv, ok := r.Extra[unit]
+			if !ok {
+				missing++
+				fmt.Fprintf(out, "MISSING  %-40s baseline %12.1f %s, absent from current run\n", r.Name, bv, unit)
+				continue
+			}
+			if bv == 0 {
+				continue // no relative delta to gate against
+			}
+			delta := (cv - bv) / bv
+			bad := delta > tolerance // lower-is-better units (bytes, B/iter)
+			if strings.Contains(unit, "/s") {
+				bad = delta < -tolerance // throughput units: a drop regresses
+			}
+			status := "ok"
+			if bad {
+				status = "REGRESSED"
+				regressed++
+			}
+			fmt.Fprintf(out, "%-9s %-40s %12.1f -> %12.1f %s (%+.1f%%)\n",
+				status, r.Name, bv, cv, unit, delta*100)
+		}
 	}
-	missing := 0
 	for _, b := range baseline.Results {
 		if !re.MatchString(b.Name) || seen[b.Package+"."+b.Name] {
 			continue
@@ -161,13 +189,23 @@ func Compare(out io.Writer, current, baseline *Report, filter string, tolerance 
 		return fmt.Errorf("no benchmarks matched filter %q against the baseline", filter)
 	}
 	if missing > 0 {
-		return fmt.Errorf("%d gated baseline benchmarks missing from the current run", missing)
+		return fmt.Errorf("%d gated baseline benchmarks (or their reported metrics) missing from the current run", missing)
 	}
 	if regressed > 0 {
 		return fmt.Errorf("%d of %d gated benchmarks regressed beyond %.0f%%", regressed, gated, tolerance*100)
 	}
 	fmt.Fprintf(out, "all %d gated benchmarks within %.0f%% of baseline\n", gated, tolerance*100)
 	return nil
+}
+
+// sortedKeys returns m's keys in sorted order so gate output is stable.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Parse reads `go test -bench` output and collects benchmark results.

@@ -112,6 +112,58 @@ func TestCompareGate(t *testing.T) {
 	}
 }
 
+// TestCompareGatesExtraMetrics: custom b.ReportMetric units recorded in the
+// baseline are gated alongside ns/op — lower-is-better by default, with "/s"
+// units treated as throughput (a drop regresses), and a vanished metric
+// failing like a vanished benchmark.
+func TestCompareGatesExtraMetrics(t *testing.T) {
+	pkg := "github.com/hetgc/hetgc/internal/transport"
+	mk := func(wire, rate float64) *Report {
+		return &Report{Results: []Result{{
+			Name: "BenchmarkBatchedUplink", Package: pkg, NsPerOp: 100,
+			Extra: map[string]float64{"wire-B/iter": wire, "iter/s": rate},
+		}}}
+	}
+	baseline := mk(8000, 50)
+
+	var out strings.Builder
+	// Within tolerance both ways.
+	if err := Compare(&out, mk(9000, 45), baseline, "Uplink", 0.25); err != nil {
+		t.Fatalf("within tolerance: %v\n%s", err, out.String())
+	}
+
+	// Bytes-per-iteration blowing up must fail (lower is better).
+	out.Reset()
+	if err := Compare(&out, mk(20000, 50), baseline, "Uplink", 0.25); err == nil {
+		t.Fatalf("wire-bytes regression passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "wire-B/iter") {
+		t.Fatalf("regressed unit not named:\n%s", out.String())
+	}
+
+	// A throughput collapse must fail (higher is better for "/s" units) —
+	// even though the value went DOWN.
+	out.Reset()
+	if err := Compare(&out, mk(8000, 10), baseline, "Uplink", 0.25); err == nil {
+		t.Fatalf("iter/s collapse passed:\n%s", out.String())
+	}
+
+	// A throughput improvement must pass.
+	out.Reset()
+	if err := Compare(&out, mk(8000, 500), baseline, "Uplink", 0.25); err != nil {
+		t.Fatalf("iter/s improvement failed: %v\n%s", err, out.String())
+	}
+
+	// A metric that vanished from the current run fails like a vanished
+	// benchmark.
+	out.Reset()
+	current := mk(8000, 50)
+	delete(current.Results[0].Extra, "iter/s")
+	if err := Compare(&out, current, baseline, "Uplink", 0.25); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("vanished metric: err = %v\n%s", err, out.String())
+	}
+}
+
 func TestRunCompareAgainstFile(t *testing.T) {
 	dir := t.TempDir()
 	path := dir + "/base.json"

@@ -109,6 +109,7 @@ func run(args []string) error {
 		DurabilityConfig: shared.Durability(),
 		HAConfig:         shared.HA(*holder),
 		TelemetryConfig:  clustercfg.TelemetryConfig{Obs: tel},
+		Wire:             shared.Wire(),
 	}
 
 	if *role == "standby" {

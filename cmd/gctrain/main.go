@@ -239,6 +239,7 @@ func runDurable(scheme string, iters, s, stragglerMs int, seed int64, shared cli
 		DurabilityConfig: shared.Durability(),
 		HAConfig:         shared.HA(""),
 		TelemetryConfig:  hetgc.TelemetryConfig{Obs: tel},
+		Wire:             shared.Wire(),
 	}.ElasticConfig(resume)
 	if err != nil {
 		return err

@@ -77,6 +77,7 @@ func run(args []string) error {
 		Roster:        *roster,
 		K:             *k,
 		Seed:          *seed,
+		Codec:         shared.Codec,
 		CheckpointDir: shared.CheckpointDir,
 		DialTimeout:   *dialTimeout,
 		MaxCycles:     *maxCycles,

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/hetgc/hetgc/internal/clustercfg"
+	"github.com/hetgc/hetgc/internal/grad"
 	"github.com/hetgc/hetgc/internal/obs"
 )
 
@@ -25,6 +26,7 @@ type Cluster struct {
 	LeaseTTL      time.Duration
 	MetricsAddr   string
 	Trace         bool
+	Codec         string
 }
 
 // Register installs the shared flags on fs. The names and help strings are
@@ -35,6 +37,7 @@ func Register(fs *flag.FlagSet, c *Cluster) {
 	fs.DurationVar(&c.LeaseTTL, "lease-ttl", 0, "hold the HA root lease over -checkpoint-dir with this TTL (0 disables)")
 	fs.StringVar(&c.MetricsAddr, "metrics-addr", "", "serve live telemetry on this host:port (/metrics, /healthz, /debug/events, /debug/trace, /debug/pprof/); uses the elastic runtime")
 	fs.BoolVar(&c.Trace, "trace", false, "stream per-iteration phase traces to stderr as JSON lines; uses the elastic runtime")
+	fs.StringVar(&c.Codec, "codec", "", "preferred gradient wire codec (raw, fp16, int8, topk, delta); negotiated per connection, peers that do not advertise it fall back to raw")
 }
 
 // Validate enforces the cross-flag rules every binary shares.
@@ -45,7 +48,17 @@ func (c *Cluster) Validate() error {
 	if c.LeaseTTL > 0 && c.CheckpointDir == "" {
 		return errors.New("-lease-ttl requires -checkpoint-dir (the lease lives in the checkpoint directory)")
 	}
+	if c.Codec != "" {
+		if _, err := grad.ParseCodec(c.Codec); err != nil {
+			return fmt.Errorf("-codec: %w", err)
+		}
+	}
 	return nil
+}
+
+// Wire returns the gradient-codec block the flags select.
+func (c *Cluster) Wire() clustercfg.WireConfig {
+	return clustercfg.WireConfig{Codec: c.Codec}
 }
 
 // Durability returns the durability block the flags select.

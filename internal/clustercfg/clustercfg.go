@@ -79,6 +79,30 @@ func (h HAConfig) Merge(leaseTTL time.Duration, holder string) HAConfig {
 	return h
 }
 
+// WireConfig selects the gradient wire codec a master prefers when workers
+// dial in (see internal/grad). Codecs are negotiated per connection: a worker
+// that does not advertise the preferred codec keeps uploading raw float64, so
+// mixed-version clusters interoperate. The zero value keeps raw uploads
+// everywhere.
+type WireConfig struct {
+	// Codec names the preferred gradient compression codec: "raw" (or empty),
+	// "fp16", "int8", "topk" or "delta". Parsed by grad.ParseCodec at the
+	// runtime layer; an unknown name is a config error there.
+	Codec string
+}
+
+// Enabled reports whether a non-raw codec preference is configured.
+func (w WireConfig) Enabled() bool { return w.Codec != "" && w.Codec != "raw" }
+
+// Merge fills the codec from a deprecated flat alias (see
+// DurabilityConfig.Merge).
+func (w WireConfig) Merge(codec string) WireConfig {
+	if w.Codec == "" {
+		w.Codec = codec
+	}
+	return w
+}
+
 // TelemetryConfig plugs a live metrics registry into a runtime (see
 // internal/obs). The zero value disables telemetry.
 type TelemetryConfig struct {

@@ -1,0 +1,353 @@
+package grad
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		switch rng.Intn(10) {
+		case 0:
+			v[i] = 0
+		case 1:
+			v[i] = rng.NormFloat64() * 1e-12 // tiny relative to the bulk
+		case 2:
+			v[i] = rng.NormFloat64() * 1e6
+		default:
+			v[i] = rng.NormFloat64()
+		}
+	}
+	return v
+}
+
+func roundTrip(t *testing.T, c Codec, vec []float64) []float64 {
+	t.Helper()
+	buf, err := AppendQuantized(GetBytes(0), c, vec)
+	if err != nil {
+		t.Fatalf("%v encode: %v", c, err)
+	}
+	got, err := Dequantize(c, buf, len(vec))
+	if err != nil {
+		t.Fatalf("%v decode: %v", c, err)
+	}
+	PutBytes(buf)
+	if len(got) != len(vec) {
+		t.Fatalf("%v: decoded %d elements, want %d", c, len(got), len(vec))
+	}
+	return got
+}
+
+// TestLosslessCodecsBitExact: raw and delta must round-trip bit-for-bit,
+// including negative zero, denormals and extreme magnitudes — these are the
+// codecs the bit-identity acceptance runs rely on.
+func TestLosslessCodecsBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range []Codec{CodecRaw, CodecDelta} {
+		for _, n := range []int{1, 2, 63, 64, 65, 1000} {
+			vec := randVec(rng, n)
+			vec[0] = math.Copysign(0, -1)
+			if n > 2 {
+				vec[1] = 5e-324 // smallest denormal
+				vec[2] = math.MaxFloat64
+			}
+			got := roundTrip(t, c, vec)
+			for i := range vec {
+				if math.Float64bits(got[i]) != math.Float64bits(vec[i]) {
+					t.Fatalf("%v: element %d not bit-exact: %x vs %x", c, i,
+						math.Float64bits(got[i]), math.Float64bits(vec[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestFP16RelativeError: the headline ≤1e-3 bound — every element within
+// 1e-3 of the vector's max magnitude (fp16 achieves 2⁻¹¹ ≈ 4.9e-4).
+func TestFP16RelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(512)
+		vec := randVec(rng, n)
+		got := roundTrip(t, CodecFP16, vec)
+		scale := maxAbs(vec)
+		if scale == 0 {
+			scale = 1
+		}
+		for i := range vec {
+			if err := math.Abs(got[i] - vec[i]); err > 1e-3*scale {
+				t.Fatalf("trial %d element %d: |%g - %g| = %g > 1e-3·%g",
+					trial, i, got[i], vec[i], err, scale)
+			}
+		}
+	}
+}
+
+// TestInt8PerChunkError: each 64-element chunk's error is bounded by half a
+// quantization step of that chunk's own scale (maxabs/254) — the documented
+// trade-off for the ~7.5× bandwidth win.
+func TestInt8PerChunkError(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(512)
+		vec := randVec(rng, n)
+		got := roundTrip(t, CodecInt8, vec)
+		for off := 0; off < n; off += int8ChunkLen {
+			end := off + int8ChunkLen
+			if end > n {
+				end = n
+			}
+			mx := maxAbs(vec[off:end])
+			// The scale itself is rounded to float32; allow that rounding on
+			// top of the half-step bound.
+			bound := mx/254 + mx*1e-6
+			for i := off; i < end; i++ {
+				if err := math.Abs(got[i] - vec[i]); err > bound {
+					t.Fatalf("trial %d element %d: err %g > %g (chunk max %g)",
+						trial, i, err, bound, mx)
+				}
+			}
+		}
+	}
+}
+
+// TestTopKExactSparse: the kept quarter is bit-exact, everything else is
+// zero, and the kept set really is the top-k by magnitude.
+func TestTopKExactSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(512)
+		vec := randVec(rng, n)
+		got := roundTrip(t, CodecTopK, vec)
+		k := topKCount(n)
+		kept, minKept, maxDropped := 0, math.Inf(1), 0.0
+		for i := range vec {
+			if math.Float64bits(got[i]) == math.Float64bits(vec[i]) && got[i] != 0 {
+				kept++
+				if a := math.Abs(vec[i]); a < minKept {
+					minKept = a
+				}
+			} else if got[i] == 0 {
+				if a := math.Abs(vec[i]); a > maxDropped {
+					maxDropped = a
+				}
+			} else {
+				t.Fatalf("trial %d element %d: %g is neither kept exactly nor zero (want %g)",
+					trial, i, got[i], vec[i])
+			}
+		}
+		if kept > k {
+			t.Fatalf("trial %d: kept %d > k=%d", trial, kept, k)
+		}
+		if kept < k {
+			// Only possible when some of the top-k are exact zeros.
+			nonzero := 0
+			for _, v := range vec {
+				if v != 0 {
+					nonzero++
+				}
+			}
+			if kept < k && kept < nonzero {
+				t.Fatalf("trial %d: kept %d of k=%d with %d nonzero", trial, kept, k, nonzero)
+			}
+		}
+		if kept > 0 && maxDropped > minKept {
+			t.Fatalf("trial %d: dropped |%g| but kept |%g|", trial, maxDropped, minKept)
+		}
+	}
+}
+
+// TestQuantizedSizes pins the bandwidth claims: int8 ≥ 2× smaller than raw
+// (the acceptance bound; it is ~7.5×), fp16 ≈ 4× smaller.
+func TestQuantizedSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 4096
+	vec := randVec(rng, n)
+	sizes := map[Codec]int{}
+	for _, c := range []Codec{CodecRaw, CodecFP16, CodecInt8, CodecTopK} {
+		buf, err := AppendQuantized(nil, c, vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[c] = len(buf)
+	}
+	if sizes[CodecRaw] != 8*n {
+		t.Fatalf("raw size %d, want %d", sizes[CodecRaw], 8*n)
+	}
+	if 2*sizes[CodecInt8] > sizes[CodecRaw] {
+		t.Fatalf("int8 payload %d B not ≥2× smaller than raw %d B", sizes[CodecInt8], sizes[CodecRaw])
+	}
+	if 2*sizes[CodecFP16] > sizes[CodecRaw] {
+		t.Fatalf("fp16 payload %d B not ≥2× smaller than raw %d B", sizes[CodecFP16], sizes[CodecRaw])
+	}
+	if 2*sizes[CodecTopK] > sizes[CodecRaw] {
+		t.Fatalf("topk payload %d B not ≥2× smaller than raw %d B", sizes[CodecTopK], sizes[CodecRaw])
+	}
+}
+
+// TestDequantizeRejectsCorruption: wrong lengths, trailing bytes, bad scales
+// and out-of-range sparse indices must all reject with ErrQuant — never
+// panic, never a silent mis-decode.
+func TestDequantizeRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	vec := randVec(rng, 100)
+	for _, c := range []Codec{CodecRaw, CodecFP16, CodecInt8, CodecTopK, CodecDelta} {
+		buf, err := AppendQuantized(nil, c, vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases := map[string][]byte{
+			"truncated": buf[:len(buf)/2],
+			"trailing":  append(append([]byte(nil), buf...), 0xff),
+			"empty":     nil,
+		}
+		for name, p := range cases {
+			if _, err := Dequantize(c, p, len(vec)); !errors.Is(err, ErrQuant) {
+				t.Fatalf("%v %s: err = %v, want ErrQuant", c, name, err)
+			}
+		}
+		// Wrong element count for an otherwise valid payload. TopK is exempt:
+		// a sparse payload stays decodable under a larger n by design (the
+		// envelope's element count is authoritative there).
+		if c != CodecTopK {
+			if _, err := Dequantize(c, buf, len(vec)+1); !errors.Is(err, ErrQuant) {
+				t.Fatalf("%v n+1: err = %v, want ErrQuant", c, err)
+			}
+		}
+	}
+	if _, err := Dequantize(Codec(99), []byte{1}, 1); !errors.Is(err, ErrQuant) {
+		t.Fatalf("unknown codec: err = %v, want ErrQuant", err)
+	}
+	if _, err := AppendQuantized(nil, Codec(99), vec); !errors.Is(err, ErrQuant) {
+		t.Fatalf("unknown codec encode: err = %v, want ErrQuant", err)
+	}
+	if _, err := Dequantize(CodecRaw, nil, -1); !errors.Is(err, ErrQuant) {
+		t.Fatalf("negative n: err = %v, want ErrQuant", err)
+	}
+	// A non-finite fp16 scale is rejected.
+	bad, _ := AppendQuantized(nil, CodecFP16, vec)
+	for i := 0; i < 8; i++ {
+		bad[i] = 0xff // NaN scale
+	}
+	if _, err := Dequantize(CodecFP16, bad, len(vec)); !errors.Is(err, ErrQuant) {
+		t.Fatalf("NaN fp16 scale: err = %v, want ErrQuant", err)
+	}
+	// A topk index gap past the end is rejected.
+	tk, _ := AppendQuantized(nil, CodecTopK, []float64{1, 2, 3, 4})
+	tk[4] = 0xf0 // first index varint: huge gap
+	tk = tk[:5+8]
+	if _, err := Dequantize(CodecTopK, tk, 4); !errors.Is(err, ErrQuant) {
+		t.Fatalf("topk bad index: err = %v, want ErrQuant", err)
+	}
+}
+
+// TestCodecParseAndNames: the CLI name set round-trips.
+func TestCodecParseAndNames(t *testing.T) {
+	for _, c := range []Codec{CodecRaw, CodecFP16, CodecInt8, CodecTopK, CodecDelta} {
+		got, err := ParseCodec(c.String())
+		if err != nil || got != c {
+			t.Fatalf("ParseCodec(%q) = %v, %v", c.String(), got, err)
+		}
+		if !c.Valid() {
+			t.Fatalf("%v not valid", c)
+		}
+	}
+	if c, err := ParseCodec(""); err != nil || c != CodecRaw {
+		t.Fatalf("empty name: %v, %v", c, err)
+	}
+	if _, err := ParseCodec("zstd"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if Codec(5).Valid() {
+		t.Fatal("codec 5 reported valid")
+	}
+	for _, b := range AdvertiseCodecs() {
+		if !Codec(b).Valid() || Codec(b) == CodecRaw {
+			t.Fatalf("advertised codec %d invalid or raw", b)
+		}
+	}
+}
+
+// TestHalfConversionExhaustive: every half bit pattern converts to float64
+// and back unchanged (NaNs compare by class), so fp16 decode is exact.
+func TestHalfConversionExhaustive(t *testing.T) {
+	for h := 0; h <= 0xffff; h++ {
+		v := halfValue(uint16(h))
+		back := halfBits(v)
+		if math.IsNaN(v) {
+			if back&0x7c00 != 0x7c00 || back&0x3ff == 0 {
+				t.Fatalf("half %#04x: NaN did not survive (back %#04x)", h, back)
+			}
+			continue
+		}
+		if back != uint16(h) {
+			t.Fatalf("half %#04x → %g → %#04x", h, v, back)
+		}
+	}
+}
+
+// TestHalfRounding spot-checks round-to-nearest-even at the mantissa
+// boundary.
+func TestHalfRounding(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want uint16
+	}{
+		{1.0, 0x3c00},
+		{-1.0, 0xbc00},
+		{0.0, 0x0000},
+		{65504, 0x7bff},                 // max finite half
+		{65520, 0x7c00},                 // rounds up to Inf
+		{1e9, 0x7c00},                   // overflow
+		{math.Inf(1), 0x7c00},           // Inf
+		{6.0e-8, 0x0001},                // subnormal
+		{5.960464477539063e-08, 0x0001}, // smallest subnormal
+		{1e-12, 0x0000},                 // underflow to zero
+	}
+	for _, c := range cases {
+		if got := halfBits(c.in); got != c.want {
+			t.Fatalf("halfBits(%g) = %#04x, want %#04x", c.in, got, c.want)
+		}
+	}
+}
+
+// TestBytePoolReuse: GetBytes returns recycled capacity without allocating.
+func TestBytePoolReuse(t *testing.T) {
+	b := GetBytes(1024)
+	if len(b) != 0 || cap(b) < 1024 {
+		t.Fatalf("GetBytes: len=%d cap=%d", len(b), cap(b))
+	}
+	b = append(b, 1, 2, 3)
+	PutBytes(b)
+	b2 := GetBytes(512)
+	if cap(b2) < 1024 {
+		t.Fatalf("pool did not recycle: cap=%d", cap(b2))
+	}
+	PutBytes(b2)
+	PutBytes(nil) // must not panic
+}
+
+// TestTopKDeterministic: encoding is a pure function of the vector (the
+// sort is stable), so two encodes agree byte-for-byte — required for the
+// bit-identity comparisons.
+func TestTopKDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vec := randVec(rng, 257)
+	a, _ := AppendQuantized(nil, CodecTopK, vec)
+	b, _ := AppendQuantized(nil, CodecTopK, vec)
+	if string(a) != string(b) {
+		t.Fatal("topk encode not deterministic")
+	}
+	// Ties in magnitude resolve by index order (stable sort).
+	tie := []float64{3, -3, 3, 1, 1, 1, 1, 1}
+	got := roundTrip(t, CodecTopK, tie)
+	want := []float64{3, -3, 0, 0, 0, 0, 0, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tie-break: got %v, want %v", got, want)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"github.com/hetgc/hetgc/internal/clustercfg"
 	"github.com/hetgc/hetgc/internal/core"
+	"github.com/hetgc/hetgc/internal/grad"
 	"github.com/hetgc/hetgc/internal/ha"
 	"github.com/hetgc/hetgc/internal/ml"
 	"github.com/hetgc/hetgc/internal/runtime"
@@ -89,6 +90,9 @@ type ClusterConfig struct {
 	clustercfg.DurabilityConfig
 	clustercfg.HAConfig
 	clustercfg.TelemetryConfig
+	// Wire selects the gradient codec the root offers dialing workers
+	// (negotiated per connection; see clustercfg.WireConfig).
+	Wire clustercfg.WireConfig
 }
 
 // withDefaults validates and fills the config.
@@ -141,6 +145,7 @@ func (c ClusterConfig) elasticConfig(resume bool) runtime.ElasticConfig {
 	ec.DurabilityConfig.Resume = resume
 	ec.HAConfig = c.HAConfig
 	ec.TelemetryConfig = c.TelemetryConfig
+	ec.Wire = c.Wire
 	return ec
 }
 
@@ -264,6 +269,11 @@ type WorkerConfig struct {
 	Delay func(iter int) time.Duration
 	// MaxCycles bounds full passes over the address list (0 = unbounded).
 	MaxCycles int
+	// Codec restricts what gradient codecs this worker advertises: "" offers
+	// every codec the build knows (the master picks), "raw" forces raw
+	// uploads (mimicking an un-upgraded worker), any other codec name offers
+	// only that one.
+	Codec string
 }
 
 // RunWorker runs the worker loop: resolve the root, dial, train until the
@@ -288,6 +298,14 @@ func RunWorker(cfg WorkerConfig, stop <-chan struct{}) error {
 	if dialTimeout <= 0 {
 		dialTimeout = 2 * time.Second
 	}
+	var advertise []byte
+	if cfg.Codec != "" {
+		c, err := grad.ParseCodec(cfg.Codec)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadNode, err)
+		}
+		advertise = []byte{byte(c)}
+	}
 	resumeID := 0
 	var lastErr error
 	for cycle := 0; cfg.MaxCycles <= 0 || cycle < cfg.MaxCycles; cycle++ {
@@ -304,6 +322,7 @@ func RunWorker(cfg WorkerConfig, stop <-chan struct{}) error {
 				DialTimeout:   dialTimeout,
 				ResumeID:      resumeID,
 				Reconnect:     cfg.Reconnect,
+				Codecs:        advertise,
 			})
 			if err != nil {
 				lastErr = err

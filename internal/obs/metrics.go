@@ -57,7 +57,8 @@ type Metrics struct {
 	FencedWrites  *Counter
 	Promotions    *Counter
 
-	wireOnce sync.Once
+	wireOnce      sync.Once
+	wireCodecOnce sync.Once
 }
 
 // New returns a Metrics bundle on a fresh registry with a default-capacity
@@ -377,5 +378,32 @@ func (m *Metrics) BindWire(fn func() (framesIn, framesOut, bytesIn, bytesOut, ba
 			_, _, _, _, _, v := fn()
 			return v
 		})
+	})
+}
+
+// BindWireCodecs registers the per-codec gradient traffic families over the
+// process-wide transport counters. names holds the label value for each
+// codec byte (index = codec byte, e.g. grad's raw/fp16/int8/topk/delta) and
+// fn snapshots one codec's counters. Idempotent like BindWire.
+func (m *Metrics) BindWireCodecs(names []string, fn func(codec byte) (framesIn, framesOut, bytesIn, bytesOut uint64)) {
+	if m == nil || fn == nil || len(names) == 0 {
+		return
+	}
+	m.wireCodecOnce.Do(func() {
+		framesIn := make(map[string]func() uint64, len(names))
+		framesOut := make(map[string]func() uint64, len(names))
+		bytesIn := make(map[string]func() uint64, len(names))
+		bytesOut := make(map[string]func() uint64, len(names))
+		for i, name := range names {
+			c := byte(i)
+			framesIn[name] = func() uint64 { v, _, _, _ := fn(c); return v }
+			framesOut[name] = func() uint64 { _, v, _, _ := fn(c); return v }
+			bytesIn[name] = func() uint64 { _, _, v, _ := fn(c); return v }
+			bytesOut[name] = func() uint64 { _, _, _, v := fn(c); return v }
+		}
+		m.reg.CounterFuncVec(MWireCodecFramesInTotal, "Gradient frames received, by payload codec.", LCodec, framesIn)
+		m.reg.CounterFuncVec(MWireCodecFramesOutTotal, "Gradient frames sent, by payload codec.", LCodec, framesOut)
+		m.reg.CounterFuncVec(MWireCodecBytesInTotal, "Gradient payload bytes received, by codec (payload only, excluding framing).", LCodec, bytesIn)
+		m.reg.CounterFuncVec(MWireCodecBytesOutTotal, "Gradient payload bytes sent, by codec (payload only, excluding framing).", LCodec, bytesOut)
 	})
 }

@@ -53,6 +53,14 @@ const (
 	MWireBytesOutTotal  = "hetgc_wire_bytes_out_total"
 	MWireBatchesTotal   = "hetgc_wire_batches_total"
 	MWireMalformedTotal = "hetgc_wire_malformed_total"
+
+	// Per-codec gradient payload traffic (labeled by codec: raw, fp16,
+	// int8, topk, delta). Payload bytes only, so the ratio of a codec's
+	// bytes to raw's directly reads as its wire saving.
+	MWireCodecFramesInTotal  = "hetgc_wire_codec_frames_in_total"
+	MWireCodecFramesOutTotal = "hetgc_wire_codec_frames_out_total"
+	MWireCodecBytesInTotal   = "hetgc_wire_codec_bytes_in_total"
+	MWireCodecBytesOutTotal  = "hetgc_wire_codec_bytes_out_total"
 )
 
 // Label keys.
@@ -62,6 +70,7 @@ const (
 	LGroup  = "group"
 	LMember = "member"
 	LKind   = "kind"
+	LCodec  = "codec"
 )
 
 // Values for the rejected-upload reason label. They mirror roster.Stats

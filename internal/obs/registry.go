@@ -75,6 +75,10 @@ type series struct {
 	// counter: integer count in bits. gauge: math.Float64bits in bits.
 	bits atomic.Uint64
 
+	// fn-backed labeled counter series read their value at scrape time
+	// instead of bits (CounterFuncVec).
+	fn func() uint64
+
 	// histogram only.
 	counts  []atomic.Uint64 // one per bucket bound, +Inf implicit via count
 	count   atomic.Uint64
@@ -246,6 +250,17 @@ func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
 	f.fnInteger = true
 }
 
+// CounterFuncVec registers a single-label counter family whose series are
+// read at scrape time — the labeled analogue of CounterFunc (e.g. the
+// transport's per-codec gradient counters, one series per codec name).
+// Re-registering a label value replaces its function.
+func (r *Registry) CounterFuncVec(name, help, label string, series map[string]func() uint64) {
+	f := r.register(name, help, counterKind, []string{label}, nil)
+	for val, fn := range series {
+		f.get([]string{val}).fn = fn
+	}
+}
+
 // Histogram registers an unlabeled histogram with the given bucket upper
 // bounds (ascending; +Inf is implicit).
 func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
@@ -330,8 +345,12 @@ func (f *family) write(b *strings.Builder) {
 	for _, s := range sers {
 		switch f.kind {
 		case counterKind:
+			v := s.bits.Load()
+			if s.fn != nil {
+				v = s.fn()
+			}
 			fmt.Fprintf(b, "%s%s %s\n", f.name, labelString(f.labels, s.labelVals, "", ""),
-				strconv.FormatUint(s.bits.Load(), 10))
+				strconv.FormatUint(v, 10))
 		case gaugeKind:
 			fmt.Fprintf(b, "%s%s %s\n", f.name, labelString(f.labels, s.labelVals, "", ""),
 				formatFloat(math.Float64frombits(s.bits.Load())))

@@ -112,6 +112,13 @@ type Config struct {
 	// PartitionChunkLen is the wire chunk size for partition blobs
 	// (0 selects dataplane.DefaultChunkLen).
 	PartitionChunkLen int
+	// Codec is the master's preferred gradient upload codec (a grad.Codec
+	// byte). A worker that advertises it in its hello is told to use it in
+	// the handshake ack; workers that advertise nothing — peers from before
+	// codec negotiation — or don't support it fall back to raw float64, so
+	// mixed-version rosters interoperate. 0 (CodecRaw) disables
+	// quantization.
+	Codec byte
 	// Obs, when non-nil, receives live telemetry: member counts,
 	// join/death/rejoin events, fencing rejections mirroring Stats
 	// field-for-field, per-member throughput estimates and replan events.
@@ -202,6 +209,14 @@ type Engine struct {
 	readers   sync.WaitGroup
 	accept    sync.WaitGroup // accept loop + in-flight handshakes
 	closeOnce sync.Once
+
+	// Double-buffered collect slabs: Collect hands out the two buffers
+	// alternately, so the caller may keep using iteration k's coded uploads
+	// (decode, combine) while iteration k+1's Collect fills the other slab —
+	// the master half of the encode/decode pipeline overlap. Touched only by
+	// the run-loop goroutine that calls Collect.
+	collectBufs [2][]grad.Gradient
+	collectFlip int
 }
 
 // New validates the config and starts the accept loop on lis. The engine
@@ -218,6 +233,9 @@ func New(cfg Config, lis *transport.Listener) (*Engine, error) {
 	}
 	if cfg.K <= 0 || cfg.S < 0 {
 		return nil, fmt.Errorf("%w: k=%d s=%d", ErrBadConfig, cfg.K, cfg.S)
+	}
+	if !grad.Codec(cfg.Codec).Valid() {
+		return nil, fmt.Errorf("%w: unknown gradient codec %d", ErrBadConfig, cfg.Codec)
 	}
 	if cfg.HandshakeTimeout <= 0 {
 		cfg.HandshakeTimeout = 10 * time.Second
@@ -294,6 +312,21 @@ func validateHello(env *transport.Envelope) error {
 	return nil
 }
 
+// NegotiateCodec picks the gradient codec for one connection: the master's
+// preference when the peer's handshake advertised it, CodecRaw otherwise.
+// Raw needs no advertisement — every peer accepts it.
+func NegotiateCodec(preferred byte, advertised []byte) byte {
+	if preferred == 0 || !grad.Codec(preferred).Valid() {
+		return 0
+	}
+	for _, c := range advertised {
+		if c == preferred {
+			return preferred
+		}
+	}
+	return 0
+}
+
 // acceptLoop admits workers for the lifetime of the run.
 func (e *Engine) acceptLoop() {
 	defer e.accept.Done()
@@ -356,12 +389,14 @@ func (e *Engine) handshake(conn *transport.Conn) {
 		e.members[id] = &member{id: id, conn: conn, alive: true}
 	}
 	// Ack the hello with the assigned member ID so the worker can resume
-	// this slot after a reconnect. Join bookkeeping — the controller
-	// registration, the join counter, the Prior slot — happens only after
-	// the ack lands: a peer that dies mid-handshake was never a member, so
-	// it must not count as a join, a death, or burn a planned-throughput
-	// prior.
-	ack := &transport.Envelope{Type: transport.MsgHello, WorkerID: id}
+	// this slot after a reconnect, and the negotiated upload codec: the
+	// master's preference when the worker advertised it, raw otherwise (an
+	// old peer sends no advertisement and is never asked to quantize). Join
+	// bookkeeping — the controller registration, the join counter, the
+	// Prior slot — happens only after the ack lands: a peer that dies
+	// mid-handshake was never a member, so it must not count as a join, a
+	// death, or burn a planned-throughput prior.
+	ack := &transport.Envelope{Type: transport.MsgHello, WorkerID: id, Codec: NegotiateCodec(e.cfg.Codec, hello.Codecs)}
 	if err := conn.Send(ack); err != nil {
 		e.members[id].alive = false
 		e.mu.Unlock()
@@ -727,7 +762,7 @@ func (e *Engine) EpochViable(plan *elastic.Plan, arrived []bool) bool {
 // and retries, or gives up). Fencing decisions are accumulated into st.
 func (e *Engine) Collect(plan *elastic.Plan, iter, dim int, timeout time.Duration, st *Stats) (coeffs []float64, coded []grad.Gradient, ok bool) {
 	m := plan.Strategy.M()
-	coded = make([]grad.Gradient, m)
+	coded = e.collectSlab(m)
 	arrived := make([]bool, m)
 	if !e.EpochViable(plan, arrived) {
 		return nil, nil, false
@@ -825,6 +860,23 @@ func (e *Engine) Collect(plan *elastic.Plan, iter, dim int, timeout time.Duratio
 			return nil, nil, false
 		}
 	}
+}
+
+// collectSlab returns the next of the two alternating collect buffers,
+// resized to m slots and cleared. The slab returned two Collect calls ago is
+// recycled — by then the caller has decoded and discarded it.
+func (e *Engine) collectSlab(m int) []grad.Gradient {
+	e.collectFlip ^= 1
+	buf := e.collectBufs[e.collectFlip]
+	if cap(buf) < m {
+		buf = make([]grad.Gradient, m)
+	}
+	buf = buf[:m]
+	for i := range buf {
+		buf[i] = nil
+	}
+	e.collectBufs[e.collectFlip] = buf
+	return buf
 }
 
 // Shutdown stops the engine: the listener, every member connection and the

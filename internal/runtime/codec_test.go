@@ -1,0 +1,128 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/clustercfg"
+	"github.com/hetgc/hetgc/internal/grad"
+	"github.com/hetgc/hetgc/internal/ml"
+	"github.com/hetgc/hetgc/internal/transport"
+)
+
+// runElasticWithCodec runs a small churn-free loopback cluster under the
+// given master codec preference and returns the final parameters. Replans are
+// disabled, workers dial sequentially, and s=0 means every iteration decodes
+// from ALL workers — Collect returns on the first decodable subset, so any
+// straggler tolerance would let scheduling jitter pick different subsets
+// (and different float summation) across two otherwise identical runs.
+func runElasticWithCodec(t *testing.T, f *elasticFixture, codec string, workerCodecs []byte) []float64 {
+	t.Helper()
+	const k, s, iters, workers = 4, 0, 8, 3
+	cfg := f.masterConfig(k, s, iters)
+	cfg.MinWorkers = workers
+	cfg.DriftThreshold = 1e9
+	cfg.CooldownIters = 1 << 30
+	cfg.LossEvery = 0
+	cfg.LossFn = nil
+	cfg.Wire = clustercfg.WireConfig{Codec: codec}
+	master, err := NewElasticMaster(cfg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		w, err := DialElasticWorker(master.Addr(), ElasticWorkerConfig{
+			Model:         f.model,
+			PartitionData: func(p int) (*ml.Dataset, error) { return f.parts[p], nil },
+			Codecs:        workerCodecs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Run()
+		}()
+	}
+	if err := master.WaitForWorkers(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := master.Run()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Params
+}
+
+// TestElasticCodecDeltaBitIdentical is the lossless acceptance criterion on a
+// live loopback cluster: training under the delta codec must produce final
+// parameters bit-identical to the raw float64 run.
+func TestElasticCodecDeltaBitIdentical(t *testing.T) {
+	f := newElasticFixture(t, 4)
+	raw := runElasticWithCodec(t, f, "", nil)
+	delta := runElasticWithCodec(t, f, "delta", nil)
+	if len(raw) != len(delta) {
+		t.Fatalf("param lengths differ: %d vs %d", len(raw), len(delta))
+	}
+	for i := range raw {
+		if raw[i] != delta[i] {
+			t.Fatalf("param %d differs under delta codec: %v vs %v", i, raw[i], delta[i])
+		}
+	}
+}
+
+// TestElasticCodecInt8Negotiated proves the lossy path end to end: a master
+// preferring int8 negotiates it with advertising workers, the uploads travel
+// quantized (visible in the per-codec wire counters), and training still
+// converges to a sane model.
+func TestElasticCodecInt8Negotiated(t *testing.T) {
+	f := newElasticFixture(t, 4)
+	_, _, _, beforeOut := transport.WireCodec(byte(grad.CodecInt8))
+	params := runElasticWithCodec(t, f, "int8", nil)
+	_, _, _, afterOut := transport.WireCodec(byte(grad.CodecInt8))
+	if afterOut <= beforeOut {
+		t.Fatalf("no int8 gradient bytes on the wire (out: %d -> %d)", beforeOut, afterOut)
+	}
+	loss, err := ml.MeanLoss(f.model, params, f.data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initLoss, err := ml.MeanLoss(f.model, f.model.InitParams(nil), f.data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss >= initLoss {
+		t.Fatalf("int8 training did not improve loss: %v -> %v", initLoss, loss)
+	}
+}
+
+// TestElasticCodecMixedVersionFallback proves interop: workers that only
+// advertise raw (an un-upgraded build) keep uploading raw float64 even when
+// the master prefers int8, and the run completes.
+func TestElasticCodecMixedVersionFallback(t *testing.T) {
+	f := newElasticFixture(t, 4)
+	_, _, _, rawBefore := transport.WireCodec(byte(grad.CodecRaw))
+	params := runElasticWithCodec(t, f, "int8", []byte{byte(grad.CodecRaw)})
+	_, _, _, rawAfter := transport.WireCodec(byte(grad.CodecRaw))
+	if rawAfter <= rawBefore {
+		t.Fatalf("raw-only workers produced no raw gradient traffic (out: %d -> %d)", rawBefore, rawAfter)
+	}
+	if len(params) != f.model.Dim() {
+		t.Fatalf("got %d params, want %d", len(params), f.model.Dim())
+	}
+}
+
+// TestElasticCodecConfigRejected pins the config error for an unknown codec
+// name.
+func TestElasticCodecConfigRejected(t *testing.T) {
+	f := newElasticFixture(t, 4)
+	cfg := f.masterConfig(4, 1, 1)
+	cfg.Wire.Codec = "zstd"
+	if _, err := NewElasticMaster(cfg, "127.0.0.1:0"); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+}

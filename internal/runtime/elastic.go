@@ -106,6 +106,11 @@ type ElasticConfig struct {
 	clustercfg.DurabilityConfig
 	clustercfg.HAConfig
 	clustercfg.TelemetryConfig
+	// Wire selects the gradient codec the master offers each worker at its
+	// hello: workers that advertise it upload quantized payloads, everyone
+	// else stays on raw float64 (mixed-version interop). Not embedded — its
+	// Codec field would be shadow-prone next to the deprecated aliases below.
+	Wire clustercfg.WireConfig
 
 	// Deprecated: flat aliases for the embedded cluster blocks above, kept
 	// for one release so existing composite literals compile unchanged. Set
@@ -165,7 +170,22 @@ func (c *ElasticConfig) validate() error {
 	if c.LeaseTTL > 0 && c.CheckpointDir == "" {
 		return fmt.Errorf("%w: lease requires a checkpoint directory", ErrBadConfig)
 	}
+	if _, err := c.wireCodec(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// wireCodec parses the configured codec preference (empty means raw).
+func (c *ElasticConfig) wireCodec() (grad.Codec, error) {
+	if c.Wire.Codec == "" {
+		return grad.CodecRaw, nil
+	}
+	codec, err := grad.ParseCodec(c.Wire.Codec)
+	if err != nil {
+		return grad.CodecRaw, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return codec, nil
 }
 
 // ElasticResult summarises an elastic training run.
@@ -340,6 +360,8 @@ func NewElasticMaster(cfg ElasticConfig, addr string) (*ElasticMaster, error) {
 		rec = ma.store.GroupRecorder(0)
 	}
 	cfg.Obs.BindWire(transport.Wire)
+	cfg.Obs.BindWireCodecs(grad.CodecNames(), transport.WireCodec)
+	codec, _ := cfg.wireCodec() // validated above
 	rcfg := roster.Config{
 		Controller:   ctrl,
 		WriteTimeout: cfg.IterTimeout,
@@ -348,6 +370,7 @@ func NewElasticMaster(cfg ElasticConfig, addr string) (*ElasticMaster, error) {
 		Recovered:    recovered,
 		Recorder:     rec,
 		Obs:          cfg.Obs,
+		Codec:        byte(codec),
 	}
 	if ma.lease != nil {
 		rcfg.RootGen = ma.lease.Gen()

@@ -81,6 +81,11 @@ type ElasticWorkerConfig struct {
 	// Reconnect governs dial retries. The zero value preserves the historic
 	// no-redial behavior: one attempt, fail fast.
 	Reconnect ReconnectPolicy
+	// Codecs restricts the gradient codecs this worker advertises in its
+	// hello; nil advertises every non-raw codec. Advertise only CodecRaw to
+	// force raw uploads regardless of the master's preference (and to mimic
+	// an un-upgraded peer).
+	Codecs []byte
 }
 
 // ElasticWorker is a connected elastic worker: it survives strategy
@@ -90,10 +95,19 @@ type ElasticWorker struct {
 	conn   *transport.Conn
 	dp     *dataplane.Client // wire shard fetcher (nil with local PartitionData)
 	id     int               // stable member ID assigned by the master
+	codec  grad.Codec        // negotiated upload codec (raw when unadvertised)
 	epoch  int
 	assign *transport.Assignment
 	parts  []*ml.Dataset
 	cache  map[int]*ml.Dataset
+
+	// Single-slot upload pipeline: iterate hands each iteration's sends to
+	// the uploader goroutine (the connection's sole writer while Run is
+	// live), so iteration k+1's compute and encode overlap upload k. The
+	// capacity-1 channel bounds the pipeline at one in-flight iteration.
+	up      chan func() error
+	upFail  chan error    // first upload error, capacity 1
+	upDrain chan struct{} // closed when the uploader exits
 }
 
 // DialElasticWorker connects to an elastic master and performs the
@@ -133,7 +147,11 @@ func dialElasticOnce(addr string, cfg ElasticWorkerConfig) (*ElasticWorker, erro
 	if cfg.ResumeID > 0 {
 		helloID = cfg.ResumeID
 	}
-	if err := conn.Send(&transport.Envelope{Type: transport.MsgHello, WorkerID: helloID}); err != nil {
+	advertised := cfg.Codecs
+	if advertised == nil {
+		advertised = grad.AdvertiseCodecs()
+	}
+	if err := conn.Send(&transport.Envelope{Type: transport.MsgHello, WorkerID: helloID, Codecs: advertised}); err != nil {
 		_ = conn.Close()
 		return nil, err
 	}
@@ -146,10 +164,22 @@ func dialElasticOnce(addr string, cfg ElasticWorkerConfig) (*ElasticWorker, erro
 		_ = conn.Close()
 		return nil, fmt.Errorf("%w: expected hello ack, got %v", ErrBadConfig, ack.Type)
 	}
+	// Honor the master's chosen codec only if this worker advertised it —
+	// anything else (including an old master's zero value) means raw.
+	codec := grad.CodecRaw
+	if c := grad.Codec(ack.Codec); c != grad.CodecRaw && c.Valid() {
+		for _, adv := range advertised {
+			if adv == ack.Codec {
+				codec = c
+				break
+			}
+		}
+	}
 	w := &ElasticWorker{
 		cfg:   cfg,
 		conn:  conn,
 		id:    ack.WorkerID,
+		codec: codec,
 		epoch: -1,
 		cache: make(map[int]*ml.Dataset),
 	}
@@ -180,11 +210,21 @@ func (w *ElasticWorker) Close() error {
 }
 
 // Run processes reassignments and parameter broadcasts until shutdown or
-// connection loss. For every iteration it computes the coded gradient of its
-// current assignment, uploads it tagged with the assignment's epoch, then
-// uploads a telemetry report (compute seconds, partitions processed).
+// connection loss. For every iteration it computes and encodes the coded
+// gradient of its current assignment, then hands the upload (gradient plus a
+// telemetry report: compute seconds, partitions processed) to the uploader
+// goroutine — so the next iteration's compute and encode overlap the
+// previous upload, one iteration deep.
 func (w *ElasticWorker) Run() error {
-	defer w.Close()
+	w.up = make(chan func() error, 1)
+	w.upFail = make(chan error, 1)
+	w.upDrain = make(chan struct{})
+	go w.uploader()
+	defer func() {
+		close(w.up)
+		<-w.upDrain
+		w.Close()
+	}()
 	for {
 		env, err := w.conn.Recv()
 		if err != nil {
@@ -235,6 +275,34 @@ func (w *ElasticWorker) applyAssignment(env *transport.Envelope) error {
 	return nil
 }
 
+// uploader drains the upload pipeline. It is the connection's sole writer
+// while Run is live; the first send failure is parked in upFail for iterate
+// to surface, and later jobs still run (they fail fast on the dead
+// connection) so the pipeline never blocks the compute loop.
+func (w *ElasticWorker) uploader() {
+	defer close(w.upDrain)
+	for job := range w.up {
+		if err := job(); err != nil {
+			select {
+			case w.upFail <- err:
+			default:
+			}
+		}
+	}
+}
+
+// submitUpload enqueues one iteration's sends, surfacing any earlier upload
+// failure instead (the iteration's work is moot — the connection is gone).
+func (w *ElasticWorker) submitUpload(job func() error) error {
+	select {
+	case err := <-w.upFail:
+		return err
+	default:
+	}
+	w.up <- job
+	return nil
+}
+
 // iterate computes, encodes and uploads one iteration's coded gradient and
 // telemetry.
 func (w *ElasticWorker) iterate(env *transport.Envelope) error {
@@ -273,7 +341,6 @@ func (w *ElasticWorker) iterate(env *transport.Envelope) error {
 	}
 	compute := time.Since(computeStart).Seconds()
 
-	uploadStart := time.Now()
 	out := &transport.Envelope{
 		Type:     transport.MsgGradient,
 		Iter:     env.Iter,
@@ -283,12 +350,19 @@ func (w *ElasticWorker) iterate(env *transport.Envelope) error {
 		// against the params of the root that sent them, so a promoted root
 		// can fence uploads computed under its deposed predecessor.
 		RootGen: env.RootGen,
-		Vector:  coded,
 	}
-	err := w.conn.Send(out)
-	grad.PutBuffer(coded)
-	if err != nil {
-		return err
+	release := func() { grad.PutBuffer(coded) }
+	if w.codec != grad.CodecRaw {
+		q, err := grad.AppendQuantized(grad.GetBytes(8*len(coded)), w.codec, coded)
+		if err != nil {
+			grad.PutBuffer(coded)
+			return fmt.Errorf("worker %d iter %d: %w", w.id, env.Iter, err)
+		}
+		out.Codec, out.Quant, out.QuantLen = byte(w.codec), q, len(coded)
+		grad.PutBuffer(coded)
+		release = func() { grad.PutBytes(q) }
+	} else {
+		out.Vector = coded
 	}
 	tel := &transport.Envelope{
 		Type:     transport.MsgTelemetry,
@@ -298,9 +372,17 @@ func (w *ElasticWorker) iterate(env *transport.Envelope) error {
 		RootGen:  env.RootGen,
 		Telemetry: &transport.Telemetry{
 			ComputeSeconds: compute,
-			UploadSeconds:  time.Since(uploadStart).Seconds(),
 			Partitions:     len(w.parts),
 		},
 	}
-	return w.conn.Send(tel)
+	return w.submitUpload(func() error {
+		uploadStart := time.Now()
+		err := w.conn.Send(out)
+		release()
+		if err != nil {
+			return err
+		}
+		tel.Telemetry.UploadSeconds = time.Since(uploadStart).Seconds()
+		return w.conn.Send(tel)
+	})
 }

@@ -43,6 +43,7 @@ type groupCore struct {
 	iterTimeout time.Duration
 	maxRetries  int
 	obs         *obs.Metrics
+	codec       grad.Codec // uplink codec negotiated at the last adoption
 
 	// Run statistics (owned by the serving goroutine; read after it exits).
 	epochs   []int
@@ -127,9 +128,11 @@ func (gc *groupCore) adopt(conn *transport.Conn, timeout time.Duration) (gen, ne
 	}
 	_ = conn.SetDeadline(time.Now().Add(timeout))
 	defer conn.SetDeadline(time.Time{})
+	advertised := grad.AdvertiseCodecs()
 	err = conn.Send(&transport.Envelope{
-		Type:  transport.MsgAdopt,
-		Adopt: &transport.Adoption{Group: gc.g, Epoch: epoch, Members: members},
+		Type:   transport.MsgAdopt,
+		Codecs: advertised,
+		Adopt:  &transport.Adoption{Group: gc.g, Epoch: epoch, Members: members},
 	})
 	if err != nil {
 		return 0, 0, fmt.Errorf("group %d adoption: %w", gc.g, err)
@@ -140,6 +143,17 @@ func (gc *groupCore) adopt(conn *transport.Conn, timeout time.Duration) (gen, ne
 	}
 	if ack.Type != transport.MsgAdopt || ack.Adopt == nil || ack.Adopt.Group != gc.g {
 		return 0, 0, fmt.Errorf("%w: group %d: bad adoption ack %v", ErrBadConfig, gc.g, ack.Type)
+	}
+	// Honor the root's chosen uplink codec only if we advertised it — an old
+	// root's zero value (or a bogus byte) means raw.
+	gc.codec = grad.CodecRaw
+	if c := grad.Codec(ack.Codec); c != grad.CodecRaw && c.Valid() {
+		for _, adv := range advertised {
+			if adv == ack.Codec {
+				gc.codec = c
+				break
+			}
+		}
 	}
 	gc.eng.RaiseEpochBase(ack.Adopt.Epoch + 1)
 	gc.eng.SetRootGen(ack.RootGen)
@@ -242,12 +256,14 @@ func buildGroupController(cfg *Config, grp *Group, g int, ctrlState *elastic.Con
 // partition ID), so the engine translates through the group's partition
 // slice and advertises the global K.
 func newGroupEngine(cfg *Config, grp *Group, g int, ctrl *elastic.Controller, recovered []int, rec roster.Recorder, lis *transport.Listener) (*roster.Engine, error) {
+	codec, _ := cfg.wireCodec() // validated with the rest of the config
 	rcfg := roster.Config{
 		Controller:   ctrl,
 		WriteTimeout: cfg.IterTimeout,
 		InboxSize:    2*len(grp.Workers) + 8,
 		K:            cfg.K, // global K: partition IDs are global
 		S:            cfg.S,
+		Codec:        byte(codec),
 		PartitionMap: grp.Parts,
 		Recovered:    recovered,
 		Recorder:     rec,
@@ -359,9 +375,27 @@ func (gm *groupMaster) waitForWorkers(timeout time.Duration) error {
 // run is the group master's main loop: it serves root broadcasts until
 // shutdown, running one epoch-fenced group iteration per MsgParams and
 // answering with the group's decoded sum as a single coalesced batch of
-// chunks, stamped with the adopted root generation.
+// chunks, stamped with the adopted root generation. Chunking, quantization
+// and the batched write happen on a dedicated uploader goroutine (the
+// uplink's sole writer once the loop starts), so iteration k+1's collect
+// overlaps the encode and send of sum k.
 func (gm *groupMaster) run() {
 	defer close(gm.done)
+	upJobs := make(chan func() error, 1)
+	upErr := make(chan error, 1)
+	upDone := make(chan struct{})
+	go func() {
+		defer close(upDone)
+		for job := range upJobs {
+			if err := job(); err != nil {
+				select {
+				case upErr <- err:
+				default:
+				}
+			}
+		}
+	}()
+	defer func() { close(upJobs); <-upDone }()
 	var plan *elastic.Plan
 	for {
 		env, err := gm.up.Recv()
@@ -380,6 +414,12 @@ func (gm *groupMaster) run() {
 				// one the restartable runner relies on.
 				continue
 			}
+			select {
+			case err := <-upErr:
+				gm.fatal(fmt.Errorf("group %d upload: %w", gm.g, err))
+				return
+			default:
+			}
 			sum, epoch, err := gm.iteration(env.Iter, env.Vector, &plan)
 			if err != nil {
 				gm.fatal(err)
@@ -387,12 +427,17 @@ func (gm *groupMaster) run() {
 			}
 			gm.epochs = append(gm.epochs, epoch)
 			tmpl := transport.Envelope{Iter: env.Iter, Epoch: epoch, WorkerID: gm.g, RootGen: gm.rootGen}
-			frames := transport.ChunkGradient(tmpl, sum, gm.root.cfg.ChunkLen)
-			err = gm.up.SendBatch(frames)
-			grad.PutBuffer(sum)
-			if err != nil {
-				gm.fatal(fmt.Errorf("group %d upload: %w", gm.g, err))
-				return
+			chunkLen, codec := gm.root.cfg.ChunkLen, gm.codec
+			upJobs <- func() error {
+				frames, err := transport.ChunkGradientQuant(tmpl, sum, chunkLen, codec)
+				if err != nil {
+					grad.PutBuffer(sum)
+					return err
+				}
+				err = gm.up.SendBatch(frames)
+				transport.ReleaseQuant(frames)
+				grad.PutBuffer(sum)
+				return err
 			}
 		}
 	}

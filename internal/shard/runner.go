@@ -93,6 +93,9 @@ func (c *GroupRunnerConfig) validate() error {
 	if c.ResumeJournal && c.JournalDir == "" {
 		return fmt.Errorf("%w: resume requires a journal directory", ErrBadConfig)
 	}
+	if _, err := c.wireCodec(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -474,8 +477,14 @@ func (r *GroupRunner) serve(conn *transport.Conn, gen int) (fatal bool) {
 			r.iterFailures = 0
 			r.core.epochs = append(r.core.epochs, epoch)
 			tmpl := transport.Envelope{Iter: env.Iter, Epoch: epoch, WorkerID: r.cfg.Group, RootGen: gen}
-			frames := transport.ChunkGradient(tmpl, sum, r.cfg.ChunkLen)
+			frames, err := transport.ChunkGradientQuant(tmpl, sum, r.cfg.ChunkLen, r.core.codec)
+			if err != nil {
+				grad.PutBuffer(sum)
+				r.err = err
+				return true
+			}
 			err = conn.SendBatch(frames)
+			transport.ReleaseQuant(frames)
 			grad.PutBuffer(sum)
 			if err != nil {
 				return false // uplink died mid-upload; re-adopt

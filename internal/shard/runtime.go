@@ -46,6 +46,7 @@ import (
 	"github.com/hetgc/hetgc/internal/metrics"
 	"github.com/hetgc/hetgc/internal/ml"
 	"github.com/hetgc/hetgc/internal/obs"
+	"github.com/hetgc/hetgc/internal/roster"
 	"github.com/hetgc/hetgc/internal/transport"
 )
 
@@ -134,6 +135,11 @@ type Config struct {
 	clustercfg.DurabilityConfig
 	clustercfg.HAConfig
 	clustercfg.TelemetryConfig
+	// Wire selects the gradient codec the root offers each group master at
+	// its adoption: groups that advertise it quantize their uplink sums,
+	// everyone else stays on raw float64 (mixed-version interop). Group
+	// masters pass the same preference down to their workers' hellos.
+	Wire clustercfg.WireConfig
 
 	// Deprecated: flat aliases for the embedded cluster blocks above, kept
 	// for one release. Set DurabilityConfig.CheckpointDir (etc.) instead;
@@ -191,7 +197,22 @@ func (c *Config) validate() error {
 	if c.LeaseTTL > 0 && c.CheckpointDir == "" {
 		return fmt.Errorf("%w: lease requires a checkpoint directory", ErrBadConfig)
 	}
+	if _, err := c.wireCodec(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// wireCodec parses the configured codec preference (empty means raw).
+func (c *Config) wireCodec() (grad.Codec, error) {
+	if c.Wire.Codec == "" {
+		return grad.CodecRaw, nil
+	}
+	codec, err := grad.ParseCodec(c.Wire.Codec)
+	if err != nil {
+		return grad.CodecRaw, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return codec, nil
 }
 
 // GroupStats summarises one group's run.
@@ -263,6 +284,7 @@ type groupSum struct {
 type Root struct {
 	cfg    Config
 	plan   *Plan
+	codec  grad.Codec // uplink codec preference offered at each adoption
 	lis    *transport.Listener
 	groups []*groupMaster // indexed by group; nil for external groups
 	wg     sync.WaitGroup
@@ -424,6 +446,8 @@ func NewRoot(cfg Config, addr string) (*Root, error) {
 		r.store.SetMetrics(cfg.Obs)
 	}
 	cfg.Obs.BindWire(transport.Wire)
+	cfg.Obs.BindWireCodecs(grad.CodecNames(), transport.WireCodec)
+	r.codec, _ = cfg.wireCodec() // validated above
 	r.serveIter = r.startIter
 	// The adoption service runs for the root's lifetime: in-process masters
 	// adopt during their construction below; external runners (and every
@@ -537,6 +561,7 @@ func (r *Root) adoptConn(conn *transport.Conn) {
 		Type:    transport.MsgAdopt,
 		Iter:    r.serveIter,
 		RootGen: r.gen,
+		Codec:   roster.NegotiateCodec(byte(r.codec), env.Codecs),
 		Adopt: &transport.Adoption{
 			Group:   g,
 			Epoch:   r.groupEpoch[g],

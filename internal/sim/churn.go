@@ -16,6 +16,7 @@ import (
 	"github.com/hetgc/hetgc/internal/clustercfg"
 	"github.com/hetgc/hetgc/internal/core"
 	"github.com/hetgc/hetgc/internal/elastic"
+	"github.com/hetgc/hetgc/internal/grad"
 	"github.com/hetgc/hetgc/internal/ha"
 	"github.com/hetgc/hetgc/internal/metrics"
 	"github.com/hetgc/hetgc/internal/ml"
@@ -133,6 +134,12 @@ type ElasticSimConfig struct {
 	clustercfg.DurabilityConfig
 	clustercfg.HAConfig
 	clustercfg.TelemetryConfig
+	// Wire, when naming a non-raw codec, routes every simulated coded upload
+	// through the same quantize→dequantize round trip the live transport
+	// performs — so a codec's accuracy effect on training is measurable
+	// deterministically, and lossless codecs (delta) are provably
+	// bit-identical to a raw run.
+	Wire clustercfg.WireConfig
 
 	// Deprecated: flat aliases for the embedded cluster blocks above, kept
 	// for one release. Set DurabilityConfig.CheckpointDir (etc.) instead;
@@ -213,6 +220,13 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 	training := cfg.Model != nil || cfg.Data != nil || cfg.Optimizer != nil
 	if training && (cfg.Model == nil || cfg.Data == nil || cfg.Optimizer == nil) {
 		return nil, fmt.Errorf("%w: training needs model, data and optimizer together", ErrBadChurn)
+	}
+	codec := grad.CodecRaw
+	if cfg.Wire.Codec != "" {
+		var err error
+		if codec, err = grad.ParseCodec(cfg.Wire.Codec); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadChurn, err)
+		}
 	}
 	if cfg.LeaseTTL < 0 {
 		return nil, fmt.Errorf("%w: lease ttl %v", ErrBadChurn, cfg.LeaseTTL)
@@ -514,7 +528,7 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 		}
 		iterTime := decodeAt + cfg.CommOverhead
 		if training {
-			g, err := decodeGradient(st, coeffs, cfg.Model, params, parts)
+			g, err := decodeGradient(st, coeffs, cfg.Model, params, parts, codec)
 			if err != nil {
 				return nil, fmt.Errorf("iter %d decode: %w", iter, err)
 			}

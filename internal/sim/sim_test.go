@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"github.com/hetgc/hetgc/internal/core"
+	"github.com/hetgc/hetgc/internal/grad"
 	"github.com/hetgc/hetgc/internal/ml"
 	"github.com/hetgc/hetgc/internal/straggler"
 )
@@ -304,7 +305,7 @@ func TestTrainDecodedGradientExactness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := decodeGradient(st, coeffs, model, params, parts)
+	got, err := decodeGradient(st, coeffs, model, params, parts, grad.CodecRaw)
 	if err != nil {
 		t.Fatal(err)
 	}

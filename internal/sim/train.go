@@ -82,7 +82,7 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 		accountUsage(&usage, &out, cfg.Sim.CommOverhead)
 		clock += out.Time
 
-		g, err := decodeGradient(st, out.Coeffs, cfg.Model, params, parts)
+		g, err := decodeGradient(st, out.Coeffs, cfg.Model, params, parts, grad.CodecRaw)
 		if err != nil {
 			return nil, err
 		}
@@ -111,8 +111,10 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 // contributing worker computes its partition gradients, encodes them with
 // its row of B (g̃_w = Σ_j B[w][j]·g_j), and the master combines the coded
 // gradients with the decoding coefficients (g = Σ_w a_w·g̃_w). Partition
-// gradients are computed once and shared across workers.
-func decodeGradient(st *core.Strategy, coeffs []float64, model ml.Model, params []float64, parts []*ml.Dataset) (grad.Gradient, error) {
+// gradients are computed once and shared across workers. A non-raw codec
+// round-trips every coded upload through quantize→dequantize, exactly as the
+// wire would.
+func decodeGradient(st *core.Strategy, coeffs []float64, model ml.Model, params []float64, parts []*ml.Dataset, codec grad.Codec) (grad.Gradient, error) {
 	partGrad := make(map[int]grad.Gradient)
 	partial := func(p int) (grad.Gradient, error) {
 		if g, ok := partGrad[p]; ok {
@@ -169,6 +171,20 @@ func decodeGradient(st *core.Strategy, coeffs []float64, model ml.Model, params 
 		if err := grad.EncodeInto(enc, rowCoeffs, partials); err != nil {
 			grad.PutBuffer(enc)
 			return nil, err
+		}
+		if codec != grad.CodecRaw {
+			q, err := grad.AppendQuantized(grad.GetBytes(8*len(enc)), codec, enc)
+			if err != nil {
+				grad.PutBuffer(enc)
+				return nil, err
+			}
+			dec, err := grad.Dequantize(codec, q, len(enc))
+			grad.PutBytes(q)
+			if err != nil {
+				grad.PutBuffer(enc)
+				return nil, err
+			}
+			copy(enc, dec)
 		}
 		coded[w] = enc
 	}

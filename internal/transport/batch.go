@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"github.com/hetgc/hetgc/internal/grad"
 )
 
 // maxBatchFrames bounds the number of sub-frames Recv will unpack from one
@@ -30,12 +32,22 @@ const maxBatchFrames = 1 << 20
 const (
 	subFrameGob      = 0x00
 	subFrameGradient = 0x01
+	// subFrameQuant is the quantized-gradient layout: like subFrameGradient
+	// but the payload is a grad.Codec-encoded byte string instead of raw
+	// float64s, with the codec byte after the sub-frame marker.
+	subFrameQuant = 0x02
 )
 
 // gradientHeaderLen is the binary gradient sub-frame header: codec byte,
 // Iter/Epoch/WorkerID as uint32, Chunk/Chunks as uint32, RootGen, vector
 // length.
 const gradientHeaderLen = 1 + 4*7
+
+// quantHeaderLen is the quantized gradient sub-frame header: sub-frame
+// marker, gradient codec byte, then the same seven uint32 fields with the
+// element count (QuantLen) in place of the vector length. The payload byte
+// length is implied by the sub-frame length prefix.
+const quantHeaderLen = 2 + 4*7
 
 // batchBufPool recycles the scratch buffers used to assemble and encode
 // batch payloads.
@@ -54,6 +66,12 @@ func (c *Conn) SendBatch(envs []*Envelope) error {
 	case 0:
 		return nil
 	case 1:
+		// Enforce the same nested-batch rejection encodeBatch applies to
+		// longer batches: a hand-built MsgBatch envelope must not ship
+		// unvalidated through the single-frame shortcut.
+		if envs[0].Type == MsgBatch {
+			return fmt.Errorf("%w: nested batch (sub-frame 0)", ErrMalformed)
+		}
 		return c.Send(envs[0])
 	}
 	payload := batchBufPool.Get().(*bytes.Buffer)
@@ -80,8 +98,13 @@ func encodeBatch(buf *bytes.Buffer, envs []*Envelope) error {
 		}
 		at := buf.Len()
 		buf.Write(prefix[:])
+		if e.Type == MsgGradient {
+			countCodecOut(e)
+		}
 		if gradientFastPath(e) {
 			encodeGradientFrame(buf, e)
+		} else if quantFastPath(e) {
+			encodeQuantFrame(buf, e)
 		} else {
 			buf.WriteByte(subFrameGob)
 			if err := gob.NewEncoder(buf).Encode(e); err != nil {
@@ -94,16 +117,38 @@ func encodeBatch(buf *bytes.Buffer, envs []*Envelope) error {
 }
 
 // gradientFastPath reports whether a sub-frame fits the compact binary
-// gradient layout (uint32 header fields, no auxiliary payloads).
+// gradient layout (uint32 header fields, no auxiliary payloads). Chunk gets
+// the same upper bound as every other header field — a larger value would be
+// silently truncated by the uint32 conversion in encodeGradientFrame and
+// decode as the wrong chunk index.
 func gradientFastPath(e *Envelope) bool {
 	return e.Type == MsgGradient && e.Assign == nil && e.Telemetry == nil && e.Batch == nil &&
 		e.Adopt == nil && e.Blob == nil && e.Part == 0 &&
+		e.Codec == 0 && e.Quant == nil && e.QuantLen == 0 && e.Codecs == nil &&
 		e.Iter >= 0 && e.Iter <= math.MaxUint32>>1 &&
 		e.Epoch >= 0 && e.Epoch <= math.MaxUint32>>1 &&
 		e.WorkerID >= 0 && e.WorkerID <= math.MaxUint32>>1 &&
 		e.RootGen >= 0 && e.RootGen <= math.MaxUint32>>1 &&
-		e.Chunk >= 0 && e.Chunks >= 0 && e.Chunks <= math.MaxUint32>>1 &&
+		e.Chunk >= 0 && e.Chunk <= math.MaxUint32>>1 &&
+		e.Chunks >= 0 && e.Chunks <= math.MaxUint32>>1 &&
 		len(e.Vector) <= MaxVectorLen
+}
+
+// quantFastPath reports whether a sub-frame fits the compact quantized
+// gradient layout: a tagged quantized payload with no auxiliary fields and
+// every header value in uint32 range.
+func quantFastPath(e *Envelope) bool {
+	return e.Type == MsgGradient && e.Assign == nil && e.Telemetry == nil && e.Batch == nil &&
+		e.Adopt == nil && e.Blob == nil && e.Part == 0 &&
+		e.Codec != 0 && grad.Codec(e.Codec).Valid() &&
+		len(e.Quant) > 0 && len(e.Vector) == 0 && e.Codecs == nil &&
+		e.QuantLen >= 1 && e.QuantLen <= math.MaxUint32>>1 &&
+		e.Iter >= 0 && e.Iter <= math.MaxUint32>>1 &&
+		e.Epoch >= 0 && e.Epoch <= math.MaxUint32>>1 &&
+		e.WorkerID >= 0 && e.WorkerID <= math.MaxUint32>>1 &&
+		e.RootGen >= 0 && e.RootGen <= math.MaxUint32>>1 &&
+		e.Chunk >= 0 && e.Chunk <= math.MaxUint32>>1 &&
+		e.Chunks >= 0 && e.Chunks <= math.MaxUint32>>1
 }
 
 // encodeGradientFrame writes the binary gradient layout: header fields then
@@ -124,6 +169,52 @@ func encodeGradientFrame(buf *bytes.Buffer, e *Envelope) {
 		b = make([]byte, 0, 8*len(e.Vector))
 	}
 	buf.Write(AppendFloat64s(b, e.Vector))
+}
+
+// encodeQuantFrame writes the quantized gradient layout: marker and codec
+// bytes, the uint32 header fields, then the opaque codec payload.
+func encodeQuantFrame(buf *bytes.Buffer, e *Envelope) {
+	var hdr [quantHeaderLen]byte
+	hdr[0] = subFrameQuant
+	hdr[1] = e.Codec
+	binary.LittleEndian.PutUint32(hdr[2:], uint32(e.Iter))
+	binary.LittleEndian.PutUint32(hdr[6:], uint32(e.Epoch))
+	binary.LittleEndian.PutUint32(hdr[10:], uint32(e.WorkerID))
+	binary.LittleEndian.PutUint32(hdr[14:], uint32(e.Chunk))
+	binary.LittleEndian.PutUint32(hdr[18:], uint32(e.Chunks))
+	binary.LittleEndian.PutUint32(hdr[22:], uint32(e.RootGen))
+	binary.LittleEndian.PutUint32(hdr[26:], uint32(e.QuantLen))
+	buf.Write(hdr[:])
+	buf.Write(e.Quant)
+}
+
+// decodeQuantFrame parses the quantized gradient layout. The payload is not
+// copied — decodeBatch dequantizes it into a fresh Vector before the frame
+// escapes the transport, so aliasing the batch buffer is transient.
+func decodeQuantFrame(frame []byte) (*Envelope, error) {
+	if len(frame) < quantHeaderLen {
+		return nil, fmt.Errorf("%w: quantized sub-frame header truncated (%d bytes)", ErrMalformed, len(frame))
+	}
+	codec := grad.Codec(frame[1])
+	if !codec.Valid() || codec == grad.CodecRaw {
+		return nil, fmt.Errorf("%w: quantized sub-frame has unknown gradient codec %#x", ErrMalformed, frame[1])
+	}
+	e := &Envelope{
+		Type:     MsgGradient,
+		Iter:     int(binary.LittleEndian.Uint32(frame[2:])),
+		Epoch:    int(binary.LittleEndian.Uint32(frame[6:])),
+		WorkerID: int(binary.LittleEndian.Uint32(frame[10:])),
+		Chunk:    int(binary.LittleEndian.Uint32(frame[14:])),
+		Chunks:   int(binary.LittleEndian.Uint32(frame[18:])),
+		RootGen:  int(binary.LittleEndian.Uint32(frame[22:])),
+		Codec:    byte(codec),
+		QuantLen: int(binary.LittleEndian.Uint32(frame[26:])),
+		Quant:    frame[quantHeaderLen:],
+	}
+	if len(e.Quant) == 0 {
+		return nil, fmt.Errorf("%w: quantized sub-frame with empty payload", ErrMalformed)
+	}
+	return e, nil
 }
 
 // decodeGradientFrame parses the binary gradient layout.
@@ -181,6 +272,12 @@ func decodeBatch(batch []byte) ([]*Envelope, error) {
 			if err != nil {
 				return nil, err
 			}
+		case subFrameQuant:
+			var err error
+			e, err = decodeQuantFrame(frame)
+			if err != nil {
+				return nil, err
+			}
 		case subFrameGob:
 			e = new(Envelope)
 			if err := gob.NewDecoder(bytes.NewReader(frame[1:])).Decode(e); err != nil {
@@ -194,6 +291,12 @@ func decodeBatch(batch []byte) ([]*Envelope, error) {
 		}
 		if err := e.validate(); err != nil {
 			return nil, fmt.Errorf("batch sub-frame %d: %w", len(subs), err)
+		}
+		if e.Type == MsgGradient {
+			countCodecIn(e)
+			if err := e.dequantize(); err != nil {
+				return nil, fmt.Errorf("batch sub-frame %d: %w", len(subs), err)
+			}
 		}
 		off += n
 		subs = append(subs, e)
@@ -232,6 +335,48 @@ func ChunkGradient(tmpl Envelope, vec []float64, chunkLen int) []*Envelope {
 		out = append(out, &e)
 	}
 	return out
+}
+
+// ChunkGradientQuant splits one gradient upload into chunked MsgGradient
+// sub-frames like ChunkGradient and encodes each chunk's payload with the
+// negotiated codec into pooled buffers (ready for SendBatch; the receiver's
+// transport dequantizes transparently, so it reassembles with JoinChunks as
+// usual). Call ReleaseQuant on the frames once sent to recycle the payload
+// buffers. CodecRaw yields plain ChunkGradient frames; an invalid codec is
+// an error.
+func ChunkGradientQuant(tmpl Envelope, vec []float64, chunkLen int, codec grad.Codec) ([]*Envelope, error) {
+	if !codec.Valid() {
+		return nil, fmt.Errorf("transport: unknown gradient codec %d", byte(codec))
+	}
+	frames := ChunkGradient(tmpl, vec, chunkLen)
+	if codec == grad.CodecRaw {
+		return frames, nil
+	}
+	for _, e := range frames {
+		if len(e.Vector) == 0 {
+			continue // empty uploads stay raw: QuantLen 0 is not framable
+		}
+		q, err := grad.AppendQuantized(grad.GetBytes(8*len(e.Vector)), codec, e.Vector)
+		if err != nil {
+			ReleaseQuant(frames)
+			return nil, err
+		}
+		e.Codec, e.Quant, e.QuantLen = byte(codec), q, len(e.Vector)
+		e.Vector = nil
+	}
+	return frames, nil
+}
+
+// ReleaseQuant returns the pooled quantized payload buffers of sent frames
+// (as built by ChunkGradientQuant) to the codec byte pool. The frames must
+// not be used afterwards.
+func ReleaseQuant(envs []*Envelope) {
+	for _, e := range envs {
+		if e.Quant != nil {
+			grad.PutBytes(e.Quant)
+			e.Quant = nil
+		}
+	}
 }
 
 // ChunkBlob splits one data-plane payload into chunked MsgPartition frames

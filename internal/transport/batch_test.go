@@ -9,6 +9,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"github.com/hetgc/hetgc/internal/grad"
 )
 
 // randomEnvelope draws one valid non-batch envelope of a random flavour.
@@ -345,8 +347,10 @@ func FuzzBatchRoundTrip(f *testing.F) {
 
 // benchUplink measures a group master's per-iteration upload of a 64k-float
 // gradient in 4k-element chunks over loopback TCP: 16 separate sends versus
-// one coalesced batched write.
-func benchUplink(b *testing.B, batched bool) {
+// one coalesced batched write, with the payload optionally quantized by the
+// given codec (the receiver dequantizes transparently inside Recv, so its
+// decode cost is inside the measured loop).
+func benchUplink(b *testing.B, batched bool, codec grad.Codec) {
 	b.Helper()
 	lis, err := Listen("127.0.0.1:0")
 	if err != nil {
@@ -373,7 +377,10 @@ func benchUplink(b *testing.B, batched bool) {
 	for i := range vec {
 		vec[i] = float64(i)
 	}
-	frames := ChunkGradient(Envelope{WorkerID: 1}, vec, 4*1024)
+	frames, err := ChunkGradientQuant(Envelope{WorkerID: 1}, vec, 4*1024, codec)
+	if err != nil {
+		b.Fatal(err)
+	}
 	recvErr := make(chan error, 1)
 	go func() {
 		joined := make([]float64, 0, len(vec))
@@ -426,5 +433,7 @@ func benchUplink(b *testing.B, batched bool) {
 	b.ReportMetric(float64(bytesAfter-bytesBefore)/float64(b.N), "wire-B/iter")
 }
 
-func BenchmarkBatchedUplink(b *testing.B)   { benchUplink(b, true) }
-func BenchmarkUnbatchedUplink(b *testing.B) { benchUplink(b, false) }
+func BenchmarkBatchedUplink(b *testing.B)     { benchUplink(b, true, grad.CodecRaw) }
+func BenchmarkUnbatchedUplink(b *testing.B)   { benchUplink(b, false, grad.CodecRaw) }
+func BenchmarkBatchedUplinkInt8(b *testing.B) { benchUplink(b, true, grad.CodecInt8) }
+func BenchmarkBatchedUplinkFP16(b *testing.B) { benchUplink(b, true, grad.CodecFP16) }

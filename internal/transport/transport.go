@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"github.com/hetgc/hetgc/internal/grad"
 )
 
 // MsgType enumerates protocol messages.
@@ -168,6 +170,20 @@ type Envelope struct {
 	// Blob is the MsgPartition payload: one piece of the CRC-framed encoded
 	// dataset (see internal/dataplane).
 	Blob []byte
+	// Codecs advertises the sender's supported non-raw gradient codecs in a
+	// handshake frame (MsgHello / MsgAdopt). A peer that predates codec
+	// negotiation sends no advertisement — gob simply omits the unknown
+	// field — and is served raw float64.
+	Codecs []byte
+	// Codec is the gradient codec byte (grad.Codec): on a handshake ack it
+	// is the master's chosen codec for the connection; on a MsgGradient it
+	// tags the Quant payload's encoding. 0 (CodecRaw) everywhere else.
+	Codec byte
+	// Quant is a quantized gradient payload of QuantLen elements, encoded
+	// with Codec; mutually exclusive with Vector. Recv dequantizes it
+	// transparently, so receivers above the transport always see Vector.
+	Quant    []byte
+	QuantLen int
 }
 
 // Errors returned by the transport layer.
@@ -198,6 +214,15 @@ const MaxBlobLen = 1 << 30
 // any real partition count.
 const MaxPartIndex = 1 << 30
 
+// MaxCodecList bounds a handshake's codec advertisement, above any codec set
+// a real peer version could support.
+const MaxCodecList = 16
+
+// maxQuantBytesPerElem bounds a quantized payload's size relative to its
+// element count: delta's worst case is a 10-byte uvarint per element, plus a
+// small per-payload header allowance.
+const maxQuantBytesPerElem = 10
+
 // validate checks the structural invariants of a received envelope.
 func (e *Envelope) validate() error {
 	if e.Type < MsgHello || e.Type > MsgPartition {
@@ -214,6 +239,43 @@ func (e *Envelope) validate() error {
 	}
 	if e.Part != 0 && e.Type != MsgPartitionReq && e.Type != MsgPartition {
 		return fmt.Errorf("%w: %v carries a partition index", ErrMalformed, e.Type)
+	}
+	if !grad.Codec(e.Codec).Valid() {
+		return fmt.Errorf("%w: %v unknown gradient codec %d", ErrMalformed, e.Type, e.Codec)
+	}
+	if e.Codec != 0 && e.Type != MsgHello && e.Type != MsgAdopt && e.Type != MsgGradient {
+		return fmt.Errorf("%w: %v carries gradient codec %s", ErrMalformed, e.Type, grad.Codec(e.Codec))
+	}
+	if len(e.Codecs) > MaxCodecList {
+		return fmt.Errorf("%w: %v advertises %d codecs (cap %d)", ErrMalformed, e.Type, len(e.Codecs), MaxCodecList)
+	}
+	if len(e.Codecs) > 0 && e.Type != MsgHello && e.Type != MsgAdopt {
+		return fmt.Errorf("%w: %v carries a codec advertisement", ErrMalformed, e.Type)
+	}
+	for _, c := range e.Codecs {
+		if !grad.Codec(c).Valid() {
+			return fmt.Errorf("%w: %v advertises unknown codec %d", ErrMalformed, e.Type, c)
+		}
+	}
+	if len(e.Quant) > 0 || e.QuantLen != 0 {
+		if e.Type != MsgGradient {
+			return fmt.Errorf("%w: %v carries a quantized payload", ErrMalformed, e.Type)
+		}
+		if e.Codec == 0 {
+			return fmt.Errorf("%w: quantized gradient without a codec byte", ErrMalformed)
+		}
+		if len(e.Quant) == 0 {
+			return fmt.Errorf("%w: quantized gradient of %d elements with no payload", ErrMalformed, e.QuantLen)
+		}
+		if e.QuantLen < 1 || e.QuantLen > MaxVectorLen {
+			return fmt.Errorf("%w: quantized gradient length %d", ErrMalformed, e.QuantLen)
+		}
+		if len(e.Quant) > maxQuantBytesPerElem*e.QuantLen+16 {
+			return fmt.Errorf("%w: quantized payload %d B for %d elements", ErrMalformed, len(e.Quant), e.QuantLen)
+		}
+		if len(e.Vector) != 0 {
+			return fmt.Errorf("%w: gradient with both raw and quantized payloads", ErrMalformed)
+		}
 	}
 	if e.Type == MsgBatch {
 		if len(e.Batch) == 0 {
@@ -341,6 +403,25 @@ func (c *Conn) Send(e *Envelope) error {
 	if e.Type == MsgBatch {
 		wire.batches.Add(1)
 	}
+	if e.Type == MsgGradient {
+		countCodecOut(e)
+	}
+	return nil
+}
+
+// dequantize resolves a quantized gradient payload into its Vector so
+// receivers above the transport always see plain float64 gradients.
+// Undecodable payloads are protocol violations (ErrMalformed).
+func (e *Envelope) dequantize() error {
+	if len(e.Quant) == 0 {
+		return nil
+	}
+	vec, err := grad.Dequantize(grad.Codec(e.Codec), e.Quant, e.QuantLen)
+	if err != nil {
+		return fmt.Errorf("%w: %s gradient payload: %v", ErrMalformed, grad.Codec(e.Codec), err)
+	}
+	e.Vector = vec
+	e.Quant, e.QuantLen = nil, 0
 	return nil
 }
 
@@ -373,6 +454,13 @@ func (c *Conn) Recv() (*Envelope, error) {
 		}
 		c.pending = subs[1:]
 		return subs[0], nil
+	}
+	if e.Type == MsgGradient {
+		countCodecIn(&e)
+		if err := e.dequantize(); err != nil {
+			wire.malformed.Add(1)
+			return nil, err
+		}
 	}
 	return &e, nil
 }

@@ -3,6 +3,8 @@ package transport
 import (
 	"net"
 	"sync/atomic"
+
+	"github.com/hetgc/hetgc/internal/grad"
 )
 
 // Process-wide wire counters, always on: frame and byte counts are a
@@ -28,6 +30,52 @@ func Wire() (framesIn, framesOut, bytesIn, bytesOut, batches, malformed uint64) 
 	return wire.framesIn.Load(), wire.framesOut.Load(),
 		wire.bytesIn.Load(), wire.bytesOut.Load(),
 		wire.batches.Load(), wire.malformed.Load()
+}
+
+// wireCodec counts gradient payload traffic per codec: frames and payload
+// bytes (the float/quant payload itself, excluding framing), split by
+// direction. Raw float64 gradients count under CodecRaw at 8 B/element, so
+// the per-codec families directly expose each codec's wire savings.
+var wireCodec [grad.NumCodecs]struct {
+	framesIn, framesOut, bytesIn, bytesOut atomic.Uint64
+}
+
+// codecPayload classifies a gradient envelope's payload for the per-codec
+// counters.
+func codecPayload(e *Envelope) (codec byte, bytes uint64) {
+	if len(e.Quant) > 0 {
+		return e.Codec, uint64(len(e.Quant))
+	}
+	return byte(grad.CodecRaw), uint64(8 * len(e.Vector))
+}
+
+func countCodecIn(e *Envelope) {
+	c, n := codecPayload(e)
+	if int(c) >= len(wireCodec) {
+		return
+	}
+	wireCodec[c].framesIn.Add(1)
+	wireCodec[c].bytesIn.Add(n)
+}
+
+func countCodecOut(e *Envelope) {
+	c, n := codecPayload(e)
+	if int(c) >= len(wireCodec) {
+		return
+	}
+	wireCodec[c].framesOut.Add(1)
+	wireCodec[c].bytesOut.Add(n)
+}
+
+// WireCodec snapshots the process-wide gradient payload counters for one
+// codec: frames received and sent and payload bytes read and written.
+// Cumulative for the process lifetime; an out-of-range codec reads as zero.
+func WireCodec(c byte) (framesIn, framesOut, bytesIn, bytesOut uint64) {
+	if int(c) >= len(wireCodec) {
+		return 0, 0, 0, 0
+	}
+	w := &wireCodec[c]
+	return w.framesIn.Load(), w.framesOut.Load(), w.bytesIn.Load(), w.bytesOut.Load()
 }
 
 // countingConn counts raw bytes crossing a connection. Embedding forwards
