@@ -1,0 +1,104 @@
+// Command gcctl is the fleet aggregator: one command that answers "what is
+// the cluster doing right now". It discovers every node's telemetry
+// endpoint from the shared roster file (metrics = ["host:port", ...]),
+// scrapes each /metrics and /debug/events, and renders one merged view —
+// a globally ordered node-labeled event timeline plus cluster-wide gauges
+// (iterations/sec, wire bytes by codec, stalest snapshot, lease generation
+// skew). With -checkpoint-dir it also reads the HA lease token, so the
+// dashboard names the live root's generation and address even mid-failover.
+//
+//	gcctl -roster cluster.toml                     # one-shot dashboard
+//	gcctl -roster cluster.toml -watch 2s           # refresh every 2s
+//	gcctl -roster cluster.toml -json               # machine-readable snapshot
+//	gcctl -roster cluster.toml -checkpoint-dir /shared/ckpt
+//
+// Exit status is non-zero when any node fails to scrape; the unhealthy
+// nodes are named on stderr, and the dashboard (or JSON snapshot, which
+// carries per-node health) still covers the surviving nodes.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/fleet"
+	"github.com/hetgc/hetgc/internal/node"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gcctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gcctl", flag.ContinueOnError)
+	var (
+		rosterPath = fs.String("roster", "", "roster file (TOML or JSON); its metrics key lists the endpoints to scrape")
+		ckptDir    = fs.String("checkpoint-dir", "", "read the HA lease token from this directory to name the live root")
+		asJSON     = fs.Bool("json", false, "emit the full snapshot as JSON instead of the text dashboard")
+		watch      = fs.Duration("watch", 0, "re-scrape and re-render at this interval (0 = one shot)")
+		timeout    = fs.Duration("timeout", 5*time.Second, "per-node scrape timeout")
+		tail       = fs.Int("tail", 15, "timeline events to show in the text dashboard (0 = all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *rosterPath == "" {
+		return errors.New("-roster is required — gcctl discovers the fleet from the roster's metrics key")
+	}
+	roster, err := node.LoadRoster(*rosterPath)
+	if err != nil {
+		return err
+	}
+	nodes, _, err := fleet.Discover(roster, *ckptDir)
+	if err != nil {
+		return err
+	}
+	sc := &fleet.Scraper{Timeout: *timeout}
+
+	sweep := func() (*fleet.Snapshot, error) {
+		// Re-read the lease each sweep: a failover moves it between scrapes.
+		_, root, err := fleet.Discover(roster, *ckptDir)
+		if err != nil {
+			return nil, err
+		}
+		snap := sc.Collect(nodes, root)
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(snap); err != nil {
+				return nil, err
+			}
+		} else {
+			snap.WriteText(os.Stdout, *tail)
+		}
+		return snap, nil
+	}
+
+	if *watch <= 0 {
+		snap, err := sweep()
+		if err != nil {
+			return err
+		}
+		if down := snap.Unhealthy(); len(down) > 0 {
+			return fmt.Errorf("unhealthy nodes: %v", down)
+		}
+		return nil
+	}
+
+	for {
+		if _, err := sweep(); err != nil {
+			return err
+		}
+		if !*asJSON {
+			fmt.Println()
+		}
+		time.Sleep(*watch)
+	}
+}

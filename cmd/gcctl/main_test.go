@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/ha"
+	"github.com/hetgc/hetgc/internal/obs"
+)
+
+func writeRoster(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cluster.toml")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{"-wat"}); err == nil {
+		t.Fatal("expected flag error")
+	}
+	if err := run(nil); err == nil || !strings.Contains(err.Error(), "-roster") {
+		t.Fatalf("missing roster: %v", err)
+	}
+	if err := run([]string{"-roster", filepath.Join(t.TempDir(), "nope.toml")}); err == nil {
+		t.Fatal("unreadable roster accepted")
+	}
+}
+
+func TestRunRejectsRosterWithoutMetrics(t *testing.T) {
+	roster := writeRoster(t, "root = \"10.0.0.1:7000\"\nworkers = 2\n")
+	if err := run([]string{"-roster", roster}); err == nil || !strings.Contains(err.Error(), "metrics") {
+		t.Fatalf("roster without metrics key: %v", err)
+	}
+}
+
+// TestRunOneShot drives the full one-shot path against a real telemetry
+// server and a real lease token: healthy fleet renders and exits nil, both
+// as text and as JSON; adding a dead endpoint turns the sweep into the
+// non-zero "unhealthy nodes" exit naming it.
+func TestRunOneShot(t *testing.T) {
+	m := obs.New()
+	m.OnIteration(0, 0.05)
+	m.Event(obs.Event{Kind: obs.EvReplan, Iter: 0})
+	srv, err := obs.NewServer("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ckpt := t.TempDir()
+	if _, err := ha.Acquire(ckpt, "gcroot-1", "10.0.0.1:7000", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	roster := writeRoster(t,
+		"root = \"10.0.0.1:7000\"\nworkers = 2\nmetrics = [\""+srv.Addr()+"\"]\n")
+	for _, args := range [][]string{
+		{"-roster", roster, "-checkpoint-dir", ckpt, "-tail", "5"},
+		{"-roster", roster, "-checkpoint-dir", ckpt, "-json"},
+	} {
+		if err := run(args); err != nil {
+			t.Fatalf("run(%v) on a healthy fleet: %v", args, err)
+		}
+	}
+
+	down := writeRoster(t,
+		"root = \"10.0.0.1:7000\"\nworkers = 2\nmetrics = [\""+srv.Addr()+"\", \"127.0.0.1:1\"]\n")
+	err = run([]string{"-roster", down, "-timeout", "1s"})
+	if err == nil || !strings.Contains(err.Error(), "127.0.0.1:1") {
+		t.Fatalf("dead node must fail the one-shot naming it: %v", err)
+	}
+}

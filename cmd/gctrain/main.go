@@ -314,6 +314,20 @@ func runDurable(scheme string, iters, s, stragglerMs int, seed int64, shared cli
 		fmt.Printf("  %8.3f  %.4f\n", p.X, p.Y)
 	}
 	if tel != nil {
+		if rep := tel.StragglerReport(0); rep.Slowest != nil {
+			sl := rep.Slowest
+			fmt.Printf("\nstraggler attribution (window: %d traced iterations):\n", rep.WindowIters)
+			fmt.Printf("  slowest: member %d  mean contribution %.1fms  gated %d iterations  slowest phase %s (%.1fms)  trend %s\n",
+				sl.Member, sl.MeanSeconds*1e3, sl.GatedIters, sl.SlowestPhase, sl.SlowestPhaseSeconds*1e3, sl.Trend)
+			for i, mr := range rep.Members {
+				if i >= 5 {
+					fmt.Printf("  … %d more members at /debug/stragglers\n", len(rep.Members)-i)
+					break
+				}
+				fmt.Printf("  member %-3d contribs %-3d erasures %-2d mean %7.1fms  last %7.1fms  %s\n",
+					mr.Member, mr.Contribs, mr.Erasures, mr.MeanSeconds*1e3, mr.LastSeconds*1e3, mr.Trend)
+			}
+		}
 		if evs := tel.Journal().Recent(20); len(evs) > 0 {
 			fmt.Println("\nevent journal (most recent):")
 			for _, ev := range evs {

@@ -9,6 +9,8 @@
 package e2e
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -23,7 +25,9 @@ import (
 	"time"
 
 	"github.com/hetgc/hetgc/internal/checkpoint"
+	"github.com/hetgc/hetgc/internal/fleet"
 	"github.com/hetgc/hetgc/internal/node"
+	"github.com/hetgc/hetgc/internal/obs"
 )
 
 const (
@@ -51,8 +55,10 @@ func TestProcClusterFailover(t *testing.T) {
 
 	rootAddr, standbyAddr := freeAddr(t), freeAddr(t)
 	rootMetrics, standbyMetrics := freeAddr(t), freeAddr(t)
+	workerMetrics := freeAddr(t)
 	roster := filepath.Join(t.TempDir(), "cluster.toml")
-	rosterBody := fmt.Sprintf("root = %q\nstandbys = [%q]\nworkers = %d\n", rootAddr, standbyAddr, workers)
+	rosterBody := fmt.Sprintf("root = %q\nstandbys = [%q]\nworkers = %d\nmetrics = [%q, %q, %q]\n",
+		rootAddr, standbyAddr, workers, rootMetrics, standbyMetrics, workerMetrics)
 	if err := os.WriteFile(roster, []byte(rosterBody), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -70,12 +76,17 @@ func TestProcClusterFailover(t *testing.T) {
 	standby := spawn(t, artifacts, "standby", bin["gcroot"],
 		append(sharedFlags, "-role", "standby", "-listen", standbyAddr, "-metrics-addr", standbyMetrics)...)
 	for i := 0; i < workers; i++ {
-		spawn(t, artifacts, fmt.Sprintf("worker-%d", i), bin["gcworker"],
+		args := []string{
 			"-roster", roster,
 			"-k", strconv.Itoa(k), "-seed", strconv.Itoa(seed),
 			"-slow-ms", "75",
 			"-checkpoint-dir", ckpt,
-			"-dial-timeout", "2s")
+			"-dial-timeout", "2s",
+		}
+		if i == 0 { // one worker joins the scrapeable fleet
+			args = append(args, "-metrics-addr", workerMetrics)
+		}
+		spawn(t, artifacts, fmt.Sprintf("worker-%d", i), bin["gcworker"], args...)
 	}
 	defer func() {
 		if t.Failed() {
@@ -104,6 +115,13 @@ func TestProcClusterFailover(t *testing.T) {
 	}
 	t.Logf("root killed after durable iteration %d", killAfter)
 
+	// While the standby takes over and finishes the run, the fleet
+	// aggregator must tell the failover as one merged, node-attributed
+	// story — and the promoted root's /debug/trace must serve stitched
+	// per-worker phase spans.
+	assertGcctlSeesFailover(t, artifacts, bin["gcctl"], roster, ckpt, standbyMetrics)
+	assertStitchedTraces(t, standbyMetrics)
+
 	if err := standby.wait(120 * time.Second); err != nil {
 		t.Fatalf("standby did not finish the run: %v\n%s", err, standby.output())
 	}
@@ -126,6 +144,94 @@ func TestProcClusterFailover(t *testing.T) {
 		t.Fatalf("failover params digest %s != uninterrupted baseline %s\nstandby output:\n%s", digest[1], want, out)
 	}
 	t.Logf("failover run bit-identical to baseline (digest %s), standby resumed at iteration %s", want, resumed[1])
+}
+
+// assertGcctlSeesFailover polls the gcctl binary against the shared roster
+// until its merged timeline carries both the failover and the fence event
+// attributed to the promoted standby's node. gcctl's exit status is
+// deliberately ignored: the dead root's endpoint is still in the roster, so
+// every sweep rightly reports it unhealthy — the JSON snapshot on stdout is
+// the deliverable. The last snapshot lands in the artifact dir on failure.
+func assertGcctlSeesFailover(t *testing.T, artifacts, gcctl, roster, ckpt, standbyMetrics string) {
+	t.Helper()
+	var lastOut []byte
+	var lastErr string
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var stdout, stderr bytes.Buffer
+		cmd := exec.Command(gcctl, "-roster", roster, "-checkpoint-dir", ckpt, "-json", "-timeout", "2s")
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		_ = cmd.Run() // non-zero exit = unhealthy nodes, expected with the root dead
+		lastOut, lastErr = stdout.Bytes(), stderr.String()
+
+		var snap fleet.Snapshot
+		if err := json.Unmarshal(lastOut, &snap); err == nil {
+			sawFailover, sawFence := false, false
+			for _, ev := range snap.Timeline {
+				if ev.Node != standbyMetrics {
+					continue
+				}
+				switch ev.Kind {
+				case obs.EvFailover:
+					sawFailover = true
+				case obs.EvFence:
+					sawFence = true
+				}
+			}
+			if sawFailover && sawFence {
+				if snap.Root == nil || snap.Root.Gen < 2 {
+					t.Errorf("gcctl timeline shows the failover but the lease names no promoted root: %+v", snap.Root)
+				}
+				t.Logf("gcctl merged timeline shows failover + fence from %s (%d events, %d nodes)",
+					standbyMetrics, len(snap.Timeline), len(snap.Nodes))
+				return
+			}
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+	path := filepath.Join(artifacts, "gcctl-snapshot.json")
+	_ = os.WriteFile(path, lastOut, 0o644)
+	t.Fatalf("gcctl never merged failover + fence events from %s into the timeline; last snapshot in %s\nstderr: %s",
+		standbyMetrics, path, lastErr)
+}
+
+// assertStitchedTraces reads the promoted root's /debug/trace and requires at
+// least one iteration whose member child spans carry wire-echoed worker
+// phases — proof the trace context made the round trip over the wire.
+func assertStitchedTraces(t *testing.T, metricsAddr string) {
+	t.Helper()
+	client := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(30 * time.Second)
+	var last string
+	for time.Now().Before(deadline) {
+		resp, err := client.Get("http://" + metricsAddr + "/debug/trace?n=10")
+		if err == nil {
+			var traces []obs.IterTrace
+			err = json.NewDecoder(resp.Body).Decode(&traces)
+			resp.Body.Close()
+			if err == nil {
+				for _, tr := range traces {
+					for _, ms := range tr.Members {
+						for _, sp := range ms.Spans {
+							if sp.Phase == obs.PhaseCompute && sp.Seconds > 0 {
+								t.Logf("stitched trace: iter %d member %d echoed %d phase spans over the wire",
+									tr.Iter, ms.Member, len(ms.Spans))
+								return
+							}
+						}
+					}
+				}
+				last = fmt.Sprintf("%d traces, none with echoed member compute spans", len(traces))
+			} else {
+				last = err.Error()
+			}
+		} else {
+			last = err.Error()
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+	t.Fatalf("promoted root's /debug/trace never served wire-echoed member phase spans: %s", last)
 }
 
 // baselineDigest trains the identical configuration uninterrupted in-process
@@ -168,17 +274,18 @@ func baselineDigest(t *testing.T) string {
 	return node.ParamsDigest(res.Params)
 }
 
-// buildBinaries compiles gcroot and gcworker once into a temp dir.
+// buildBinaries compiles gcroot, gcworker and gcctl once into a temp dir.
 func buildBinaries(t *testing.T) map[string]string {
 	t.Helper()
 	dir := t.TempDir()
-	cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator), "../cmd/gcroot", "../cmd/gcworker")
+	cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator), "../cmd/gcroot", "../cmd/gcworker", "../cmd/gcctl")
 	if out, err := cmd.CombinedOutput(); err != nil {
 		t.Fatalf("go build: %v\n%s", err, out)
 	}
 	return map[string]string{
 		"gcroot":   filepath.Join(dir, "gcroot"),
 		"gcworker": filepath.Join(dir, "gcworker"),
+		"gcctl":    filepath.Join(dir, "gcctl"),
 	}
 }
 

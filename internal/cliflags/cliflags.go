@@ -35,7 +35,7 @@ func Register(fs *flag.FlagSet, c *Cluster) {
 	fs.StringVar(&c.CheckpointDir, "checkpoint-dir", "", "durable-state directory (journal + snapshots); enables the elastic runtime")
 	fs.IntVar(&c.SnapshotEvery, "snapshot-every", 5, "snapshot cadence in iterations (with -checkpoint-dir)")
 	fs.DurationVar(&c.LeaseTTL, "lease-ttl", 0, "hold the HA root lease over -checkpoint-dir with this TTL (0 disables)")
-	fs.StringVar(&c.MetricsAddr, "metrics-addr", "", "serve live telemetry on this host:port (/metrics, /healthz, /debug/events, /debug/trace, /debug/pprof/); uses the elastic runtime")
+	fs.StringVar(&c.MetricsAddr, "metrics-addr", "", "serve live telemetry on this host:port (/metrics, /healthz, /debug/events, /debug/trace, /debug/stragglers, /debug/pprof/); uses the elastic runtime")
 	fs.BoolVar(&c.Trace, "trace", false, "stream per-iteration phase traces to stderr as JSON lines; uses the elastic runtime")
 	fs.StringVar(&c.Codec, "codec", "", "preferred gradient wire codec (raw, fp16, int8, topk, delta); negotiated per connection, peers that do not advertise it fall back to raw")
 }
@@ -97,7 +97,7 @@ func (c *Cluster) StartTelemetry(stderr, status io.Writer) (*obs.Metrics, *obs.S
 		return nil, nil, fmt.Errorf("telemetry server: %w", err)
 	}
 	if status != nil {
-		fmt.Fprintf(status, "telemetry on %s/metrics (events at /debug/events, traces at /debug/trace, pprof at /debug/pprof/)\n", srv.URL())
+		fmt.Fprintf(status, "telemetry on %s/metrics (events at /debug/events, traces at /debug/trace, stragglers at /debug/stragglers, pprof at /debug/pprof/)\n", srv.URL())
 	}
 	return m, srv, nil
 }

@@ -1,0 +1,423 @@
+// Package fleet is the gcctl aggregation engine: it discovers a cluster's
+// telemetry endpoints from the shared roster file (plus the HA lease token
+// for the live root), scrapes every node's /metrics and /debug/events, and
+// merges them into one cluster snapshot — a globally ordered, node-labeled
+// event timeline plus cluster-wide aggregate gauges. The package is pure
+// client: it depends only on the exposition formats the obs server emits,
+// so it can scrape any mix of gctrain, gcroot and gcworker processes.
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/ha"
+	"github.com/hetgc/hetgc/internal/node"
+	"github.com/hetgc/hetgc/internal/obs"
+)
+
+// ErrFleet marks discovery and scrape-plan problems (not per-node scrape
+// failures, which are reported in each NodeStatus).
+var ErrFleet = errors.New("fleet: invalid scrape plan")
+
+// Node is one telemetry endpoint to scrape.
+type Node struct {
+	// Name labels the node in the merged timeline and dashboard; defaults
+	// to Addr.
+	Name string `json:"name"`
+	// Addr is the host:port of the node's -metrics-addr endpoint.
+	Addr string `json:"addr"`
+}
+
+// Sample is one metric sample: a label set and its value.
+type Sample struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// NodeStatus is the outcome of scraping one node.
+type NodeStatus struct {
+	Node
+	// Healthy reports whether /healthz answered 200 and /metrics parsed.
+	Healthy bool `json:"healthy"`
+	// Err carries the scrape failure when Healthy is false.
+	Err string `json:"err,omitempty"`
+	// Metrics maps family (or histogram series) name to its samples.
+	Metrics map[string][]Sample `json:"metrics,omitempty"`
+	// Events is the node's journal tail from /debug/events.
+	Events []obs.Event `json:"events,omitempty"`
+}
+
+// Value returns the sum of a family's samples across all label sets
+// (0 when absent) and whether the family was present at all.
+func (ns *NodeStatus) Value(family string) (float64, bool) {
+	ss, ok := ns.Metrics[family]
+	if !ok {
+		return 0, false
+	}
+	var sum float64
+	for _, s := range ss {
+		sum += s.Value
+	}
+	return sum, true
+}
+
+// TimelineEvent is one journal event attributed to its node.
+type TimelineEvent struct {
+	Node string `json:"node"`
+	obs.Event
+}
+
+// LiveRoot is what the HA lease token names: the authoritative root of the
+// current generation.
+type LiveRoot struct {
+	Gen     int       `json:"gen"`
+	Holder  string    `json:"holder"`
+	Addr    string    `json:"addr"`
+	Expiry  time.Time `json:"expiry"`
+	Expired bool      `json:"expired"`
+}
+
+// Aggregates are the cluster-wide gauges derived from a sweep.
+type Aggregates struct {
+	// IterationsTotal is the highest iteration counter any node reports —
+	// the cluster's training progress (the root drives iterations; counting
+	// every node would double-count).
+	IterationsTotal float64 `json:"iterations_total"`
+	// IterationsPerSec is the driving node's observed rate, derived from
+	// the iteration-latency histogram (count over sum).
+	IterationsPerSec float64 `json:"iterations_per_sec"`
+	// WireBytesOutByCodec sums per-codec payload bytes sent across nodes.
+	WireBytesOutByCodec map[string]float64 `json:"wire_bytes_out_by_codec,omitempty"`
+	// SnapshotAgeSeconds is the stalest checkpoint snapshot any node
+	// reports (-1 when no node exposes the family).
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+	// LeaseGenMin/Max bound the lease generation across nodes exposing it;
+	// a non-zero skew (Max-Min) means some node has a stale view of who
+	// the root is.
+	LeaseGenMin float64 `json:"lease_gen_min"`
+	LeaseGenMax float64 `json:"lease_gen_max"`
+}
+
+// LeaseGenSkew is Max-Min across the nodes that expose a lease generation.
+func (a *Aggregates) LeaseGenSkew() float64 { return a.LeaseGenMax - a.LeaseGenMin }
+
+// Snapshot is one full sweep over the fleet.
+type Snapshot struct {
+	Time     time.Time       `json:"time"`
+	Nodes    []NodeStatus    `json:"nodes"`
+	Timeline []TimelineEvent `json:"timeline"`
+	Agg      Aggregates      `json:"aggregates"`
+	Root     *LiveRoot       `json:"live_root,omitempty"`
+}
+
+// Unhealthy names every node whose scrape failed, in roster order.
+func (s *Snapshot) Unhealthy() []string {
+	var out []string
+	for _, ns := range s.Nodes {
+		if !ns.Healthy {
+			out = append(out, ns.Name)
+		}
+	}
+	return out
+}
+
+// Discover builds the scrape plan from a parsed roster: one Node per
+// metrics endpoint. When checkpointDir is non-empty and holds a lease
+// token, the live root's identity is returned alongside (nil, without
+// error, when the directory has no token — a cluster that never elected).
+func Discover(r *node.Roster, checkpointDir string) ([]Node, *LiveRoot, error) {
+	if len(r.Metrics) == 0 {
+		return nil, nil, fmt.Errorf(`%w: the roster lists no metrics endpoints — add metrics = ["host:port", ...] naming each node's -metrics-addr`, ErrFleet)
+	}
+	nodes := make([]Node, 0, len(r.Metrics))
+	for _, addr := range r.Metrics {
+		nodes = append(nodes, Node{Name: addr, Addr: addr})
+	}
+	var root *LiveRoot
+	if checkpointDir != "" {
+		tok, err := ha.ReadToken(checkpointDir)
+		if err == nil {
+			root = &LiveRoot{Gen: tok.Gen, Holder: tok.Holder, Addr: tok.Addr,
+				Expiry: tok.Expiry, Expired: tok.Expired(time.Now())}
+		} else if !errors.Is(err, ha.ErrNoLease) {
+			return nil, nil, err
+		}
+	}
+	return nodes, root, nil
+}
+
+// Scraper sweeps a fleet. The zero value uses http.DefaultClient with a
+// 5-second overall timeout per node.
+type Scraper struct {
+	Client  *http.Client
+	Timeout time.Duration
+}
+
+func (sc *Scraper) client() *http.Client {
+	c := sc.Client
+	if c == nil {
+		c = http.DefaultClient
+	}
+	if c.Timeout == 0 {
+		timeout := sc.Timeout
+		if timeout <= 0 {
+			timeout = 5 * time.Second
+		}
+		cc := *c
+		cc.Timeout = timeout
+		c = &cc
+	}
+	return c
+}
+
+// Collect scrapes every node concurrently and assembles the snapshot:
+// statuses in plan order, the merged timeline, the aggregates, and the
+// live-root identity (passed through from Discover; may be nil).
+func (sc *Scraper) Collect(nodes []Node, root *LiveRoot) *Snapshot {
+	snap := &Snapshot{Time: time.Now(), Nodes: make([]NodeStatus, len(nodes)), Root: root}
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n Node) {
+			defer wg.Done()
+			snap.Nodes[i] = sc.ScrapeNode(n)
+		}(i, n)
+	}
+	wg.Wait()
+	snap.Timeline = mergeTimeline(snap.Nodes)
+	snap.Agg = aggregate(snap.Nodes)
+	return snap
+}
+
+// ScrapeNode sweeps one node: /healthz, /metrics, /debug/events. A node is
+// healthy only when all three answer and parse.
+func (sc *Scraper) ScrapeNode(n Node) NodeStatus {
+	if n.Name == "" {
+		n.Name = n.Addr
+	}
+	ns := NodeStatus{Node: n}
+	c := sc.client()
+	base := "http://" + n.Addr
+	if err := checkHealthz(c, base); err != nil {
+		ns.Err = err.Error()
+		return ns
+	}
+	fams, err := scrapeMetrics(c, base)
+	if err != nil {
+		ns.Err = err.Error()
+		return ns
+	}
+	evs, err := scrapeEvents(c, base)
+	if err != nil {
+		ns.Err = err.Error()
+		return ns
+	}
+	ns.Healthy, ns.Metrics, ns.Events = true, fams, evs
+	return ns
+}
+
+func checkHealthz(c *http.Client, base string) error {
+	resp, err := c.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func scrapeMetrics(c *http.Client, base string) (map[string][]Sample, error) {
+	resp, err := c.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: HTTP %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	fams, err := ParseExposition(string(b))
+	if err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	return fams, nil
+}
+
+func scrapeEvents(c *http.Client, base string) ([]obs.Event, error) {
+	resp, err := c.Get(base + "/debug/events")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("events: HTTP %d", resp.StatusCode)
+	}
+	var evs []obs.Event
+	if err := json.NewDecoder(resp.Body).Decode(&evs); err != nil {
+		return nil, fmt.Errorf("events: %w", err)
+	}
+	return evs, nil
+}
+
+// ParseExposition parses the Prometheus text format the obs registry
+// writes: `name{label="v",...} value` lines, with # HELP/# TYPE comments.
+// Histogram series surface under their suffixed names (family_bucket,
+// family_sum, family_count), which is exactly what aggregation wants.
+func ParseExposition(text string) (map[string][]Sample, error) {
+	fams := map[string][]Sample{}
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, valStr, err := splitSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value %q", lineNo+1, valStr)
+		}
+		fams[name] = append(fams[name], Sample{Labels: labels, Value: v})
+	}
+	return fams, nil
+}
+
+// splitSample cuts one sample line into name, parsed labels and the value
+// string.
+func splitSample(line string) (string, map[string]string, string, error) {
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", nil, "", fmt.Errorf("unbalanced braces in %q", line)
+		}
+		labels, err := parseLabels(line[i+1 : j])
+		if err != nil {
+			return "", nil, "", err
+		}
+		return line[:i], labels, strings.TrimSpace(line[j+1:]), nil
+	}
+	name, val, ok := strings.Cut(line, " ")
+	if !ok {
+		return "", nil, "", fmt.Errorf("no value in %q", line)
+	}
+	return name, nil, strings.TrimSpace(val), nil
+}
+
+// parseLabels parses `k1="v1",k2="v2"`. Values are Go-quoted strings (the
+// registry writes them with strconv.Quote-compatible escaping).
+func parseLabels(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without = in %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		rest := s[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, fmt.Errorf("unquoted label value in %q", s)
+		}
+		// Walk the quoted value respecting backslash escapes.
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated label value in %q", s)
+		}
+		val, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("bad label value in %q: %v", s, err)
+		}
+		out[key] = val
+		s = strings.TrimPrefix(strings.TrimSpace(rest[end+1:]), ",")
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}
+
+// mergeTimeline interleaves every node's journal into one globally ordered
+// timeline: by event time, then sequence, then node name — a stable order
+// even when clocks tie (same-process nodes share a clock; cross-machine
+// ordering is as good as the clocks are).
+func mergeTimeline(nodes []NodeStatus) []TimelineEvent {
+	var out []TimelineEvent
+	for _, ns := range nodes {
+		for _, ev := range ns.Events {
+			out = append(out, TimelineEvent{Node: ns.Name, Event: ev})
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		ta, tb := out[a].Time, out[b].Time
+		if !ta.Equal(tb) {
+			return ta.Before(tb)
+		}
+		if out[a].Seq != out[b].Seq {
+			return out[a].Seq < out[b].Seq
+		}
+		return out[a].Node < out[b].Node
+	})
+	return out
+}
+
+// aggregate derives the cluster-wide gauges from the healthy nodes.
+func aggregate(nodes []NodeStatus) Aggregates {
+	agg := Aggregates{SnapshotAgeSeconds: -1}
+	leaseSeen := false
+	for i := range nodes {
+		ns := &nodes[i]
+		if !ns.Healthy {
+			continue
+		}
+		if v, ok := ns.Value(obs.MIterationsTotal); ok && v > agg.IterationsTotal {
+			agg.IterationsTotal = v
+			count, _ := ns.Value(obs.MIterationSeconds + "_count")
+			sum, _ := ns.Value(obs.MIterationSeconds + "_sum")
+			if sum > 0 {
+				agg.IterationsPerSec = count / sum
+			}
+		}
+		for _, s := range ns.Metrics[obs.MWireCodecBytesOutTotal] {
+			if agg.WireBytesOutByCodec == nil {
+				agg.WireBytesOutByCodec = map[string]float64{}
+			}
+			agg.WireBytesOutByCodec[s.Labels[obs.LCodec]] += s.Value
+		}
+		if v, ok := ns.Value(obs.MSnapshotAgeSeconds); ok && v > agg.SnapshotAgeSeconds {
+			agg.SnapshotAgeSeconds = v
+		}
+		if v, ok := ns.Value(obs.MLeaseGeneration); ok && v > 0 {
+			if !leaseSeen || v < agg.LeaseGenMin {
+				agg.LeaseGenMin = v
+			}
+			if v > agg.LeaseGenMax {
+				agg.LeaseGenMax = v
+			}
+			leaseSeen = true
+		}
+	}
+	return agg
+}

@@ -1,0 +1,107 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/hetgc/hetgc/internal/obs"
+)
+
+// WriteText renders the snapshot as the gcctl dashboard: a node health
+// table, the cluster aggregates, and the tail of the merged timeline.
+func (s *Snapshot) WriteText(w io.Writer, timelineTail int) {
+	fmt.Fprintf(w, "cluster snapshot at %s — %d nodes\n", s.Time.Format(time.RFC3339), len(s.Nodes))
+	if s.Root != nil {
+		state := "live"
+		if s.Root.Expired {
+			state = "EXPIRED"
+		}
+		fmt.Fprintf(w, "lease: generation %d held by %q at %s (%s)\n",
+			s.Root.Gen, s.Root.Holder, s.Root.Addr, state)
+	}
+
+	fmt.Fprintln(w, "\nnodes:")
+	for _, ns := range s.Nodes {
+		if !ns.Healthy {
+			fmt.Fprintf(w, "  %-22s DOWN  %s\n", ns.Name, ns.Err)
+			continue
+		}
+		iters, _ := ns.Value(obs.MIterationsTotal)
+		gen, hasGen := ns.Value(obs.MLeaseGeneration)
+		line := fmt.Sprintf("  %-22s up    iters=%d events=%d", ns.Name, int(iters), len(ns.Events))
+		if hasGen && gen > 0 {
+			line += fmt.Sprintf(" lease-gen=%d", int(gen))
+		}
+		fmt.Fprintln(w, line)
+	}
+
+	fmt.Fprintln(w, "\naggregates:")
+	fmt.Fprintf(w, "  iterations: %d  (%.2f/s)\n", int(s.Agg.IterationsTotal), s.Agg.IterationsPerSec)
+	if s.Agg.SnapshotAgeSeconds >= 0 {
+		fmt.Fprintf(w, "  stalest snapshot: %.1fs\n", s.Agg.SnapshotAgeSeconds)
+	}
+	if s.Agg.LeaseGenMax > 0 {
+		fmt.Fprintf(w, "  lease generation: %d..%d (skew %d)\n",
+			int(s.Agg.LeaseGenMin), int(s.Agg.LeaseGenMax), int(s.Agg.LeaseGenSkew()))
+	}
+	for _, cb := range sortedCodecBytesList(s.Agg.WireBytesOutByCodec) {
+		fmt.Fprintf(w, "  wire out [%s]: %s\n", cb.codec, formatBytes(cb.bytes))
+	}
+
+	if len(s.Timeline) > 0 {
+		tail := s.Timeline
+		if timelineTail > 0 && len(tail) > timelineTail {
+			tail = tail[len(tail)-timelineTail:]
+		}
+		fmt.Fprintf(w, "\ntimeline (last %d of %d events):\n", len(tail), len(s.Timeline))
+		for _, ev := range tail {
+			line := fmt.Sprintf("  %s  %-22s #%-4d %-9s iter=%d",
+				ev.Time.Format("15:04:05.000"), ev.Node, ev.Seq, ev.Kind, ev.Iter)
+			if ev.Member != 0 {
+				line += fmt.Sprintf(" member=%d", ev.Member)
+			}
+			if ev.Detail != "" {
+				line += " " + ev.Detail
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+
+	if down := s.Unhealthy(); len(down) > 0 {
+		fmt.Fprintf(w, "\nUNHEALTHY: %d of %d nodes down: %v\n", len(down), len(s.Nodes), down)
+	}
+}
+
+type codecBytes struct {
+	codec string
+	bytes float64
+}
+
+// sortedCodecBytesList orders the per-codec byte totals descending so the
+// dominant codec leads the dashboard.
+func sortedCodecBytesList(m map[string]float64) []codecBytes {
+	out := make([]codecBytes, 0, len(m))
+	for c, b := range m {
+		out = append(out, codecBytes{c, b})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && (out[j].bytes > out[j-1].bytes ||
+			(out[j].bytes == out[j-1].bytes && out[j].codec < out[j-1].codec)); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// formatBytes renders a byte count with a binary unit.
+func formatBytes(b float64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", int(b))
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"github.com/hetgc/hetgc/internal/grad"
 	"github.com/hetgc/hetgc/internal/ha"
 	"github.com/hetgc/hetgc/internal/ml"
+	"github.com/hetgc/hetgc/internal/obs"
 	"github.com/hetgc/hetgc/internal/runtime"
 	"github.com/hetgc/hetgc/internal/transport"
 )
@@ -229,6 +230,18 @@ func RunStandby(cfg ClusterConfig, stop <-chan struct{}) (*runtime.ElasticResult
 	if prom == nil {
 		return nil, nil
 	}
+	// Promotion is the fencing act: acquiring the next generation is what
+	// deposes the old root, so record both sides — the failover (the
+	// promoted master's own Acquire claims Gen+1) and a fence event naming
+	// the generation whose writes are dead from here on. The fleet
+	// aggregator's merged timeline keys on this pair.
+	last := -1
+	if prom.State != nil {
+		last = prom.State.LastIter
+	}
+	cfg.Obs.OnPromotion(uint64(prom.Deposed.Gen+1), last)
+	cfg.Obs.Event(obs.Event{Kind: obs.EvFence, Iter: last,
+		Detail: fmt.Sprintf("deposed root generation %d (%q)", prom.Deposed.Gen, prom.Deposed.Holder)})
 	// The deposed root may never have written a checkpoint; a promotion over
 	// an empty directory still resumes — Recover below the master handles the
 	// fresh-vs-resumed distinction.

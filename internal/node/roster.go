@@ -36,6 +36,11 @@ type Roster struct {
 	// Workers is the expected worker count — the membership the root waits
 	// for before training starts.
 	Workers int `json:"workers"`
+	// Metrics are the telemetry endpoints (host:port of each node's
+	// -metrics-addr) the gcctl fleet aggregator scrapes. Optional: an empty
+	// list just means gcctl has nothing to discover here. Order is free, but
+	// listing the root's endpoint first makes dashboards read naturally.
+	Metrics []string `json:"metrics,omitempty"`
 }
 
 // Addrs returns the worker's resolve order: the root first, then every
@@ -61,6 +66,16 @@ func (r *Roster) Validate() error {
 	}
 	if r.Workers <= 0 {
 		return fmt.Errorf("%w: workers = %d — the expected worker count gates training start and must be positive", ErrRoster, r.Workers)
+	}
+	seenM := map[string]bool{}
+	for _, addr := range r.Metrics {
+		if _, _, err := net.SplitHostPort(addr); err != nil {
+			return fmt.Errorf(`%w: metrics address %q is not host:port (%v) — list each node's -metrics-addr endpoint`, ErrRoster, addr, err)
+		}
+		if seenM[addr] {
+			return fmt.Errorf("%w: metrics address %q listed twice — each telemetry endpoint appears once", ErrRoster, addr)
+		}
+		seenM[addr] = true
 	}
 	return nil
 }
@@ -144,8 +159,10 @@ func parseTOMLRoster(b []byte) (*Roster, error) {
 			if err != nil {
 				err = fmt.Errorf("workers must be an integer, got %q", val)
 			}
+		case "metrics":
+			r.Metrics, err = tomlStringArray(val)
 		default:
-			err = fmt.Errorf("unknown key %q — the roster keys are root, standbys, workers", key)
+			err = fmt.Errorf("unknown key %q — the roster keys are root, standbys, workers, metrics", key)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("%w: line %d: %v", ErrRoster, lineNo, err)

@@ -35,6 +35,10 @@ type Metrics struct {
 	Deaths   *Counter
 	Rejected *CounterVec // reason
 
+	// Straggler attribution.
+	Contrib  *HistogramVec // group, member
+	Erasures *CounterVec   // group, member, reason
+
 	// Decode cache. The gauges show process-wide totals; cacheHits and
 	// cacheMisses accumulate them across strategy instances (every replan
 	// builds a fresh strategy with zeroed counters, and the sharded runtime
@@ -86,6 +90,9 @@ func NewWith(reg *Registry, journal *Journal, tracer *Tracer) *Metrics {
 	m.Joins = reg.CounterVec(MJoinsTotal, "Accepted worker handshakes by kind (join or rejoin).", LKind)
 	m.Deaths = reg.Counter(MDeathsTotal, "Workers declared dead (connection loss or read error).")
 	m.Rejected = reg.CounterVec(MRejectedTotal, "Uploads rejected during collect, by reason.", LReason)
+
+	m.Contrib = reg.HistogramVec(MContribSeconds, "Per-member contribution latency in seconds (parameter broadcast to the member's gradient arriving at its master).", nil, LGroup, LMember)
+	m.Erasures = reg.CounterVec(MErasuresTotal, "Per-member erased contributions (fenced, skipped or lost uploads), by reason.", LGroup, LMember, LReason)
 
 	m.CacheHits = reg.Gauge(MCacheHits, "Decode-plan cache hits (snapshot of the strategy's cache counters).")
 	m.CacheMisses = reg.Gauge(MCacheMisses, "Decode-plan cache misses.")
@@ -233,6 +240,66 @@ func (m *Metrics) OnReject(reason string) {
 		return
 	}
 	m.Rejected.With(reason).Inc()
+}
+
+// OnContribution observes one member's contribution latency — parameter
+// broadcast to its decodable gradient arriving at its master.
+func (m *Metrics) OnContribution(group, member int, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.Contrib.With(strconv.Itoa(group), strconv.Itoa(member)).Observe(seconds)
+}
+
+// OnErasure counts one erased member contribution (fenced, skipped or lost)
+// by reason — the labeled, per-member counterpart of OnReject.
+func (m *Metrics) OnErasure(group, member int, reason string) {
+	if m == nil {
+		return
+	}
+	m.Erasures.With(strconv.Itoa(group), strconv.Itoa(member), reason).Inc()
+}
+
+// OnMemberSpan feeds the attribution families from one stitched member
+// child span: the erasure counter for a partial one, the contribution
+// histogram plus echoed phase spans for a full one. Every stitch site — the
+// flat master's IterScope, the sharded group masters, the simulators — goes
+// through here so the families can never diverge.
+func (m *Metrics) OnMemberSpan(ms MemberSpan) {
+	if m == nil {
+		return
+	}
+	if ms.Partial {
+		m.OnErasure(ms.Group, ms.Member, ms.Reason)
+		return
+	}
+	m.OnContribution(ms.Group, ms.Member, ms.Arrival)
+	for _, sp := range ms.Spans {
+		m.PhaseSeconds.With(sp.Phase).Observe(sp.Seconds)
+	}
+}
+
+// OnTrace records a fully-assembled iteration trace — the simulators' entry
+// point, which builds synthetic traces from simulated finish times instead
+// of wall-clock IterScopes. It feeds the same families stitching feeds live:
+// the phase histogram for every root and member span, the contribution
+// histogram and erasure counters per member, and the trace ring. It does NOT
+// count the iteration itself (the sims call OnIteration separately, exactly
+// as before).
+func (m *Metrics) OnTrace(tr IterTrace) {
+	if m == nil {
+		return
+	}
+	for _, sp := range tr.Spans {
+		m.PhaseSeconds.With(sp.Phase).Observe(sp.Seconds)
+	}
+	for _, ms := range tr.Members {
+		m.OnMemberSpan(ms)
+	}
+	if tr.Crit == nil {
+		tr.Crit = criticalPath(tr.Members)
+	}
+	m.tracer.record(tr)
 }
 
 // OnCache snapshots the decode-plan cache counters into gauges.

@@ -29,6 +29,13 @@ const (
 	MRejectedTotal = "hetgc_rejected_uploads_total"
 	MEventsTotal   = "hetgc_events_total"
 
+	// Straggler attribution: per-member contribution latency (broadcast to
+	// the member's gradient arriving at its master) and per-member erasure
+	// counters (uploads that were fenced, skipped or lost, by reason). Both
+	// feed the /debug/stragglers rolling report.
+	MContribSeconds = "hetgc_member_contribution_seconds"
+	MErasuresTotal  = "hetgc_member_erasures_total"
+
 	// Decode-plan cache.
 	MCacheHits     = "hetgc_decode_cache_hits"
 	MCacheMisses   = "hetgc_decode_cache_misses"
@@ -84,6 +91,12 @@ const (
 	RFenced     = "fenced"
 )
 
+// RDead labels the partial member span (and erasure counter) of a member
+// that died mid-iteration: its contribution never arrived, so its span
+// record is root-synthesized and explicitly partial. It extends the R*
+// reject reasons, which all describe uploads that did arrive.
+const RDead = "dead"
+
 // Values for the join kind label.
 const (
 	KJoin   = "join"
@@ -121,4 +134,17 @@ const (
 	PhaseReduce    = "reduce"
 	PhaseStep      = "step"
 	PhasePersist   = "persist"
+)
+
+// Member-local phases timed by workers and group masters and echoed
+// upstream on the gradient upload. PhaseUpload is measured after the send
+// completes, so a member reports the *previous* iteration's upload span;
+// PhaseWire is root-synthesized — the residual between a member's measured
+// phases and its observed contribution latency.
+const (
+	PhaseFetch   = "fetch"
+	PhaseCompute = "compute"
+	PhaseEncode  = "encode"
+	PhaseUpload  = "upload"
+	PhaseWire    = "wire"
 )

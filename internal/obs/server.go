@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
@@ -10,11 +11,33 @@ import (
 )
 
 // Server is the telemetry HTTP endpoint: /metrics (Prometheus text),
-// /healthz, /debug/events, /debug/trace, and the stdlib pprof handlers
-// under /debug/pprof/.
+// /healthz, /debug/events, /debug/trace, /debug/stragglers, and the stdlib
+// pprof handlers under /debug/pprof/.
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
+}
+
+// ShutdownTimeout bounds how long Close waits for in-flight scrapes to
+// drain before tearing the server down cold.
+const ShutdownTimeout = 3 * time.Second
+
+// boundedN parses the shared ?n= query of the bounded-JSON debug endpoints:
+// absent means "all retained", otherwise the value must be a positive
+// integer. A malformed or non-positive value gets HTTP 400 with a usage
+// hint instead of a silently-defaulted full dump; ok reports whether the
+// caller should proceed.
+func boundedN(w http.ResponseWriter, r *http.Request) (n int, ok bool) {
+	q := r.URL.Query().Get("n")
+	if q == "" {
+		return 0, true
+	}
+	v, err := strconv.Atoi(q)
+	if err != nil || v <= 0 {
+		http.Error(w, "query parameter n must be a positive integer (e.g. "+r.URL.Path+"?n=50); omit it for all retained entries", http.StatusBadRequest)
+		return 0, false
+	}
+	return v, true
 }
 
 // NewServer listens on addr (host:port; port 0 picks a free port) and
@@ -34,24 +57,28 @@ func NewServer(addr string, m *Metrics) (*Server, error) {
 		_, _ = w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
-		n := 0 // all retained
-		if q := r.URL.Query().Get("n"); q != "" {
-			if v, err := strconv.Atoi(q); err == nil {
-				n = v
-			}
+		n, ok := boundedN(w, r)
+		if !ok {
+			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(m.Journal().Recent(n))
 	})
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
-		n := 0
-		if q := r.URL.Query().Get("n"); q != "" {
-			if v, err := strconv.Atoi(q); err == nil {
-				n = v
-			}
+		n, ok := boundedN(w, r)
+		if !ok {
+			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(m.Tracer().Recent(n))
+	})
+	mux.HandleFunc("/debug/stragglers", func(w http.ResponseWriter, r *http.Request) {
+		n, ok := boundedN(w, r)
+		if !ok {
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(m.StragglerReport(n))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -70,5 +97,14 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // URL returns the http:// base URL of the server.
 func (s *Server) URL() string { return "http://" + s.ln.Addr().String() }
 
-// Close stops the server and its listener.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close shuts the server down gracefully: the listener stops accepting
+// immediately, in-flight scrapes get ShutdownTimeout to drain, and anything
+// still open after the deadline is closed cold.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), ShutdownTimeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}

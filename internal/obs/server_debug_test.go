@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDebugEndpointBounds table-tests the shared ?n= contract of every
+// bounded-JSON debug endpoint: absent or positive is served, zero, negative
+// and non-numeric get HTTP 400 with a usage hint naming the parameter.
+func TestDebugEndpointBounds(t *testing.T) {
+	m := New()
+	for i := 0; i < 5; i++ {
+		m.Event(Event{Kind: EvReplan, Iter: i})
+		sc := m.StartIter(i, 0)
+		sc.Phase(PhaseCollect)
+		sc.AddMember(MemberSpan{Member: 1, Arrival: 0.01})
+		sc.End()
+	}
+	srv, err := m.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	endpoints := []string{"/debug/events", "/debug/trace", "/debug/stragglers"}
+	cases := []struct {
+		query      string
+		wantStatus int
+	}{
+		{"", http.StatusOK},
+		{"?n=1", http.StatusOK},
+		{"?n=3", http.StatusOK},
+		{"?n=999999", http.StatusOK},
+		{"?n=0", http.StatusBadRequest},
+		{"?n=-5", http.StatusBadRequest},
+		{"?n=abc", http.StatusBadRequest},
+		{"?n=1.5", http.StatusBadRequest},
+		{"?n=", http.StatusOK}, // empty value reads as absent
+	}
+	for _, ep := range endpoints {
+		for _, tc := range cases {
+			resp, err := http.Get(srv.URL() + ep + tc.query)
+			if err != nil {
+				t.Fatalf("GET %s%s: %v", ep, tc.query, err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Errorf("GET %s%s: status %d, want %d (body %q)", ep, tc.query, resp.StatusCode, tc.wantStatus, body)
+				continue
+			}
+			if tc.wantStatus == http.StatusBadRequest {
+				if !strings.Contains(string(body), "positive integer") || !strings.Contains(string(body), ep) {
+					t.Errorf("GET %s%s: 400 body lacks usage hint: %q", ep, tc.query, body)
+				}
+			} else if !json.Valid(body) {
+				t.Errorf("GET %s%s: body is not JSON: %q", ep, tc.query, body)
+			}
+		}
+	}
+
+	// n truncates to the most recent entries.
+	resp, err := http.Get(srv.URL() + "/debug/events?n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []Event
+	if err := json.NewDecoder(resp.Body).Decode(&evs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(evs) != 2 || evs[1].Iter != 4 {
+		t.Fatalf("events?n=2 = %+v, want the 2 most recent", evs)
+	}
+}
+
+// TestStragglersEndpoint asserts /debug/stragglers serves the rolling
+// attribution derived from the trace ring.
+func TestStragglersEndpoint(t *testing.T) {
+	m := New()
+	for i := 0; i < 4; i++ {
+		sc := m.StartIter(i, 0)
+		sc.AddMember(MemberSpan{Member: 1, Arrival: 0.01, Spans: []Span{{Phase: PhaseCompute, Seconds: 0.009}}})
+		sc.AddMember(MemberSpan{Member: 2, Arrival: 0.05, Spans: []Span{{Phase: PhaseCompute, Seconds: 0.049}}})
+		sc.End()
+	}
+	srv, err := m.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL() + "/debug/stragglers?n=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep StragglerReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatalf("stragglers not JSON: %v", err)
+	}
+	if rep.WindowIters != 4 || rep.Slowest == nil || rep.Slowest.Member != 2 {
+		t.Fatalf("report = %+v, want member 2 slowest over 4 iters", rep)
+	}
+	if rep.Slowest.SlowestPhase != PhaseCompute {
+		t.Fatalf("slowest phase = %q, want compute", rep.Slowest.SlowestPhase)
+	}
+}
+
+// TestServerGracefulClose asserts Close drains in-flight scrapes instead of
+// cutting them off, completes within the shutdown deadline, and leaves the
+// listener closed for new connections.
+func TestServerGracefulClose(t *testing.T) {
+	m := New()
+	for i := 0; i < 100; i++ {
+		m.Event(Event{Kind: EvReplan, Iter: i})
+	}
+	srv, err := m.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL() + "/debug/events")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if _, err := io.ReadAll(resp.Body); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait() // all scrapes in flight completed before Close in this schedule
+
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if d := time.Since(start); d > ShutdownTimeout+time.Second {
+		t.Fatalf("Close took %v, beyond the shutdown deadline", d)
+	}
+	close(errs)
+	for err := range errs {
+		t.Errorf("scrape during lifetime failed: %v", err)
+	}
+
+	if _, err := http.Get(srv.URL() + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after Close")
+	}
+	// A second Close is harmless.
+	if err := srv.Close(); err != nil && !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("second Close: %v", err)
+	}
+}

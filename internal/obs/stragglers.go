@@ -1,0 +1,182 @@
+package obs
+
+import "sort"
+
+// Straggler attribution: a rolling report derived from the stitched member
+// spans in the trace ring. It answers the operator questions the flat
+// metrics cannot — which member gates iterations, which of its phases
+// dominates, and whether it is getting worse — and is served at
+// /debug/stragglers and printed by `gctrain -trace`.
+
+// MemberReport is one member's rolling attribution over the report window.
+type MemberReport struct {
+	Member int `json:"member"`
+	Group  int `json:"group"`
+	// Contribs counts iterations in the window this member's upload was
+	// decoded from; Erasures counts partial appearances (died, fenced,
+	// skipped) by any reason.
+	Contribs int `json:"contribs"`
+	Erasures int `json:"erasures,omitempty"`
+	// MeanSeconds and LastSeconds summarise the member's contribution
+	// latency (root-observed, broadcast to arrival).
+	MeanSeconds float64 `json:"mean_seconds"`
+	LastSeconds float64 `json:"last_seconds"`
+	// GatedIters counts iterations whose critical path this member was.
+	GatedIters int `json:"gated_iters,omitempty"`
+	// SlowestPhase is the member's dominant echoed phase by mean seconds
+	// (PhaseWire when the unmeasured residual dominates), with its mean.
+	SlowestPhase        string  `json:"slowest_phase"`
+	SlowestPhaseSeconds float64 `json:"slowest_phase_seconds"`
+	// Trend compares the newer half of the window against the older half:
+	// "degrading" (≥15% slower), "improving" (≥15% faster) or "steady".
+	Trend string `json:"trend"`
+}
+
+// StragglerReport is the rolling cluster attribution over the most recent
+// traced iterations.
+type StragglerReport struct {
+	// WindowIters is the number of traces the report was derived from.
+	WindowIters int `json:"window_iters"`
+	// Slowest is the member with the highest mean contribution latency
+	// (nil when no member spans were traced).
+	Slowest *MemberReport `json:"slowest,omitempty"`
+	// Members holds every member's report, slowest first.
+	Members []MemberReport `json:"members"`
+}
+
+// Trend values.
+const (
+	TrendDegrading = "degrading"
+	TrendImproving = "improving"
+	TrendSteady    = "steady"
+)
+
+type memberAccum struct {
+	member, group int
+	arrivals      []float64
+	erasures      int
+	gated         int
+	phaseSum      map[string]float64
+	phaseCount    map[string]int
+	residSum      float64
+	residCount    int
+	last          float64
+	contribs      int
+}
+
+// Attribution derives the straggler report from a window of traces
+// (typically Tracer.Recent(n)). Pure function: the sim's synthetic traces
+// and the live runtimes' wall-clock traces produce the same report shape.
+func Attribution(traces []IterTrace) *StragglerReport {
+	rep := &StragglerReport{WindowIters: len(traces)}
+	accums := make(map[[2]int]*memberAccum)
+	order := make([][2]int, 0)
+	for _, tr := range traces {
+		for _, ms := range tr.Members {
+			key := [2]int{ms.Group, ms.Member}
+			a, ok := accums[key]
+			if !ok {
+				a = &memberAccum{
+					member: ms.Member, group: ms.Group,
+					phaseSum: make(map[string]float64), phaseCount: make(map[string]int),
+				}
+				accums[key] = a
+				order = append(order, key)
+			}
+			if ms.Partial {
+				a.erasures++
+				continue
+			}
+			a.contribs++
+			a.arrivals = append(a.arrivals, ms.Arrival)
+			a.last = ms.Arrival
+			resid := ms.Arrival
+			for _, sp := range ms.Spans {
+				a.phaseSum[sp.Phase] += sp.Seconds
+				a.phaseCount[sp.Phase]++
+				resid -= sp.Seconds
+			}
+			if resid > 0 {
+				a.residSum += resid
+				a.residCount++
+			}
+			if tr.Crit != nil && tr.Crit.Member == ms.Member && tr.Crit.Group == ms.Group {
+				a.gated++
+			}
+		}
+	}
+	for _, key := range order {
+		a := accums[key]
+		mr := MemberReport{
+			Member: a.member, Group: a.group,
+			Contribs: a.contribs, Erasures: a.erasures,
+			LastSeconds: a.last, GatedIters: a.gated,
+			Trend: trend(a.arrivals),
+		}
+		if a.contribs > 0 {
+			mr.MeanSeconds = mean(a.arrivals)
+		}
+		mr.SlowestPhase, mr.SlowestPhaseSeconds = slowestPhase(a)
+		rep.Members = append(rep.Members, mr)
+	}
+	sort.SliceStable(rep.Members, func(i, j int) bool {
+		return rep.Members[i].MeanSeconds > rep.Members[j].MeanSeconds
+	})
+	if len(rep.Members) > 0 {
+		rep.Slowest = &rep.Members[0]
+	}
+	return rep
+}
+
+func mean(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+func trend(arrivals []float64) string {
+	if len(arrivals) < 4 {
+		return TrendSteady
+	}
+	half := len(arrivals) / 2
+	older, newer := mean(arrivals[:half]), mean(arrivals[half:])
+	switch {
+	case older <= 0:
+		return TrendSteady
+	case newer >= older*1.15:
+		return TrendDegrading
+	case newer <= older*0.85:
+		return TrendImproving
+	}
+	return TrendSteady
+}
+
+func slowestPhase(a *memberAccum) (string, float64) {
+	best, bestMean := "", 0.0
+	for phase, sum := range a.phaseSum {
+		if m := sum / float64(a.phaseCount[phase]); m > bestMean || (m == bestMean && phase < best) {
+			best, bestMean = phase, m
+		}
+	}
+	if a.residCount > 0 {
+		if m := a.residSum / float64(a.residCount); best == "" || m > bestMean {
+			best, bestMean = PhaseWire, m
+		}
+	}
+	if best == "" && a.contribs > 0 {
+		best, bestMean = PhaseWire, mean(a.arrivals)
+	}
+	return best, bestMean
+}
+
+// StragglerReport derives the rolling attribution from the most recent n
+// traces (all retained when n <= 0). Nil-safe: a nil bundle reports an
+// empty window.
+func (m *Metrics) StragglerReport(n int) *StragglerReport {
+	if m == nil {
+		return &StragglerReport{}
+	}
+	return Attribution(m.tracer.Recent(n))
+}

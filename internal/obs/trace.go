@@ -13,13 +13,54 @@ type Span struct {
 	Seconds float64 `json:"seconds"`
 }
 
-// IterTrace is the full phase breakdown of one training iteration.
+// MemberSpan is one member's stitched child record inside an iteration
+// trace: the contribution latency the root observed, plus the compact phase
+// spans the member echoed on its upload (absent for members that speak an
+// older protocol). A member that was erased — died, fenced, skipped — is
+// marked Partial with the erasure reason; its Spans hold whatever the root
+// learned before the erasure.
+type MemberSpan struct {
+	Member  int     `json:"member"`
+	Group   int     `json:"group"`
+	Arrival float64 `json:"arrival_seconds"`
+	Spans   []Span  `json:"spans,omitempty"`
+	Partial bool    `json:"partial,omitempty"`
+	Reason  string  `json:"reason,omitempty"`
+}
+
+// Critical names the iteration's end-to-end critical path: the member whose
+// contribution gated decode, and the phase that dominated it (PhaseWire when
+// the dominant cost is the unmeasured residual between the member's reported
+// phases and its observed arrival).
+type Critical struct {
+	Member  int     `json:"member"`
+	Group   int     `json:"group"`
+	Phase   string  `json:"phase"`
+	Seconds float64 `json:"seconds"`
+}
+
+// IterTrace is the full phase breakdown of one training iteration: the
+// root-local phase spans plus the stitched per-member child spans collected
+// from the wire.
 type IterTrace struct {
-	Iter    int       `json:"iter"`
-	Epoch   int       `json:"epoch"`
-	Start   time.Time `json:"start"`
-	Seconds float64   `json:"seconds"`
-	Spans   []Span    `json:"spans"`
+	Iter    int          `json:"iter"`
+	Epoch   int          `json:"epoch"`
+	TraceID uint64       `json:"trace_id,omitempty"`
+	Start   time.Time    `json:"start"`
+	Seconds float64      `json:"seconds"`
+	Spans   []Span       `json:"spans"`
+	Members []MemberSpan `json:"members,omitempty"`
+	Crit    *Critical    `json:"critical,omitempty"`
+}
+
+// TraceID derives the per-iteration trace context identifier stamped on the
+// parameter broadcast and echoed by every member on its upload. It packs the
+// fencing coordinates into disjoint bit ranges — bit 63 marks "traced" (zero
+// on the wire means untraced), bits 48–62 the root generation, 32–47 the
+// plan epoch, 0–31 the iteration — so the ID is stable across a broadcast
+// retry but distinct across epochs, iterations and failovers.
+func TraceID(rootGen uint64, epoch, iter int) uint64 {
+	return 1<<63 | (rootGen&0x7FFF)<<48 | uint64(uint16(epoch))<<32 | uint64(uint32(iter))
 }
 
 // Tracer records per-iteration phase spans into a bounded ring and
@@ -127,16 +168,92 @@ func (s *IterScope) closeSpan() {
 	s.cur = ""
 }
 
-// End closes the open phase, records the trace in the ring, and updates
-// the iteration counter, latency histogram and epoch gauge.
+// SetEpoch updates the trace's plan epoch — a mid-iteration migration means
+// the iteration completes under a newer epoch than it started with.
+func (s *IterScope) SetEpoch(epoch int) {
+	if s == nil {
+		return
+	}
+	s.tr.Epoch = epoch
+}
+
+// SetTraceID stamps the wire trace-context identifier on the trace.
+func (s *IterScope) SetTraceID(id uint64) {
+	if s == nil {
+		return
+	}
+	s.tr.TraceID = id
+}
+
+// AddMember attaches one stitched member child span to the trace and feeds
+// the attribution families: the contribution-latency histogram and echoed
+// phase spans for a full contribution, the erasure counter for a partial
+// one.
+func (s *IterScope) AddMember(ms MemberSpan) {
+	if s == nil {
+		return
+	}
+	s.tr.Members = append(s.tr.Members, ms)
+	s.m.OnMemberSpan(ms)
+}
+
+// AddMembers attaches a batch of stitched member child spans.
+func (s *IterScope) AddMembers(ms []MemberSpan) {
+	if s == nil {
+		return
+	}
+	for _, m := range ms {
+		s.AddMember(m)
+	}
+}
+
+// End closes the open phase, derives the critical path from the stitched
+// member spans, records the trace in the ring, and updates the iteration
+// counter, latency histogram and epoch gauge.
 func (s *IterScope) End() {
 	if s == nil {
 		return
 	}
 	s.closeSpan()
 	s.tr.Seconds = time.Since(s.tr.Start).Seconds()
+	s.tr.Crit = criticalPath(s.tr.Members)
 	if s.m != nil {
 		s.m.tracer.record(s.tr)
 		s.m.OnIteration(s.tr.Epoch, s.tr.Seconds)
 	}
+}
+
+// criticalPath picks the contributing (non-partial) member with the largest
+// arrival latency — the one decode waited for — and names the phase that
+// dominated it. When the member's echoed spans don't account for its full
+// arrival latency, the residual competes as PhaseWire; a member with no
+// echoed spans attributes everything to the wire.
+func criticalPath(members []MemberSpan) *Critical {
+	var gate *MemberSpan
+	for i := range members {
+		ms := &members[i]
+		if ms.Partial {
+			continue
+		}
+		if gate == nil || ms.Arrival > gate.Arrival {
+			gate = ms
+		}
+	}
+	if gate == nil {
+		return nil
+	}
+	crit := &Critical{Member: gate.Member, Group: gate.Group, Phase: PhaseWire, Seconds: gate.Arrival}
+	residual := gate.Arrival
+	var worstPhase string
+	var worst float64
+	for _, sp := range gate.Spans {
+		residual -= sp.Seconds
+		if sp.Seconds > worst {
+			worstPhase, worst = sp.Phase, sp.Seconds
+		}
+	}
+	if worstPhase != "" && worst >= residual {
+		crit.Phase = worstPhase
+	}
+	return crit
 }

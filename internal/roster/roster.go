@@ -217,6 +217,16 @@ type Engine struct {
 	// the run-loop goroutine that calls Collect.
 	collectBufs [2][]grad.Gradient
 	collectFlip int
+
+	// Stitched member child spans for the current iteration, accumulated by
+	// Collect across migrate-and-retry attempts and drained by TakeContribs.
+	// contribStart anchors arrival latency at the iteration's FIRST parameter
+	// broadcast (a retry re-broadcast keeps the anchor — the member's real
+	// wait includes the failed attempt). Touched only by the run-loop
+	// goroutine, like collectBufs.
+	contribs     []obs.MemberSpan
+	contribIter  int
+	contribStart time.Time
 }
 
 // New validates the config and starts the accept loop on lis. The engine
@@ -252,6 +262,8 @@ func New(cfg Config, lis *transport.Listener) (*Engine, error) {
 		dataConns: make(map[*transport.Conn]struct{}),
 		joined:    make(chan struct{}, 1),
 		stop:      make(chan struct{}),
+
+		contribIter: -1,
 	}
 	for _, id := range cfg.Recovered {
 		if id <= 0 {
@@ -723,9 +735,19 @@ func (e *Engine) Migrate(iter int, reason string) (*elastic.Plan, error) {
 }
 
 // BroadcastParams sends one iteration's parameters, tagged with the plan
-// epoch, to every live plan member; members whose send fails are marked
-// dead.
+// epoch, the root generation and the iteration's wire trace context, to
+// every live plan member; members whose send fails are marked dead. The
+// first broadcast of an iteration also resets the stitched-span accumulator
+// and anchors the contribution-latency clock (a retry re-broadcast of the
+// same iteration keeps both: the member's real wait spans the failed
+// attempt too).
 func (e *Engine) BroadcastParams(plan *elastic.Plan, iter int, params []float64) {
+	if iter != e.contribIter {
+		e.contribIter = iter
+		e.contribs = e.contribs[:0]
+		e.contribStart = time.Now()
+	}
+	trace := obs.TraceID(uint64(e.cfg.RootGen), plan.Epoch, iter)
 	for _, id := range plan.Members {
 		e.mu.Lock()
 		m := e.members[id]
@@ -734,12 +756,80 @@ func (e *Engine) BroadcastParams(plan *elastic.Plan, iter int, params []float64)
 		if !live {
 			continue
 		}
-		env := &transport.Envelope{Type: transport.MsgParams, Iter: iter, Epoch: plan.Epoch, RootGen: e.cfg.RootGen, Vector: params}
+		env := &transport.Envelope{Type: transport.MsgParams, Iter: iter, Epoch: plan.Epoch, RootGen: e.cfg.RootGen, Trace: trace, Vector: params}
 		if err := e.sendTo(conn, env); err != nil {
 			e.noteDeath(id, gen)
 		}
 	}
 }
+
+// convertSpans copies wire phase spans into trace spans.
+func convertSpans(ws []transport.PhaseSpan) []obs.Span {
+	if len(ws) == 0 {
+		return nil
+	}
+	out := make([]obs.Span, len(ws))
+	for i, sp := range ws {
+		out[i] = obs.Span{Phase: sp.Phase, Seconds: sp.Seconds}
+	}
+	return out
+}
+
+// arrival is the contribution latency clock: seconds since the iteration's
+// first parameter broadcast (zero when Collect ran without one, e.g. under
+// a test harness that drives the inbox directly).
+func (e *Engine) arrival() float64 {
+	if e.contribStart.IsZero() {
+		return 0
+	}
+	return time.Since(e.contribStart).Seconds()
+}
+
+// noteContribution records one full stitched member child span: the arrival
+// latency the engine observed plus whatever phase spans the member echoed
+// on its upload (none for peers from before trace propagation).
+func (e *Engine) noteContribution(id int, spans []transport.PhaseSpan) {
+	e.contribs = append(e.contribs, obs.MemberSpan{
+		Member:  id,
+		Group:   e.cfg.ObsGroup,
+		Arrival: e.arrival(),
+		Spans:   convertSpans(spans),
+	})
+}
+
+// noteErased records a partial member child span for a contribution that was
+// erased — fenced, malformed, skipped, or lost to a death — labeled with the
+// erasure reason and carrying whatever spans the engine learned before the
+// erasure.
+func (e *Engine) noteErased(id int, reason string, spans []transport.PhaseSpan) {
+	e.contribs = append(e.contribs, obs.MemberSpan{
+		Member:  id,
+		Group:   e.cfg.ObsGroup,
+		Arrival: e.arrival(),
+		Spans:   convertSpans(spans),
+		Partial: true,
+		Reason:  reason,
+	})
+}
+
+// TakeContribs drains the stitched member child spans accumulated for iter
+// (nil when the engine never saw that iteration). The master calls it once
+// after its collect-and-retry loop and attaches the result to the iteration
+// trace.
+func (e *Engine) TakeContribs(iter int) []obs.MemberSpan {
+	if iter != e.contribIter || len(e.contribs) == 0 {
+		return nil
+	}
+	out := make([]obs.MemberSpan, len(e.contribs))
+	copy(out, e.contribs)
+	e.contribs = e.contribs[:0]
+	return out
+}
+
+// RootGen returns the lease generation currently stamped on broadcasts —
+// the generation half of the iteration's wire trace context. Call it only
+// from the run-loop goroutine (see SetRootGen).
+func (e *Engine) RootGen() int { return e.cfg.RootGen }
 
 // EpochViable reports whether the plan can still decode if every live plan
 // member eventually uploads (arrived marks slots already collected).
@@ -764,6 +854,13 @@ func (e *Engine) Collect(plan *elastic.Plan, iter, dim int, timeout time.Duratio
 	m := plan.Strategy.M()
 	coded = e.collectSlab(m)
 	arrived := make([]bool, m)
+	if iter != e.contribIter {
+		// The caller skipped BroadcastParams (a test harness driving the
+		// inbox directly): anchor the stitch accumulator here instead.
+		e.contribIter = iter
+		e.contribs = e.contribs[:0]
+		e.contribStart = time.Now()
+	}
 	if !e.EpochViable(plan, arrived) {
 		return nil, nil, false
 	}
@@ -787,9 +884,15 @@ func (e *Engine) Collect(plan *elastic.Plan, iter, dim int, timeout time.Duratio
 			if in.malformed {
 				st.MalformedSkipped++
 				e.cfg.Obs.OnReject(obs.RMalformed)
+				e.noteErased(in.memberID, obs.RMalformed, nil)
 				continue
 			}
 			if in.err != nil {
+				// A plan member dying before its upload landed leaves an
+				// explicitly-labeled partial child span in the trace.
+				if slot := plan.SlotOf(in.memberID); slot >= 0 && !arrived[slot] {
+					e.noteErased(in.memberID, obs.RDead, nil)
+				}
 				e.noteDeath(in.memberID, in.gen)
 				if !e.EpochViable(plan, arrived) {
 					return nil, nil, false
@@ -820,6 +923,7 @@ func (e *Engine) Collect(plan *elastic.Plan, iter, dim int, timeout time.Duratio
 				if e.cfg.RootGen > 0 && env.RootGen != e.cfg.RootGen {
 					st.FencedRejected++
 					e.cfg.Obs.OnReject(obs.RFenced)
+					e.noteErased(in.memberID, obs.RFenced, env.Spans)
 					continue
 				}
 				// Epoch fence: uploads encoded under a superseded plan are
@@ -827,6 +931,7 @@ func (e *Engine) Collect(plan *elastic.Plan, iter, dim int, timeout time.Duratio
 				if env.Epoch != plan.Epoch {
 					st.StaleEpochRejected++
 					e.cfg.Obs.OnReject(obs.RStaleEpoch)
+					e.noteErased(in.memberID, obs.RStaleEpoch, env.Spans)
 					continue
 				}
 				// Shape fence before the iteration fence: a mis-sized or
@@ -837,9 +942,12 @@ func (e *Engine) Collect(plan *elastic.Plan, iter, dim int, timeout time.Duratio
 				if len(env.Vector) != dim || grad.InfOrNaN(env.Vector) {
 					st.MalformedSkipped++
 					e.cfg.Obs.OnReject(obs.RMalformed)
+					e.noteErased(in.memberID, obs.RMalformed, env.Spans)
 					continue
 				}
 				if env.Iter != iter {
+					// A late upload for an OLDER iteration: counted, but it is
+					// not this iteration's child span, so no stitch record.
 					st.StragglersSkipped++
 					e.cfg.Obs.OnReject(obs.RStraggler)
 					continue
@@ -848,7 +956,11 @@ func (e *Engine) Collect(plan *elastic.Plan, iter, dim int, timeout time.Duratio
 				if slot < 0 {
 					st.StragglersSkipped++
 					e.cfg.Obs.OnReject(obs.RStraggler)
+					e.noteErased(in.memberID, obs.RStraggler, env.Spans)
 					continue
+				}
+				if !arrived[slot] {
+					e.noteContribution(in.memberID, env.Spans)
 				}
 				coded[slot] = env.Vector
 				arrived[slot] = true

@@ -532,6 +532,7 @@ func (ma *ElasticMaster) Run() (_ *ElasticResult, err error) {
 			// Broadcast parameters under the current epoch, then gather
 			// until the strategy decodes.
 			sc := ma.cfg.Obs.StartIter(iter, plan.Epoch)
+			sc.SetTraceID(obs.TraceID(uint64(ma.eng.RootGen()), plan.Epoch, iter))
 			sc.Phase(obs.PhaseBroadcast)
 			ma.eng.BroadcastParams(plan, iter, params)
 			sc.Phase(obs.PhaseCollect)
@@ -552,6 +553,10 @@ func (ma *ElasticMaster) Run() (_ *ElasticResult, err error) {
 				continue
 			}
 
+			// Stitch the engine's member child spans — full contributions
+			// plus every partial erased across this iteration's attempts —
+			// into the trace before deriving the critical path at End.
+			sc.AddMembers(ma.eng.TakeContribs(iter))
 			sc.Phase(obs.PhaseDecode)
 			g, err := grad.Combine(coeffs, coded, dim)
 			if err != nil {

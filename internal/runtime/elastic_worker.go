@@ -2,11 +2,14 @@ package runtime
 
 import (
 	"fmt"
+	"math"
+	"sync/atomic"
 	"time"
 
 	"github.com/hetgc/hetgc/internal/dataplane"
 	"github.com/hetgc/hetgc/internal/grad"
 	"github.com/hetgc/hetgc/internal/ml"
+	"github.com/hetgc/hetgc/internal/obs"
 	"github.com/hetgc/hetgc/internal/transport"
 )
 
@@ -108,6 +111,15 @@ type ElasticWorker struct {
 	up      chan func() error
 	upFail  chan error    // first upload error, capacity 1
 	upDrain chan struct{} // closed when the uploader exits
+
+	// Phase timing echoed as trace spans on each upload. lastFetch is the
+	// wire-fetch time of the most recent migration, attributed to the next
+	// upload (amortized: a fetch serves every following iteration).
+	// lastUpload (Float64bits) is the PREVIOUS iteration's send duration —
+	// a sender cannot know this upload's duration before sending it. It is
+	// written by the uploader goroutine and read by iterate, hence atomic.
+	lastFetch  float64
+	lastUpload atomic.Uint64
 }
 
 // DialElasticWorker connects to an elastic master and performs the
@@ -256,6 +268,8 @@ func (w *ElasticWorker) Run() error {
 // applyAssignment installs a new epoch's assignment, fetching only
 // partitions not already cached.
 func (w *ElasticWorker) applyAssignment(env *transport.Envelope) error {
+	fetchStart := time.Now()
+	fetched := false
 	parts := make([]*ml.Dataset, len(env.Assign.Partitions))
 	for i, p := range env.Assign.Partitions {
 		d, ok := w.cache[p]
@@ -266,8 +280,14 @@ func (w *ElasticWorker) applyAssignment(env *transport.Envelope) error {
 				return fmt.Errorf("partition %d: %w", p, err)
 			}
 			w.cache[p] = d
+			fetched = true
 		}
 		parts[i] = d
+	}
+	if fetched {
+		// Cache misses mean real shard-fetch work; echo it as the next
+		// upload's fetch span (cache-hit-only reassignments stay span-free).
+		w.lastFetch += time.Since(fetchStart).Seconds()
 	}
 	w.assign = env.Assign
 	w.parts = parts
@@ -315,6 +335,8 @@ func (w *ElasticWorker) iterate(env *transport.Envelope) error {
 		}
 		partials[i] = g
 	}
+	gradSec := time.Since(computeStart).Seconds()
+	encodeStart := time.Now()
 	coded := grad.GetBuffer(len(env.Vector))
 	if len(partials) == 0 {
 		// Zero-load assignment (the planner starved this slot): the coding
@@ -327,6 +349,7 @@ func (w *ElasticWorker) iterate(env *transport.Envelope) error {
 		grad.PutBuffer(coded)
 		return fmt.Errorf("worker %d iter %d: %w", w.id, env.Iter, err)
 	}
+	encodeSec := time.Since(encodeStart).Seconds()
 	// Artificial slowness counts as compute so telemetry sees the machine
 	// the master sees.
 	var extra time.Duration
@@ -353,17 +376,38 @@ func (w *ElasticWorker) iterate(env *transport.Envelope) error {
 	}
 	release := func() { grad.PutBuffer(coded) }
 	if w.codec != grad.CodecRaw {
+		quantStart := time.Now()
 		q, err := grad.AppendQuantized(grad.GetBytes(8*len(coded)), w.codec, coded)
 		if err != nil {
 			grad.PutBuffer(coded)
 			return fmt.Errorf("worker %d iter %d: %w", w.id, env.Iter, err)
 		}
+		encodeSec += time.Since(quantStart).Seconds()
 		out.Codec, out.Quant, out.QuantLen = byte(w.codec), q, len(coded)
 		grad.PutBuffer(coded)
 		release = func() { grad.PutBytes(q) }
 	} else {
 		out.Vector = coded
 	}
+	// Echo the broadcast's trace context and this worker's phase spans on the
+	// upload, so the master can stitch them into its iteration trace. The
+	// upload span is the PREVIOUS iteration's send (a sender cannot time its
+	// own in-flight upload); the fetch span amortizes the last migration's
+	// shard fetch onto the first upload after it.
+	out.Trace = env.Trace
+	spans := make([]transport.PhaseSpan, 0, 4)
+	if w.lastFetch > 0 {
+		spans = append(spans, transport.PhaseSpan{Phase: obs.PhaseFetch, Seconds: w.lastFetch})
+		w.lastFetch = 0
+	}
+	spans = append(spans,
+		transport.PhaseSpan{Phase: obs.PhaseCompute, Seconds: gradSec + extra.Seconds()},
+		transport.PhaseSpan{Phase: obs.PhaseEncode, Seconds: encodeSec},
+	)
+	if prevUp := math.Float64frombits(w.lastUpload.Load()); prevUp > 0 {
+		spans = append(spans, transport.PhaseSpan{Phase: obs.PhaseUpload, Seconds: prevUp})
+	}
+	out.Spans = spans
 	tel := &transport.Envelope{
 		Type:     transport.MsgTelemetry,
 		Iter:     env.Iter,
@@ -382,7 +426,9 @@ func (w *ElasticWorker) iterate(env *transport.Envelope) error {
 		if err != nil {
 			return err
 		}
-		tel.Telemetry.UploadSeconds = time.Since(uploadStart).Seconds()
+		up := time.Since(uploadStart).Seconds()
+		w.lastUpload.Store(math.Float64bits(up))
+		tel.Telemetry.UploadSeconds = up
 		return w.conn.Send(tel)
 	})
 }

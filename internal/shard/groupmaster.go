@@ -20,8 +20,10 @@ package shard
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"github.com/hetgc/hetgc/internal/checkpoint"
@@ -49,6 +51,14 @@ type groupCore struct {
 	epochs   []int
 	runStats roster.Stats
 	cache    obs.CacheTracker
+
+	// Group-level phase spans of the last completed iteration, echoed on the
+	// uplink's final chunk so the root stitches group children into its
+	// trace (owned by the serving goroutine). lastUpSec (Float64bits) is the
+	// previous uplink send's duration — the in-process master sends from a
+	// dedicated uploader goroutine, hence atomic.
+	lastSpans []transport.PhaseSpan
+	lastUpSec atomic.Uint64
 }
 
 // migrate builds the group's next epoch and delivers (epoch, assignment) to
@@ -85,15 +95,32 @@ func (gc *groupCore) iteration(iter int, params []float64, planRef **elastic.Pla
 		*planRef = p
 	}
 	retries := 0
+	iterStart := time.Now()
 	for {
 		plan := *planRef
 		gc.eng.BroadcastParams(plan, iter, params)
 		coeffs, coded, ok := gc.eng.Collect(plan, iter, dim, gc.iterTimeout, &gc.runStats)
 		if ok {
+			// The group's worker child spans feed the attribution families
+			// directly (the root's trace children are the groups themselves;
+			// worker-level detail lives in the group-labeled metrics).
+			for _, ms := range gc.eng.TakeContribs(iter) {
+				gc.obs.OnMemberSpan(ms)
+			}
+			collectSec := time.Since(iterStart).Seconds()
+			combineStart := time.Now()
 			sum := grad.GetBuffer(dim)
 			if err := grad.CombineInto(sum, coeffs, coded); err != nil {
 				grad.PutBuffer(sum)
 				return nil, 0, fmt.Errorf("group %d iter %d combine: %w", gc.g, iter, err)
+			}
+			// Group-level spans for the uplink echo: the gather (the group's
+			// workers computing and uploading) reads as compute, the combine
+			// as encode — the same span family workers report, so one trace
+			// view renders both tiers.
+			gc.lastSpans = []transport.PhaseSpan{
+				{Phase: obs.PhaseCompute, Seconds: collectSec},
+				{Phase: obs.PhaseEncode, Seconds: time.Since(combineStart).Seconds()},
 			}
 			if gc.obs != nil {
 				cs := plan.Strategy.DecodeCacheStats()
@@ -112,6 +139,23 @@ func (gc *groupCore) iteration(iter int, params []float64, planRef **elastic.Pla
 		}
 		*planRef = p
 	}
+}
+
+// uplinkSpans assembles the phase spans echoed on the group's uplink: the
+// last iteration's group-level spans plus the PREVIOUS upload's send
+// duration (a sender cannot time its own in-flight upload).
+func (gc *groupCore) uplinkSpans() []transport.PhaseSpan {
+	spans := append([]transport.PhaseSpan(nil), gc.lastSpans...)
+	if prev := math.Float64frombits(gc.lastUpSec.Load()); prev > 0 {
+		spans = append(spans, transport.PhaseSpan{Phase: obs.PhaseUpload, Seconds: prev})
+	}
+	return spans
+}
+
+// noteUplink records one uplink send's duration for the next iteration's
+// upload span.
+func (gc *groupCore) noteUplink(seconds float64) {
+	gc.lastUpSec.Store(math.Float64bits(seconds))
 }
 
 // adopt performs the group side of the adoption handshake on a freshly
@@ -426,7 +470,9 @@ func (gm *groupMaster) run() {
 				return
 			}
 			gm.epochs = append(gm.epochs, epoch)
-			tmpl := transport.Envelope{Iter: env.Iter, Epoch: epoch, WorkerID: gm.g, RootGen: gm.rootGen}
+			// Echo the root's trace context and the group-level phase spans on
+			// the uplink; ChunkGradient hoists both onto the final chunk.
+			tmpl := transport.Envelope{Iter: env.Iter, Epoch: epoch, WorkerID: gm.g, RootGen: gm.rootGen, Trace: env.Trace, Spans: gm.uplinkSpans()}
 			chunkLen, codec := gm.root.cfg.ChunkLen, gm.codec
 			upJobs <- func() error {
 				frames, err := transport.ChunkGradientQuant(tmpl, sum, chunkLen, codec)
@@ -434,9 +480,13 @@ func (gm *groupMaster) run() {
 					grad.PutBuffer(sum)
 					return err
 				}
+				sendStart := time.Now()
 				err = gm.up.SendBatch(frames)
 				transport.ReleaseQuant(frames)
 				grad.PutBuffer(sum)
+				if err == nil {
+					gm.noteUplink(time.Since(sendStart).Seconds())
+				}
 				return err
 			}
 		}

@@ -476,19 +476,21 @@ func (r *GroupRunner) serve(conn *transport.Conn, gen int) (fatal bool) {
 			}
 			r.iterFailures = 0
 			r.core.epochs = append(r.core.epochs, epoch)
-			tmpl := transport.Envelope{Iter: env.Iter, Epoch: epoch, WorkerID: r.cfg.Group, RootGen: gen}
+			tmpl := transport.Envelope{Iter: env.Iter, Epoch: epoch, WorkerID: r.cfg.Group, RootGen: gen, Trace: env.Trace, Spans: r.core.uplinkSpans()}
 			frames, err := transport.ChunkGradientQuant(tmpl, sum, r.cfg.ChunkLen, r.core.codec)
 			if err != nil {
 				grad.PutBuffer(sum)
 				r.err = err
 				return true
 			}
+			sendStart := time.Now()
 			err = conn.SendBatch(frames)
 			transport.ReleaseQuant(frames)
 			grad.PutBuffer(sum)
 			if err != nil {
 				return false // uplink died mid-upload; re-adopt
 			}
+			r.core.noteUplink(time.Since(sendStart).Seconds())
 			r.served++
 			if r.store != nil && r.served%r.cfg.SnapshotEvery == 0 {
 				_ = r.store.WriteSnapshot(r.snapshot())

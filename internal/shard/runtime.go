@@ -274,7 +274,8 @@ type groupSum struct {
 	epoch   int
 	rootGen int
 	vec     []float64
-	batched bool // upload arrived as >1 coalesced chunks
+	spans   []transport.PhaseSpan // group phase spans echoed on the final chunk
+	batched bool                  // upload arrived as >1 coalesced chunks
 	err     error
 }
 
@@ -605,6 +606,18 @@ func (r *Root) adoptConn(conn *transport.Conn) {
 	}
 }
 
+// toObsSpans copies wire phase spans into trace spans.
+func toObsSpans(ws []transport.PhaseSpan) []obs.Span {
+	if len(ws) == 0 {
+		return nil
+	}
+	out := make([]obs.Span, len(ws))
+	for i, sp := range ws {
+		out[i] = obs.Span{Phase: sp.Phase, Seconds: sp.Seconds}
+	}
+	return out
+}
+
 // mergeMembers unions two sorted-or-not ID slices into a sorted slice.
 func mergeMembers(a, b []int) []int {
 	seen := make(map[int]bool, len(a)+len(b))
@@ -659,7 +672,7 @@ func (r *Root) readUplink(g, seq int, conn *transport.Conn) {
 			post(groupSum{err: err})
 			return
 		}
-		if !post(groupSum{iter: env.Iter, epoch: env.Epoch, rootGen: env.RootGen, vec: vec, batched: batched}) {
+		if !post(groupSum{iter: env.Iter, epoch: env.Epoch, rootGen: env.RootGen, vec: vec, spans: env.Spans, batched: batched}) {
 			return
 		}
 	}
@@ -693,7 +706,7 @@ func (r *Root) sendParams(g, iter int, params []float64) error {
 		}
 		return fmt.Errorf("%w: group %d uplink gone", ErrGroupFailed, g)
 	}
-	env := &transport.Envelope{Type: transport.MsgParams, Iter: iter, Vector: params, RootGen: r.gen}
+	env := &transport.Envelope{Type: transport.MsgParams, Iter: iter, Vector: params, RootGen: r.gen, Trace: obs.TraceID(uint64(r.gen), -1, iter)}
 	_ = conn.SetWriteDeadline(time.Now().Add(r.cfg.IterTimeout))
 	err := conn.Send(env)
 	_ = conn.SetWriteDeadline(time.Time{})
@@ -873,6 +886,7 @@ func (r *Root) Run() (*Result, error) {
 		// Epoch -1: plan epochs are group-local here; the epoch gauge is
 		// owned by the group replan events.
 		sc := r.cfg.Obs.StartIter(iter, -1)
+		sc.SetTraceID(obs.TraceID(uint64(r.gen), -1, iter))
 		sc.Phase(obs.PhaseBroadcast)
 		for g := range sums {
 			sums[g] = nil
@@ -896,8 +910,11 @@ func (r *Root) Run() (*Result, error) {
 					if r.external[gs.group] {
 						// A runner died or defected: retire the uplink and
 						// keep collecting — its restart re-adopts and the
-						// params are resent below.
+						// params are resent below. The trace keeps a partial
+						// child span for the lost incarnation (Group -1: the
+						// root's children are the groups themselves).
 						r.markDown(gs.group, gs.seq, gs.err)
+						sc.AddMember(obs.MemberSpan{Member: gs.group, Group: -1, Arrival: time.Since(start).Seconds(), Partial: true, Reason: obs.RDead})
 						continue
 					}
 					deadline.Stop()
@@ -906,6 +923,7 @@ func (r *Root) Run() (*Result, error) {
 				if gs.rootGen != r.gen {
 					res.FencedSums++
 					r.cfg.Obs.OnReject(obs.RFenced)
+					sc.AddMember(obs.MemberSpan{Member: gs.group, Group: -1, Arrival: time.Since(start).Seconds(), Spans: toObsSpans(gs.spans), Partial: true, Reason: obs.RFenced})
 					continue // an upload for a root generation this is not
 				}
 				if gs.iter != iter {
@@ -922,6 +940,10 @@ func (r *Root) Run() (*Result, error) {
 				}
 				if sums[gs.group] == nil {
 					pending--
+					// Stitch the group's echoed phase spans as this
+					// iteration's child span (first accepted sum only — a
+					// re-adopted group may double-send after a resend).
+					sc.AddMember(obs.MemberSpan{Member: gs.group, Group: -1, Arrival: time.Since(start).Seconds(), Spans: toObsSpans(gs.spans)})
 				}
 				sums[gs.group] = gs.vec
 				r.upMu.Lock()

@@ -554,6 +554,36 @@ func RunElastic(cfg ElasticSimConfig) (*ElasticSimResult, error) {
 			}
 		}
 
+		// Synthetic iteration trace: the same span families the live master
+		// stitches from the wire, built from simulated finish times so -trace
+		// output of a sim run diffs cleanly against a live run. Members the
+		// replay ingested up to the decode point are full child spans; later
+		// arrivals are partial straggler erasures, like live rejects.
+		if cfg.Obs != nil {
+			tr := obs.IterTrace{
+				Iter: iter, Epoch: plan.Epoch,
+				TraceID: obs.TraceID(uint64(res.RootGen), plan.Epoch, iter),
+				Start:   time.Now(),
+				Seconds: iterTime,
+				Spans: []obs.Span{
+					{Phase: obs.PhaseBroadcast, Seconds: cfg.CommOverhead},
+					{Phase: obs.PhaseCollect, Seconds: decodeAt},
+				},
+			}
+			for slot, id := range plan.Members {
+				if loads[slot] <= 0 {
+					continue
+				}
+				ms := obs.MemberSpan{Member: id, Group: 0, Arrival: finish[slot],
+					Spans: []obs.Span{{Phase: obs.PhaseCompute, Seconds: finish[slot]}}}
+				if finish[slot] > decodeAt {
+					ms.Partial, ms.Reason = true, obs.RStraggler
+				}
+				tr.Members = append(tr.Members, ms)
+			}
+			cfg.Obs.OnTrace(tr)
+		}
+
 		res.Times = append(res.Times, iterTime)
 		res.Epochs = append(res.Epochs, plan.Epoch)
 		count := 0

@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"github.com/hetgc/hetgc/internal/clustercfg"
 	"github.com/hetgc/hetgc/internal/core"
@@ -243,7 +244,10 @@ func RunSharded(cfg ShardedSimConfig) (*ShardedSimResult, error) {
 
 		// Telemetry into each group's control plane, exactly like workers
 		// uploading MsgTelemetry to their group master: injected delay
-		// counts as compute, because that is what the master observes.
+		// counts as compute, because that is what the master observes. Each
+		// worker also feeds the group-labeled attribution families, the way a
+		// live group master records its members' stitched spans — a crashed
+		// worker (+Inf finish) becomes a partial "dead" span, never a sample.
 		for g, sg := range groups {
 			loads := sg.plan.Strategy.Allocation().Loads
 			for slot, id := range sg.plan.Members {
@@ -252,17 +256,49 @@ func RunSharded(cfg ShardedSimConfig) (*ShardedSimResult, error) {
 				}
 				finish := float64(loads[slot])/trueRate[id] + delayOf(delays, id)
 				if math.IsInf(finish, 1) {
+					cfg.Obs.OnMemberSpan(obs.MemberSpan{Member: id, Group: g, Partial: true, Reason: obs.RDead})
 					continue
 				}
 				if err := sg.ctrl.Observe(id, loads[slot], finish); err != nil {
 					return nil, fmt.Errorf("iter %d observe member %d: %w", iter, id, err)
 				}
+				cfg.Obs.OnMemberSpan(obs.MemberSpan{Member: id, Group: g, Arrival: finish,
+					Spans: []obs.Span{{Phase: obs.PhaseCompute, Seconds: finish}}})
 				if cfg.Obs != nil {
 					if rate, err := sg.ctrl.Rate(id); err == nil {
 						cfg.Obs.OnEstimate(g, id, rate)
 					}
 				}
 			}
+		}
+
+		// Synthetic root trace, the live sharded root's shape: child spans
+		// are the group masters (Group -1, Member = group index), each with a
+		// compute span (its decode+ingest time) and an upload span (the
+		// reduction-tree hops its sum paid to reach the root).
+		if cfg.Obs != nil {
+			hops := float64(res.Depth) * hopCost
+			tr := obs.IterTrace{
+				Iter: iter, Epoch: -1,
+				TraceID: obs.TraceID(0, -1, iter),
+				Start:   time.Now(),
+				Seconds: iterTime,
+				Spans: []obs.Span{
+					{Phase: obs.PhaseBroadcast, Seconds: cfg.CommOverhead},
+					{Phase: obs.PhaseCollect, Seconds: slowest},
+					{Phase: obs.PhaseReduce, Seconds: hops},
+				},
+			}
+			for g, gt := range iterGroupTimes {
+				tr.Members = append(tr.Members, obs.MemberSpan{
+					Member: g, Group: -1, Arrival: gt + hops,
+					Spans: []obs.Span{
+						{Phase: obs.PhaseCompute, Seconds: gt},
+						{Phase: obs.PhaseUpload, Seconds: hops},
+					},
+				})
+			}
+			cfg.Obs.OnTrace(tr)
 		}
 
 		res.Times = append(res.Times, iterTime)

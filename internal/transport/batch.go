@@ -124,6 +124,7 @@ func encodeBatch(buf *bytes.Buffer, envs []*Envelope) error {
 func gradientFastPath(e *Envelope) bool {
 	return e.Type == MsgGradient && e.Assign == nil && e.Telemetry == nil && e.Batch == nil &&
 		e.Adopt == nil && e.Blob == nil && e.Part == 0 &&
+		e.Trace == 0 && e.Spans == nil &&
 		e.Codec == 0 && e.Quant == nil && e.QuantLen == 0 && e.Codecs == nil &&
 		e.Iter >= 0 && e.Iter <= math.MaxUint32>>1 &&
 		e.Epoch >= 0 && e.Epoch <= math.MaxUint32>>1 &&
@@ -140,6 +141,7 @@ func gradientFastPath(e *Envelope) bool {
 func quantFastPath(e *Envelope) bool {
 	return e.Type == MsgGradient && e.Assign == nil && e.Telemetry == nil && e.Batch == nil &&
 		e.Adopt == nil && e.Blob == nil && e.Part == 0 &&
+		e.Trace == 0 && e.Spans == nil &&
 		e.Codec != 0 && grad.Codec(e.Codec).Valid() &&
 		len(e.Quant) > 0 && len(e.Vector) == 0 && e.Codecs == nil &&
 		e.QuantLen >= 1 && e.QuantLen <= math.MaxUint32>>1 &&
@@ -310,15 +312,23 @@ func decodeBatch(batch []byte) ([]*Envelope, error) {
 // ChunkGradient splits one gradient upload into chunked MsgGradient
 // sub-frames of at most chunkLen elements each, ready for SendBatch: the
 // receiver reassembles them with JoinChunks. Every chunk shares the
-// template's Iter/Epoch/WorkerID. chunkLen <= 0, or a vector that fits in a
-// single chunk, yields one unchunked frame.
+// template's Iter/Epoch/WorkerID. A template's trace context and phase
+// spans ride only the FINAL chunk: spans there is the protocol rule, and
+// carrying both on one chunk keeps every earlier chunk on the compact
+// binary fast path (the traced chunk falls back to the general gob
+// sub-frame codec, whose field omission also keeps older peers compatible).
+// chunkLen <= 0, or a vector that fits in a single chunk, yields one
+// unchunked frame.
 func ChunkGradient(tmpl Envelope, vec []float64, chunkLen int) []*Envelope {
 	tmpl.Type = MsgGradient
 	tmpl.Assign, tmpl.Telemetry, tmpl.Batch = nil, nil, nil
+	trace, spans := tmpl.Trace, tmpl.Spans
+	tmpl.Trace, tmpl.Spans = 0, nil
 	if chunkLen <= 0 || len(vec) <= chunkLen {
 		e := tmpl
 		e.Vector = vec
 		e.Chunk, e.Chunks = 0, 0
+		e.Trace, e.Spans = trace, spans
 		return []*Envelope{&e}
 	}
 	chunks := (len(vec) + chunkLen - 1) / chunkLen
@@ -332,6 +342,9 @@ func ChunkGradient(tmpl Envelope, vec []float64, chunkLen int) []*Envelope {
 		e := tmpl
 		e.Vector = vec[lo:hi]
 		e.Chunk, e.Chunks = i, chunks
+		if i == chunks-1 {
+			e.Trace, e.Spans = trace, spans
+		}
 		out = append(out, &e)
 	}
 	return out

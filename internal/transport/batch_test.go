@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -437,3 +438,93 @@ func BenchmarkBatchedUplink(b *testing.B)     { benchUplink(b, true, grad.CodecR
 func BenchmarkUnbatchedUplink(b *testing.B)   { benchUplink(b, false, grad.CodecRaw) }
 func BenchmarkBatchedUplinkInt8(b *testing.B) { benchUplink(b, true, grad.CodecInt8) }
 func BenchmarkBatchedUplinkFP16(b *testing.B) { benchUplink(b, true, grad.CodecFP16) }
+
+// BenchmarkBatchedUplinkTraced is BenchmarkBatchedUplink with the trace
+// context stamped on the upload: the trace ID plus a full set of echoed
+// member phase spans riding the final chunk, exactly what every worker sends
+// per iteration when telemetry is live. Its ns/op and wire-B/iter deltas
+// against the untraced bench are the whole cost of trace propagation.
+func BenchmarkBatchedUplinkTraced(b *testing.B) {
+	lis, err := Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lis.Close()
+	done := make(chan *Conn, 1)
+	go func() {
+		c, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		done <- c
+	}()
+	sender, err := Dial(lis.Addr(), time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sender.Close()
+	receiver := <-done
+	defer receiver.Close()
+
+	vec := make([]float64, 64*1024)
+	for i := range vec {
+		vec[i] = float64(i)
+	}
+	tmpl := Envelope{
+		WorkerID: 1,
+		Trace:    0x0002_0001_0000_002a,
+		Spans: []PhaseSpan{
+			{Phase: "fetch", Seconds: 0.001},
+			{Phase: "compute", Seconds: 0.042},
+			{Phase: "encode", Seconds: 0.002},
+			{Phase: "upload", Seconds: 0.003},
+		},
+	}
+	frames, err := ChunkGradientQuant(tmpl, vec, 4*1024, grad.CodecRaw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recvErr := make(chan error, 1)
+	go func() {
+		joined := make([]float64, 0, len(vec))
+		var chunk []*Envelope
+		for i := 0; i < b.N*len(frames); i++ {
+			e, err := receiver.Recv()
+			if err != nil {
+				recvErr <- err
+				return
+			}
+			chunk = append(chunk, e)
+			if e.Chunks != 0 && e.Chunk != e.Chunks-1 {
+				continue
+			}
+			if e.Trace == 0 || len(e.Spans) != len(tmpl.Spans) {
+				recvErr <- fmt.Errorf("trace context lost on the final chunk: trace %#x, %d spans", e.Trace, len(e.Spans))
+				return
+			}
+			var jerr error
+			joined, jerr = JoinChunks(joined, chunk)
+			chunk = chunk[:0]
+			if jerr != nil {
+				recvErr <- jerr
+				return
+			}
+		}
+		recvErr <- nil
+	}()
+
+	b.ResetTimer()
+	b.ReportAllocs()
+	_, _, _, bytesBefore, _, _ := Wire()
+	for i := 0; i < b.N; i++ {
+		if err := sender.SendBatch(frames); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := <-recvErr; err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	_, _, _, bytesAfter, _, _ := Wire()
+	b.ReportMetric(float64(bytesAfter-bytesBefore)/float64(b.N), "wire-B/iter")
+}

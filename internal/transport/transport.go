@@ -10,6 +10,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"time"
 
@@ -124,6 +125,15 @@ type Adoption struct {
 	Members []int
 }
 
+// PhaseSpan is one compact member-local phase timing record (fetch,
+// compute, encode, upload) piggybacked upstream on a gradient upload so the
+// root can stitch per-member child spans into its iteration trace. Seconds
+// must be finite and non-negative; Phase names are short label values.
+type PhaseSpan struct {
+	Phase   string
+	Seconds float64
+}
+
 // Telemetry is a worker's per-iteration timing report, the raw input to the
 // elastic control plane's throughput estimators.
 type Telemetry struct {
@@ -184,6 +194,17 @@ type Envelope struct {
 	// transparently, so receivers above the transport always see Vector.
 	Quant    []byte
 	QuantLen int
+	// Trace is the per-iteration trace-context identifier: the root derives
+	// it from (root generation, epoch, iteration), stamps it on every
+	// parameter broadcast, and members echo it on their uploads so span
+	// records stitch to the right iteration even across migrations and
+	// failovers. 0 means no trace context (a peer predating propagation —
+	// gob omits the unknown field).
+	Trace uint64
+	// Spans carries the sender's member-local phase timing records,
+	// piggybacked on an upload frame (the final chunk of a chunked upload).
+	// Bounded by MaxSpans; legal only on MsgGradient and MsgTelemetry.
+	Spans []PhaseSpan
 }
 
 // Errors returned by the transport layer.
@@ -222,6 +243,14 @@ const MaxCodecList = 16
 // element count: delta's worst case is a 10-byte uvarint per element, plus a
 // small per-payload header allowance.
 const maxQuantBytesPerElem = 10
+
+// MaxSpans bounds the phase-span records piggybacked on one upload frame —
+// far above the handful of member-local phases a real sender times.
+const MaxSpans = 16
+
+// maxSpanPhaseLen bounds one span's phase name (they are metric label
+// values, not free text).
+const maxSpanPhaseLen = 64
 
 // validate checks the structural invariants of a received envelope.
 func (e *Envelope) validate() error {
@@ -275,6 +304,25 @@ func (e *Envelope) validate() error {
 		}
 		if len(e.Vector) != 0 {
 			return fmt.Errorf("%w: gradient with both raw and quantized payloads", ErrMalformed)
+		}
+	}
+	if len(e.Spans) > 0 {
+		if e.Type != MsgGradient && e.Type != MsgTelemetry {
+			return fmt.Errorf("%w: %v carries phase spans", ErrMalformed, e.Type)
+		}
+		if len(e.Spans) > MaxSpans {
+			return fmt.Errorf("%w: %v carries %d phase spans (cap %d)", ErrMalformed, e.Type, len(e.Spans), MaxSpans)
+		}
+		if e.Chunks > 0 && e.Chunk != e.Chunks-1 {
+			return fmt.Errorf("%w: phase spans on chunk %d of %d (final chunk only)", ErrMalformed, e.Chunk, e.Chunks)
+		}
+		for _, sp := range e.Spans {
+			if sp.Phase == "" || len(sp.Phase) > maxSpanPhaseLen {
+				return fmt.Errorf("%w: phase span name %q", ErrMalformed, sp.Phase)
+			}
+			if sp.Seconds < 0 || math.IsNaN(sp.Seconds) || math.IsInf(sp.Seconds, 0) {
+				return fmt.Errorf("%w: phase span %q seconds %v", ErrMalformed, sp.Phase, sp.Seconds)
+			}
 		}
 	}
 	if e.Type == MsgBatch {
